@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 6: memory-bound analysis — where backend memory stalls
+ * resolve (L1 / L2 / LLC+DRAM), per workload and ABI, plus the cache
+ * and TLB miss-rate movements of §4.7 that cause them.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "support/table.hpp"
+
+using namespace cheri;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 6 - memory-bound analysis (cache vs DRAM)",
+        "Stall attribution by servicing level + the §4.7 miss-rate "
+        "movements driving it.");
+
+    bench::Sweep sweep;
+
+    AsciiTable table({"benchmark", "abi", "L1 bound", "L2 bound",
+                      "ExtMem bound", "L1D MR", "L2 MR", "DTLB walk/1k"});
+    for (const auto &row : sweep.rows()) {
+        for (abi::Abi a : abi::kAllAbis) {
+            const auto &run = row.run(a);
+            if (!run.ok())
+                continue;
+            table.beginRow();
+            table.cell(row.workload->info().name);
+            table.cell(std::string(abi::abiName(a)));
+            table.cell(run.topdownTruth.l1Bound, 3);
+            table.cell(run.topdownTruth.l2Bound, 3);
+            table.cell(run.topdownTruth.extMemBound, 3);
+            table.cell(run.metrics.l1dMissRate, 4);
+            table.cell(run.metrics.l2MissRate, 4);
+            table.cell(run.metrics.dtlbWpki, 3);
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // §4.7 spot checks.
+    u32 dtlb_up = 0, rows = 0;
+    for (const auto &row : sweep.rows()) {
+        const auto &hyb = row.run(abi::Abi::Hybrid);
+        const auto &pc = row.run(abi::Abi::Purecap);
+        if (!hyb.ok() || !pc.ok())
+            continue;
+        ++rows;
+        if (pc.metrics.dtlbWpki > hyb.metrics.dtlbWpki * 1.05)
+            ++dtlb_up;
+    }
+    std::printf("Workloads with >5%% more DTLB walks per kilo-inst under "
+                "purecap: %u / %u\n(paper §4.7: most stable, a few rise "
+                "sharply — xalancbmk, leela, nab)\n",
+                dtlb_up, rows);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 7: performance-correlation matrices (hybrid vs purecap) —
+ * Pearson correlations of key metrics across the workload population,
+ * and the strongly-coupled pairs that appear under purecap.
+ */
+
+#include <cstdio>
+
+#include "analysis/correlation.hpp"
+#include "common.hpp"
+
+using namespace cheri;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 7 - performance correlation matrix (hybrid vs purecap)",
+        "Pearson correlation of Table 1 metrics across all workloads, "
+        "one matrix per ABI.");
+
+    bench::Sweep sweep;
+
+    const std::vector<std::string> kMetrics = {
+        "IPC",          "L1D_MPKI",        "L2_MPKI",
+        "DTLB_WPKI",    "ITLB_WPKI",       "BranchMR",
+        "CapLoadDensity", "CapStoreDensity", "MemoryIntensity",
+    };
+
+    for (abi::Abi a : {abi::Abi::Hybrid, abi::Abi::Purecap}) {
+        std::vector<analysis::DerivedMetrics> samples;
+        for (const auto &row : sweep.rows())
+            if (row.run(a).ok())
+                samples.push_back(row.run(a).metrics);
+
+        const auto matrix = analysis::correlateMetrics(samples, kMetrics);
+        std::printf("--- %s ABI (n=%zu workloads)\n%s\n", abi::abiName(a),
+                    samples.size(), matrix.render().c_str());
+
+        std::printf("Strong pairs (|r| >= 0.7):\n");
+        for (const auto &pair : matrix.strongPairs(0.7))
+            std::printf("  %-18s <-> %-18s  r = %+.2f\n", pair.a.c_str(),
+                        pair.b.c_str(), pair.r);
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Shape check vs paper Fig. 7: under purecap the capability-access "
+        "metrics become strongly\ncoupled to the cache/TLB refill metrics "
+        "(near-zero coupling under hybrid, where capability\ndensity is "
+        "~0 everywhere).\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator substrates
+ * themselves: capability compression round-trips, cache and TLB
+ * lookups, branch prediction, store-queue pushes, and end-to-end
+ * dynamic-op issue throughput. These bound how large a workload the
+ * framework can replay per wall-clock second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "abi/lowering.hpp"
+#include "cap/capability.hpp"
+#include "mem/cache.hpp"
+#include "mem/tlb.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+#include "uarch/branch_predictor.hpp"
+
+using namespace cheri;
+
+namespace {
+
+void
+BM_CapabilitySetBounds(benchmark::State &state)
+{
+    const auto root = cap::Capability::root();
+    Xoshiro256StarStar rng(1);
+    for (auto _ : state) {
+        const u64 base = rng.nextBelow(1ULL << 40);
+        const u64 len = 1 + rng.nextBelow(1ULL << 20);
+        auto derived = root.withAddress(base).setBounds(len);
+        benchmark::DoNotOptimize(derived);
+    }
+}
+BENCHMARK(BM_CapabilitySetBounds);
+
+void
+BM_CapabilityPackUnpack(benchmark::State &state)
+{
+    const auto capability =
+        cap::Capability::dataRegion(0x1000, 0x2000).add(64);
+    for (auto _ : state) {
+        const auto packed = capability.pack();
+        auto restored = cap::Capability::unpack(packed, true);
+        benchmark::DoNotOptimize(restored);
+    }
+}
+BENCHMARK(BM_CapabilityPackUnpack);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::SetAssocCache cache({64 * kKiB, 4, 64});
+    Xoshiro256StarStar rng(2);
+    const u64 span = static_cast<u64>(state.range(0)) * kKiB;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.nextBelow(span), false));
+}
+BENCHMARK(BM_CacheAccess)->Arg(32)->Arg(256)->Arg(4096);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    mem::Tlb tlb({1280, 5, 4096});
+    Xoshiro256StarStar rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tlb.access(rng.nextBelow(64 * kMiB)));
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    uarch::BranchPredictor predictor({});
+    Xoshiro256StarStar rng(4);
+    for (auto _ : state) {
+        const auto op = uarch::DynOp::condBranch(
+            0x1000 + (rng.next() & 0xfff) * 4, rng.chance(0.7), 0x2000);
+        benchmark::DoNotOptimize(predictor.resolve(op));
+    }
+}
+BENCHMARK(BM_BranchPredictor);
+
+void
+BM_DynOpIssue(benchmark::State &state)
+{
+    // End-to-end issue throughput through lowering + pipeline + memory.
+    const auto config = sim::MachineConfig::forAbi(abi::Abi::Purecap);
+    sim::Machine machine(config);
+    abi::CodeMap code(abi::Abi::Purecap);
+    const u32 func = code.addFunction(0, 400);
+    abi::DynLowering lowering(abi::Abi::Purecap, machine.pipeline(), code);
+    lowering.enterFunction(func);
+    Xoshiro256StarStar rng(5);
+    u64 ops = 0;
+    for (auto _ : state) {
+        lowering.loopBegin();
+        lowering.alu(2);
+        lowering.loadPointer(0x4000'0000 + (rng.next() & 0xffff0));
+        lowering.store(0x4100'0000 + (rng.next() & 0xffff0), 8);
+        lowering.branch(rng.chance(0.9));
+        ops += 5;
+    }
+    state.SetItemsProcessed(static_cast<s64>(ops));
+}
+BENCHMARK(BM_DynOpIssue);
+
+} // namespace
+
+BENCHMARK_MAIN();

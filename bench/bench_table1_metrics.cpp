@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table 1: the PMU event / derived-metric catalog, validated live —
+ * plus a demonstration of the §3.2 measurement methodology itself:
+ * the six-counter PMU forces event-group multiplexing over repeated
+ * runs (pmcstat style), and determinism keeps the merge exact
+ * (the paper's <1% variance).
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "pmu/pmu.hpp"
+#include "support/table.hpp"
+
+using namespace cheri;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 1 - key PMU events, derived metrics, and the pmcstat "
+        "multiplexing methodology",
+        "Catalog + a live multi-run collection on 519.lbm_r.");
+
+    // 1. The event catalog.
+    AsciiTable catalog({"event", "architectural", "description"});
+    for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
+        const auto event = static_cast<pmu::Event>(i);
+        catalog.beginRow();
+        catalog.cell(std::string(pmu::eventName(event)));
+        catalog.cell(std::string(pmu::isArchitectural(event) ? "yes"
+                                                             : "model"));
+        catalog.cell(std::string(pmu::eventDescription(event)));
+    }
+    std::printf("%s\n", catalog.render().c_str());
+
+    // 2. pmcstat-style multiplexed collection.
+    const auto events = pmu::PmcSession::paperEventSet();
+    const auto groups = pmu::PmcSession::schedule(events);
+    std::printf("Requested events: %zu -> %zu groups of <= %zu counters "
+                "-> %zu workload runs\n(paper: nine runs per benchmark "
+                "for its larger set)\n\n",
+                events.size(), groups.size(), pmu::kNumSlots,
+                groups.size());
+
+    auto pool = workloads::allWorkloads();
+    const auto *lbm = workloads::findWorkload(pool, "519.lbm_r");
+
+    pmu::PmcSession session;
+    const auto collected = session.collect(events, [&] {
+        auto result = workloads::runWorkload(*lbm, abi::Abi::Purecap,
+                                             workloads::Scale::Tiny);
+        return result->counts;
+    });
+
+    // 3. Validate the merge against a single full-visibility run.
+    const auto direct = workloads::runWorkload(*lbm, abi::Abi::Purecap,
+                                               workloads::Scale::Tiny);
+    u64 mismatches = 0;
+    for (const auto event : events)
+        if (collected.get(event) != direct->counts.get(event))
+            ++mismatches;
+
+    AsciiTable sample({"event", "multiplexed", "direct"});
+    for (const auto event :
+         {pmu::Event::CpuCycles, pmu::Event::InstRetired,
+          pmu::Event::L1dCacheRefill, pmu::Event::CapMemAccessRd,
+          pmu::Event::MemAccessRdCtag}) {
+        sample.beginRow();
+        sample.cell(std::string(pmu::eventName(event)));
+        sample.cell(static_cast<unsigned long long>(collected.get(event)));
+        sample.cell(static_cast<unsigned long long>(
+            direct->counts.get(event)));
+    }
+    std::printf("%s\n", sample.render().c_str());
+    std::printf("Multiplexed-vs-direct mismatches: %llu of %zu events "
+                "(deterministic replay => exact merge; run-to-run "
+                "variance 0%%, paper <1%%)\n",
+                static_cast<unsigned long long>(mismatches),
+                events.size());
+
+    // 4. Derived metrics on the merged counts (Table 1 formulas).
+    const auto metrics =
+        analysis::DerivedMetrics::compute(collected.toEventCounts());
+    std::printf("\nDerived from the merged counts: IPC=%.3f CPI=%.3f "
+                "L1D_MR=%.4f CapLoadDensity=%.4f MI=%.3f\n",
+                metrics.ipc, metrics.cpi, metrics.l1dMissRate,
+                metrics.capLoadDensity, metrics.memoryIntensity);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 2: instruction-mix-based memory-intensity (MI) values and the
+ * compute / balanced / memory-centric classification.
+ */
+
+#include <cstdio>
+
+#include "analysis/intensity.hpp"
+#include "common.hpp"
+#include "support/table.hpp"
+
+using namespace cheri;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 2 - benchmark memory intensity values",
+        "MI = (LD_SPEC + ST_SPEC) / (DP_SPEC + ASE_SPEC + VFP_SPEC), "
+        "hybrid ABI, vs the paper's values.");
+
+    bench::Sweep sweep;
+
+    AsciiTable table({"benchmark", "MI (model)", "MI (paper)", "class",
+                      "class match"});
+    u32 matches = 0, classified = 0;
+    for (const auto &row : sweep.rows()) {
+        const auto &info = row.workload->info();
+        if (info.paperMi == 0)
+            continue;
+        const double mi =
+            row.run(abi::Abi::Hybrid).metrics.memoryIntensity;
+        const auto cls = analysis::classifyIntensity(mi);
+        const auto paper_cls = analysis::classifyIntensity(info.paperMi);
+        ++classified;
+        const bool match = cls == paper_cls;
+        matches += match ? 1 : 0;
+        table.beginRow();
+        table.cell(info.name);
+        table.cell(mi, 3);
+        table.cell(info.paperMi, 3);
+        table.cell(std::string(analysis::intensityClassName(cls)));
+        table.cell(std::string(match ? "yes" : "NO"));
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Intensity class agreement with the paper: %u / %u\n",
+                matches, classified);
+    return 0;
+}

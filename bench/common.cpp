@@ -1,0 +1,89 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+namespace cheri::bench {
+
+double
+SweepRow::seconds(abi::Abi a) const
+{
+    const AbiRun &r = run(a);
+    return r.ok() ? r.result->seconds : -1.0;
+}
+
+double
+SweepRow::slowdown(abi::Abi a) const
+{
+    const double hybrid = seconds(abi::Abi::Hybrid);
+    const double mine = seconds(a);
+    if (hybrid <= 0 || mine < 0)
+        return -1.0;
+    return mine / hybrid;
+}
+
+Sweep::Sweep(const std::vector<std::string> &names, workloads::Scale scale)
+    : pool_(workloads::allWorkloads())
+{
+    std::vector<const workloads::Workload *> selected;
+    if (names.empty()) {
+        for (const auto &w : pool_)
+            selected.push_back(w.get());
+    } else {
+        for (const auto &name : names) {
+            const auto *w = workloads::findWorkload(pool_, name);
+            CHERI_ASSERT(w, "unknown workload '", name, "'");
+            selected.push_back(w);
+        }
+    }
+
+    for (const auto *w : selected) {
+        SweepRow row;
+        row.workload = w;
+        for (abi::Abi a : abi::kAllAbis) {
+            AbiRun &run = row.runs[static_cast<int>(a)];
+            run.result = workloads::runWorkload(*w, a, scale);
+            if (run.result) {
+                run.metrics = analysis::DerivedMetrics::compute(
+                    run.result->counts);
+                run.topdownTruth =
+                    analysis::TopDown::fromModelTruth(run.result->counts);
+                run.topdownPaper = analysis::TopDown::fromPaperFormulas(
+                    run.result->counts);
+            }
+        }
+        rows_.push_back(std::move(row));
+        std::fprintf(stderr, "  [sweep] %s done\n",
+                     w->info().name.c_str());
+    }
+}
+
+const SweepRow *
+Sweep::find(const std::string &name) const
+{
+    for (const auto &row : rows_)
+        if (row.workload->info().name == name)
+            return &row;
+    return nullptr;
+}
+
+std::string
+fmtOrNa(double value, int precision)
+{
+    if (value < 0)
+        return "NA";
+    return formatFixed(value, precision);
+}
+
+void
+printHeader(const std::string &artifact, const std::string &note)
+{
+    std::printf("================================================================\n");
+    std::printf("cheriperf reproduction: %s\n", artifact.c_str());
+    std::printf("%s\n", note.c_str());
+    std::printf("================================================================\n\n");
+}
+
+} // namespace cheri::bench

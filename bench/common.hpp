@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared plumbing for the per-table/per-figure benchmark harnesses:
+ * run the workload sweep across ABIs once and expose the results plus
+ * small formatting helpers.
+ */
+
+#ifndef CHERI_BENCH_COMMON_HPP
+#define CHERI_BENCH_COMMON_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "analysis/topdown.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::bench {
+
+struct AbiRun
+{
+    std::optional<sim::SimResult> result;
+    analysis::DerivedMetrics metrics{};
+    analysis::TopDown topdownTruth{};
+    analysis::TopDown topdownPaper{};
+
+    bool ok() const { return result.has_value(); }
+};
+
+struct SweepRow
+{
+    const workloads::Workload *workload = nullptr;
+    AbiRun runs[3]; //!< Indexed by static_cast<int>(Abi).
+
+    const AbiRun &run(abi::Abi a) const
+    {
+        return runs[static_cast<int>(a)];
+    }
+
+    /** Simulated seconds under @p a; negative when NA. */
+    double seconds(abi::Abi a) const;
+
+    /** seconds(a) / seconds(hybrid); negative when NA. */
+    double slowdown(abi::Abi a) const;
+};
+
+class Sweep
+{
+  public:
+    /**
+     * Run every named workload under all three ABIs.
+     * @param names Empty = all 20 workloads.
+     */
+    explicit Sweep(const std::vector<std::string> &names = {},
+                   workloads::Scale scale = workloads::Scale::Small);
+
+    const std::vector<SweepRow> &rows() const { return rows_; }
+    const SweepRow *find(const std::string &name) const;
+
+  private:
+    std::vector<std::unique_ptr<workloads::Workload>> pool_;
+    std::vector<SweepRow> rows_;
+};
+
+/** "1.234" or "NA". */
+std::string fmtOrNa(double value, int precision = 3);
+
+/** Print a standard header for a reproduction harness. */
+void printHeader(const std::string &artifact, const std::string &note);
+
+} // namespace cheri::bench
+
+#endif // CHERI_BENCH_COMMON_HPP

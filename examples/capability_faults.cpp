@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Spatial-safety demonstration: the protection CHERI buys for the
+ * overheads the paper measures. Four victim/attacker scenarios run on
+ * the simulated machine; each capability violation surfaces exactly
+ * like CheriBSD's "in-address-space security exception" (the failure
+ * the paper's appendix reports for several SPEC benchmarks).
+ */
+
+#include <cstdio>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+
+using namespace cheri;
+
+namespace {
+
+using isa::Opcode;
+using isa::ProgramBuilder;
+
+void
+report(const char *name, const sim::SimResult &result, bool expect_fault)
+{
+    if (result.fault) {
+        std::printf("  %-34s -> %s\n", name,
+                    result.fault->toString().c_str());
+    } else {
+        std::printf("  %-34s -> completed without fault\n", name);
+    }
+    if (expect_fault != result.fault.has_value())
+        std::printf("    UNEXPECTED OUTCOME\n");
+}
+
+sim::SimResult
+run(const isa::Program &program)
+{
+    sim::Machine machine(
+        sim::MachineConfig::forAbi(abi::Abi::Purecap));
+    return machine.run(program);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("CHERI spatial-safety demonstration (purecap ABI)\n\n");
+
+    // Scenario 1: classic heap buffer overflow.
+    {
+        ProgramBuilder pb;
+        pb.beginFunction("overflow");
+        pb.movImm(2, 0x5000);
+        pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+        pb.csetboundsImm(1, 1, 64); // malloc(64)
+        pb.movImm(3, 0x41414141);
+        // Write a 65th byte: one past the allocation.
+        pb.str(3, 1, 64, 1);
+        pb.halt();
+        report("heap overflow (write 1 past end)", run(pb.finish()),
+               true);
+    }
+
+    // Scenario 2: in-bounds writes are unaffected.
+    {
+        ProgramBuilder pb;
+        pb.beginFunction("inbounds");
+        pb.movImm(2, 0x5000);
+        pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+        pb.csetboundsImm(1, 1, 64);
+        pb.movImm(3, 7);
+        pb.str(3, 1, 56);
+        pb.halt();
+        report("in-bounds write (last word)", run(pb.finish()), false);
+    }
+
+    // Scenario 3: forging a pointer through integer stores. The tag
+    // table makes the rebuilt "capability" invalid.
+    {
+        ProgramBuilder pb;
+        pb.beginFunction("forge");
+        // Store a valid capability at 0x7000.
+        pb.movImm(2, 0x5000);
+        pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+        pb.csetboundsImm(1, 1, 64);
+        pb.movImm(4, 0x7000);
+        pb.emit({.op = Opcode::CSetAddr, .rd = 3, .rn = 0, .rm = 4});
+        pb.strCap(1, 3, 0);
+        // "Improve" its bounds by patching bytes with a scalar store.
+        pb.movImm(5, 0xffff);
+        pb.str(5, 3, 10, 2);
+        // Reload and dereference the forged capability.
+        pb.ldrCap(6, 3, 0);
+        pb.ldr(7, 6, 0);
+        pb.halt();
+        report("capability forgery via byte store", run(pb.finish()),
+               true);
+    }
+
+    // Scenario 4: write through a read-only capability.
+    {
+        ProgramBuilder pb;
+        pb.beginFunction("readonly");
+        pb.movImm(2, 0x5000);
+        pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+        pb.csetboundsImm(1, 1, 64);
+        pb.movImm(4, static_cast<s64>(cap::PermSet(
+                         static_cast<u16>(cap::Perm::Load))
+                         .bits()));
+        pb.emit({.op = Opcode::CAndPerm, .rd = 1, .rn = 1, .rm = 4});
+        pb.movImm(3, 1);
+        pb.str(3, 1, 0);
+        pb.halt();
+        report("store via read-only capability", run(pb.finish()), true);
+    }
+
+    std::printf(
+        "\nEvery violation trapped in hardware before memory changed — "
+        "the security half of the\npaper's security/performance "
+        "trade-off. Run the bench_* binaries for the other half.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The measurement methodology itself (§3.2): Morello exposes only six
+ * programmable PMU counters, so pmcstat-style profiling must multiplex
+ * event groups across repeated runs. This example collects the full
+ * Table 1 event set for the SQLite proxy, group by group, and derives
+ * the paper's metrics from the merged counts.
+ */
+
+#include <cstdio>
+
+#include "analysis/metrics.hpp"
+#include "pmu/pmu.hpp"
+#include "workloads/registry.hpp"
+
+using namespace cheri;
+
+int
+main()
+{
+    const auto pool = workloads::allWorkloads();
+    const auto *workload = workloads::findWorkload(pool, "SQLite");
+
+    const auto events = pmu::PmcSession::paperEventSet();
+    const auto groups = pmu::PmcSession::schedule(events);
+
+    std::printf("pmcstat-style collection on %s (purecap ABI)\n",
+                workload->info().name.c_str());
+    std::printf("%zu events / %zu counters -> %zu runs\n\n", events.size(),
+                pmu::kNumSlots, groups.size());
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        std::printf("  run %zu programs:", g + 1);
+        for (const auto event : groups[g])
+            std::printf(" %s", pmu::eventName(event));
+        std::printf("\n");
+    }
+
+    pmu::PmcSession session;
+    std::size_t run_index = 0;
+    const auto collected = session.collect(events, [&] {
+        ++run_index;
+        std::printf("  ... executing run %zu\n", run_index);
+        const auto result = workloads::runWorkload(
+            *workload, abi::Abi::Purecap, workloads::Scale::Tiny);
+        return result->counts;
+    });
+
+    std::printf("\nMerged counts (selected):\n");
+    for (const auto event :
+         {pmu::Event::CpuCycles, pmu::Event::InstRetired,
+          pmu::Event::L1dCache, pmu::Event::L1dCacheRefill,
+          pmu::Event::CapMemAccessRd, pmu::Event::CapMemAccessWr,
+          pmu::Event::MemAccessRdCtag, pmu::Event::DtlbWalk})
+        std::printf("  %-22s %12llu\n", pmu::eventName(event),
+                    static_cast<unsigned long long>(collected.get(event)));
+
+    const auto metrics =
+        analysis::DerivedMetrics::compute(collected.toEventCounts());
+    std::printf("\nDerived Table 1 metrics from the merged counts:\n");
+    std::printf("  IPC %.3f  CPI %.3f\n", metrics.ipc, metrics.cpi);
+    std::printf("  L1D MR %.2f%%  L2 MR %.2f%%  LLC read MR %.2f%%\n",
+                metrics.l1dMissRate * 100, metrics.l2MissRate * 100,
+                metrics.llcReadMissRate * 100);
+    std::printf("  capability load density %.2f%%  store density %.2f%%  "
+                "tag overhead %.2f%%\n",
+                metrics.capLoadDensity * 100,
+                metrics.capStoreDensity * 100,
+                metrics.capTagOverhead * 100);
+    std::printf("  memory intensity %.3f\n", metrics.memoryIntensity);
+
+    std::printf("\nDeterministic replay makes the merge exact; on real "
+                "hardware the paper saw <1%% variance.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A miniature version of the paper's §4 analysis on one workload: run
+ * the omnetpp proxy (the paper's flagship memory-centric victim)
+ * under all three ABIs, print the top-down decomposition, and then
+ * project what a CHERI-tuned core would recover — demonstrating the
+ * analysis + projection halves of the public API.
+ */
+
+#include <cstdio>
+
+#include "analysis/metrics.hpp"
+#include "analysis/projection.hpp"
+#include "analysis/topdown.hpp"
+#include "workloads/registry.hpp"
+
+using namespace cheri;
+
+int
+main()
+{
+    const auto pool = workloads::allWorkloads();
+    const auto *workload = workloads::findWorkload(pool, "520.omnetpp_r");
+
+    std::printf("Workload study: %s — %s\n\n", workload->info().name.c_str(),
+                workload->info().description.c_str());
+
+    std::printf("%-10s %8s %8s | %9s %8s %9s %8s | %9s %9s\n", "abi",
+                "IPC", "slowdn", "retiring", "badspec", "frontend",
+                "backend", "mem-bound", "core-bnd");
+
+    double hybrid_seconds = 0;
+    for (abi::Abi abi : abi::kAllAbis) {
+        const auto result = workloads::runWorkload(
+            *workload, abi, workloads::Scale::Small);
+        if (!result) {
+            std::printf("%-10s NA\n", abi::abiName(abi));
+            continue;
+        }
+        if (abi == abi::Abi::Hybrid)
+            hybrid_seconds = result->seconds;
+        const auto td = analysis::TopDown::fromModelTruth(result->counts);
+        std::printf(
+            "%-10s %8.3f %8.3f | %9.3f %8.3f %9.3f %8.3f | %9.3f %9.3f\n",
+            abi::abiName(abi), result->ipc(),
+            result->seconds / hybrid_seconds, td.retiring,
+            td.badSpeculation, td.frontendBound, td.backendBound,
+            td.memoryBound, td.coreBound);
+    }
+
+    std::printf("\nProjection: repairing Morello's prototype artefacts "
+                "on the purecap build\n\n");
+    const auto runner = [&](const sim::MachineConfig &config) {
+        return *workloads::runWorkload(*workload, abi::Abi::Purecap,
+                                       workloads::Scale::Small, &config);
+    };
+    const auto rows = analysis::runProjections(
+        runner, sim::MachineConfig::forAbi(abi::Abi::Purecap));
+    for (const auto &row : rows)
+        std::printf("  %-20s speedup vs purecap %.3f, overhead vs hybrid "
+                    "%+.1f%%\n",
+                    row.scenario.c_str(), row.speedupVsBaseline,
+                    (row.seconds / hybrid_seconds - 1.0) * 100.0);
+
+    std::printf("\nThe purecap-benchmark ABI is the software workaround; "
+                "the cap-aware-bp row is the\nhardware fix the paper "
+                "projects — they recover the same stalls.\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Quickstart: build a small MorelloLite program with the
+ * ProgramBuilder, run it on the simulated Morello machine under all
+ * three CheriBSD ABIs, and read the PMU-derived metrics — the
+ * end-to-end flow every other tool in this repository builds on.
+ *
+ * The program sums a linked list: the classic pointer-chase that CHERI
+ * makes wider (16-byte capabilities) and the paper shows hurting the
+ * memory hierarchy.
+ */
+
+#include <cstdio>
+
+#include "analysis/metrics.hpp"
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+
+using namespace cheri;
+
+namespace {
+
+/** Build the list-summing program. Registers:
+ *  c1 = cursor capability, x2 = accumulator, x3 = loop count. */
+isa::Program
+buildListSum(bool purecap, u64 nodes)
+{
+    using isa::Cond;
+    using isa::Opcode;
+
+    isa::ProgramBuilder pb;
+    pb.beginFunction("sum_list");
+    // c1 = c0 (root data cap) rebased to the list head at 0x100000.
+    pb.movImm(4, 0x100000);
+    pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 4});
+    if (purecap) {
+        // Bound the cursor to the list arena, as CheriBSD malloc would.
+        pb.csetboundsImm(1, 1, static_cast<s64>(nodes * 32));
+    }
+    pb.movImm(2, 0);
+    pb.movImm(3, static_cast<s64>(nodes));
+
+    const auto loop = pb.newBlock();
+    pb.jump(loop);
+    pb.atBlock(loop);
+    pb.ldr(5, 1, 8);            // value = cursor->value
+    pb.add(2, 2, 5);            // acc += value
+    if (purecap)
+        pb.ldrCap(1, 1, 16); // cursor = cursor->next (capability)
+    else
+        pb.ldr(1, 1, 16);    // cursor = cursor->next (DDC-relative int)
+    pb.subImm(3, 3, 1).cmpImm(3, 0);
+    pb.branchCond(Cond::Ne, loop);
+
+    const auto done = pb.newBlock();
+    pb.atBlock(done);
+    pb.halt();
+    return pb.finish();
+}
+
+/** Lay the list out in simulated memory (node: value @8, next @16). */
+void
+buildListData(sim::Machine &machine, bool purecap, u64 nodes)
+{
+    const Addr base = 0x100000;
+    for (u64 i = 0; i < nodes; ++i) {
+        const Addr node = base + i * 32;
+        const Addr next = base + ((i + 1) % nodes) * 32;
+        machine.store().write(node + 8, i + 1, 8);
+        if (purecap) {
+            const auto next_cap =
+                cap::Capability::dataRegion(base, nodes * 32)
+                    .withAddress(next);
+            machine.store().writeCap(node + 16, next_cap);
+        } else {
+            machine.store().write(node + 16, next, 8);
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr u64 kNodes = 4096;
+
+    std::printf("cheriperf quickstart: a %llu-node linked-list sum under "
+                "the three CheriBSD ABIs\n\n",
+                static_cast<unsigned long long>(kNodes));
+    std::printf("%-10s %10s %10s %8s %10s %12s\n", "abi", "insts",
+                "cycles", "IPC", "L1D MR", "cap loads");
+
+    for (abi::Abi abi : abi::kAllAbis) {
+        const bool purecap = abi::capabilityPointers(abi);
+        const auto program = buildListSum(purecap, kNodes);
+
+        sim::Machine machine(sim::MachineConfig::forAbi(abi));
+        buildListData(machine, purecap, kNodes);
+        const auto result = machine.run(program);
+
+        if (!result.halted) {
+            std::printf("%-10s did not halt: %s\n", abi::abiName(abi),
+                        result.fault ? result.fault->toString().c_str()
+                                     : "instruction limit");
+            return 1;
+        }
+
+        const auto metrics =
+            analysis::DerivedMetrics::compute(result.counts);
+        std::printf("%-10s %10llu %10llu %8.3f %9.2f%% %12llu\n",
+                    abi::abiName(abi),
+                    static_cast<unsigned long long>(result.instructions),
+                    static_cast<unsigned long long>(result.cycles),
+                    result.ipc(), metrics.l1dMissRate * 100,
+                    static_cast<unsigned long long>(result.counts.get(
+                        pmu::Event::CapMemAccessRd)));
+
+        // The architectural result is ABI-independent: sum of 1..N.
+        const u64 expected = kNodes * (kNodes + 1) / 2;
+        if (machine.regs().x(2) != expected) {
+            std::printf("wrong sum: %llu != %llu\n",
+                        static_cast<unsigned long long>(
+                            machine.regs().x(2)),
+                        static_cast<unsigned long long>(expected));
+            return 1;
+        }
+    }
+
+    std::printf("\nAll three ABIs computed the same sum; the capability "
+                "ABIs moved 16-byte tagged\npointers through the cache "
+                "hierarchy (see the cap-load column). At this toy size\n"
+                "the working set stays cached and costs nothing — run "
+                "bench_fig1_overall and\nexamples/pointer_chase_study to "
+                "watch the overhead emerge at realistic scales.\n");
+    return 0;
+}

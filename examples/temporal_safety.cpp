@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Temporal safety demonstration: use-after-free under CHERI with
+ * quarantine + revocation (the Cornucopia direction the paper cites).
+ *
+ * 1. allocate an object, store a capability to it in memory;
+ * 2. free it — without revocation, a reallocation lets the stale
+ *    capability read the new owner's data (the classic UAF);
+ * 3. with quarantine + a revocation sweep, the stale capability's tag
+ *    is cleared in memory and the dangling dereference traps.
+ */
+
+#include <cstdio>
+
+#include "abi/allocator.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/revoker.hpp"
+
+using namespace cheri;
+
+int
+main()
+{
+    std::printf("CHERI heap temporal safety: quarantine + revocation\n\n");
+
+    mem::BackingStore store;
+    mem::Revoker revoker(store);
+    abi::SimAllocator heap(abi::Abi::Purecap);
+
+    // A "victim" object with a secret, and a stored pointer to it.
+    const u64 size = 64;
+    const Addr victim = heap.allocate(size);
+    const cap::Capability victim_cap = heap.boundedCap(victim, size);
+    store.write(victim, 0xdeadbeef, 8);
+
+    const Addr pointer_slot = heap.allocate(16);
+    store.writeCap(pointer_slot, victim_cap);
+    std::printf("allocated object at 0x%llx; capability stored at "
+                "0x%llx\n",
+                static_cast<unsigned long long>(victim),
+                static_cast<unsigned long long>(pointer_slot));
+
+    // --- The unsafe path: free and reuse without revocation ---------
+    heap.free(victim, size);
+    const Addr reused = heap.allocate(size); // same block (LIFO reuse)
+    store.write(reused, 0x5ec7e7, 8);        // new owner's secret
+
+    auto stale = store.readCap(pointer_slot);
+    std::printf("\nwithout revocation:\n");
+    std::printf("  reallocated block at 0x%llx (reused: %s)\n",
+                static_cast<unsigned long long>(reused),
+                reused == victim ? "yes" : "no");
+    if (!stale.checkAccess(stale.address(), 8, false)) {
+        std::printf("  stale capability still works: read 0x%llx — "
+                    "use-after-free leaked the new secret!\n",
+                    static_cast<unsigned long long>(
+                        store.read(stale.address(), 8)));
+    }
+
+    // --- The safe path: quarantine + sweep ---------------------------
+    std::printf("\nwith quarantine + revocation:\n");
+    const Addr victim2 = heap.allocate(size);
+    const auto victim2_cap = heap.boundedCap(victim2, size);
+    store.writeCap(pointer_slot, victim2_cap);
+
+    // free(): the allocator would put the chunk in quarantine instead
+    // of on a free list.
+    revoker.quarantine(victim2, heap.paddedSize(size));
+    std::printf("  freed block quarantined (%llu bytes pending)\n",
+                static_cast<unsigned long long>(
+                    revoker.quarantinedBytes()));
+
+    const auto stats = revoker.sweep();
+    std::printf("  sweep: visited %llu tagged granules, revoked %llu "
+                "capabilities, released %llu bytes\n",
+                static_cast<unsigned long long>(stats.granulesVisited),
+                static_cast<unsigned long long>(stats.capsRevoked),
+                static_cast<unsigned long long>(stats.bytesReleased));
+    std::printf("  modeled sweep cost: %llu cycles\n",
+                static_cast<unsigned long long>(stats.modeledCycles()));
+
+    auto revoked = store.readCap(pointer_slot);
+    const auto fault = revoked.checkAccess(revoked.address(), 8, false);
+    if (fault) {
+        std::printf("  stale capability after sweep: %s\n",
+                    fault->toString().c_str());
+    } else {
+        std::printf("  UNEXPECTED: stale capability survived the "
+                    "sweep\n");
+        return 1;
+    }
+
+    std::printf("\nThe dangling pointer died in memory before the reuse "
+                "— temporal safety at the cost\nof the sweep, which is "
+                "why the paper flags the N1's handling of revocation "
+                "stores\nas a microarchitectural pain point.\n");
+    return 0;
+}

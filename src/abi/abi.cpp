@@ -1,0 +1,19 @@
+#include "abi/abi.hpp"
+
+namespace cheri::abi {
+
+const char *
+abiName(Abi abi)
+{
+    switch (abi) {
+      case Abi::Hybrid:
+        return "hybrid";
+      case Abi::Purecap:
+        return "purecap";
+      case Abi::Benchmark:
+        return "benchmark";
+    }
+    return "?";
+}
+
+} // namespace cheri::abi

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The three CheriBSD ABIs the paper compares (§2.4) and their
+ * code-generation traits.
+ */
+
+#ifndef CHERI_ABI_ABI_HPP
+#define CHERI_ABI_ABI_HPP
+
+#include <array>
+#include <string>
+
+#include "support/types.hpp"
+
+namespace cheri::abi {
+
+enum class Abi : u8 {
+    /**
+     * Hybrid (plain AArch64): conventional 64-bit integer pointers;
+     * capabilities only where explicitly annotated. The paper's
+     * performance baseline.
+     */
+    Hybrid,
+    /**
+     * Pure-capability: every pointer — language-level and
+     * sub-language (return addresses, GOT entries, stack/frame
+     * pointers) — is a 128-bit capability, and function calls use
+     * capability branches that install PCC bounds.
+     */
+    Purecap,
+    /**
+     * Purecap-benchmark: identical memory layout and near-identical
+     * code generation to purecap, but a single global PCC and integer
+     * jumps for calls/returns — sidestepping Morello's PCC-unaware
+     * branch predictor to isolate that artefact.
+     */
+    Benchmark,
+};
+
+inline constexpr std::array<Abi, 3> kAllAbis = {Abi::Hybrid, Abi::Purecap,
+                                                Abi::Benchmark};
+
+/** Human-readable ABI name as the paper prints it. */
+const char *abiName(Abi abi);
+
+/** Pointer width in bytes: 8 (hybrid) or 16 (capability ABIs). */
+constexpr u32
+pointerSize(Abi abi)
+{
+    return abi == Abi::Hybrid ? 8 : 16;
+}
+
+/** Pointer alignment requirement in bytes. */
+constexpr u32
+pointerAlign(Abi abi)
+{
+    return pointerSize(abi);
+}
+
+/** True when pointers are capabilities in memory (tagged, 16-byte). */
+constexpr bool
+capabilityPointers(Abi abi)
+{
+    return abi != Abi::Hybrid;
+}
+
+/**
+ * True when calls/returns use capability branches that install PCC
+ * bounds — the purecap mode only; the benchmark ABI replaces them
+ * with integer jumps under a global PCC.
+ */
+constexpr bool
+capabilityBranches(Abi abi)
+{
+    return abi == Abi::Purecap;
+}
+
+/**
+ * Approximate static code growth over hybrid from capability
+ * manipulation sequences (≈10% per §4.2's .text observations).
+ */
+constexpr double
+textGrowth(Abi abi)
+{
+    return abi == Abi::Hybrid ? 1.0 : 1.10;
+}
+
+} // namespace cheri::abi
+
+#endif // CHERI_ABI_ABI_HPP

@@ -1,0 +1,80 @@
+#include "abi/allocator.hpp"
+
+#include <algorithm>
+
+#include "cap/bounds.hpp"
+#include "support/logging.hpp"
+
+namespace cheri::abi {
+
+SimAllocator::SimAllocator(Abi abi, Addr heap_base, u64 heap_size)
+    : abi_(abi), heapBase_(heap_base), heapSize_(heap_size),
+      cursor_(heap_base)
+{
+    CHERI_ASSERT(heap_size > 0, "empty heap");
+}
+
+u64
+SimAllocator::paddedSize(u64 size) const
+{
+    if (size == 0)
+        size = 1;
+    // Every allocator rounds to a minimum granule; 16 bytes matches
+    // common size-class floors and the CHERI granule.
+    u64 padded = (size + 15) & ~15ULL;
+    if (capabilityPointers(abi_))
+        padded = cap::representableLength(padded);
+    return padded;
+}
+
+u64
+SimAllocator::alignmentFor(u64 size, u64 align) const
+{
+    u64 required = std::max<u64>(align, 16);
+    if (capabilityPointers(abi_)) {
+        const u64 mask = cap::representableAlignmentMask(size);
+        const u64 cheri_align = mask == ~0ULL ? 16 : (~mask + 1);
+        required = std::max(required, cheri_align);
+    }
+    return required;
+}
+
+Addr
+SimAllocator::allocate(u64 size, u64 align)
+{
+    const u64 padded = paddedSize(size);
+    ++stats_.allocations;
+    stats_.requestedBytes += size;
+
+    auto &list = freeLists_[padded];
+    if (!list.empty()) {
+        const Addr addr = list.back();
+        list.pop_back();
+        stats_.reservedBytes += padded;
+        return addr;
+    }
+
+    const u64 alignment = alignmentFor(padded, align);
+    Addr addr = (cursor_ + alignment - 1) & ~(alignment - 1);
+    CHERI_ASSERT(addr + padded <= heapBase_ + heapSize_,
+                 "simulated heap exhausted (", padded, " bytes)");
+    cursor_ = addr + padded;
+    stats_.reservedBytes += padded;
+    stats_.heapExtent = std::max(stats_.heapExtent, cursor_ - heapBase_);
+    return addr;
+}
+
+void
+SimAllocator::free(Addr addr, u64 size)
+{
+    ++stats_.frees;
+    freeLists_[paddedSize(size)].push_back(addr);
+}
+
+cap::Capability
+SimAllocator::boundedCap(Addr addr, u64 size) const
+{
+    return cap::Capability::dataRegion(addr, paddedSize(size));
+}
+
+} // namespace cheri::abi

@@ -1,0 +1,61 @@
+#include "abi/layout.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cheri::abi {
+
+namespace {
+
+u32
+alignUp(u32 value, u32 alignment)
+{
+    return (value + alignment - 1) & ~(alignment - 1);
+}
+
+} // namespace
+
+StructDesc::StructDesc(std::vector<Field> fields)
+    : fields_(std::move(fields))
+{
+    for (const Field &f : fields_) {
+        if (f.kind == Field::Kind::Scalar) {
+            CHERI_ASSERT(f.size == 1 || f.size == 2 || f.size == 4 ||
+                             f.size == 8,
+                         "scalar field size must be 1/2/4/8, got ", f.size);
+        }
+    }
+}
+
+RecordLayout
+StructDesc::layoutFor(Abi abi) const
+{
+    RecordLayout out;
+    u32 cursor = 0;
+    for (const Field &f : fields_) {
+        const bool is_ptr = f.kind == Field::Kind::Pointer;
+        const u32 size = is_ptr ? pointerSize(abi) : f.size;
+        const u32 natural = is_ptr ? pointerAlign(abi) : f.size;
+        const u32 align = f.align ? f.align : natural;
+        cursor = alignUp(cursor, align);
+        out.offsets.push_back(cursor);
+        cursor += size;
+        out.align = std::max(out.align, align);
+        if (is_ptr)
+            ++out.pointerCount;
+    }
+    out.size = alignUp(std::max(cursor, 1u), out.align);
+    return out;
+}
+
+double
+StructDesc::growthFactor() const
+{
+    const RecordLayout hybrid = layoutFor(Abi::Hybrid);
+    const RecordLayout purecap = layoutFor(Abi::Purecap);
+    return static_cast<double>(purecap.size) /
+           static_cast<double>(hybrid.size);
+}
+
+} // namespace cheri::abi

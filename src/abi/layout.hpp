@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Pointer-size-aware record layout.
+ *
+ * The dominant CHERI overhead mechanism the paper identifies is the
+ * doubling of pointer size: structures containing pointers grow,
+ * fewer objects fit per cache line and per page, and the memory
+ * hierarchy suffers (§4.7). StructDesc computes C-style field offsets
+ * and sizes for a record under each ABI so workloads get that
+ * expansion mechanically rather than by assumption.
+ */
+
+#ifndef CHERI_ABI_LAYOUT_HPP
+#define CHERI_ABI_LAYOUT_HPP
+
+#include <string>
+#include <vector>
+
+#include "abi/abi.hpp"
+#include "support/types.hpp"
+
+namespace cheri::abi {
+
+/** A field is either a fixed-size scalar or an ABI-sized pointer. */
+struct Field
+{
+    enum class Kind : u8 { Scalar, Pointer } kind = Kind::Scalar;
+    u32 size = 8;  //!< Bytes (scalars only; pointers use the ABI size).
+    u32 align = 0; //!< 0 = natural alignment (== size).
+    std::string name;
+
+    static Field
+    scalar(u32 size, std::string name = {})
+    {
+        return Field{Kind::Scalar, size, 0, std::move(name)};
+    }
+
+    static Field
+    pointer(std::string name = {})
+    {
+        return Field{Kind::Pointer, 0, 0, std::move(name)};
+    }
+};
+
+/** Concrete layout of one record under one ABI. */
+struct RecordLayout
+{
+    std::vector<u32> offsets; //!< Per field, in declaration order.
+    u32 size = 0;             //!< Including tail padding.
+    u32 align = 1;
+    u32 pointerCount = 0;
+
+    u32
+    offsetOf(std::size_t field) const
+    {
+        return offsets.at(field);
+    }
+};
+
+/** A record type: an ordered list of fields. */
+class StructDesc
+{
+  public:
+    StructDesc() = default;
+    explicit StructDesc(std::vector<Field> fields);
+
+    /** C layout rules: natural alignment, no reordering. */
+    RecordLayout layoutFor(Abi abi) const;
+
+    const std::vector<Field> &fields() const { return fields_; }
+
+    /** size(purecap) / size(hybrid): the paper's footprint expansion. */
+    double growthFactor() const;
+
+  private:
+    std::vector<Field> fields_;
+};
+
+} // namespace cheri::abi
+
+#endif // CHERI_ABI_LAYOUT_HPP

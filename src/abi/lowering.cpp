@@ -1,0 +1,311 @@
+#include "abi/lowering.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::abi {
+
+using isa::Opcode;
+using uarch::BranchKind;
+using uarch::DynOp;
+
+namespace {
+
+constexpr Addr kPage = 4096;
+constexpr Addr kGotBase = 0x2000'0000;
+constexpr Addr kGotStride = 0x10000;
+constexpr Addr kStackBase = 0x7fff'0000;
+
+} // namespace
+
+CodeMap::CodeMap(Abi abi, Addr text_base) : abi_(abi), cursor_(text_base)
+{
+}
+
+u32
+CodeMap::addFunction(u16 lib, u32 body_insts)
+{
+    if (lib != lastLib_) {
+        cursor_ = (cursor_ + kPage - 1) & ~(kPage - 1);
+        lastLib_ = lib;
+    }
+    const u32 bytes = static_cast<u32>(
+        static_cast<double>(body_insts) * 4 * textGrowth(abi_));
+    const u32 aligned = (bytes + 63) & ~63u; // line-align entries
+    Func f{lib, cursor_, aligned};
+    cursor_ += aligned;
+    textBytes_ += aligned;
+    funcs_.push_back(f);
+    return static_cast<u32>(funcs_.size() - 1);
+}
+
+const CodeMap::Func &
+CodeMap::func(u32 id) const
+{
+    CHERI_ASSERT(id < funcs_.size(), "bad function id ", id);
+    return funcs_[id];
+}
+
+Addr
+CodeMap::gotBase(u16 lib) const
+{
+    return kGotBase + static_cast<Addr>(lib) * kGotStride;
+}
+
+DynLowering::DynLowering(Abi abi, uarch::PipelineModel &pipe, CodeMap &code)
+    : abi_(abi), pipe_(pipe), code_(code), stackTop_(kStackBase)
+{
+}
+
+void
+DynLowering::enterFunction(u32 func)
+{
+    Frame frame;
+    frame.func = func;
+    frame.sp = stackTop_;
+    frames_.push_back(frame);
+}
+
+void
+DynLowering::loopBegin()
+{
+    CHERI_ASSERT(!frames_.empty(), "loopBegin outside any function");
+    frames_.back().cursor = 0;
+}
+
+Addr
+DynLowering::pcNext()
+{
+    CHERI_ASSERT(!frames_.empty(), "op emitted outside any function");
+    Frame &frame = frames_.back();
+    const CodeMap::Func &f = code_.func(frame.func);
+    const Addr pc = f.base + (frame.cursor % f.bytes);
+    frame.cursor += 4;
+    return pc;
+}
+
+void
+DynLowering::emitAlu(u32 n, Opcode op)
+{
+    for (u32 i = 0; i < n; ++i)
+        pipe_.issue(DynOp::alu(pcNext(), op));
+}
+
+void
+DynLowering::alu(u32 n)
+{
+    emitAlu(n);
+}
+
+void
+DynLowering::mul(u32 n)
+{
+    for (u32 i = 0; i < n; ++i) {
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::Mul));
+        // Morello lacks a capability-aware MADD: the capability ABIs
+        // split fused multiply-adds into MUL + ADD (§2.2).
+        if (capabilityPointers(abi_) && (i & 3) == 0)
+            pipe_.issue(DynOp::alu(pcNext(), Opcode::Add));
+    }
+}
+
+void
+DynLowering::fp(u32 n)
+{
+    for (u32 i = 0; i < n; ++i)
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::FMadd));
+}
+
+void
+DynLowering::vec(u32 n)
+{
+    for (u32 i = 0; i < n; ++i)
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::VFma));
+}
+
+void
+DynLowering::div()
+{
+    pipe_.issue(DynOp::alu(pcNext(), Opcode::Udiv));
+}
+
+void
+DynLowering::load(Addr addr, u32 size, bool dependent)
+{
+    pipe_.issue(DynOp::load(pcNext(), addr, static_cast<u8>(size), false,
+                            dependent));
+}
+
+void
+DynLowering::store(Addr addr, u32 size)
+{
+    pipe_.issue(DynOp::store(pcNext(), addr, static_cast<u8>(size), false));
+}
+
+void
+DynLowering::local(u32 n)
+{
+    CHERI_ASSERT(!frames_.empty(), "local() outside any function");
+    const Addr sp = frames_.back().sp;
+    for (u32 i = 0; i < n; ++i) {
+        const Addr slot = sp + 32 + 8 * (i % 6);
+        if (i & 1)
+            pipe_.issue(DynOp::store(pcNext(), slot, 8, false));
+        else
+            pipe_.issue(DynOp::load(pcNext(), slot, 8, false));
+    }
+}
+
+void
+DynLowering::loadPointer(Addr addr, bool dependent)
+{
+    const bool cap = capabilityPointers(abi_);
+    pipe_.issue(DynOp::load(pcNext(), addr, cap ? 16 : 8, cap, dependent));
+}
+
+void
+DynLowering::storePointer(Addr addr)
+{
+    const bool cap = capabilityPointers(abi_);
+    pipe_.issue(DynOp::store(pcNext(), addr, cap ? 16 : 8, cap));
+}
+
+void
+DynLowering::derivePointer()
+{
+    if (capabilityPointers(abi_)) {
+        // csetbounds + candperm-style derivation sequence.
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::CSetBoundsImm));
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::CAndPerm));
+    } else {
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::Add));
+    }
+}
+
+void
+DynLowering::capOverhead(u32 n)
+{
+    if (!capabilityPointers(abi_))
+        return;
+    for (u32 i = 0; i < n; ++i)
+        pipe_.issue(DynOp::alu(pcNext(), (i & 1) ? Opcode::CIncOffsetImm
+                                                 : Opcode::CSetAddr));
+}
+
+void
+DynLowering::globalAccess(u16 lib)
+{
+    const Addr got = code_.gotBase(lib) +
+                     (pcNext() % 64) * pointerSize(abi_);
+    const bool cap = capabilityPointers(abi_);
+    pipe_.issue(DynOp::load(pcNext(), got, cap ? 16 : 8, cap));
+}
+
+void
+DynLowering::branch(bool taken)
+{
+    const Addr pc = pcNext();
+    pipe_.issue(DynOp::condBranch(pc, taken, pc + 32));
+}
+
+void
+DynLowering::dispatch(u32 selector)
+{
+    const Addr pc = pcNext();
+    Frame &frame = frames_.back();
+    const CodeMap::Func &f = code_.func(frame.func);
+    const u32 offset = (selector * 64) % f.bytes;
+    pipe_.issue(DynOp::branchOp(pc, BranchKind::Indirect, true,
+                                f.base + offset, false));
+    // Execution continues in the selected handler's code region: the
+    // interpreter's instruction footprint spans the whole function.
+    frame.cursor = offset;
+}
+
+void
+DynLowering::prologue(Frame &frame)
+{
+    if (capabilityPointers(abi_)) {
+        // stp c29, c30: two 16-byte capability stores + CSP bookkeeping.
+        pipe_.issue(DynOp::store(pcNext(), frame.sp, 16, true));
+        pipe_.issue(DynOp::store(pcNext(), frame.sp + 16, 16, true));
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
+    } else {
+        // stp x29, x30: one 16-byte integer store pair.
+        pipe_.issue(DynOp::store(pcNext(), frame.sp, 16, false));
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::SubImm));
+    }
+}
+
+void
+DynLowering::epilogue(Frame &frame)
+{
+    if (capabilityPointers(abi_)) {
+        pipe_.issue(DynOp::load(pcNext(), frame.sp, 16, true));
+        pipe_.issue(DynOp::load(pcNext(), frame.sp + 16, 16, true));
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
+    } else {
+        pipe_.issue(DynOp::load(pcNext(), frame.sp, 16, false));
+        pipe_.issue(DynOp::alu(pcNext(), Opcode::AddImm));
+    }
+}
+
+void
+DynLowering::call(u32 callee, CallKind kind)
+{
+    CHERI_ASSERT(!frames_.empty(), "call outside any function");
+    const CodeMap::Func &caller = code_.func(frames_.back().func);
+    const CodeMap::Func &target = code_.func(callee);
+    const bool cross = caller.lib != target.lib;
+    const bool cap_branches = capabilityBranches(abi_);
+
+    switch (kind) {
+      case CallKind::Local:
+        pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Immed, true,
+                                    target.base, /*pcc_change=*/false,
+                                    /*is_call=*/true));
+        break;
+      case CallKind::CrossLib: {
+        // PLT/GOT indirection: load the target (a capability under the
+        // purecap ABIs), then branch indirect.
+        globalAccess(caller.lib);
+        pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Indirect, true,
+                                    target.base,
+                                    cap_branches && cross, true));
+        break;
+      }
+      case CallKind::Virtual:
+        pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Indirect, true,
+                                    target.base, cap_branches, true));
+        break;
+    }
+
+    const u64 frame_bytes = capabilityPointers(abi_) ? 96 : 64;
+    stackTop_ -= frame_bytes;
+
+    Frame frame;
+    frame.func = callee;
+    frame.sp = stackTop_;
+    frame.crossLib = cross;
+    frames_.push_back(frame);
+    prologue(frame);
+}
+
+void
+DynLowering::ret()
+{
+    CHERI_ASSERT(frames_.size() > 1, "ret from the outermost frame");
+    epilogue(frames_.back());
+    const Addr ret_pc = pcNext(); // the RET executes in the callee
+    const Frame frame = frames_.back();
+    frames_.pop_back();
+    stackTop_ = frame.sp + (capabilityPointers(abi_) ? 96 : 64);
+
+    const CodeMap::Func &caller = code_.func(frames_.back().func);
+    const Addr return_target =
+        caller.base + (frames_.back().cursor % caller.bytes);
+    pipe_.issue(DynOp::branchOp(
+        ret_pc, BranchKind::Return, true, return_target,
+        capabilityBranches(abi_) && frame.crossLib, false));
+}
+
+} // namespace cheri::abi

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Dynamic ABI lowering: the bridge between portable workload
+ * behaviour and the per-ABI MorelloLite operation stream.
+ *
+ * Workload generators describe what a program does in portable terms
+ * (scalar/pointer loads and stores, pointer derivation, local /
+ * cross-library / virtual calls, arithmetic). DynLowering expands
+ * each portable action into the dynamic ops the CHERI LLVM compiler
+ * would have emitted for the selected ABI, and feeds them to the
+ * pipeline model:
+ *
+ *  - pointer loads/stores: 8-byte scalars under hybrid; 16-byte
+ *    tagged capability accesses under purecap/benchmark;
+ *  - pointer derivation (malloc bounds, pointer arithmetic): extra
+ *    capability-manipulation DP ops under the capability ABIs;
+ *  - cross-library and virtual calls: GOT indirection, and — under
+ *    purecap only — capability branches that install PCC bounds and
+ *    stall Morello's bounds-unaware predictor;
+ *  - prologue/epilogue: frame saves are 16-byte under hybrid
+ *    (stp x29,x30) but two 16-byte capability stores under the
+ *    capability ABIs, doubling store-queue pressure.
+ */
+
+#ifndef CHERI_ABI_LOWERING_HPP
+#define CHERI_ABI_LOWERING_HPP
+
+#include <vector>
+
+#include "abi/abi.hpp"
+#include "support/types.hpp"
+#include "uarch/pipeline.hpp"
+
+namespace cheri::abi {
+
+/** How a call site behaves. */
+enum class CallKind : u8 {
+    Local,    //!< Direct call within the same link unit.
+    CrossLib, //!< Call into another library via GOT/PLT.
+    Virtual,  //!< Indirect call through a loaded function pointer.
+};
+
+/**
+ * Synthetic code layout: functions with estimated sizes, grouped into
+ * libraries. Code addresses drive the L1I / ITLB models; capability
+ * ABIs grow text by abi::textGrowth().
+ */
+class CodeMap
+{
+  public:
+    struct Func
+    {
+        u16 lib = 0;
+        Addr base = 0;
+        u32 bytes = 0;
+    };
+
+    explicit CodeMap(Abi abi, Addr text_base = 0x10000);
+
+    /**
+     * Register a function.
+     * @param lib Link unit (0 = main executable).
+     * @param body_insts Estimated hybrid instruction count of its body.
+     */
+    u32 addFunction(u16 lib, u32 body_insts);
+
+    const Func &func(u32 id) const;
+
+    /** Address of the GOT region for a library. */
+    Addr gotBase(u16 lib) const;
+
+    Abi abi() const { return abi_; }
+    u64 textBytes() const { return textBytes_; }
+
+  private:
+    Abi abi_;
+    Addr cursor_;
+    u16 lastLib_ = 0xffff;
+    u64 textBytes_ = 0;
+    std::vector<Func> funcs_;
+};
+
+class DynLowering
+{
+  public:
+    DynLowering(Abi abi, uarch::PipelineModel &pipe, CodeMap &code);
+
+    Abi abi() const { return abi_; }
+
+    /** Start execution inside @p func (the workload's "main"). */
+    void enterFunction(u32 func);
+
+    /**
+     * Mark the top of the current function's main loop: rewinds the
+     * PC cursor to the function start so every iteration re-executes
+     * the same instruction addresses. Without this, branch PCs would
+     * never repeat and no predictor could learn — real loop bodies
+     * sit at fixed addresses.
+     */
+    void loopBegin();
+
+    // --- Straight-line portable operations ---------------------------
+    /** @p n integer ALU operations. */
+    void alu(u32 n = 1);
+    /** Integer multiplies; purecap loses MADD fusion (§2.2). */
+    void mul(u32 n = 1);
+    /** Scalar FP operations. */
+    void fp(u32 n = 1);
+    /** SIMD operations (ASE). */
+    void vec(u32 n = 1);
+    /** One divide (long-latency). */
+    void div();
+
+    /** Scalar data load; @p dependent marks pointer-chased addresses. */
+    void load(Addr addr, u32 size, bool dependent = false);
+    void store(Addr addr, u32 size);
+
+    /**
+     * Local-variable traffic: @p n alternating loads/stores against
+     * the current stack frame (always cache-hot). Real code spends a
+     * large share of its memory operations on spills and locals;
+     * kernels sprinkle this in to keep access mixes realistic.
+     */
+    void local(u32 n);
+
+    /** Load/store of a pointer field (capability under purecap). */
+    void loadPointer(Addr addr, bool dependent = false);
+    void storePointer(Addr addr);
+
+    /**
+     * Pointer derivation: malloc-result bounding, array indexing into
+     * a fresh pointer, etc. Capability ABIs pay extra DP ops.
+     */
+    void derivePointer();
+
+    /**
+     * Capability-codegen tax: @p n extra capability-manipulation DP
+     * ops emitted only under the capability ABIs. Models the
+     * instruction-count inflation of CHERI C/C++ code generation on
+     * pointer-dense source (provenance-preserving arithmetic, bounds
+     * re-derivation, lost fusions) that drives the paper's DP_SPEC
+     * share increase of 5-29% (§4.6).
+     */
+    void capOverhead(u32 n);
+
+    /** Access to a global via the GOT (capability-sized in purecap). */
+    void globalAccess(u16 lib);
+
+    /** A conditional branch with the given resolved direction. */
+    void branch(bool taken);
+
+    /**
+     * Interpreter-style indirect dispatch within the current function:
+     * @p selector identifies the jump target (e.g. bytecode opcode).
+     */
+    void dispatch(u32 selector);
+
+    // --- Calls ---------------------------------------------------------
+    void call(u32 callee, CallKind kind);
+    void ret();
+
+    /** Depth of the simulated call stack. */
+    std::size_t callDepth() const { return frames_.size(); }
+
+  private:
+    struct Frame
+    {
+        u32 func = 0;
+        u32 cursor = 0;    //!< Byte offset within the function body.
+        Addr sp = 0;       //!< Frame's stack address.
+        bool crossLib = false;
+    };
+
+    Addr pcNext();
+    void emitAlu(u32 n, isa::Opcode op = isa::Opcode::Add);
+    void prologue(Frame &frame);
+    void epilogue(Frame &frame);
+
+    Abi abi_;
+    uarch::PipelineModel &pipe_;
+    CodeMap &code_;
+    std::vector<Frame> frames_;
+    Addr stackTop_;
+};
+
+} // namespace cheri::abi
+
+#endif // CHERI_ABI_LOWERING_HPP

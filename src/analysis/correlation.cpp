@@ -1,0 +1,96 @@
+#include "analysis/correlation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace cheri::analysis {
+
+CorrelationMatrix::CorrelationMatrix(
+    std::vector<std::string> labels,
+    const std::vector<std::vector<double>> &samples)
+    : labels_(std::move(labels))
+{
+    const std::size_t n = labels_.size();
+    for (const auto &row : samples)
+        CHERI_ASSERT(row.size() == n, "sample width mismatch");
+
+    // Transpose: one series per metric.
+    std::vector<std::vector<double>> series(n);
+    for (const auto &row : samples)
+        for (std::size_t m = 0; m < n; ++m)
+            series[m].push_back(row[m]);
+
+    values_.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            values_[i * n + j] =
+                i == j ? 1.0 : pearson(series[i], series[j]);
+        }
+    }
+}
+
+double
+CorrelationMatrix::at(std::size_t i, std::size_t j) const
+{
+    CHERI_ASSERT(i < size() && j < size(), "correlation index");
+    return values_[i * size() + j];
+}
+
+std::vector<CorrelationMatrix::Pair>
+CorrelationMatrix::strongPairs(double threshold) const
+{
+    std::vector<Pair> out;
+    for (std::size_t i = 0; i < size(); ++i)
+        for (std::size_t j = i + 1; j < size(); ++j)
+            if (std::abs(at(i, j)) >= threshold)
+                out.push_back({labels_[i], labels_[j], at(i, j)});
+    std::sort(out.begin(), out.end(), [](const Pair &a, const Pair &b) {
+        return std::abs(a.r) > std::abs(b.r);
+    });
+    return out;
+}
+
+std::string
+CorrelationMatrix::render(int precision) const
+{
+    std::vector<std::string> headers = {"metric"};
+    headers.insert(headers.end(), labels_.begin(), labels_.end());
+    AsciiTable table(std::move(headers));
+    for (std::size_t i = 0; i < size(); ++i) {
+        table.beginRow();
+        table.cell(labels_[i]);
+        for (std::size_t j = 0; j < size(); ++j)
+            table.cell(at(i, j), precision);
+    }
+    return table.render();
+}
+
+CorrelationMatrix
+correlateMetrics(const std::vector<DerivedMetrics> &per_workload,
+                 const std::vector<std::string> &metric_names)
+{
+    const auto &fields = allMetricFields();
+    std::vector<const MetricField *> selected;
+    for (const auto &name : metric_names) {
+        const auto it =
+            std::find_if(fields.begin(), fields.end(),
+                         [&](const MetricField &f) { return f.name == name; });
+        CHERI_ASSERT(it != fields.end(), "unknown metric '", name, "'");
+        selected.push_back(&*it);
+    }
+
+    std::vector<std::vector<double>> samples;
+    for (const auto &metrics : per_workload) {
+        std::vector<double> row;
+        for (const auto *field : selected)
+            row.push_back(metrics.*(field->member));
+        samples.push_back(std::move(row));
+    }
+    return CorrelationMatrix(metric_names, samples);
+}
+
+} // namespace cheri::analysis

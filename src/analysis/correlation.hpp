@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The cross-metric Pearson correlation analysis behind Figure 7: how
+ * strongly PMU metrics move together across workloads, per ABI. The
+ * paper uses this to show that under purecap the capability events
+ * (CAP_MEM_ACCESS_*) become strongly coupled to cache-refill and TLB
+ * behaviour.
+ */
+
+#ifndef CHERI_ANALYSIS_CORRELATION_HPP
+#define CHERI_ANALYSIS_CORRELATION_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+
+namespace cheri::analysis {
+
+class CorrelationMatrix
+{
+  public:
+    /**
+     * Build from per-workload metric samples: element (i, j) is the
+     * Pearson correlation of metric i and metric j across workloads.
+     *
+     * @param labels Metric names (rows == columns).
+     * @param samples samples[w][m]: value of metric m for workload w.
+     */
+    CorrelationMatrix(std::vector<std::string> labels,
+                      const std::vector<std::vector<double>> &samples);
+
+    double at(std::size_t i, std::size_t j) const;
+    const std::vector<std::string> &labels() const { return labels_; }
+    std::size_t size() const { return labels_.size(); }
+
+    /** Pairs with |r| >= threshold (i < j), strongest first. */
+    struct Pair
+    {
+        std::string a;
+        std::string b;
+        double r;
+    };
+    std::vector<Pair> strongPairs(double threshold = 0.8) const;
+
+    /** Render as an aligned table. */
+    std::string render(int precision = 2) const;
+
+  private:
+    std::vector<std::string> labels_;
+    std::vector<double> values_; //!< size x size, row-major.
+};
+
+/**
+ * The Figure 7 pipeline: compute Table 1 metrics for every workload
+ * and correlate a selected subset across workloads.
+ */
+CorrelationMatrix
+correlateMetrics(const std::vector<DerivedMetrics> &per_workload,
+                 const std::vector<std::string> &metric_names);
+
+} // namespace cheri::analysis
+
+#endif // CHERI_ANALYSIS_CORRELATION_HPP

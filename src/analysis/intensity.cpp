@@ -1,0 +1,37 @@
+#include "analysis/intensity.hpp"
+
+#include "analysis/metrics.hpp"
+
+namespace cheri::analysis {
+
+IntensityClass
+classifyIntensity(double mi)
+{
+    if (mi < 0.6)
+        return IntensityClass::ComputeIntensive;
+    if (mi <= 1.0)
+        return IntensityClass::Balanced;
+    return IntensityClass::MemoryCentric;
+}
+
+const char *
+intensityClassName(IntensityClass cls)
+{
+    switch (cls) {
+      case IntensityClass::ComputeIntensive:
+        return "compute-intensive";
+      case IntensityClass::Balanced:
+        return "balanced";
+      case IntensityClass::MemoryCentric:
+        return "memory-centric";
+    }
+    return "?";
+}
+
+double
+memoryIntensity(const pmu::EventCounts &counts)
+{
+    return DerivedMetrics::compute(counts).memoryIntensity;
+}
+
+} // namespace cheri::analysis

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Memory-intensity classification (§3.3, Table 2): the instruction-
+ * mix-based MI metric partitions workloads into compute-intensive,
+ * balanced, and memory-centric classes.
+ */
+
+#ifndef CHERI_ANALYSIS_INTENSITY_HPP
+#define CHERI_ANALYSIS_INTENSITY_HPP
+
+#include "pmu/counts.hpp"
+
+namespace cheri::analysis {
+
+enum class IntensityClass {
+    ComputeIntensive, //!< MI below ~0.6
+    Balanced,         //!< MI between ~0.6 and 1.0
+    MemoryCentric,    //!< MI above 1.0
+};
+
+/** Classify a memory-intensity value per the paper's thresholds. */
+IntensityClass classifyIntensity(double mi);
+
+const char *intensityClassName(IntensityClass cls);
+
+/** MI straight from counts: (LD+ST)/(DP+ASE+VFP). */
+double memoryIntensity(const pmu::EventCounts &counts);
+
+} // namespace cheri::analysis
+
+#endif // CHERI_ANALYSIS_INTENSITY_HPP

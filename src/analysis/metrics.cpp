@@ -1,0 +1,126 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+
+namespace cheri::analysis {
+
+using pmu::Event;
+
+namespace {
+
+double
+ratio(double num, double den)
+{
+    return den != 0.0 ? num / den : 0.0;
+}
+
+} // namespace
+
+u64
+sumSpecEvents(const pmu::EventCounts &counts)
+{
+    // Table 1 note: *_SPEC means INST_SPEC, LD_SPEC, ST_SPEC, DP_SPEC,
+    // ASE_SPEC, BR_RETURN_SPEC, BR_INDIRECT_SPEC, BR_IMMED_SPEC,
+    // VFP_SPEC, CRYPTO_SPEC.
+    return counts.get(Event::InstSpec) + counts.get(Event::LdSpec) +
+           counts.get(Event::StSpec) + counts.get(Event::DpSpec) +
+           counts.get(Event::AseSpec) + counts.get(Event::BrReturnSpec) +
+           counts.get(Event::BrIndirectSpec) +
+           counts.get(Event::BrImmedSpec) + counts.get(Event::VfpSpec) +
+           counts.get(Event::CryptoSpec);
+}
+
+DerivedMetrics
+DerivedMetrics::compute(const pmu::EventCounts &counts)
+{
+    DerivedMetrics m;
+    const double cycles = counts.getF(Event::CpuCycles);
+    const double retired = counts.getF(Event::InstRetired);
+    const double kilo_inst = retired / 1000.0;
+
+    m.ipc = ratio(retired, cycles);
+    m.cpi = ratio(cycles, retired);
+
+    m.frontendBound = ratio(counts.getF(Event::StallFrontend), cycles);
+    m.backendBound = ratio(counts.getF(Event::StallBackend), cycles);
+    m.retiring = ratio(counts.getF(Event::InstSpec),
+                       static_cast<double>(sumSpecEvents(counts)));
+    m.badSpeculation = std::clamp(
+        1.0 - m.retiring - m.frontendBound - m.backendBound, 0.0, 1.0);
+
+    m.branchMissRate = ratio(counts.getF(Event::BrMisPredRetired),
+                             counts.getF(Event::BrRetired));
+
+    m.l1iMissRate = ratio(counts.getF(Event::L1iCacheRefill),
+                          counts.getF(Event::L1iCache));
+    m.l1iMpki = ratio(counts.getF(Event::L1iCacheRefill), kilo_inst);
+    m.l1dMissRate = ratio(counts.getF(Event::L1dCacheRefill),
+                          counts.getF(Event::L1dCache));
+    m.l1dMpki = ratio(counts.getF(Event::L1dCacheRefill), kilo_inst);
+    m.l2MissRate = ratio(counts.getF(Event::L2dCacheRefill),
+                         counts.getF(Event::L2dCache));
+    m.l2Mpki = ratio(counts.getF(Event::L2dCacheRefill), kilo_inst);
+    m.llcReadMissRate = ratio(counts.getF(Event::LlCacheMissRd),
+                              counts.getF(Event::LlCacheRd));
+    m.llcReadMpki = ratio(counts.getF(Event::LlCacheMissRd), kilo_inst);
+
+    m.itlbWalkRate = ratio(counts.getF(Event::ItlbWalk),
+                           counts.getF(Event::L1iTlb));
+    m.itlbWpki = ratio(counts.getF(Event::ItlbWalk), kilo_inst);
+    m.dtlbWalkRate = ratio(counts.getF(Event::DtlbWalk),
+                           counts.getF(Event::L1dTlb));
+    m.dtlbWpki = ratio(counts.getF(Event::DtlbWalk), kilo_inst);
+
+    m.capLoadDensity = ratio(counts.getF(Event::CapMemAccessRd),
+                             counts.getF(Event::LdSpec));
+    m.capStoreDensity = ratio(counts.getF(Event::CapMemAccessWr),
+                              counts.getF(Event::StSpec));
+    const double all_accesses = counts.getF(Event::MemAccessRd) +
+                                counts.getF(Event::MemAccessWr);
+    m.capTrafficShare = ratio(counts.getF(Event::CapMemAccessRd) +
+                                  counts.getF(Event::CapMemAccessWr),
+                              all_accesses);
+    m.capTagOverhead = ratio(counts.getF(Event::MemAccessRdCtag) +
+                                 counts.getF(Event::MemAccessWrCtag),
+                             all_accesses);
+
+    m.memoryIntensity =
+        ratio(counts.getF(Event::LdSpec) + counts.getF(Event::StSpec),
+              counts.getF(Event::DpSpec) + counts.getF(Event::AseSpec) +
+                  counts.getF(Event::VfpSpec));
+    return m;
+}
+
+const std::vector<MetricField> &
+allMetricFields()
+{
+    static const std::vector<MetricField> kFields = {
+        {"IPC", &DerivedMetrics::ipc},
+        {"CPI", &DerivedMetrics::cpi},
+        {"FrontendBound", &DerivedMetrics::frontendBound},
+        {"BackendBound", &DerivedMetrics::backendBound},
+        {"Retiring", &DerivedMetrics::retiring},
+        {"BadSpeculation", &DerivedMetrics::badSpeculation},
+        {"BranchMR", &DerivedMetrics::branchMissRate},
+        {"L1I_MR", &DerivedMetrics::l1iMissRate},
+        {"L1I_MPKI", &DerivedMetrics::l1iMpki},
+        {"L1D_MR", &DerivedMetrics::l1dMissRate},
+        {"L1D_MPKI", &DerivedMetrics::l1dMpki},
+        {"L2_MR", &DerivedMetrics::l2MissRate},
+        {"L2_MPKI", &DerivedMetrics::l2Mpki},
+        {"LLC_Read_MR", &DerivedMetrics::llcReadMissRate},
+        {"LLC_Read_MPKI", &DerivedMetrics::llcReadMpki},
+        {"ITLB_WalkRate", &DerivedMetrics::itlbWalkRate},
+        {"ITLB_WPKI", &DerivedMetrics::itlbWpki},
+        {"DTLB_WalkRate", &DerivedMetrics::dtlbWalkRate},
+        {"DTLB_WPKI", &DerivedMetrics::dtlbWpki},
+        {"CapLoadDensity", &DerivedMetrics::capLoadDensity},
+        {"CapStoreDensity", &DerivedMetrics::capStoreDensity},
+        {"CapTrafficShare", &DerivedMetrics::capTrafficShare},
+        {"CapTagOverhead", &DerivedMetrics::capTagOverhead},
+        {"MemoryIntensity", &DerivedMetrics::memoryIntensity},
+    };
+    return kFields;
+}
+
+} // namespace cheri::analysis

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 1 of the paper: the derived metrics computed from raw PMU
+ * events, implemented exactly by the paper's formulas (including its
+ * approximations — e.g. Retiring% as INST_SPEC / SUM(*_SPEC) and Bad
+ * Speculation as the residual, both of which the model's ground-truth
+ * slot accounting in topdown.hpp can be checked against).
+ */
+
+#ifndef CHERI_ANALYSIS_METRICS_HPP
+#define CHERI_ANALYSIS_METRICS_HPP
+
+#include <string>
+#include <vector>
+
+#include "pmu/counts.hpp"
+
+namespace cheri::analysis {
+
+struct DerivedMetrics
+{
+    // Cycle accounting.
+    double ipc = 0;
+    double cpi = 0;
+
+    // Top-level stalls (paper approximations).
+    double frontendBound = 0; //!< STALL_FRONTEND / CPU_CYCLES
+    double backendBound = 0;  //!< STALL_BACKEND / CPU_CYCLES
+    double retiring = 0;      //!< INST_SPEC / SUM(*_SPEC)
+    double badSpeculation = 0; //!< residual, clamped to [0, 1]
+
+    // Branch prediction.
+    double branchMissRate = 0;
+
+    // Cache hierarchy.
+    double l1iMissRate = 0;
+    double l1iMpki = 0;
+    double l1dMissRate = 0;
+    double l1dMpki = 0;
+    double l2MissRate = 0;
+    double l2Mpki = 0;
+    double llcReadMissRate = 0;
+    double llcReadMpki = 0;
+
+    // TLBs.
+    double itlbWalkRate = 0;
+    double itlbWpki = 0;
+    double dtlbWalkRate = 0;
+    double dtlbWpki = 0;
+
+    // CHERI-specific.
+    double capLoadDensity = 0;   //!< CAP_MEM_ACCESS_RD / LD_SPEC
+    double capStoreDensity = 0;  //!< CAP_MEM_ACCESS_WR / ST_SPEC
+    double capTrafficShare = 0;  //!< cap accesses / all accesses
+    double capTagOverhead = 0;   //!< ctag accesses / all accesses
+
+    // Instruction-mix-based memory intensity (Table 2).
+    double memoryIntensity = 0; //!< (LD+ST) / (DP+ASE+VFP)
+
+    /** Compute every metric from a full (or merged) count vector. */
+    static DerivedMetrics compute(const pmu::EventCounts &counts);
+};
+
+/** SUM(*_SPEC) as the paper defines it (Table 1 footnote). */
+u64 sumSpecEvents(const pmu::EventCounts &counts);
+
+/**
+ * A named metric accessor, used by the correlation analysis and the
+ * table printers to iterate "all Table 1 metrics".
+ */
+struct MetricField
+{
+    std::string name;
+    double DerivedMetrics::*member;
+};
+
+const std::vector<MetricField> &allMetricFields();
+
+} // namespace cheri::analysis
+
+#endif // CHERI_ANALYSIS_METRICS_HPP

@@ -1,0 +1,64 @@
+#include "analysis/projection.hpp"
+
+namespace cheri::analysis {
+
+std::vector<ProjectionScenario>
+standardScenarios()
+{
+    return {
+        {"cap-aware-bp",
+         "Branch predictor tracks PCC bounds (no capability-branch stalls)",
+         [](sim::MachineConfig &config) {
+             config.pipe.bp.cap_aware = true;
+         }},
+        {"wide-store-queue",
+         "Store-queue entries widened to capability size",
+         [](sim::MachineConfig &config) {
+             config.pipe.sq.wide_entries = true;
+         }},
+        {"cheri-tuned-core",
+         "Capability-aware predictor + capability-sized store queue",
+         [](sim::MachineConfig &config) {
+             config.pipe.bp.cap_aware = true;
+             config.pipe.sq.wide_entries = true;
+         }},
+        {"double-l1d",
+         "128 KiB L1D (non-CHERI control for the footprint pressure)",
+         [](sim::MachineConfig &config) {
+             config.mem.l1d.size_bytes *= 2;
+         }},
+        {"serial-tag-lookup",
+         "Pessimistic control: +4 cycles on every capability access",
+         [](sim::MachineConfig &config) {
+             config.mem.tag_extra_latency = 4;
+         }},
+    };
+}
+
+std::vector<ProjectionResult>
+runProjections(
+    const std::function<sim::SimResult(const sim::MachineConfig &)> &runner,
+    const sim::MachineConfig &baseline,
+    const std::vector<ProjectionScenario> &scenarios)
+{
+    std::vector<ProjectionResult> out;
+
+    const sim::SimResult base = runner(baseline);
+    out.push_back({"baseline", base.seconds, 1.0, base.ipc()});
+
+    for (const auto &scenario : scenarios) {
+        sim::MachineConfig config = baseline;
+        scenario.apply(config);
+        const sim::SimResult result = runner(config);
+        ProjectionResult row;
+        row.scenario = scenario.name;
+        row.seconds = result.seconds;
+        row.speedupVsBaseline =
+            result.seconds > 0 ? base.seconds / result.seconds : 0.0;
+        row.ipc = result.ipc();
+        out.push_back(row);
+    }
+    return out;
+}
+
+} // namespace cheri::analysis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * What-if projection of microarchitectural improvements.
+ *
+ * The paper's abstract claims "modest microarchitectural improvements
+ * could significantly reduce these costs". Because our substrate is a
+ * model, we can run the claim directly: re-simulate a workload with
+ * Morello's prototype artefacts individually repaired —
+ *
+ *   - a capability-aware branch predictor (no PCC-bounds stalls; what
+ *     the purecap-benchmark ABI approximates in software),
+ *   - capability-sized store-queue entries,
+ *   - both combined ("CHERI-tuned core"),
+ *   - a doubled L1D as a non-CHERI control,
+ *
+ * and report the projected speedups.
+ */
+
+#ifndef CHERI_ANALYSIS_PROJECTION_HPP
+#define CHERI_ANALYSIS_PROJECTION_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace cheri::analysis {
+
+struct ProjectionScenario
+{
+    std::string name;
+    std::string description;
+    std::function<void(sim::MachineConfig &)> apply;
+};
+
+/** The standard scenario set described above. */
+std::vector<ProjectionScenario> standardScenarios();
+
+struct ProjectionResult
+{
+    std::string scenario;
+    double seconds = 0;
+    double speedupVsBaseline = 1.0; //!< baseline seconds / scenario seconds
+    double ipc = 0;
+};
+
+/**
+ * Run @p runner under the baseline config and under each scenario.
+ * The first result is the baseline itself.
+ */
+std::vector<ProjectionResult> runProjections(
+    const std::function<sim::SimResult(const sim::MachineConfig &)> &runner,
+    const sim::MachineConfig &baseline,
+    const std::vector<ProjectionScenario> &scenarios = standardScenarios());
+
+} // namespace cheri::analysis
+
+#endif // CHERI_ANALYSIS_PROJECTION_HPP

@@ -1,0 +1,81 @@
+#include "analysis/topdown.hpp"
+
+#include <algorithm>
+
+#include "analysis/metrics.hpp"
+
+namespace cheri::analysis {
+
+using pmu::Event;
+
+namespace {
+
+double
+ratio(double num, double den)
+{
+    return den != 0.0 ? num / den : 0.0;
+}
+
+void
+fillBackendDrilldown(TopDown &td, const pmu::EventCounts &counts)
+{
+    const double cycles = counts.getF(Event::CpuCycles);
+    td.l1Bound = ratio(counts.getF(Event::StallMemL1), cycles);
+    td.l2Bound = ratio(counts.getF(Event::StallMemL2), cycles);
+    td.extMemBound = ratio(counts.getF(Event::StallMemExt), cycles);
+    td.memoryBound = td.l1Bound + td.l2Bound + td.extMemBound;
+    td.coreBound = ratio(counts.getF(Event::StallCore), cycles);
+    td.pccStallShare = ratio(counts.getF(Event::PccStall), cycles);
+}
+
+} // namespace
+
+TopDown
+TopDown::fromModelTruth(const pmu::EventCounts &counts)
+{
+    TopDown td;
+    const double slots = counts.getF(Event::SlotsTotal);
+    td.retiring = ratio(counts.getF(Event::SlotsRetired), slots);
+    td.badSpeculation = ratio(counts.getF(Event::SlotsBadSpec), slots);
+    td.frontendBound = ratio(counts.getF(Event::SlotsFrontend), slots);
+    td.backendBound = ratio(counts.getF(Event::SlotsBackend), slots);
+    fillBackendDrilldown(td, counts);
+    return td;
+}
+
+TopDown
+TopDown::fromPaperFormulas(const pmu::EventCounts &counts)
+{
+    TopDown td;
+    const double cycles = counts.getF(Event::CpuCycles);
+    td.frontendBound = ratio(counts.getF(Event::StallFrontend), cycles);
+    td.backendBound = ratio(counts.getF(Event::StallBackend), cycles);
+    td.retiring = ratio(counts.getF(Event::InstSpec),
+                        static_cast<double>(sumSpecEvents(counts)));
+    td.badSpeculation = std::clamp(
+        1.0 - td.retiring - td.frontendBound - td.backendBound, 0.0, 1.0);
+    fillBackendDrilldown(td, counts);
+    return td;
+}
+
+std::string
+TopDown::dominantCategory() const
+{
+    struct
+    {
+        double value;
+        const char *name;
+    } const entries[] = {
+        {retiring, "retiring"},
+        {badSpeculation, "bad-speculation"},
+        {frontendBound, "frontend-bound"},
+        {backendBound, "backend-bound"},
+    };
+    const auto *best = &entries[0];
+    for (const auto &entry : entries)
+        if (entry.value > best->value)
+            best = &entry;
+    return best->name;
+}
+
+} // namespace cheri::analysis

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hierarchical top-down pipeline analysis (§3.1, Yasin 2014, Arm
+ * Neoverse N1 methodology): classify every pipeline slot as Retiring,
+ * Bad Speculation, Frontend Bound or Backend Bound, then drill the
+ * backend into memory-bound (by servicing level) and core-bound.
+ *
+ * Two variants are provided:
+ *  - fromModelTruth(): uses the simulator's exact slot accounting
+ *    (the Slots* / StallMem* model events) — what ideal hardware
+ *    would report;
+ *  - fromPaperFormulas(): uses only architectural events with the
+ *    paper's approximations, for methodological fidelity.
+ */
+
+#ifndef CHERI_ANALYSIS_TOPDOWN_HPP
+#define CHERI_ANALYSIS_TOPDOWN_HPP
+
+#include <string>
+
+#include "pmu/counts.hpp"
+
+namespace cheri::analysis {
+
+struct TopDown
+{
+    // Top level (fractions of all pipeline slots; sums to ~1).
+    double retiring = 0;
+    double badSpeculation = 0;
+    double frontendBound = 0;
+    double backendBound = 0;
+
+    // Backend drill-down (fractions of cycles).
+    double memoryBound = 0;
+    double l1Bound = 0;
+    double l2Bound = 0;
+    double extMemBound = 0;
+    double coreBound = 0;
+
+    // Frontend drill-down.
+    double pccStallShare = 0; //!< Fraction of cycles in PCC-bound stalls.
+
+    static TopDown fromModelTruth(const pmu::EventCounts &counts);
+    static TopDown fromPaperFormulas(const pmu::EventCounts &counts);
+
+    /** The dominant top-level category's name. */
+    std::string dominantCategory() const;
+};
+
+} // namespace cheri::analysis
+
+#endif // CHERI_ANALYSIS_TOPDOWN_HPP

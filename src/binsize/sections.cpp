@@ -1,0 +1,109 @@
+#include "binsize/sections.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::binsize {
+
+namespace {
+
+/** ELF64 rela entry size. */
+constexpr u64 kRelaEntry = 24;
+/** CHERI __cap_relocs entry (base, offset, length, perms, pad). */
+constexpr u64 kCapRelocEntry = 40;
+
+} // namespace
+
+u64
+SectionSizes::total() const
+{
+    u64 sum = 0;
+    for (const auto &[name, size] : bytes)
+        sum += size;
+    return sum;
+}
+
+u64
+SectionSizes::get(const std::string &section) const
+{
+    const auto it = bytes.find(section);
+    return it == bytes.end() ? 0 : it->second;
+}
+
+const std::vector<std::string> &
+sectionNames()
+{
+    static const std::vector<std::string> kNames = {
+        ".text",        ".rodata",     ".data",   ".bss",
+        ".rela.dyn",    ".got",        ".data.rel.ro",
+        ".note.cheri",  ".debug",      ".others",
+    };
+    return kNames;
+}
+
+SectionSizes
+computeSections(const BinaryProfile &profile, abi::Abi abi)
+{
+    const bool cap = abi::capabilityPointers(abi);
+    const u64 ptr = abi::pointerSize(abi);
+
+    SectionSizes out;
+
+    out.bytes[".text"] = static_cast<u64>(
+        static_cast<double>(profile.text_bytes) * abi::textGrowth(abi));
+
+    // Constant pointer tables live in .rodata under hybrid but must
+    // move to .data.rel.ro under the capability ABIs.
+    const u64 rodata_tables_hybrid = profile.rodata_pointer_entries * 8;
+    out.bytes[".rodata"] =
+        profile.rodata_scalar_bytes + (cap ? 0 : rodata_tables_hybrid);
+    out.bytes[".data.rel.ro"] =
+        cap ? profile.rodata_pointer_entries * ptr : 0;
+
+    out.bytes[".data"] =
+        profile.data_scalar_bytes + profile.data_pointer_entries * ptr;
+    // BSS pointer objects grow with alignment padding too.
+    out.bytes[".bss"] = static_cast<u64>(
+        static_cast<double>(profile.bss_bytes) * (cap ? 1.10 : 1.0));
+
+    // Every capability stored in the image needs a load-time
+    // relocation: GOT entries, initialized data pointers and the
+    // relocated constant tables.
+    u64 relocs = profile.dyn_relocs_hybrid;
+    if (cap) {
+        relocs += profile.got_entries + profile.data_pointer_entries +
+                  profile.rodata_pointer_entries;
+    }
+    out.bytes[".rela.dyn"] =
+        profile.dyn_relocs_hybrid * kRelaEntry +
+        (cap ? (relocs - profile.dyn_relocs_hybrid) * kCapRelocEntry : 0);
+
+    out.bytes[".got"] = profile.got_entries * ptr;
+    out.bytes[".note.cheri"] = cap ? 48 : 0;
+    out.bytes[".debug"] = static_cast<u64>(
+        static_cast<double>(profile.debug_bytes) * (cap ? 1.02 : 1.0));
+    out.bytes[".others"] = static_cast<u64>(
+        static_cast<double>(profile.other_bytes) * (cap ? 1.08 : 1.0));
+
+    return out;
+}
+
+std::map<std::string, double>
+normalizedToHybrid(const BinaryProfile &profile, abi::Abi abi)
+{
+    const SectionSizes hybrid = computeSections(profile, abi::Abi::Hybrid);
+    const SectionSizes target = computeSections(profile, abi);
+
+    std::map<std::string, double> out;
+    for (const auto &name : sectionNames()) {
+        const u64 base = hybrid.get(name);
+        const u64 value = target.get(name);
+        out[name] = base ? static_cast<double>(value) /
+                               static_cast<double>(base)
+                         : 0.0;
+    }
+    out["total"] = static_cast<double>(target.total()) /
+                   static_cast<double>(hybrid.total());
+    return out;
+}
+
+} // namespace cheri::binsize

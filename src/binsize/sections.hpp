@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Static binary-layout model behind Figure 2.
+ *
+ * CHERI changes binary sections through well-understood mechanisms,
+ * which this model reproduces from a per-program profile:
+ *
+ *  - .text grows ~10% (capability manipulation sequences);
+ *  - .rodata *shrinks*: constant pointer tables (vtables, string
+ *    tables, switch tables) cannot stay in read-only data because
+ *    capabilities must be materialized at load time — they move to
+ *    the new .data.rel.ro section;
+ *  - .rela.dyn explodes (~85x): every stored capability needs a
+ *    __CAP_RELOCS / R_MORELLO_RELATIVE entry for the dynamic linker;
+ *  - .got doubles (8-byte entries become 16-byte capabilities);
+ *  - .note.cheri appears (ABI tag note);
+ *  - .data/.bss grow with their pointer share.
+ */
+
+#ifndef CHERI_BINSIZE_SECTIONS_HPP
+#define CHERI_BINSIZE_SECTIONS_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "abi/abi.hpp"
+#include "support/types.hpp"
+
+namespace cheri::binsize {
+
+/** Link-level profile of a program (hybrid-ABI baseline quantities). */
+struct BinaryProfile
+{
+    std::string name;
+    u64 text_bytes = 1536 * kKiB;      //!< Hybrid .text size.
+    u64 rodata_scalar_bytes = 64 * kKiB; //!< Non-pointer constants.
+    u64 rodata_pointer_entries = 2048; //!< Const pointer-table slots.
+    u64 data_scalar_bytes = 32 * kKiB;
+    u64 data_pointer_entries = 1024;   //!< Initialized pointer objects.
+    u64 bss_bytes = 64 * kKiB;
+    u64 got_entries = 512;
+    u64 dyn_relocs_hybrid = 96;        //!< Ordinary dynamic relocations.
+    u64 debug_bytes = 3072 * kKiB;
+    u64 other_bytes = 32 * kKiB;
+};
+
+/** Per-section sizes for one ABI. */
+struct SectionSizes
+{
+    std::map<std::string, u64> bytes;
+
+    u64 total() const;
+    u64 get(const std::string &section) const;
+};
+
+/** The section list in Figure 2's order. */
+const std::vector<std::string> &sectionNames();
+
+/** Compute the layout of @p profile under @p abi. */
+SectionSizes computeSections(const BinaryProfile &profile, abi::Abi abi);
+
+/**
+ * Figure 2's normalization: per-section size relative to the hybrid
+ * binary. Sections absent under hybrid (.data.rel.ro, .note.cheri)
+ * report 0 for hybrid and their absolute size is available via
+ * computeSections().
+ */
+std::map<std::string, double> normalizedToHybrid(
+    const BinaryProfile &profile, abi::Abi abi);
+
+} // namespace cheri::binsize
+
+#endif // CHERI_BINSIZE_SECTIONS_HPP

@@ -1,0 +1,139 @@
+#include "cap/bounds.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::cap {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr u32 kMask = (1u << kMantissaWidth) - 1;
+
+/**
+ * The largest mantissa-unit region size we encode at a given exponent:
+ * 3/4 of the mantissa space. The base sits at most 1/4 space above the
+ * representable limit R, so a 3/4-space region keeps the top below
+ * R + 2^MW and the reconstruction corrections within +/-1. The slack
+ * also gives every capability a representable out-of-bounds buffer, as
+ * in CHERI Concentrate.
+ */
+constexpr u32 kMantissaLimit =
+    (1u << kMantissaWidth) - (1u << (kMantissaWidth - 2));
+
+u128
+ceilShift(u128 value, unsigned e)
+{
+    const u128 one = 1;
+    return (value + ((one << e) - 1)) >> e;
+}
+
+} // namespace
+
+EncodeResult
+encodeBounds(u64 base, u64 top, bool topIsMax)
+{
+    const u128 top128 = topIsMax ? (u128(1) << 64) : u128(top);
+    CHERI_ASSERT(u128(base) <= top128, "encodeBounds: base above top");
+    const u128 length = top128 - base;
+
+    unsigned e = 0;
+    // Smallest exponent at which the region (with worst-case rounding)
+    // fits within the representable fraction of the mantissa space.
+    while (e < kMaxExponent) {
+        const u128 b_full = u128(base) >> e;
+        const u128 t_full = ceilShift(top128, e);
+        if (t_full - b_full <= kMantissaLimit)
+            break;
+        ++e;
+    }
+
+    const u128 b_full = u128(base) >> e;
+    const u128 t_full = ceilShift(top128, e);
+
+    EncodeResult result;
+    result.fields.e = static_cast<u8>(e);
+    result.fields.b = static_cast<u32>(b_full) & kMask;
+    result.fields.t = static_cast<u32>(t_full) & kMask;
+    result.exact = (b_full << e) == u128(base) && (t_full << e) == top128;
+    (void)length;
+    return result;
+}
+
+DecodedBounds
+decodeBounds(const BoundsFields &fields, u64 address)
+{
+    const unsigned e = fields.e;
+    const u64 a_mid = (address >> e) & kMask;
+    const u64 a_hi =
+        (e + kMantissaWidth >= 64) ? 0 : (address >> (e + kMantissaWidth));
+
+    // Representable limit R: one 1/8-chunk below the base mantissa.
+    const u32 r = ((fields.b >> (kMantissaWidth - 3)) - 1)
+                  << (kMantissaWidth - 3);
+    const u32 r_masked = r & kMask;
+
+    auto correction = [&](u32 x) -> int {
+        const bool x_below = (x & kMask) < r_masked;
+        const bool a_below = a_mid < r_masked;
+        if (x_below == a_below)
+            return 0;
+        // If x wraps below R while the address does not, x lives one
+        // representable space above the address's, and vice versa.
+        return x_below ? 1 : -1;
+    };
+
+    const s64 b_hi = static_cast<s64>(a_hi) + correction(fields.b);
+    const s64 t_hi = static_cast<s64>(a_hi) + correction(fields.t);
+
+    const u128 one = 1;
+    u128 base128 = ((u128(static_cast<u64>(b_hi)) << kMantissaWidth) |
+                    fields.b)
+                   << e;
+    u128 top128 = ((u128(static_cast<u64>(t_hi)) << kMantissaWidth) |
+                   fields.t)
+                  << e;
+    // Addresses are modulo 2^64; the top may legitimately reach 2^64.
+    base128 &= (one << 64) - 1;
+    top128 &= (one << 65) - 1;
+
+    DecodedBounds out;
+    out.base = static_cast<u64>(base128);
+    out.topIsMax = top128 >= (one << 64);
+    out.top = out.topIsMax ? ~0ULL : static_cast<u64>(top128);
+    return out;
+}
+
+bool
+isRepresentable(const BoundsFields &fields, u64 reference, u64 address)
+{
+    const DecodedBounds ref = decodeBounds(fields, reference);
+    const DecodedBounds alt = decodeBounds(fields, address);
+    return ref.base == alt.base && ref.top == alt.top &&
+           ref.topIsMax == alt.topIsMax;
+}
+
+u64
+representableAlignmentMask(u64 length)
+{
+    unsigned e = 0;
+    while (e < kMaxExponent && ceilShift(length, e) > kMantissaLimit)
+        ++e;
+    if (e == 0)
+        return ~0ULL;
+    return ~((1ULL << e) - 1);
+}
+
+u64
+representableLength(u64 length)
+{
+    const u64 mask = representableAlignmentMask(length);
+    if (mask == ~0ULL)
+        return length;
+    const u64 granule = ~mask + 1;
+    const u64 rounded = (length + granule - 1) & mask;
+    CHERI_ASSERT(rounded >= length, "representableLength overflow");
+    return rounded;
+}
+
+} // namespace cheri::cap

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Compressed bounds encoding in the style of CHERI Concentrate.
+ *
+ * A capability's [base, top) region is not stored as two full 64-bit
+ * words; it is compressed into two MW-bit mantissas (B and T) plus a
+ * shared exponent E, and reconstructed relative to the capability's
+ * current address. Large or misaligned regions may not be exactly
+ * representable: encode() rounds the base down and the top up to the
+ * nearest representable boundary, exactly as CSetBounds does in
+ * hardware.
+ *
+ * The reconstruction uses the "representable space" correction of the
+ * CHERI Concentrate paper (Woodruff et al., IEEE TC 2019): the address
+ * bits above E+MW may differ from those of base/top by at most one,
+ * with the sign decided by comparison against the representable limit
+ * R = (B_top3 - 1) << (MW-3).
+ */
+
+#ifndef CHERI_CAP_BOUNDS_HPP
+#define CHERI_CAP_BOUNDS_HPP
+
+#include "support/types.hpp"
+
+namespace cheri::cap {
+
+/** Mantissa width of the B and T fields (CHERI-128 uses 14). */
+inline constexpr unsigned kMantissaWidth = 14;
+
+/** Maximum exponent: beyond this the region covers the address space. */
+inline constexpr unsigned kMaxExponent = 64 - kMantissaWidth + 2;
+
+/** The compressed bounds fields as stored in the capability word. */
+struct BoundsFields
+{
+    u32 b = 0;   //!< Base mantissa, kMantissaWidth bits.
+    u32 t = 0;   //!< Top mantissa, kMantissaWidth bits.
+    u8 e = 0;    //!< Shared exponent.
+
+    bool operator==(const BoundsFields &) const = default;
+};
+
+/** Result of decoding bounds against a concrete address. */
+struct DecodedBounds
+{
+    u64 base = 0;
+    /**
+     * Exclusive top. A top of exactly 2^64 is representable in CHERI
+     * (the root capability); we saturate to ~0 and track it with
+     * topIsMax to keep the interface on 64-bit arithmetic.
+     */
+    u64 top = 0;
+    bool topIsMax = false; //!< True when top == 2^64.
+
+    u64
+    length() const
+    {
+        if (topIsMax)
+            return ~base + 1 == 0 ? ~0ULL : (0ULL - base);
+        return top - base;
+    }
+};
+
+/** Result of encoding a requested [base, base+length) region. */
+struct EncodeResult
+{
+    BoundsFields fields;
+    bool exact = false; //!< True when no rounding was necessary.
+};
+
+/**
+ * Encode the requested region. If the region is not exactly
+ * representable at the required exponent, base is rounded down and top
+ * rounded up (monotonic: the encoded region always contains the
+ * requested one).
+ *
+ * @param base Requested base address.
+ * @param top Requested exclusive top; pass topIsMax for 2^64.
+ */
+EncodeResult encodeBounds(u64 base, u64 top, bool topIsMax = false);
+
+/**
+ * Decode the bounds fields relative to an address.
+ *
+ * @param fields Compressed fields.
+ * @param address The capability's current address.
+ */
+DecodedBounds decodeBounds(const BoundsFields &fields, u64 address);
+
+/**
+ * True if @p address decodes to the same region as @p reference does,
+ * i.e. the address lies within the representable space of the bounds.
+ * Out-of-representable-range addresses must clear the tag on pointer
+ * arithmetic, per the CHERI ISA.
+ */
+bool isRepresentable(const BoundsFields &fields, u64 reference,
+                     u64 address);
+
+/**
+ * The alignment mask CRRL/CRAM would report for a requested length:
+ * aligning base to this mask guarantees exact representability.
+ */
+u64 representableAlignmentMask(u64 length);
+
+/** The rounded-up length CRRL would report for a requested length. */
+u64 representableLength(u64 length);
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_BOUNDS_HPP

@@ -1,0 +1,278 @@
+#include "cap/capability.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cheri::cap {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+} // namespace
+
+Capability::Capability(bool tag, u64 address, BoundsFields fields,
+                       PermSet perms, u16 otype)
+    : tag_(tag), address_(address), fields_(fields), perms_(perms),
+      otype_(otype)
+{
+}
+
+Capability
+Capability::root()
+{
+    const EncodeResult enc = encodeBounds(0, 0, /*topIsMax=*/true);
+    CHERI_ASSERT(enc.exact, "root bounds must encode exactly");
+    return Capability(true, 0, enc.fields, PermSet::all(), kOtypeUnsealed);
+}
+
+Capability
+Capability::codeRegion(u64 base, u64 length)
+{
+    return root().withAddress(base).setBounds(length).withPerms(
+        PermSet::code());
+}
+
+Capability
+Capability::dataRegion(u64 base, u64 length)
+{
+    return root().withAddress(base).setBounds(length).withPerms(
+        PermSet::data());
+}
+
+u64
+Capability::base() const
+{
+    return decodeBounds(fields_, address_).base;
+}
+
+u64
+Capability::top() const
+{
+    const DecodedBounds d = decodeBounds(fields_, address_);
+    return d.topIsMax ? ~0ULL : d.top;
+}
+
+u64
+Capability::length() const
+{
+    const DecodedBounds d = decodeBounds(fields_, address_);
+    if (d.topIsMax)
+        return d.base == 0 ? ~0ULL : (0ULL - d.base);
+    return d.top - d.base;
+}
+
+bool
+Capability::inBounds(u64 addr, u64 size) const
+{
+    const DecodedBounds d = decodeBounds(fields_, address_);
+    const u128 access_end = u128(addr) + size;
+    const u128 top = d.topIsMax ? (u128(1) << 64) : u128(d.top);
+    return addr >= d.base && access_end <= top;
+}
+
+Capability
+Capability::withAddress(u64 addr) const
+{
+    Capability out = *this;
+    if (sealed() || !isRepresentable(fields_, address_, addr))
+        out.tag_ = false;
+    out.address_ = addr;
+    return out;
+}
+
+Capability
+Capability::add(s64 delta) const
+{
+    return withAddress(address_ + static_cast<u64>(delta));
+}
+
+Capability
+Capability::setBounds(u64 length, bool exact) const
+{
+    const u64 req_base = address_;
+    const u128 req_top = u128(req_base) + length;
+
+    Capability out = *this;
+    bool ok = tag_ && !sealed();
+
+    // The requested region must lie within the parent's bounds.
+    const DecodedBounds parent = decodeBounds(fields_, address_);
+    const u128 parent_top =
+        parent.topIsMax ? (u128(1) << 64) : u128(parent.top);
+    if (req_base < parent.base || req_top > parent_top)
+        ok = false;
+
+    const bool top_is_max = req_top == (u128(1) << 64);
+    const EncodeResult enc =
+        encodeBounds(req_base, static_cast<u64>(req_top), top_is_max);
+    if (exact && !enc.exact)
+        ok = false;
+
+    // Conservative monotonicity: if representability rounding pushed
+    // the child outside the parent region, refuse (clear the tag).
+    const DecodedBounds child = decodeBounds(enc.fields, req_base);
+    const u128 child_top = child.topIsMax ? (u128(1) << 64) : u128(child.top);
+    if (child.base < parent.base || child_top > parent_top)
+        ok = false;
+
+    out.tag_ = ok;
+    out.fields_ = enc.fields;
+    out.address_ = req_base;
+    return out;
+}
+
+Capability
+Capability::withPerms(PermSet mask) const
+{
+    Capability out = *this;
+    if (sealed())
+        out.tag_ = false;
+    out.perms_ = perms_.intersect(mask);
+    return out;
+}
+
+Capability
+Capability::withoutTag() const
+{
+    Capability out = *this;
+    out.tag_ = false;
+    return out;
+}
+
+Capability
+Capability::sealWith(const Capability &sealer) const
+{
+    Capability out = *this;
+    const bool sealer_ok = sealer.tag() && !sealer.sealed() &&
+                           sealer.perms().has(Perm::Seal) &&
+                           sealer.inBounds(sealer.address(), 1) &&
+                           sealer.address() >= 1 &&
+                           sealer.address() <= kOtypeMax;
+    if (!tag_ || sealed() || !sealer_ok) {
+        out.tag_ = false;
+        return out;
+    }
+    out.otype_ = static_cast<u16>(sealer.address());
+    return out;
+}
+
+Capability
+Capability::unsealWith(const Capability &unsealer) const
+{
+    Capability out = *this;
+    const bool unsealer_ok = unsealer.tag() && !unsealer.sealed() &&
+                             unsealer.perms().has(Perm::Unseal) &&
+                             unsealer.address() == otype_;
+    if (!tag_ || !sealed() || !unsealer_ok) {
+        out.tag_ = false;
+        return out;
+    }
+    out.otype_ = kOtypeUnsealed;
+    return out;
+}
+
+MaybeFault
+Capability::checkAccess(u64 addr, u64 size, bool wantStore,
+                        bool capWidth) const
+{
+    if (!tag_)
+        return CapFault{CapFaultKind::TagViolation, addr, size};
+    if (sealed())
+        return CapFault{CapFaultKind::SealViolation, addr, size};
+    if (wantStore) {
+        if (!perms_.has(Perm::Store))
+            return CapFault{CapFaultKind::PermitStoreViolation, addr, size};
+        if (capWidth && !perms_.has(Perm::StoreCap))
+            return CapFault{CapFaultKind::PermitStoreCapViolation, addr,
+                            size};
+    } else {
+        if (!perms_.has(Perm::Load))
+            return CapFault{CapFaultKind::PermitLoadViolation, addr, size};
+        if (capWidth && !perms_.has(Perm::LoadCap))
+            return CapFault{CapFaultKind::PermitLoadCapViolation, addr,
+                            size};
+    }
+    if (!inBounds(addr, size))
+        return CapFault{CapFaultKind::BoundsViolation, addr, size};
+    return std::nullopt;
+}
+
+MaybeFault
+Capability::checkExecute(u64 addr) const
+{
+    if (!tag_)
+        return CapFault{CapFaultKind::TagViolation, addr, 0};
+    if (sealed())
+        return CapFault{CapFaultKind::SealViolation, addr, 0};
+    if (!perms_.has(Perm::Execute))
+        return CapFault{CapFaultKind::PermitExecuteViolation, addr, 0};
+    // Instructions are 4 bytes in MorelloLite.
+    if (!inBounds(addr, 4))
+        return CapFault{CapFaultKind::BoundsViolation, addr, 4};
+    return std::nullopt;
+}
+
+PackedCap
+Capability::pack() const
+{
+    PackedCap packed;
+    packed.address = address_;
+    packed.metadata = (u64(perms_.bits()) << 48) |
+                      (u64(otype_ & 0x3fff) << 34) |
+                      (u64(fields_.e & 0x3f) << 28) |
+                      (u64(fields_.b & 0x3fff) << 14) |
+                      u64(fields_.t & 0x3fff);
+    return packed;
+}
+
+Capability
+Capability::unpack(const PackedCap &packed, bool tag)
+{
+    BoundsFields fields;
+    fields.t = static_cast<u32>(packed.metadata & 0x3fff);
+    fields.b = static_cast<u32>((packed.metadata >> 14) & 0x3fff);
+    fields.e = static_cast<u8>((packed.metadata >> 28) & 0x3f);
+    const u16 otype = static_cast<u16>((packed.metadata >> 34) & 0x3fff);
+    const PermSet perms(static_cast<u16>(packed.metadata >> 48));
+    return Capability(tag, packed.address, fields, perms, otype);
+}
+
+std::string
+Capability::toString() const
+{
+    std::ostringstream os;
+    os << "cap[" << (tag_ ? "valid" : "invalid") << " addr=0x" << std::hex
+       << address_ << " base=0x" << base() << " top=0x" << top()
+       << std::dec;
+    if (sealed())
+        os << " otype=" << otype_;
+    os << " perms=" << perms_.toString() << "]";
+    return os.str();
+}
+
+std::string
+PermSet::toString() const
+{
+    static const struct
+    {
+        Perm perm;
+        char tag;
+    } kNames[] = {
+        {Perm::Global, 'G'},    {Perm::Execute, 'x'},
+        {Perm::Load, 'r'},      {Perm::Store, 'w'},
+        {Perm::LoadCap, 'R'},   {Perm::StoreCap, 'W'},
+        {Perm::StoreLocalCap, 'L'}, {Perm::Seal, 's'},
+        {Perm::Unseal, 'u'},    {Perm::System, 'S'},
+        {Perm::BranchSealedPair, 'b'}, {Perm::CompartmentId, 'c'},
+        {Perm::MutableLoad, 'm'},
+    };
+    std::string out;
+    for (const auto &entry : kNames)
+        if (has(entry.perm))
+            out += entry.tag;
+    return out.empty() ? "-" : out;
+}
+
+} // namespace cheri::cap

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The 128-bit (plus out-of-band tag) CHERI capability.
+ *
+ * Layout of the packed representation (our CHERI-Concentrate-style
+ * format; field split documented in DESIGN.md):
+ *
+ *   metadata word (64 bits): perms[16] | otype[14] | e[6] | b[14] | t[14]
+ *   address word  (64 bits): full 64-bit address
+ *   tag           (1 bit)  : stored out of band (see mem::TagTable)
+ *
+ * All mutating operations are monotonic: a derived capability never
+ * gains bounds or permissions, and any operation that would violate
+ * monotonicity or representability clears the tag instead (matching
+ * the CHERI ISA's non-faulting pointer arithmetic).
+ */
+
+#ifndef CHERI_CAP_CAPABILITY_HPP
+#define CHERI_CAP_CAPABILITY_HPP
+
+#include <string>
+
+#include "cap/bounds.hpp"
+#include "cap/fault.hpp"
+#include "cap/perms.hpp"
+#include "support/types.hpp"
+
+namespace cheri::cap {
+
+/** Object-type value meaning "not sealed". */
+inline constexpr u16 kOtypeUnsealed = 0;
+/** Largest object type encodable in the 14-bit otype field. */
+inline constexpr u16 kOtypeMax = (1u << 14) - 1;
+
+/** The packed 128-bit in-memory image of a capability. */
+struct PackedCap
+{
+    u64 metadata = 0;
+    u64 address = 0;
+
+    bool operator==(const PackedCap &) const = default;
+};
+
+class Capability
+{
+  public:
+    /** The null capability: untagged, zero everything. */
+    Capability() = default;
+
+    /**
+     * The root capability: tagged, spans the whole address space,
+     * carries every permission. All other capabilities derive from it.
+     */
+    static Capability root();
+
+    /** Root-derived executable capability spanning [base, top). */
+    static Capability codeRegion(u64 base, u64 length);
+
+    /** Root-derived data capability spanning [base, top). */
+    static Capability dataRegion(u64 base, u64 length);
+
+    // --- Observers -------------------------------------------------
+    bool tag() const { return tag_; }
+    u64 address() const { return address_; }
+    PermSet perms() const { return perms_; }
+    u16 otype() const { return otype_; }
+    bool sealed() const { return otype_ != kOtypeUnsealed; }
+
+    /** Decoded lower bound. */
+    u64 base() const;
+    /** Decoded exclusive upper bound (saturated to 2^64-1 at the max). */
+    u64 top() const;
+    /** top() - base(), saturated. */
+    u64 length() const;
+    /** address() - base() (may be "negative": wraps, as in hardware). */
+    u64 offset() const { return address_ - base(); }
+
+    /** True when [addr, addr+size) lies within the bounds. */
+    bool inBounds(u64 addr, u64 size) const;
+
+    // --- Derivation (monotonic, tag-clearing on violation) ----------
+
+    /**
+     * CSetAddr: replace the address. Clears the tag if the new address
+     * leaves the representable space of the compressed bounds.
+     */
+    Capability withAddress(u64 addr) const;
+
+    /** CIncOffset-style pointer arithmetic. */
+    Capability add(s64 delta) const;
+
+    /**
+     * CSetBounds: narrow the bounds to [address, address+length).
+     * Clears the tag if the request would widen the bounds. The
+     * resulting bounds may be rounded outward to the nearest
+     * representable region (but never beyond the parent's bounds when
+     * @p exact is requested — in that case the tag is cleared).
+     */
+    Capability setBounds(u64 length, bool exact = false) const;
+
+    /** CAndPerm: intersect permissions. */
+    Capability withPerms(PermSet mask) const;
+
+    /** Clear the validity tag (e.g. on a non-capability overwrite). */
+    Capability withoutTag() const;
+
+    /** CSeal: seal with an object type from @p sealer's address. */
+    Capability sealWith(const Capability &sealer) const;
+
+    /** CUnseal: unseal using @p unsealer. */
+    Capability unsealWith(const Capability &unsealer) const;
+
+    // --- Checked access ---------------------------------------------
+
+    /**
+     * The full hardware check sequence for a data access:
+     * tag, seal, permission, bounds — in that order, as the Morello
+     * pseudocode specifies.
+     *
+     * @param addr Effective address of the access.
+     * @param size Access size in bytes.
+     * @param wantStore True for stores, false for loads.
+     * @param capWidth True when the access transfers a capability
+     *        (requires LoadCap/StoreCap in addition to Load/Store).
+     */
+    MaybeFault checkAccess(u64 addr, u64 size, bool wantStore,
+                           bool capWidth = false) const;
+
+    /** Check use as a branch target (PCC install). */
+    MaybeFault checkExecute(u64 addr) const;
+
+    // --- Packing ----------------------------------------------------
+    PackedCap pack() const;
+    static Capability unpack(const PackedCap &packed, bool tag);
+
+    bool operator==(const Capability &) const = default;
+
+    std::string toString() const;
+
+  private:
+    Capability(bool tag, u64 address, BoundsFields fields, PermSet perms,
+               u16 otype);
+
+    bool tag_ = false;
+    u64 address_ = 0;
+    BoundsFields fields_{};
+    PermSet perms_{};
+    u16 otype_ = kOtypeUnsealed;
+};
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_CAPABILITY_HPP

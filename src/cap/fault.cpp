@@ -1,0 +1,46 @@
+#include "cap/fault.hpp"
+
+#include <sstream>
+
+namespace cheri::cap {
+
+const char *
+capFaultKindName(CapFaultKind kind)
+{
+    switch (kind) {
+      case CapFaultKind::None:
+        return "none";
+      case CapFaultKind::TagViolation:
+        return "tag violation";
+      case CapFaultKind::SealViolation:
+        return "seal violation";
+      case CapFaultKind::BoundsViolation:
+        return "bounds violation";
+      case CapFaultKind::PermitLoadViolation:
+        return "permit-load violation";
+      case CapFaultKind::PermitStoreViolation:
+        return "permit-store violation";
+      case CapFaultKind::PermitExecuteViolation:
+        return "permit-execute violation";
+      case CapFaultKind::PermitLoadCapViolation:
+        return "permit-load-capability violation";
+      case CapFaultKind::PermitStoreCapViolation:
+        return "permit-store-capability violation";
+      case CapFaultKind::RepresentabilityLoss:
+        return "representability loss";
+    }
+    return "unknown";
+}
+
+std::string
+CapFault::toString() const
+{
+    std::ostringstream os;
+    os << "in-address-space security exception: " << capFaultKindName(kind)
+       << " at 0x" << std::hex << address;
+    if (size)
+        os << std::dec << " (size " << size << ")";
+    return os.str();
+}
+
+} // namespace cheri::cap

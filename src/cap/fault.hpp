@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Capability fault taxonomy. When a checked access violates the CHERI
+ * protection model the simulated hardware raises one of these faults —
+ * CheriBSD surfaces them to the process as an "in-address-space
+ * security exception" (SIGPROT), the failure mode Table 5/6 of the
+ * paper reports for several SPEC benchmarks.
+ */
+
+#ifndef CHERI_CAP_FAULT_HPP
+#define CHERI_CAP_FAULT_HPP
+
+#include <optional>
+#include <string>
+
+#include "support/types.hpp"
+
+namespace cheri::cap {
+
+/** The cause of a capability violation. */
+enum class CapFaultKind : u8 {
+    None = 0,
+    TagViolation,          //!< Untagged (invalid) capability dereference.
+    SealViolation,         //!< Sealed capability used without unsealing.
+    BoundsViolation,       //!< Access outside [base, top).
+    PermitLoadViolation,   //!< Load without Load permission.
+    PermitStoreViolation,  //!< Store without Store permission.
+    PermitExecuteViolation, //!< Branch to a non-executable capability.
+    PermitLoadCapViolation, //!< Capability load without LoadCap.
+    PermitStoreCapViolation, //!< Capability store without StoreCap.
+    RepresentabilityLoss,  //!< Pointer arithmetic left representable space.
+};
+
+/** A concrete fault instance: what went wrong and where. */
+struct CapFault
+{
+    CapFaultKind kind = CapFaultKind::None;
+    u64 address = 0;  //!< Faulting effective address.
+    u64 size = 0;     //!< Access size in bytes (0 if not an access).
+
+    std::string toString() const;
+};
+
+/** Human-readable name of a fault kind. */
+const char *capFaultKindName(CapFaultKind kind);
+
+/** Convenience alias used by checked operations. */
+using MaybeFault = std::optional<CapFault>;
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_FAULT_HPP

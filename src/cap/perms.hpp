@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Capability permission bits, modelled on the Morello/CHERI permission
+ * set (CHERI ISA v9). Permissions are a monotonically decreasing set:
+ * derived capabilities can only clear bits, never set them.
+ */
+
+#ifndef CHERI_CAP_PERMS_HPP
+#define CHERI_CAP_PERMS_HPP
+
+#include <string>
+
+#include "support/types.hpp"
+
+namespace cheri::cap {
+
+/** Permission bit positions within the 16-bit permission field. */
+enum class Perm : u16 {
+    Global = 1u << 0,          //!< May be stored via non-local caps.
+    Execute = 1u << 1,         //!< May be installed as PCC / branched to.
+    Load = 1u << 2,            //!< May load data.
+    Store = 1u << 3,           //!< May store data.
+    LoadCap = 1u << 4,         //!< May load tagged capabilities.
+    StoreCap = 1u << 5,        //!< May store tagged capabilities.
+    StoreLocalCap = 1u << 6,   //!< May store local (non-global) caps.
+    Seal = 1u << 7,            //!< May seal other capabilities.
+    Unseal = 1u << 8,          //!< May unseal sealed capabilities.
+    System = 1u << 9,          //!< Access to system registers.
+    BranchSealedPair = 1u << 10, //!< CInvoke-style sealed-pair branch.
+    CompartmentId = 1u << 11,  //!< Usable as a compartment id.
+    MutableLoad = 1u << 12,    //!< Loaded caps keep store permission.
+};
+
+/** A set of permissions, stored as a 16-bit mask. */
+class PermSet
+{
+  public:
+    constexpr PermSet() = default;
+    constexpr explicit PermSet(u16 bits) : bits_(bits) {}
+
+    static constexpr PermSet
+    all()
+    {
+        return PermSet(0x1fff);
+    }
+
+    /** The usual data capability: load/store data and capabilities. */
+    static constexpr PermSet
+    data()
+    {
+        return PermSet(static_cast<u16>(Perm::Global) |
+                       static_cast<u16>(Perm::Load) |
+                       static_cast<u16>(Perm::Store) |
+                       static_cast<u16>(Perm::LoadCap) |
+                       static_cast<u16>(Perm::StoreCap) |
+                       static_cast<u16>(Perm::StoreLocalCap));
+    }
+
+    /** The usual code capability: load + execute. */
+    static constexpr PermSet
+    code()
+    {
+        return PermSet(static_cast<u16>(Perm::Global) |
+                       static_cast<u16>(Perm::Load) |
+                       static_cast<u16>(Perm::Execute));
+    }
+
+    constexpr bool
+    has(Perm p) const
+    {
+        return (bits_ & static_cast<u16>(p)) != 0;
+    }
+
+    /** Monotonic restriction: intersect with a mask. */
+    constexpr PermSet
+    intersect(PermSet other) const
+    {
+        return PermSet(bits_ & other.bits_);
+    }
+
+    /** Clear one permission. */
+    constexpr PermSet
+    without(Perm p) const
+    {
+        return PermSet(bits_ & static_cast<u16>(~static_cast<u16>(p)));
+    }
+
+    /** True if this set is a subset of (or equal to) other. */
+    constexpr bool
+    subsetOf(PermSet other) const
+    {
+        return (bits_ & ~other.bits_) == 0;
+    }
+
+    constexpr u16 bits() const { return bits_; }
+    constexpr bool operator==(const PermSet &) const = default;
+
+    std::string toString() const;
+
+  private:
+    u16 bits_ = 0;
+};
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_PERMS_HPP

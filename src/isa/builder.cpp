@@ -1,0 +1,233 @@
+#include "isa/builder.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::isa {
+
+FuncId
+ProgramBuilder::beginFunction(std::string name, LibId lib)
+{
+    currentFunc_ = program_.addFunction(std::move(name), lib);
+    current_ = program_.addBlock(currentFunc_);
+    return currentFunc_;
+}
+
+BlockId
+ProgramBuilder::newBlock()
+{
+    return program_.addBlock(currentFunc_);
+}
+
+void
+ProgramBuilder::atBlock(BlockId id)
+{
+    CHERI_ASSERT(id < program_.blockCount(), "atBlock: bad block");
+    current_ = id;
+    currentFunc_ = program_.block(id).func;
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(Inst inst)
+{
+    CHERI_ASSERT(current_ != kNoBlock, "emit before beginFunction");
+    program_.block(current_).insts.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit(Inst{.op = Opcode::Nop});
+}
+
+ProgramBuilder &
+ProgramBuilder::movImm(u8 rd, s64 imm)
+{
+    return emit(Inst{.op = Opcode::MovImm, .rd = rd, .imm = imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::movReg(u8 rd, u8 rn)
+{
+    return emit(Inst{.op = Opcode::MovReg, .rd = rd, .rn = rn});
+}
+
+ProgramBuilder &
+ProgramBuilder::add(u8 rd, u8 rn, u8 rm)
+{
+    return emit(Inst{.op = Opcode::Add, .rd = rd, .rn = rn, .rm = rm});
+}
+
+ProgramBuilder &
+ProgramBuilder::addImm(u8 rd, u8 rn, s64 imm)
+{
+    return emit(Inst{.op = Opcode::AddImm, .rd = rd, .rn = rn, .imm = imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::sub(u8 rd, u8 rn, u8 rm)
+{
+    return emit(Inst{.op = Opcode::Sub, .rd = rd, .rn = rn, .rm = rm});
+}
+
+ProgramBuilder &
+ProgramBuilder::subImm(u8 rd, u8 rn, s64 imm)
+{
+    return emit(Inst{.op = Opcode::SubImm, .rd = rd, .rn = rn, .imm = imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::mul(u8 rd, u8 rn, u8 rm)
+{
+    return emit(Inst{.op = Opcode::Mul, .rd = rd, .rn = rn, .rm = rm});
+}
+
+ProgramBuilder &
+ProgramBuilder::madd(u8 rd, u8 rn, u8 rm, u8 ra)
+{
+    return emit(
+        Inst{.op = Opcode::Madd, .rd = rd, .rn = rn, .rm = rm, .ra = ra});
+}
+
+ProgramBuilder &
+ProgramBuilder::cmpImm(u8 rn, s64 imm)
+{
+    return emit(Inst{.op = Opcode::CmpImm, .rn = rn, .imm = imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::cmp(u8 rn, u8 rm)
+{
+    return emit(Inst{.op = Opcode::Cmp, .rn = rn, .rm = rm});
+}
+
+ProgramBuilder &
+ProgramBuilder::fadd(u8 rd, u8 rn, u8 rm)
+{
+    return emit(Inst{.op = Opcode::FAdd, .rd = rd, .rn = rn, .rm = rm});
+}
+
+ProgramBuilder &
+ProgramBuilder::fmul(u8 rd, u8 rn, u8 rm)
+{
+    return emit(Inst{.op = Opcode::FMul, .rd = rd, .rn = rn, .rm = rm});
+}
+
+ProgramBuilder &
+ProgramBuilder::ldr(u8 rd, u8 rn, s64 offset, u8 size)
+{
+    return emit(Inst{
+        .op = Opcode::Ldr, .rd = rd, .rn = rn, .imm = offset, .size = size});
+}
+
+ProgramBuilder &
+ProgramBuilder::str(u8 rd, u8 rn, s64 offset, u8 size)
+{
+    return emit(Inst{
+        .op = Opcode::Str, .rd = rd, .rn = rn, .imm = offset, .size = size});
+}
+
+ProgramBuilder &
+ProgramBuilder::ldrCap(u8 cd, u8 cn, s64 offset)
+{
+    return emit(Inst{.op = Opcode::LdrCap,
+                     .rd = cd,
+                     .rn = cn,
+                     .imm = offset,
+                     .size = 16});
+}
+
+ProgramBuilder &
+ProgramBuilder::strCap(u8 cd, u8 cn, s64 offset)
+{
+    return emit(Inst{.op = Opcode::StrCap,
+                     .rd = cd,
+                     .rn = cn,
+                     .imm = offset,
+                     .size = 16});
+}
+
+ProgramBuilder &
+ProgramBuilder::csetboundsImm(u8 cd, u8 cn, s64 length)
+{
+    return emit(
+        Inst{.op = Opcode::CSetBoundsImm, .rd = cd, .rn = cn, .imm = length});
+}
+
+ProgramBuilder &
+ProgramBuilder::cincoffsetImm(u8 cd, u8 cn, s64 delta)
+{
+    return emit(
+        Inst{.op = Opcode::CIncOffsetImm, .rd = cd, .rn = cn, .imm = delta});
+}
+
+ProgramBuilder &
+ProgramBuilder::cmove(u8 cd, u8 cn)
+{
+    return emit(Inst{.op = Opcode::CMove, .rd = cd, .rn = cn});
+}
+
+ProgramBuilder &
+ProgramBuilder::cgetaddr(u8 rd, u8 cn)
+{
+    return emit(Inst{.op = Opcode::CGetAddr, .rd = rd, .rn = cn});
+}
+
+ProgramBuilder &
+ProgramBuilder::jump(BlockId target)
+{
+    return emit(Inst{.op = Opcode::B, .target = target});
+}
+
+ProgramBuilder &
+ProgramBuilder::branchCond(Cond cond, BlockId target)
+{
+    return emit(Inst{.op = Opcode::BCond, .cond = cond, .target = target});
+}
+
+ProgramBuilder &
+ProgramBuilder::call(const Program &view, FuncId callee, bool cap_branch)
+{
+    return callBlock(view.function(callee).entry, cap_branch);
+}
+
+ProgramBuilder &
+ProgramBuilder::callBlock(BlockId entry, bool cap_branch)
+{
+    return emit(
+        Inst{.op = Opcode::Bl, .target = entry, .capBranch = cap_branch});
+}
+
+ProgramBuilder &
+ProgramBuilder::indirectCall(u8 cn, bool cap_branch)
+{
+    return emit(Inst{.op = Opcode::Blr, .rn = cn, .capBranch = cap_branch});
+}
+
+ProgramBuilder &
+ProgramBuilder::ret(bool cap_branch)
+{
+    return emit(Inst{.op = Opcode::Ret, .rn = kRegLr, .capBranch = cap_branch});
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit(Inst{.op = Opcode::Halt});
+}
+
+ProgramBuilder &
+ProgramBuilder::brk()
+{
+    return emit(Inst{.op = Opcode::Brk});
+}
+
+Program
+ProgramBuilder::finish(Addr code_base)
+{
+    program_.validate();
+    program_.layout(code_base);
+    return std::move(program_);
+}
+
+} // namespace cheri::isa

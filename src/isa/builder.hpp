@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fluent construction of MorelloLite programs.
+ *
+ * The builder appends to a "current block"; control-flow helpers
+ * create and switch blocks. Example:
+ *
+ * @code
+ *   ProgramBuilder pb;
+ *   auto f = pb.beginFunction("sum");
+ *   pb.movImm(1, 0);             // x1 = 0 (accumulator)
+ *   auto loop = pb.newBlock();
+ *   pb.jump(loop);
+ *   pb.atBlock(loop);
+ *   ...
+ * @endcode
+ */
+
+#ifndef CHERI_ISA_BUILDER_HPP
+#define CHERI_ISA_BUILDER_HPP
+
+#include <string>
+#include <utility>
+
+#include "isa/program.hpp"
+
+namespace cheri::isa {
+
+class ProgramBuilder
+{
+  public:
+    /** Start a function (creates and selects its entry block). */
+    FuncId beginFunction(std::string name, LibId lib = 0);
+
+    /** Create a new (empty) block in the current function. */
+    BlockId newBlock();
+
+    /** Select the block subsequent instructions append to. */
+    void atBlock(BlockId id);
+
+    BlockId currentBlock() const { return current_; }
+
+    /** Append an arbitrary instruction. */
+    ProgramBuilder &emit(Inst inst);
+
+    // Convenience emitters --------------------------------------------
+    ProgramBuilder &nop();
+    ProgramBuilder &movImm(u8 rd, s64 imm);
+    ProgramBuilder &movReg(u8 rd, u8 rn);
+    ProgramBuilder &add(u8 rd, u8 rn, u8 rm);
+    ProgramBuilder &addImm(u8 rd, u8 rn, s64 imm);
+    ProgramBuilder &sub(u8 rd, u8 rn, u8 rm);
+    ProgramBuilder &subImm(u8 rd, u8 rn, s64 imm);
+    ProgramBuilder &mul(u8 rd, u8 rn, u8 rm);
+    ProgramBuilder &madd(u8 rd, u8 rn, u8 rm, u8 ra);
+    ProgramBuilder &cmpImm(u8 rn, s64 imm);
+    ProgramBuilder &cmp(u8 rn, u8 rm);
+    ProgramBuilder &fadd(u8 rd, u8 rn, u8 rm);
+    ProgramBuilder &fmul(u8 rd, u8 rn, u8 rm);
+
+    ProgramBuilder &ldr(u8 rd, u8 rn, s64 offset, u8 size = 8);
+    ProgramBuilder &str(u8 rd, u8 rn, s64 offset, u8 size = 8);
+    ProgramBuilder &ldrCap(u8 cd, u8 cn, s64 offset);
+    ProgramBuilder &strCap(u8 cd, u8 cn, s64 offset);
+
+    ProgramBuilder &csetboundsImm(u8 cd, u8 cn, s64 length);
+    ProgramBuilder &cincoffsetImm(u8 cd, u8 cn, s64 delta);
+    ProgramBuilder &cmove(u8 cd, u8 cn);
+    ProgramBuilder &cgetaddr(u8 rd, u8 cn);
+
+    ProgramBuilder &jump(BlockId target);
+    ProgramBuilder &branchCond(Cond cond, BlockId target);
+    /** Direct call to a function's entry block. */
+    ProgramBuilder &call(const Program &view, FuncId callee,
+                         bool cap_branch);
+    ProgramBuilder &callBlock(BlockId entry, bool cap_branch);
+    ProgramBuilder &indirectCall(u8 cn, bool cap_branch);
+    ProgramBuilder &ret(bool cap_branch);
+    ProgramBuilder &halt();
+    ProgramBuilder &brk();
+
+    /** Access the program under construction. */
+    Program &program() { return program_; }
+    const Program &program() const { return program_; }
+
+    /** Validate and hand over the finished program. */
+    Program finish(Addr code_base = 0x10000);
+
+  private:
+    Program program_;
+    FuncId currentFunc_ = 0;
+    BlockId current_ = kNoBlock;
+};
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_BUILDER_HPP

@@ -1,0 +1,109 @@
+#include <sstream>
+
+#include "isa/inst.hpp"
+
+namespace cheri::isa {
+
+namespace {
+
+const char *
+condName(Cond c)
+{
+    switch (c) {
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::Lt: return "lt";
+      case Cond::Ge: return "ge";
+      case Cond::Le: return "le";
+      case Cond::Gt: return "gt";
+    }
+    return "??";
+}
+
+std::string
+reg(u8 index, bool cap)
+{
+    if (index == kRegZero)
+        return cap ? "czr" : "xzr";
+    return (cap ? "c" : "x") + std::to_string(index);
+}
+
+} // namespace
+
+std::string
+Inst::toString() const
+{
+    std::ostringstream os;
+    const bool cap_regs = isCapManip(op) || op == Opcode::LdrCap ||
+                          op == Opcode::StrCap;
+    os << opcodeName(op);
+    if (op == Opcode::BCond)
+        os << '.' << condName(cond);
+
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Brk:
+        break;
+      case Opcode::MovImm:
+        os << ' ' << reg(rd, false) << ", #" << imm;
+        break;
+      case Opcode::MovReg:
+      case Opcode::CMove:
+      case Opcode::CClearTag:
+      case Opcode::CGetBase:
+      case Opcode::CGetLen:
+      case Opcode::CGetTag:
+      case Opcode::CGetAddr:
+        os << ' ' << reg(rd, cap_regs) << ", " << reg(rn, cap_regs);
+        break;
+      case Opcode::AddImm:
+      case Opcode::SubImm:
+      case Opcode::Lsl:
+      case Opcode::Lsr:
+      case Opcode::CSetBoundsImm:
+      case Opcode::CIncOffsetImm:
+        os << ' ' << reg(rd, cap_regs) << ", " << reg(rn, cap_regs)
+           << ", #" << imm;
+        break;
+      case Opcode::CmpImm:
+        os << ' ' << reg(rn, false) << ", #" << imm;
+        break;
+      case Opcode::Cmp:
+        os << ' ' << reg(rn, false) << ", " << reg(rm, false);
+        break;
+      case Opcode::Madd:
+        os << ' ' << reg(rd, false) << ", " << reg(rn, false) << ", "
+           << reg(rm, false) << ", " << reg(ra, false);
+        break;
+      case Opcode::Ldr:
+      case Opcode::LdrCap:
+        os << ' ' << reg(rd, cap_regs) << ", [" << reg(rn, true) << ", #"
+           << imm << "]";
+        break;
+      case Opcode::Str:
+      case Opcode::StrCap:
+        os << ' ' << reg(rd, cap_regs) << ", [" << reg(rn, true) << ", #"
+           << imm << "]";
+        break;
+      case Opcode::B:
+      case Opcode::Bl:
+      case Opcode::BCond:
+        os << " .bb" << target;
+        break;
+      case Opcode::Br:
+      case Opcode::Blr:
+        os << ' ' << reg(rn, capBranch);
+        break;
+      case Opcode::Ret:
+        os << ' ' << reg(rn == kRegZero ? kRegLr : rn, capBranch);
+        break;
+      default:
+        os << ' ' << reg(rd, cap_regs) << ", " << reg(rn, cap_regs) << ", "
+           << reg(rm, cap_regs);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace cheri::isa

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The decoded instruction record and register names.
+ */
+
+#ifndef CHERI_ISA_INST_HPP
+#define CHERI_ISA_INST_HPP
+
+#include <string>
+
+#include "isa/opcode.hpp"
+#include "support/types.hpp"
+
+namespace cheri::isa {
+
+/** Register indices. X31/C31 reads as zero and ignores writes. */
+inline constexpr u8 kRegZero = 31;
+/** Frame pointer by convention. */
+inline constexpr u8 kRegFp = 29;
+/** Link register: BL/BLR write the return address/capability here. */
+inline constexpr u8 kRegLr = 30;
+/** Number of architectural registers (excluding PCC/DDC/CSP). */
+inline constexpr u8 kNumRegs = 32;
+
+/** Identifies a basic block within a Program. */
+using BlockId = u32;
+inline constexpr BlockId kNoBlock = ~0u;
+
+/**
+ * One decoded MorelloLite instruction. Fixed 4-byte footprint in the
+ * simulated code image (Morello keeps the A64 fixed-width encoding).
+ */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    u8 rd = kRegZero;  //!< Destination register.
+    u8 rn = kRegZero;  //!< First source.
+    u8 rm = kRegZero;  //!< Second source.
+    u8 ra = kRegZero;  //!< Third source (Madd accumulate).
+    s64 imm = 0;       //!< Immediate operand / memory displacement.
+    u8 size = 8;       //!< Memory access size in bytes (Ldr/Str).
+    Cond cond = Cond::Eq; //!< Condition for BCond.
+    BlockId target = kNoBlock; //!< Direct-branch target block.
+
+    /**
+     * For branches: true when this is the capability form (e.g. BLR
+     * Cn, RET C30) that installs new PCC bounds. Under the
+     * purecap-benchmark ABI the compiler emits the integer form
+     * instead; under hybrid there are no capability branches at all.
+     */
+    bool capBranch = false;
+
+    std::string toString() const;
+};
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_INST_HPP

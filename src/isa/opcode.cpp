@@ -1,0 +1,158 @@
+#include "isa/opcode.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::isa {
+
+InstClass
+opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldr:
+      case Opcode::LdrCap:
+        return InstClass::Load;
+      case Opcode::Str:
+      case Opcode::StrCap:
+        return InstClass::Store;
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FMadd:
+      case Opcode::FDiv:
+        return InstClass::Vfp;
+      case Opcode::VAdd:
+      case Opcode::VMul:
+      case Opcode::VFma:
+      case Opcode::VDot:
+        return InstClass::Ase;
+      case Opcode::B:
+      case Opcode::BCond:
+      case Opcode::Bl:
+        return InstClass::BranchImmed;
+      case Opcode::Br:
+      case Opcode::Blr:
+        return InstClass::BranchIndirect;
+      case Opcode::Ret:
+        return InstClass::BranchReturn;
+      case Opcode::Halt:
+      case Opcode::Brk:
+        return InstClass::Other;
+      default:
+        return InstClass::Dp;
+    }
+}
+
+bool
+isMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldr:
+      case Opcode::Str:
+      case Opcode::LdrCap:
+      case Opcode::StrCap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCapManip(Opcode op)
+{
+    switch (op) {
+      case Opcode::CSetBounds:
+      case Opcode::CSetBoundsImm:
+      case Opcode::CIncOffset:
+      case Opcode::CIncOffsetImm:
+      case Opcode::CSetAddr:
+      case Opcode::CAndPerm:
+      case Opcode::CClearTag:
+      case Opcode::CSeal:
+      case Opcode::CUnseal:
+      case Opcode::CGetBase:
+      case Opcode::CGetLen:
+      case Opcode::CGetTag:
+      case Opcode::CGetAddr:
+      case Opcode::CMove:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::B:
+      case Opcode::BCond:
+      case Opcode::Bl:
+      case Opcode::Br:
+      case Opcode::Blr:
+      case Opcode::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::MovImm: return "mov";
+      case Opcode::MovReg: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::AddImm: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::SubImm: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Orr: return "orr";
+      case Opcode::Eor: return "eor";
+      case Opcode::Lsl: return "lsl";
+      case Opcode::Lsr: return "lsr";
+      case Opcode::Mul: return "mul";
+      case Opcode::Madd: return "madd";
+      case Opcode::Udiv: return "udiv";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::CmpImm: return "cmp";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FMadd: return "fmadd";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::VAdd: return "vadd";
+      case Opcode::VMul: return "vmul";
+      case Opcode::VFma: return "vfma";
+      case Opcode::VDot: return "vdot";
+      case Opcode::Ldr: return "ldr";
+      case Opcode::Str: return "str";
+      case Opcode::LdrCap: return "ldr.c";
+      case Opcode::StrCap: return "str.c";
+      case Opcode::CSetBounds: return "csetbounds";
+      case Opcode::CSetBoundsImm: return "csetbounds";
+      case Opcode::CIncOffset: return "cincoffset";
+      case Opcode::CIncOffsetImm: return "cincoffset";
+      case Opcode::CSetAddr: return "csetaddr";
+      case Opcode::CAndPerm: return "candperm";
+      case Opcode::CClearTag: return "ccleartag";
+      case Opcode::CSeal: return "cseal";
+      case Opcode::CUnseal: return "cunseal";
+      case Opcode::CGetBase: return "cgetbase";
+      case Opcode::CGetLen: return "cgetlen";
+      case Opcode::CGetTag: return "cgettag";
+      case Opcode::CGetAddr: return "cgetaddr";
+      case Opcode::CMove: return "cmove";
+      case Opcode::LeaFunc: return "lea.fn";
+      case Opcode::B: return "b";
+      case Opcode::BCond: return "b";
+      case Opcode::Bl: return "bl";
+      case Opcode::Br: return "br";
+      case Opcode::Blr: return "blr";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+      case Opcode::Brk: return "brk";
+    }
+    CHERI_PANIC("unknown opcode ", static_cast<int>(op));
+}
+
+} // namespace cheri::isa

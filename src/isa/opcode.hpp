@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The MorelloLite instruction set.
+ *
+ * MorelloLite is a decoded-form, RISC-style ISA modelled on the subset
+ * of Morello (ARMv8.2-A + CHERI) behaviour the paper's PMU analysis
+ * observes: integer data processing, scalar FP, SIMD ("ASE"), loads
+ * and stores of 1..8-byte scalars and 16-byte capabilities, capability
+ * manipulation, and the branch taxonomy the Neoverse N1 PMU
+ * distinguishes (immediate / indirect / return).
+ *
+ * Instructions are kept in decoded structural form (no binary
+ * encoding): the simulator studies microarchitectural behaviour, not
+ * instruction decoding.
+ */
+
+#ifndef CHERI_ISA_OPCODE_HPP
+#define CHERI_ISA_OPCODE_HPP
+
+#include "support/types.hpp"
+
+namespace cheri::isa {
+
+enum class Opcode : u8 {
+    // Integer data processing.
+    Nop,
+    MovImm,   //!< rd = imm
+    MovReg,   //!< rd = rn
+    Add,      //!< rd = rn + rm
+    AddImm,   //!< rd = rn + imm
+    Sub,      //!< rd = rn - rm
+    SubImm,
+    And,
+    Orr,
+    Eor,
+    Lsl,      //!< rd = rn << (imm & 63)
+    Lsr,
+    Mul,
+    Madd,     //!< rd = ra + rn * rm (no capability-aware form on Morello)
+    Udiv,
+    Cmp,      //!< set flags from rn - rm
+    CmpImm,
+
+    // Scalar floating point (VFP_SPEC) — values modelled as u64 bits.
+    FAdd,
+    FMul,
+    FMadd,
+    FDiv,
+
+    // Advanced SIMD (ASE_SPEC) — behaviour abstracted, timing counted.
+    VAdd,
+    VMul,
+    VFma,
+    VDot,     //!< quantized dot-product step (LLaMA.cpp proxy kernels)
+
+    // Memory.
+    Ldr,      //!< rd = mem[rn + imm], size bytes (1/2/4/8)
+    Str,      //!< mem[rn + imm] = rd
+    LdrCap,   //!< cd = mem[rn + imm], 16-byte tagged capability
+    StrCap,
+
+    // Capability manipulation (executes in the integer DP pipes).
+    CSetBounds,      //!< cd = setBounds(cn, rm)
+    CSetBoundsImm,   //!< cd = setBounds(cn, imm)
+    CIncOffset,      //!< cd = cn.add(rm)
+    CIncOffsetImm,
+    CSetAddr,        //!< cd = cn.withAddress(rm)
+    CAndPerm,
+    CClearTag,
+    CSeal,
+    CUnseal,
+    CGetBase,        //!< rd = cn.base()
+    CGetLen,
+    CGetTag,
+    CGetAddr,
+    CMove,
+    /**
+     * Materialize a code capability (or plain address under hybrid)
+     * for a function: rd = &function(imm). Stands in for the
+     * ADRP+ADD / GOT-load sequences real code uses.
+     */
+    LeaFunc,
+
+    // Branches. Direct targets name a basic block; the call/return
+    // variants exist in integer (B/BL/BR/RET) and capability
+    // (PCC-bounds-installing) forms, selected by Inst::capBranch.
+    B,        //!< unconditional, direct
+    BCond,    //!< conditional, direct (cond in Inst::cond)
+    Bl,       //!< direct call
+    Br,       //!< indirect jump through register
+    Blr,      //!< indirect call through register
+    Ret,
+
+    // System.
+    Halt,     //!< stop simulation (normal exit)
+    Brk,      //!< trap (abnormal exit)
+};
+
+/** Condition codes for BCond (subset of the A64 set). */
+enum class Cond : u8 { Eq, Ne, Lt, Ge, Le, Gt };
+
+/** Instruction class for PMU accounting (\*_SPEC events). */
+enum class InstClass : u8 {
+    Dp,       //!< integer data processing, incl. capability manipulation
+    Vfp,      //!< scalar floating point
+    Ase,      //!< advanced SIMD
+    Load,
+    Store,
+    BranchImmed,
+    BranchIndirect,
+    BranchReturn,
+    Other,
+};
+
+/** Map an opcode to its PMU instruction class (branch class depends on
+ *  the opcode alone: Br/Blr are indirect, Ret is return). */
+InstClass opcodeClass(Opcode op);
+
+/** True for opcodes that read or write memory. */
+bool isMemory(Opcode op);
+
+/** True for capability-manipulation opcodes. */
+bool isCapManip(Opcode op);
+
+/** True for all branch opcodes. */
+bool isBranch(Opcode op);
+
+/** Mnemonic string. */
+const char *opcodeName(Opcode op);
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_OPCODE_HPP

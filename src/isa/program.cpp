@@ -1,0 +1,132 @@
+#include "isa/program.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cheri::isa {
+
+FuncId
+Program::addFunction(std::string name, LibId lib)
+{
+    funcs_.push_back(Function{std::move(name), kNoBlock, lib});
+    return static_cast<FuncId>(funcs_.size() - 1);
+}
+
+BlockId
+Program::addBlock(FuncId func)
+{
+    CHERI_ASSERT(func < funcs_.size(), "addBlock: bad function ", func);
+    blocks_.push_back(BasicBlock{{}, func, 0});
+    const BlockId id = static_cast<BlockId>(blocks_.size() - 1);
+    if (funcs_[func].entry == kNoBlock)
+        funcs_[func].entry = id;
+    return id;
+}
+
+void
+Program::setEntry(FuncId func, BlockId block)
+{
+    CHERI_ASSERT(func < funcs_.size(), "setEntry: bad function");
+    CHERI_ASSERT(block < blocks_.size(), "setEntry: bad block");
+    funcs_[func].entry = block;
+}
+
+BasicBlock &
+Program::block(BlockId id)
+{
+    CHERI_ASSERT(id < blocks_.size(), "block: bad id ", id);
+    return blocks_[id];
+}
+
+const BasicBlock &
+Program::block(BlockId id) const
+{
+    CHERI_ASSERT(id < blocks_.size(), "block: bad id ", id);
+    return blocks_[id];
+}
+
+Function &
+Program::function(FuncId id)
+{
+    CHERI_ASSERT(id < funcs_.size(), "function: bad id ", id);
+    return funcs_[id];
+}
+
+const Function &
+Program::function(FuncId id) const
+{
+    CHERI_ASSERT(id < funcs_.size(), "function: bad id ", id);
+    return funcs_[id];
+}
+
+LibId
+Program::libOf(BlockId block_id) const
+{
+    return funcs_[block(block_id).func].lib;
+}
+
+Addr
+Program::layout(Addr code_base)
+{
+    constexpr Addr kPage = 4096;
+
+    // Group blocks by library, preserving creation order within each.
+    std::map<LibId, std::vector<BlockId>> by_lib;
+    for (BlockId id = 0; id < blocks_.size(); ++id)
+        by_lib[libOf(id)].push_back(id);
+
+    Addr cursor = code_base;
+    for (auto &[lib, ids] : by_lib) {
+        cursor = (cursor + kPage - 1) & ~(kPage - 1);
+        for (BlockId id : ids) {
+            blocks_[id].address = cursor;
+            cursor += blocks_[id].insts.size() * 4;
+        }
+    }
+    return cursor;
+}
+
+u64
+Program::staticInstCount() const
+{
+    u64 total = 0;
+    for (const auto &b : blocks_)
+        total += b.insts.size();
+    return total;
+}
+
+void
+Program::validate() const
+{
+    for (const auto &f : funcs_)
+        CHERI_ASSERT(f.entry != kNoBlock && f.entry < blocks_.size(),
+                     "function '", f.name, "' has no entry block");
+    for (const auto &b : blocks_) {
+        CHERI_ASSERT(b.func < funcs_.size(), "block with bad function id");
+        for (const auto &inst : b.insts) {
+            if (isBranch(inst.op) && inst.target != kNoBlock)
+                CHERI_ASSERT(inst.target < blocks_.size(),
+                             "branch target out of range");
+        }
+    }
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (BlockId id = 0; id < blocks_.size(); ++id) {
+        const BasicBlock &b = blocks_[id];
+        const Function &f = funcs_[b.func];
+        if (f.entry == id)
+            os << f.name << ": (lib " << f.lib << ")\n";
+        os << ".bb" << id << ":\n";
+        for (const auto &inst : b.insts)
+            os << "    " << inst.toString() << '\n';
+    }
+    return os.str();
+}
+
+} // namespace cheri::isa

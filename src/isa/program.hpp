@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A MorelloLite program: functions made of basic blocks, grouped into
+ * "libraries" (link units). Library boundaries matter on Morello: a
+ * purecap cross-library call installs new PCC bounds, which the N1
+ * branch predictor does not track — the stall the purecap-benchmark
+ * ABI exists to remove.
+ */
+
+#ifndef CHERI_ISA_PROGRAM_HPP
+#define CHERI_ISA_PROGRAM_HPP
+
+#include <string>
+#include <vector>
+
+#include "isa/inst.hpp"
+#include "support/types.hpp"
+
+namespace cheri::isa {
+
+using FuncId = u32;
+using LibId = u16;
+
+/** A straight-line run of instructions ending in at most one branch. */
+struct BasicBlock
+{
+    std::vector<Inst> insts;
+    FuncId func = 0;    //!< Owning function.
+    Addr address = 0;   //!< Assigned by Program::layout().
+};
+
+/** A function: entry block plus metadata. */
+struct Function
+{
+    std::string name;
+    BlockId entry = kNoBlock;
+    LibId lib = 0;      //!< Link unit (0 = main executable).
+};
+
+/**
+ * A complete program. Blocks are owned flat; functions and libraries
+ * are metadata over them. Call layout() after construction to assign
+ * code addresses (used by the I-cache/ITLB models and the binary-size
+ * model).
+ */
+class Program
+{
+  public:
+    /** Create a function; returns its id. */
+    FuncId addFunction(std::string name, LibId lib = 0);
+
+    /** Create an empty block inside @p func; returns its id. */
+    BlockId addBlock(FuncId func);
+
+    /** Set a function's entry block. */
+    void setEntry(FuncId func, BlockId block);
+
+    BasicBlock &block(BlockId id);
+    const BasicBlock &block(BlockId id) const;
+    Function &function(FuncId id);
+    const Function &function(FuncId id) const;
+
+    std::size_t blockCount() const { return blocks_.size(); }
+    std::size_t functionCount() const { return funcs_.size(); }
+
+    /** Library id of the function owning @p block. */
+    LibId libOf(BlockId block) const;
+
+    /**
+     * Assign code addresses. Each library occupies a contiguous,
+     * page-aligned region starting at @p code_base; blocks within a
+     * library are laid out in creation order, 4 bytes per instruction.
+     * Returns one past the highest assigned address.
+     */
+    Addr layout(Addr code_base = 0x10000);
+
+    /** Total instruction count (static). */
+    u64 staticInstCount() const;
+
+    /** Basic validation: entries exist, targets in range. */
+    void validate() const;
+
+    /** Disassembly listing. */
+    std::string disassemble() const;
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<Function> funcs_;
+};
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_PROGRAM_HPP

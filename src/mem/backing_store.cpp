@@ -1,0 +1,72 @@
+#include "mem/backing_store.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::mem {
+
+BackingStore::Page &
+BackingStore::pageFor(Addr addr)
+{
+    const u64 key = addr / kPageBytes;
+    auto &slot = pages_[key];
+    if (!slot)
+        slot = std::make_unique<Page>(Page{});
+    return *slot;
+}
+
+u64
+BackingStore::read(Addr addr, u32 size)
+{
+    CHERI_ASSERT(size >= 1 && size <= 8, "scalar read size ", size);
+    u64 value = 0;
+    for (u32 i = 0; i < size; ++i) {
+        const Addr byte_addr = addr + i;
+        const Page &page = pageFor(byte_addr);
+        value |= static_cast<u64>(page[byte_addr % kPageBytes]) << (8 * i);
+    }
+    return value;
+}
+
+void
+BackingStore::write(Addr addr, u64 value, u32 size)
+{
+    CHERI_ASSERT(size >= 1 && size <= 8, "scalar write size ", size);
+    for (u32 i = 0; i < size; ++i) {
+        const Addr byte_addr = addr + i;
+        Page &page = pageFor(byte_addr);
+        page[byte_addr % kPageBytes] = static_cast<u8>(value >> (8 * i));
+    }
+    tags_.clobber(addr, size);
+}
+
+cap::Capability
+BackingStore::readCap(Addr addr)
+{
+    CHERI_ASSERT(addr % kCapGranule == 0, "unaligned capability load at 0x",
+                 std::hex, addr);
+    cap::PackedCap packed;
+    packed.address = read(addr, 8);
+    packed.metadata = read(addr + 8, 8);
+    const bool tag = tags_.read(addr);
+    return cap::Capability::unpack(packed, tag);
+}
+
+void
+BackingStore::writeCap(Addr addr, const cap::Capability &value)
+{
+    CHERI_ASSERT(addr % kCapGranule == 0, "unaligned capability store at 0x",
+                 std::hex, addr);
+    const cap::PackedCap packed = value.pack();
+    // Scalar writes clobber the granule tag; set the real tag after.
+    write(addr, packed.address, 8);
+    write(addr + 8, packed.metadata, 8);
+    tags_.write(addr, value.tag());
+}
+
+u64
+BackingStore::touchedBytes() const
+{
+    return pages_.size() * kPageBytes;
+}
+
+} // namespace cheri::mem

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Functional memory image: a sparse byte-addressable store plus the
+ * capability tag table. This is the architectural state; the cache and
+ * TLB models in MemorySystem provide timing only.
+ */
+
+#ifndef CHERI_MEM_BACKING_STORE_HPP
+#define CHERI_MEM_BACKING_STORE_HPP
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "cap/capability.hpp"
+#include "mem/tag_table.hpp"
+#include "support/types.hpp"
+
+namespace cheri::mem {
+
+class BackingStore
+{
+  public:
+    /** Read @p size (1..8) bytes little-endian, zero-extended. */
+    u64 read(Addr addr, u32 size);
+
+    /**
+     * Write @p size (1..8) bytes. Clears any capability tag whose
+     * granule the write overlaps (unforgeability).
+     */
+    void write(Addr addr, u64 value, u32 size);
+
+    /**
+     * Load a 16-byte capability. The validity tag comes from the tag
+     * table; an untagged granule yields an untagged capability.
+     * @p addr must be 16-byte aligned.
+     */
+    cap::Capability readCap(Addr addr);
+
+    /** Store a 16-byte capability with its tag. 16-byte aligned. */
+    void writeCap(Addr addr, const cap::Capability &value);
+
+    TagTable &tags() { return tags_; }
+    const TagTable &tags() const { return tags_; }
+
+    /** Bytes of memory touched so far (footprint, page granularity). */
+    u64 touchedBytes() const;
+
+  private:
+    static constexpr u64 kPageBytes = 4096;
+
+    using Page = std::array<u8, kPageBytes>;
+
+    Page &pageFor(Addr addr);
+
+    std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+    TagTable tags_;
+};
+
+} // namespace cheri::mem
+
+#endif // CHERI_MEM_BACKING_STORE_HPP

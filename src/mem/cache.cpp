@@ -1,0 +1,74 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+#include "support/logging.hpp"
+
+namespace cheri::mem {
+
+SetAssocCache::SetAssocCache(const CacheConfig &config) : config_(config)
+{
+    CHERI_ASSERT(config.line_bytes > 0 &&
+                     std::has_single_bit(config.line_bytes),
+                 "line size must be a power of two");
+    CHERI_ASSERT(config.ways > 0, "cache needs at least one way");
+    const u64 lines = config.size_bytes / config.line_bytes;
+    CHERI_ASSERT(lines % config.ways == 0, "size/ways mismatch");
+    numSets_ = static_cast<u32>(lines / config.ways);
+    CHERI_ASSERT(std::has_single_bit(numSets_),
+                 "number of sets must be a power of two");
+    lines_.resize(lines);
+}
+
+bool
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    ++tick_;
+    const Addr line = lineAddr(addr);
+    const u32 set = static_cast<u32>(line & (numSets_ - 1));
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+    Line *victim = base;
+    for (u32 w = 0; w < config_.ways; ++w) {
+        Line &entry = base[w];
+        if (entry.valid && entry.tag == line) {
+            entry.lastUse = tick_;
+            entry.dirty |= is_write;
+            return true;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lastUse < victim->lastUse) {
+            victim = &entry;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = line;
+    victim->lastUse = tick_;
+    victim->dirty = is_write;
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    const u32 set = static_cast<u32>(line & (numSets_ - 1));
+    const Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+    for (u32 w = 0; w < config_.ways; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &entry : lines_)
+        entry = Line{};
+}
+
+} // namespace cheri::mem

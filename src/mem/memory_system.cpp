@@ -1,0 +1,135 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+
+namespace cheri::mem {
+
+using pmu::Event;
+
+const char *
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1: return "L1";
+      case MemLevel::L2: return "L2";
+      case MemLevel::Llc: return "LLC";
+      case MemLevel::Dram: return "DRAM";
+    }
+    return "?";
+}
+
+MemorySystem::MemorySystem(const MemConfig &config, pmu::EventCounts &counts)
+    : config_(config), counts_(counts), l1i_(config.l1i), l1d_(config.l1d),
+      l2_(config.l2), llc_(config.llc), l1iTlb_(config.l1i_tlb),
+      l1dTlb_(config.l1d_tlb), l2Tlb_(config.l2_tlb)
+{
+}
+
+Cycles
+MemorySystem::translate(Addr addr, bool instruction_side, bool &walked)
+{
+    walked = false;
+    Tlb &l1 = instruction_side ? l1iTlb_ : l1dTlb_;
+    counts_.add(instruction_side ? Event::L1iTlb : Event::L1dTlb);
+    if (l1.access(addr))
+        return 0;
+
+    counts_.add(Event::L2dTlb);
+    if (l2Tlb_.access(addr))
+        return 1; // micro-TLB refill from the unified TLB: ~1 cycle.
+
+    counts_.add(Event::L2dTlbRefill);
+    counts_.add(instruction_side ? Event::ItlbWalk : Event::DtlbWalk);
+    walked = true;
+    return config_.walk_latency;
+}
+
+AccessResult
+MemorySystem::fetch(Addr pc)
+{
+    AccessResult result;
+    result.latency = translate(pc, /*instruction_side=*/true,
+                               result.tlb_walk);
+
+    counts_.add(Event::L1iCache);
+    if (l1i_.access(pc, /*is_write=*/false)) {
+        result.level = MemLevel::L1;
+        // L1I hits are fully pipelined: no added fetch latency.
+        return result;
+    }
+    counts_.add(Event::L1iCacheRefill);
+
+    counts_.add(Event::L2dCache);
+    if (l2_.access(pc, false)) {
+        result.level = MemLevel::L2;
+        result.latency += config_.l2_latency;
+        return result;
+    }
+    counts_.add(Event::L2dCacheRefill);
+
+    counts_.add(Event::LlCacheRd);
+    if (llc_.access(pc, false)) {
+        result.level = MemLevel::Llc;
+        result.latency += config_.llc_latency;
+        return result;
+    }
+    counts_.add(Event::LlCacheMissRd);
+    result.level = MemLevel::Dram;
+    result.latency += config_.dram_latency;
+    return result;
+}
+
+AccessResult
+MemorySystem::data(Addr addr, u32 size, bool is_write, bool is_cap)
+{
+    counts_.add(is_write ? Event::MemAccessWr : Event::MemAccessRd);
+    if (is_cap) {
+        counts_.add(is_write ? Event::CapMemAccessWr
+                             : Event::CapMemAccessRd);
+        counts_.add(is_write ? Event::MemAccessWrCtag
+                             : Event::MemAccessRdCtag);
+    }
+
+    AccessResult result;
+    result.latency = translate(addr, /*instruction_side=*/false,
+                               result.tlb_walk);
+    result.latency += config_.tag_extra_latency * (is_cap ? 1 : 0);
+
+    // An access that straddles a line boundary touches two lines; the
+    // second access is what the PMU would count as another L1D access.
+    const u64 line = config_.l1d.line_bytes;
+    const bool straddles = size > 0 && (addr / line) != ((addr + size - 1) / line);
+
+    for (int part = 0; part < (straddles ? 2 : 1); ++part) {
+        const Addr a = part == 0 ? addr : (addr / line + 1) * line;
+        counts_.add(Event::L1dCache);
+        if (l1d_.access(a, is_write)) {
+            result.latency += config_.l1_latency;
+            continue;
+        }
+        counts_.add(Event::L1dCacheRefill);
+
+        counts_.add(Event::L2dCache);
+        if (l2_.access(a, is_write)) {
+            result.level = std::max(result.level, MemLevel::L2);
+            result.latency += config_.l2_latency;
+            continue;
+        }
+        counts_.add(Event::L2dCacheRefill);
+
+        if (!is_write)
+            counts_.add(Event::LlCacheRd);
+        if (llc_.access(a, is_write)) {
+            result.level = std::max(result.level, MemLevel::Llc);
+            result.latency += config_.llc_latency;
+            continue;
+        }
+        if (!is_write)
+            counts_.add(Event::LlCacheMissRd);
+        result.level = MemLevel::Dram;
+        result.latency += config_.dram_latency;
+    }
+    return result;
+}
+
+} // namespace cheri::mem

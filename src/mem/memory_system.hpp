@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Morello memory hierarchy timing model: per-core L1I/L1D, private
+ * L2, shared last-level cache, two-level TLBs with a page walker, and
+ * a flat DRAM latency. Geometry defaults follow §2.2 of the paper
+ * (64 KiB 4-way L1s, 1 MiB 8-way L2, 1 MiB shared LLC, 64 B lines).
+ *
+ * The MemorySystem counts PMU events as accesses flow through it; it
+ * models timing and presence only — functional data lives in
+ * BackingStore.
+ */
+
+#ifndef CHERI_MEM_MEMORY_SYSTEM_HPP
+#define CHERI_MEM_MEMORY_SYSTEM_HPP
+
+#include "mem/cache.hpp"
+#include "mem/tlb.hpp"
+#include "pmu/counts.hpp"
+#include "support/types.hpp"
+
+namespace cheri::mem {
+
+/** Which level serviced an access. */
+enum class MemLevel : u8 { L1, L2, Llc, Dram };
+
+const char *memLevelName(MemLevel level);
+
+struct MemConfig
+{
+    CacheConfig l1i{64 * kKiB, 4, 64};
+    CacheConfig l1d{64 * kKiB, 4, 64};
+    CacheConfig l2{1 * kMiB, 8, 64};
+    CacheConfig llc{1 * kMiB, 16, 64};
+
+    TlbConfig l1i_tlb{48, 0, 4096};
+    TlbConfig l1d_tlb{48, 0, 4096};
+    TlbConfig l2_tlb{1280, 5, 4096};
+
+    Cycles l1_latency = 4;
+    Cycles l2_latency = 11;
+    Cycles llc_latency = 35;
+    Cycles dram_latency = 190;
+    Cycles walk_latency = 22;
+
+    /**
+     * Extra latency applied to capability-width accesses, modelling a
+     * hypothetical serial tag-storage lookup. 0 on Morello (tags ride
+     * the data path); exposed as an ablation knob.
+     */
+    Cycles tag_extra_latency = 0;
+};
+
+/** Timing outcome of one access. */
+struct AccessResult
+{
+    Cycles latency = 0;
+    MemLevel level = MemLevel::L1;
+    bool tlb_walk = false;
+};
+
+class MemorySystem
+{
+  public:
+    MemorySystem(const MemConfig &config, pmu::EventCounts &counts);
+
+    /**
+     * Instruction fetch of the 16-byte fetch group at @p pc.
+     * Counts L1I/ITLB events; refills propagate into the unified L2
+     * and beyond, as on the N1.
+     */
+    AccessResult fetch(Addr pc);
+
+    /**
+     * Data access.
+     *
+     * @param addr Effective address.
+     * @param size Bytes (16 for capability-width).
+     * @param is_write Store if true.
+     * @param is_cap Capability-width access: counts the Morello
+     *        CAP_MEM_ACCESS / MEM_ACCESS_CTAG events and pays
+     *        tag_extra_latency.
+     */
+    AccessResult data(Addr addr, u32 size, bool is_write, bool is_cap);
+
+    const MemConfig &config() const { return config_; }
+
+    // Component access for tests and diagnostics.
+    const SetAssocCache &l1i() const { return l1i_; }
+    const SetAssocCache &l1d() const { return l1d_; }
+    const SetAssocCache &l2() const { return l2_; }
+    const SetAssocCache &llc() const { return llc_; }
+    const Tlb &l1iTlb() const { return l1iTlb_; }
+    const Tlb &l1dTlb() const { return l1dTlb_; }
+    const Tlb &l2Tlb() const { return l2Tlb_; }
+
+  private:
+    /** Translate; returns walk latency contribution (0 on TLB hit). */
+    Cycles translate(Addr addr, bool instruction_side, bool &walked);
+
+    MemConfig config_;
+    pmu::EventCounts &counts_;
+    SetAssocCache l1i_;
+    SetAssocCache l1d_;
+    SetAssocCache l2_;
+    SetAssocCache llc_;
+    Tlb l1iTlb_;
+    Tlb l1dTlb_;
+    Tlb l2Tlb_;
+};
+
+} // namespace cheri::mem
+
+#endif // CHERI_MEM_MEMORY_SYSTEM_HPP

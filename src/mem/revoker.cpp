@@ -1,0 +1,70 @@
+#include "mem/revoker.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cheri::mem {
+
+void
+Revoker::quarantine(Addr base, u64 length)
+{
+    CHERI_ASSERT(length > 0, "empty quarantine region");
+    quarantine_.push_back({base, length});
+}
+
+bool
+Revoker::isQuarantined(Addr addr, u64 size) const
+{
+    for (const Region &region : quarantine_) {
+        const Addr lo = std::max(addr, region.base);
+        const Addr hi =
+            std::min(addr + size, region.base + region.length);
+        if (lo < hi)
+            return true;
+    }
+    return false;
+}
+
+u64
+Revoker::quarantinedBytes() const
+{
+    u64 total = 0;
+    for (const Region &region : quarantine_)
+        total += region.length;
+    return total;
+}
+
+SweepStats
+Revoker::sweep()
+{
+    SweepStats stats;
+    if (quarantine_.empty())
+        return stats;
+
+    // Collect first (the tag table must not be mutated mid-visit).
+    std::vector<Addr> tagged;
+    store_.tags().forEachTagged(
+        [&tagged](Addr addr) { tagged.push_back(addr); });
+
+    for (const Addr addr : tagged) {
+        ++stats.granulesVisited;
+        const cap::Capability capability = store_.readCap(addr);
+        if (!capability.tag())
+            continue; // raced with our own revocations: impossible
+                      // here, but harmless.
+        // Revoke when the capability's authority overlaps quarantine.
+        const u64 length = capability.length();
+        if (isQuarantined(capability.base(),
+                          length ? length : 1)) {
+            store_.tags().write(addr, false);
+            ++stats.capsRevoked;
+        }
+    }
+
+    stats.bytesReleased = quarantinedBytes();
+    quarantine_.clear();
+    return stats;
+}
+
+} // namespace cheri::mem

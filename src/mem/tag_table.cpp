@@ -1,0 +1,85 @@
+#include "mem/tag_table.hpp"
+
+#include <bit>
+
+namespace cheri::mem {
+
+namespace {
+
+u64
+granuleIndex(Addr addr)
+{
+    return addr / kCapGranule;
+}
+
+} // namespace
+
+bool
+TagTable::read(Addr addr)
+{
+    ++reads_;
+    const u64 granule = granuleIndex(addr);
+    const auto it = bits_.find(granule / 64);
+    if (it == bits_.end())
+        return false;
+    return (it->second >> (granule % 64)) & 1;
+}
+
+void
+TagTable::write(Addr addr, bool tag)
+{
+    ++writes_;
+    const u64 granule = granuleIndex(addr);
+    const u64 key = granule / 64;
+    const u64 mask = 1ULL << (granule % 64);
+    if (tag) {
+        bits_[key] |= mask;
+    } else {
+        const auto it = bits_.find(key);
+        if (it != bits_.end()) {
+            it->second &= ~mask;
+            if (it->second == 0)
+                bits_.erase(it);
+        }
+    }
+}
+
+void
+TagTable::clobber(Addr addr, u64 size)
+{
+    const u64 first = granuleIndex(addr);
+    const u64 last = size ? granuleIndex(addr + size - 1) : first;
+    for (u64 granule = first; granule <= last; ++granule) {
+        const u64 key = granule / 64;
+        const auto it = bits_.find(key);
+        if (it != bits_.end()) {
+            it->second &= ~(1ULL << (granule % 64));
+            if (it->second == 0)
+                bits_.erase(it);
+        }
+    }
+}
+
+u64
+TagTable::taggedCount() const
+{
+    u64 total = 0;
+    for (const auto &[key, word] : bits_)
+        total += static_cast<u64>(std::popcount(word));
+    return total;
+}
+
+void
+TagTable::forEachTagged(const std::function<void(Addr)> &visit) const
+{
+    for (const auto &[key, word] : bits_) {
+        for (int bit = 0; bit < 64; ++bit) {
+            if ((word >> bit) & 1) {
+                const u64 granule = key * 64 + static_cast<u64>(bit);
+                visit(granule * kCapGranule);
+            }
+        }
+    }
+}
+
+} // namespace cheri::mem

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Out-of-band capability tag storage.
+ *
+ * CHERI stores one validity bit per capability-aligned (16-byte)
+ * granule of physical memory, inaccessible to data loads and stores.
+ * Morello carries the bits alongside the data through the cache
+ * hierarchy and DRAM. The table also keeps the access statistics
+ * behind the MEM_ACCESS_*_CTAG PMU events.
+ */
+
+#ifndef CHERI_MEM_TAG_TABLE_HPP
+#define CHERI_MEM_TAG_TABLE_HPP
+
+#include <functional>
+#include <unordered_map>
+
+#include "support/types.hpp"
+
+namespace cheri::mem {
+
+/** Capability granule size: one tag bit per 16 bytes. */
+inline constexpr u64 kCapGranule = 16;
+
+class TagTable
+{
+  public:
+    /** Read the tag covering @p addr (must be granule-aligned). */
+    bool read(Addr addr);
+
+    /** Write the tag covering @p addr. */
+    void write(Addr addr, bool tag);
+
+    /**
+     * Clear the tag of the granule containing @p addr if a plain data
+     * write of @p size bytes overlaps it — the hardware rule that
+     * makes capabilities unforgeable through byte stores.
+     */
+    void clobber(Addr addr, u64 size);
+
+    u64 tagReads() const { return reads_; }
+    u64 tagWrites() const { return writes_; }
+
+    /** Number of granules currently tagged (for tests/diagnostics). */
+    u64 taggedCount() const;
+
+    /**
+     * Visit the address of every currently-tagged granule. The
+     * visitation order is unspecified; the callback must not mutate
+     * the table (collect first, then write). Used by the revocation
+     * sweeper, which — like Cornucopia's load barriers — only needs
+     * to find live capabilities, not scan untagged memory.
+     */
+    void forEachTagged(const std::function<void(Addr)> &visit) const;
+
+  private:
+    /** 64 granule bits per map entry: covers 1 KiB of memory. */
+    std::unordered_map<u64, u64> bits_;
+    u64 reads_ = 0;
+    u64 writes_ = 0;
+};
+
+} // namespace cheri::mem
+
+#endif // CHERI_MEM_TAG_TABLE_HPP

@@ -1,0 +1,59 @@
+#include "mem/tlb.hpp"
+
+#include <bit>
+
+#include "support/logging.hpp"
+
+namespace cheri::mem {
+
+Tlb::Tlb(const TlbConfig &config) : config_(config)
+{
+    CHERI_ASSERT(config.entries > 0, "TLB needs entries");
+    CHERI_ASSERT(std::has_single_bit(config.page_bytes),
+                 "page size must be a power of two");
+    ways_ = config.ways == 0 ? config.entries : config.ways;
+    CHERI_ASSERT(config.entries % ways_ == 0, "entries/ways mismatch");
+    numSets_ = config.entries / ways_;
+    CHERI_ASSERT(std::has_single_bit(numSets_),
+                 "TLB set count must be a power of two");
+    entries_.resize(config.entries);
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    ++accesses_;
+    ++tick_;
+    const Addr vpn = addr / config_.page_bytes;
+    const u32 set = static_cast<u32>(vpn & (numSets_ - 1));
+    Entry *base = &entries_[static_cast<std::size_t>(set) * ways_];
+
+    Entry *victim = base;
+    for (u32 w = 0; w < ways_; ++w) {
+        Entry &entry = base[w];
+        if (entry.valid && entry.vpn == vpn) {
+            entry.lastUse = tick_;
+            return true;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lastUse < victim->lastUse) {
+            victim = &entry;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = tick_;
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &entry : entries_)
+        entry = Entry{};
+}
+
+} // namespace cheri::mem

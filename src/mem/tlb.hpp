@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Two-level TLB model matching the Neoverse N1 organisation: small
+ * fully-associative L1 instruction and data micro-TLBs backed by a
+ * large set-associative unified L2 TLB, with a fixed-cost page walker
+ * behind it.
+ */
+
+#ifndef CHERI_MEM_TLB_HPP
+#define CHERI_MEM_TLB_HPP
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace cheri::mem {
+
+struct TlbConfig
+{
+    u32 entries = 48;
+    u32 ways = 0;        //!< 0 = fully associative.
+    u32 page_bytes = 4096;
+};
+
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /** Translate the page containing @p addr; allocate on miss. */
+    bool access(Addr addr);
+
+    void flush();
+
+    u64 accesses() const { return accesses_; }
+    u64 misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) / accesses_ : 0.0;
+    }
+
+    const TlbConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        Addr vpn = 0;
+        u64 lastUse = 0;
+        bool valid = false;
+    };
+
+    TlbConfig config_;
+    u32 numSets_;
+    u32 ways_;
+    std::vector<Entry> entries_;
+    u64 tick_ = 0;
+    u64 accesses_ = 0;
+    u64 misses_ = 0;
+};
+
+} // namespace cheri::mem
+
+#endif // CHERI_MEM_TLB_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A full vector of event counts. The simulation models increment this
+ * directly; the Pmu / PmcSession classes model the hardware's limited
+ * window (six programmable counters) on top of it.
+ */
+
+#ifndef CHERI_PMU_COUNTS_HPP
+#define CHERI_PMU_COUNTS_HPP
+
+#include <array>
+
+#include "pmu/events.hpp"
+#include "support/types.hpp"
+
+namespace cheri::pmu {
+
+class EventCounts
+{
+  public:
+    void
+    add(Event event, u64 n = 1)
+    {
+        counts_[static_cast<std::size_t>(event)] += n;
+    }
+
+    u64
+    get(Event event) const
+    {
+        return counts_[static_cast<std::size_t>(event)];
+    }
+
+    /** get() as double, convenient for ratio metrics. */
+    double
+    getF(Event event) const
+    {
+        return static_cast<double>(get(event));
+    }
+
+    void
+    reset()
+    {
+        counts_.fill(0);
+    }
+
+    EventCounts &
+    operator+=(const EventCounts &other)
+    {
+        for (std::size_t i = 0; i < kNumEvents; ++i)
+            counts_[i] += other.counts_[i];
+        return *this;
+    }
+
+    /** this - other, element-wise (for interval snapshots). */
+    EventCounts
+    diff(const EventCounts &other) const
+    {
+        EventCounts out;
+        for (std::size_t i = 0; i < kNumEvents; ++i)
+            out.counts_[i] = counts_[i] - other.counts_[i];
+        return out;
+    }
+
+    bool operator==(const EventCounts &) const = default;
+
+  private:
+    std::array<u64, kNumEvents> counts_{};
+};
+
+} // namespace cheri::pmu
+
+#endif // CHERI_PMU_COUNTS_HPP

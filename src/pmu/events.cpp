@@ -1,0 +1,98 @@
+#include "pmu/events.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::pmu {
+
+namespace {
+
+struct EventInfo
+{
+    const char *name;
+    const char *description;
+    bool architectural;
+};
+
+const EventInfo kInfo[kNumEvents] = {
+    {"CPU_CYCLES", "Processor clock cycles", true},
+    {"INST_RETIRED", "Architecturally retired instructions", true},
+    {"INST_SPEC", "Speculatively executed instructions", true},
+    {"STALL_FRONTEND", "Cycles with no uops delivered by the frontend",
+     true},
+    {"STALL_BACKEND", "Cycles with uops not accepted by the backend", true},
+    {"BR_RETIRED", "Retired branches", true},
+    {"BR_MIS_PRED_RETIRED", "Retired mispredicted branches", true},
+    {"L1I_CACHE", "L1 instruction cache accesses", true},
+    {"L1I_CACHE_REFILL", "L1 instruction cache refills", true},
+    {"L1D_CACHE", "L1 data cache accesses", true},
+    {"L1D_CACHE_REFILL", "L1 data cache refills", true},
+    {"L2D_CACHE", "L2 unified cache accesses", true},
+    {"L2D_CACHE_REFILL", "L2 unified cache refills", true},
+    {"LL_CACHE_RD", "Last-level cache read accesses", true},
+    {"LL_CACHE_MISS_RD", "Last-level cache read misses", true},
+    {"L1I_TLB", "L1 instruction TLB accesses", true},
+    {"L1D_TLB", "L1 data TLB accesses", true},
+    {"ITLB_WALK", "Page walks triggered by instruction fetch", true},
+    {"DTLB_WALK", "Page walks triggered by data access", true},
+    {"L2D_TLB", "Unified L2 TLB accesses", true},
+    {"L2D_TLB_REFILL", "Unified L2 TLB refills", true},
+    {"LD_SPEC", "Speculatively executed loads", true},
+    {"ST_SPEC", "Speculatively executed stores", true},
+    {"DP_SPEC", "Speculatively executed integer data-processing", true},
+    {"ASE_SPEC", "Speculatively executed advanced-SIMD", true},
+    {"VFP_SPEC", "Speculatively executed scalar floating point", true},
+    {"BR_IMMED_SPEC", "Speculatively executed immediate branches", true},
+    {"BR_INDIRECT_SPEC", "Speculatively executed indirect branches", true},
+    {"BR_RETURN_SPEC", "Speculatively executed function returns", true},
+    {"CRYPTO_SPEC", "Speculatively executed crypto operations", true},
+    {"MEM_ACCESS_RD", "Memory read accesses", true},
+    {"MEM_ACCESS_WR", "Memory write accesses", true},
+    {"CAP_MEM_ACCESS_RD", "Capability-width memory reads", true},
+    {"CAP_MEM_ACCESS_WR", "Capability-width memory writes", true},
+    {"MEM_ACCESS_RD_CTAG", "Reads that check a capability tag", true},
+    {"MEM_ACCESS_WR_CTAG", "Writes that update a capability tag", true},
+    {"SLOTS_TOTAL", "Pipeline slots issued (model truth)", false},
+    {"SLOTS_RETIRED", "Slots retiring useful uops (model truth)", false},
+    {"SLOTS_BAD_SPEC", "Slots wasted on bad speculation (model truth)",
+     false},
+    {"SLOTS_FRONTEND", "Frontend-starved slots (model truth)", false},
+    {"SLOTS_BACKEND", "Backend-stalled slots (model truth)", false},
+    {"STALL_MEM_L1", "Backend stall cycles resolved at L1D (model)",
+     false},
+    {"STALL_MEM_L2", "Backend stall cycles resolved at L2 (model)", false},
+    {"STALL_MEM_EXT", "Backend stall cycles at LLC/DRAM (model)", false},
+    {"STALL_CORE", "Backend stall cycles on core resources (model)",
+     false},
+    {"PCC_STALL", "Frontend stall cycles from PCC-bound updates (model)",
+     false},
+};
+
+const EventInfo &
+info(Event event)
+{
+    const auto index = static_cast<std::size_t>(event);
+    CHERI_ASSERT(index < kNumEvents, "bad event ", index);
+    return kInfo[index];
+}
+
+} // namespace
+
+const char *
+eventName(Event event)
+{
+    return info(event).name;
+}
+
+const char *
+eventDescription(Event event)
+{
+    return info(event).description;
+}
+
+bool
+isArchitectural(Event event)
+{
+    return info(event).architectural;
+}
+
+} // namespace cheri::pmu

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Performance-monitoring events.
+ *
+ * The enum mirrors the Neoverse N1 PMU events the paper collects with
+ * pmcstat on CheriBSD (Table 1), including the Morello-specific
+ * capability events (CAP_MEM_ACCESS_*, MEM_ACCESS_*_CTAG). A few
+ * model-internal events (Slots*, StallMem*) expose the ground truth
+ * the hardware can only approximate; the analysis library computes the
+ * paper's approximations from the architectural events and can check
+ * them against the ground truth.
+ */
+
+#ifndef CHERI_PMU_EVENTS_HPP
+#define CHERI_PMU_EVENTS_HPP
+
+#include <string>
+
+#include "support/types.hpp"
+
+namespace cheri::pmu {
+
+enum class Event : u8 {
+    // Cycle accounting.
+    CpuCycles,
+    InstRetired,
+    InstSpec,
+    StallFrontend,
+    StallBackend,
+
+    // Branch prediction.
+    BrRetired,
+    BrMisPredRetired,
+
+    // Cache hierarchy (total accesses and refills per level).
+    L1iCache,
+    L1iCacheRefill,
+    L1dCache,
+    L1dCacheRefill,
+    L2dCache,
+    L2dCacheRefill,
+    LlCacheRd,
+    LlCacheMissRd,
+
+    // TLBs.
+    L1iTlb,
+    L1dTlb,
+    ItlbWalk,
+    DtlbWalk,
+    L2dTlb,
+    L2dTlbRefill,
+
+    // Speculative instruction mix.
+    LdSpec,
+    StSpec,
+    DpSpec,
+    AseSpec,
+    VfpSpec,
+    BrImmedSpec,
+    BrIndirectSpec,
+    BrReturnSpec,
+    CryptoSpec,
+
+    // Memory traffic.
+    MemAccessRd,
+    MemAccessWr,
+
+    // Morello capability events.
+    CapMemAccessRd,
+    CapMemAccessWr,
+    MemAccessRdCtag,
+    MemAccessWrCtag,
+
+    // --- Model-internal ground truth (not available on hardware) ----
+    SlotsTotal,        //!< Pipeline slots issued (width x cycles).
+    SlotsRetired,      //!< Slots that retired useful uops.
+    SlotsBadSpec,      //!< Slots wasted on mispredicted paths.
+    SlotsFrontend,     //!< Slots starved by the frontend.
+    SlotsBackend,      //!< Slots stalled by the backend.
+    StallMemL1,        //!< Backend stall cycles resolved at L1D.
+    StallMemL2,        //!< ... resolved at L2.
+    StallMemExt,       //!< ... resolved at LLC/DRAM.
+    StallCore,         //!< Backend stall cycles on execution resources.
+    PccStall,          //!< Frontend stall cycles from PCC-bound updates.
+
+    NumEvents,
+};
+
+inline constexpr std::size_t kNumEvents =
+    static_cast<std::size_t>(Event::NumEvents);
+
+/** Canonical (hardware-style) event name, e.g. "CAP_MEM_ACCESS_RD". */
+const char *eventName(Event event);
+
+/** One-line description for documentation output. */
+const char *eventDescription(Event event);
+
+/** True for events a real Morello PMU exposes (not model-internal). */
+bool isArchitectural(Event event);
+
+} // namespace cheri::pmu
+
+#endif // CHERI_PMU_EVENTS_HPP

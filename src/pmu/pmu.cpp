@@ -1,0 +1,116 @@
+#include "pmu/pmu.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cheri::pmu {
+
+void
+Pmu::program(std::vector<Event> events)
+{
+    CHERI_ASSERT(events.size() <= kNumSlots, "PMU has only ", kNumSlots,
+                 " slots, asked for ", events.size());
+    programmed_ = std::move(events);
+}
+
+bool
+Pmu::isProgrammed(Event event) const
+{
+    return std::find(programmed_.begin(), programmed_.end(), event) !=
+           programmed_.end();
+}
+
+u64
+Pmu::read(const EventCounts &counts, Event event) const
+{
+    CHERI_ASSERT(isProgrammed(event), "reading unprogrammed event ",
+                 eventName(event));
+    return counts.get(event);
+}
+
+u64
+CollectedCounts::get(Event event) const
+{
+    const auto it = values.find(event);
+    return it == values.end() ? 0 : it->second;
+}
+
+double
+CollectedCounts::getF(Event event) const
+{
+    return static_cast<double>(get(event));
+}
+
+EventCounts
+CollectedCounts::toEventCounts() const
+{
+    EventCounts out;
+    for (const auto &[event, value] : values)
+        out.add(event, value);
+    return out;
+}
+
+std::vector<std::vector<Event>>
+PmcSession::schedule(const std::vector<Event> &events)
+{
+    // De-duplicate while preserving request order, then chunk into
+    // groups of kNumSlots. CPU_CYCLES rides along in every group (the
+    // N1 has a dedicated cycle counter), so it never consumes a slot
+    // twice needlessly; we keep the model simple and just ensure each
+    // group that lacks it gets it appended when room allows.
+    std::vector<Event> unique;
+    for (Event event : events)
+        if (std::find(unique.begin(), unique.end(), event) == unique.end())
+            unique.push_back(event);
+
+    std::vector<std::vector<Event>> groups;
+    for (std::size_t i = 0; i < unique.size(); i += kNumSlots) {
+        const std::size_t end = std::min(unique.size(), i + kNumSlots);
+        groups.emplace_back(unique.begin() + i, unique.begin() + end);
+    }
+    return groups;
+}
+
+CollectedCounts
+PmcSession::collect(const std::vector<Event> &events,
+                    const std::function<EventCounts()> &run) const
+{
+    CollectedCounts result;
+    Pmu pmu;
+    for (const auto &group : schedule(events)) {
+        pmu.program(group);
+        const EventCounts counts = run();
+        ++result.runs;
+        for (Event event : group)
+            result.values[event] = pmu.read(counts, event);
+    }
+    return result;
+}
+
+std::vector<Event>
+PmcSession::paperEventSet()
+{
+    return {
+        Event::CpuCycles,      Event::InstRetired,
+        Event::InstSpec,       Event::StallFrontend,
+        Event::StallBackend,   Event::BrRetired,
+        Event::BrMisPredRetired, Event::L1iCache,
+        Event::L1iCacheRefill, Event::L1dCache,
+        Event::L1dCacheRefill, Event::L2dCache,
+        Event::L2dCacheRefill, Event::LlCacheRd,
+        Event::LlCacheMissRd,  Event::L1iTlb,
+        Event::L1dTlb,         Event::ItlbWalk,
+        Event::DtlbWalk,       Event::L2dTlb,
+        Event::L2dTlbRefill,   Event::LdSpec,
+        Event::StSpec,         Event::DpSpec,
+        Event::AseSpec,        Event::VfpSpec,
+        Event::BrImmedSpec,    Event::BrIndirectSpec,
+        Event::BrReturnSpec,   Event::CryptoSpec,
+        Event::MemAccessRd,    Event::MemAccessWr,
+        Event::CapMemAccessRd, Event::CapMemAccessWr,
+        Event::MemAccessRdCtag, Event::MemAccessWrCtag,
+    };
+}
+
+} // namespace cheri::pmu

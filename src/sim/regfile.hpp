@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Architectural register state. Every register is a full capability;
+ * integer values are represented as untagged capabilities whose
+ * address field carries the value — exactly the merged register file
+ * model Morello uses (Xn is the address field of Cn).
+ */
+
+#ifndef CHERI_SIM_REGFILE_HPP
+#define CHERI_SIM_REGFILE_HPP
+
+#include <array>
+
+#include "cap/capability.hpp"
+#include "isa/inst.hpp"
+#include "support/types.hpp"
+
+namespace cheri::sim {
+
+class RegFile
+{
+  public:
+    /** Integer view: the address field. X31 reads as zero. */
+    u64
+    x(u8 index) const
+    {
+        return index == isa::kRegZero ? 0 : regs_[index].address();
+    }
+
+    /** Integer write: clears the tag (an integer is not a pointer). */
+    void
+    setX(u8 index, u64 value)
+    {
+        if (index != isa::kRegZero)
+            regs_[index] = cap::Capability().withAddress(value);
+    }
+
+    /** Capability view. C31 reads as the null capability. */
+    const cap::Capability &
+    c(u8 index) const
+    {
+        return index == isa::kRegZero ? null_ : regs_[index];
+    }
+
+    void
+    setC(u8 index, const cap::Capability &value)
+    {
+        if (index != isa::kRegZero)
+            regs_[index] = value;
+    }
+
+    // Condition flags (set by CMP). ------------------------------------
+    void
+    setFlags(s64 lhs, s64 rhs)
+    {
+        flagLhs_ = lhs;
+        flagRhs_ = rhs;
+    }
+
+    bool
+    condHolds(isa::Cond cond) const
+    {
+        switch (cond) {
+          case isa::Cond::Eq: return flagLhs_ == flagRhs_;
+          case isa::Cond::Ne: return flagLhs_ != flagRhs_;
+          case isa::Cond::Lt: return flagLhs_ < flagRhs_;
+          case isa::Cond::Ge: return flagLhs_ >= flagRhs_;
+          case isa::Cond::Le: return flagLhs_ <= flagRhs_;
+          case isa::Cond::Gt: return flagLhs_ > flagRhs_;
+        }
+        return false;
+    }
+
+  private:
+    std::array<cap::Capability, isa::kNumRegs> regs_{};
+    cap::Capability null_{};
+    s64 flagLhs_ = 0;
+    s64 flagRhs_ = 0;
+};
+
+} // namespace cheri::sim
+
+#endif // CHERI_SIM_REGFILE_HPP

@@ -1,0 +1,58 @@
+#include "support/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cheri {
+
+namespace {
+
+bool quietFlag = false;
+
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+logQuiet()
+{
+    return quietFlag;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file, line);
+    std::fflush(stderr);
+    // A panic is a simulator bug: abort so tests and fuzzers notice.
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", message.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &message)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+informImpl(const std::string &message)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+} // namespace cheri

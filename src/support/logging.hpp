@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant of the simulator itself was violated.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments).
+ * warn()   - something works well enough but deserves attention.
+ * inform() - a neutral status message.
+ */
+
+#ifndef CHERI_SUPPORT_LOGGING_HPP
+#define CHERI_SUPPORT_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace cheri {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+
+/** Enable or disable inform()/warn() output (tests silence it). */
+void setLogQuiet(bool quiet);
+bool logQuiet();
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace cheri
+
+#define CHERI_PANIC(...) \
+    ::cheri::panicImpl(__FILE__, __LINE__, \
+                       ::cheri::detail::formatAll(__VA_ARGS__))
+
+#define CHERI_FATAL(...) \
+    ::cheri::fatalImpl(__FILE__, __LINE__, \
+                       ::cheri::detail::formatAll(__VA_ARGS__))
+
+#define CHERI_WARN(...) \
+    ::cheri::warnImpl(::cheri::detail::formatAll(__VA_ARGS__))
+
+#define CHERI_INFORM(...) \
+    ::cheri::informImpl(::cheri::detail::formatAll(__VA_ARGS__))
+
+/** Internal-consistency check that survives NDEBUG builds. */
+#define CHERI_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            CHERI_PANIC("assertion failed: " #cond " ", \
+                        ::cheri::detail::formatAll(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // CHERI_SUPPORT_LOGGING_HPP

@@ -1,0 +1,106 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cheri {
+
+namespace {
+
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(u64 seed)
+{
+    u64 sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+    // An all-zero state would be absorbing; splitmix64 cannot produce
+    // four zero outputs from any seed, but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 1;
+}
+
+u64
+Xoshiro256StarStar::next()
+{
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+u64
+Xoshiro256StarStar::nextBelow(u64 bound)
+{
+    CHERI_ASSERT(bound > 0, "nextBelow(0)");
+    // Lemire-style rejection to remove modulo bias.
+    const u64 threshold = (~bound + 1) % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+u64
+Xoshiro256StarStar::nextRange(u64 lo, u64 hi)
+{
+    CHERI_ASSERT(lo <= hi, "nextRange with lo > hi");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Xoshiro256StarStar::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Xoshiro256StarStar::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+u64
+Xoshiro256StarStar::nextZipf(u64 n, double skew)
+{
+    CHERI_ASSERT(n > 0, "nextZipf(0)");
+    // Inverse-transform approximation: adequate for popularity skew in
+    // synthetic workloads (we need the shape, not exactness).
+    double u = nextDouble();
+    double x = std::pow(static_cast<double>(n), 1.0 - skew * u);
+    u64 idx = static_cast<u64>(x) - 1;
+    if (idx >= n)
+        idx = n - 1;
+    return idx;
+}
+
+} // namespace cheri

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Everything in cheriperf that needs randomness takes an explicit
+ * Xoshiro256StarStar so that simulations are bit-reproducible: identical
+ * seeds yield identical instruction streams, memory traces and therefore
+ * identical PMU counts across hosts and runs.
+ */
+
+#ifndef CHERI_SUPPORT_RNG_HPP
+#define CHERI_SUPPORT_RNG_HPP
+
+#include <array>
+
+#include "support/types.hpp"
+
+namespace cheri {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * implementation re-expressed in C++). Fast, 256-bit state, passes
+ * BigCrush; more than adequate for workload synthesis.
+ */
+class Xoshiro256StarStar
+{
+  public:
+    using result_type = u64;
+
+    /** Seed via splitmix64 so that small seeds give good states. */
+    explicit Xoshiro256StarStar(u64 seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    u64 operator()() { return next(); }
+
+    /** Uniform value in [0, bound), bias-free via rejection. */
+    u64 nextBelow(u64 bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    u64 nextRange(u64 lo, u64 hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /**
+     * A draw from a truncated zipf-like distribution over [0, n).
+     * Used for skewed key popularity in the SQL and interpreter proxies.
+     */
+    u64 nextZipf(u64 n, double skew);
+
+    static constexpr u64 min() { return 0; }
+    static constexpr u64 max() { return ~0ULL; }
+
+  private:
+    std::array<u64, 4> state_;
+};
+
+} // namespace cheri
+
+#endif // CHERI_SUPPORT_RNG_HPP

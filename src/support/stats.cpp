@@ -1,0 +1,119 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cheri {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stdev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs) {
+        CHERI_ASSERT(x > 0.0, "geomean requires positive values, got ", x);
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double
+pearson(std::span<const double> xs, std::span<const double> ys)
+{
+    CHERI_ASSERT(xs.size() == ys.size(), "pearson size mismatch");
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+median(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::vector<double> copy(xs.begin(), xs.end());
+    std::sort(copy.begin(), copy.end());
+    const std::size_t n = copy.size();
+    if (n % 2 == 1)
+        return copy[n / 2];
+    return 0.5 * (copy[n / 2 - 1] + copy[n / 2]);
+}
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+OnlineStats::stdev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineStats::cov() const
+{
+    const double m = mean();
+    if (m == 0.0)
+        return 0.0;
+    return stdev() / m;
+}
+
+} // namespace cheri

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small statistics helpers used by the analysis library and the
+ * benchmark harnesses: means, deviations, geometric means, Pearson
+ * correlation and a streaming accumulator.
+ */
+
+#ifndef CHERI_SUPPORT_STATS_HPP
+#define CHERI_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cheri {
+
+/** Arithmetic mean; 0 for an empty span. */
+double mean(std::span<const double> xs);
+
+/** Sample standard deviation (n-1 denominator); 0 if fewer than 2. */
+double stdev(std::span<const double> xs);
+
+/** Geometric mean; requires strictly positive inputs. */
+double geomean(std::span<const double> xs);
+
+/** Pearson correlation coefficient; 0 if either side is constant. */
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/** Median (of a copy); 0 for an empty span. */
+double median(std::span<const double> xs);
+
+/**
+ * Welford-style streaming accumulator for means/variances of metric
+ * samples collected across repeated simulation runs.
+ */
+class OnlineStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stdev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Coefficient of variation (stdev / mean); 0 when mean is 0. */
+    double cov() const;
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace cheri
+
+#endif // CHERI_SUPPORT_STATS_HPP

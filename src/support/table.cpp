@@ -1,0 +1,135 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cheri {
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatPercent(double ratio, int precision)
+{
+    return formatFixed(ratio * 100.0, precision);
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CHERI_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+AsciiTable::beginRow()
+{
+    rows_.emplace_back();
+}
+
+void
+AsciiTable::cell(std::string text)
+{
+    CHERI_ASSERT(!rows_.empty(), "cell() before beginRow()");
+    CHERI_ASSERT(rows_.back().size() < headers_.size(),
+                 "row has more cells than headers");
+    rows_.back().push_back(std::move(text));
+}
+
+void
+AsciiTable::cell(double value, int precision)
+{
+    cell(formatFixed(value, precision));
+}
+
+void
+AsciiTable::cell(long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+AsciiTable::cell(unsigned long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    CHERI_ASSERT(cells.size() <= headers_.size(),
+                 "row has more cells than headers");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << text;
+            if (c + 1 < headers_.size())
+                os << std::string(widths[c] - text.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit_row(os, headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(os, row);
+    return os.str();
+}
+
+std::string
+AsciiTable::renderCsv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << quote(cells[c]);
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+} // namespace cheri

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering used by the benchmark harnesses to
+ * print paper-shaped tables (Table 2/3/4, Figures 1-7 series data).
+ */
+
+#ifndef CHERI_SUPPORT_TABLE_HPP
+#define CHERI_SUPPORT_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace cheri {
+
+/**
+ * A simple column-aligned ASCII table. Cells are strings; numeric
+ * convenience overloads format with a fixed precision.
+ */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Begin a new row. */
+    void beginRow();
+
+    /** Append one cell to the current row. */
+    void cell(std::string text);
+    void cell(double value, int precision = 3);
+    void cell(long long value);
+    void cell(unsigned long long value);
+
+    /** Convenience: add a complete row at once. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header separator. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    std::string renderCsv() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string formatFixed(double value, int precision);
+
+/** Format a ratio as a percentage string, e.g. 0.1234 -> "12.34". */
+std::string formatPercent(double ratio, int precision = 2);
+
+} // namespace cheri
+
+#endif // CHERI_SUPPORT_TABLE_HPP

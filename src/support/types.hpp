@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the cheriperf libraries.
+ */
+
+#ifndef CHERI_SUPPORT_TYPES_HPP
+#define CHERI_SUPPORT_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cheri {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** A simulated virtual (or physical) byte address. */
+using Addr = u64;
+
+/** A count of processor clock cycles. */
+using Cycles = u64;
+
+/** Number of bytes in one kibibyte / mebibyte. */
+inline constexpr u64 kKiB = 1024;
+inline constexpr u64 kMiB = 1024 * kKiB;
+
+} // namespace cheri
+
+#endif // CHERI_SUPPORT_TYPES_HPP

@@ -1,0 +1,96 @@
+#include "uarch/branch_predictor.hpp"
+
+#include <bit>
+
+#include "support/logging.hpp"
+
+namespace cheri::uarch {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : config_(config)
+{
+    CHERI_ASSERT(std::has_single_bit(config.pht_entries),
+                 "PHT entries must be a power of two");
+    CHERI_ASSERT(std::has_single_bit(config.btb_entries),
+                 "BTB entries must be a power of two");
+    pht_.assign(config.pht_entries, 1); // weakly not-taken
+    btb_.assign(config.btb_entries, 0);
+    ras_.assign(config.ras_depth, 0);
+}
+
+bool
+BranchPredictor::predictDirection(Addr pc, bool taken)
+{
+    const u64 hist_mask = (1ULL << config_.history_bits) - 1;
+    const u64 index =
+        ((pc >> 2) ^ (history_ & hist_mask)) & (config_.pht_entries - 1);
+    u8 &counter = pht_[index];
+    const bool predicted_taken = counter >= 2;
+
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & hist_mask;
+
+    return predicted_taken == taken;
+}
+
+bool
+BranchPredictor::predictIndirect(Addr pc, Addr target)
+{
+    const u64 index = (pc >> 2) & (config_.btb_entries - 1);
+    const bool correct = btb_[index] == target;
+    btb_[index] = target;
+    return correct;
+}
+
+BranchPrediction
+BranchPredictor::resolve(const DynOp &op)
+{
+    CHERI_ASSERT(op.branch != BranchKind::None, "resolve on non-branch");
+    ++branches_;
+
+    BranchPrediction out;
+
+    switch (op.branch) {
+      case BranchKind::Immed:
+        // Unconditional direct branches and calls always predict; only
+        // conditional direction can mispredict.
+        if (op.op == isa::Opcode::BCond)
+            out.mispredicted = !predictDirection(op.pc, op.taken);
+        break;
+      case BranchKind::Indirect:
+        out.mispredicted = !predictIndirect(op.pc, op.target);
+        break;
+      case BranchKind::Return:
+        if (rasTop_ > 0) {
+            --rasTop_;
+            out.mispredicted = ras_[rasTop_ % ras_.size()] != op.target;
+        } else {
+            out.mispredicted = true; // underflow: nothing to predict from
+        }
+        break;
+      case BranchKind::None:
+        break;
+    }
+
+    if (op.isCall) {
+        // Push the fall-through address; overflow silently wraps
+        // (oldest entry lost), as in a real RAS.
+        ras_[rasTop_ % ras_.size()] = op.pc + 4;
+        ++rasTop_;
+        if (rasTop_ >= 2 * ras_.size())
+            rasTop_ -= ras_.size();
+    }
+
+    if (op.pccChange && !config_.cap_aware) {
+        out.pcc_stall = true;
+        ++pccStalls_;
+    }
+    if (out.mispredicted)
+        ++mispredicts_;
+    return out;
+}
+
+} // namespace cheri::uarch

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Branch prediction model: gshare direction predictor, an indirect-
+ * target BTB and a return-address stack, plus the Morello-specific
+ * limitation the paper centres on — the predictor does not track PCC
+ * bounds, so capability branches that install new bounds cannot be
+ * followed speculatively and stall the frontend (§2.2, §4.5).
+ */
+
+#ifndef CHERI_UARCH_BRANCH_PREDICTOR_HPP
+#define CHERI_UARCH_BRANCH_PREDICTOR_HPP
+
+#include <vector>
+
+#include "support/types.hpp"
+#include "uarch/dynop.hpp"
+
+namespace cheri::uarch {
+
+struct BranchPredictorConfig
+{
+    u32 pht_entries = 16384; //!< gshare pattern history table.
+    u32 history_bits = 12;
+    u32 btb_entries = 1024;  //!< indirect-target buffer.
+    u32 ras_depth = 16;
+    /**
+     * A capability-aware predictor (the paper's projection: "a CHERI
+     * implementation with a capability-aware branch predictor") treats
+     * PCC-bounds-changing branches like any other.
+     */
+    bool cap_aware = false;
+};
+
+/** Outcome of predicting one branch. */
+struct BranchPrediction
+{
+    bool mispredicted = false;
+    bool pcc_stall = false; //!< Frontend stalled on a PCC-bounds update.
+};
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config);
+
+    /** Predict-and-update for a resolved branch. */
+    BranchPrediction resolve(const DynOp &op);
+
+    u64 branches() const { return branches_; }
+    u64 mispredicts() const { return mispredicts_; }
+    u64 pccStalls() const { return pccStalls_; }
+
+    const BranchPredictorConfig &config() const { return config_; }
+
+  private:
+    bool predictDirection(Addr pc, bool taken);
+    bool predictIndirect(Addr pc, Addr target);
+
+    BranchPredictorConfig config_;
+    std::vector<u8> pht_;       //!< 2-bit saturating counters.
+    std::vector<Addr> btb_;     //!< last-target table.
+    std::vector<Addr> ras_;     //!< return-address stack.
+    std::size_t rasTop_ = 0;    //!< index one past the top entry.
+    u64 history_ = 0;
+    u64 branches_ = 0;
+    u64 mispredicts_ = 0;
+    u64 pccStalls_ = 0;
+};
+
+} // namespace cheri::uarch
+
+#endif // CHERI_UARCH_BRANCH_PREDICTOR_HPP

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The dynamic operation record: one retired instruction instance as
+ * the timing model sees it. Produced either by the functional
+ * executor (static MorelloLite programs) or directly by the workload
+ * generators; consumed by uarch::PipelineModel.
+ */
+
+#ifndef CHERI_UARCH_DYNOP_HPP
+#define CHERI_UARCH_DYNOP_HPP
+
+#include "isa/opcode.hpp"
+#include "support/types.hpp"
+
+namespace cheri::uarch {
+
+/** Branch taxonomy as the N1 PMU distinguishes it. */
+enum class BranchKind : u8 {
+    None,
+    Immed,    //!< Direct (incl. conditional) branch / direct call.
+    Indirect, //!< Register-indirect jump or call.
+    Return,
+};
+
+struct DynOp
+{
+    isa::Opcode op = isa::Opcode::Nop;
+    Addr pc = 0;
+
+    /** Micro-ops this instruction cracks into (128-bit stores: 2). */
+    u8 uops = 1;
+
+    // --- Memory operations ------------------------------------------
+    Addr addr = 0;
+    u8 size = 0;        //!< 0 when not a memory op.
+    bool isCap = false; //!< Capability-width (16-byte, tagged) access.
+    /**
+     * True when the address of this access was produced by an
+     * immediately preceding load (pointer chasing): the access cannot
+     * overlap with the previous miss and pays full latency.
+     */
+    bool dependsOnLoad = false;
+
+    // --- Branches -----------------------------------------------------
+    BranchKind branch = BranchKind::None;
+    bool taken = false;
+    bool isCall = false; //!< Pushes a return address (BL / BLR).
+    Addr target = 0;
+    /**
+     * True when the branch installs new PCC bounds (purecap
+     * cross-library call/return, capability indirect call). The
+     * Morello predictor does not track PCC bounds and stalls.
+     */
+    bool pccChange = false;
+
+    // Convenience constructors ----------------------------------------
+    static DynOp
+    alu(Addr pc, isa::Opcode op = isa::Opcode::Add)
+    {
+        DynOp d;
+        d.op = op;
+        d.pc = pc;
+        return d;
+    }
+
+    static DynOp
+    load(Addr pc, Addr addr, u8 size, bool is_cap = false,
+         bool dependent = false)
+    {
+        DynOp d;
+        d.op = is_cap ? isa::Opcode::LdrCap : isa::Opcode::Ldr;
+        d.pc = pc;
+        d.addr = addr;
+        d.size = size;
+        d.isCap = is_cap;
+        d.dependsOnLoad = dependent;
+        return d;
+    }
+
+    static DynOp
+    store(Addr pc, Addr addr, u8 size, bool is_cap = false)
+    {
+        DynOp d;
+        d.op = is_cap ? isa::Opcode::StrCap : isa::Opcode::Str;
+        d.pc = pc;
+        d.addr = addr;
+        d.size = size;
+        d.isCap = is_cap;
+        d.uops = size > 8 ? 2 : 1; // 128-bit stores crack into two uops.
+        return d;
+    }
+
+    static DynOp
+    branchOp(Addr pc, BranchKind kind, bool taken, Addr target,
+             bool pcc_change = false, bool is_call = false)
+    {
+        DynOp d;
+        d.op = kind == BranchKind::Return     ? isa::Opcode::Ret
+               : kind == BranchKind::Indirect ? isa::Opcode::Br
+                                              : isa::Opcode::B;
+        d.pc = pc;
+        d.branch = kind;
+        d.taken = taken;
+        d.isCall = is_call;
+        d.target = target;
+        d.pccChange = pcc_change;
+        return d;
+    }
+
+    /** A conditional direct branch (subject to direction prediction). */
+    static DynOp
+    condBranch(Addr pc, bool taken, Addr target)
+    {
+        DynOp d = branchOp(pc, BranchKind::Immed, taken, target);
+        d.op = isa::Opcode::BCond;
+        return d;
+    }
+};
+
+} // namespace cheri::uarch
+
+#endif // CHERI_UARCH_DYNOP_HPP

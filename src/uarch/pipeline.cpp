@@ -1,0 +1,237 @@
+#include "uarch/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cheri::uarch {
+
+using isa::InstClass;
+using pmu::Event;
+
+PipelineModel::PipelineModel(const PipelineConfig &config,
+                             mem::MemorySystem &memory,
+                             pmu::EventCounts &counts)
+    : config_(config), memory_(memory), counts_(counts),
+      predictor_(config.bp), sq_(config.sq)
+{
+    CHERI_ASSERT(config.width > 0 && config.mlp > 0, "bad pipeline config");
+}
+
+double
+PipelineModel::portCost(InstClass cls) const
+{
+    switch (cls) {
+      case InstClass::Dp:
+        return 1.0 / config_.dp_ports;
+      case InstClass::Load:
+        return 1.0 / config_.load_ports;
+      case InstClass::Store:
+        return 1.0 / config_.store_ports;
+      case InstClass::Vfp:
+      case InstClass::Ase:
+        return 1.0 / config_.fp_ports;
+      case InstClass::BranchImmed:
+      case InstClass::BranchIndirect:
+      case InstClass::BranchReturn:
+        return 1.0 / config_.branch_ports;
+      case InstClass::Other:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+void
+PipelineModel::recordSpec(InstClass cls, u64 n)
+{
+    counts_.add(Event::InstSpec, n);
+    switch (cls) {
+      case InstClass::Dp:
+        counts_.add(Event::DpSpec, n);
+        break;
+      case InstClass::Load:
+        counts_.add(Event::LdSpec, n);
+        break;
+      case InstClass::Store:
+        counts_.add(Event::StSpec, n);
+        break;
+      case InstClass::Vfp:
+        counts_.add(Event::VfpSpec, n);
+        break;
+      case InstClass::Ase:
+        counts_.add(Event::AseSpec, n);
+        break;
+      case InstClass::BranchImmed:
+        counts_.add(Event::BrImmedSpec, n);
+        break;
+      case InstClass::BranchIndirect:
+        counts_.add(Event::BrIndirectSpec, n);
+        break;
+      case InstClass::BranchReturn:
+        counts_.add(Event::BrReturnSpec, n);
+        break;
+      case InstClass::Other:
+        break;
+    }
+}
+
+void
+PipelineModel::stallBackendMem(double cycles, mem::MemLevel level)
+{
+    cycleF_ += cycles;
+    switch (level) {
+      case mem::MemLevel::L1:
+        stallMemL1F_ += cycles;
+        break;
+      case mem::MemLevel::L2:
+        stallMemL2F_ += cycles;
+        break;
+      case mem::MemLevel::Llc:
+      case mem::MemLevel::Dram:
+        stallMemExtF_ += cycles;
+        break;
+    }
+}
+
+void
+PipelineModel::issue(const DynOp &op)
+{
+    CHERI_ASSERT(!finished_, "issue after finish");
+    const InstClass cls = isa::opcodeClass(op.op);
+    const u32 uops = std::max<u32>(op.uops, 1);
+
+    // ----- Frontend: one I-fetch per 16-byte fetch group ------------
+    const Addr group = op.pc >> 4;
+    if (group != lastFetchGroup_) {
+        lastFetchGroup_ = group;
+        const mem::AccessResult fetch = memory_.fetch(op.pc);
+        if (fetch.latency > 0) {
+            // Fetch bubbles: partially hidden by the fetch queue.
+            const double visible = 0.7 * static_cast<double>(fetch.latency);
+            cycleF_ += visible;
+            stallFrontendF_ += visible;
+        }
+    }
+
+    // ----- Issue slots and execution-port contention ----------------
+    const double slot_cost = static_cast<double>(uops) / config_.width;
+    const double port_cost = portCost(cls) * uops;
+    cycleF_ += std::max(slot_cost, port_cost);
+    if (port_cost > slot_cost)
+        stallCoreF_ += port_cost - slot_cost;
+
+    if (op.op == isa::Opcode::Udiv || op.op == isa::Opcode::FDiv) {
+        // The single divider is not pipelined.
+        const double extra = static_cast<double>(config_.div_latency) / 2.0;
+        cycleF_ += extra;
+        stallCoreF_ += extra;
+    }
+
+    uopsRetired_ += uops;
+    counts_.add(Event::InstRetired);
+    recordSpec(cls, uops);
+
+    // ----- Branch resolution -----------------------------------------
+    if (op.branch != BranchKind::None) {
+        counts_.add(Event::BrRetired);
+        const BranchPrediction pred = predictor_.resolve(op);
+        if (pred.mispredicted) {
+            counts_.add(Event::BrMisPredRetired);
+            const double penalty =
+                static_cast<double>(config_.mispredict_penalty);
+            cycleF_ += penalty;
+            stallBadSpecF_ += penalty;
+            // Wrong-path work inflates the speculative counts.
+            const u64 wrong = static_cast<u64>(penalty / 2.0 *
+                                               config_.width);
+            recordSpec(InstClass::Dp, wrong / 2);
+            recordSpec(InstClass::Load, wrong / 4);
+            recordSpec(InstClass::Store, wrong / 8);
+            recordSpec(InstClass::BranchImmed, wrong / 8);
+        }
+        if (pred.pcc_stall) {
+            const double penalty =
+                static_cast<double>(config_.pcc_stall_penalty);
+            cycleF_ += penalty;
+            stallFrontendF_ += penalty;
+            stallPccF_ += penalty;
+        }
+    }
+
+    // ----- Memory -----------------------------------------------------
+    if (op.size > 0 && isa::isMemory(op.op)) {
+        const bool is_store = cls == InstClass::Store;
+        if (is_store) {
+            const mem::AccessResult res =
+                memory_.data(op.addr, op.size, true, op.isCap);
+            const Cycles stall = sq_.push(cycles(), res.latency, op.size);
+            if (stall) {
+                // Store-buffer backpressure: an execution-resource
+                // (core-bound) stall in the N1 accounting.
+                cycleF_ += static_cast<double>(stall);
+                stallCoreF_ += static_cast<double>(stall);
+            }
+            if (res.tlb_walk) {
+                const double walk =
+                    static_cast<double>(memory_.config().walk_latency) / 2.0;
+                stallBackendMem(walk, mem::MemLevel::L2);
+            }
+        } else {
+            if (op.dependsOnLoad && lastLoadCompleteF_ > cycleF_)
+                stallBackendMem(lastLoadCompleteF_ - cycleF_,
+                                lastLoadLevel_);
+            const mem::AccessResult res =
+                memory_.data(op.addr, op.size, false, op.isCap);
+            const double l1_lat =
+                static_cast<double>(memory_.config().l1_latency);
+            const double lat = static_cast<double>(res.latency);
+            if (res.level != mem::MemLevel::L1 && !op.dependsOnLoad) {
+                // Independent miss: overlapped within the MLP window.
+                const double amortized =
+                    std::max(0.0, lat - l1_lat) / config_.mlp;
+                stallBackendMem(amortized, res.level);
+            }
+            if (res.tlb_walk)
+                stallBackendMem(
+                    static_cast<double>(memory_.config().walk_latency) *
+                        0.25,
+                    mem::MemLevel::L2);
+            lastLoadCompleteF_ = cycleF_ + lat;
+            lastLoadLevel_ = res.level;
+        }
+    }
+}
+
+void
+PipelineModel::finish()
+{
+    CHERI_ASSERT(!finished_, "finish called twice");
+    finished_ = true;
+
+    const auto cyc = static_cast<u64>(std::llround(cycleF_));
+    counts_.add(Event::CpuCycles, cyc);
+
+    const double backend =
+        stallMemL1F_ + stallMemL2F_ + stallMemExtF_ + stallCoreF_;
+    counts_.add(Event::StallFrontend,
+                static_cast<u64>(stallFrontendF_ + 0.5));
+    counts_.add(Event::StallBackend, static_cast<u64>(backend + 0.5));
+    counts_.add(Event::StallMemL1, static_cast<u64>(stallMemL1F_ + 0.5));
+    counts_.add(Event::StallMemL2, static_cast<u64>(stallMemL2F_ + 0.5));
+    counts_.add(Event::StallMemExt, static_cast<u64>(stallMemExtF_ + 0.5));
+    counts_.add(Event::StallCore, static_cast<u64>(stallCoreF_ + 0.5));
+    counts_.add(Event::PccStall, static_cast<u64>(stallPccF_ + 0.5));
+
+    const u64 slots_total = cyc * config_.width;
+    counts_.add(Event::SlotsTotal, slots_total);
+    counts_.add(Event::SlotsRetired, uopsRetired_);
+    counts_.add(Event::SlotsBadSpec,
+                static_cast<u64>(stallBadSpecF_ * config_.width + 0.5));
+    counts_.add(Event::SlotsFrontend,
+                static_cast<u64>(stallFrontendF_ * config_.width + 0.5));
+    counts_.add(Event::SlotsBackend,
+                static_cast<u64>(backend * config_.width + 0.5));
+}
+
+} // namespace cheri::uarch

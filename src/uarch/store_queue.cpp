@@ -1,0 +1,52 @@
+#include "uarch/store_queue.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cheri::uarch {
+
+StoreQueue::StoreQueue(const StoreQueueConfig &config) : config_(config)
+{
+    CHERI_ASSERT(config.entries >= 2, "store queue too small");
+}
+
+void
+StoreQueue::drain(Cycles now)
+{
+    while (!releaseTimes_.empty() && releaseTimes_.front() <= now)
+        releaseTimes_.pop_front();
+}
+
+u32
+StoreQueue::occupancy(Cycles now)
+{
+    drain(now);
+    return static_cast<u32>(releaseTimes_.size());
+}
+
+Cycles
+StoreQueue::push(Cycles now, Cycles drain_latency, u32 bytes)
+{
+    const u32 needed =
+        config_.wide_entries ? 1 : std::max<u32>(1, (bytes + 7) / 8);
+    drain(now);
+
+    Cycles stall = 0;
+    while (releaseTimes_.size() + needed > config_.entries) {
+        // Wait for the oldest entry to retire.
+        const Cycles wake = releaseTimes_.front();
+        CHERI_ASSERT(wake > now + stall, "store queue drain went backwards");
+        stall = wake - now;
+        drain(now + stall);
+    }
+    if (stall)
+        ++fullStalls_;
+
+    const Cycles release = now + stall + drain_latency;
+    for (u32 i = 0; i < needed; ++i)
+        releaseTimes_.push_back(release);
+    return stall;
+}
+
+} // namespace cheri::uarch

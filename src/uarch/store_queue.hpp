@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Store queue / store buffer model.
+ *
+ * The Neoverse N1's store buffering is sized for 64-bit stores; a
+ * 128-bit capability store consumes two entries (§2.2: "Store queues
+ * and buffers, sized for 64-bit operations, become bottlenecks when
+ * handling 128-bit capability stores"). When the queue is full the
+ * core stalls until entries drain at the store's cache latency.
+ *
+ * The wide_entries knob models the paper's projection of a
+ * capability-sized store buffer (one entry per capability store).
+ */
+
+#ifndef CHERI_UARCH_STORE_QUEUE_HPP
+#define CHERI_UARCH_STORE_QUEUE_HPP
+
+#include <deque>
+
+#include "support/types.hpp"
+
+namespace cheri::uarch {
+
+struct StoreQueueConfig
+{
+    u32 entries = 24;
+    bool wide_entries = false; //!< Capability store fits one entry.
+};
+
+class StoreQueue
+{
+  public:
+    explicit StoreQueue(const StoreQueueConfig &config);
+
+    /**
+     * Insert a store at time @p now that completes its cache write at
+     * @p now + drain_latency. Entries are 64-bit sized: a @p bytes
+     * wide store consumes ceil(bytes/8) entries unless wide_entries
+     * is set (then any store fits one entry).
+     *
+     * @return Stall cycles suffered waiting for free entries.
+     */
+    Cycles push(Cycles now, Cycles drain_latency, u32 bytes);
+
+    /** Entries occupied at time @p now (drains lazily). */
+    u32 occupancy(Cycles now);
+
+    u64 fullStalls() const { return fullStalls_; }
+
+    const StoreQueueConfig &config() const { return config_; }
+
+  private:
+    void drain(Cycles now);
+
+    StoreQueueConfig config_;
+    std::deque<Cycles> releaseTimes_; //!< One element per entry in use.
+    u64 fullStalls_ = 0;
+};
+
+} // namespace cheri::uarch
+
+#endif // CHERI_UARCH_STORE_QUEUE_HPP

@@ -1,0 +1,53 @@
+#include "workloads/context.hpp"
+
+#include <algorithm>
+
+namespace cheri::workloads {
+
+std::vector<Addr>
+Ctx::allocLinkedPool(const abi::StructDesc &desc, u64 count, bool emit_ops,
+                     u64 window)
+{
+    const abi::RecordLayout layout = desc.layoutFor(abi);
+    std::vector<Addr> nodes;
+    nodes.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        nodes.push_back(alloc.allocate(layout.size, layout.align));
+        if (emit_ops && (i & 63) == 0) {
+            // Amortized allocation cost: the pool is typically built
+            // in bulk; charge a representative slice of malloc work.
+            low.derivePointer();
+            low.alu(2);
+        }
+    }
+
+    if (window == 0 || window > count)
+        window = count;
+    for (u64 begin = 0; begin < count; begin += window) {
+        const u64 len = std::min(window, count - begin);
+        const std::vector<u32> perm = permutation(len);
+        for (u64 i = 0; i < len; ++i) {
+            const Addr from = nodes[begin + perm[i]];
+            const Addr to = nodes[begin + perm[(i + 1) % len]];
+            machine.store().write(from + layout.offsetOf(0), to, 8);
+            if (emit_ops && (i & 63) == 0)
+                low.storePointer(from + layout.offsetOf(0));
+        }
+    }
+    return nodes;
+}
+
+std::vector<u32>
+Ctx::permutation(u64 n)
+{
+    std::vector<u32> perm(n);
+    for (u64 i = 0; i < n; ++i)
+        perm[i] = static_cast<u32>(i);
+    for (u64 i = n; i > 1; --i) {
+        const u64 j = rng.nextBelow(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared plumbing for workload kernels: one object bundling the
+ * ABI-aware allocator, synthetic code map, dynamic lowering engine
+ * and deterministic RNG, plus helpers for the recurring data-structure
+ * idioms (linked node pools, index arrays, streamed buffers).
+ */
+
+#ifndef CHERI_WORKLOADS_CONTEXT_HPP
+#define CHERI_WORKLOADS_CONTEXT_HPP
+
+#include <vector>
+
+#include "abi/allocator.hpp"
+#include "abi/layout.hpp"
+#include "abi/lowering.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace cheri::workloads {
+
+class Ctx
+{
+  public:
+    Ctx(sim::Machine &machine, abi::Abi abi, u64 seed)
+        : abi(abi), machine(machine), alloc(abi),
+          code(abi), low(abi, machine.pipeline(), code), rng(seed)
+    {
+    }
+
+    abi::Abi abi;
+    sim::Machine &machine;
+    abi::SimAllocator alloc;
+    abi::CodeMap code;
+    abi::DynLowering low;
+    Xoshiro256StarStar rng;
+
+    /**
+     * Allocate a pool of records laid out per the ABI and link them
+     * into a random permutation cycle (classic pointer-chase pool).
+     * Each element's "next" pointer is at @p layout offset 0; the
+     * allocation cost (malloc + bounds derivation + pointer store)
+     * is emitted through the lowering engine.
+     *
+     * @param window When nonzero, links stay within consecutive
+     *        blocks of this many records — pointer chases starting in
+     *        a hot window then remain in it, as real working sets do.
+     * @return The record addresses in allocation order.
+     */
+    std::vector<Addr> allocLinkedPool(const abi::StructDesc &desc,
+                                      u64 count, bool emit_ops = true,
+                                      u64 window = 0);
+
+    /** Random permutation of [0, n). */
+    std::vector<u32> permutation(u64 n);
+};
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_CONTEXT_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Factory functions for every workload proxy. The bool parameter on
+ * SPEC kernels selects the _r (false) or _s (true) instance — same
+ * kernel, slightly different problem size and seed, matching how the
+ * paper's rate and speed runs relate.
+ */
+
+#ifndef CHERI_WORKLOADS_KERNELS_HPP
+#define CHERI_WORKLOADS_KERNELS_HPP
+
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace cheri::workloads {
+
+// SPEC CPU 2017 proxies.
+std::unique_ptr<Workload> makeParest();            // 510.parest_r
+std::unique_ptr<Workload> makeLbm();               // 519.lbm_r
+std::unique_ptr<Workload> makeOmnetpp(bool speed); // 520/620.omnetpp
+std::unique_ptr<Workload> makeXalancbmk(bool speed); // 523/623.xalancbmk
+std::unique_ptr<Workload> makeX264(bool speed);    // 525/625.x264
+std::unique_ptr<Workload> makeDeepsjeng(bool speed); // 531/631.deepsjeng
+std::unique_ptr<Workload> makeLeela(bool speed);   // 541/641.leela
+std::unique_ptr<Workload> makeNab(bool speed);     // 544/644.nab
+std::unique_ptr<Workload> makeXz(bool speed);      // 557/657.xz
+
+// Real-world application proxies.
+std::unique_ptr<Workload> makeLlamaInference();
+std::unique_ptr<Workload> makeLlamaMatmul();
+std::unique_ptr<Workload> makeSqlite();
+std::unique_ptr<Workload> makeQuickjs();
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_KERNELS_HPP

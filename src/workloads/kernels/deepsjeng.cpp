@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Proxy for 531.deepsjeng_r / 631.deepsjeng_s: alpha-beta chess tree
+ * search with a transposition table.
+ *
+ * Paper signature: compute-intensive (MI 0.49), branch miss rate ~3%,
+ * very high L2 miss rate (~23%, the transposition table), modest
+ * purecap overhead (+17%, mostly call/stack capability traffic: the
+ * capability store density jumps to ~41%).
+ *
+ * Proxy structure: recursive negamax to depth ~6 with a random
+ * branching factor; per node, move-generation ALU work, a probe into
+ * a multi-megabyte transposition table (random, L2-missing), and an
+ * evaluation with data-dependent branches.
+ */
+
+#include "support/logging.hpp"
+#include "workloads/context.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+class DeepsjengWorkload final : public Workload
+{
+  public:
+    explicit DeepsjengWorkload(bool speed) : speed_(speed)
+    {
+        info_.name = speed ? "631.deepsjeng_s" : "531.deepsjeng_r";
+        info_.suite = "SPEC CPU 2017";
+        info_.description = "Alpha-beta tree search (chess)";
+        info_.paperMi = speed ? 0.496 : 0.489;
+        info_.paperTimeHybrid = 67.42;
+        info_.paperTimeBenchmark = 73.64;
+        info_.paperTimePurecap = 78.85;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 360 * kKiB, 60 * kKiB, 1200, 40 * kKiB, 420,
+            5200 * kKiB, 380,       70,        1400 * kKiB, 60 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed + (speed_ ? 1 : 0));
+        const u32 f_main = ctx.code.addFunction(0, 600);
+        const u32 f_search = ctx.code.addFunction(0, 1400);
+        const u32 f_eval = ctx.code.addFunction(0, 900);
+        ctx.low.enterFunction(f_main);
+
+        // Transposition table: 6 MiB of 16-byte entries, no pointers.
+        const u64 tt_entries = 400'000;
+        const Addr tt = ctx.alloc.allocate(tt_entries * 16);
+        ctx.low.derivePointer();
+
+        const double f = scaleFactor(scale);
+        const u64 node_budget = static_cast<u64>(22'000 * f);
+
+        u64 nodes = 0;
+        while (nodes < node_budget) {
+            ctx.low.loopBegin();
+            search(ctx, f_search, f_eval, tt, tt_entries, 6, nodes,
+                   node_budget);
+        }
+    }
+
+  private:
+    void
+    search(Ctx &ctx, u32 f_search, u32 f_eval, Addr tt, u64 tt_entries,
+           int depth, u64 &nodes, u64 budget) const
+    {
+        if (depth == 0 || nodes >= budget)
+            return;
+        ++nodes;
+
+        ctx.low.call(f_search, abi::CallKind::Local);
+
+        // Transposition probe: skewed towards recently-used
+        // entries; the cold tail is what misses L2 so hard.
+        const u64 slot = ctx.rng.chance(0.72)
+                             ? ctx.rng.nextBelow(12'000)
+                             : ctx.rng.nextBelow(tt_entries);
+        ctx.low.load(tt + slot * 16, 8);
+        ctx.low.load(tt + slot * 16 + 8, 8);
+        ctx.low.alu(3);
+        ctx.low.branch(ctx.rng.chance(0.94)); // no TT cutoff, usually
+
+        // Move generation: bitboard arithmetic on the stack.
+        ctx.low.alu(16);
+        ctx.low.local(8);
+        ctx.low.mul(2);
+        ctx.low.branch(ctx.rng.chance(0.94));
+
+        // Evaluate or recurse over a few children.
+        const u32 children = 2 + static_cast<u32>(ctx.rng.nextBelow(2));
+        for (u32 c = 0; c < children && nodes < budget; ++c) {
+            if (depth == 1 || ctx.rng.chance(0.25)) {
+                ctx.low.call(f_eval, abi::CallKind::Local);
+                ctx.low.alu(12);
+                ctx.low.local(4);
+                ctx.low.fp(2);
+                ctx.low.branch(ctx.rng.chance(0.93));
+                ctx.low.ret();
+                ++nodes;
+            } else {
+                search(ctx, f_search, f_eval, tt, tt_entries, depth - 1,
+                       nodes, budget);
+            }
+            ctx.low.alu(3);
+            ctx.low.branch(ctx.rng.chance(0.95)); // alpha-beta window
+        }
+
+        // Store the result back into the table.
+        ctx.low.store(tt + slot * 16, 8);
+        ctx.low.store(tt + slot * 16 + 8, 8);
+        ctx.low.ret();
+    }
+
+    WorkloadInfo info_;
+    bool speed_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDeepsjeng(bool speed)
+{
+    return std::make_unique<DeepsjengWorkload>(speed);
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Proxy for 541.leela_r / 641.leela_s: Monte-Carlo tree search (Go).
+ *
+ * Paper signature: compute-intensive (MI 0.57) with the suite's worst
+ * branch predictability (~7.3% miss rate, from playout randomness),
+ * purecap overhead +23% of which the benchmark ABI recovers
+ * a sizeable share (+14%) — the UCT descent is virtual-call-flavoured
+ * — and a large DTLB-walk increase (~4x) under purecap.
+ *
+ * Proxy structure: repeated MCTS iterations: a UCT descent chasing
+ * child pointers through a pointer-rich node tree, a random playout
+ * of ALU work with highly unpredictable branches, and a backup pass
+ * rewriting node statistics.
+ */
+
+#include "support/logging.hpp"
+#include "workloads/context.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+class LeelaWorkload final : public Workload
+{
+  public:
+    explicit LeelaWorkload(bool speed) : speed_(speed)
+    {
+        info_.name = speed ? "641.leela_s" : "541.leela_r";
+        info_.suite = "SPEC CPU 2017";
+        info_.description = "Monte Carlo tree search (Go)";
+        info_.paperMi = 0.565;
+        info_.paperTimeHybrid = 97.01;
+        info_.paperTimeBenchmark = 110.59;
+        info_.paperTimePurecap = 119.46;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 420 * kKiB, 70 * kKiB, 2600, 50 * kKiB, 900,
+            520 * kKiB, 520,        80,        1600 * kKiB, 70 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed + (speed_ ? 1 : 0));
+        const u32 f_main = ctx.code.addFunction(0, 700);
+        const u32 f_uct = ctx.code.addFunction(0, 800);
+        u32 f_policy[4];
+        for (auto &f : f_policy)
+            f = ctx.code.addFunction(1, 300); // policy helpers (library)
+        const u32 f_playout = ctx.code.addFunction(0, 1200);
+        ctx.low.enterFunction(f_main);
+
+        // UCT node: pointer-rich (parent, 2 child slots, move list).
+        const abi::StructDesc node_desc({
+            abi::Field::pointer("parent"),
+            abi::Field::pointer("child_a"),
+            abi::Field::pointer("child_b"),
+            abi::Field::pointer("moves"),
+            abi::Field::scalar(8, "visits"),
+            abi::Field::scalar(8, "score"),
+        });
+        const abi::RecordLayout node = node_desc.layoutFor(abi);
+        // Tree sized so purecap growth (64 -> 96 B) crosses both the
+        // L2 capacity and the hot-path TLB reach.
+        const u64 pool = 12'000;
+        const std::vector<Addr> nodes =
+            ctx.allocLinkedPool(node_desc, pool, true, 3000);
+
+        const double f = scaleFactor(scale);
+        const u64 iterations = static_cast<u64>(11'000 * f);
+        u32 policy = 0;
+        for (u64 iter = 0; iter < iterations; ++iter) {
+            ctx.low.loopBegin();
+            // UCT descent: 6 pointer hops with UCB arithmetic.
+            ctx.low.call(f_uct, abi::CallKind::Local);
+            Addr cursor = nodes[ctx.rng.chance(0.7)
+                                    ? ctx.rng.nextBelow(3000)
+                                    : ctx.rng.nextBelow(pool)];
+            for (int hop = 0; hop < 6; ++hop) {
+                const u32 slot = ctx.rng.chance(0.5) ? 1 : 2;
+                const Addr next = ctx.machine.store().read(
+                    cursor + node.offsetOf(0), 8);
+                ctx.low.loadPointer(cursor + node.offsetOf(slot),
+                                    /*dependent=*/hop > 0);
+                ctx.low.load(cursor + node.offsetOf(4), 8);
+                ctx.low.fp(2); // UCB term
+                ctx.low.alu(2);
+                ctx.low.branch(ctx.rng.chance(0.85)); // child choice
+                cursor = next;
+            }
+            // Expansion: policy evaluation in the support library.
+            if (ctx.rng.chance(0.1))
+                policy = static_cast<u32>(ctx.rng.nextBelow(4));
+            ctx.low.call(f_policy[policy], abi::CallKind::Virtual);
+            ctx.low.alu(6);
+            ctx.low.fp(2);
+            ctx.low.ret();
+            ctx.low.ret(); // f_uct
+
+            // Random playout: ALU work; a fraction of the move
+            // legality branches are true coin flips (the suite's worst
+            // predictability comes from here).
+            ctx.low.call(f_playout, abi::CallKind::Local);
+            for (int move = 0; move < 22; ++move) {
+                ctx.low.alu(4);
+                ctx.low.local(1);
+                const bool taken = (move & 7) == 0
+                                       ? ctx.rng.chance(0.5)
+                                       : ((iter + move) & 7) < 6;
+                ctx.low.branch(taken);
+                if ((move & 3) == 0)
+                    ctx.low.load(cursor + node.offsetOf(5), 8);
+            }
+            ctx.low.mul(2);
+            ctx.low.ret();
+
+            // Backup: rewrite statistics along the path.
+            const u64 win = ctx.rng.nextBelow(pool / 3000) * 3000;
+            for (int hop = 0; hop < 4; ++hop) {
+                const u64 idx = win + ctx.rng.nextBelow(3000);
+                ctx.low.store(nodes[idx] + node.offsetOf(4), 8);
+                ctx.low.storePointer(nodes[idx] + node.offsetOf(1));
+                ctx.low.alu(2);
+            }
+        }
+    }
+
+  private:
+    WorkloadInfo info_;
+    bool speed_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLeela(bool speed)
+{
+    return std::make_unique<LeelaWorkload>(speed);
+}
+
+} // namespace cheri::workloads

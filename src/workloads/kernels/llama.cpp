@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Proxies for LLaMA.cpp (ggml) LLM inference.
+ *
+ * Two instances, matching §3.3:
+ *  - matmul: two FP32 matrices (11008x4096)·(4096x128) — pure
+ *    SIMD-dot streaming over a weight array far larger than the LLC;
+ *    bandwidth-bound, essentially pointer-free, so the capability
+ *    ABIs change almost nothing (the paper even measures a ~1.3%
+ *    speed-up);
+ *  - inference: q8_0 7B token generation — matmul plus attention
+ *    (KV-cache streaming), layernorm/softmax scalar FP and a little
+ *    pointer-based tensor bookkeeping; paper overhead ~1.3%.
+ */
+
+#include "support/logging.hpp"
+#include "workloads/context.hpp"
+
+#include <algorithm>
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+/** Shared streaming-dot kernel over a big weight region. */
+void
+dotRows(Ctx &ctx, Addr weights, u64 weight_bytes, Addr acts, u64 rows,
+        u64 cols_per_row)
+{
+    for (u64 row = 0; row < rows; ++row) {
+        ctx.low.loopBegin();
+        const u64 row_off = (row * cols_per_row * 4) % (weight_bytes - 4096);
+        for (u64 c = 0; c < cols_per_row; c += 8) {
+            // One q8_0-ish block: 16-byte weight chunk + activation.
+            ctx.low.load(weights + row_off + c * 4, 16);
+            ctx.low.load(acts + (c * 4) % 16384, 8);
+            ctx.low.vec(6); // dot-product accumulate steps
+        }
+        ctx.low.fp(2);  // scale + bias
+        ctx.low.alu(2);
+        ctx.low.store(acts + (row * 4) % 16384, 4);
+        ctx.low.branch(true); // row loop: predictable
+    }
+}
+
+class LlamaMatmulWorkload final : public Workload
+{
+  public:
+    LlamaMatmulWorkload()
+    {
+        info_.name = "LLaMA.matmul";
+        info_.suite = "real-world";
+        info_.description = "ggml FP32 matrix multiply (11008x4096)";
+        info_.paperMi = 0.432;
+        info_.paperTimeHybrid = 126.31;
+        info_.paperTimeBenchmark = 124.57;
+        info_.paperTimePurecap = 124.61;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 1300 * kKiB, 160 * kKiB, 2400, 70 * kKiB, 1100,
+            600 * kKiB, 900,         110,        2800 * kKiB, 90 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed);
+        const u32 f_main = ctx.code.addFunction(0, 400);
+        const u32 f_gemm = ctx.code.addFunction(0, 700);
+        ctx.low.enterFunction(f_main);
+
+        const u64 weight_bytes = 24 * kMiB;
+        const Addr weights = ctx.alloc.allocate(weight_bytes);
+        const Addr acts = ctx.alloc.allocate(64 * kKiB);
+        ctx.low.derivePointer();
+
+        const double f = scaleFactor(scale);
+        ctx.low.call(f_gemm, abi::CallKind::Local);
+        dotRows(ctx, weights, weight_bytes, acts,
+                static_cast<u64>(430 * f), 96 * 8);
+        ctx.low.ret();
+    }
+
+  private:
+    WorkloadInfo info_;
+};
+
+class LlamaInferenceWorkload final : public Workload
+{
+  public:
+    LlamaInferenceWorkload()
+    {
+        info_.name = "LLaMA.inference";
+        info_.suite = "real-world";
+        info_.description = "7B q8_0 token generation (prompt 512, gen 128)";
+        info_.paperMi = 0.309;
+        info_.paperTimeHybrid = 477.93;
+        info_.paperTimeBenchmark = 483.79;
+        info_.paperTimePurecap = 484.11;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 1400 * kKiB, 180 * kKiB, 2800, 80 * kKiB, 1300,
+            800 * kKiB, 1000,        120,        3000 * kKiB, 100 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed);
+        const u32 f_main = ctx.code.addFunction(0, 500);
+        const u32 f_gemm = ctx.code.addFunction(0, 700);
+        const u32 f_attn = ctx.code.addFunction(0, 600);
+        const u32 f_norm = ctx.code.addFunction(0, 300);
+        ctx.low.enterFunction(f_main);
+
+        const u64 weight_bytes = 24 * kMiB;
+        const Addr weights = ctx.alloc.allocate(weight_bytes);
+        const Addr kv = ctx.alloc.allocate(4 * kMiB);
+        const Addr acts = ctx.alloc.allocate(64 * kKiB);
+
+        // Tensor graph bookkeeping: a few hundred tensor descriptors.
+        const abi::StructDesc tensor_desc({
+            abi::Field::pointer("data"),
+            abi::Field::pointer("grad"),
+            abi::Field::pointer("src0"),
+            abi::Field::pointer("src1"),
+            abi::Field::scalar(8, "ne"),
+            abi::Field::scalar(4, "type"),
+            abi::Field::scalar(4, "op"),
+        });
+        const std::vector<Addr> tensors =
+            ctx.allocLinkedPool(tensor_desc, 512);
+        const abi::RecordLayout tl = tensor_desc.layoutFor(abi);
+
+        const double f = scaleFactor(scale);
+        const u64 tokens = std::max<u64>(2, static_cast<u64>(10 * f));
+        for (u64 token = 0; token < tokens; ++token) {
+            ctx.low.loopBegin();
+            for (int layer = 0; layer < 3; ++layer) {
+                // Graph walk: pick the layer's tensors.
+                const Addr t = tensors[ctx.rng.nextBelow(512)];
+                ctx.low.loadPointer(t + tl.offsetOf(0));
+                ctx.low.load(t + tl.offsetOf(4), 8);
+                ctx.low.alu(2);
+
+                // Projections: weight-streaming dot products.
+                ctx.low.call(f_gemm, abi::CallKind::Local);
+                dotRows(ctx, weights, weight_bytes, acts, 24, 64 * 8);
+                ctx.low.ret();
+
+                // Attention over the KV cache.
+                ctx.low.call(f_attn, abi::CallKind::Local);
+                for (int pos = 0; pos < 48; ++pos) {
+                    ctx.low.load(kv + (pos * 512) % (4 * kMiB - 64), 16);
+                    ctx.low.vec(5);
+                }
+                ctx.low.fp(8); // softmax
+                ctx.low.div();
+                ctx.low.ret();
+
+                // Layernorm.
+                ctx.low.call(f_norm, abi::CallKind::Local);
+                ctx.low.fp(12);
+                ctx.low.alu(4);
+                ctx.low.ret();
+            }
+            ctx.low.branch(ctx.rng.chance(0.97)); // sampling accept
+        }
+    }
+
+  private:
+    WorkloadInfo info_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLlamaMatmul()
+{
+    return std::make_unique<LlamaMatmulWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeLlamaInference()
+{
+    return std::make_unique<LlamaInferenceWorkload>();
+}
+
+} // namespace cheri::workloads

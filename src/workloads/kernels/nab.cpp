@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Proxy for 544.nab_r / 644.nab_s: Nucleic Acid Builder molecular
+ * dynamics (floating-point force-field evaluation).
+ *
+ * Paper signature: compute-intensive (MI 0.42), tiny purecap overhead
+ * (+5%), high FP share, a moderate DTLB-walk increase (+62%) under
+ * purecap, and capability densities around 24%/15% (stack and
+ * parameter-table traffic, not the particle data itself).
+ *
+ * Proxy structure: neighbor-list force computation: sequential index
+ * loads, gathers of particle coordinates (pure doubles — identical
+ * size under every ABI), and FMA-dominated force math with calls into
+ * math-library helpers.
+ */
+
+#include "support/logging.hpp"
+#include "workloads/context.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+class NabWorkload final : public Workload
+{
+  public:
+    explicit NabWorkload(bool speed) : speed_(speed)
+    {
+        info_.name = speed ? "644.nab_s" : "544.nab_r";
+        info_.suite = "SPEC CPU 2017";
+        info_.description = "Molecular modeling (Nucleic Acid Builder)";
+        info_.paperMi = speed ? 0.424 : 0.420;
+        info_.paperTimeHybrid = 99.03;
+        info_.paperTimeBenchmark = 103.39;
+        info_.paperTimePurecap = 103.92;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 280 * kKiB, 40 * kKiB, 700, 30 * kKiB, 260,
+            900 * kKiB, 240,        60,        1100 * kKiB, 50 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed + (speed_ ? 1 : 0));
+        const u32 f_main = ctx.code.addFunction(0, 500);
+        const u32 f_force = ctx.code.addFunction(0, 1100);
+        const u32 f_math = ctx.code.addFunction(1, 300); // libm
+        ctx.low.enterFunction(f_main);
+
+        // Particle data: 3 coordinates + 3 forces + charge (doubles).
+        const u64 particles = 60'000;
+        const Addr coords = ctx.alloc.allocate(particles * 56);
+        const Addr neigh = ctx.alloc.allocate(particles * 4 * 8);
+        ctx.low.derivePointer();
+
+        const double f = scaleFactor(scale);
+        const u64 pairs = static_cast<u64>(26'000 * f);
+        ctx.low.call(f_force, abi::CallKind::Local);
+        for (u64 pair = 0; pair < pairs; ++pair) {
+            ctx.low.loopBegin();
+            // Neighbor indices: sequential.
+            ctx.low.load(neigh + (pair * 8) % (particles * 32), 4);
+            const u64 a = ctx.rng.nextBelow(particles);
+            const u64 b = ctx.rng.nextBelow(particles);
+            // Gather coordinates.
+            ctx.low.load(coords + a * 56, 8, true);
+            ctx.low.load(coords + a * 56 + 16, 8);
+            ctx.low.load(coords + b * 56, 8);
+            ctx.low.load(coords + b * 56 + 16, 8);
+            // Distance + Lennard-Jones/electrostatics.
+            ctx.low.fp(14);
+            ctx.low.mul(2);
+            ctx.low.alu(6);
+            if ((pair & 15) == 0) {
+                ctx.low.call(f_math, abi::CallKind::CrossLib);
+                ctx.low.fp(6);
+                ctx.low.div();
+                ctx.low.ret();
+            }
+            ctx.low.branch(ctx.rng.chance(0.94)); // cutoff test
+            // Scatter forces.
+            ctx.low.store(coords + a * 56 + 24, 8);
+            ctx.low.store(coords + b * 56 + 24, 8);
+        }
+        ctx.low.ret();
+    }
+
+  private:
+    WorkloadInfo info_;
+    bool speed_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNab(bool speed)
+{
+    return std::make_unique<NabWorkload>(speed);
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Proxy for 510.parest_r: a deal.II finite-element solver for a
+ * biomedical imaging inverse problem.
+ *
+ * Paper signature: balanced-to-memory intensity (MI 0.92), mild
+ * purecap overhead (~14%), moderate capability load density (~8%),
+ * L1D miss rate ~2.7%.
+ *
+ * Proxy structure: conjugate-gradient iterations over a CSR sparse
+ * matrix-vector product — indexed gathers from a solution vector that
+ * mostly fits in L2 — interleaved with walks of pointer-rich mesh
+ * cell records (deal.II triangulation objects), which contribute the
+ * small capability-access share under purecap.
+ */
+
+#include "support/logging.hpp"
+#include "workloads/context.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+class ParestWorkload final : public Workload
+{
+  public:
+    ParestWorkload()
+    {
+        info_.name = "510.parest_r";
+        info_.suite = "SPEC CPU 2017";
+        info_.description = "Finite element solver (biomedical imaging)";
+        info_.paperMi = 0.922;
+        info_.paperTimeHybrid = 37.87;
+        info_.paperTimeBenchmark = 41.94;
+        info_.paperTimePurecap = 43.10;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 7200 * kKiB, 1100 * kKiB, 30'000, 200 * kKiB,
+            7'000,      260 * kKiB,  6400,        260,    16'000 * kKiB,
+            260 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed);
+        const u32 f_main = ctx.code.addFunction(0, 800);
+        const u32 f_spmv = ctx.code.addFunction(0, 500);
+        const u32 f_mesh = ctx.code.addFunction(0, 700);
+        ctx.low.enterFunction(f_main);
+
+        // Solution vector: ~1.5 MiB of doubles (straddles L2 slightly).
+        const u64 vec_len = 190'000;
+        const Addr x = ctx.alloc.allocate(vec_len * 8);
+        const Addr y = ctx.alloc.allocate(vec_len * 8);
+        const Addr cols = ctx.alloc.allocate(vec_len * 4);
+        ctx.low.derivePointer();
+
+        // Mesh cells: pointer-rich records (neighbors + DoF pointers).
+        const abi::StructDesc cell_desc({
+            abi::Field::pointer("neighbor0"),
+            abi::Field::pointer("neighbor1"),
+            abi::Field::pointer("dofs"),
+            abi::Field::scalar(8, "measure"),
+            abi::Field::scalar(8, "id"),
+        });
+        const abi::RecordLayout cell = cell_desc.layoutFor(abi);
+        const u64 cell_count = 20'000;
+        const std::vector<Addr> cells =
+            ctx.allocLinkedPool(cell_desc, cell_count);
+
+        const double f = scaleFactor(scale);
+        const u64 rows = static_cast<u64>(34'000 * f);
+        for (u64 row = 0; row < rows; ++row) {
+            ctx.low.loopBegin();
+            ctx.low.call(f_spmv, abi::CallKind::Local);
+            // One CSR row: gather ~5 nonzeros.
+            for (int nz = 0; nz < 5; ++nz) {
+                const u64 col = ctx.rng.nextBelow(vec_len);
+                ctx.low.load(cols + ((row * 5 + nz) % vec_len) * 4, 4);
+                ctx.low.load(x + col * 8, 8, /*dependent=*/true);
+                ctx.low.fp(2); // multiply-accumulate
+            }
+            ctx.low.store(y + (row % vec_len) * 8, 8);
+            ctx.low.local(3);
+            ctx.low.alu(7);
+            ctx.low.branch(ctx.rng.chance(0.96));
+            ctx.low.ret();
+
+            // Every few rows, touch the mesh (pointer structures).
+            if ((row & 7) == 0) {
+                ctx.low.call(f_mesh, abi::CallKind::Local);
+                const Addr c = cells[ctx.rng.nextBelow(cell_count)];
+                ctx.low.loadPointer(c + cell.offsetOf(0));
+                ctx.low.loadPointer(c + cell.offsetOf(2), true);
+                ctx.low.load(c + cell.offsetOf(3), 8);
+                ctx.low.capOverhead(6);
+                ctx.low.fp(2);
+                ctx.low.alu(2);
+                ctx.low.ret();
+            }
+        }
+    }
+
+  private:
+    WorkloadInfo info_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeParest()
+{
+    return std::make_unique<ParestWorkload>();
+}
+
+} // namespace cheri::workloads

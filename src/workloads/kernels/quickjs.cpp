@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Proxy for QuickJS running the Test262 ECMAScript suite.
+ *
+ * Paper signature: the most CHERI-hostile workload — classified
+ * compute-intensive (MI 0.68) yet suffering the study's worst purecap
+ * overhead (+166%): 18,612 small JS programs executed back-to-back,
+ * each with its own parse / object allocation / execution / teardown
+ * cycle. Boxed JS values make most loads pointer loads (capability
+ * load density 57% purecap), the interpreter's code footprint
+ * pressures L1I (1.17% -> 1.67% miss rate), and the allocation churn
+ * inflates the touched footprint (+36%) and TLB walk counts. Under
+ * the benchmark ABI the binary aborts with an in-address-space
+ * security exception (paper Appendix) — reported as NA.
+ *
+ * Proxy structure: a loop of small "programs": allocate a fresh
+ * object graph, interpret bytecodes through high-entropy indirect
+ * dispatch where operand fetches are pointer loads and property
+ * lookups are shape-chain chases, then tear the graph down.
+ */
+
+#include "support/logging.hpp"
+#include "workloads/context.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+class QuickjsWorkload final : public Workload
+{
+  public:
+    QuickjsWorkload()
+    {
+        info_.name = "QuickJS";
+        info_.suite = "real-world";
+        info_.description = "Test262 ECMAScript suite on QuickJS";
+        info_.paperMi = 0.680;
+        info_.paperTimeHybrid = 22.51;
+        info_.paperTimeBenchmark = 0; // NA: security exception
+        info_.paperTimePurecap = 59.87;
+        info_.benchmarkAbiRuns = false;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 1200 * kKiB, 260 * kKiB, 12'000, 80 * kKiB, 4'000,
+            160 * kKiB, 1900,        120,        2200 * kKiB, 90 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed);
+
+        // The interpreter loop is one huge function (~40 KiB hybrid,
+        // exceeding the 64 KiB L1I together with the runtime helpers).
+        const u32 f_main = ctx.code.addFunction(0, 400);
+        const u32 f_interp = ctx.code.addFunction(0, 10'000);
+        u32 f_runtime[10];
+        for (auto &f : f_runtime)
+            f = ctx.code.addFunction(0, 900);
+        const u32 f_libc = ctx.code.addFunction(1, 600);
+        ctx.low.enterFunction(f_main);
+
+        // JS object: shape pointer, prototype, property slots (boxed
+        // values are themselves pointers).
+        const abi::StructDesc obj_desc({
+            abi::Field::pointer("shape"),
+            abi::Field::pointer("proto"),
+            abi::Field::pointer("prop0"),
+            abi::Field::pointer("prop1"),
+            abi::Field::pointer("prop2"),
+            abi::Field::scalar(4, "class_id"),
+            abi::Field::scalar(4, "flags"),
+            abi::Field::scalar(8, "refcount"),
+        });
+        const abi::RecordLayout obj = obj_desc.layoutFor(abi);
+
+        const double f = scaleFactor(scale);
+        const u64 programs = static_cast<u64>(110 * f);
+        const u64 objs_per_program = 2600;
+
+        for (u64 prog = 0; prog < programs; ++prog) {
+            ctx.low.loopBegin();
+            // Parse + compile: allocation-heavy work that also writes
+            // every fresh object (initialization warms the lines).
+            std::vector<Addr> graph;
+            graph.reserve(objs_per_program);
+            for (u64 i = 0; i < objs_per_program; ++i) {
+                const Addr addr = ctx.alloc.allocate(obj.size, obj.align);
+                graph.push_back(addr);
+                if ((i & 7) == 0)
+                    ctx.low.derivePointer();
+                ctx.low.storePointer(addr + obj.offsetOf(0));
+                ctx.low.store(addr + obj.offsetOf(7), 8);
+                ctx.low.alu(4);
+                // Link prototype chains through the fresh graph.
+                ctx.machine.store().write(
+                    addr + obj.offsetOf(1),
+                    graph[ctx.rng.nextBelow(graph.size())], 8);
+            }
+
+            // Compile a small bytecode "program": each test is a loop
+            // over a fixed opcode trace, so dispatch targets repeat
+            // within a program but differ across programs.
+            const u64 trace_len = 24;
+            std::vector<u32> trace(trace_len);
+            std::vector<u32> operand(trace_len);
+            for (u64 i = 0; i < trace_len; ++i) {
+                trace[i] = static_cast<u32>(ctx.rng.nextBelow(160));
+                operand[i] = static_cast<u32>(
+                    ctx.rng.nextBelow(objs_per_program));
+            }
+
+            // Execute: the interpreter loop.
+            ctx.low.call(f_interp, abi::CallKind::Local);
+            // The VM operand stack: JSValues are boxed pointers, so
+            // every push/pop moves a capability under purecap (two
+            // store-queue entries each) but a plain 8-byte word under
+            // hybrid — QuickJS's dominant purecap cost.
+            const Addr vm_stack = ctx.alloc.allocate(4096, 16);
+            const u64 iterations = 16;
+            for (u64 it = 0; it < iterations; ++it) {
+                ctx.low.loopBegin();
+                for (u64 b = 0; b < trace_len; ++b) {
+                    // Opcode dispatch: indirect branch; repeats within
+                    // the program, shifts across programs.
+                    ctx.low.dispatch(trace[b]);
+                    ctx.low.alu(9); // type tests, refcount math
+                    ctx.low.local(2);
+
+                    // Operand fetch: boxed values = pointer
+                    // loads, re-pushed onto the VM stack.
+                    const Addr o = graph[operand[b]];
+                    ctx.low.loadPointer(o + obj.offsetOf(2));
+                    const Addr slot = vm_stack + 32 * (b % 8);
+                    ctx.low.storePointer(slot);
+                    ctx.low.loadPointer(slot);
+                    ctx.low.storePointer(slot + 16 * (b % 2));
+                    ctx.low.derivePointer();
+
+                    // Property lookup: shape/prototype chain chase.
+                    Addr cursor = o;
+                    for (int hop = 0; hop < 2; ++hop) {
+                        const Addr next = ctx.machine.store().read(
+                            cursor + obj.offsetOf(1), 8);
+                        ctx.low.loadPointer(cursor + obj.offsetOf(1),
+                                            /*dependent=*/true);
+                        cursor = next ? next : o;
+                    }
+                    ctx.low.branch(((it + b) & 3) != 0);
+
+                    // Boxed-value plumbing: under CHERI C the NaN-boxed
+                    // JSValue fast paths are gone; every value move
+                    // re-derives and copies a full capability.
+                    ctx.low.capOverhead(26);
+                    if (ctx.abi != abi::Abi::Hybrid) {
+                        // Boxed-value copies are capability moves.
+                        const Addr slot2 = vm_stack + 32 * ((b + 3) % 8);
+                        ctx.low.storePointer(slot2);
+                        ctx.low.loadPointer(slot2);
+                    }
+
+                    // Result write: a boxed store.
+                    ctx.low.storePointer(o + obj.offsetOf(3));
+
+                    // Occasional runtime helper (string/number/etc.).
+                    if ((b % 12) == 0) {
+                        ctx.low.call(f_runtime[trace[b] % 10],
+                                     abi::CallKind::Virtual);
+                        ctx.low.alu(8);
+                        ctx.low.load(cursor + obj.offsetOf(7), 8);
+                        ctx.low.ret();
+                    }
+                }
+            }
+            ctx.low.ret(); // interpreter
+
+            // Teardown: refcount sweeps + free into the allocator.
+            ctx.low.call(f_libc, abi::CallKind::CrossLib);
+            for (u64 i = 0; i < objs_per_program; i += 8) {
+                ctx.low.load(graph[i] + obj.offsetOf(7), 8);
+                ctx.low.store(graph[i] + obj.offsetOf(7), 8);
+                ctx.low.alu(1);
+            }
+            ctx.low.ret();
+            // Test262 churn: most graphs are NOT reused — fresh pages
+            // next program (footprint growth + TLB pressure). Only a
+            // small fraction returns to the free lists.
+            if (ctx.rng.chance(0.2)) {
+                for (const Addr addr : graph)
+                    ctx.alloc.free(addr, obj.size);
+            }
+        }
+    }
+
+  private:
+    WorkloadInfo info_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeQuickjs()
+{
+    return std::make_unique<QuickjsWorkload>();
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Proxy for 525.x264_r / 625.x264_s: H.264 video encoding.
+ *
+ * The paper compiles and runs x264 under all three ABIs (Appendix
+ * Tables 5/6) but does not report its detailed counters; Figure 1
+ * implies a modest overhead. Proxy structure: motion-estimation SAD
+ * loops — SIMD-dominated streaming reads over reference frames with
+ * highly predictable loop branches — plus DCT/quantization ALU and
+ * residual stores.
+ */
+
+#include "support/logging.hpp"
+#include "workloads/context.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+class X264Workload final : public Workload
+{
+  public:
+    explicit X264Workload(bool speed) : speed_(speed)
+    {
+        info_.name = speed ? "625.x264_s" : "525.x264_r";
+        info_.suite = "SPEC CPU 2017";
+        info_.description = "H.264 video compression";
+        info_.paperMi = 0;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 900 * kKiB, 150 * kKiB, 3200, 60 * kKiB, 800,
+            700 * kKiB, 700,        90,         2400 * kKiB, 90 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed + (speed_ ? 1 : 0));
+        const u32 f_main = ctx.code.addFunction(0, 700);
+        const u32 f_sad = ctx.code.addFunction(0, 400);
+        const u32 f_dct = ctx.code.addFunction(0, 600);
+        ctx.low.enterFunction(f_main);
+
+        // Current + reference frames (1080p-ish luma planes).
+        const u64 frame = 2 * kMiB;
+        const Addr cur = ctx.alloc.allocate(frame);
+        const Addr ref = ctx.alloc.allocate(frame);
+        const Addr out = ctx.alloc.allocate(frame);
+        ctx.low.derivePointer();
+
+        const double f = scaleFactor(scale);
+        const u64 blocks = static_cast<u64>(9'000 * f);
+        for (u64 b = 0; b < blocks; ++b) {
+            ctx.low.loopBegin();
+            const u64 cur_off = (b * 256) % (frame - 4096);
+            ctx.low.call(f_sad, abi::CallKind::Local);
+            // Search a few candidate motion vectors.
+            for (int mv = 0; mv < 4; ++mv) {
+                const u64 ref_off =
+                    (cur_off + ctx.rng.nextBelow(8192)) % (frame - 4096);
+                for (int row = 0; row < 4; ++row) {
+                    ctx.low.load(cur + cur_off + row * 64, 8);
+                    ctx.low.load(ref + ref_off + row * 64, 8);
+                    ctx.low.vec(2); // SAD accumulate
+                }
+                ctx.low.alu(2);
+                ctx.low.branch(ctx.rng.chance(0.9)); // early-out compare
+            }
+            ctx.low.ret();
+
+            // Transform + quantize the winning block.
+            ctx.low.call(f_dct, abi::CallKind::Local);
+            ctx.low.vec(10);
+            ctx.low.mul(2);
+            ctx.low.alu(6);
+            for (int row = 0; row < 4; ++row)
+                ctx.low.store(out + cur_off + row * 64, 8);
+            ctx.low.branch(true);
+            ctx.low.ret();
+        }
+    }
+
+  private:
+    WorkloadInfo info_;
+    bool speed_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeX264(bool speed)
+{
+    return std::make_unique<X264Workload>(speed);
+}
+
+} // namespace cheri::workloads

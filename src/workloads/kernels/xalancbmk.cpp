@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Proxy for 523.xalancbmk_r / 623.xalancbmk_s: XSLT transformation of
+ * XML documents (Xalan + the Xerces-C DOM library).
+ *
+ * Paper signature: balanced intensity (MI 0.86), the largest
+ * PCC-sensitive overhead in the suite — purecap 2.03x vs hybrid, of
+ * which more than half vanishes under the benchmark ABI (1.45x) —
+ * plus a dramatic DTLB-walk increase (~12x) under purecap.
+ *
+ * Proxy structure: a DOM-like tree of nodes with per-node child
+ * pointer arrays, visited by a recursive template-matching walk in
+ * which *every node dispatches through virtual calls into the parser
+ * library* (hence the dense PCC-bounds traffic), interleaved with
+ * string/attribute processing. The tree spans enough pages that the
+ * purecap footprint growth pushes the walk out of the 1280-entry L2
+ * TLB's coverage.
+ */
+
+#include "support/logging.hpp"
+#include "workloads/context.hpp"
+
+#include <algorithm>
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+class XalancbmkWorkload final : public Workload
+{
+  public:
+    explicit XalancbmkWorkload(bool speed) : speed_(speed)
+    {
+        info_.name = speed ? "623.xalancbmk_s" : "523.xalancbmk_r";
+        info_.suite = "SPEC CPU 2017";
+        info_.description = "XSLT processor transforming XML documents";
+        info_.paperMi = 0.860;
+        info_.paperTimeHybrid = 53.59;
+        info_.paperTimeBenchmark = 77.95;
+        info_.paperTimePurecap = 109.07;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 4600 * kKiB, 900 * kKiB, 26'000, 130 * kKiB,
+            9'000,      180 * kKiB,  5200,       240,    9000 * kKiB,
+            200 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed + (speed_ ? 1 : 0));
+
+        // Main transform code plus the Xerces DOM library (lib 1):
+        // virtual handlers resolve into library code.
+        const u32 f_main = ctx.code.addFunction(0, 900);
+        u32 f_visit[12];
+        for (auto &f : f_visit)
+            f = ctx.code.addFunction(1, 260);
+        const u32 f_string = ctx.code.addFunction(1, 400);
+        ctx.low.enterFunction(f_main);
+
+        // DOM node: vtable + parent/sibling/child pointers + attrs.
+        // hybrid: 56 B -> purecap: 104 B (page-pressure driver).
+        const abi::StructDesc node_desc({
+            abi::Field::pointer("vptr"),
+            abi::Field::pointer("first_child"),
+            abi::Field::pointer("next_sibling"),
+            abi::Field::pointer("attrs"),
+            abi::Field::pointer("text"),
+            abi::Field::scalar(4, "type"),
+            abi::Field::scalar(4, "len"),
+            abi::Field::scalar(8, "hash"),
+        });
+        const abi::RecordLayout layout = node_desc.layoutFor(abi);
+        const u32 off_child = layout.offsetOf(1);
+        const u32 off_sib = layout.offsetOf(2);
+        const u32 off_hash = layout.offsetOf(7);
+
+        const double f = scaleFactor(scale);
+        // Tree size: hybrid footprint ~3.6 MiB (fits the ~5 MiB L2-TLB
+        // coverage at 4 KiB pages); purecap ~6.7 MiB (does not).
+        const u64 pool = std::max<u64>(2048, static_cast<u64>(64'000 * f));
+        const std::vector<Addr> nodes =
+            ctx.allocLinkedPool(node_desc, pool);
+
+        const u64 visits = static_cast<u64>(46'000 * f);
+        const u64 hot = std::min<u64>(pool, 13'000);
+        u32 matched = 0;
+        for (u64 visit = 0; visit < visits; ++visit) {
+            ctx.low.loopBegin();
+            // Template match: virtual dispatch into library code for
+            // the node and a handful of its children — the dense
+            // capability-branch pattern the benchmark ABI repairs.
+            const Addr node = nodes[ctx.rng.chance(0.92)
+                                        ? ctx.rng.nextBelow(hot)
+                                        : ctx.rng.nextBelow(pool)];
+            if (ctx.rng.chance(0.06))
+                matched = static_cast<u32>(ctx.rng.nextBelow(12));
+            ctx.low.call(f_visit[matched], abi::CallKind::Virtual);
+
+            Addr child = ctx.machine.store().read(node + off_child, 8);
+            ctx.low.loadPointer(node + off_child);
+            for (int i = 0; i < 3; ++i) {
+                ctx.low.loadPointer(child + off_sib, /*dependent=*/true);
+                ctx.low.load(child + off_hash, 8);
+                ctx.low.alu(2);
+                ctx.low.branch(ctx.rng.chance(0.93));
+                child = ctx.machine.store().read(child + off_sib, 8);
+                // Each child classification is its own virtual call.
+                ctx.low.call(f_visit[(matched + i) % 12],
+                             abi::CallKind::Virtual);
+                ctx.low.alu(3);
+                ctx.low.ret();
+            }
+
+            ctx.low.capOverhead(22);
+
+            // String/attribute handling in the library.
+            ctx.low.call(f_string, abi::CallKind::CrossLib);
+            for (int i = 0; i < 4; ++i) {
+                ctx.low.load(node + off_hash, 8);
+                ctx.low.alu(3);
+            }
+            ctx.low.store(node + off_hash, 8);
+            ctx.low.ret(); // f_string
+
+            ctx.low.ret(); // node visit
+        }
+    }
+
+  private:
+    WorkloadInfo info_;
+    bool speed_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeXalancbmk(bool speed)
+{
+    return std::make_unique<XalancbmkWorkload>(speed);
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Proxy for 557.xz_r / 657.xz_s: LZMA compression (XZ utils).
+ *
+ * Paper signature: compute-intensive (MI 0.51), high branch miss rate
+ * (~5.5%, literal/match decisions), very high L2 miss rate (~22%, the
+ * match-finder window), small purecap overhead (+6.5%).
+ *
+ * Proxy structure: a hash-chain match finder over a large window
+ * buffer: hash the current position, follow a chain of *integer*
+ * indices (dependent loads whose footprint does not grow under
+ * purecap — which is why xz stays cheap), compare candidate matches
+ * byte-wise with unpredictable exit branches, then range-code the
+ * decision with ALU work.
+ */
+
+#include "support/logging.hpp"
+#include "workloads/context.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+class XzWorkload final : public Workload
+{
+  public:
+    explicit XzWorkload(bool speed) : speed_(speed)
+    {
+        info_.name = speed ? "657.xz_s" : "557.xz_r";
+        info_.suite = "SPEC CPU 2017";
+        info_.description = "LZMA data compression";
+        info_.paperMi = speed ? 0.504 : 0.514;
+        info_.paperTimeHybrid = 46.93;
+        info_.paperTimeBenchmark = 49.65;
+        info_.paperTimePurecap = 49.98;
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 240 * kKiB, 50 * kKiB, 600, 30 * kKiB, 280,
+            3200 * kKiB, 260,       60,        800 * kKiB, 40 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+        u64 seed) const override
+    {
+        Ctx ctx(machine, abi, seed + (speed_ ? 1 : 0));
+        const u32 f_main = ctx.code.addFunction(0, 500);
+        const u32 f_find = ctx.code.addFunction(0, 900);
+        const u32 f_code = ctx.code.addFunction(0, 700);
+        ctx.low.enterFunction(f_main);
+
+        // Window + hash chains: integer indices, ABI-size invariant.
+        const u64 window = 8 * kMiB;
+        const u64 chain_slots = kMiB;
+        const Addr buf = ctx.alloc.allocate(window);
+        const Addr chains = ctx.alloc.allocate(chain_slots * 4);
+        ctx.low.derivePointer();
+
+        const double f = scaleFactor(scale);
+        const u64 positions = static_cast<u64>(30'000 * f);
+        u64 pos = 0;
+        for (u64 p = 0; p < positions; ++p) {
+            ctx.low.loopBegin();
+            pos = (pos + 1 + ctx.rng.nextBelow(8)) % (window - 64);
+
+            ctx.low.call(f_find, abi::CallKind::Local);
+            // Hash the next bytes, index the chain head.
+            ctx.low.load(buf + pos, 4);
+            ctx.low.alu(4);
+            ctx.low.load(chains + (ctx.rng.nextBelow(chain_slots)) * 4, 4,
+                         /*dependent=*/true);
+            // Follow the chain: candidate positions, byte compares.
+            const u32 depth = 1 + static_cast<u32>(ctx.rng.nextBelow(3));
+            for (u32 d = 0; d < depth; ++d) {
+                // Candidates cluster near the current position; the
+                // cold tail reaches across the whole window (L2 miss).
+                const u64 cand =
+                    ctx.rng.chance(0.6)
+                        ? (pos + window - 32'768 +
+                           ctx.rng.nextBelow(32'000)) % (window - 64)
+                        : ctx.rng.nextBelow(window - 64);
+                ctx.low.load(buf + cand, 8, /*dependent=*/d == 0);
+                ctx.low.load(buf + pos + d * 8, 8);
+                ctx.low.alu(3);
+                ctx.low.branch(ctx.rng.chance(0.55)); // match length exit
+            }
+            ctx.low.ret();
+
+            // Range coder: serial ALU with mispredictable bit choices.
+            ctx.low.call(f_code, abi::CallKind::Local);
+            for (int bit = 0; bit < 6; ++bit) {
+                ctx.low.alu(3);
+                ctx.low.local(1);
+                ctx.low.mul(1);
+                // Range-coder bit choices: genuinely data-dependent.
+                ctx.low.branch((bit & 1) ? ctx.rng.chance(0.5)
+                                         : ctx.rng.chance(0.9));
+            }
+            ctx.low.store(buf + (p * 8) % window, 8);
+            ctx.low.ret();
+        }
+    }
+
+  private:
+    WorkloadInfo info_;
+    bool speed_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeXz(bool speed)
+{
+    return std::make_unique<XzWorkload>(speed);
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,81 @@
+#include "workloads/registry.hpp"
+
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+std::vector<std::unique_ptr<Workload>>
+allWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    out.push_back(makeParest());
+    out.push_back(makeLbm());
+    out.push_back(makeOmnetpp(false));
+    out.push_back(makeXalancbmk(false));
+    out.push_back(makeX264(false));
+    out.push_back(makeDeepsjeng(false));
+    out.push_back(makeLeela(false));
+    out.push_back(makeNab(false));
+    out.push_back(makeXz(false));
+    out.push_back(makeOmnetpp(true));
+    out.push_back(makeXalancbmk(true));
+    out.push_back(makeX264(true));
+    out.push_back(makeDeepsjeng(true));
+    out.push_back(makeLeela(true));
+    out.push_back(makeNab(true));
+    out.push_back(makeXz(true));
+    out.push_back(makeLlamaInference());
+    out.push_back(makeLlamaMatmul());
+    out.push_back(makeSqlite());
+    out.push_back(makeQuickjs());
+    return out;
+}
+
+const std::vector<std::string> &
+table3Names()
+{
+    static const std::vector<std::string> kNames = {
+        "510.parest_r", "519.lbm_r",       "520.omnetpp_r",
+        "523.xalancbmk_r", "531.deepsjeng_r", "541.leela_r",
+        "544.nab_r",    "557.xz_r",        "LLaMA.inference",
+        "LLaMA.matmul", "SQLite",          "QuickJS",
+    };
+    return kNames;
+}
+
+const std::vector<std::string> &
+table4Names()
+{
+    static const std::vector<std::string> kNames = {
+        "519.lbm_r", "520.omnetpp_r",   "541.leela_r",
+        "LLaMA.inference", "SQLite",    "QuickJS",
+    };
+    return kNames;
+}
+
+const Workload *
+findWorkload(const std::vector<std::unique_ptr<Workload>> &pool,
+             const std::string &name)
+{
+    for (const auto &workload : pool)
+        if (workload->info().name == name)
+            return workload.get();
+    return nullptr;
+}
+
+std::optional<sim::SimResult>
+runWorkload(const Workload &workload, abi::Abi abi, Scale scale,
+            const sim::MachineConfig *base, u64 seed)
+{
+    if (!workload.supports(abi))
+        return std::nullopt;
+
+    sim::MachineConfig config =
+        base ? *base : sim::MachineConfig::forAbi(abi);
+    config.abi = abi;
+    sim::Machine machine(config);
+    workload.run(machine, abi, scale, seed);
+    return machine.finalize();
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The workload registry and the standard run helper used by tests,
+ * examples and every benchmark harness.
+ */
+
+#ifndef CHERI_WORKLOADS_REGISTRY_HPP
+#define CHERI_WORKLOADS_REGISTRY_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace cheri::workloads {
+
+/** All 20 workload instances, in the paper's presentation order. */
+std::vector<std::unique_ptr<Workload>> allWorkloads();
+
+/** The 12 representative benchmarks of Table 3 (by name). */
+const std::vector<std::string> &table3Names();
+
+/** The 6 drill-down workloads of Table 4 / Figure 3. */
+const std::vector<std::string> &table4Names();
+
+/** Find by exact name among @p pool; nullptr when absent. */
+const Workload *
+findWorkload(const std::vector<std::unique_ptr<Workload>> &pool,
+             const std::string &name);
+
+/**
+ * Run @p workload under @p abi with a fresh Machine.
+ *
+ * @param base Optional config template; its abi field is overridden.
+ * @param seed Workload RNG seed (fixed default for reproducibility).
+ * @return Nothing when the workload does not support the ABI (the
+ *         paper's "NA" cells).
+ */
+std::optional<sim::SimResult>
+runWorkload(const Workload &workload, abi::Abi abi,
+            Scale scale = Scale::Small,
+            const sim::MachineConfig *base = nullptr, u64 seed = 42);
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_REGISTRY_HPP

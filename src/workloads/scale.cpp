@@ -1,0 +1,19 @@
+#include "workloads/workload.hpp"
+
+namespace cheri::workloads {
+
+double
+scaleFactor(Scale scale)
+{
+    switch (scale) {
+      case Scale::Tiny:
+        return 0.06;
+      case Scale::Small:
+        return 1.0;
+      case Scale::Ref:
+        return 4.0;
+    }
+    return 1.0;
+}
+
+} // namespace cheri::workloads

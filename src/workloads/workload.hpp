@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The workload abstraction: each of the paper's 20 applications is
+ * represented by a synthetic proxy engineered to match its dominant
+ * kernel along the axes the paper's analysis keys on — memory
+ * intensity (Table 2), pointer density, working-set size, call and
+ * branch structure — rather than its source code. DESIGN.md documents
+ * each substitution.
+ */
+
+#ifndef CHERI_WORKLOADS_WORKLOAD_HPP
+#define CHERI_WORKLOADS_WORKLOAD_HPP
+
+#include <optional>
+#include <string>
+
+#include "abi/abi.hpp"
+#include "binsize/sections.hpp"
+#include "sim/machine.hpp"
+
+namespace cheri::workloads {
+
+/** Problem-size knob. Small keeps full 60-run sweeps tractable. */
+enum class Scale : u8 {
+    Tiny,  //!< Unit-test sized (~100k dynamic ops).
+    Small, //!< Benchmark default (~1-3M dynamic ops).
+    Ref,   //!< Larger runs for detailed single-workload studies.
+};
+
+double scaleFactor(Scale scale);
+
+struct WorkloadInfo
+{
+    std::string name;        //!< e.g. "520.omnetpp_r"
+    std::string suite;       //!< "SPEC CPU 2017" or "real-world"
+    std::string description;
+
+    double paperMi = 0;      //!< Table 2 memory intensity (0 = absent).
+
+    /** Table 3/4 execution times in seconds (0 = not reported). */
+    double paperTimeHybrid = 0;
+    double paperTimeBenchmark = 0;
+    double paperTimePurecap = 0;
+
+    /**
+     * False for QuickJS under the benchmark ABI: the paper reports an
+     * in-address-space security exception instead of a result ("NA").
+     */
+    bool benchmarkAbiRuns = true;
+
+    /** Link-level profile for the Figure 2 binary-size model. */
+    binsize::BinaryProfile binary{};
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const WorkloadInfo &info() const = 0;
+
+    /**
+     * Synthesize the workload's dynamic behaviour into @p machine
+     * (via its pipeline/dynamic-issue interface) for the given ABI.
+     * Deterministic for a given (abi, scale, seed).
+     */
+    virtual void run(sim::Machine &machine, abi::Abi abi, Scale scale,
+                     u64 seed) const = 0;
+
+    /** True when the workload can execute under @p abi. */
+    bool
+    supports(abi::Abi abi) const
+    {
+        return abi != abi::Abi::Benchmark || info().benchmarkAbiRuns;
+    }
+};
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_WORKLOAD_HPP

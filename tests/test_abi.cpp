@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the ABI layer: traits, pointer-size-aware record layout
+ * and the CHERI-aware allocator — the mechanisms behind the paper's
+ * footprint-growth findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "abi/abi.hpp"
+#include "abi/allocator.hpp"
+#include "abi/layout.hpp"
+#include "cap/bounds.hpp"
+
+namespace cheri::abi {
+namespace {
+
+TEST(AbiTraits, PointerSizes)
+{
+    EXPECT_EQ(pointerSize(Abi::Hybrid), 8u);
+    EXPECT_EQ(pointerSize(Abi::Purecap), 16u);
+    EXPECT_EQ(pointerSize(Abi::Benchmark), 16u);
+}
+
+TEST(AbiTraits, OnlyPurecapUsesCapabilityBranches)
+{
+    EXPECT_FALSE(capabilityBranches(Abi::Hybrid));
+    EXPECT_TRUE(capabilityBranches(Abi::Purecap));
+    EXPECT_FALSE(capabilityBranches(Abi::Benchmark));
+}
+
+TEST(AbiTraits, BenchmarkSharesPurecapMemoryLayout)
+{
+    EXPECT_TRUE(capabilityPointers(Abi::Benchmark));
+    EXPECT_EQ(pointerSize(Abi::Benchmark), pointerSize(Abi::Purecap));
+}
+
+TEST(AbiTraits, Names)
+{
+    EXPECT_STREQ(abiName(Abi::Hybrid), "hybrid");
+    EXPECT_STREQ(abiName(Abi::Purecap), "purecap");
+    EXPECT_STREQ(abiName(Abi::Benchmark), "benchmark");
+}
+
+TEST(Layout, ScalarOnlyRecordIsAbiInvariant)
+{
+    const StructDesc desc({Field::scalar(8), Field::scalar(4),
+                           Field::scalar(4)});
+    const auto hybrid = desc.layoutFor(Abi::Hybrid);
+    const auto purecap = desc.layoutFor(Abi::Purecap);
+    EXPECT_EQ(hybrid.size, purecap.size);
+    EXPECT_EQ(hybrid.size, 16u);
+    EXPECT_DOUBLE_EQ(desc.growthFactor(), 1.0);
+}
+
+TEST(Layout, PointerFieldsDoubleUnderPurecap)
+{
+    const StructDesc desc({Field::pointer("next"), Field::scalar(8)});
+    EXPECT_EQ(desc.layoutFor(Abi::Hybrid).size, 16u);
+    EXPECT_EQ(desc.layoutFor(Abi::Purecap).size, 32u); // 16 + 8 + pad
+}
+
+TEST(Layout, NaturalAlignmentAndPadding)
+{
+    const StructDesc desc({Field::scalar(1), Field::pointer(),
+                           Field::scalar(2)});
+    const auto hybrid = desc.layoutFor(Abi::Hybrid);
+    EXPECT_EQ(hybrid.offsets[0], 0u);
+    EXPECT_EQ(hybrid.offsets[1], 8u);  // pointer aligned to 8
+    EXPECT_EQ(hybrid.offsets[2], 16u);
+    EXPECT_EQ(hybrid.size, 24u);       // tail padded to align 8
+
+    const auto purecap = desc.layoutFor(Abi::Purecap);
+    EXPECT_EQ(purecap.offsets[1], 16u); // pointer aligned to 16
+    EXPECT_EQ(purecap.size, 48u);
+    EXPECT_EQ(purecap.align, 16u);
+}
+
+TEST(Layout, PointerCountTracked)
+{
+    const StructDesc desc({Field::pointer(), Field::scalar(8),
+                           Field::pointer()});
+    EXPECT_EQ(desc.layoutFor(Abi::Hybrid).pointerCount, 2u);
+}
+
+TEST(Layout, PaperEventRecordGrowth)
+{
+    // The omnetpp proxy's event record: 48 B hybrid, 80 B purecap.
+    const StructDesc desc({
+        Field::pointer(), Field::pointer(), Field::pointer(),
+        Field::scalar(8), Field::scalar(8), Field::scalar(4),
+        Field::scalar(4),
+    });
+    EXPECT_EQ(desc.layoutFor(Abi::Hybrid).size, 48u);
+    EXPECT_EQ(desc.layoutFor(Abi::Purecap).size, 80u);
+    EXPECT_NEAR(desc.growthFactor(), 80.0 / 48.0, 1e-12);
+}
+
+class AllocatorAbiTest : public ::testing::TestWithParam<Abi>
+{
+};
+
+TEST_P(AllocatorAbiTest, AllocationsAreDisjoint)
+{
+    SimAllocator alloc(GetParam());
+    Addr prev_end = 0;
+    for (int i = 0; i < 100; ++i) {
+        const u64 size = 24 + 8 * (i % 5);
+        const Addr addr = alloc.allocate(size);
+        EXPECT_GE(addr, prev_end);
+        prev_end = addr + alloc.paddedSize(size);
+    }
+}
+
+TEST_P(AllocatorAbiTest, MinimumAlignment)
+{
+    SimAllocator alloc(GetParam());
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(alloc.allocate(17) % 16, 0u);
+}
+
+TEST_P(AllocatorAbiTest, FreeListReuse)
+{
+    SimAllocator alloc(GetParam());
+    const Addr a = alloc.allocate(64);
+    alloc.free(a, 64);
+    const Addr b = alloc.allocate(64);
+    EXPECT_EQ(a, b); // LIFO reuse of the same size class
+    EXPECT_EQ(alloc.stats().frees, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAbis, AllocatorAbiTest,
+                         ::testing::Values(Abi::Hybrid, Abi::Purecap,
+                                           Abi::Benchmark));
+
+TEST(Allocator, CapabilityPaddingOnlyUnderCapAbis)
+{
+    SimAllocator hybrid(Abi::Hybrid);
+    SimAllocator purecap(Abi::Purecap);
+    const u64 big = (1ULL << 22) + 8; // forces representability rounding
+    EXPECT_EQ(hybrid.paddedSize(big), (1ULL << 22) + 16);
+    EXPECT_EQ(purecap.paddedSize(big),
+              cap::representableLength((1ULL << 22) + 16));
+    EXPECT_GT(purecap.paddedSize(big), hybrid.paddedSize(big));
+}
+
+TEST(Allocator, PurecapBigBlocksGetCheriAlignment)
+{
+    SimAllocator purecap(Abi::Purecap);
+    const u64 big = 1ULL << 24;
+    const u64 mask = cap::representableAlignmentMask(big);
+    const Addr addr = purecap.allocate(big);
+    EXPECT_EQ(addr & ~mask, 0u) << "block not CHERI-aligned";
+}
+
+TEST(Allocator, BoundedCapCoversBlockExactly)
+{
+    SimAllocator purecap(Abi::Purecap);
+    const Addr addr = purecap.allocate(100);
+    const auto cap = purecap.boundedCap(addr, 100);
+    EXPECT_TRUE(cap.tag());
+    EXPECT_EQ(cap.base(), addr);
+    EXPECT_EQ(cap.length(), purecap.paddedSize(100));
+    EXPECT_FALSE(cap.checkAccess(addr + 96, 4, true));
+    EXPECT_TRUE(cap.checkAccess(addr + purecap.paddedSize(100), 1, true));
+}
+
+TEST(Allocator, StatsTrackFootprint)
+{
+    SimAllocator alloc(Abi::Purecap);
+    alloc.allocate(1000);
+    alloc.allocate(1000);
+    EXPECT_EQ(alloc.stats().allocations, 2u);
+    EXPECT_GE(alloc.stats().reservedBytes, 2000u);
+    EXPECT_GE(alloc.stats().heapExtent, alloc.stats().reservedBytes);
+}
+
+TEST(Allocator, PurecapFootprintExceedsHybridForPointerRecords)
+{
+    // The end-to-end footprint mechanism: same logical allocations,
+    // bigger heap extent under purecap.
+    const StructDesc desc({Field::pointer(), Field::pointer(),
+                           Field::scalar(8)});
+    SimAllocator hybrid(Abi::Hybrid);
+    SimAllocator purecap(Abi::Purecap);
+    for (int i = 0; i < 1000; ++i) {
+        hybrid.allocate(desc.layoutFor(Abi::Hybrid).size);
+        purecap.allocate(desc.layoutFor(Abi::Purecap).size);
+    }
+    EXPECT_GT(purecap.stats().heapExtent, hybrid.stats().heapExtent);
+}
+
+} // namespace
+} // namespace cheri::abi

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the analysis library: Table 1 derived-metric formulas,
+ * top-down classification, intensity classes, correlation and the
+ * projection plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/correlation.hpp"
+#include "analysis/intensity.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/projection.hpp"
+#include "analysis/topdown.hpp"
+
+namespace cheri::analysis {
+namespace {
+
+using pmu::Event;
+using pmu::EventCounts;
+
+EventCounts
+syntheticCounts()
+{
+    EventCounts counts;
+    counts.add(Event::CpuCycles, 10'000);
+    counts.add(Event::InstRetired, 8'000);
+    counts.add(Event::InstSpec, 9'000);
+    counts.add(Event::StallFrontend, 500);
+    counts.add(Event::StallBackend, 3'000);
+    counts.add(Event::BrRetired, 1'000);
+    counts.add(Event::BrMisPredRetired, 30);
+    counts.add(Event::L1iCache, 2'000);
+    counts.add(Event::L1iCacheRefill, 20);
+    counts.add(Event::L1dCache, 3'000);
+    counts.add(Event::L1dCacheRefill, 150);
+    counts.add(Event::L2dCache, 170);
+    counts.add(Event::L2dCacheRefill, 40);
+    counts.add(Event::LlCacheRd, 40);
+    counts.add(Event::LlCacheMissRd, 38);
+    counts.add(Event::L1iTlb, 2'000);
+    counts.add(Event::L1dTlb, 3'000);
+    counts.add(Event::ItlbWalk, 4);
+    counts.add(Event::DtlbWalk, 12);
+    counts.add(Event::LdSpec, 2'400);
+    counts.add(Event::StSpec, 800);
+    counts.add(Event::DpSpec, 4'000);
+    counts.add(Event::AseSpec, 500);
+    counts.add(Event::VfpSpec, 300);
+    counts.add(Event::BrImmedSpec, 700);
+    counts.add(Event::BrIndirectSpec, 200);
+    counts.add(Event::BrReturnSpec, 100);
+    counts.add(Event::MemAccessRd, 2'400);
+    counts.add(Event::MemAccessWr, 800);
+    counts.add(Event::CapMemAccessRd, 600);
+    counts.add(Event::CapMemAccessWr, 200);
+    counts.add(Event::MemAccessRdCtag, 600);
+    counts.add(Event::MemAccessWrCtag, 200);
+    return counts;
+}
+
+TEST(Metrics, Table1Formulas)
+{
+    const auto m = DerivedMetrics::compute(syntheticCounts());
+    EXPECT_DOUBLE_EQ(m.ipc, 0.8);
+    EXPECT_DOUBLE_EQ(m.cpi, 1.25);
+    EXPECT_DOUBLE_EQ(m.frontendBound, 0.05);
+    EXPECT_DOUBLE_EQ(m.backendBound, 0.3);
+    EXPECT_DOUBLE_EQ(m.branchMissRate, 0.03);
+    EXPECT_DOUBLE_EQ(m.l1iMissRate, 0.01);
+    EXPECT_DOUBLE_EQ(m.l1dMissRate, 0.05);
+    EXPECT_NEAR(m.l2MissRate, 40.0 / 170.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.llcReadMissRate, 0.95);
+    EXPECT_NEAR(m.l1dMpki, 150.0 / 8.0, 1e-12);
+    EXPECT_NEAR(m.dtlbWalkRate, 12.0 / 3000.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.capLoadDensity, 0.25);
+    EXPECT_DOUBLE_EQ(m.capStoreDensity, 0.25);
+    EXPECT_DOUBLE_EQ(m.capTrafficShare, 0.25);
+    EXPECT_DOUBLE_EQ(m.capTagOverhead, 0.25);
+    EXPECT_NEAR(m.memoryIntensity, 3200.0 / 4800.0, 1e-12);
+}
+
+TEST(Metrics, PaperRetiringFormula)
+{
+    const auto counts = syntheticCounts();
+    const auto m = DerivedMetrics::compute(counts);
+    // INST_SPEC / SUM(*_SPEC): the paper's approximation hovers near
+    // 0.5 because INST_SPEC itself is part of the sum.
+    const double expected =
+        9000.0 / static_cast<double>(sumSpecEvents(counts));
+    EXPECT_DOUBLE_EQ(m.retiring, expected);
+    EXPECT_NEAR(m.retiring, 0.5, 0.05);
+    // Residual bad speculation stays within [0, 1].
+    EXPECT_GE(m.badSpeculation, 0.0);
+    EXPECT_LE(m.badSpeculation, 1.0);
+}
+
+TEST(Metrics, ZeroCountsProduceZeroMetricsNotNan)
+{
+    const auto m = DerivedMetrics::compute(EventCounts{});
+    EXPECT_EQ(m.ipc, 0.0);
+    EXPECT_EQ(m.l1dMissRate, 0.0);
+    EXPECT_EQ(m.capLoadDensity, 0.0);
+    EXPECT_EQ(m.memoryIntensity, 0.0);
+}
+
+TEST(Metrics, AllMetricFieldsAccessible)
+{
+    const auto m = DerivedMetrics::compute(syntheticCounts());
+    for (const auto &field : allMetricFields()) {
+        const double value = m.*(field.member);
+        EXPECT_TRUE(std::isfinite(value)) << field.name;
+    }
+    EXPECT_GE(allMetricFields().size(), 20u);
+}
+
+TEST(TopDown, ModelTruthSumsToOne)
+{
+    EventCounts counts;
+    counts.add(Event::CpuCycles, 1'000);
+    counts.add(Event::SlotsTotal, 4'000);
+    counts.add(Event::SlotsRetired, 2'000);
+    counts.add(Event::SlotsBadSpec, 400);
+    counts.add(Event::SlotsFrontend, 600);
+    counts.add(Event::SlotsBackend, 1'000);
+    const auto td = TopDown::fromModelTruth(counts);
+    EXPECT_NEAR(td.retiring + td.badSpeculation + td.frontendBound +
+                    td.backendBound,
+                1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(td.retiring, 0.5);
+    EXPECT_EQ(td.dominantCategory(), "retiring");
+}
+
+TEST(TopDown, BackendDrilldownPartitions)
+{
+    EventCounts counts;
+    counts.add(Event::CpuCycles, 1'000);
+    counts.add(Event::StallMemL1, 50);
+    counts.add(Event::StallMemL2, 100);
+    counts.add(Event::StallMemExt, 250);
+    counts.add(Event::StallCore, 100);
+    counts.add(Event::PccStall, 40);
+    const auto td = TopDown::fromModelTruth(counts);
+    EXPECT_DOUBLE_EQ(td.memoryBound, 0.4);
+    EXPECT_DOUBLE_EQ(td.coreBound, 0.1);
+    EXPECT_DOUBLE_EQ(td.l1Bound + td.l2Bound + td.extMemBound,
+                     td.memoryBound);
+    EXPECT_DOUBLE_EQ(td.pccStallShare, 0.04);
+}
+
+TEST(Intensity, PaperThresholds)
+{
+    EXPECT_EQ(classifyIntensity(0.31),
+              IntensityClass::ComputeIntensive);
+    EXPECT_EQ(classifyIntensity(0.59),
+              IntensityClass::ComputeIntensive);
+    EXPECT_EQ(classifyIntensity(0.6), IntensityClass::Balanced);
+    EXPECT_EQ(classifyIntensity(0.92), IntensityClass::Balanced);
+    EXPECT_EQ(classifyIntensity(1.0), IntensityClass::Balanced);
+    EXPECT_EQ(classifyIntensity(1.164), IntensityClass::MemoryCentric);
+    EXPECT_STREQ(intensityClassName(IntensityClass::Balanced),
+                 "balanced");
+}
+
+TEST(Correlation, MatrixBasics)
+{
+    // Two metrics perfectly correlated, one anti-correlated.
+    std::vector<std::vector<double>> samples = {
+        {1, 2, 9}, {2, 4, 7}, {3, 6, 4}, {4, 8, 2},
+    };
+    CorrelationMatrix matrix({"a", "b", "c"}, samples);
+    EXPECT_DOUBLE_EQ(matrix.at(0, 0), 1.0);
+    EXPECT_NEAR(matrix.at(0, 1), 1.0, 1e-9);
+    EXPECT_LT(matrix.at(0, 2), -0.9);
+    const auto strong = matrix.strongPairs(0.9);
+    EXPECT_GE(strong.size(), 2u);
+    EXPECT_NE(matrix.render().find("metric"), std::string::npos);
+}
+
+TEST(Correlation, FromDerivedMetrics)
+{
+    std::vector<DerivedMetrics> per_workload(5);
+    for (std::size_t i = 0; i < per_workload.size(); ++i) {
+        per_workload[i].ipc = 1.0 + 0.2 * static_cast<double>(i);
+        per_workload[i].l1dMpki = 10.0 - 2.0 * static_cast<double>(i);
+        per_workload[i].capLoadDensity = 0.1 * static_cast<double>(i);
+    }
+    const auto matrix = correlateMetrics(
+        per_workload, {"IPC", "L1D_MPKI", "CapLoadDensity"});
+    EXPECT_EQ(matrix.size(), 3u);
+    EXPECT_LT(matrix.at(0, 1), -0.99); // ipc vs mpki anti-correlated
+    EXPECT_GT(matrix.at(0, 2), 0.99);
+}
+
+TEST(Projection, StandardScenariosApplyKnobs)
+{
+    const auto scenarios = standardScenarios();
+    EXPECT_GE(scenarios.size(), 5u);
+
+    sim::MachineConfig config;
+    for (const auto &scenario : scenarios)
+        scenario.apply(config);
+    EXPECT_TRUE(config.pipe.bp.cap_aware);
+    EXPECT_TRUE(config.pipe.sq.wide_entries);
+    EXPECT_EQ(config.mem.l1d.size_bytes, 128 * kKiB);
+    EXPECT_EQ(config.mem.tag_extra_latency, 4u);
+}
+
+TEST(Projection, RunnerInvokedPerScenarioWithBaselineFirst)
+{
+    int calls = 0;
+    const auto runner = [&calls](const sim::MachineConfig &config) {
+        ++calls;
+        sim::SimResult result;
+        result.cycles = config.pipe.bp.cap_aware ? 500 : 1000;
+        result.seconds = static_cast<double>(result.cycles) / 2.5e9;
+        result.instructions = 1000;
+        return result;
+    };
+    const auto rows =
+        runProjections(runner, sim::MachineConfig{},
+                       {standardScenarios()[0]}); // cap-aware-bp only
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].scenario, "baseline");
+    EXPECT_NEAR(rows[1].speedupVsBaseline, 2.0, 1e-9);
+    EXPECT_EQ(calls, 2);
+}
+
+} // namespace
+} // namespace cheri::analysis

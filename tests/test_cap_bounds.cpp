@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Property and unit tests for the CHERI-Concentrate-style compressed
+ * bounds: encode/decode round trips, monotone rounding, the
+ * representable-space invariants and the CRRL/CRAM contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cap/bounds.hpp"
+#include "support/rng.hpp"
+
+namespace cheri::cap {
+namespace {
+
+TEST(Bounds, SmallRegionsEncodeExactly)
+{
+    for (u64 base : {0ULL, 16ULL, 4096ULL, 0xdeadb000ULL})
+        for (u64 len : {0ULL, 1ULL, 64ULL, 1024ULL, 4096ULL}) {
+            const auto enc = encodeBounds(base, base + len);
+            EXPECT_TRUE(enc.exact) << "base " << base << " len " << len;
+            const auto dec = decodeBounds(enc.fields, base);
+            EXPECT_EQ(dec.base, base);
+            EXPECT_EQ(dec.top, base + len);
+            EXPECT_FALSE(dec.topIsMax);
+        }
+}
+
+TEST(Bounds, FullAddressSpaceEncodes)
+{
+    const auto enc = encodeBounds(0, 0, /*topIsMax=*/true);
+    EXPECT_TRUE(enc.exact);
+    const auto dec = decodeBounds(enc.fields, 0);
+    EXPECT_EQ(dec.base, 0u);
+    EXPECT_TRUE(dec.topIsMax);
+}
+
+TEST(Bounds, RoundingIsOutwardOnly)
+{
+    Xoshiro256StarStar rng(1);
+    for (int i = 0; i < 5000; ++i) {
+        const u64 base = rng.nextBelow(1ULL << 48);
+        const u64 len = rng.nextBelow(1ULL << 34) + 1;
+        const auto enc = encodeBounds(base, base + len);
+        const auto dec = decodeBounds(enc.fields, base);
+        EXPECT_LE(dec.base, base);
+        if (!dec.topIsMax) {
+            EXPECT_GE(dec.top, base + len);
+        }
+    }
+}
+
+TEST(Bounds, ExactFlagMatchesRoundTrip)
+{
+    Xoshiro256StarStar rng(2);
+    for (int i = 0; i < 5000; ++i) {
+        const u64 base = rng.nextBelow(1ULL << 44);
+        const u64 len = rng.nextBelow(1ULL << 30) + 1;
+        const auto enc = encodeBounds(base, base + len);
+        const auto dec = decodeBounds(enc.fields, base);
+        const bool round_trip =
+            dec.base == base && !dec.topIsMax && dec.top == base + len;
+        EXPECT_EQ(enc.exact, round_trip)
+            << "base " << base << " len " << len;
+    }
+}
+
+TEST(Bounds, DecodeStableAcrossInBoundsAddresses)
+{
+    Xoshiro256StarStar rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const u64 base = rng.nextBelow(1ULL << 40);
+        const u64 len = rng.nextBelow(1ULL << 26) + 16;
+        const auto enc = encodeBounds(base, base + len);
+        const auto ref = decodeBounds(enc.fields, base);
+        // Any address inside the decoded region must reconstruct the
+        // same region.
+        for (int j = 0; j < 8; ++j) {
+            const u64 addr =
+                ref.base + rng.nextBelow(ref.top - ref.base);
+            const auto alt = decodeBounds(enc.fields, addr);
+            EXPECT_EQ(alt.base, ref.base);
+            EXPECT_EQ(alt.top, ref.top);
+            EXPECT_TRUE(isRepresentable(enc.fields, base, addr));
+        }
+    }
+}
+
+TEST(Bounds, FarAddressesAreUnrepresentable)
+{
+    // A small region with a large exponent-0 encoding: an address far
+    // away decodes to a different region.
+    const auto enc = encodeBounds(0x10000, 0x10000 + 256);
+    EXPECT_FALSE(isRepresentable(enc.fields, 0x10000, 0x40000000));
+}
+
+TEST(Bounds, RepresentableAlignmentMaskSmallLengths)
+{
+    // Lengths below the mantissa limit need no alignment at all.
+    EXPECT_EQ(representableAlignmentMask(0), ~0ULL);
+    EXPECT_EQ(representableAlignmentMask(1), ~0ULL);
+    EXPECT_EQ(representableAlignmentMask(4096), ~0ULL);
+}
+
+TEST(Bounds, RepresentableLengthMonotone)
+{
+    Xoshiro256StarStar rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        const u64 len = rng.nextBelow(1ULL << 40);
+        const u64 rounded = representableLength(len);
+        EXPECT_GE(rounded, len);
+        // Idempotent.
+        EXPECT_EQ(representableLength(rounded), rounded);
+    }
+}
+
+/**
+ * The CRAM/CRRL contract: aligning the base to the reported mask and
+ * rounding the length makes the encoding exact.
+ */
+class CramContractTest : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(CramContractTest, AlignedRequestsEncodeExactly)
+{
+    const u64 len = GetParam();
+    const u64 mask = representableAlignmentMask(len);
+    const u64 rounded = representableLength(len);
+    Xoshiro256StarStar rng(len ^ 0x5aa5);
+    for (int i = 0; i < 64; ++i) {
+        const u64 base = rng.nextBelow(1ULL << 46) & mask;
+        const auto enc = encodeBounds(base, base + rounded);
+        EXPECT_TRUE(enc.exact) << "len " << len << " base " << base;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthSweep, CramContractTest,
+    ::testing::Values(1ULL, 15ULL, 16ULL, 257ULL, 4095ULL, 4096ULL,
+                      12288ULL, 12289ULL, 65536ULL, 1ULL << 20,
+                      (1ULL << 20) + 1, 1ULL << 27, (1ULL << 32) + 12345,
+                      1ULL << 40));
+
+/** Exponent grows with the region size. */
+TEST(Bounds, ExponentMonotoneInLength)
+{
+    u8 last_e = 0;
+    for (int shift = 4; shift < 48; ++shift) {
+        const auto enc = encodeBounds(0, 1ULL << shift);
+        EXPECT_GE(enc.fields.e, last_e);
+        last_e = enc.fields.e;
+    }
+}
+
+TEST(Bounds, ZeroLengthAtArbitraryBase)
+{
+    Xoshiro256StarStar rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const u64 base = rng.next() >> 16;
+        const auto enc = encodeBounds(base, base);
+        EXPECT_TRUE(enc.exact);
+        const auto dec = decodeBounds(enc.fields, base);
+        EXPECT_EQ(dec.base, dec.top);
+    }
+}
+
+} // namespace
+} // namespace cheri::cap

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the Capability type: derivation monotonicity, tag
+ * clearing on violations, sealing, checked accesses and the packed
+ * 128-bit representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cap/capability.hpp"
+#include "support/rng.hpp"
+
+namespace cheri::cap {
+namespace {
+
+TEST(Capability, NullIsUntagged)
+{
+    Capability null;
+    EXPECT_FALSE(null.tag());
+    EXPECT_EQ(null.address(), 0u);
+    EXPECT_FALSE(null.sealed());
+}
+
+TEST(Capability, RootSpansEverything)
+{
+    const auto root = Capability::root();
+    EXPECT_TRUE(root.tag());
+    EXPECT_EQ(root.base(), 0u);
+    EXPECT_EQ(root.top(), ~0ULL); // saturated 2^64
+    EXPECT_TRUE(root.perms().has(Perm::Load));
+    EXPECT_TRUE(root.perms().has(Perm::Store));
+    EXPECT_TRUE(root.perms().has(Perm::Execute));
+}
+
+TEST(Capability, DataRegionHasExpectedBounds)
+{
+    const auto cap = Capability::dataRegion(0x1000, 0x800);
+    EXPECT_TRUE(cap.tag());
+    EXPECT_EQ(cap.base(), 0x1000u);
+    EXPECT_EQ(cap.top(), 0x1800u);
+    EXPECT_EQ(cap.length(), 0x800u);
+    EXPECT_FALSE(cap.perms().has(Perm::Execute));
+    EXPECT_TRUE(cap.perms().has(Perm::LoadCap));
+}
+
+TEST(Capability, CodeRegionIsExecutableNotWritable)
+{
+    const auto cap = Capability::codeRegion(0x10000, 0x4000);
+    EXPECT_TRUE(cap.perms().has(Perm::Execute));
+    EXPECT_FALSE(cap.perms().has(Perm::Store));
+}
+
+TEST(Capability, SetBoundsIsMonotonic)
+{
+    const auto parent = Capability::dataRegion(0x1000, 0x1000);
+    const auto child = parent.withAddress(0x1100).setBounds(0x100);
+    EXPECT_TRUE(child.tag());
+    EXPECT_GE(child.base(), parent.base());
+    EXPECT_LE(child.top(), parent.top());
+
+    // Widening attempt: request beyond the parent's top.
+    const auto bad = parent.withAddress(0x1f00).setBounds(0x1000);
+    EXPECT_FALSE(bad.tag());
+}
+
+TEST(Capability, SetBoundsBelowParentBaseClearsTag)
+{
+    const auto parent = Capability::dataRegion(0x2000, 0x1000);
+    const auto bad = parent.withAddress(0x1000).setBounds(0x10);
+    EXPECT_FALSE(bad.tag());
+}
+
+TEST(Capability, SetBoundsExactClearsTagOnRounding)
+{
+    const auto root = Capability::root();
+    // A giant, misaligned region cannot be exact.
+    const auto rounded =
+        root.withAddress(0x12345).setBounds((1ULL << 33) + 7, true);
+    EXPECT_FALSE(rounded.tag());
+    // The same request without exactness keeps the tag, rounded.
+    const auto loose =
+        root.withAddress(0x12345).setBounds((1ULL << 33) + 7, false);
+    EXPECT_TRUE(loose.tag());
+    EXPECT_GE(loose.length(), (1ULL << 33) + 7);
+}
+
+TEST(Capability, AddressArithmeticInRepresentableSpaceKeepsTag)
+{
+    const auto cap = Capability::dataRegion(0x4000, 0x1000);
+    const auto moved = cap.add(0x800);
+    EXPECT_TRUE(moved.tag());
+    EXPECT_EQ(moved.address(), 0x4800u);
+    EXPECT_EQ(moved.base(), cap.base());
+    EXPECT_EQ(moved.top(), cap.top());
+}
+
+TEST(Capability, FarArithmeticClearsTag)
+{
+    const auto cap = Capability::dataRegion(0x4000, 0x100);
+    const auto far = cap.add(1LL << 40);
+    EXPECT_FALSE(far.tag());
+    // Address still updates (CHERI semantics).
+    EXPECT_EQ(far.address(), 0x4000u + (1ULL << 40));
+}
+
+TEST(Capability, PermsOnlyShrink)
+{
+    const auto cap = Capability::dataRegion(0x1000, 0x100);
+    const auto readonly =
+        cap.withPerms(PermSet(static_cast<u16>(Perm::Load)));
+    EXPECT_TRUE(readonly.perms().has(Perm::Load));
+    EXPECT_FALSE(readonly.perms().has(Perm::Store));
+    // Trying to regain a permission must fail.
+    const auto regained = readonly.withPerms(PermSet::all());
+    EXPECT_FALSE(regained.perms().has(Perm::Store));
+}
+
+TEST(Capability, CheckAccessHappyPath)
+{
+    const auto cap = Capability::dataRegion(0x1000, 0x100);
+    EXPECT_FALSE(cap.checkAccess(0x1000, 8, false));
+    EXPECT_FALSE(cap.checkAccess(0x10f8, 8, true));
+    EXPECT_FALSE(cap.checkAccess(0x1010, 16, false, true));
+}
+
+TEST(Capability, CheckAccessFaultTaxonomy)
+{
+    const auto cap = Capability::dataRegion(0x1000, 0x100);
+
+    const auto oob = cap.checkAccess(0x10f9, 8, false);
+    ASSERT_TRUE(oob);
+    EXPECT_EQ(oob->kind, CapFaultKind::BoundsViolation);
+
+    const auto below = cap.checkAccess(0xfff, 1, false);
+    ASSERT_TRUE(below);
+    EXPECT_EQ(below->kind, CapFaultKind::BoundsViolation);
+
+    const auto untagged = cap.withoutTag().checkAccess(0x1000, 8, false);
+    ASSERT_TRUE(untagged);
+    EXPECT_EQ(untagged->kind, CapFaultKind::TagViolation);
+
+    const auto readonly =
+        cap.withPerms(PermSet(static_cast<u16>(Perm::Load)));
+    const auto wfault = readonly.checkAccess(0x1000, 8, true);
+    ASSERT_TRUE(wfault);
+    EXPECT_EQ(wfault->kind, CapFaultKind::PermitStoreViolation);
+
+    const auto nocap = cap.withPerms(
+        PermSet(static_cast<u16>(Perm::Load) |
+                static_cast<u16>(Perm::Store)));
+    const auto capload = nocap.checkAccess(0x1000, 16, false, true);
+    ASSERT_TRUE(capload);
+    EXPECT_EQ(capload->kind, CapFaultKind::PermitLoadCapViolation);
+    const auto capstore = nocap.checkAccess(0x1000, 16, true, true);
+    ASSERT_TRUE(capstore);
+    EXPECT_EQ(capstore->kind, CapFaultKind::PermitStoreCapViolation);
+}
+
+TEST(Capability, CheckExecute)
+{
+    const auto code = Capability::codeRegion(0x10000, 0x100);
+    EXPECT_FALSE(code.checkExecute(0x10000));
+    const auto data = Capability::dataRegion(0x10000, 0x100);
+    const auto fault = data.checkExecute(0x10000);
+    ASSERT_TRUE(fault);
+    EXPECT_EQ(fault->kind, CapFaultKind::PermitExecuteViolation);
+}
+
+TEST(Capability, SealUnsealRoundTrip)
+{
+    const auto sealer = Capability::root()
+                            .withAddress(42)
+                            .setBounds(64)
+                            .withPerms(PermSet::all());
+    const auto cap = Capability::dataRegion(0x1000, 0x100);
+
+    const auto sealed = cap.sealWith(sealer);
+    ASSERT_TRUE(sealed.tag());
+    EXPECT_TRUE(sealed.sealed());
+    EXPECT_EQ(sealed.otype(), 42u);
+
+    // Sealed capabilities refuse dereference and mutation.
+    const auto fault = sealed.checkAccess(0x1000, 8, false);
+    ASSERT_TRUE(fault);
+    EXPECT_EQ(fault->kind, CapFaultKind::SealViolation);
+    EXPECT_FALSE(sealed.add(8).tag());
+
+    const auto unsealed = sealed.unsealWith(sealer);
+    ASSERT_TRUE(unsealed.tag());
+    EXPECT_FALSE(unsealed.sealed());
+    EXPECT_EQ(unsealed.base(), cap.base());
+}
+
+TEST(Capability, UnsealWithWrongTypeFails)
+{
+    const auto sealer42 = Capability::root().withAddress(42).setBounds(1);
+    const auto sealer43 = Capability::root().withAddress(43).setBounds(1);
+    const auto sealed =
+        Capability::dataRegion(0x1000, 0x100).sealWith(sealer42);
+    EXPECT_FALSE(sealed.unsealWith(sealer43).tag());
+}
+
+TEST(Capability, SealWithoutPermissionFails)
+{
+    const auto no_seal = Capability::dataRegion(0x100, 0x100)
+                             .withAddress(0x100); // data perms: no Seal
+    const auto sealed =
+        Capability::dataRegion(0x1000, 0x100).sealWith(no_seal);
+    EXPECT_FALSE(sealed.tag());
+}
+
+TEST(Capability, PackUnpackRoundTripProperty)
+{
+    Xoshiro256StarStar rng(99);
+    for (int i = 0; i < 3000; ++i) {
+        const u64 base = rng.nextBelow(1ULL << 44) & ~0xfULL;
+        const u64 len = (rng.nextBelow(1ULL << 24) + 1) & ~0xfULL;
+        auto cap = Capability::root()
+                       .withAddress(base)
+                       .setBounds(len + 16)
+                       .withPerms(PermSet::data())
+                       .add(static_cast<s64>(rng.nextBelow(len + 1)));
+        const auto packed = cap.pack();
+        const auto restored = Capability::unpack(packed, cap.tag());
+        EXPECT_EQ(restored, cap) << cap.toString();
+    }
+}
+
+TEST(Capability, UnpackedUntaggedStaysUntagged)
+{
+    const auto cap = Capability::dataRegion(0x1000, 0x100);
+    const auto restored = Capability::unpack(cap.pack(), false);
+    EXPECT_FALSE(restored.tag());
+    EXPECT_EQ(restored.address(), cap.address());
+}
+
+TEST(Capability, ToStringMentionsState)
+{
+    const auto cap = Capability::dataRegion(0x1000, 0x100);
+    const std::string s = cap.toString();
+    EXPECT_NE(s.find("valid"), std::string::npos);
+    EXPECT_NE(s.find("1000"), std::string::npos);
+}
+
+TEST(PermSet, SubsetSemantics)
+{
+    const auto all = PermSet::all();
+    const auto data = PermSet::data();
+    EXPECT_TRUE(data.subsetOf(all));
+    EXPECT_FALSE(all.subsetOf(data));
+    EXPECT_TRUE(data.intersect(all) == data);
+    EXPECT_FALSE(data.without(Perm::Load).has(Perm::Load));
+}
+
+} // namespace
+} // namespace cheri::cap

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper's headline findings must
+ * hold as *shapes* of full simulation runs — who wins, in which
+ * direction metrics move, and which mechanisms respond to which
+ * knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/projection.hpp"
+#include "analysis/topdown.hpp"
+#include "binsize/sections.hpp"
+#include "support/stats.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri {
+namespace {
+
+using abi::Abi;
+using workloads::Scale;
+using workloads::runWorkload;
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        pool_ = new std::vector<std::unique_ptr<workloads::Workload>>(
+            workloads::allWorkloads());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete pool_;
+        pool_ = nullptr;
+    }
+
+    static const workloads::Workload &
+    get(const std::string &name)
+    {
+        const auto *w = workloads::findWorkload(*pool_, name);
+        EXPECT_NE(w, nullptr) << name;
+        return *w;
+    }
+
+    static double
+    slowdown(const std::string &name, Abi abi)
+    {
+        const auto hybrid = runWorkload(get(name), Abi::Hybrid, Scale::Tiny);
+        const auto other = runWorkload(get(name), abi, Scale::Tiny);
+        return other->seconds / hybrid->seconds;
+    }
+
+    static std::vector<std::unique_ptr<workloads::Workload>> *pool_;
+};
+
+std::vector<std::unique_ptr<workloads::Workload>> *IntegrationTest::pool_ =
+    nullptr;
+
+TEST_F(IntegrationTest, PointerIntensiveWorkloadsSufferMost)
+{
+    const double omnetpp = slowdown("520.omnetpp_r", Abi::Purecap);
+    const double xalanc = slowdown("523.xalancbmk_r", Abi::Purecap);
+    const double quickjs = slowdown("QuickJS", Abi::Purecap);
+    const double nab = slowdown("544.nab_r", Abi::Purecap);
+    const double xz = slowdown("557.xz_r", Abi::Purecap);
+
+    // The paper's severe group is well separated from the mild group.
+    EXPECT_GT(omnetpp, 1.25);
+    EXPECT_GT(xalanc, 1.25);
+    EXPECT_GT(quickjs, 1.25);
+    EXPECT_LT(nab, 1.12);
+    EXPECT_LT(xz, 1.12);
+    EXPECT_GT(quickjs, nab);
+}
+
+TEST_F(IntegrationTest, LbmSpeedsUpUnderPurecap)
+{
+    // §4.3's counter-intuitive finding, driven by allocation-layout
+    // de-aliasing.
+    EXPECT_LT(slowdown("519.lbm_r", Abi::Purecap), 1.0);
+}
+
+TEST_F(IntegrationTest, LlamaBarelyAffected)
+{
+    EXPECT_NEAR(slowdown("LLaMA.matmul", Abi::Purecap), 1.0, 0.03);
+    EXPECT_LT(slowdown("LLaMA.inference", Abi::Purecap), 1.06);
+}
+
+TEST_F(IntegrationTest, BenchmarkAbiRecoversPccWorkloads)
+{
+    // xalancbmk is the paper's strongest benchmark-ABI beneficiary.
+    const double purecap = slowdown("523.xalancbmk_r", Abi::Purecap);
+    const double benchmark = slowdown("523.xalancbmk_r", Abi::Benchmark);
+    EXPECT_LT(benchmark, purecap - 0.1);
+    // SQLite recovers little (data-side costs dominate).
+    const double sq_purecap = slowdown("SQLite", Abi::Purecap);
+    const double sq_benchmark = slowdown("SQLite", Abi::Benchmark);
+    EXPECT_NEAR(sq_benchmark, sq_purecap, 0.06);
+}
+
+TEST_F(IntegrationTest, CapabilityDensityShapes)
+{
+    // Table 3's capability load density: ~0 under hybrid, large under
+    // purecap for pointer-heavy workloads, small for lbm.
+    const auto omnetpp =
+        runWorkload(get("520.omnetpp_r"), Abi::Purecap, Scale::Tiny);
+    const auto lbm = runWorkload(get("519.lbm_r"), Abi::Purecap,
+                                 Scale::Tiny);
+    const auto m_omnetpp =
+        analysis::DerivedMetrics::compute(omnetpp->counts);
+    const auto m_lbm = analysis::DerivedMetrics::compute(lbm->counts);
+    EXPECT_GT(m_omnetpp.capLoadDensity, 0.30);
+    EXPECT_LT(m_lbm.capLoadDensity, 0.05);
+}
+
+TEST_F(IntegrationTest, MemoryIntensityOrdering)
+{
+    // Table 2: omnetpp is the most memory-intense; llama.inference
+    // the least.
+    const auto mi = [&](const std::string &name) {
+        const auto r = runWorkload(get(name), Abi::Hybrid, Scale::Tiny);
+        return analysis::DerivedMetrics::compute(r->counts)
+            .memoryIntensity;
+    };
+    const double omnetpp = mi("520.omnetpp_r");
+    const double inference = mi("LLaMA.inference");
+    const double deepsjeng = mi("531.deepsjeng_r");
+    EXPECT_GT(omnetpp, 1.0);
+    EXPECT_LT(deepsjeng, 0.75);
+    EXPECT_LT(inference, omnetpp);
+}
+
+TEST_F(IntegrationTest, DpSpecShareRisesUnderPurecap)
+{
+    // §4.6: capability manipulation inflates the DP share.
+    const auto hybrid =
+        runWorkload(get("523.xalancbmk_r"), Abi::Hybrid, Scale::Tiny);
+    const auto purecap =
+        runWorkload(get("523.xalancbmk_r"), Abi::Purecap, Scale::Tiny);
+    const auto share = [](const sim::SimResult &r) {
+        return r.counts.getF(pmu::Event::DpSpec) /
+               r.counts.getF(pmu::Event::InstSpec);
+    };
+    EXPECT_GT(share(*purecap), share(*hybrid));
+}
+
+TEST_F(IntegrationTest, CapAwarePredictorProjectionRecoversXalancbmk)
+{
+    const auto &workload = get("523.xalancbmk_r");
+    const auto runner = [&](const sim::MachineConfig &config) {
+        return *runWorkload(workload, Abi::Purecap, Scale::Tiny, &config);
+    };
+    const auto rows = analysis::runProjections(
+        runner, sim::MachineConfig::forAbi(Abi::Purecap),
+        {analysis::standardScenarios()[0]}); // cap-aware-bp
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_GT(rows[1].speedupVsBaseline, 1.10);
+}
+
+TEST_F(IntegrationTest, PurecapCouplesCapabilityAndCacheMetrics)
+{
+    // Figure 7's qualitative claim on a small population.
+    std::vector<analysis::DerivedMetrics> purecap_metrics;
+    for (const auto &name :
+         {"520.omnetpp_r", "523.xalancbmk_r", "519.lbm_r", "544.nab_r",
+          "SQLite", "QuickJS", "LLaMA.matmul", "557.xz_r"}) {
+        const auto r = runWorkload(get(name), Abi::Purecap, Scale::Tiny);
+        purecap_metrics.push_back(
+            analysis::DerivedMetrics::compute(r->counts));
+    }
+    const auto matrix = analysis::correlateMetrics(
+        purecap_metrics, {"CapLoadDensity", "L1D_MPKI", "MemoryIntensity"});
+    // Capability density is meaningfully coupled to memory behaviour.
+    EXPECT_GT(std::abs(matrix.at(0, 2)), 0.3);
+}
+
+TEST_F(IntegrationTest, BinarySizeModelMatchesPaperHeadlines)
+{
+    // Median across the real workload profiles, as Figure 2 reports.
+    std::vector<double> rela, rodata, totals;
+    for (const auto &w : *pool_) {
+        const auto norm = binsize::normalizedToHybrid(w->info().binary,
+                                                      Abi::Purecap);
+        rela.push_back(norm.at(".rela.dyn"));
+        rodata.push_back(norm.at(".rodata"));
+        totals.push_back(norm.at("total"));
+    }
+    EXPECT_GT(median(rela), 40.0);   // paper: ~85x
+    EXPECT_LT(median(rodata), 0.95); // paper: ~-19%
+    EXPECT_LT(median(totals), 1.15); // paper: ~+5%
+}
+
+TEST_F(IntegrationTest, FullSweepProducesFiniteMetricsEverywhere)
+{
+    for (const auto &w : *pool_) {
+        for (Abi abi : abi::kAllAbis) {
+            const auto r = runWorkload(*w, abi, Scale::Tiny);
+            if (!r) {
+                EXPECT_FALSE(w->supports(abi));
+                continue;
+            }
+            EXPECT_GT(r->cycles, 0u) << w->info().name;
+            EXPECT_GT(r->instructions, 0u) << w->info().name;
+            const auto m = analysis::DerivedMetrics::compute(r->counts);
+            EXPECT_GT(m.ipc, 0.0) << w->info().name;
+            EXPECT_LE(m.ipc, 4.0) << w->info().name;
+            const auto td = analysis::TopDown::fromModelTruth(r->counts);
+            EXPECT_GE(td.backendBound, 0.0) << w->info().name;
+        }
+    }
+}
+
+} // namespace
+} // namespace cheri

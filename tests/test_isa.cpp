@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the MorelloLite ISA structures: opcode classification,
+ * program/builder construction, layout and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace cheri::isa {
+namespace {
+
+TEST(Opcode, ClassificationMatchesPmuCategories)
+{
+    EXPECT_EQ(opcodeClass(Opcode::Add), InstClass::Dp);
+    EXPECT_EQ(opcodeClass(Opcode::CSetBounds), InstClass::Dp);
+    EXPECT_EQ(opcodeClass(Opcode::CIncOffsetImm), InstClass::Dp);
+    EXPECT_EQ(opcodeClass(Opcode::FMadd), InstClass::Vfp);
+    EXPECT_EQ(opcodeClass(Opcode::VDot), InstClass::Ase);
+    EXPECT_EQ(opcodeClass(Opcode::Ldr), InstClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::LdrCap), InstClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::StrCap), InstClass::Store);
+    EXPECT_EQ(opcodeClass(Opcode::B), InstClass::BranchImmed);
+    EXPECT_EQ(opcodeClass(Opcode::Bl), InstClass::BranchImmed);
+    EXPECT_EQ(opcodeClass(Opcode::Blr), InstClass::BranchIndirect);
+    EXPECT_EQ(opcodeClass(Opcode::Ret), InstClass::BranchReturn);
+}
+
+TEST(Opcode, Predicates)
+{
+    EXPECT_TRUE(isMemory(Opcode::Ldr));
+    EXPECT_TRUE(isMemory(Opcode::StrCap));
+    EXPECT_FALSE(isMemory(Opcode::Add));
+    EXPECT_TRUE(isCapManip(Opcode::CSeal));
+    EXPECT_FALSE(isCapManip(Opcode::Ldr));
+    EXPECT_TRUE(isBranch(Opcode::BCond));
+    EXPECT_FALSE(isBranch(Opcode::Cmp));
+}
+
+TEST(Opcode, EveryOpcodeHasAName)
+{
+    for (int op = 0; op <= static_cast<int>(Opcode::Brk); ++op)
+        EXPECT_NE(opcodeName(static_cast<Opcode>(op)), nullptr);
+}
+
+TEST(Builder, BuildsSimpleFunction)
+{
+    ProgramBuilder pb;
+    const FuncId f = pb.beginFunction("main");
+    pb.movImm(0, 42).addImm(1, 0, 1).halt();
+    Program prog = pb.finish();
+    EXPECT_EQ(prog.functionCount(), 1u);
+    EXPECT_EQ(prog.function(f).name, "main");
+    EXPECT_EQ(prog.staticInstCount(), 3u);
+}
+
+TEST(Builder, BlockSwitching)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("f");
+    const BlockId loop = pb.newBlock();
+    pb.jump(loop);
+    pb.atBlock(loop);
+    pb.nop().halt();
+    Program prog = pb.finish();
+    EXPECT_EQ(prog.blockCount(), 2u);
+    EXPECT_EQ(prog.block(0).insts.back().target, loop);
+}
+
+TEST(Program, LayoutAssignsMonotonicAddressesWithinLib)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("a");
+    pb.nop().nop().halt();
+    pb.beginFunction("b");
+    pb.nop().halt();
+    Program prog = pb.finish(0x10000);
+    EXPECT_EQ(prog.block(0).address, 0x10000u);
+    EXPECT_EQ(prog.block(1).address, 0x10000u + 3 * 4);
+}
+
+TEST(Program, LayoutPageAlignsLibraries)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main", /*lib=*/0);
+    pb.halt();
+    pb.beginFunction("libfn", /*lib=*/1);
+    pb.ret(false);
+    Program prog = pb.finish(0x10000);
+    const Addr lib_addr = prog.block(1).address;
+    EXPECT_EQ(lib_addr % 4096, 0u);
+    EXPECT_GT(lib_addr, prog.block(0).address);
+    EXPECT_EQ(prog.libOf(1), 1u);
+}
+
+TEST(Program, DisassemblyContainsMnemonicsAndLabels)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("kernel");
+    pb.movImm(3, 7);
+    pb.ldrCap(4, 3, 16);
+    pb.csetboundsImm(5, 4, 256);
+    pb.branchCond(Cond::Ne, pb.currentBlock());
+    pb.halt();
+    Program prog = pb.finish();
+    const std::string asm_text = prog.disassemble();
+    EXPECT_NE(asm_text.find("kernel:"), std::string::npos);
+    EXPECT_NE(asm_text.find("ldr.c c4, [c3, #16]"), std::string::npos);
+    EXPECT_NE(asm_text.find("csetbounds c5, c4, #256"), std::string::npos);
+    EXPECT_NE(asm_text.find("b.ne"), std::string::npos);
+}
+
+TEST(Program, StaticInstCountSumsBlocks)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("f");
+    pb.nop().nop();
+    const BlockId second = pb.newBlock();
+    pb.atBlock(second);
+    pb.nop().halt();
+    EXPECT_EQ(pb.program().staticInstCount(), 4u);
+}
+
+} // namespace
+} // namespace cheri::isa

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the memory subsystem: caches, TLBs, the capability tag
+ * table, the functional backing store and the MemorySystem facade's
+ * PMU event accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory_system.hpp"
+#include "mem/tag_table.hpp"
+#include "mem/tlb.hpp"
+
+namespace cheri::mem {
+namespace {
+
+using pmu::Event;
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache cache({64 * kKiB, 4, 64});
+    EXPECT_FALSE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x103f, false)); // same 64 B line
+    EXPECT_FALSE(cache.access(0x1040, false)); // next line
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 4-way: fill one set with 4 lines, touch the first again, insert
+    // a 5th: the least-recently-used (second) must be the victim.
+    SetAssocCache cache({64 * kKiB, 4, 64});
+    const u64 stride = 64ULL * cache.numSets(); // same set
+    for (u64 w = 0; w < 4; ++w)
+        cache.access(w * stride, false);
+    cache.access(0, false); // refresh way 0
+    cache.access(4 * stride, false); // evicts line 1
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(stride));
+    EXPECT_TRUE(cache.contains(2 * stride));
+}
+
+TEST(Cache, ConflictThrashing)
+{
+    SetAssocCache cache({64 * kKiB, 4, 64});
+    const u64 stride = 64ULL * cache.numSets();
+    // 5 streams in a 4-way set always miss in round-robin.
+    for (int round = 0; round < 10; ++round)
+        for (u64 s = 0; s < 5; ++s)
+            cache.access(s * stride, false);
+    EXPECT_GT(cache.missRate(), 0.9);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    SetAssocCache cache({4 * kKiB, 2, 64});
+    cache.access(0x40, true);
+    EXPECT_TRUE(cache.contains(0x40));
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x40));
+}
+
+TEST(Cache, GeometryDerivedCorrectly)
+{
+    SetAssocCache l1({64 * kKiB, 4, 64});
+    EXPECT_EQ(l1.numSets(), 256u);
+    SetAssocCache l2({1 * kMiB, 8, 64});
+    EXPECT_EQ(l2.numSets(), 2048u);
+}
+
+TEST(Tlb, MissThenHitSamePage)
+{
+    Tlb tlb({48, 0, 4096});
+    EXPECT_FALSE(tlb.access(0x1234));
+    EXPECT_TRUE(tlb.access(0x1ff0));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb tlb({4, 0, 4096});
+    for (u64 p = 0; p < 5; ++p)
+        tlb.access(p * 4096);
+    // Page 0 was least recently used: evicted.
+    EXPECT_FALSE(tlb.access(0));
+}
+
+TEST(Tlb, SetAssociativeConfig)
+{
+    Tlb tlb({1280, 5, 4096});
+    for (u64 p = 0; p < 1280; ++p)
+        EXPECT_FALSE(tlb.access(p * 4096));
+    u64 hits = 0;
+    for (u64 p = 0; p < 1280; ++p)
+        hits += tlb.access(p * 4096) ? 1 : 0;
+    // Full sweep within capacity: nearly everything sticks.
+    EXPECT_GT(hits, 1200u);
+}
+
+TEST(TagTable, ReadWriteRoundTrip)
+{
+    TagTable tags;
+    EXPECT_FALSE(tags.read(0x1000));
+    tags.write(0x1000, true);
+    EXPECT_TRUE(tags.read(0x1000));
+    EXPECT_FALSE(tags.read(0x1010)); // next granule
+    tags.write(0x1000, false);
+    EXPECT_FALSE(tags.read(0x1000));
+}
+
+TEST(TagTable, ClobberClearsOverlappedGranules)
+{
+    TagTable tags;
+    tags.write(0x1000, true);
+    tags.write(0x1010, true);
+    tags.write(0x1020, true);
+    tags.clobber(0x100f, 2); // touches granules at 0x1000 and 0x1010
+    EXPECT_FALSE(tags.read(0x1000));
+    EXPECT_FALSE(tags.read(0x1010));
+    EXPECT_TRUE(tags.read(0x1020));
+}
+
+TEST(TagTable, TaggedCount)
+{
+    TagTable tags;
+    for (int i = 0; i < 100; ++i)
+        tags.write(0x2000 + i * 16, true);
+    EXPECT_EQ(tags.taggedCount(), 100u);
+}
+
+TEST(BackingStore, ScalarReadWriteLittleEndian)
+{
+    BackingStore store;
+    store.write(0x100, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(store.read(0x100, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(store.read(0x100, 1), 0x88u);
+    EXPECT_EQ(store.read(0x104, 4), 0x11223344u);
+}
+
+TEST(BackingStore, CrossPageAccess)
+{
+    BackingStore store;
+    store.write(4094, 0xaabbccdd, 4);
+    EXPECT_EQ(store.read(4094, 4), 0xaabbccddu);
+}
+
+TEST(BackingStore, CapabilityRoundTripKeepsTag)
+{
+    BackingStore store;
+    const auto cap = cap::Capability::dataRegion(0x4000, 0x100).add(8);
+    store.writeCap(0x2000, cap);
+    const auto restored = store.readCap(0x2000);
+    EXPECT_EQ(restored, cap);
+    EXPECT_TRUE(restored.tag());
+}
+
+TEST(BackingStore, ScalarOverwriteClearsTagUnforgeability)
+{
+    BackingStore store;
+    store.writeCap(0x2000, cap::Capability::dataRegion(0x4000, 0x100));
+    EXPECT_TRUE(store.readCap(0x2000).tag());
+    // A plain byte store into the granule must clear the tag, even
+    // though it does not touch the address word itself.
+    store.write(0x200f, 0xff, 1);
+    EXPECT_FALSE(store.readCap(0x2000).tag());
+    // Data otherwise intact except that byte.
+    EXPECT_EQ(store.read(0x2000, 8),
+              cap::Capability::dataRegion(0x4000, 0x100).pack().address);
+}
+
+TEST(BackingStore, UntaggedRegionsReadAsUntaggedCaps)
+{
+    BackingStore store;
+    store.write(0x3000, 0x1234, 8);
+    const auto cap = store.readCap(0x3000);
+    EXPECT_FALSE(cap.tag());
+    EXPECT_EQ(cap.address(), 0x1234u);
+}
+
+TEST(MemorySystem, CountsHierarchyEventsOnDataMiss)
+{
+    pmu::EventCounts counts;
+    MemorySystem mem({}, counts);
+    const auto res = mem.data(0x10000, 8, false, false);
+    EXPECT_EQ(res.level, MemLevel::Dram);
+    EXPECT_EQ(counts.get(Event::MemAccessRd), 1u);
+    EXPECT_EQ(counts.get(Event::L1dCache), 1u);
+    EXPECT_EQ(counts.get(Event::L1dCacheRefill), 1u);
+    EXPECT_EQ(counts.get(Event::L2dCache), 1u);
+    EXPECT_EQ(counts.get(Event::L2dCacheRefill), 1u);
+    EXPECT_EQ(counts.get(Event::LlCacheRd), 1u);
+    EXPECT_EQ(counts.get(Event::LlCacheMissRd), 1u);
+    EXPECT_EQ(counts.get(Event::CapMemAccessRd), 0u);
+
+    // Second access: L1 hit, no refills.
+    const auto res2 = mem.data(0x10000, 8, false, false);
+    EXPECT_EQ(res2.level, MemLevel::L1);
+    EXPECT_EQ(counts.get(Event::L1dCacheRefill), 1u);
+}
+
+TEST(MemorySystem, CapabilityAccessesCountMorelloEvents)
+{
+    pmu::EventCounts counts;
+    MemorySystem mem({}, counts);
+    mem.data(0x20000, 16, false, true);
+    mem.data(0x20010, 16, true, true);
+    EXPECT_EQ(counts.get(Event::CapMemAccessRd), 1u);
+    EXPECT_EQ(counts.get(Event::CapMemAccessWr), 1u);
+    EXPECT_EQ(counts.get(Event::MemAccessRdCtag), 1u);
+    EXPECT_EQ(counts.get(Event::MemAccessWrCtag), 1u);
+}
+
+TEST(MemorySystem, FetchPathUsesUnifiedL2)
+{
+    pmu::EventCounts counts;
+    MemorySystem mem({}, counts);
+    mem.fetch(0x40000);
+    EXPECT_EQ(counts.get(Event::L1iCache), 1u);
+    EXPECT_EQ(counts.get(Event::L1iCacheRefill), 1u);
+    EXPECT_EQ(counts.get(Event::L2dCache), 1u); // unified L2
+    EXPECT_EQ(counts.get(Event::L1iTlb), 1u);
+    const auto hit = mem.fetch(0x40004);
+    EXPECT_EQ(hit.level, MemLevel::L1);
+    EXPECT_EQ(hit.latency, 0u);
+}
+
+TEST(MemorySystem, TlbWalkCountedOncePerColdPage)
+{
+    pmu::EventCounts counts;
+    MemorySystem mem({}, counts);
+    mem.data(0x100000, 8, false, false);
+    EXPECT_EQ(counts.get(Event::DtlbWalk), 1u);
+    mem.data(0x100040, 8, false, false);
+    EXPECT_EQ(counts.get(Event::DtlbWalk), 1u); // same page: TLB hit
+    mem.data(0x200000, 8, false, false);
+    EXPECT_EQ(counts.get(Event::DtlbWalk), 2u);
+}
+
+TEST(MemorySystem, LineStraddleCountsTwoAccesses)
+{
+    pmu::EventCounts counts;
+    MemorySystem mem({}, counts);
+    mem.data(0x10038, 16, false, true); // crosses the 0x10040 line
+    EXPECT_EQ(counts.get(Event::L1dCache), 2u);
+    counts.reset();
+    pmu::EventCounts counts2;
+    MemorySystem mem2({}, counts2);
+    mem2.data(0x10040, 16, false, true); // aligned: one line
+    EXPECT_EQ(counts2.get(Event::L1dCache), 1u);
+}
+
+TEST(MemorySystem, LatencyOrdering)
+{
+    pmu::EventCounts counts;
+    MemConfig config;
+    MemorySystem mem(config, counts);
+    const auto dram = mem.data(0x5000, 8, false, false);
+    const auto l1 = mem.data(0x5000, 8, false, false);
+    EXPECT_GT(dram.latency, l1.latency);
+    EXPECT_GE(dram.latency, config.dram_latency);
+}
+
+TEST(MemorySystem, TagExtraLatencyKnob)
+{
+    pmu::EventCounts counts;
+    MemConfig config;
+    config.tag_extra_latency = 7;
+    MemorySystem mem(config, counts);
+    mem.data(0x6000, 16, false, true);
+    const auto cap_hit = mem.data(0x6000, 16, false, true);
+    const auto scalar_hit = mem.data(0x6000, 8, false, false);
+    EXPECT_EQ(cap_hit.latency, scalar_hit.latency + 7);
+}
+
+} // namespace
+} // namespace cheri::mem

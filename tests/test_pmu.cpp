@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the PMU layer: event metadata, count vectors, the
+ * six-slot hardware restriction and the pmcstat-style multi-run
+ * collection session.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmu/pmu.hpp"
+
+namespace cheri::pmu {
+namespace {
+
+TEST(Events, NamesMatchMorelloConventions)
+{
+    EXPECT_STREQ(eventName(Event::CpuCycles), "CPU_CYCLES");
+    EXPECT_STREQ(eventName(Event::CapMemAccessRd), "CAP_MEM_ACCESS_RD");
+    EXPECT_STREQ(eventName(Event::MemAccessWrCtag), "MEM_ACCESS_WR_CTAG");
+    EXPECT_STREQ(eventName(Event::L2dTlbRefill), "L2D_TLB_REFILL");
+}
+
+TEST(Events, EveryEventHasMetadata)
+{
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+        const auto event = static_cast<Event>(i);
+        EXPECT_NE(eventName(event), nullptr);
+        EXPECT_GT(std::string(eventDescription(event)).size(), 4u);
+    }
+}
+
+TEST(Events, ModelEventsFlaggedNonArchitectural)
+{
+    EXPECT_TRUE(isArchitectural(Event::CpuCycles));
+    EXPECT_TRUE(isArchitectural(Event::CapMemAccessWr));
+    EXPECT_FALSE(isArchitectural(Event::SlotsTotal));
+    EXPECT_FALSE(isArchitectural(Event::PccStall));
+    EXPECT_FALSE(isArchitectural(Event::StallMemExt));
+}
+
+TEST(Counts, AddAndDiff)
+{
+    EventCounts a;
+    a.add(Event::CpuCycles, 100);
+    a.add(Event::InstRetired, 50);
+    EventCounts b = a;
+    b.add(Event::CpuCycles, 20);
+    const EventCounts delta = b.diff(a);
+    EXPECT_EQ(delta.get(Event::CpuCycles), 20u);
+    EXPECT_EQ(delta.get(Event::InstRetired), 0u);
+}
+
+TEST(Counts, AccumulateAndReset)
+{
+    EventCounts a, b;
+    a.add(Event::LdSpec, 5);
+    b.add(Event::LdSpec, 7);
+    b.add(Event::StSpec, 1);
+    a += b;
+    EXPECT_EQ(a.get(Event::LdSpec), 12u);
+    EXPECT_EQ(a.get(Event::StSpec), 1u);
+    a.reset();
+    EXPECT_EQ(a.get(Event::LdSpec), 0u);
+}
+
+TEST(Pmu, ProgramAndRead)
+{
+    Pmu pmu;
+    pmu.program({Event::CpuCycles, Event::InstRetired});
+    EXPECT_TRUE(pmu.isProgrammed(Event::CpuCycles));
+    EXPECT_FALSE(pmu.isProgrammed(Event::LdSpec));
+
+    EventCounts counts;
+    counts.add(Event::CpuCycles, 123);
+    EXPECT_EQ(pmu.read(counts, Event::CpuCycles), 123u);
+}
+
+TEST(Pmu, SixSlotLimitEnforced)
+{
+    Pmu pmu;
+    std::vector<Event> six(kNumSlots, Event::CpuCycles);
+    pmu.program(six); // exactly six: fine
+    std::vector<Event> seven(kNumSlots + 1, Event::CpuCycles);
+    EXPECT_DEATH(pmu.program(seven), "slots");
+}
+
+TEST(Pmu, ReadingUnprogrammedEventPanics)
+{
+    Pmu pmu;
+    pmu.program({Event::CpuCycles});
+    EventCounts counts;
+    EXPECT_DEATH((void)pmu.read(counts, Event::LdSpec), "unprogrammed");
+}
+
+TEST(PmcSession, ScheduleChunksIntoGroupsOfSix)
+{
+    const auto events = PmcSession::paperEventSet();
+    const auto groups = PmcSession::schedule(events);
+    std::size_t total = 0;
+    for (const auto &group : groups) {
+        EXPECT_LE(group.size(), kNumSlots);
+        total += group.size();
+    }
+    EXPECT_EQ(total, events.size());
+    EXPECT_EQ(groups.size(), (events.size() + kNumSlots - 1) / kNumSlots);
+}
+
+TEST(PmcSession, ScheduleDeduplicates)
+{
+    const auto groups = PmcSession::schedule(
+        {Event::CpuCycles, Event::CpuCycles, Event::InstRetired});
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(PmcSession, CollectRunsOncePerGroupAndMergesExactly)
+{
+    // A deterministic fake workload.
+    int runs = 0;
+    const auto run = [&runs]() {
+        ++runs;
+        EventCounts counts;
+        counts.add(Event::CpuCycles, 1000);
+        counts.add(Event::InstRetired, 700);
+        counts.add(Event::LdSpec, 100);
+        counts.add(Event::StSpec, 50);
+        counts.add(Event::DpSpec, 400);
+        counts.add(Event::L1dCache, 140);
+        counts.add(Event::L1dCacheRefill, 14);
+        counts.add(Event::CapMemAccessRd, 30);
+        return counts;
+    };
+
+    PmcSession session;
+    const std::vector<Event> wanted = {
+        Event::CpuCycles,     Event::InstRetired, Event::LdSpec,
+        Event::StSpec,        Event::DpSpec,      Event::L1dCache,
+        Event::L1dCacheRefill, Event::CapMemAccessRd,
+    };
+    const auto collected = session.collect(wanted, run);
+
+    EXPECT_EQ(collected.runs, 2u); // 8 events -> 2 groups
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(collected.get(Event::CpuCycles), 1000u);
+    EXPECT_EQ(collected.get(Event::CapMemAccessRd), 30u);
+    EXPECT_EQ(collected.get(Event::ItlbWalk), 0u); // never requested
+
+    const EventCounts merged = collected.toEventCounts();
+    EXPECT_EQ(merged.get(Event::DpSpec), 400u);
+}
+
+TEST(PmcSession, PaperEventSetCoversTable1)
+{
+    const auto events = PmcSession::paperEventSet();
+    for (Event needed :
+         {Event::StallFrontend, Event::StallBackend, Event::L1iCache,
+          Event::DtlbWalk, Event::CapMemAccessWr, Event::MemAccessRdCtag})
+        EXPECT_NE(std::find(events.begin(), events.end(), needed),
+                  events.end())
+            << eventName(needed);
+    for (Event event : events)
+        EXPECT_TRUE(isArchitectural(event)) << eventName(event);
+}
+
+} // namespace
+} // namespace cheri::pmu

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the Machine's functional executor: arithmetic, control
+ * flow, memory with full capability enforcement, the fault taxonomy
+ * ("in-address-space security exceptions") and timing integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+
+namespace cheri::sim {
+namespace {
+
+using abi::Abi;
+using isa::Cond;
+using isa::Opcode;
+using isa::ProgramBuilder;
+
+MachineConfig
+config(Abi abi = Abi::Hybrid)
+{
+    return MachineConfig::forAbi(abi);
+}
+
+TEST(Executor, ArithmeticAndHalt)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(1, 6).movImm(2, 7).mul(3, 1, 2).halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config());
+    const auto result = machine.run(prog);
+    EXPECT_TRUE(result.halted);
+    EXPECT_FALSE(result.fault);
+    // Halt stops the machine without retiring.
+    EXPECT_EQ(result.instructions, 3u);
+    EXPECT_EQ(machine.regs().x(3), 42u);
+}
+
+TEST(Executor, LoopWithConditionalBranch)
+{
+    // x1 = 0; for (x2 = 10; x2 != 0; --x2) x1 += 3;
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(1, 0).movImm(2, 10);
+    const auto loop = pb.newBlock();
+    pb.jump(loop);
+    pb.atBlock(loop);
+    pb.addImm(1, 1, 3).subImm(2, 2, 1).cmpImm(2, 0);
+    pb.branchCond(Cond::Ne, loop);
+    const auto done = pb.newBlock();
+    pb.atBlock(done);
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config());
+    const auto result = machine.run(prog);
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(machine.regs().x(1), 30u);
+    EXPECT_GT(result.counts.get(pmu::Event::BrRetired), 10u);
+}
+
+TEST(Executor, CallAndReturn)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const isa::BlockId main_entry = pb.currentBlock();
+    pb.beginFunction("callee");
+    pb.movImm(5, 99).ret(false);
+    pb.atBlock(main_entry);
+    pb.callBlock(pb.program().function(1).entry, false);
+    pb.addImm(6, 5, 1).halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config());
+    const auto result = machine.run(prog, 0);
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(machine.regs().x(6), 100u);
+}
+
+TEST(Executor, MemoryRoundTripViaDdc)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(1, 0x5000);
+    pb.movImm(2, 0xabcd);
+    pb.str(2, 1, 0);
+    pb.ldr(3, 1, 0);
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config(Abi::Hybrid));
+    const auto result = machine.run(prog);
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(machine.regs().x(3), 0xabcdu);
+}
+
+TEST(Executor, CapabilityBoundedAccessWorks)
+{
+    // c1 = bounded cap over [0x5000, 0x5040); store/load through it.
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(2, 0x5000);
+    pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+    pb.csetboundsImm(1, 1, 0x40);
+    pb.movImm(3, 0x1234);
+    pb.str(3, 1, 8);
+    pb.ldr(4, 1, 8);
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config(Abi::Purecap));
+    const auto result = machine.run(prog);
+    EXPECT_TRUE(result.halted) << (result.fault ? result.fault->toString()
+                                                : "no fault");
+    EXPECT_EQ(machine.regs().x(4), 0x1234u);
+}
+
+TEST(Executor, OutOfBoundsStoreFaults)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(2, 0x5000);
+    pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+    pb.csetboundsImm(1, 1, 0x40);
+    pb.movImm(3, 1);
+    pb.str(3, 1, 0x40); // one byte past the top
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config(Abi::Purecap));
+    const auto result = machine.run(prog);
+    EXPECT_FALSE(result.halted);
+    ASSERT_TRUE(result.fault);
+    EXPECT_EQ(result.fault->kind, cap::CapFaultKind::BoundsViolation);
+    EXPECT_EQ(result.fault->address, 0x5040u);
+    EXPECT_NE(result.fault->toString().find(
+                  "in-address-space security exception"),
+              std::string::npos);
+}
+
+TEST(Executor, UntaggedDereferenceFaults)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(2, 0x5000);
+    pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+    pb.csetboundsImm(1, 1, 0x40);
+    pb.emit({.op = Opcode::CClearTag, .rd = 1, .rn = 1});
+    pb.ldr(3, 1, 0);
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config(Abi::Purecap));
+    const auto result = machine.run(prog);
+    ASSERT_TRUE(result.fault);
+    EXPECT_EQ(result.fault->kind, cap::CapFaultKind::TagViolation);
+}
+
+TEST(Executor, CapabilityLoadStoreKeepsTagThroughMemory)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(2, 0x6000);
+    pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+    pb.csetboundsImm(1, 1, 0x100);
+    pb.strCap(1, 0, 0); // store the cap itself at address 0 via c0
+    pb.emit({.op = Opcode::CSetAddr, .rd = 4, .rn = 0, .rm = 31});
+    pb.ldrCap(5, 4, 0);
+    pb.emit({.op = Opcode::CGetTag, .rd = 6, .rn = 5});
+    pb.emit({.op = Opcode::CGetLen, .rd = 7, .rn = 5});
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config(Abi::Purecap));
+    const auto result = machine.run(prog);
+    EXPECT_TRUE(result.halted) << (result.fault ? result.fault->toString()
+                                                : "");
+    EXPECT_EQ(machine.regs().x(6), 1u);
+    EXPECT_EQ(machine.regs().x(7), 0x100u);
+}
+
+TEST(Executor, ScalarOverwriteInvalidatesStoredCapability)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(2, 0x6000);
+    pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+    pb.csetboundsImm(1, 1, 0x100);
+    pb.movImm(9, 0x7000);
+    pb.emit({.op = Opcode::CSetAddr, .rd = 8, .rn = 0, .rm = 9});
+    pb.strCap(1, 8, 0);
+    pb.movImm(3, 0xff);
+    pb.str(3, 8, 4); // scalar write into the capability's granule
+    pb.ldrCap(5, 8, 0);
+    pb.emit({.op = Opcode::CGetTag, .rd = 6, .rn = 5});
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config(Abi::Purecap));
+    const auto result = machine.run(prog);
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(machine.regs().x(6), 0u) << "tag must not survive forgery";
+}
+
+TEST(Executor, IndirectCallThroughLeaFunc)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const isa::BlockId main_entry = pb.currentBlock();
+    pb.beginFunction("target");
+    pb.movImm(7, 77).ret(true);
+    pb.atBlock(main_entry);
+    pb.emit({.op = Opcode::LeaFunc, .rd = 10, .imm = 1});
+    pb.indirectCall(10, true);
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config(Abi::Purecap));
+    const auto result = machine.run(prog);
+    EXPECT_TRUE(result.halted) << (result.fault ? result.fault->toString()
+                                                : "");
+    EXPECT_EQ(machine.regs().x(7), 77u);
+}
+
+TEST(Executor, BranchToDataCapabilityFaults)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(2, 0x5000);
+    pb.emit({.op = Opcode::CSetAddr, .rd = 1, .rn = 0, .rm = 2});
+    // Restrict c1 to data permissions: no Execute.
+    pb.movImm(3, static_cast<s64>(cap::PermSet::data().bits()));
+    pb.emit({.op = Opcode::CAndPerm, .rd = 1, .rn = 1, .rm = 3});
+    pb.indirectCall(1, true);
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config(Abi::Purecap));
+    const auto result = machine.run(prog);
+    ASSERT_TRUE(result.fault);
+    EXPECT_EQ(result.fault->kind,
+              cap::CapFaultKind::PermitExecuteViolation);
+}
+
+TEST(Executor, FloatingPointSemantics)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(1, static_cast<s64>(std::bit_cast<u64>(1.5)));
+    pb.movImm(2, static_cast<s64>(std::bit_cast<u64>(2.25)));
+    pb.fadd(3, 1, 2);
+    pb.fmul(4, 1, 2);
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config());
+    machine.run(prog);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(machine.regs().x(3)), 3.75);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(machine.regs().x(4)), 3.375);
+}
+
+TEST(Executor, InstructionLimitStopsRunaways)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const auto loop = pb.currentBlock();
+    pb.nop().jump(loop);
+    const auto prog = pb.finish();
+
+    auto cfg = config();
+    cfg.max_insts = 1000;
+    Machine machine(cfg);
+    const auto result = machine.run(prog);
+    EXPECT_FALSE(result.halted);
+    EXPECT_FALSE(result.fault);
+    EXPECT_EQ(result.instructions, 1000u);
+}
+
+TEST(Executor, TimingIntegration)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(1, 0x100000);
+    const auto loop = pb.newBlock();
+    pb.movImm(2, 256).jump(loop);
+    pb.atBlock(loop);
+    pb.ldr(3, 1, 0); // cold pages: DRAM misses
+    pb.addImm(1, 1, 4096);
+    pb.subImm(2, 2, 1).cmpImm(2, 0);
+    pb.branchCond(Cond::Ne, loop);
+    const auto done = pb.newBlock();
+    pb.atBlock(done);
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config());
+    const auto result = machine.run(prog);
+    EXPECT_GT(result.cycles, result.instructions); // IPC < 1: miss-bound
+    EXPECT_GT(result.counts.get(pmu::Event::DtlbWalk), 200u);
+    EXPECT_GT(result.seconds, 0.0);
+    EXPECT_NEAR(result.seconds,
+                static_cast<double>(result.cycles) / 2.5e9, 1e-12);
+}
+
+TEST(Executor, ZeroRegisterSemantics)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    pb.movImm(isa::kRegZero, 55); // write to xzr: ignored
+    pb.add(1, isa::kRegZero, isa::kRegZero);
+    pb.halt();
+    const auto prog = pb.finish();
+
+    Machine machine(config());
+    machine.run(prog);
+    EXPECT_EQ(machine.regs().x(1), 0u);
+    EXPECT_EQ(machine.regs().x(isa::kRegZero), 0u);
+}
+
+} // namespace
+} // namespace cheri::sim

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the support library: deterministic RNG, statistics
+ * helpers and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace cheri {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Xoshiro256StarStar a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Xoshiro256StarStar a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Xoshiro256StarStar rng(7);
+    for (u64 bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40})
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound) << "bound " << bound;
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Xoshiro256StarStar rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Xoshiro256StarStar rng(11);
+    std::set<u64> seen;
+    for (int i = 0; i < 500; ++i) {
+        const u64 v = rng.nextRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values appear
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Xoshiro256StarStar rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Xoshiro256StarStar rng(15);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Xoshiro256StarStar rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfStaysInRange)
+{
+    Xoshiro256StarStar rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextZipf(100, 1.0), 100u);
+}
+
+TEST(Rng, UniformityRoughChiSquare)
+{
+    Xoshiro256StarStar rng(21);
+    int buckets[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.nextBelow(8)];
+    for (int b = 0; b < 8; ++b)
+        EXPECT_NEAR(buckets[b], n / 8, n / 80);
+}
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, StdevBasics)
+{
+    EXPECT_DOUBLE_EQ(stdev(std::vector<double>{5.0}), 0.0);
+    EXPECT_NEAR(stdev(std::vector<double>{2, 4, 4, 4, 5, 5, 7, 9}),
+                2.138, 0.001);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_NEAR(geomean(std::vector<double>{1, 4}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean(std::vector<double>{2, 2, 2}), 2.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+    std::vector<double> neg = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero)
+{
+    std::vector<double> xs = {1, 2, 3};
+    std::vector<double> ys = {5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, OnlineMatchesBatch)
+{
+    OnlineStats online;
+    std::vector<double> xs = {1.5, 2.5, 8.0, -3.0, 4.25};
+    for (double x : xs)
+        online.add(x);
+    EXPECT_EQ(online.count(), xs.size());
+    EXPECT_NEAR(online.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(online.stdev(), stdev(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(online.min(), -3.0);
+    EXPECT_DOUBLE_EQ(online.max(), 8.0);
+}
+
+TEST(Stats, OnlineEmpty)
+{
+    OnlineStats online;
+    EXPECT_EQ(online.count(), 0u);
+    EXPECT_DOUBLE_EQ(online.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(online.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(online.cov(), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    AsciiTable table({"name", "value"});
+    table.beginRow();
+    table.cell("alpha");
+    table.cell(1.5, 2);
+    table.beginRow();
+    table.cell("b");
+    table.cell(22.0, 2);
+    const std::string out = table.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("22.00"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters)
+{
+    AsciiTable table({"a", "b"});
+    table.addRow({"plain", "with,comma"});
+    table.addRow({"quote\"inside", "x"});
+    const std::string csv = table.renderCsv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(formatPercent(0.125, 1), "12.5");
+}
+
+} // namespace
+} // namespace cheri

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the microarchitecture models: branch predictor (including
+ * the Morello PCC-bounds limitation), store queue (128-bit pressure)
+ * and the pipeline model's top-down slot accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "uarch/branch_predictor.hpp"
+#include "uarch/pipeline.hpp"
+#include "uarch/store_queue.hpp"
+
+namespace cheri::uarch {
+namespace {
+
+using pmu::Event;
+
+TEST(BranchPredictor, LearnsLoopPattern)
+{
+    BranchPredictor bp({});
+    // taken x15, not-taken x1, repeated: a classic loop branch.
+    u64 early_miss = 0, late_miss = 0;
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 16; ++i) {
+            const auto op = DynOp::condBranch(0x1000, i != 15, 0x2000);
+            const bool miss = bp.resolve(op).mispredicted;
+            (round < 5 ? early_miss : late_miss) += miss ? 1 : 0;
+        }
+    }
+    // Once trained, only the loop exit is hard.
+    EXPECT_LT(static_cast<double>(late_miss) / (95 * 16), 0.15);
+    EXPECT_GE(early_miss, 1u);
+}
+
+TEST(BranchPredictor, UnconditionalDirectNeverMispredicts)
+{
+    BranchPredictor bp({});
+    for (int i = 0; i < 100; ++i) {
+        const auto op =
+            DynOp::branchOp(0x1000, BranchKind::Immed, true, 0x9000);
+        EXPECT_FALSE(bp.resolve(op).mispredicted);
+    }
+}
+
+TEST(BranchPredictor, IndirectLearnsStableTarget)
+{
+    BranchPredictor bp({});
+    const auto op =
+        DynOp::branchOp(0x1000, BranchKind::Indirect, true, 0x5000);
+    EXPECT_TRUE(bp.resolve(op).mispredicted); // cold BTB
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(bp.resolve(op).mispredicted);
+}
+
+TEST(BranchPredictor, IndirectMispredictsOnTargetChange)
+{
+    BranchPredictor bp({});
+    auto op = DynOp::branchOp(0x1000, BranchKind::Indirect, true, 0x5000);
+    bp.resolve(op);
+    op.target = 0x6000;
+    EXPECT_TRUE(bp.resolve(op).mispredicted);
+}
+
+TEST(BranchPredictor, ReturnAddressStackPredictsCallReturnPairs)
+{
+    BranchPredictor bp({});
+    // call at 0x1000 -> RAS holds 0x1004; matching return predicts.
+    bp.resolve(DynOp::branchOp(0x1000, BranchKind::Immed, true, 0x8000,
+                               false, /*is_call=*/true));
+    const auto ret =
+        DynOp::branchOp(0x8010, BranchKind::Return, true, 0x1004);
+    EXPECT_FALSE(bp.resolve(ret).mispredicted);
+}
+
+TEST(BranchPredictor, ReturnMispredictsOnRasUnderflow)
+{
+    BranchPredictor bp({});
+    const auto ret =
+        DynOp::branchOp(0x8010, BranchKind::Return, true, 0x1004);
+    EXPECT_TRUE(bp.resolve(ret).mispredicted);
+}
+
+TEST(BranchPredictor, NestedCallsPredictInOrder)
+{
+    BranchPredictor bp({});
+    bp.resolve(DynOp::branchOp(0x100, BranchKind::Immed, true, 0x1000,
+                               false, true));
+    bp.resolve(DynOp::branchOp(0x1008, BranchKind::Immed, true, 0x2000,
+                               false, true));
+    EXPECT_FALSE(
+        bp.resolve(DynOp::branchOp(0x2000, BranchKind::Return, true,
+                                   0x100c))
+            .mispredicted);
+    EXPECT_FALSE(
+        bp.resolve(DynOp::branchOp(0x1010, BranchKind::Return, true,
+                                   0x104))
+            .mispredicted);
+}
+
+TEST(BranchPredictor, PccStallOnlyWithoutCapAwareness)
+{
+    BranchPredictor legacy({});
+    auto op = DynOp::branchOp(0x1000, BranchKind::Indirect, true, 0x5000,
+                              /*pcc_change=*/true, true);
+    EXPECT_TRUE(legacy.resolve(op).pcc_stall);
+    EXPECT_EQ(legacy.pccStalls(), 1u);
+
+    BranchPredictorConfig aware;
+    aware.cap_aware = true;
+    BranchPredictor future(aware);
+    EXPECT_FALSE(future.resolve(op).pcc_stall);
+    EXPECT_EQ(future.pccStalls(), 0u);
+}
+
+TEST(StoreQueue, NoStallWhileSpaceRemains)
+{
+    StoreQueue sq({24, false});
+    for (int i = 0; i < 24; ++i)
+        EXPECT_EQ(sq.push(0, 100, 8), 0u);
+    EXPECT_EQ(sq.occupancy(0), 24u);
+}
+
+TEST(StoreQueue, StallsWhenFullUntilDrain)
+{
+    StoreQueue sq({4, false});
+    for (int i = 0; i < 4; ++i)
+        sq.push(0, 50, 8);
+    const Cycles stall = sq.push(0, 50, 8);
+    EXPECT_EQ(stall, 50u); // waits for the first entry to release
+    EXPECT_EQ(sq.fullStalls(), 1u);
+}
+
+TEST(StoreQueue, CapabilityStoresConsumeTwoEntries)
+{
+    StoreQueue sq({4, false});
+    sq.push(0, 100, 16);
+    sq.push(0, 100, 16);
+    EXPECT_EQ(sq.occupancy(0), 4u);
+    EXPECT_GT(sq.push(0, 100, 16), 0u); // needs 2, none free
+}
+
+TEST(StoreQueue, WideEntriesRemoveCapabilityPenalty)
+{
+    StoreQueue narrow({8, false});
+    StoreQueue wide({8, true});
+    Cycles narrow_stall = 0, wide_stall = 0;
+    for (int i = 0; i < 16; ++i) {
+        narrow_stall += narrow.push(0, 200, 16);
+        wide_stall += wide.push(0, 200, 16);
+    }
+    EXPECT_GT(narrow_stall, wide_stall);
+}
+
+TEST(StoreQueue, DrainsOverTime)
+{
+    StoreQueue sq({4, false});
+    for (int i = 0; i < 4; ++i)
+        sq.push(0, 10, 8);
+    EXPECT_EQ(sq.occupancy(5), 4u);
+    EXPECT_EQ(sq.occupancy(10), 0u);
+    EXPECT_EQ(sq.push(10, 10, 8), 0u);
+}
+
+class PipelineTest : public ::testing::Test
+{
+  protected:
+    PipelineTest() : memory_(mem::MemConfig{}, counts_) {}
+
+    PipelineModel
+    make(PipelineConfig config = {})
+    {
+        return PipelineModel(config, memory_, counts_);
+    }
+
+    pmu::EventCounts counts_;
+    mem::MemorySystem memory_;
+};
+
+TEST_F(PipelineTest, RetiredInstructionsCounted)
+{
+    auto pipe = make();
+    for (int i = 0; i < 100; ++i)
+        pipe.issue(DynOp::alu(0x1000 + i * 4));
+    pipe.finish();
+    EXPECT_EQ(counts_.get(Event::InstRetired), 100u);
+    EXPECT_GE(counts_.get(Event::DpSpec), 100u);
+    EXPECT_GT(counts_.get(Event::CpuCycles), 0u);
+}
+
+TEST_F(PipelineTest, SlotAccountingSumsToTotal)
+{
+    auto pipe = make();
+    Xoshiro256StarStar rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        switch (rng.nextBelow(4)) {
+          case 0:
+            pipe.issue(DynOp::alu(0x1000 + (i % 64) * 4));
+            break;
+          case 1:
+            pipe.issue(DynOp::load(0x2000, rng.nextBelow(1 << 22), 8));
+            break;
+          case 2:
+            pipe.issue(DynOp::store(0x3000, rng.nextBelow(1 << 22), 16,
+                                    true));
+            break;
+          default:
+            pipe.issue(DynOp::condBranch(0x4000 + (i % 16) * 4,
+                                         rng.chance(0.7), 0x5000));
+            break;
+        }
+    }
+    pipe.finish();
+    const u64 total = counts_.get(Event::SlotsTotal);
+    const u64 parts = counts_.get(Event::SlotsRetired) +
+                      counts_.get(Event::SlotsBadSpec) +
+                      counts_.get(Event::SlotsFrontend) +
+                      counts_.get(Event::SlotsBackend);
+    EXPECT_NEAR(static_cast<double>(parts) / total, 1.0, 0.02);
+}
+
+TEST_F(PipelineTest, DependentLoadsStallMoreThanIndependent)
+{
+    mem::MemConfig mc;
+    pmu::EventCounts c1, c2;
+    mem::MemorySystem m1(mc, c1), m2(mc, c2);
+    PipelineModel dependent({}, m1, c1);
+    PipelineModel independent({}, m2, c2);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = 0x100000 + static_cast<Addr>(i) * 4096;
+        dependent.issue(
+            DynOp::load(0x1000, addr, 8, false, /*dependent=*/true));
+        independent.issue(
+            DynOp::load(0x1000, addr, 8, false, /*dependent=*/false));
+    }
+    dependent.finish();
+    independent.finish();
+    EXPECT_GT(c1.get(Event::CpuCycles), 2 * c2.get(Event::CpuCycles));
+}
+
+TEST_F(PipelineTest, PccStallsCountedAsFrontend)
+{
+    auto pipe = make();
+    for (int i = 0; i < 100; ++i)
+        pipe.issue(DynOp::branchOp(0x1000, BranchKind::Indirect, true,
+                                   0x2000, /*pcc_change=*/true, true));
+    pipe.finish();
+    EXPECT_GT(counts_.get(Event::PccStall), 0u);
+    EXPECT_GE(counts_.get(Event::StallFrontend),
+              counts_.get(Event::PccStall));
+}
+
+TEST_F(PipelineTest, CapAwarePredictorRemovesPccStalls)
+{
+    PipelineConfig config;
+    config.bp.cap_aware = true;
+    auto pipe = make(config);
+    for (int i = 0; i < 100; ++i)
+        pipe.issue(DynOp::branchOp(0x1000, BranchKind::Indirect, true,
+                                   0x2000, true, true));
+    pipe.finish();
+    EXPECT_EQ(counts_.get(Event::PccStall), 0u);
+}
+
+TEST_F(PipelineTest, MispredictsProduceBadSpeculationSlots)
+{
+    auto pipe = make();
+    Xoshiro256StarStar rng(5);
+    for (int i = 0; i < 500; ++i)
+        pipe.issue(DynOp::condBranch(0x1000 + (rng.next() % 512) * 4,
+                                     rng.chance(0.5), 0x9000));
+    pipe.finish();
+    EXPECT_GT(counts_.get(Event::BrMisPredRetired), 0u);
+    EXPECT_GT(counts_.get(Event::SlotsBadSpec), 0u);
+    EXPECT_GT(counts_.get(Event::InstSpec),
+              counts_.get(Event::InstRetired)); // wrong-path inflation
+}
+
+TEST_F(PipelineTest, StoreBurstTriggersCoreBoundStalls)
+{
+    auto pipe = make();
+    // DRAM-missing stores back-to-back: the store queue must fill.
+    for (int i = 0; i < 200; ++i)
+        pipe.issue(DynOp::store(0x1000,
+                                0x100000 + static_cast<Addr>(i) * 4096,
+                                16, true));
+    pipe.finish();
+    EXPECT_GT(counts_.get(Event::StallCore), 0u);
+}
+
+TEST_F(PipelineTest, IpcBoundedByWidth)
+{
+    auto pipe = make();
+    for (int i = 0; i < 10000; ++i)
+        pipe.issue(DynOp::alu(0x1000 + (i % 16) * 4));
+    pipe.finish();
+    const double ipc =
+        static_cast<double>(counts_.get(Event::InstRetired)) /
+        counts_.get(Event::CpuCycles);
+    EXPECT_LE(ipc, 4.0);
+    EXPECT_GT(ipc, 2.0); // DP port throughput
+}
+
+} // namespace
+} // namespace cheri::uarch

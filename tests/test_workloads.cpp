@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Parameterized property tests over all 20 workload proxies: registry
+ * completeness, determinism, and the per-ABI invariants the paper's
+ * analysis depends on (capability densities, footprint growth,
+ * instruction inflation, PCC stalls only under purecap).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "analysis/metrics.hpp"
+#include "analysis/topdown.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::workloads {
+namespace {
+
+using abi::Abi;
+using pmu::Event;
+
+TEST(Registry, TwentyWorkloadsInPaperOrder)
+{
+    const auto pool = allWorkloads();
+    EXPECT_EQ(pool.size(), 20u);
+    EXPECT_EQ(pool.front()->info().name, "510.parest_r");
+    EXPECT_EQ(pool.back()->info().name, "QuickJS");
+}
+
+TEST(Registry, NamesAreUnique)
+{
+    const auto pool = allWorkloads();
+    std::set<std::string> names;
+    for (const auto &w : pool)
+        EXPECT_TRUE(names.insert(w->info().name).second)
+            << "duplicate " << w->info().name;
+}
+
+TEST(Registry, Table3AndTable4SelectionsResolve)
+{
+    const auto pool = allWorkloads();
+    EXPECT_EQ(table3Names().size(), 12u);
+    EXPECT_EQ(table4Names().size(), 6u);
+    for (const auto &name : table3Names())
+        EXPECT_NE(findWorkload(pool, name), nullptr) << name;
+    for (const auto &name : table4Names())
+        EXPECT_NE(findWorkload(pool, name), nullptr) << name;
+}
+
+TEST(Registry, OnlyQuickjsLacksBenchmarkAbi)
+{
+    const auto pool = allWorkloads();
+    for (const auto &w : pool) {
+        const bool runs = w->info().benchmarkAbiRuns;
+        EXPECT_EQ(runs, w->info().name != "QuickJS") << w->info().name;
+        EXPECT_EQ(w->supports(Abi::Benchmark), runs);
+        EXPECT_TRUE(w->supports(Abi::Hybrid));
+        EXPECT_TRUE(w->supports(Abi::Purecap));
+    }
+}
+
+TEST(Registry, RunReturnsNaForUnsupportedAbi)
+{
+    const auto pool = allWorkloads();
+    const auto *quickjs = findWorkload(pool, "QuickJS");
+    EXPECT_FALSE(
+        runWorkload(*quickjs, Abi::Benchmark, Scale::Tiny).has_value());
+}
+
+/** Per-workload invariants, parameterized over all 20 instances. */
+class WorkloadInvariants : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        pool_ = new std::vector<std::unique_ptr<Workload>>(allWorkloads());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete pool_;
+        pool_ = nullptr;
+    }
+
+    const Workload &
+    workload() const
+    {
+        return *findWorkload(*pool_, GetParam());
+    }
+
+    static std::vector<std::unique_ptr<Workload>> *pool_;
+};
+
+std::vector<std::unique_ptr<Workload>> *WorkloadInvariants::pool_ = nullptr;
+
+TEST_P(WorkloadInvariants, DeterministicForFixedSeed)
+{
+    const auto a =
+        runWorkload(workload(), Abi::Purecap, Scale::Tiny, nullptr, 7);
+    const auto b =
+        runWorkload(workload(), Abi::Purecap, Scale::Tiny, nullptr, 7);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->counts, b->counts);
+    EXPECT_EQ(a->cycles, b->cycles);
+}
+
+TEST_P(WorkloadInvariants, SeedRobustness)
+{
+    const auto a =
+        runWorkload(workload(), Abi::Hybrid, Scale::Tiny, nullptr, 7);
+    const auto b =
+        runWorkload(workload(), Abi::Hybrid, Scale::Tiny, nullptr, 8);
+    ASSERT_TRUE(a && b);
+    // A different seed perturbs the run but must not change its
+    // character: cycle counts stay within 20%.
+    const double ratio = static_cast<double>(a->cycles) /
+                         static_cast<double>(b->cycles);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.25);
+}
+
+TEST_P(WorkloadInvariants, HybridHasNoCapabilityTraffic)
+{
+    const auto r = runWorkload(workload(), Abi::Hybrid, Scale::Tiny);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->counts.get(Event::CapMemAccessRd), 0u);
+    EXPECT_EQ(r->counts.get(Event::CapMemAccessWr), 0u);
+    EXPECT_EQ(r->counts.get(Event::PccStall), 0u);
+}
+
+TEST_P(WorkloadInvariants, PurecapHasCapabilityStoresAndNoLessWork)
+{
+    const auto hybrid = runWorkload(workload(), Abi::Hybrid, Scale::Tiny);
+    const auto purecap =
+        runWorkload(workload(), Abi::Purecap, Scale::Tiny);
+    ASSERT_TRUE(hybrid && purecap);
+    // Frame saves alone guarantee capability stores under purecap.
+    EXPECT_GT(purecap->counts.get(Event::CapMemAccessWr), 0u);
+    // CHERI codegen never shrinks the instruction stream.
+    EXPECT_GE(purecap->instructions, hybrid->instructions);
+}
+
+TEST_P(WorkloadInvariants, BenchmarkAbiHasNoPccStalls)
+{
+    if (!workload().supports(Abi::Benchmark))
+        GTEST_SKIP() << "paper reports NA for this workload";
+    const auto r = runWorkload(workload(), Abi::Benchmark, Scale::Tiny);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->counts.get(Event::PccStall), 0u);
+}
+
+TEST_P(WorkloadInvariants, BenchmarkAbiNotSlowerThanPurecap)
+{
+    if (!workload().supports(Abi::Benchmark))
+        GTEST_SKIP();
+    const auto benchmark =
+        runWorkload(workload(), Abi::Benchmark, Scale::Tiny);
+    const auto purecap =
+        runWorkload(workload(), Abi::Purecap, Scale::Tiny);
+    ASSERT_TRUE(benchmark && purecap);
+    // Same memory layout, minus the PCC stalls: never slower (equal
+    // when the workload has no PCC-changing branches).
+    EXPECT_LE(benchmark->cycles, purecap->cycles);
+}
+
+TEST_P(WorkloadInvariants, TopDownFractionsSane)
+{
+    const auto r = runWorkload(workload(), Abi::Purecap, Scale::Tiny);
+    ASSERT_TRUE(r);
+    const auto td = analysis::TopDown::fromModelTruth(r->counts);
+    const double sum = td.retiring + td.badSpeculation +
+                       td.frontendBound + td.backendBound;
+    EXPECT_NEAR(sum, 1.0, 0.05);
+    EXPECT_GT(td.retiring, 0.0);
+}
+
+TEST_P(WorkloadInvariants, MetadataComplete)
+{
+    const auto &info = workload().info();
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty());
+    EXPECT_FALSE(info.suite.empty());
+    EXPECT_GT(info.binary.text_bytes, 0u);
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : allWorkloads())
+        names.push_back(w->info().name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All20, WorkloadInvariants, ::testing::ValuesIn(allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Scale, FactorsAreOrdered)
+{
+    EXPECT_LT(scaleFactor(Scale::Tiny), scaleFactor(Scale::Small));
+    EXPECT_LT(scaleFactor(Scale::Small), scaleFactor(Scale::Ref));
+}
+
+} // namespace
+} // namespace cheri::workloads

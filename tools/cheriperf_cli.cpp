@@ -1,0 +1,283 @@
+/**
+ * @file
+ * cheriperf — the command-line driver.
+ *
+ * Run any workload proxy under any ABI with any microarchitectural
+ * knob, and inspect the results the way the paper does: derived
+ * metrics, the top-down hierarchy, or raw PMU event counts.
+ *
+ *   cheriperf list
+ *   cheriperf run --workload 520.omnetpp_r --abi purecap [options]
+ *   cheriperf sweep --workload QuickJS [options]
+ *   cheriperf events
+ *
+ * Options for run/sweep:
+ *   --scale tiny|small|ref     problem size (default small)
+ *   --seed N                   workload RNG seed (default 42)
+ *   --cap-aware-bp             capability-aware branch predictor
+ *   --wide-sq                  capability-sized store-queue entries
+ *   --tag-latency N            extra cycles per capability access
+ *   --l1d-kib N                L1D capacity
+ *   --raw                      print raw PMU events too
+ *   --csv                      machine-readable one-line-per-metric
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "analysis/topdown.hpp"
+#include "support/table.hpp"
+#include "workloads/registry.hpp"
+
+using namespace cheri;
+
+namespace {
+
+struct Options
+{
+    std::string command;
+    std::string workload;
+    std::string abi = "purecap";
+    workloads::Scale scale = workloads::Scale::Small;
+    u64 seed = 42;
+    bool cap_aware_bp = false;
+    bool wide_sq = false;
+    u64 tag_latency = 0;
+    u64 l1d_kib = 64;
+    bool raw = false;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: cheriperf <list|events|run|sweep> [options]\n"
+        "  run/sweep options:\n"
+        "    --workload NAME   (required; see 'cheriperf list')\n"
+        "    --abi hybrid|purecap|benchmark   (run only)\n"
+        "    --scale tiny|small|ref   --seed N\n"
+        "    --cap-aware-bp  --wide-sq  --tag-latency N  --l1d-kib N\n"
+        "    --raw  --csv\n");
+    std::exit(code);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(1);
+    Options opt;
+    opt.command = argv[1];
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                usage(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opt.workload = next();
+        } else if (arg == "--abi") {
+            opt.abi = next();
+        } else if (arg == "--scale") {
+            const std::string s = next();
+            if (s == "tiny")
+                opt.scale = workloads::Scale::Tiny;
+            else if (s == "small")
+                opt.scale = workloads::Scale::Small;
+            else if (s == "ref")
+                opt.scale = workloads::Scale::Ref;
+            else
+                usage(1);
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--cap-aware-bp") {
+            opt.cap_aware_bp = true;
+        } else if (arg == "--wide-sq") {
+            opt.wide_sq = true;
+        } else if (arg == "--tag-latency") {
+            opt.tag_latency = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--l1d-kib") {
+            opt.l1d_kib = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--raw") {
+            opt.raw = true;
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(1);
+        }
+    }
+    return opt;
+}
+
+abi::Abi
+parseAbi(const std::string &name)
+{
+    for (abi::Abi a : abi::kAllAbis)
+        if (name == abi::abiName(a))
+            return a;
+    std::fprintf(stderr, "unknown ABI '%s'\n", name.c_str());
+    usage(1);
+}
+
+sim::MachineConfig
+configFor(const Options &opt, abi::Abi abi)
+{
+    auto config = sim::MachineConfig::forAbi(abi);
+    config.pipe.bp.cap_aware = opt.cap_aware_bp;
+    config.pipe.sq.wide_entries = opt.wide_sq;
+    config.mem.tag_extra_latency = opt.tag_latency;
+    config.mem.l1d.size_bytes = opt.l1d_kib * kKiB;
+    return config;
+}
+
+void
+printResult(const Options &opt, abi::Abi abi, const sim::SimResult &result)
+{
+    const auto metrics = analysis::DerivedMetrics::compute(result.counts);
+    const auto td = analysis::TopDown::fromModelTruth(result.counts);
+
+    if (opt.csv) {
+        std::printf("abi,%s\n", abi::abiName(abi));
+        std::printf("instructions,%llu\ncycles,%llu\nseconds,%.9f\n",
+                    static_cast<unsigned long long>(result.instructions),
+                    static_cast<unsigned long long>(result.cycles),
+                    result.seconds);
+        for (const auto &field : analysis::allMetricFields())
+            std::printf("%s,%.6f\n", field.name.c_str(),
+                        metrics.*(field.member));
+    } else {
+        std::printf("--- %s\n", abi::abiName(abi));
+        std::printf("  instructions %llu  cycles %llu  IPC %.3f  model "
+                    "time %.4f s\n",
+                    static_cast<unsigned long long>(result.instructions),
+                    static_cast<unsigned long long>(result.cycles),
+                    result.ipc(), result.seconds);
+        std::printf("  top-down: retiring %.3f  bad-spec %.3f  frontend "
+                    "%.3f  backend %.3f\n",
+                    td.retiring, td.badSpeculation, td.frontendBound,
+                    td.backendBound);
+        std::printf("            memory-bound %.3f (L1 %.3f / L2 %.3f / "
+                    "ext %.3f)  core-bound %.3f  pcc %.3f\n",
+                    td.memoryBound, td.l1Bound, td.l2Bound,
+                    td.extMemBound, td.coreBound, td.pccStallShare);
+        std::printf("  caches: L1I MR %.2f%%  L1D MR %.2f%%  L2 MR "
+                    "%.2f%%  LLC-rd MR %.2f%%\n",
+                    metrics.l1iMissRate * 100, metrics.l1dMissRate * 100,
+                    metrics.l2MissRate * 100,
+                    metrics.llcReadMissRate * 100);
+        std::printf("  cheri:  cap-load %.2f%%  cap-store %.2f%%  "
+                    "traffic %.2f%%  tag %.2f%%\n",
+                    metrics.capLoadDensity * 100,
+                    metrics.capStoreDensity * 100,
+                    metrics.capTrafficShare * 100,
+                    metrics.capTagOverhead * 100);
+        std::printf("  branch MR %.2f%%  MI %.3f\n",
+                    metrics.branchMissRate * 100, metrics.memoryIntensity);
+    }
+
+    if (opt.raw) {
+        for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
+            const auto event = static_cast<pmu::Event>(i);
+            std::printf("%s%s,%llu\n", opt.csv ? "" : "  ",
+                        pmu::eventName(event),
+                        static_cast<unsigned long long>(
+                            result.counts.get(event)));
+        }
+    }
+}
+
+int
+cmdList()
+{
+    AsciiTable table({"name", "suite", "MI (paper)", "description"});
+    for (const auto &w : workloads::allWorkloads()) {
+        const auto &info = w->info();
+        table.beginRow();
+        table.cell(info.name);
+        table.cell(info.suite);
+        table.cell(info.paperMi > 0 ? formatFixed(info.paperMi, 3) : "-");
+        table.cell(info.description);
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdEvents()
+{
+    for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
+        const auto event = static_cast<pmu::Event>(i);
+        std::printf("%-22s %-5s %s\n", pmu::eventName(event),
+                    pmu::isArchitectural(event) ? "arch" : "model",
+                    pmu::eventDescription(event));
+    }
+    return 0;
+}
+
+int
+cmdRun(const Options &opt, bool sweep)
+{
+    if (opt.workload.empty()) {
+        std::fprintf(stderr, "--workload is required\n");
+        usage(1);
+    }
+    const auto pool = workloads::allWorkloads();
+    const auto *workload = workloads::findWorkload(pool, opt.workload);
+    if (!workload) {
+        std::fprintf(stderr, "unknown workload '%s' (try 'cheriperf "
+                             "list')\n",
+                     opt.workload.c_str());
+        return 1;
+    }
+
+    std::vector<abi::Abi> abis;
+    if (sweep)
+        abis.assign(abi::kAllAbis.begin(), abi::kAllAbis.end());
+    else
+        abis.push_back(parseAbi(opt.abi));
+
+    for (abi::Abi a : abis) {
+        const auto config = configFor(opt, a);
+        const auto result = workloads::runWorkload(
+            *workload, a, opt.scale, &config, opt.seed);
+        if (!result) {
+            std::printf("--- %s\n  NA (in-address-space security "
+                        "exception; see paper appendix)\n",
+                        abi::abiName(a));
+            continue;
+        }
+        printResult(opt, a, *result);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    if (opt.command == "list")
+        return cmdList();
+    if (opt.command == "events")
+        return cmdEvents();
+    if (opt.command == "run")
+        return cmdRun(opt, /*sweep=*/false);
+    if (opt.command == "sweep")
+        return cmdRun(opt, /*sweep=*/true);
+    usage(1);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * make_report — regenerate the EXPERIMENTS-style comparison as
+ * Markdown in one run: the Figure 1 overhead table with the paper's
+ * columns, the Table 2 intensity classification, the capability-event
+ * summary and the projection table, written to stdout (or a file via
+ * the shell). Useful for refreshing EXPERIMENTS.md after model or
+ * workload changes.
+ *
+ *   make_report [tiny|small|ref] > results.md
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/intensity.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/projection.hpp"
+#include "analysis/topdown.hpp"
+#include "workloads/registry.hpp"
+
+using namespace cheri;
+
+namespace {
+
+const char *
+cell(double value, int precision = 3)
+{
+    static char buffers[8][32];
+    static int slot = 0;
+    slot = (slot + 1) % 8;
+    if (value < 0)
+        std::snprintf(buffers[slot], sizeof(buffers[slot]), "NA");
+    else
+        std::snprintf(buffers[slot], sizeof(buffers[slot]), "%.*f",
+                      precision, value);
+    return buffers[slot];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    workloads::Scale scale = workloads::Scale::Small;
+    if (argc > 1) {
+        if (!std::strcmp(argv[1], "tiny"))
+            scale = workloads::Scale::Tiny;
+        else if (!std::strcmp(argv[1], "ref"))
+            scale = workloads::Scale::Ref;
+    }
+
+    const auto pool = workloads::allWorkloads();
+
+    std::printf("# cheriperf results\n\n");
+    std::printf("Deterministic model run (scale: %s). Paper columns are "
+                "the IISWC'25 values where reported.\n\n",
+                scale == workloads::Scale::Tiny    ? "tiny"
+                : workloads::Scale::Ref == scale   ? "ref"
+                                                   : "small");
+
+    // --- Figure 1-style overhead table -------------------------------
+    std::printf("## Execution time normalized to hybrid (Fig. 1)\n\n");
+    std::printf("| workload | MI | class | benchmark ABI | purecap | "
+                "paper benchmark | paper purecap |\n");
+    std::printf("|---|---|---|---|---|---|---|\n");
+
+    for (const auto &w : pool) {
+        const auto &info = w->info();
+        const auto hybrid =
+            workloads::runWorkload(*w, abi::Abi::Hybrid, scale);
+        const auto benchmark =
+            workloads::runWorkload(*w, abi::Abi::Benchmark, scale);
+        const auto purecap =
+            workloads::runWorkload(*w, abi::Abi::Purecap, scale);
+
+        const auto metrics =
+            analysis::DerivedMetrics::compute(hybrid->counts);
+        const double bench_ratio =
+            benchmark ? benchmark->seconds / hybrid->seconds : -1;
+        const double pc_ratio = purecap->seconds / hybrid->seconds;
+        const bool has_paper = info.paperTimeHybrid > 0;
+
+        std::printf("| %s | %.3f | %s | %s | %s | %s | %s |\n",
+                    info.name.c_str(), metrics.memoryIntensity,
+                    analysis::intensityClassName(
+                        analysis::classifyIntensity(
+                            metrics.memoryIntensity)),
+                    cell(bench_ratio), cell(pc_ratio),
+                    has_paper && info.paperTimeBenchmark > 0
+                        ? cell(info.paperTimeBenchmark /
+                               info.paperTimeHybrid)
+                        : (has_paper ? "NA" : "-"),
+                    has_paper ? cell(info.paperTimePurecap /
+                                     info.paperTimeHybrid)
+                              : "-");
+    }
+
+    // --- Capability-event summary ------------------------------------
+    std::printf("\n## Capability traffic under purecap (Table 3 "
+                "CHERI rows)\n\n");
+    std::printf("| workload | cap load density | cap store density | "
+                "traffic share | tag overhead | PCC stall share |\n");
+    std::printf("|---|---|---|---|---|---|\n");
+    for (const auto &name : workloads::table3Names()) {
+        const auto *w = workloads::findWorkload(pool, name);
+        const auto run =
+            workloads::runWorkload(*w, abi::Abi::Purecap, scale);
+        const auto m = analysis::DerivedMetrics::compute(run->counts);
+        const auto td = analysis::TopDown::fromModelTruth(run->counts);
+        std::printf("| %s | %.1f%% | %.1f%% | %.1f%% | %.1f%% | %.1f%% "
+                    "|\n",
+                    name.c_str(), m.capLoadDensity * 100,
+                    m.capStoreDensity * 100, m.capTrafficShare * 100,
+                    m.capTagOverhead * 100, td.pccStallShare * 100);
+    }
+
+    // --- Projection summary -------------------------------------------
+    std::printf("\n## Microarchitectural projections (purecap)\n\n");
+    std::printf("| workload | cap-aware BP | wide SQ | CHERI-tuned core "
+                "|\n|---|---|---|---|\n");
+    for (const std::string name :
+         {"520.omnetpp_r", "523.xalancbmk_r", "QuickJS", "SQLite"}) {
+        const auto *w = workloads::findWorkload(pool, name);
+        const auto runner = [&](const sim::MachineConfig &config) {
+            return *workloads::runWorkload(*w, abi::Abi::Purecap, scale,
+                                           &config);
+        };
+        const auto scenarios = analysis::standardScenarios();
+        const auto rows = analysis::runProjections(
+            runner, sim::MachineConfig::forAbi(abi::Abi::Purecap),
+            {scenarios[0], scenarios[1], scenarios[2]});
+        std::printf("| %s | %.3fx | %.3fx | %.3fx |\n", name.c_str(),
+                    rows[1].speedupVsBaseline, rows[2].speedupVsBaseline,
+                    rows[3].speedupVsBaseline);
+    }
+
+    std::printf("\nGenerated by tools/make_report.\n");
+    return 0;
+}
