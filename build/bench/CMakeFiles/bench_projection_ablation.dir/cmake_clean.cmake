@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_projection_ablation.dir/bench_projection_ablation.cpp.o"
+  "CMakeFiles/bench_projection_ablation.dir/bench_projection_ablation.cpp.o.d"
+  "bench_projection_ablation"
+  "bench_projection_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_projection_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_topdown.dir/bench_table4_topdown.cpp.o"
+  "CMakeFiles/bench_table4_topdown.dir/bench_table4_topdown.cpp.o.d"
+  "bench_table4_topdown"
+  "bench_table4_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

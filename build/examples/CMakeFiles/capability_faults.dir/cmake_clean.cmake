@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_faults.dir/capability_faults.cpp.o"
+  "CMakeFiles/capability_faults.dir/capability_faults.cpp.o.d"
+  "capability_faults"
+  "capability_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmu_multiplexing.dir/pmu_multiplexing.cpp.o"
+  "CMakeFiles/pmu_multiplexing.dir/pmu_multiplexing.cpp.o.d"
+  "pmu_multiplexing"
+  "pmu_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmu_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

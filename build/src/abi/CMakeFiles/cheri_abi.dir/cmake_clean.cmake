@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_abi.dir/abi.cpp.o"
+  "CMakeFiles/cheri_abi.dir/abi.cpp.o.d"
+  "CMakeFiles/cheri_abi.dir/allocator.cpp.o"
+  "CMakeFiles/cheri_abi.dir/allocator.cpp.o.d"
+  "CMakeFiles/cheri_abi.dir/layout.cpp.o"
+  "CMakeFiles/cheri_abi.dir/layout.cpp.o.d"
+  "CMakeFiles/cheri_abi.dir/lowering.cpp.o"
+  "CMakeFiles/cheri_abi.dir/lowering.cpp.o.d"
+  "libcheri_abi.a"
+  "libcheri_abi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_abi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

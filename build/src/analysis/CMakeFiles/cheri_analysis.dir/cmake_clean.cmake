@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_analysis.dir/correlation.cpp.o"
+  "CMakeFiles/cheri_analysis.dir/correlation.cpp.o.d"
+  "CMakeFiles/cheri_analysis.dir/intensity.cpp.o"
+  "CMakeFiles/cheri_analysis.dir/intensity.cpp.o.d"
+  "CMakeFiles/cheri_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/cheri_analysis.dir/metrics.cpp.o.d"
+  "CMakeFiles/cheri_analysis.dir/projection.cpp.o"
+  "CMakeFiles/cheri_analysis.dir/projection.cpp.o.d"
+  "CMakeFiles/cheri_analysis.dir/topdown.cpp.o"
+  "CMakeFiles/cheri_analysis.dir/topdown.cpp.o.d"
+  "libcheri_analysis.a"
+  "libcheri_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binsize/sections.cpp" "src/binsize/CMakeFiles/cheri_binsize.dir/sections.cpp.o" "gcc" "src/binsize/CMakeFiles/cheri_binsize.dir/sections.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/abi/CMakeFiles/cheri_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/cheri_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cheri_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/cheri_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

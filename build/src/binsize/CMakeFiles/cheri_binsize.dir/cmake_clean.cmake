@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_binsize.dir/sections.cpp.o"
+  "CMakeFiles/cheri_binsize.dir/sections.cpp.o.d"
+  "libcheri_binsize.a"
+  "libcheri_binsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_binsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cheri_binsize.
+# This may be replaced when dependencies are built.

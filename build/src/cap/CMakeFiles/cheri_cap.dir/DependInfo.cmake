@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cap/bounds.cpp" "src/cap/CMakeFiles/cheri_cap.dir/bounds.cpp.o" "gcc" "src/cap/CMakeFiles/cheri_cap.dir/bounds.cpp.o.d"
+  "/root/repo/src/cap/capability.cpp" "src/cap/CMakeFiles/cheri_cap.dir/capability.cpp.o" "gcc" "src/cap/CMakeFiles/cheri_cap.dir/capability.cpp.o.d"
+  "/root/repo/src/cap/fault.cpp" "src/cap/CMakeFiles/cheri_cap.dir/fault.cpp.o" "gcc" "src/cap/CMakeFiles/cheri_cap.dir/fault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

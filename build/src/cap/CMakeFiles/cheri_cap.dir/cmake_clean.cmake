@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_cap.dir/bounds.cpp.o"
+  "CMakeFiles/cheri_cap.dir/bounds.cpp.o.d"
+  "CMakeFiles/cheri_cap.dir/capability.cpp.o"
+  "CMakeFiles/cheri_cap.dir/capability.cpp.o.d"
+  "CMakeFiles/cheri_cap.dir/fault.cpp.o"
+  "CMakeFiles/cheri_cap.dir/fault.cpp.o.d"
+  "libcheri_cap.a"
+  "libcheri_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

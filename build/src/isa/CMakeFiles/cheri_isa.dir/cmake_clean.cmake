@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_isa.dir/builder.cpp.o"
+  "CMakeFiles/cheri_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/cheri_isa.dir/disasm.cpp.o"
+  "CMakeFiles/cheri_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/cheri_isa.dir/opcode.cpp.o"
+  "CMakeFiles/cheri_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/cheri_isa.dir/program.cpp.o"
+  "CMakeFiles/cheri_isa.dir/program.cpp.o.d"
+  "libcheri_isa.a"
+  "libcheri_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

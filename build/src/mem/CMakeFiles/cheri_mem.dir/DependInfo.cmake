@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cpp" "src/mem/CMakeFiles/cheri_mem.dir/backing_store.cpp.o" "gcc" "src/mem/CMakeFiles/cheri_mem.dir/backing_store.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/cheri_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/cheri_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/mem/CMakeFiles/cheri_mem.dir/memory_system.cpp.o" "gcc" "src/mem/CMakeFiles/cheri_mem.dir/memory_system.cpp.o.d"
+  "/root/repo/src/mem/revoker.cpp" "src/mem/CMakeFiles/cheri_mem.dir/revoker.cpp.o" "gcc" "src/mem/CMakeFiles/cheri_mem.dir/revoker.cpp.o.d"
+  "/root/repo/src/mem/tag_table.cpp" "src/mem/CMakeFiles/cheri_mem.dir/tag_table.cpp.o" "gcc" "src/mem/CMakeFiles/cheri_mem.dir/tag_table.cpp.o.d"
+  "/root/repo/src/mem/tlb.cpp" "src/mem/CMakeFiles/cheri_mem.dir/tlb.cpp.o" "gcc" "src/mem/CMakeFiles/cheri_mem.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/cheri_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_mem.dir/backing_store.cpp.o"
+  "CMakeFiles/cheri_mem.dir/backing_store.cpp.o.d"
+  "CMakeFiles/cheri_mem.dir/cache.cpp.o"
+  "CMakeFiles/cheri_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/cheri_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/cheri_mem.dir/memory_system.cpp.o.d"
+  "CMakeFiles/cheri_mem.dir/revoker.cpp.o"
+  "CMakeFiles/cheri_mem.dir/revoker.cpp.o.d"
+  "CMakeFiles/cheri_mem.dir/tag_table.cpp.o"
+  "CMakeFiles/cheri_mem.dir/tag_table.cpp.o.d"
+  "CMakeFiles/cheri_mem.dir/tlb.cpp.o"
+  "CMakeFiles/cheri_mem.dir/tlb.cpp.o.d"
+  "libcheri_mem.a"
+  "libcheri_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_pmu.dir/events.cpp.o"
+  "CMakeFiles/cheri_pmu.dir/events.cpp.o.d"
+  "CMakeFiles/cheri_pmu.dir/pmu.cpp.o"
+  "CMakeFiles/cheri_pmu.dir/pmu.cpp.o.d"
+  "libcheri_pmu.a"
+  "libcheri_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_sim.dir/machine.cpp.o"
+  "CMakeFiles/cheri_sim.dir/machine.cpp.o.d"
+  "libcheri_sim.a"
+  "libcheri_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

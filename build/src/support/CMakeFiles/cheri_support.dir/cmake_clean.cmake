@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_support.dir/logging.cpp.o"
+  "CMakeFiles/cheri_support.dir/logging.cpp.o.d"
+  "CMakeFiles/cheri_support.dir/rng.cpp.o"
+  "CMakeFiles/cheri_support.dir/rng.cpp.o.d"
+  "CMakeFiles/cheri_support.dir/stats.cpp.o"
+  "CMakeFiles/cheri_support.dir/stats.cpp.o.d"
+  "CMakeFiles/cheri_support.dir/table.cpp.o"
+  "CMakeFiles/cheri_support.dir/table.cpp.o.d"
+  "libcheri_support.a"
+  "libcheri_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_uarch.dir/branch_predictor.cpp.o"
+  "CMakeFiles/cheri_uarch.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/cheri_uarch.dir/pipeline.cpp.o"
+  "CMakeFiles/cheri_uarch.dir/pipeline.cpp.o.d"
+  "CMakeFiles/cheri_uarch.dir/store_queue.cpp.o"
+  "CMakeFiles/cheri_uarch.dir/store_queue.cpp.o.d"
+  "libcheri_uarch.a"
+  "libcheri_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/context.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/context.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/context.cpp.o.d"
+  "/root/repo/src/workloads/kernels/deepsjeng.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/deepsjeng.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/deepsjeng.cpp.o.d"
+  "/root/repo/src/workloads/kernels/lbm.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/lbm.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/lbm.cpp.o.d"
+  "/root/repo/src/workloads/kernels/leela.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/leela.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/leela.cpp.o.d"
+  "/root/repo/src/workloads/kernels/llama.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/llama.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/llama.cpp.o.d"
+  "/root/repo/src/workloads/kernels/nab.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/nab.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/nab.cpp.o.d"
+  "/root/repo/src/workloads/kernels/omnetpp.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/omnetpp.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/omnetpp.cpp.o.d"
+  "/root/repo/src/workloads/kernels/parest.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/parest.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/parest.cpp.o.d"
+  "/root/repo/src/workloads/kernels/quickjs.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/quickjs.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/quickjs.cpp.o.d"
+  "/root/repo/src/workloads/kernels/sqlite.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/sqlite.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/sqlite.cpp.o.d"
+  "/root/repo/src/workloads/kernels/x264.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/x264.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/x264.cpp.o.d"
+  "/root/repo/src/workloads/kernels/xalancbmk.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/xalancbmk.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/xalancbmk.cpp.o.d"
+  "/root/repo/src/workloads/kernels/xz.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/xz.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/kernels/xz.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/scale.cpp" "src/workloads/CMakeFiles/cheri_workloads.dir/scale.cpp.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/scale.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/abi/CMakeFiles/cheri_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cheri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/binsize/CMakeFiles/cheri_binsize.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/cheri_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cheri_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/cheri_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_workloads.dir/context.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/context.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/deepsjeng.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/deepsjeng.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/lbm.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/lbm.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/leela.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/leela.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/llama.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/llama.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/nab.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/nab.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/omnetpp.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/omnetpp.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/parest.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/parest.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/quickjs.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/quickjs.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/sqlite.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/sqlite.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/x264.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/x264.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/xalancbmk.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/xalancbmk.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/kernels/xz.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/kernels/xz.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/registry.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/cheri_workloads.dir/scale.cpp.o"
+  "CMakeFiles/cheri_workloads.dir/scale.cpp.o.d"
+  "libcheri_workloads.a"
+  "libcheri_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

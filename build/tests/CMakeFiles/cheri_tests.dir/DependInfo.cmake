@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abi.cpp" "tests/CMakeFiles/cheri_tests.dir/test_abi.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_abi.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/cheri_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_binsize.cpp" "tests/CMakeFiles/cheri_tests.dir/test_binsize.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_binsize.cpp.o.d"
+  "/root/repo/tests/test_cap_bounds.cpp" "tests/CMakeFiles/cheri_tests.dir/test_cap_bounds.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_cap_bounds.cpp.o.d"
+  "/root/repo/tests/test_capability.cpp" "tests/CMakeFiles/cheri_tests.dir/test_capability.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_capability.cpp.o.d"
+  "/root/repo/tests/test_executor_opcodes.cpp" "tests/CMakeFiles/cheri_tests.dir/test_executor_opcodes.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_executor_opcodes.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/cheri_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/cheri_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_lowering.cpp" "tests/CMakeFiles/cheri_tests.dir/test_lowering.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_lowering.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/cheri_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_pmu.cpp" "tests/CMakeFiles/cheri_tests.dir/test_pmu.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_pmu.cpp.o.d"
+  "/root/repo/tests/test_revoker.cpp" "tests/CMakeFiles/cheri_tests.dir/test_revoker.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_revoker.cpp.o.d"
+  "/root/repo/tests/test_sim_executor.cpp" "tests/CMakeFiles/cheri_tests.dir/test_sim_executor.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_sim_executor.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/cheri_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_uarch.cpp" "tests/CMakeFiles/cheri_tests.dir/test_uarch.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_uarch.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/cheri_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/cheri_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/cheri_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cheri_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/binsize/CMakeFiles/cheri_binsize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cheri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/abi/CMakeFiles/cheri_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/cheri_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cheri_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/cheri_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

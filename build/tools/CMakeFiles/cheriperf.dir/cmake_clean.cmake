@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheriperf.dir/cheriperf_cli.cpp.o"
+  "CMakeFiles/cheriperf.dir/cheriperf_cli.cpp.o.d"
+  "cheriperf"
+  "cheriperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheriperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

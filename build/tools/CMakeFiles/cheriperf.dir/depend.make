@@ -1,0 +1,2 @@
+# Empty dependencies file for cheriperf.
+# This may be replaced when dependencies are built.
