@@ -24,26 +24,28 @@ main()
         "Purecap re-simulated with prototype artefacts repaired; "
         "speedups are vs the unmodified purecap baseline.");
 
-    auto pool = workloads::allWorkloads();
     const std::vector<std::string> targets = {
         "520.omnetpp_r", "523.xalancbmk_r", "QuickJS", "SQLite",
     };
 
     for (const auto &name : targets) {
-        const auto *workload = workloads::findWorkload(pool, name);
-
-        const auto runner = [&](const sim::MachineConfig &config) {
-            auto result =
-                workloads::runWorkload(*workload, abi::Abi::Purecap,
-                                       workloads::Scale::Small, &config);
-            return *result;
+        // Every ablation cell goes through the cached runner, so the
+        // shared purecap baseline only ever simulates once per cache.
+        const auto simulate = [&](const sim::MachineConfig &config) {
+            runner::RunRequest request;
+            request.workload = name;
+            request.abi = abi::Abi::Purecap;
+            request.scale = workloads::Scale::Small;
+            request.config = config;
+            return *runner::run(request, runner::RunnerOptions{}).sim;
         };
 
-        const auto hybrid = workloads::runWorkload(
-            *workload, abi::Abi::Hybrid, workloads::Scale::Small);
+        const auto hybrid = runner::run({.workload = name,
+                                         .abi = abi::Abi::Hybrid})
+                                .sim;
         const auto baseline =
             sim::MachineConfig::forAbi(abi::Abi::Purecap);
-        const auto rows = analysis::runProjections(runner, baseline);
+        const auto rows = analysis::runProjections(simulate, baseline);
 
         AsciiTable table({"scenario", "model s", "speedup vs purecap",
                           "residual overhead vs hybrid"});

@@ -44,19 +44,16 @@ main()
                 events.size(), groups.size(), pmu::kNumSlots,
                 groups.size());
 
-    auto pool = workloads::allWorkloads();
-    const auto *lbm = workloads::findWorkload(pool, "519.lbm_r");
+    const runner::RunRequest lbm{.workload = "519.lbm_r",
+                                 .abi = abi::Abi::Purecap,
+                                 .scale = workloads::Scale::Tiny};
 
     pmu::PmcSession session;
-    const auto collected = session.collect(events, [&] {
-        auto result = workloads::runWorkload(*lbm, abi::Abi::Purecap,
-                                             workloads::Scale::Tiny);
-        return result->counts;
-    });
+    const auto collected = session.collect(
+        events, [&] { return runner::run(lbm).sim->counts; });
 
     // 3. Validate the merge against a single full-visibility run.
-    const auto direct = workloads::runWorkload(*lbm, abi::Abi::Purecap,
-                                               workloads::Scale::Tiny);
+    const auto direct = runner::run(lbm).sim;
     u64 mismatches = 0;
     for (const auto event : events)
         if (collected.get(event) != direct->counts.get(event))

@@ -88,7 +88,7 @@ main()
         "Rows per metric: hybrid / benchmark / purecap (the paper's cell "
         "stacking), for the 12 representative benchmarks.");
 
-    bench::Sweep sweep(workloads::table3Names());
+    bench::Sweep sweep(bench::SweepOptions{.names = workloads::table3Names()});
 
     for (const auto &row : sweep.rows()) {
         std::printf("--- %s (%s)\n", row.workload->info().name.c_str(),

@@ -76,7 +76,7 @@ main()
         "Per workload: the paper's approximation formulas and the model's "
         "exact slot accounting.");
 
-    bench::Sweep sweep(workloads::table4Names());
+    bench::Sweep sweep(bench::SweepOptions{.names = workloads::table4Names()});
 
     for (const auto &row : sweep.rows()) {
         printBreakdown("paper formulas (architectural events)", row,

@@ -24,40 +24,57 @@ SweepRow::slowdown(abi::Abi a) const
     return mine / hybrid;
 }
 
-Sweep::Sweep(const std::vector<std::string> &names, workloads::Scale scale)
-    : pool_(workloads::allWorkloads())
+Sweep::Sweep(SweepOptions options) : pool_(workloads::allWorkloads())
 {
     std::vector<const workloads::Workload *> selected;
-    if (names.empty()) {
+    if (options.names.empty()) {
         for (const auto &w : pool_)
             selected.push_back(w.get());
     } else {
-        for (const auto &name : names) {
+        for (const auto &name : options.names) {
             const auto *w = workloads::findWorkload(pool_, name);
             CHERI_ASSERT(w, "unknown workload '", name, "'");
             selected.push_back(w);
         }
     }
 
+    runner::ExperimentPlan plan;
+    for (const auto *w : selected)
+        plan.addAbiSweep(w->info().name, options.scale, options.seed);
+
+    runner::RunnerOptions run_options;
+    run_options.jobs = options.jobs;
+    run_options.cache = options.cache;
+    run_options.progress = true;
+    auto outcome = runner::runPlan(plan, run_options);
+    stats_ = outcome.stats;
+
+    // Cells are name-major, ABI-minor (addAbiSweep order); fold each
+    // ABI triple back into one presentation row.
+    std::size_t cell = 0;
     for (const auto *w : selected) {
         SweepRow row;
         row.workload = w;
         for (abi::Abi a : abi::kAllAbis) {
+            runner::RunResult &result = outcome.results[cell++];
+            CHERI_ASSERT(result.request.workload == w->info().name &&
+                             result.request.abi == a,
+                         "runner returned cells out of plan order");
             AbiRun &run = row.runs[static_cast<int>(a)];
-            run.result = workloads::runWorkload(*w, a, scale);
-            if (run.result) {
-                run.metrics = analysis::DerivedMetrics::compute(
-                    run.result->counts);
-                run.topdownTruth =
-                    analysis::TopDown::fromModelTruth(run.result->counts);
-                run.topdownPaper = analysis::TopDown::fromPaperFormulas(
-                    run.result->counts);
-            }
+            run.result = std::move(result.sim);
+            run.metrics = result.metrics;
+            run.topdownTruth = result.topdownTruth;
+            run.topdownPaper = result.topdownPaper;
         }
         rows_.push_back(std::move(row));
-        std::fprintf(stderr, "  [sweep] %s done\n",
-                     w->info().name.c_str());
     }
+    std::fprintf(stderr, "  [sweep] %s\n", stats_.summary().c_str());
+}
+
+Sweep::Sweep(const std::vector<std::string> &names,
+             workloads::Scale scale)
+    : Sweep(SweepOptions{.names = names, .scale = scale})
+{
 }
 
 const SweepRow *

@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared plumbing for the per-table/per-figure benchmark harnesses:
- * run the workload sweep across ABIs once and expose the results plus
- * small formatting helpers.
+ * run the workload sweep across ABIs once — through the parallel,
+ * cached experiment runner — and expose the results plus small
+ * formatting helpers.
  */
 
 #ifndef CHERI_BENCH_COMMON_HPP
@@ -12,8 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/metrics.hpp"
-#include "analysis/topdown.hpp"
+#include "runner/runner.hpp"
 #include "workloads/registry.hpp"
 
 namespace cheri::bench {
@@ -31,7 +31,17 @@ struct AbiRun
 struct SweepRow
 {
     const workloads::Workload *workload = nullptr;
-    AbiRun runs[3]; //!< Indexed by static_cast<int>(Abi).
+    AbiRun runs[abi::kAllAbis.size()]; //!< Indexed by static_cast<int>(Abi).
+
+    // The runs[] array is indexed by the Abi enumerator value; this
+    // pins the enumerator order and count the indexing relies on.
+    static_assert(abi::kAllAbis.size() == 3 &&
+                      static_cast<int>(abi::Abi::Hybrid) == 0 &&
+                      static_cast<int>(abi::Abi::Purecap) == 1 &&
+                      static_cast<int>(abi::Abi::Benchmark) == 2,
+                  "SweepRow::runs indexing assumes the Hybrid/Purecap/"
+                  "Benchmark enumerator order — update runs[] and every "
+                  "static_cast<int>(Abi) index together");
 
     const AbiRun &run(abi::Abi a) const
     {
@@ -45,22 +55,41 @@ struct SweepRow
     double slowdown(abi::Abi a) const;
 };
 
+struct SweepOptions
+{
+    std::vector<std::string> names; //!< Empty = all 20 workloads.
+    workloads::Scale scale = workloads::Scale::Small;
+    u64 seed = 42;
+
+    u32 jobs = 0;      //!< Runner pool width; 0 = hardware threads.
+    bool cache = true; //!< Replay unchanged cells from the cache.
+};
+
+/**
+ * The standard three-ABI sweep, rebuilt as a thin adapter over
+ * runner::runPlan(): cells execute on the runner's thread pool and
+ * unchanged cells replay from the result cache, but rows are always
+ * in plan (presentation) order.
+ */
 class Sweep
 {
   public:
-    /**
-     * Run every named workload under all three ABIs.
-     * @param names Empty = all 20 workloads.
-     */
-    explicit Sweep(const std::vector<std::string> &names = {},
+    explicit Sweep(SweepOptions options = {});
+
+    /** Convenience: named workloads at a scale, runner defaults. */
+    explicit Sweep(const std::vector<std::string> &names,
                    workloads::Scale scale = workloads::Scale::Small);
 
     const std::vector<SweepRow> &rows() const { return rows_; }
     const SweepRow *find(const std::string &name) const;
 
+    /** Runner accounting for the sweep (cache hits, wall time...). */
+    const runner::PlanStats &stats() const { return stats_; }
+
   private:
     std::vector<std::unique_ptr<workloads::Workload>> pool_;
     std::vector<SweepRow> rows_;
+    runner::PlanStats stats_;
 };
 
 /** "1.234" or "NA". */

@@ -11,6 +11,7 @@
 
 #include "analysis/metrics.hpp"
 #include "pmu/pmu.hpp"
+#include "runner/runner.hpp"
 #include "workloads/registry.hpp"
 
 using namespace cheri;
@@ -41,9 +42,11 @@ main()
     const auto collected = session.collect(events, [&] {
         ++run_index;
         std::printf("  ... executing run %zu\n", run_index);
-        const auto result = workloads::runWorkload(
-            *workload, abi::Abi::Purecap, workloads::Scale::Tiny);
-        return result->counts;
+        const auto result =
+            runner::run({.workload = workload->info().name,
+                         .abi = abi::Abi::Purecap,
+                         .scale = workloads::Scale::Tiny});
+        return result.sim->counts;
     });
 
     std::printf("\nMerged counts (selected):\n");

@@ -12,6 +12,7 @@
 #include "analysis/metrics.hpp"
 #include "analysis/projection.hpp"
 #include "analysis/topdown.hpp"
+#include "runner/runner.hpp"
 #include "workloads/registry.hpp"
 
 using namespace cheri;
@@ -29,33 +30,41 @@ main()
                 "IPC", "slowdn", "retiring", "badspec", "frontend",
                 "backend", "mem-bound", "core-bnd");
 
+    // One three-cell plan instead of three sequential runs.
+    const auto outcome = runner::runPlan(
+        runner::ExperimentPlan{}.addAbiSweep(workload->info().name,
+                                             workloads::Scale::Small),
+        runner::RunnerOptions{.cache = false});
+
     double hybrid_seconds = 0;
-    for (abi::Abi abi : abi::kAllAbis) {
-        const auto result = workloads::runWorkload(
-            *workload, abi, workloads::Scale::Small);
-        if (!result) {
-            std::printf("%-10s NA\n", abi::abiName(abi));
+    for (const auto &run : outcome.results) {
+        if (!run.ok()) {
+            std::printf("%-10s NA\n", abi::abiName(run.request.abi));
             continue;
         }
-        if (abi == abi::Abi::Hybrid)
-            hybrid_seconds = result->seconds;
-        const auto td = analysis::TopDown::fromModelTruth(result->counts);
+        if (run.request.abi == abi::Abi::Hybrid)
+            hybrid_seconds = run.sim->seconds;
+        const auto &td = run.topdownTruth;
         std::printf(
             "%-10s %8.3f %8.3f | %9.3f %8.3f %9.3f %8.3f | %9.3f %9.3f\n",
-            abi::abiName(abi), result->ipc(),
-            result->seconds / hybrid_seconds, td.retiring,
+            abi::abiName(run.request.abi), run.sim->ipc(),
+            run.sim->seconds / hybrid_seconds, td.retiring,
             td.badSpeculation, td.frontendBound, td.backendBound,
             td.memoryBound, td.coreBound);
     }
 
     std::printf("\nProjection: repairing Morello's prototype artefacts "
                 "on the purecap build\n\n");
-    const auto runner = [&](const sim::MachineConfig &config) {
-        return *workloads::runWorkload(*workload, abi::Abi::Purecap,
-                                       workloads::Scale::Small, &config);
+    const auto simulate = [&](const sim::MachineConfig &config) {
+        runner::RunRequest request;
+        request.workload = workload->info().name;
+        request.abi = abi::Abi::Purecap;
+        request.scale = workloads::Scale::Small;
+        request.config = config;
+        return *runner::run(request).sim;
     };
     const auto rows = analysis::runProjections(
-        runner, sim::MachineConfig::forAbi(abi::Abi::Purecap));
+        simulate, sim::MachineConfig::forAbi(abi::Abi::Purecap));
     for (const auto &row : rows)
         std::printf("  %-20s speedup vs purecap %.3f, overhead vs hybrid "
                     "%+.1f%%\n",

@@ -14,6 +14,7 @@
 
 #include "analysis/metrics.hpp"
 #include "isa/builder.hpp"
+#include "runner/runner.hpp"
 #include "sim/machine.hpp"
 
 using namespace cheri;
@@ -133,5 +134,17 @@ main()
                 "the working set stays cached and costs nothing — run "
                 "bench_fig1_overall and\nexamples/pointer_chase_study to "
                 "watch the overhead emerge at realistic scales.\n");
+
+    // For the paper's full-size workload proxies, hand a RunRequest to
+    // the experiment runner instead of driving a Machine by hand — the
+    // same call scales to parallel, cached plans (runner::runPlan).
+    const auto study = runner::run({.workload = "520.omnetpp_r",
+                                    .abi = abi::Abi::Purecap,
+                                    .scale = workloads::Scale::Tiny});
+    std::printf("\nrunner::run(\"520.omnetpp_r\"/purecap/tiny): "
+                "%llu insts, IPC %.3f, %.1fms host wall\n",
+                static_cast<unsigned long long>(
+                    study.sim->instructions),
+                study.sim->ipc(), study.wallSeconds * 1e3);
     return 0;
 }

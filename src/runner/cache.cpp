@@ -1,0 +1,205 @@
+#include "runner/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "pmu/events.hpp"
+#include "support/hash.hpp"
+#include "support/serialize.hpp"
+
+namespace cheri::runner {
+
+namespace {
+
+constexpr const char *kMagic = "cheriperf-result";
+
+void
+hashCache(Fnv1a &h, const mem::CacheConfig &c)
+{
+    h.add(c.size_bytes).add(static_cast<u64>(c.ways))
+        .add(static_cast<u64>(c.line_bytes));
+}
+
+void
+hashTlb(Fnv1a &h, const mem::TlbConfig &t)
+{
+    h.add(static_cast<u64>(t.entries)).add(static_cast<u64>(t.ways))
+        .add(static_cast<u64>(t.page_bytes));
+}
+
+void
+hashConfig(Fnv1a &h, const sim::MachineConfig &config)
+{
+    h.add(static_cast<u64>(config.abi));
+    h.add(config.max_insts);
+    h.add(config.clock_ghz);
+
+    const mem::MemConfig &m = config.mem;
+    hashCache(h, m.l1i);
+    hashCache(h, m.l1d);
+    hashCache(h, m.l2);
+    hashCache(h, m.llc);
+    hashTlb(h, m.l1i_tlb);
+    hashTlb(h, m.l1d_tlb);
+    hashTlb(h, m.l2_tlb);
+    h.add(m.l1_latency).add(m.l2_latency).add(m.llc_latency)
+        .add(m.dram_latency).add(m.walk_latency)
+        .add(m.tag_extra_latency);
+
+    const uarch::PipelineConfig &p = config.pipe;
+    h.add(static_cast<u64>(p.width)).add(static_cast<u64>(p.mlp));
+    h.add(p.mispredict_penalty).add(p.pcc_stall_penalty)
+        .add(p.div_latency);
+    h.add(p.dp_ports).add(p.load_ports).add(p.store_ports)
+        .add(p.fp_ports).add(p.branch_ports);
+    h.add(static_cast<u64>(p.bp.pht_entries))
+        .add(static_cast<u64>(p.bp.history_bits))
+        .add(static_cast<u64>(p.bp.btb_entries))
+        .add(static_cast<u64>(p.bp.ras_depth))
+        .add(p.bp.cap_aware);
+    h.add(static_cast<u64>(p.sq.entries)).add(p.sq.wide_entries);
+}
+
+} // namespace
+
+u64
+cellFingerprint(const RunRequest &request)
+{
+    Fnv1a h;
+    h.add(kCacheSchemaVersion);
+    h.add(std::string_view(request.workload));
+    h.add(static_cast<u64>(request.abi));
+    h.add(static_cast<u64>(request.scale));
+    h.add(request.seed);
+    hashConfig(h, request.resolvedConfig());
+    return h.value();
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        dir_ = defaultDir();
+}
+
+std::string
+ResultCache::defaultDir()
+{
+    if (const char *env = std::getenv("CHERIPERF_CACHE_DIR");
+        env && *env)
+        return env;
+    return ".cheriperf-cache";
+}
+
+std::string
+ResultCache::entryPath(u64 key) const
+{
+    return dir_ + "/" + toHex64(key) + ".cpr";
+}
+
+std::optional<sim::SimResult>
+ResultCache::load(const RunRequest &request, u64 key) const
+{
+    const auto text = readFile(entryPath(key));
+    if (!text)
+        return std::nullopt;
+    const RecordReader record(*text);
+    if (!record.ok())
+        return std::nullopt;
+
+    // Header validation: any mismatch means a different schema, a
+    // colliding key, or torn bytes — all of them cache misses.
+    if (record.find("magic") != std::optional<std::string>(kMagic))
+        return std::nullopt;
+    if (record.findU64("version") != kCacheSchemaVersion)
+        return std::nullopt;
+    if (record.find("key") != std::optional<std::string>(toHex64(key)))
+        return std::nullopt;
+    if (record.find("workload") !=
+        std::optional<std::string>(request.workload))
+        return std::nullopt;
+
+    const auto instructions = record.findU64("instructions");
+    const auto cycles = record.findU64("cycles");
+    const auto halted = record.findU64("halted");
+    if (!instructions || !cycles || !halted || *halted > 1)
+        return std::nullopt;
+
+    // Event lines must cover the current enum exactly, in order.
+    sim::SimResult result;
+    std::size_t event_index = 0;
+    for (const auto &[k, v] : record.entries()) {
+        if (k.rfind("ev.", 0) != 0)
+            continue;
+        if (event_index >= pmu::kNumEvents)
+            return std::nullopt;
+        const auto event = static_cast<pmu::Event>(event_index);
+        if (k.substr(3) != pmu::eventName(event))
+            return std::nullopt;
+        const auto count = parseU64(v);
+        if (!count)
+            return std::nullopt;
+        result.counts.add(event, *count);
+        ++event_index;
+    }
+    if (event_index != pmu::kNumEvents)
+        return std::nullopt;
+
+    // Cross-check the stored totals against the counts vector.
+    if (result.counts.get(pmu::Event::InstRetired) != *instructions ||
+        result.counts.get(pmu::Event::CpuCycles) != *cycles)
+        return std::nullopt;
+
+    result.instructions = *instructions;
+    result.cycles = *cycles;
+    result.halted = *halted == 1;
+    // Same expression Machine::finalize uses, so the replayed double
+    // is bit-identical to the simulated one.
+    result.seconds = static_cast<double>(result.cycles) /
+                     (request.resolvedConfig().clock_ghz * 1e9);
+    return result;
+}
+
+void
+ResultCache::store(const RunRequest &request, u64 key,
+                   const sim::SimResult &result) const
+{
+    // Faulting runs carry state (the CapFault) the record does not
+    // round-trip; they are rare and cheap enough to re-simulate.
+    if (result.fault)
+        return;
+
+    RecordWriter record;
+    record.field("magic", kMagic);
+    record.field("version", kCacheSchemaVersion);
+    record.field("key", toHex64(key));
+    record.field("workload", request.workload);
+    record.field("abi", abi::abiName(request.abi));
+    record.field("scale", static_cast<u64>(request.scale));
+    record.field("seed", request.seed);
+    record.field("halted", result.halted ? u64{1} : u64{0});
+    record.field("instructions", result.instructions);
+    record.field("cycles", result.cycles);
+    for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
+        const auto event = static_cast<pmu::Event>(i);
+        record.field(std::string("ev.") + pmu::eventName(event),
+                     result.counts.get(event));
+    }
+    writeFileAtomic(entryPath(key), record.text());
+}
+
+std::size_t
+ResultCache::clear() const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::size_t removed = 0;
+    for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (it->path().extension() == ".cpr" &&
+            fs::remove(it->path(), ec))
+            ++removed;
+    }
+    return removed;
+}
+
+} // namespace cheri::runner

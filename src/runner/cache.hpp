@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache.
+ *
+ * The key is a 64-bit FNV-1a fingerprint of everything that
+ * determines a cell's outcome: workload name, ABI, scale, seed, every
+ * MachineConfig knob (memory geometry, latencies, pipeline widths,
+ * predictor/store-queue configuration), and a schema version that
+ * must be bumped whenever the simulation model changes behaviour.
+ * The value is the full serialized EventCounts plus the architectural
+ * totals, written as a text record (support/serialize.hpp) named
+ * <hex-key>.cpr under the cache directory.
+ *
+ * Every load is paranoid: magic, version, echoed key, per-event
+ * names, and the counts-vs-totals cross-check must all agree, or the
+ * entry is treated as a miss and re-simulated. Corruption can cost
+ * time, never correctness.
+ */
+
+#ifndef CHERI_RUNNER_CACHE_HPP
+#define CHERI_RUNNER_CACHE_HPP
+
+#include <optional>
+#include <string>
+
+#include "runner/run_request.hpp"
+
+namespace cheri::runner {
+
+/**
+ * Bump when simulation semantics change, so stale caches from older
+ * models self-invalidate instead of replaying outdated numbers.
+ */
+inline constexpr u64 kCacheSchemaVersion = 1;
+
+/** The cache key for @p request (see file comment for coverage). */
+u64 cellFingerprint(const RunRequest &request);
+
+class ResultCache
+{
+  public:
+    /** @p dir Empty = defaultDir(). Created lazily on first store. */
+    explicit ResultCache(std::string dir = {});
+
+    /**
+     * Replay @p request's result from disk. nullopt on miss or on
+     * any validation failure. @p key must be cellFingerprint(request)
+     * (passed in so callers hash once per cell).
+     */
+    std::optional<sim::SimResult> load(const RunRequest &request,
+                                       u64 key) const;
+
+    /** Persist @p result under @p key; best-effort (IO errors are
+     *  swallowed — the cache is an accelerator, not a database). */
+    void store(const RunRequest &request, u64 key,
+               const sim::SimResult &result) const;
+
+    /** Path of the entry for @p key (exists or not). */
+    std::string entryPath(u64 key) const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Delete all cache entries; returns how many were removed. */
+    std::size_t clear() const;
+
+    /**
+     * $CHERIPERF_CACHE_DIR when set, else ".cheriperf-cache" in the
+     * working directory.
+     */
+    static std::string defaultDir();
+
+  private:
+    std::string dir_;
+};
+
+} // namespace cheri::runner
+
+#endif // CHERI_RUNNER_CACHE_HPP

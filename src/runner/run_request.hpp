@@ -1,0 +1,53 @@
+/**
+ * @file
+ * RunRequest — the unified description of one experiment cell.
+ *
+ * Everything the old positional runWorkload(workload, abi, scale,
+ * base, seed) signature and the CLI's loose Options fields used to
+ * encode travels in one value: the workload (by registry name), the
+ * ABI, the problem scale, the RNG seed, and (optionally) a full
+ * MachineConfig overriding the per-ABI defaults. A RunRequest is
+ * plain data — hashable, comparable, storable — which is what lets
+ * the runner fingerprint cells for the on-disk result cache and ship
+ * them to worker threads.
+ */
+
+#ifndef CHERI_RUNNER_RUN_REQUEST_HPP
+#define CHERI_RUNNER_RUN_REQUEST_HPP
+
+#include <optional>
+#include <string>
+
+#include "sim/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace cheri::runner {
+
+struct RunRequest
+{
+    std::string workload;                //!< Registry name ("519.lbm_r").
+    abi::Abi abi = abi::Abi::Purecap;
+    workloads::Scale scale = workloads::Scale::Small;
+    u64 seed = 42;
+
+    /**
+     * Microarchitectural knobs. Empty = MachineConfig::forAbi(abi).
+     * The abi member of a supplied config is ignored; the request's
+     * abi field is authoritative.
+     */
+    std::optional<sim::MachineConfig> config = std::nullopt;
+
+    /** The config this request resolves to (knobs or ABI defaults). */
+    sim::MachineConfig
+    resolvedConfig() const
+    {
+        sim::MachineConfig out =
+            config ? *config : sim::MachineConfig::forAbi(abi);
+        out.abi = abi;
+        return out;
+    }
+};
+
+} // namespace cheri::runner
+
+#endif // CHERI_RUNNER_RUN_REQUEST_HPP

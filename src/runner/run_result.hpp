@@ -1,0 +1,52 @@
+/**
+ * @file
+ * RunResult — one experiment cell's complete outcome: the raw
+ * SimResult, the paper's derived metrics and top-down decompositions
+ * precomputed, and provenance (cache hit, wall time, worker thread)
+ * so sweep reports can show where each number came from.
+ */
+
+#ifndef CHERI_RUNNER_RUN_RESULT_HPP
+#define CHERI_RUNNER_RUN_RESULT_HPP
+
+#include <optional>
+
+#include "analysis/metrics.hpp"
+#include "analysis/topdown.hpp"
+#include "runner/run_request.hpp"
+
+namespace cheri::runner {
+
+struct RunResult
+{
+    RunRequest request; //!< The cell this result answers.
+
+    /**
+     * Empty when the workload does not support the requested ABI —
+     * the paper's "NA" cells (QuickJS under purecap-benchmark).
+     */
+    std::optional<sim::SimResult> sim;
+
+    // Derived views, valid when ok().
+    analysis::DerivedMetrics metrics{};
+    analysis::TopDown topdownTruth{};
+    analysis::TopDown topdownPaper{};
+
+    // Provenance.
+    bool cacheHit = false;   //!< Replayed from the result cache.
+    double wallSeconds = 0;  //!< Host wall time for this cell.
+    u32 workerThread = 0;    //!< Runner thread that produced it.
+
+    bool ok() const { return sim.has_value(); }
+
+    /** Simulated seconds, or a negative sentinel for NA cells. */
+    double
+    seconds() const
+    {
+        return ok() ? sim->seconds : -1.0;
+    }
+};
+
+} // namespace cheri::runner
+
+#endif // CHERI_RUNNER_RUN_RESULT_HPP

@@ -1,0 +1,227 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "support/logging.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Execute one resolved cell: cache replay when possible, otherwise a
+ * fresh Machine simulation, plus the derived-metric views.
+ */
+RunResult
+runCell(const RunRequest &request, const workloads::Workload &workload,
+        const ResultCache *cache, u32 worker)
+{
+    const auto start = Clock::now();
+    RunResult out;
+    out.request = request;
+    out.workerThread = worker;
+
+    if (workload.supports(request.abi)) {
+        const u64 key = cache ? cellFingerprint(request) : 0;
+        if (cache)
+            out.sim = cache->load(request, key);
+        if (out.sim) {
+            out.cacheHit = true;
+        } else {
+            const auto config = request.resolvedConfig();
+            out.sim = workloads::detail::executeWorkload(
+                workload, request.abi, request.scale, &config,
+                request.seed);
+            if (cache && out.sim)
+                cache->store(request, key, *out.sim);
+        }
+        if (out.sim) {
+            out.metrics =
+                analysis::DerivedMetrics::compute(out.sim->counts);
+            out.topdownTruth =
+                analysis::TopDown::fromModelTruth(out.sim->counts);
+            out.topdownPaper =
+                analysis::TopDown::fromPaperFormulas(out.sim->counts);
+        }
+    }
+
+    out.wallSeconds = secondsSince(start);
+    return out;
+}
+
+} // namespace
+
+ExperimentPlan &
+ExperimentPlan::addAbiSweep(const std::string &workload,
+                            workloads::Scale scale, u64 seed)
+{
+    for (abi::Abi abi : abi::kAllAbis) {
+        RunRequest request;
+        request.workload = workload;
+        request.abi = abi;
+        request.scale = scale;
+        request.seed = seed;
+        cells_.push_back(std::move(request));
+    }
+    return *this;
+}
+
+ExperimentPlan
+ExperimentPlan::fullSweep(const std::vector<std::string> &names,
+                          workloads::Scale scale, u64 seed)
+{
+    ExperimentPlan plan;
+    if (names.empty()) {
+        for (const auto &w : workloads::allWorkloads())
+            plan.addAbiSweep(w->info().name, scale, seed);
+    } else {
+        for (const auto &name : names)
+            plan.addAbiSweep(name, scale, seed);
+    }
+    return plan;
+}
+
+std::string
+PlanStats::summary() const
+{
+    std::ostringstream os;
+    os << cells << " cells (" << naCells << " NA), " << cacheHits
+       << " cache hits / " << simulated << " simulated, " << jobs
+       << " jobs, ";
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", wallSeconds);
+    os << wall << "s wall";
+    return os.str();
+}
+
+const RunResult *
+PlanOutcome::find(const std::string &workload, abi::Abi abi) const
+{
+    for (const auto &result : results)
+        if (result.request.workload == workload &&
+            result.request.abi == abi)
+            return &result;
+    return nullptr;
+}
+
+u32
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<u32>(hw) : 1;
+}
+
+PlanOutcome
+runPlan(const ExperimentPlan &plan, const RunnerOptions &options)
+{
+    const auto start = Clock::now();
+    PlanOutcome outcome;
+    outcome.results.resize(plan.size());
+    if (plan.empty())
+        return outcome;
+
+    // Resolve every cell before any worker starts: an unknown
+    // workload is a user error and must not surface mid-plan from an
+    // arbitrary thread.
+    const auto pool = workloads::allWorkloads();
+    std::vector<const workloads::Workload *> targets;
+    targets.reserve(plan.size());
+    for (const auto &cell : plan.cells()) {
+        const auto *workload =
+            workloads::findWorkload(pool, cell.workload);
+        if (!workload)
+            CHERI_FATAL("unknown workload '", cell.workload,
+                        "' in experiment plan (try 'cheriperf list')");
+        targets.push_back(workload);
+    }
+
+    const ResultCache cache(options.cache_dir);
+    const ResultCache *cachePtr = options.cache ? &cache : nullptr;
+
+    u32 jobs = options.jobs ? options.jobs : hardwareJobs();
+    jobs = std::min<u32>(jobs, static_cast<u32>(plan.size()));
+    jobs = std::max<u32>(jobs, 1);
+
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&](u32 tid) {
+        for (std::size_t i = next.fetch_add(1); i < plan.size();
+             i = next.fetch_add(1)) {
+            outcome.results[i] =
+                runCell(plan.cells()[i], *targets[i], cachePtr, tid);
+            if (options.progress) {
+                const auto &r = outcome.results[i];
+                std::fprintf(
+                    stderr, "  [runner] %s/%s %s (%.3fs, t%u)\n",
+                    r.request.workload.c_str(),
+                    abi::abiName(r.request.abi),
+                    !r.ok()        ? "NA"
+                    : r.cacheHit   ? "cached"
+                                   : "simulated",
+                    r.wallSeconds, tid);
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(jobs);
+        for (u32 t = 0; t < jobs; ++t)
+            threads.emplace_back(worker, t);
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    PlanStats &stats = outcome.stats;
+    stats.cells = plan.size();
+    stats.jobs = jobs;
+    for (const auto &result : outcome.results) {
+        if (!result.ok())
+            ++stats.naCells;
+        else if (result.cacheHit)
+            ++stats.cacheHits;
+        else
+            ++stats.simulated;
+    }
+    stats.wallSeconds = secondsSince(start);
+    return outcome;
+}
+
+RunResult
+run(const RunRequest &request)
+{
+    const auto pool = workloads::allWorkloads();
+    const auto *workload = workloads::findWorkload(pool, request.workload);
+    if (!workload)
+        CHERI_FATAL("unknown workload '", request.workload,
+                    "' (try 'cheriperf list')");
+    return runCell(request, *workload, nullptr, 0);
+}
+
+RunResult
+run(const RunRequest &request, const RunnerOptions &options)
+{
+    ExperimentPlan plan;
+    plan.add(request);
+    RunnerOptions serial = options;
+    serial.jobs = 1;
+    auto outcome = runPlan(plan, serial);
+    return std::move(outcome.results.front());
+}
+
+} // namespace cheri::runner

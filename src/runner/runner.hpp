@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The parallel experiment runner.
+ *
+ * An ExperimentPlan is an ordered list of RunRequest cells (workload
+ * x ABI x scale x seed x knobs). runPlan() executes it on a
+ * fixed-size std::thread pool — every Machine is fully independent
+ * state, so cells are embarrassingly parallel — and aggregates
+ * results in plan order regardless of completion order, so output is
+ * byte-identical for any job count. A content-addressed on-disk
+ * cache (cache.hpp) replays unchanged cells instead of re-simulating
+ * them, which is what makes knob ablations that share a baseline and
+ * repeated full-table sweeps cheap.
+ *
+ * This API replaces the positional workloads::runWorkload() helper;
+ * see README.md "Running experiments".
+ */
+
+#ifndef CHERI_RUNNER_RUNNER_HPP
+#define CHERI_RUNNER_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "runner/cache.hpp"
+#include "runner/run_request.hpp"
+#include "runner/run_result.hpp"
+
+namespace cheri::runner {
+
+class ExperimentPlan
+{
+  public:
+    ExperimentPlan() = default;
+
+    ExperimentPlan &
+    add(RunRequest request)
+    {
+        cells_.push_back(std::move(request));
+        return *this;
+    }
+
+    /** One cell per ABI the three-ABI comparison needs. */
+    ExperimentPlan &addAbiSweep(const std::string &workload,
+                                workloads::Scale scale,
+                                u64 seed = 42);
+
+    /**
+     * The paper's standard sweep: @p names (empty = all 20
+     * registered workloads) x all three ABIs, name-major order.
+     */
+    static ExperimentPlan
+    fullSweep(const std::vector<std::string> &names = {},
+              workloads::Scale scale = workloads::Scale::Small,
+              u64 seed = 42);
+
+    const std::vector<RunRequest> &cells() const { return cells_; }
+    std::size_t size() const { return cells_.size(); }
+    bool empty() const { return cells_.empty(); }
+
+  private:
+    std::vector<RunRequest> cells_;
+};
+
+struct RunnerOptions
+{
+    /** Worker threads. 0 = min(hardware threads, plan size). */
+    u32 jobs = 0;
+
+    bool cache = true;          //!< Consult/populate the result cache.
+    std::string cache_dir = {}; //!< Empty = ResultCache::defaultDir().
+
+    /** Per-cell completion lines on stderr. */
+    bool progress = false;
+};
+
+/** Aggregate accounting for one runPlan() invocation. */
+struct PlanStats
+{
+    std::size_t cells = 0;
+    std::size_t cacheHits = 0;
+    std::size_t simulated = 0;
+    std::size_t naCells = 0;
+    u32 jobs = 1;
+    double wallSeconds = 0;
+
+    /** One-line human summary ("12 cells, 9 cache hits, ..."). */
+    std::string summary() const;
+};
+
+struct PlanOutcome
+{
+    /** results[i] answers plan.cells()[i]. */
+    std::vector<RunResult> results;
+    PlanStats stats;
+
+    const RunResult *find(const std::string &workload,
+                          abi::Abi abi) const;
+};
+
+/**
+ * Execute @p plan. Unknown workload names are a fatal user error,
+ * reported before any cell runs.
+ */
+PlanOutcome runPlan(const ExperimentPlan &plan,
+                    const RunnerOptions &options = {});
+
+/**
+ * Execute one cell synchronously on the calling thread, without
+ * touching the cache — the drop-in replacement for the deprecated
+ * workloads::runWorkload().
+ */
+RunResult run(const RunRequest &request);
+
+/** One cell with caching per @p options. */
+RunResult run(const RunRequest &request, const RunnerOptions &options);
+
+/** The pool width "jobs = 0" resolves to (>= 1). */
+u32 hardwareJobs();
+
+} // namespace cheri::runner
+
+#endif // CHERI_RUNNER_RUNNER_HPP

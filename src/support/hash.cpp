@@ -1,0 +1,17 @@
+#include "support/hash.hpp"
+
+namespace cheri {
+
+std::string
+toHex64(u64 value)
+{
+    static const char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace cheri

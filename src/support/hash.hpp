@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Streaming FNV-1a content hashing for fingerprinting experiment
+ * cells (workload + ABI + scale + seed + every machine knob). Not
+ * cryptographic — collision resistance only has to beat the handful
+ * of thousands of distinct configurations a sweep campaign produces,
+ * and every cache entry echoes its full key for verification anyway.
+ */
+
+#ifndef CHERI_SUPPORT_HASH_HPP
+#define CHERI_SUPPORT_HASH_HPP
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "support/types.hpp"
+
+namespace cheri {
+
+/** Streaming 64-bit FNV-1a hasher. */
+class Fnv1a
+{
+  public:
+    static constexpr u64 kOffsetBasis = 1469598103934665603ULL;
+    static constexpr u64 kPrime = 1099511628211ULL;
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= kPrime;
+        }
+    }
+
+    Fnv1a &
+    add(u64 value)
+    {
+        bytes(&value, sizeof(value));
+        return *this;
+    }
+
+    /** Hash a double through its bit pattern (exact, not rounded). */
+    Fnv1a &
+    add(double value)
+    {
+        u64 bits;
+        static_assert(sizeof(bits) == sizeof(value));
+        std::memcpy(&bits, &value, sizeof(bits));
+        return add(bits);
+    }
+
+    Fnv1a &
+    add(bool value)
+    {
+        return add(static_cast<u64>(value ? 1 : 0));
+    }
+
+    /** Length-prefixed so "ab","c" and "a","bc" hash differently. */
+    Fnv1a &
+    add(std::string_view text)
+    {
+        add(static_cast<u64>(text.size()));
+        bytes(text.data(), text.size());
+        return *this;
+    }
+
+    u64 value() const { return hash_; }
+
+  private:
+    u64 hash_ = kOffsetBasis;
+};
+
+/** Lower-case 16-digit hex of a 64-bit hash (cache file names). */
+std::string toHex64(u64 value);
+
+} // namespace cheri
+
+#endif // CHERI_SUPPORT_HASH_HPP

@@ -1,0 +1,135 @@
+#include "support/serialize.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cheri {
+
+void
+RecordWriter::field(std::string_view key, std::string_view value)
+{
+    CHERI_ASSERT(!key.empty(), "record field needs a key");
+    CHERI_ASSERT(key.find_first_of(" \n") == std::string_view::npos,
+                 "record key must not contain spaces/newlines: ", key);
+    CHERI_ASSERT(value.find('\n') == std::string_view::npos,
+                 "record value must be single-line under key ", key);
+    text_.append(key);
+    text_.push_back(' ');
+    text_.append(value);
+    text_.push_back('\n');
+}
+
+void
+RecordWriter::field(std::string_view key, u64 value)
+{
+    field(key, std::to_string(value));
+}
+
+RecordReader::RecordReader(std::string_view text)
+{
+    if (text.empty() || text.back() != '\n')
+        return;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        const std::size_t sep = line.find(' ');
+        if (sep == 0 || sep == std::string_view::npos)
+            return; // Empty key or no separator: not a record.
+        entries_.emplace_back(std::string(line.substr(0, sep)),
+                              std::string(line.substr(sep + 1)));
+    }
+    ok_ = true;
+}
+
+std::optional<std::string>
+RecordReader::find(std::string_view key) const
+{
+    for (const auto &[k, v] : entries_)
+        if (k == key)
+            return v;
+    return std::nullopt;
+}
+
+std::optional<u64>
+RecordReader::findU64(std::string_view key) const
+{
+    const auto value = find(key);
+    if (!value)
+        return std::nullopt;
+    return parseU64(*value);
+}
+
+std::optional<u64>
+parseU64(std::string_view text)
+{
+    if (text.empty() || text.size() > 20)
+        return std::nullopt;
+    u64 out = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        const u64 digit = static_cast<u64>(c - '0');
+        if (out > (~0ULL - digit) / 10)
+            return std::nullopt; // Overflow.
+        out = out * 10 + digit;
+    }
+    return out;
+}
+
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+    return buffer.str();
+}
+
+bool
+writeFileAtomic(const std::string &path, std::string_view content)
+{
+    namespace fs = std::filesystem;
+    static std::atomic<u64> sequence{0};
+    std::error_code ec;
+
+    const fs::path target(path);
+    if (target.has_parent_path()) {
+        fs::create_directories(target.parent_path(), ec);
+        if (ec)
+            return false;
+    }
+
+    const fs::path tmp =
+        target.parent_path() /
+        (target.filename().string() + ".tmp" +
+         std::to_string(sequence.fetch_add(1)));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        if (!out.good())
+            return false;
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace cheri

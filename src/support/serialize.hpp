@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal line-oriented record serialization plus atomic file IO —
+ * the storage layer under the runner's on-disk result cache.
+ *
+ * A record is a sequence of "key value\n" lines; keys may repeat
+ * (the cache uses one line per PMU event). The format is trivially
+ * greppable and diffable, and the reader treats any malformed input
+ * as "not a record" rather than guessing — corruption must degrade
+ * to a cache miss, never to a wrong result.
+ */
+
+#ifndef CHERI_SUPPORT_SERIALIZE_HPP
+#define CHERI_SUPPORT_SERIALIZE_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace cheri {
+
+/** Append-only "key value" line writer. */
+class RecordWriter
+{
+  public:
+    /** @p value must not contain newlines; keys must be non-empty. */
+    void field(std::string_view key, std::string_view value);
+    void field(std::string_view key, u64 value);
+
+    const std::string &text() const { return text_; }
+
+  private:
+    std::string text_;
+};
+
+/** Parsed record: ordered key/value pairs with lookup helpers. */
+class RecordReader
+{
+  public:
+    /**
+     * Parse @p text. ok() is false when any line is not a
+     * "key value" pair (missing separator, empty key, or the record
+     * does not end in a newline).
+     */
+    explicit RecordReader(std::string_view text);
+
+    bool ok() const { return ok_; }
+
+    /** First value under @p key; nullopt when absent. */
+    std::optional<std::string> find(std::string_view key) const;
+
+    /** find() parsed as decimal u64; nullopt when absent/garbled. */
+    std::optional<u64> findU64(std::string_view key) const;
+
+    const std::vector<std::pair<std::string, std::string>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    bool ok_ = false;
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/** Parse a full decimal u64; nullopt on any trailing garbage. */
+std::optional<u64> parseU64(std::string_view text);
+
+/** Whole-file read; nullopt when unreadable. */
+std::optional<std::string> readFile(const std::string &path);
+
+/**
+ * Write @p content to @p path via a unique temp file + rename, so
+ * concurrent readers (and writers racing on the same key) only ever
+ * observe complete records. Returns false on any filesystem error.
+ */
+bool writeFileAtomic(const std::string &path, std::string_view content);
+
+} // namespace cheri
+
+#endif // CHERI_SUPPORT_SERIALIZE_HPP

@@ -64,8 +64,9 @@ findWorkload(const std::vector<std::unique_ptr<Workload>> &pool,
 }
 
 std::optional<sim::SimResult>
-runWorkload(const Workload &workload, abi::Abi abi, Scale scale,
-            const sim::MachineConfig *base, u64 seed)
+detail::executeWorkload(const Workload &workload, abi::Abi abi,
+                        Scale scale, const sim::MachineConfig *base,
+                        u64 seed)
 {
     if (!workload.supports(abi))
         return std::nullopt;

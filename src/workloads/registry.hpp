@@ -30,8 +30,13 @@ const Workload *
 findWorkload(const std::vector<std::unique_ptr<Workload>> &pool,
              const std::string &name);
 
+namespace detail {
+
 /**
- * Run @p workload under @p abi with a fresh Machine.
+ * Low-level single-cell executor: run @p workload under @p abi with a
+ * fresh Machine. Internal plumbing for the runner subsystem — callers
+ * should go through runner::run(RunRequest) / runner::runPlan(),
+ * which add caching, parallelism and derived metrics.
  *
  * @param base Optional config template; its abi field is overridden.
  * @param seed Workload RNG seed (fixed default for reproducibility).
@@ -39,9 +44,25 @@ findWorkload(const std::vector<std::unique_ptr<Workload>> &pool,
  *         paper's "NA" cells).
  */
 std::optional<sim::SimResult>
+executeWorkload(const Workload &workload, abi::Abi abi,
+                Scale scale = Scale::Small,
+                const sim::MachineConfig *base = nullptr, u64 seed = 42);
+
+} // namespace detail
+
+/**
+ * Forwarding shim for the pre-runner positional API. Will be removed
+ * one release after the runner lands.
+ */
+[[deprecated("construct a runner::RunRequest and call runner::run() / "
+             "runner::runPlan() instead")]]
+inline std::optional<sim::SimResult>
 runWorkload(const Workload &workload, abi::Abi abi,
             Scale scale = Scale::Small,
-            const sim::MachineConfig *base = nullptr, u64 seed = 42);
+            const sim::MachineConfig *base = nullptr, u64 seed = 42)
+{
+    return detail::executeWorkload(workload, abi, scale, base, seed);
+}
 
 } // namespace cheri::workloads
 

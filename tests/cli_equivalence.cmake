@@ -1,0 +1,61 @@
+# Parallel-vs-serial CLI equivalence fixture.
+#
+# Runs `cheriperf sweep` over the Table 4 workload set twice — once
+# with --jobs 1 and once with --jobs 4 — and requires byte-identical
+# CSV on stdout; then repeats the --jobs 4 sweep against a warm cache
+# and requires identical bytes again (replayed cells must not change
+# a single digit).
+#
+# Invoked by ctest as:
+#   cmake -DCHERIPERF=<binary> -DWORK_DIR=<scratch> -P cli_equivalence.cmake
+
+if(NOT CHERIPERF)
+    message(FATAL_ERROR "pass -DCHERIPERF=<path to cheriperf binary>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(CACHE_DIR "${WORK_DIR}/cache")
+
+set(SWEEP_ARGS sweep --set table4 --scale tiny --csv
+    --cache-dir "${CACHE_DIR}")
+
+function(run_sweep out_var jobs)
+    execute_process(
+        COMMAND "${CHERIPERF}" ${SWEEP_ARGS} --jobs ${jobs}
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "cheriperf sweep --jobs ${jobs} failed (${status}):\n${stderr}")
+    endif()
+    set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+run_sweep(serial 1)
+run_sweep(parallel 4)
+if(NOT serial STREQUAL parallel)
+    file(WRITE "${WORK_DIR}/serial.csv" "${serial}")
+    file(WRITE "${WORK_DIR}/parallel.csv" "${parallel}")
+    message(FATAL_ERROR "--jobs 4 CSV differs from --jobs 1; see "
+                        "${WORK_DIR}/serial.csv vs parallel.csv")
+endif()
+
+# Third run replays from the cache populated above.
+run_sweep(cached 4)
+if(NOT serial STREQUAL cached)
+    file(WRITE "${WORK_DIR}/serial.csv" "${serial}")
+    file(WRITE "${WORK_DIR}/cached.csv" "${cached}")
+    message(FATAL_ERROR "cache-hit sweep CSV differs from cold sweep; "
+                        "see ${WORK_DIR}/serial.csv vs cached.csv")
+endif()
+
+file(GLOB entries "${CACHE_DIR}/*.cpr")
+list(LENGTH entries n_entries)
+if(n_entries EQUAL 0)
+    message(FATAL_ERROR "sweep populated no cache entries in ${CACHE_DIR}")
+endif()
+
+message(STATUS "cli_parallel_equivalence ok: identical CSV across jobs "
+               "1/4 and cache replay (${n_entries} cache entries)")

@@ -13,6 +13,7 @@
 #include "analysis/projection.hpp"
 #include "analysis/topdown.hpp"
 #include "binsize/sections.hpp"
+#include "runner/runner.hpp"
 #include "support/stats.hpp"
 #include "workloads/registry.hpp"
 
@@ -21,7 +22,21 @@ namespace {
 
 using abi::Abi;
 using workloads::Scale;
-using workloads::runWorkload;
+
+/** One cell through the redesigned experiment API. */
+std::optional<sim::SimResult>
+runProxy(const workloads::Workload &workload, Abi abi, Scale scale,
+         const sim::MachineConfig *base = nullptr, u64 seed = 42)
+{
+    runner::RunRequest request;
+    request.workload = workload.info().name;
+    request.abi = abi;
+    request.scale = scale;
+    request.seed = seed;
+    if (base)
+        request.config = *base;
+    return runner::run(request).sim;
+}
 
 class IntegrationTest : public ::testing::Test
 {
@@ -51,8 +66,8 @@ class IntegrationTest : public ::testing::Test
     static double
     slowdown(const std::string &name, Abi abi)
     {
-        const auto hybrid = runWorkload(get(name), Abi::Hybrid, Scale::Tiny);
-        const auto other = runWorkload(get(name), abi, Scale::Tiny);
+        const auto hybrid = runProxy(get(name), Abi::Hybrid, Scale::Tiny);
+        const auto other = runProxy(get(name), abi, Scale::Tiny);
         return other->seconds / hybrid->seconds;
     }
 
@@ -109,8 +124,8 @@ TEST_F(IntegrationTest, CapabilityDensityShapes)
     // Table 3's capability load density: ~0 under hybrid, large under
     // purecap for pointer-heavy workloads, small for lbm.
     const auto omnetpp =
-        runWorkload(get("520.omnetpp_r"), Abi::Purecap, Scale::Tiny);
-    const auto lbm = runWorkload(get("519.lbm_r"), Abi::Purecap,
+        runProxy(get("520.omnetpp_r"), Abi::Purecap, Scale::Tiny);
+    const auto lbm = runProxy(get("519.lbm_r"), Abi::Purecap,
                                  Scale::Tiny);
     const auto m_omnetpp =
         analysis::DerivedMetrics::compute(omnetpp->counts);
@@ -124,7 +139,7 @@ TEST_F(IntegrationTest, MemoryIntensityOrdering)
     // Table 2: omnetpp is the most memory-intense; llama.inference
     // the least.
     const auto mi = [&](const std::string &name) {
-        const auto r = runWorkload(get(name), Abi::Hybrid, Scale::Tiny);
+        const auto r = runProxy(get(name), Abi::Hybrid, Scale::Tiny);
         return analysis::DerivedMetrics::compute(r->counts)
             .memoryIntensity;
     };
@@ -140,9 +155,9 @@ TEST_F(IntegrationTest, DpSpecShareRisesUnderPurecap)
 {
     // §4.6: capability manipulation inflates the DP share.
     const auto hybrid =
-        runWorkload(get("523.xalancbmk_r"), Abi::Hybrid, Scale::Tiny);
+        runProxy(get("523.xalancbmk_r"), Abi::Hybrid, Scale::Tiny);
     const auto purecap =
-        runWorkload(get("523.xalancbmk_r"), Abi::Purecap, Scale::Tiny);
+        runProxy(get("523.xalancbmk_r"), Abi::Purecap, Scale::Tiny);
     const auto share = [](const sim::SimResult &r) {
         return r.counts.getF(pmu::Event::DpSpec) /
                r.counts.getF(pmu::Event::InstSpec);
@@ -154,7 +169,7 @@ TEST_F(IntegrationTest, CapAwarePredictorProjectionRecoversXalancbmk)
 {
     const auto &workload = get("523.xalancbmk_r");
     const auto runner = [&](const sim::MachineConfig &config) {
-        return *runWorkload(workload, Abi::Purecap, Scale::Tiny, &config);
+        return *runProxy(workload, Abi::Purecap, Scale::Tiny, &config);
     };
     const auto rows = analysis::runProjections(
         runner, sim::MachineConfig::forAbi(Abi::Purecap),
@@ -170,7 +185,7 @@ TEST_F(IntegrationTest, PurecapCouplesCapabilityAndCacheMetrics)
     for (const auto &name :
          {"520.omnetpp_r", "523.xalancbmk_r", "519.lbm_r", "544.nab_r",
           "SQLite", "QuickJS", "LLaMA.matmul", "557.xz_r"}) {
-        const auto r = runWorkload(get(name), Abi::Purecap, Scale::Tiny);
+        const auto r = runProxy(get(name), Abi::Purecap, Scale::Tiny);
         purecap_metrics.push_back(
             analysis::DerivedMetrics::compute(r->counts));
     }
@@ -200,7 +215,7 @@ TEST_F(IntegrationTest, FullSweepProducesFiniteMetricsEverywhere)
 {
     for (const auto &w : *pool_) {
         for (Abi abi : abi::kAllAbis) {
-            const auto r = runWorkload(*w, abi, Scale::Tiny);
+            const auto r = runProxy(*w, abi, Scale::Tiny);
             if (!r) {
                 EXPECT_FALSE(w->supports(abi));
                 continue;

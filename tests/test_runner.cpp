@@ -1,0 +1,316 @@
+/**
+ * @file
+ * The parallel experiment runner: plan-order determinism, serial vs
+ * thread-pool equivalence, result-cache round-trips (including
+ * corruption falling back to re-simulation), cell fingerprinting,
+ * and the support-layer hash/serialize helpers underneath it all.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "runner/runner.hpp"
+#include "support/hash.hpp"
+#include "support/serialize.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::runner {
+namespace {
+
+using abi::Abi;
+using workloads::Scale;
+
+/** A fresh per-test cache directory under gtest's temp root. */
+std::string
+tempCacheDir(const std::string &tag)
+{
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        ("cheriperf-test-cache-" + tag);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+/** The satellite's 4-workload set; QuickJS exercises the NA path. */
+ExperimentPlan
+fourWorkloadPlan()
+{
+    return ExperimentPlan::fullSweep(
+        {"519.lbm_r", "520.omnetpp_r", "SQLite", "QuickJS"},
+        Scale::Tiny);
+}
+
+TEST(SupportHash, Fnv1aIsStableAndOrderSensitive)
+{
+    Fnv1a a, b, c;
+    a.add(u64{1}).add(u64{2});
+    b.add(u64{1}).add(u64{2});
+    c.add(u64{2}).add(u64{1});
+    EXPECT_EQ(a.value(), b.value());
+    EXPECT_NE(a.value(), c.value());
+
+    Fnv1a s1, s2;
+    s1.add(std::string_view("ab")).add(std::string_view("c"));
+    s2.add(std::string_view("a")).add(std::string_view("bc"));
+    EXPECT_NE(s1.value(), s2.value()) << "length prefix must frame strings";
+
+    EXPECT_EQ(toHex64(0), "0000000000000000");
+    EXPECT_EQ(toHex64(0x0123456789abcdefULL), "0123456789abcdef");
+}
+
+TEST(SupportSerialize, RecordRoundTripAndRejection)
+{
+    RecordWriter w;
+    w.field("magic", "test");
+    w.field("count", u64{42});
+    const RecordReader r(w.text());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.find("magic"), "test");
+    EXPECT_EQ(r.findU64("count"), 42u);
+    EXPECT_FALSE(r.find("absent").has_value());
+
+    EXPECT_FALSE(RecordReader("no trailing newline").ok());
+    EXPECT_FALSE(RecordReader("nospacehere\n").ok());
+    EXPECT_FALSE(RecordReader(" valuewithoutkey\n").ok());
+
+    EXPECT_EQ(parseU64("18446744073709551615"), ~0ULL);
+    EXPECT_FALSE(parseU64("18446744073709551616").has_value());
+    EXPECT_FALSE(parseU64("12x").has_value());
+    EXPECT_FALSE(parseU64("").has_value());
+}
+
+TEST(Fingerprint, SensitiveToEveryRequestAxis)
+{
+    const RunRequest base{.workload = "519.lbm_r",
+                          .abi = Abi::Purecap,
+                          .scale = Scale::Tiny,
+                          .seed = 7};
+    EXPECT_EQ(cellFingerprint(base), cellFingerprint(base));
+
+    RunRequest other = base;
+    other.workload = "520.omnetpp_r";
+    EXPECT_NE(cellFingerprint(base), cellFingerprint(other));
+
+    other = base;
+    other.abi = Abi::Hybrid;
+    EXPECT_NE(cellFingerprint(base), cellFingerprint(other));
+
+    other = base;
+    other.scale = Scale::Small;
+    EXPECT_NE(cellFingerprint(base), cellFingerprint(other));
+
+    other = base;
+    other.seed = 8;
+    EXPECT_NE(cellFingerprint(base), cellFingerprint(other));
+
+    other = base;
+    other.config = sim::MachineConfig::forAbi(Abi::Purecap);
+    other.config->pipe.bp.cap_aware = true;
+    EXPECT_NE(cellFingerprint(base), cellFingerprint(other));
+
+    // An explicit config equal to the ABI defaults is the same cell.
+    other = base;
+    other.config = sim::MachineConfig::forAbi(Abi::Purecap);
+    EXPECT_EQ(cellFingerprint(base), cellFingerprint(other));
+}
+
+TEST(Runner, SingleRunMatchesDeprecatedShim)
+{
+    const auto pool = workloads::allWorkloads();
+    const auto *lbm = workloads::findWorkload(pool, "519.lbm_r");
+    ASSERT_NE(lbm, nullptr);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const auto old_api =
+        workloads::runWorkload(*lbm, Abi::Purecap, Scale::Tiny);
+#pragma GCC diagnostic pop
+
+    const auto new_api = run({.workload = "519.lbm_r",
+                              .abi = Abi::Purecap,
+                              .scale = Scale::Tiny});
+    ASSERT_TRUE(old_api && new_api.ok());
+    EXPECT_EQ(old_api->counts, new_api.sim->counts);
+    EXPECT_EQ(old_api->cycles, new_api.sim->cycles);
+    EXPECT_EQ(old_api->seconds, new_api.sim->seconds);
+}
+
+TEST(Runner, ParallelPlanIsBitIdenticalToSerial)
+{
+    const auto plan = fourWorkloadPlan();
+    ASSERT_EQ(plan.size(), 12u);
+
+    RunnerOptions serial;
+    serial.jobs = 1;
+    serial.cache = false;
+    RunnerOptions parallel;
+    parallel.jobs = 4;
+    parallel.cache = false;
+
+    const auto a = runPlan(plan, serial);
+    const auto b = runPlan(plan, parallel);
+    EXPECT_EQ(a.stats.jobs, 1u);
+    EXPECT_EQ(b.stats.jobs, 4u);
+    ASSERT_EQ(a.results.size(), plan.size());
+    ASSERT_EQ(b.results.size(), plan.size());
+
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const auto &cell = plan.cells()[i];
+        // Results come back in plan order regardless of job count.
+        EXPECT_EQ(a.results[i].request.workload, cell.workload);
+        EXPECT_EQ(b.results[i].request.workload, cell.workload);
+        EXPECT_EQ(a.results[i].request.abi, cell.abi);
+        EXPECT_EQ(b.results[i].request.abi, cell.abi);
+
+        ASSERT_EQ(a.results[i].ok(), b.results[i].ok()) << i;
+        if (!a.results[i].ok())
+            continue;
+        EXPECT_EQ(a.results[i].sim->counts, b.results[i].sim->counts)
+            << cell.workload << "/" << abi::abiName(cell.abi);
+        EXPECT_EQ(a.results[i].sim->cycles, b.results[i].sim->cycles);
+        EXPECT_EQ(a.results[i].sim->seconds, b.results[i].sim->seconds);
+    }
+
+    // QuickJS under the benchmark ABI is the plan's one NA cell.
+    EXPECT_EQ(a.stats.naCells, 1u);
+    EXPECT_EQ(a.stats.simulated, plan.size() - 1);
+}
+
+TEST(Runner, CacheRoundTripsWholePlan)
+{
+    const auto plan = fourWorkloadPlan();
+    RunnerOptions options;
+    options.jobs = 4;
+    options.cache_dir = tempCacheDir("roundtrip");
+
+    const auto first = runPlan(plan, options);
+    EXPECT_EQ(first.stats.cacheHits, 0u);
+    EXPECT_EQ(first.stats.simulated, plan.size() - 1);
+
+    const auto second = runPlan(plan, options);
+    EXPECT_EQ(second.stats.cacheHits, plan.size() - 1)
+        << "every non-NA cell must replay from the cache";
+    EXPECT_EQ(second.stats.simulated, 0u);
+
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        ASSERT_EQ(first.results[i].ok(), second.results[i].ok()) << i;
+        if (!first.results[i].ok())
+            continue;
+        EXPECT_TRUE(second.results[i].cacheHit);
+        EXPECT_EQ(first.results[i].sim->counts,
+                  second.results[i].sim->counts);
+        EXPECT_EQ(first.results[i].sim->instructions,
+                  second.results[i].sim->instructions);
+        EXPECT_EQ(first.results[i].sim->seconds,
+                  second.results[i].sim->seconds);
+    }
+}
+
+TEST(Runner, CorruptedCacheEntryFallsBackToSimulation)
+{
+    RunRequest request{.workload = "519.lbm_r",
+                       .abi = Abi::Purecap,
+                       .scale = Scale::Tiny};
+    ExperimentPlan plan;
+    plan.add(request);
+
+    RunnerOptions options;
+    options.jobs = 1;
+    options.cache_dir = tempCacheDir("corrupt");
+
+    const auto first = runPlan(plan, options);
+    ASSERT_TRUE(first.results[0].ok());
+    EXPECT_FALSE(first.results[0].cacheHit);
+
+    const ResultCache cache(options.cache_dir);
+    const auto path = cache.entryPath(cellFingerprint(request));
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Overwrite with garbage: the runner must re-simulate, produce
+    // the same numbers, and repair the entry.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "magic cheriperf-result\nversion 999\ngarbage";
+    }
+    const auto second = runPlan(plan, options);
+    ASSERT_TRUE(second.results[0].ok());
+    EXPECT_FALSE(second.results[0].cacheHit);
+    EXPECT_EQ(second.stats.simulated, 1u);
+    EXPECT_EQ(first.results[0].sim->counts, second.results[0].sim->counts);
+
+    const auto third = runPlan(plan, options);
+    EXPECT_TRUE(third.results[0].cacheHit)
+        << "re-simulation must rewrite the corrupted entry";
+}
+
+TEST(Runner, CacheIsKnobSensitive)
+{
+    RunnerOptions options;
+    options.jobs = 1;
+    options.cache_dir = tempCacheDir("knobs");
+
+    RunRequest base{.workload = "SQLite",
+                    .abi = Abi::Purecap,
+                    .scale = Scale::Tiny};
+    auto tuned = base;
+    tuned.config = sim::MachineConfig::forAbi(Abi::Purecap);
+    tuned.config->mem.tag_extra_latency = 3;
+
+    ExperimentPlan plan;
+    plan.add(base).add(tuned);
+    const auto outcome = runPlan(plan, options);
+    EXPECT_EQ(outcome.stats.simulated, 2u)
+        << "knob change must be a different cache cell";
+    ASSERT_TRUE(outcome.results[0].ok() && outcome.results[1].ok());
+    EXPECT_GT(outcome.results[1].sim->cycles,
+              outcome.results[0].sim->cycles)
+        << "tag latency knob must actually reach the simulation";
+}
+
+TEST(Runner, NaCellsAreNeverCached)
+{
+    ExperimentPlan plan;
+    plan.add({.workload = "QuickJS",
+              .abi = Abi::Benchmark,
+              .scale = Scale::Tiny});
+    RunnerOptions options;
+    options.jobs = 1;
+    options.cache_dir = tempCacheDir("na");
+
+    const auto outcome = runPlan(plan, options);
+    EXPECT_FALSE(outcome.results[0].ok());
+    EXPECT_EQ(outcome.stats.naCells, 1u);
+    EXPECT_FALSE(std::filesystem::exists(
+        ResultCache(options.cache_dir)
+            .entryPath(cellFingerprint(plan.cells()[0]))));
+}
+
+TEST(Runner, ClearCacheRemovesEntries)
+{
+    RunnerOptions options;
+    options.jobs = 2;
+    options.cache_dir = tempCacheDir("clear");
+    runPlan(ExperimentPlan::fullSweep({"519.lbm_r"}, Scale::Tiny),
+            options);
+
+    const ResultCache cache(options.cache_dir);
+    EXPECT_EQ(cache.clear(), 3u);
+    EXPECT_EQ(cache.clear(), 0u);
+}
+
+TEST(Runner, PlanStatsSummaryMentionsTheNumbers)
+{
+    RunnerOptions options;
+    options.jobs = 3;
+    options.cache = false;
+    const auto outcome = runPlan(
+        ExperimentPlan::fullSweep({"519.lbm_r"}, Scale::Tiny), options);
+    const auto summary = outcome.stats.summary();
+    EXPECT_NE(summary.find("3 cells"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("3 jobs"), std::string::npos) << summary;
+}
+
+} // namespace
+} // namespace cheri::runner

@@ -13,6 +13,7 @@
 
 #include "analysis/metrics.hpp"
 #include "analysis/topdown.hpp"
+#include "runner/runner.hpp"
 #include "workloads/registry.hpp"
 
 namespace cheri::workloads {
@@ -20,6 +21,21 @@ namespace {
 
 using abi::Abi;
 using pmu::Event;
+
+/** One cell through the redesigned experiment API. */
+std::optional<sim::SimResult>
+runProxy(const Workload &workload, Abi abi, Scale scale,
+         const sim::MachineConfig *base = nullptr, u64 seed = 42)
+{
+    runner::RunRequest request;
+    request.workload = workload.info().name;
+    request.abi = abi;
+    request.scale = scale;
+    request.seed = seed;
+    if (base)
+        request.config = *base;
+    return runner::run(request).sim;
+}
 
 TEST(Registry, TwentyWorkloadsInPaperOrder)
 {
@@ -66,7 +82,7 @@ TEST(Registry, RunReturnsNaForUnsupportedAbi)
     const auto pool = allWorkloads();
     const auto *quickjs = findWorkload(pool, "QuickJS");
     EXPECT_FALSE(
-        runWorkload(*quickjs, Abi::Benchmark, Scale::Tiny).has_value());
+        runProxy(*quickjs, Abi::Benchmark, Scale::Tiny).has_value());
 }
 
 /** Per-workload invariants, parameterized over all 20 instances. */
@@ -100,9 +116,9 @@ std::vector<std::unique_ptr<Workload>> *WorkloadInvariants::pool_ = nullptr;
 TEST_P(WorkloadInvariants, DeterministicForFixedSeed)
 {
     const auto a =
-        runWorkload(workload(), Abi::Purecap, Scale::Tiny, nullptr, 7);
+        runProxy(workload(), Abi::Purecap, Scale::Tiny, nullptr, 7);
     const auto b =
-        runWorkload(workload(), Abi::Purecap, Scale::Tiny, nullptr, 7);
+        runProxy(workload(), Abi::Purecap, Scale::Tiny, nullptr, 7);
     ASSERT_TRUE(a && b);
     EXPECT_EQ(a->counts, b->counts);
     EXPECT_EQ(a->cycles, b->cycles);
@@ -111,9 +127,9 @@ TEST_P(WorkloadInvariants, DeterministicForFixedSeed)
 TEST_P(WorkloadInvariants, SeedRobustness)
 {
     const auto a =
-        runWorkload(workload(), Abi::Hybrid, Scale::Tiny, nullptr, 7);
+        runProxy(workload(), Abi::Hybrid, Scale::Tiny, nullptr, 7);
     const auto b =
-        runWorkload(workload(), Abi::Hybrid, Scale::Tiny, nullptr, 8);
+        runProxy(workload(), Abi::Hybrid, Scale::Tiny, nullptr, 8);
     ASSERT_TRUE(a && b);
     // A different seed perturbs the run but must not change its
     // character: cycle counts stay within 20%.
@@ -125,7 +141,7 @@ TEST_P(WorkloadInvariants, SeedRobustness)
 
 TEST_P(WorkloadInvariants, HybridHasNoCapabilityTraffic)
 {
-    const auto r = runWorkload(workload(), Abi::Hybrid, Scale::Tiny);
+    const auto r = runProxy(workload(), Abi::Hybrid, Scale::Tiny);
     ASSERT_TRUE(r);
     EXPECT_EQ(r->counts.get(Event::CapMemAccessRd), 0u);
     EXPECT_EQ(r->counts.get(Event::CapMemAccessWr), 0u);
@@ -134,9 +150,9 @@ TEST_P(WorkloadInvariants, HybridHasNoCapabilityTraffic)
 
 TEST_P(WorkloadInvariants, PurecapHasCapabilityStoresAndNoLessWork)
 {
-    const auto hybrid = runWorkload(workload(), Abi::Hybrid, Scale::Tiny);
+    const auto hybrid = runProxy(workload(), Abi::Hybrid, Scale::Tiny);
     const auto purecap =
-        runWorkload(workload(), Abi::Purecap, Scale::Tiny);
+        runProxy(workload(), Abi::Purecap, Scale::Tiny);
     ASSERT_TRUE(hybrid && purecap);
     // Frame saves alone guarantee capability stores under purecap.
     EXPECT_GT(purecap->counts.get(Event::CapMemAccessWr), 0u);
@@ -148,7 +164,7 @@ TEST_P(WorkloadInvariants, BenchmarkAbiHasNoPccStalls)
 {
     if (!workload().supports(Abi::Benchmark))
         GTEST_SKIP() << "paper reports NA for this workload";
-    const auto r = runWorkload(workload(), Abi::Benchmark, Scale::Tiny);
+    const auto r = runProxy(workload(), Abi::Benchmark, Scale::Tiny);
     ASSERT_TRUE(r);
     EXPECT_EQ(r->counts.get(Event::PccStall), 0u);
 }
@@ -158,9 +174,9 @@ TEST_P(WorkloadInvariants, BenchmarkAbiNotSlowerThanPurecap)
     if (!workload().supports(Abi::Benchmark))
         GTEST_SKIP();
     const auto benchmark =
-        runWorkload(workload(), Abi::Benchmark, Scale::Tiny);
+        runProxy(workload(), Abi::Benchmark, Scale::Tiny);
     const auto purecap =
-        runWorkload(workload(), Abi::Purecap, Scale::Tiny);
+        runProxy(workload(), Abi::Purecap, Scale::Tiny);
     ASSERT_TRUE(benchmark && purecap);
     // Same memory layout, minus the PCC stalls: never slower (equal
     // when the workload has no PCC-changing branches).
@@ -169,7 +185,7 @@ TEST_P(WorkloadInvariants, BenchmarkAbiNotSlowerThanPurecap)
 
 TEST_P(WorkloadInvariants, TopDownFractionsSane)
 {
-    const auto r = runWorkload(workload(), Abi::Purecap, Scale::Tiny);
+    const auto r = runProxy(workload(), Abi::Purecap, Scale::Tiny);
     ASSERT_TRUE(r);
     const auto td = analysis::TopDown::fromModelTruth(r->counts);
     const double sum = td.retiring + td.badSpeculation +

@@ -4,12 +4,15 @@
  *
  * Run any workload proxy under any ABI with any microarchitectural
  * knob, and inspect the results the way the paper does: derived
- * metrics, the top-down hierarchy, or raw PMU event counts.
+ * metrics, the top-down hierarchy, or raw PMU event counts. run and
+ * sweep construct runner::RunRequest cells and execute them through
+ * the parallel, cached experiment runner.
  *
  *   cheriperf list
  *   cheriperf run --workload 520.omnetpp_r --abi purecap [options]
- *   cheriperf sweep --workload QuickJS [options]
+ *   cheriperf sweep [--workload QuickJS | --set table3] [options]
  *   cheriperf events
+ *   cheriperf clear-cache
  *
  * Options for run/sweep:
  *   --scale tiny|small|ref     problem size (default small)
@@ -18,8 +21,12 @@
  *   --wide-sq                  capability-sized store-queue entries
  *   --tag-latency N            extra cycles per capability access
  *   --l1d-kib N                L1D capacity
+ *   --jobs N                   runner threads (default: hardware)
+ *   --no-cache                 always re-simulate (skip result cache)
+ *   --cache-dir PATH           result cache location
+ *   --set table3|table4|all    sweep workload set (default all)
  *   --raw                      print raw PMU events too
- *   --csv                      machine-readable one-line-per-metric
+ *   --csv                      machine-readable output
  */
 
 #include <cstdio>
@@ -30,6 +37,8 @@
 
 #include "analysis/metrics.hpp"
 #include "analysis/topdown.hpp"
+#include "runner/runner.hpp"
+#include "support/serialize.hpp"
 #include "support/table.hpp"
 #include "workloads/registry.hpp"
 
@@ -41,6 +50,7 @@ struct Options
 {
     std::string command;
     std::string workload;
+    std::string set;
     std::string abi = "purecap";
     workloads::Scale scale = workloads::Scale::Small;
     u64 seed = 42;
@@ -48,6 +58,9 @@ struct Options
     bool wide_sq = false;
     u64 tag_latency = 0;
     u64 l1d_kib = 64;
+    u64 jobs = 0;
+    bool cache = true;
+    std::string cache_dir;
     bool raw = false;
     bool csv = false;
 };
@@ -57,12 +70,14 @@ usage(int code)
 {
     std::fprintf(
         stderr,
-        "usage: cheriperf <list|events|run|sweep> [options]\n"
+        "usage: cheriperf <list|events|run|sweep|clear-cache> [options]\n"
         "  run/sweep options:\n"
-        "    --workload NAME   (required; see 'cheriperf list')\n"
+        "    --workload NAME   (required for run; see 'cheriperf list')\n"
         "    --abi hybrid|purecap|benchmark   (run only)\n"
+        "    --set table3|table4|all   (sweep only; default all)\n"
         "    --scale tiny|small|ref   --seed N\n"
         "    --cap-aware-bp  --wide-sq  --tag-latency N  --l1d-kib N\n"
+        "    --jobs N  --no-cache  --cache-dir PATH\n"
         "    --raw  --csv\n");
     std::exit(code);
 }
@@ -89,6 +104,8 @@ parse(int argc, char **argv)
             opt.workload = next();
         } else if (arg == "--abi") {
             opt.abi = next();
+        } else if (arg == "--set") {
+            opt.set = next();
         } else if (arg == "--scale") {
             const std::string s = next();
             if (s == "tiny")
@@ -109,6 +126,19 @@ parse(int argc, char **argv)
             opt.tag_latency = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--l1d-kib") {
             opt.l1d_kib = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--jobs") {
+            const std::string s = next();
+            const auto n = parseU64(s);
+            if (!n) {
+                std::fprintf(stderr, "--jobs expects a number, got '%s'\n",
+                             s.c_str());
+                usage(1);
+            }
+            opt.jobs = static_cast<u32>(*n);
+        } else if (arg == "--no-cache") {
+            opt.cache = false;
+        } else if (arg == "--cache-dir") {
+            opt.cache_dir = next();
         } else if (arg == "--raw") {
             opt.raw = true;
         } else if (arg == "--csv") {
@@ -133,22 +163,54 @@ parseAbi(const std::string &name)
     usage(1);
 }
 
-sim::MachineConfig
-configFor(const Options &opt, abi::Abi abi)
+/** One experiment cell from the CLI's flags. */
+runner::RunRequest
+requestFor(const Options &opt, const std::string &workload, abi::Abi abi)
 {
+    runner::RunRequest request;
+    request.workload = workload;
+    request.abi = abi;
+    request.scale = opt.scale;
+    request.seed = opt.seed;
+
     auto config = sim::MachineConfig::forAbi(abi);
     config.pipe.bp.cap_aware = opt.cap_aware_bp;
     config.pipe.sq.wide_entries = opt.wide_sq;
     config.mem.tag_extra_latency = opt.tag_latency;
     config.mem.l1d.size_bytes = opt.l1d_kib * kKiB;
-    return config;
+    request.config = config;
+    return request;
+}
+
+runner::RunnerOptions
+runnerOptions(const Options &opt)
+{
+    runner::RunnerOptions options;
+    options.jobs = static_cast<u32>(opt.jobs);
+    options.cache = opt.cache;
+    options.cache_dir = opt.cache_dir;
+    options.progress = !opt.csv;
+    return options;
 }
 
 void
-printResult(const Options &opt, abi::Abi abi, const sim::SimResult &result)
+printRawEvents(const Options &opt, const pmu::EventCounts &counts)
 {
-    const auto metrics = analysis::DerivedMetrics::compute(result.counts);
-    const auto td = analysis::TopDown::fromModelTruth(result.counts);
+    for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
+        const auto event = static_cast<pmu::Event>(i);
+        std::printf("%s%s,%llu\n", opt.csv ? "" : "  ",
+                    pmu::eventName(event),
+                    static_cast<unsigned long long>(counts.get(event)));
+    }
+}
+
+void
+printResult(const Options &opt, const runner::RunResult &run)
+{
+    const abi::Abi abi = run.request.abi;
+    const sim::SimResult &result = *run.sim;
+    const analysis::DerivedMetrics &metrics = run.metrics;
+    const analysis::TopDown &td = run.topdownTruth;
 
     if (opt.csv) {
         std::printf("abi,%s\n", abi::abiName(abi));
@@ -162,10 +224,11 @@ printResult(const Options &opt, abi::Abi abi, const sim::SimResult &result)
     } else {
         std::printf("--- %s\n", abi::abiName(abi));
         std::printf("  instructions %llu  cycles %llu  IPC %.3f  model "
-                    "time %.4f s\n",
+                    "time %.4f s%s\n",
                     static_cast<unsigned long long>(result.instructions),
                     static_cast<unsigned long long>(result.cycles),
-                    result.ipc(), result.seconds);
+                    result.ipc(), result.seconds,
+                    run.cacheHit ? "  [cached]" : "");
         std::printf("  top-down: retiring %.3f  bad-spec %.3f  frontend "
                     "%.3f  backend %.3f\n",
                     td.retiring, td.badSpeculation, td.frontendBound,
@@ -189,15 +252,8 @@ printResult(const Options &opt, abi::Abi abi, const sim::SimResult &result)
                     metrics.branchMissRate * 100, metrics.memoryIntensity);
     }
 
-    if (opt.raw) {
-        for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
-            const auto event = static_cast<pmu::Event>(i);
-            std::printf("%s%s,%llu\n", opt.csv ? "" : "  ",
-                        pmu::eventName(event),
-                        static_cast<unsigned long long>(
-                            result.counts.get(event)));
-        }
-    }
+    if (opt.raw)
+        printRawEvents(opt, result.counts);
 }
 
 int
@@ -229,39 +285,114 @@ cmdEvents()
 }
 
 int
-cmdRun(const Options &opt, bool sweep)
+cmdRun(const Options &opt)
 {
     if (opt.workload.empty()) {
         std::fprintf(stderr, "--workload is required\n");
         usage(1);
     }
-    const auto pool = workloads::allWorkloads();
-    const auto *workload = workloads::findWorkload(pool, opt.workload);
-    if (!workload) {
-        std::fprintf(stderr, "unknown workload '%s' (try 'cheriperf "
-                             "list')\n",
-                     opt.workload.c_str());
-        return 1;
+    const auto request = requestFor(opt, opt.workload, parseAbi(opt.abi));
+    runner::ExperimentPlan plan;
+    plan.add(request);
+    const auto outcome = runner::runPlan(plan, runnerOptions(opt));
+
+    const auto &run = outcome.results.front();
+    if (!run.ok()) {
+        std::printf("--- %s\n  NA (in-address-space security "
+                    "exception; see paper appendix)\n",
+                    abi::abiName(run.request.abi));
+    } else {
+        printResult(opt, run);
     }
+    std::fprintf(stderr, "[cheriperf] %s\n",
+                 outcome.stats.summary().c_str());
+    return 0;
+}
 
-    std::vector<abi::Abi> abis;
-    if (sweep)
-        abis.assign(abi::kAllAbis.begin(), abi::kAllAbis.end());
-    else
-        abis.push_back(parseAbi(opt.abi));
+/** The sweep's workload selection: --workload wins, then --set. */
+std::vector<std::string>
+sweepSelection(const Options &opt)
+{
+    if (!opt.workload.empty())
+        return {opt.workload};
+    if (opt.set.empty() || opt.set == "all") {
+        std::vector<std::string> names;
+        for (const auto &w : workloads::allWorkloads())
+            names.push_back(w->info().name);
+        return names;
+    }
+    if (opt.set == "table3")
+        return workloads::table3Names();
+    if (opt.set == "table4")
+        return workloads::table4Names();
+    std::fprintf(stderr, "unknown --set '%s'\n", opt.set.c_str());
+    usage(1);
+}
 
-    for (abi::Abi a : abis) {
-        const auto config = configFor(opt, a);
-        const auto result = workloads::runWorkload(
-            *workload, a, opt.scale, &config, opt.seed);
-        if (!result) {
-            std::printf("--- %s\n  NA (in-address-space security "
-                        "exception; see paper appendix)\n",
-                        abi::abiName(a));
-            continue;
+int
+cmdSweep(const Options &opt)
+{
+    runner::ExperimentPlan plan;
+    for (const auto &name : sweepSelection(opt))
+        for (abi::Abi a : abi::kAllAbis)
+            plan.add(requestFor(opt, name, a));
+
+    const auto outcome = runner::runPlan(plan, runnerOptions(opt));
+
+    if (opt.csv) {
+        // One flat CSV row per cell, byte-identical for any --jobs.
+        std::printf("workload,abi,instructions,cycles,seconds");
+        for (const auto &field : analysis::allMetricFields())
+            std::printf(",%s", field.name.c_str());
+        std::printf("\n");
+        for (const auto &run : outcome.results) {
+            std::printf("%s,%s", run.request.workload.c_str(),
+                        abi::abiName(run.request.abi));
+            if (!run.ok()) {
+                std::printf(",NA,NA,NA");
+                for (std::size_t i = 0;
+                     i < analysis::allMetricFields().size(); ++i)
+                    std::printf(",NA");
+                std::printf("\n");
+                continue;
+            }
+            std::printf(",%llu,%llu,%.9f",
+                        static_cast<unsigned long long>(
+                            run.sim->instructions),
+                        static_cast<unsigned long long>(run.sim->cycles),
+                        run.sim->seconds);
+            for (const auto &field : analysis::allMetricFields())
+                std::printf(",%.6f", run.metrics.*(field.member));
+            std::printf("\n");
         }
-        printResult(opt, a, *result);
+    } else {
+        std::string current;
+        for (const auto &run : outcome.results) {
+            if (run.request.workload != current) {
+                current = run.request.workload;
+                std::printf("=== %s\n", current.c_str());
+            }
+            if (!run.ok()) {
+                std::printf("--- %s\n  NA (in-address-space security "
+                            "exception; see paper appendix)\n",
+                            abi::abiName(run.request.abi));
+                continue;
+            }
+            printResult(opt, run);
+        }
     }
+    std::fprintf(stderr, "[cheriperf] %s\n",
+                 outcome.stats.summary().c_str());
+    return 0;
+}
+
+int
+cmdClearCache(const Options &opt)
+{
+    const runner::ResultCache cache(opt.cache_dir);
+    const std::size_t removed = cache.clear();
+    std::printf("removed %zu cached results from %s\n", removed,
+                cache.dir().c_str());
     return 0;
 }
 
@@ -276,8 +407,10 @@ main(int argc, char **argv)
     if (opt.command == "events")
         return cmdEvents();
     if (opt.command == "run")
-        return cmdRun(opt, /*sweep=*/false);
+        return cmdRun(opt);
     if (opt.command == "sweep")
-        return cmdRun(opt, /*sweep=*/true);
+        return cmdSweep(opt);
+    if (opt.command == "clear-cache")
+        return cmdClearCache(opt);
     usage(1);
 }

@@ -7,6 +7,11 @@
  * the shell). Useful for refreshing EXPERIMENTS.md after model or
  * workload changes.
  *
+ * All base cells come from one runner::runPlan() invocation — the
+ * full 20-workload x 3-ABI sweep runs on the thread pool and repeats
+ * are served from the result cache — and the Table 3 / projection
+ * sections reuse those cells instead of re-simulating them.
+ *
  *   make_report [tiny|small|ref] > results.md
  */
 
@@ -18,6 +23,7 @@
 #include "analysis/metrics.hpp"
 #include "analysis/projection.hpp"
 #include "analysis/topdown.hpp"
+#include "runner/runner.hpp"
 #include "workloads/registry.hpp"
 
 using namespace cheri;
@@ -53,6 +59,17 @@ main(int argc, char **argv)
 
     const auto pool = workloads::allWorkloads();
 
+    // The one sweep every section reads from.
+    runner::RunnerOptions options;
+    options.progress = true;
+    const auto sweep =
+        runner::runPlan(runner::ExperimentPlan::fullSweep({}, scale),
+                        options);
+    const auto resultFor = [&](const std::string &name, abi::Abi abi)
+        -> const runner::RunResult & {
+        return *sweep.find(name, abi);
+    };
+
     std::printf("# cheriperf results\n\n");
     std::printf("Deterministic model run (scale: %s). Paper columns are "
                 "the IISWC'25 values where reported.\n\n",
@@ -68,25 +85,20 @@ main(int argc, char **argv)
 
     for (const auto &w : pool) {
         const auto &info = w->info();
-        const auto hybrid =
-            workloads::runWorkload(*w, abi::Abi::Hybrid, scale);
-        const auto benchmark =
-            workloads::runWorkload(*w, abi::Abi::Benchmark, scale);
-        const auto purecap =
-            workloads::runWorkload(*w, abi::Abi::Purecap, scale);
+        const auto &hybrid = resultFor(info.name, abi::Abi::Hybrid);
+        const auto &benchmark = resultFor(info.name, abi::Abi::Benchmark);
+        const auto &purecap = resultFor(info.name, abi::Abi::Purecap);
 
-        const auto metrics =
-            analysis::DerivedMetrics::compute(hybrid->counts);
         const double bench_ratio =
-            benchmark ? benchmark->seconds / hybrid->seconds : -1;
-        const double pc_ratio = purecap->seconds / hybrid->seconds;
+            benchmark.ok() ? benchmark.seconds() / hybrid.seconds() : -1;
+        const double pc_ratio = purecap.seconds() / hybrid.seconds();
         const bool has_paper = info.paperTimeHybrid > 0;
 
         std::printf("| %s | %.3f | %s | %s | %s | %s | %s |\n",
-                    info.name.c_str(), metrics.memoryIntensity,
+                    info.name.c_str(), hybrid.metrics.memoryIntensity,
                     analysis::intensityClassName(
                         analysis::classifyIntensity(
-                            metrics.memoryIntensity)),
+                            hybrid.metrics.memoryIntensity)),
                     cell(bench_ratio), cell(pc_ratio),
                     has_paper && info.paperTimeBenchmark > 0
                         ? cell(info.paperTimeBenchmark /
@@ -104,11 +116,9 @@ main(int argc, char **argv)
                 "traffic share | tag overhead | PCC stall share |\n");
     std::printf("|---|---|---|---|---|---|\n");
     for (const auto &name : workloads::table3Names()) {
-        const auto *w = workloads::findWorkload(pool, name);
-        const auto run =
-            workloads::runWorkload(*w, abi::Abi::Purecap, scale);
-        const auto m = analysis::DerivedMetrics::compute(run->counts);
-        const auto td = analysis::TopDown::fromModelTruth(run->counts);
+        const auto &run = resultFor(name, abi::Abi::Purecap);
+        const auto &m = run.metrics;
+        const auto &td = run.topdownTruth;
         std::printf("| %s | %.1f%% | %.1f%% | %.1f%% | %.1f%% | %.1f%% "
                     "|\n",
                     name.c_str(), m.capLoadDensity * 100,
@@ -122,14 +132,18 @@ main(int argc, char **argv)
                 "|\n|---|---|---|---|\n");
     for (const std::string name :
          {"520.omnetpp_r", "523.xalancbmk_r", "QuickJS", "SQLite"}) {
-        const auto *w = workloads::findWorkload(pool, name);
-        const auto runner = [&](const sim::MachineConfig &config) {
-            return *workloads::runWorkload(*w, abi::Abi::Purecap, scale,
-                                           &config);
+        const auto simulate = [&](const sim::MachineConfig &config) {
+            runner::RunRequest request;
+            request.workload = name;
+            request.abi = abi::Abi::Purecap;
+            request.scale = scale;
+            request.config = config;
+            // Knob cells share the cache with past report runs.
+            return *runner::run(request, options).sim;
         };
         const auto scenarios = analysis::standardScenarios();
         const auto rows = analysis::runProjections(
-            runner, sim::MachineConfig::forAbi(abi::Abi::Purecap),
+            simulate, sim::MachineConfig::forAbi(abi::Abi::Purecap),
             {scenarios[0], scenarios[1], scenarios[2]});
         std::printf("| %s | %.3fx | %.3fx | %.3fx |\n", name.c_str(),
                     rows[1].speedupVsBaseline, rows[2].speedupVsBaseline,
