@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/profile.hpp"
+
 namespace cheri::mem {
 
 using pmu::Event;
@@ -47,6 +49,7 @@ MemorySystem::translate(Addr addr, bool instruction_side, bool &walked)
 AccessResult
 MemorySystem::fetch(Addr pc)
 {
+    CHERI_TRACE_SCOPE("mem/fetch");
     AccessResult result;
     result.latency = translate(pc, /*instruction_side=*/true,
                                result.tlb_walk);
@@ -82,6 +85,7 @@ MemorySystem::fetch(Addr pc)
 AccessResult
 MemorySystem::data(Addr addr, u32 size, bool is_write, bool is_cap)
 {
+    CHERI_TRACE_SCOPE("mem/data");
     counts_.add(is_write ? Event::MemAccessWr : Event::MemAccessRd);
     if (is_cap) {
         counts_.add(is_write ? Event::CapMemAccessWr

@@ -71,6 +71,11 @@ cellFingerprint(const RunRequest &request)
     h.add(static_cast<u64>(request.abi));
     h.add(static_cast<u64>(request.scale));
     h.add(request.seed);
+    // Trace options are part of the cell identity: a traced run is a
+    // different experiment (and never shares entries with untraced
+    // runs). epoch_insts only matters while tracing is on.
+    h.add(request.trace.enabled);
+    h.add(request.trace.enabled ? request.trace.epoch_insts : 0);
     hashConfig(h, request.resolvedConfig());
     return h.value();
 }

@@ -31,7 +31,7 @@ namespace cheri::runner {
  * Bump when simulation semantics change, so stale caches from older
  * models self-invalidate instead of replaying outdated numbers.
  */
-inline constexpr u64 kCacheSchemaVersion = 1;
+inline constexpr u64 kCacheSchemaVersion = 2;
 
 /** The cache key for @p request (see file comment for coverage). */
 u64 cellFingerprint(const RunRequest &request);

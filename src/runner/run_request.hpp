@@ -19,6 +19,7 @@
 #include <string>
 
 #include "sim/machine.hpp"
+#include "trace/trace.hpp"
 #include "workloads/workload.hpp"
 
 namespace cheri::runner {
@@ -29,6 +30,14 @@ struct RunRequest
     abi::Abi abi = abi::Abi::Purecap;
     workloads::Scale scale = workloads::Scale::Small;
     u64 seed = 42;
+
+    /**
+     * Epoch-trace collection (off by default). Part of the cell's
+     * identity: trace options enter the cache fingerprint, and traced
+     * cells always simulate (the on-disk record format does not carry
+     * epoch series).
+     */
+    trace::TraceConfig trace{};
 
     /**
      * Microarchitectural knobs. Empty = MachineConfig::forAbi(abi).

@@ -14,6 +14,7 @@
 #include "analysis/metrics.hpp"
 #include "analysis/topdown.hpp"
 #include "runner/run_request.hpp"
+#include "trace/trace.hpp"
 
 namespace cheri::runner {
 
@@ -31,6 +32,13 @@ struct RunResult
     analysis::DerivedMetrics metrics{};
     analysis::TopDown topdownTruth{};
     analysis::TopDown topdownPaper{};
+
+    /**
+     * Epoch timeline, non-empty only when request.trace.enabled.
+     * Deterministic for the cell (byte-identical JSONL across job
+     * counts and repeat runs).
+     */
+    trace::EpochSeries epochs{};
 
     // Provenance.
     bool cacheHit = false;   //!< Replayed from the result cache.

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "support/logging.hpp"
+#include "trace/profile.hpp"
 #include "workloads/registry.hpp"
 
 namespace cheri::runner {
@@ -30,24 +31,31 @@ RunResult
 runCell(const RunRequest &request, const workloads::Workload &workload,
         const ResultCache *cache, u32 worker)
 {
+    CHERI_TRACE_SCOPE("runner/cell");
     const auto start = Clock::now();
     RunResult out;
     out.request = request;
     out.workerThread = worker;
 
     if (workload.supports(request.abi)) {
-        const u64 key = cache ? cellFingerprint(request) : 0;
-        if (cache)
-            out.sim = cache->load(request, key);
+        // Traced cells always simulate: the on-disk record format
+        // does not round-trip epoch series, and their fingerprint is
+        // disjoint from untraced cells anyway.
+        const bool traced = request.trace.enabled;
+        const ResultCache *cell_cache = traced ? nullptr : cache;
+        const u64 key = cell_cache ? cellFingerprint(request) : 0;
+        if (cell_cache)
+            out.sim = cell_cache->load(request, key);
         if (out.sim) {
             out.cacheHit = true;
         } else {
             const auto config = request.resolvedConfig();
             out.sim = workloads::detail::executeWorkload(
                 workload, request.abi, request.scale, &config,
-                request.seed);
-            if (cache && out.sim)
-                cache->store(request, key, *out.sim);
+                request.seed, traced ? &request.trace : nullptr,
+                traced ? &out.epochs : nullptr);
+            if (cell_cache && out.sim)
+                cell_cache->store(request, key, *out.sim);
         }
         if (out.sim) {
             out.metrics =

@@ -5,6 +5,7 @@
 #include <bit>
 
 #include "support/logging.hpp"
+#include "trace/profile.hpp"
 
 namespace cheri::sim {
 
@@ -80,6 +81,7 @@ Machine::addressingCap(u8 rn) const
 SimResult
 Machine::run(const isa::Program &program, isa::FuncId entry)
 {
+    CHERI_TRACE_SCOPE("sim/machine.run");
     CHERI_ASSERT(!finalized_, "Machine already used");
     program.validate();
     program_ = &program;

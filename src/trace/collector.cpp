@@ -1,0 +1,125 @@
+#include "trace/collector.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cheri::trace {
+
+using pmu::Event;
+
+namespace {
+
+u64
+roundCycles(double value)
+{
+    return value > 0 ? static_cast<u64>(std::llround(value)) : 0;
+}
+
+} // namespace
+
+EpochCollector::EpochCollector(const TraceConfig &config)
+    : config_(config),
+      nextBoundary_(config.epoch_insts ? config.epoch_insts : ~0ULL)
+{
+    CHERI_ASSERT(config.epoch_insts > 0,
+                 "trace epoch size must be positive");
+}
+
+void
+EpochCollector::onRetire(const uarch::PipelineModel &pipe)
+{
+    const u64 inst = pipe.liveCounts().get(Event::InstRetired);
+    if (inst < nextBoundary_)
+        return;
+    closeEpoch(pipe, inst);
+    nextBoundary_ = inst + config_.epoch_insts;
+}
+
+void
+EpochCollector::closeEpoch(const uarch::PipelineModel &pipe, u64 inst_now)
+{
+    const auto live = pipe.liveStats();
+    const pmu::EventCounts &counts = pipe.liveCounts();
+
+    EpochRecord rec;
+    rec.index = series_.epochs.size();
+    rec.instStart = prevInst_;
+    rec.instEnd = inst_now;
+    rec.counts = counts.diff(prevCounts_);
+
+    const double cycles = live.cycles - prevLive_.cycles;
+    const double frontend = live.stallFrontend - prevLive_.stallFrontend;
+    const double pcc = live.stallPcc - prevLive_.stallPcc;
+    const double bad_spec = live.stallBadSpec - prevLive_.stallBadSpec;
+    const double mem_l1 = live.stallMemL1 - prevLive_.stallMemL1;
+    const double mem_l2 = live.stallMemL2 - prevLive_.stallMemL2;
+    const double mem_ext = live.stallMemExt - prevLive_.stallMemExt;
+    const double core = live.stallCore - prevLive_.stallCore;
+    const double backend = mem_l1 + mem_l2 + mem_ext + core;
+    const u64 uops = live.uopsRetired - prevLive_.uopsRetired;
+
+    rec.cycles = roundCycles(cycles);
+
+    // Synthesize the finish()-time totals into the delta vector so
+    // DerivedMetrics::compute / TopDown::fromModelTruth read an epoch
+    // exactly like a whole run.
+    const u32 width = pipe.config().width;
+    rec.counts.add(Event::CpuCycles, rec.cycles);
+    rec.counts.add(Event::StallFrontend, static_cast<u64>(frontend + 0.5));
+    rec.counts.add(Event::StallBackend, static_cast<u64>(backend + 0.5));
+    rec.counts.add(Event::StallMemL1, static_cast<u64>(mem_l1 + 0.5));
+    rec.counts.add(Event::StallMemL2, static_cast<u64>(mem_l2 + 0.5));
+    rec.counts.add(Event::StallMemExt, static_cast<u64>(mem_ext + 0.5));
+    rec.counts.add(Event::StallCore, static_cast<u64>(core + 0.5));
+    rec.counts.add(Event::PccStall, static_cast<u64>(pcc + 0.5));
+    rec.counts.add(Event::SlotsTotal, rec.cycles * width);
+    rec.counts.add(Event::SlotsRetired, uops);
+    rec.counts.add(Event::SlotsBadSpec,
+                   static_cast<u64>(bad_spec * width + 0.5));
+    rec.counts.add(Event::SlotsFrontend,
+                   static_cast<u64>(frontend * width + 0.5));
+    rec.counts.add(Event::SlotsBackend,
+                   static_cast<u64>(backend * width + 0.5));
+
+    if (cycles > 0) {
+        const double slots = cycles * width;
+        rec.retiring = static_cast<double>(uops) / slots;
+        rec.badSpeculation = bad_spec / cycles;
+        rec.frontendBound = frontend / cycles;
+        rec.backendBound = backend / cycles;
+        rec.memL1Bound = mem_l1 / cycles;
+        rec.memL2Bound = mem_l2 / cycles;
+        rec.memExtBound = mem_ext / cycles;
+        rec.coreBound = core / cycles;
+        rec.pccStallShare = pcc / cycles;
+    }
+
+    const u64 sq_full = pipe.storeQueue().fullStalls();
+    rec.sqFullStalls = sq_full - prevSqFullStalls_;
+    rec.sqOccupancy =
+        pipe.storeQueue().occupancyAt(static_cast<Cycles>(live.cycles));
+
+    series_.epochs.push_back(std::move(rec));
+
+    prevInst_ = inst_now;
+    prevCounts_ = counts;
+    prevLive_ = live;
+    prevSqFullStalls_ = sq_full;
+}
+
+EpochSeries
+EpochCollector::finish(const uarch::PipelineModel &pipe, bool faulted)
+{
+    CHERI_ASSERT(!taken_, "EpochCollector::finish called twice");
+    taken_ = true;
+
+    const u64 inst = pipe.liveCounts().get(Event::InstRetired);
+    if (inst > prevInst_)
+        closeEpoch(pipe, inst);
+    if (faulted && !series_.epochs.empty())
+        series_.epochs.back().capFaults += 1;
+    return std::move(series_);
+}
+
+} // namespace cheri::trace

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * EpochCollector — the uarch::RetireHook that slices a run into
+ * fixed-size retired-instruction epochs.
+ *
+ * Attached to a PipelineModel before the workload issues its first
+ * op, the collector watches InstRetired and, every epoch_insts
+ * instructions, snapshots the live count vector and the pipeline's
+ * un-finalized cycle attribution. Each epoch's record is the delta
+ * between consecutive snapshots, with the model-truth totals
+ * (CpuCycles, Slots*, Stall*) synthesized into the delta counts so
+ * the analysis layer treats an epoch like a miniature run.
+ *
+ * Epoch boundaries land on exact instruction counts because the
+ * pipeline retires exactly one instruction per issue() and the hook
+ * fires after each.
+ */
+
+#ifndef CHERI_TRACE_COLLECTOR_HPP
+#define CHERI_TRACE_COLLECTOR_HPP
+
+#include "trace/trace.hpp"
+#include "uarch/pipeline.hpp"
+
+namespace cheri::trace {
+
+class EpochCollector final : public uarch::RetireHook
+{
+  public:
+    explicit EpochCollector(const TraceConfig &config);
+
+    /** Per-retire boundary check (hot; early-outs on non-boundaries). */
+    void onRetire(const uarch::PipelineModel &pipe) override;
+
+    /**
+     * Close the trailing partial epoch (if any) and take the series.
+     * Must be called before PipelineModel::finish(), whose bulk count
+     * write-back would pollute the final epoch's deltas.
+     *
+     * @param faulted True when the run ended in a capability fault;
+     *        attributed to the final epoch.
+     */
+    EpochSeries finish(const uarch::PipelineModel &pipe,
+                       bool faulted = false);
+
+    const TraceConfig &config() const { return config_; }
+
+  private:
+    void closeEpoch(const uarch::PipelineModel &pipe, u64 inst_now);
+
+    TraceConfig config_;
+    EpochSeries series_;
+    u64 nextBoundary_;
+    u64 prevInst_ = 0;
+    u64 prevSqFullStalls_ = 0;
+    pmu::EventCounts prevCounts_{};
+    uarch::PipelineModel::LiveStats prevLive_{};
+    bool taken_ = false;
+};
+
+} // namespace cheri::trace
+
+#endif // CHERI_TRACE_COLLECTOR_HPP

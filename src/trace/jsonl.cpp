@@ -1,0 +1,121 @@
+#include "trace/jsonl.hpp"
+
+#include <cstdio>
+
+#include "analysis/metrics.hpp"
+#include "support/logging.hpp"
+
+namespace cheri::trace {
+
+using pmu::Event;
+
+void
+JsonlWriter::comma()
+{
+    if (!first_)
+        text_ += ',';
+    first_ = false;
+}
+
+JsonlWriter &
+JsonlWriter::field(std::string_view key, std::string_view value)
+{
+    comma();
+    text_ += '"';
+    text_ += key;
+    text_ += "\":\"";
+    for (char c : value) {
+        if (c == '"' || c == '\\')
+            text_ += '\\';
+        text_ += c;
+    }
+    text_ += '"';
+    return *this;
+}
+
+JsonlWriter &
+JsonlWriter::field(std::string_view key, u64 value)
+{
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    text_ += '"';
+    text_ += key;
+    text_ += "\":";
+    text_ += buf;
+    return *this;
+}
+
+JsonlWriter &
+JsonlWriter::field(std::string_view key, double value)
+{
+    comma();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    text_ += '"';
+    text_ += key;
+    text_ += "\":";
+    text_ += buf;
+    return *this;
+}
+
+std::string
+JsonlWriter::finish()
+{
+    text_ += "}\n";
+    return std::move(text_);
+}
+
+std::string
+epochToJsonl(const EpochRecord &epoch, std::string_view workload,
+             std::string_view abi, u64 seed)
+{
+    // Per-epoch cache/TLB rates via the same Table 1 formulas the
+    // aggregate report uses (the synthesized totals make this valid).
+    const auto metrics = analysis::DerivedMetrics::compute(epoch.counts);
+
+    JsonlWriter w;
+    w.field("workload", workload)
+        .field("abi", abi)
+        .field("seed", seed)
+        .field("epoch", epoch.index)
+        .field("inst_start", epoch.instStart)
+        .field("inst_end", epoch.instEnd)
+        .field("cycles", epoch.cycles)
+        .field("ipc", epoch.ipc())
+        .field("retiring", epoch.retiring)
+        .field("bad_spec", epoch.badSpeculation)
+        .field("frontend", epoch.frontendBound)
+        .field("backend", epoch.backendBound)
+        .field("mem_l1", epoch.memL1Bound)
+        .field("mem_l2", epoch.memL2Bound)
+        .field("mem_ext", epoch.memExtBound)
+        .field("core", epoch.coreBound)
+        .field("pcc", epoch.pccStallShare)
+        .field("l1i_mr", metrics.l1iMissRate)
+        .field("l1d_mr", metrics.l1dMissRate)
+        .field("l2_mr", metrics.l2MissRate)
+        .field("llc_rd_mr", metrics.llcReadMissRate)
+        .field("branch_mr", metrics.branchMissRate)
+        .field("itlb_walks", epoch.counts.get(Event::ItlbWalk))
+        .field("dtlb_walks", epoch.counts.get(Event::DtlbWalk))
+        .field("sq_occ", static_cast<u64>(epoch.sqOccupancy))
+        .field("sq_full_stalls", epoch.sqFullStalls)
+        .field("cap_rd", epoch.counts.get(Event::CapMemAccessRd))
+        .field("cap_wr", epoch.counts.get(Event::CapMemAccessWr))
+        .field("cap_faults", epoch.capFaults);
+    return w.finish();
+}
+
+std::string
+seriesToJsonl(const EpochSeries &series, std::string_view workload,
+              std::string_view abi, u64 seed)
+{
+    std::string out;
+    for (const auto &epoch : series.epochs)
+        out += epochToJsonl(epoch, workload, abi, seed);
+    return out;
+}
+
+} // namespace cheri::trace

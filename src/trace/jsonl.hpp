@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic JSONL rendering of epoch traces.
+ *
+ * One epoch = one line, fixed key order, integers verbatim and every
+ * double printed with "%.6f" — so a trace for a fixed (workload, ABI,
+ * seed, knobs) cell is byte-identical across repeat runs and across
+ * any --jobs value, which is what lets CI diff and gate on the
+ * artifact. Nothing host-dependent (wall time, thread ids, paths)
+ * ever enters a line.
+ */
+
+#ifndef CHERI_TRACE_JSONL_HPP
+#define CHERI_TRACE_JSONL_HPP
+
+#include <string>
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace cheri::trace {
+
+/** Minimal single-object JSON line builder with a fixed field order. */
+class JsonlWriter
+{
+  public:
+    JsonlWriter() : text_("{") {}
+
+    /** @p value must be printable ASCII; quotes/backslashes escaped. */
+    JsonlWriter &field(std::string_view key, std::string_view value);
+    JsonlWriter &field(std::string_view key, u64 value);
+    /** Fixed "%.6f" formatting; never locale- or precision-dependent. */
+    JsonlWriter &field(std::string_view key, double value);
+
+    /** Close the object and return the line (with trailing newline). */
+    std::string finish();
+
+  private:
+    void comma();
+
+    std::string text_;
+    bool first_ = true;
+};
+
+/**
+ * Render one epoch as a JSONL line. The (workload, abi, seed) triple
+ * identifies the cell inside multi-cell trace files (sweep
+ * --emit-epochs concatenates all cells in plan order).
+ */
+std::string epochToJsonl(const EpochRecord &epoch,
+                         std::string_view workload, std::string_view abi,
+                         u64 seed);
+
+/** All of @p series, one line per epoch. Empty series = empty string. */
+std::string seriesToJsonl(const EpochSeries &series,
+                          std::string_view workload, std::string_view abi,
+                          u64 seed);
+
+} // namespace cheri::trace
+
+#endif // CHERI_TRACE_JSONL_HPP

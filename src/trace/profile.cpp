@@ -1,0 +1,105 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace cheri::trace {
+
+std::atomic<bool> Profiler::enabled_{false};
+
+namespace detail {
+
+namespace {
+
+// Head of the intrusive site list. Sites are never freed: call-site
+// statics reference them for the life of the process.
+std::atomic<Site *> g_sites{nullptr};
+std::mutex g_register_mutex;
+
+} // namespace
+
+Site *
+registerSite(const char *name)
+{
+    const std::lock_guard<std::mutex> lock(g_register_mutex);
+    auto *site = new Site;
+    site->name = name;
+    site->next = g_sites.load(std::memory_order_relaxed);
+    g_sites.store(site, std::memory_order_release);
+    return site;
+}
+
+} // namespace detail
+
+void
+Profiler::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+bool
+Profiler::envRequested()
+{
+    const char *env = std::getenv("CHERIPERF_PROFILE");
+    return env != nullptr && *env != '\0' && *env != '0';
+}
+
+void
+Profiler::reset()
+{
+    for (auto *site = detail::g_sites.load(std::memory_order_acquire);
+         site != nullptr; site = site->next) {
+        site->calls.store(0, std::memory_order_relaxed);
+        site->nanos.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::vector<ScopeStats>
+Profiler::snapshot()
+{
+    std::vector<ScopeStats> out;
+    for (auto *site = detail::g_sites.load(std::memory_order_acquire);
+         site != nullptr; site = site->next) {
+        ScopeStats stats;
+        stats.name = site->name;
+        stats.calls = site->calls.load(std::memory_order_relaxed);
+        stats.nanos = site->nanos.load(std::memory_order_relaxed);
+        if (stats.calls > 0)
+            out.push_back(std::move(stats));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ScopeStats &a, const ScopeStats &b) {
+                  if (a.nanos != b.nanos)
+                      return a.nanos > b.nanos;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::string
+Profiler::report()
+{
+    const auto stats = snapshot();
+    std::string out = "[trace] wall-clock hotspots (self+children):\n";
+    if (stats.empty()) {
+        out += "  (no scopes recorded; is profiling enabled?)\n";
+        return out;
+    }
+    for (const auto &s : stats) {
+        char line[160];
+        const double ms = static_cast<double>(s.nanos) / 1e6;
+        const double avg_ns = static_cast<double>(s.nanos) /
+                              static_cast<double>(s.calls);
+        std::snprintf(line, sizeof(line),
+                      "  %-28s %12llu calls %12.3f ms %10.1f ns/call\n",
+                      s.name.c_str(),
+                      static_cast<unsigned long long>(s.calls), ms,
+                      avg_ns);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace cheri::trace

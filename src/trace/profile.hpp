@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Scoped wall-clock profiling of the simulator itself.
+ *
+ * CHERI_TRACE_SCOPE("layer/what") drops an RAII TraceScope into a hot
+ * function; every scope accumulates call count and nanoseconds into a
+ * per-site record. Two gates keep it out of the way:
+ *
+ *  - compile time: building with CHERIPERF_TRACE_SCOPES=0 (CMake
+ *    option) compiles every scope to nothing;
+ *  - run time: even when compiled in, a disabled Profiler reduces a
+ *    scope to one relaxed atomic load and a predictable branch — no
+ *    clock reads, no stores — so sweep throughput is unchanged.
+ *
+ * Enable with `cheriperf ... --profile` or CHERIPERF_PROFILE=1; the
+ * report goes to stderr, never into the deterministic JSONL/CSV
+ * artifacts (wall time is host noise by definition).
+ */
+
+#ifndef CHERI_TRACE_PROFILE_HPP
+#define CHERI_TRACE_PROFILE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace cheri::trace {
+
+namespace detail {
+
+/**
+ * One static call-site. Registered once (thread-safe, on first
+ * execution of the enclosing scope macro) into a global intrusive
+ * list; accumulation is two relaxed atomic adds.
+ */
+struct Site
+{
+    const char *name = nullptr;
+    std::atomic<u64> calls{0};
+    std::atomic<u64> nanos{0};
+    Site *next = nullptr;
+};
+
+/** Create + link a site. The pointer stays valid for process life. */
+Site *registerSite(const char *name);
+
+} // namespace detail
+
+/** Aggregated numbers of one site, for reports and tests. */
+struct ScopeStats
+{
+    std::string name;
+    u64 calls = 0;
+    u64 nanos = 0;
+};
+
+class Profiler
+{
+  public:
+    static bool
+    enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    static void setEnabled(bool on);
+
+    /** True when CHERIPERF_PROFILE=1 (checked once per call). */
+    static bool envRequested();
+
+    /** Zero every site's accumulators. */
+    static void reset();
+
+    /**
+     * All sites with at least one call, sorted by total time
+     * descending (ties by name, for stable output).
+     */
+    static std::vector<ScopeStats> snapshot();
+
+    /** Human-readable table of snapshot(), one line per site. */
+    static std::string report();
+
+  private:
+    static std::atomic<bool> enabled_;
+};
+
+/** RAII timer accumulating into a Site while the Profiler is enabled. */
+class TraceScope
+{
+  public:
+    explicit TraceScope(detail::Site &site)
+    {
+        if (Profiler::enabled()) {
+            site_ = &site;
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~TraceScope()
+    {
+        if (site_ != nullptr) {
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            site_->calls.fetch_add(1, std::memory_order_relaxed);
+            site_->nanos.fetch_add(static_cast<u64>(ns),
+                                   std::memory_order_relaxed);
+        }
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    detail::Site *site_ = nullptr;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace cheri::trace
+
+#define CHERI_TRACE_CONCAT2(a, b) a##b
+#define CHERI_TRACE_CONCAT(a, b) CHERI_TRACE_CONCAT2(a, b)
+
+#if defined(CHERIPERF_TRACE_SCOPES) && CHERIPERF_TRACE_SCOPES
+#define CHERI_TRACE_SCOPE(name)                                         \
+    static ::cheri::trace::detail::Site &CHERI_TRACE_CONCAT(            \
+        cheri_trace_site_, __LINE__) =                                  \
+        *::cheri::trace::detail::registerSite(name);                    \
+    ::cheri::trace::TraceScope CHERI_TRACE_CONCAT(cheri_trace_scope_,   \
+                                                  __LINE__)(            \
+        CHERI_TRACE_CONCAT(cheri_trace_site_, __LINE__))
+#else
+#define CHERI_TRACE_SCOPE(name)                                         \
+    do {                                                                \
+    } while (0)
+#endif
+
+#endif // CHERI_TRACE_PROFILE_HPP

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Run-telemetry data model: the per-interval (epoch) snapshots the
+ * observability layer collects while a cell simulates.
+ *
+ * The paper's contribution is cycle *attribution* — explaining where
+ * Morello cycles go through PMC top-down analysis — but an aggregate
+ * count vector can only attribute a whole run. An epoch trace slices
+ * the same attribution by retired-instruction interval, so when a
+ * run's IPC or purecap overhead moves, the phase, cache level or
+ * capability mechanism that moved it is visible. Everything in an
+ * EpochRecord is derived from deterministic simulation state; traces
+ * are byte-identical across repeat runs and any runner job count.
+ */
+
+#ifndef CHERI_TRACE_TRACE_HPP
+#define CHERI_TRACE_TRACE_HPP
+
+#include <vector>
+
+#include "pmu/counts.hpp"
+#include "support/types.hpp"
+
+namespace cheri::trace {
+
+/**
+ * Per-request tracing knobs. Carried inside runner::RunRequest and
+ * folded into the result-cache fingerprint: a traced cell is a
+ * different experiment than an untraced one.
+ */
+struct TraceConfig
+{
+    bool enabled = false;
+
+    /** Retired-instruction interval per epoch. */
+    u64 epoch_insts = 100'000;
+
+    bool operator==(const TraceConfig &) const = default;
+};
+
+/**
+ * One epoch: the count deltas and cycle attribution for a contiguous
+ * retired-instruction interval [instStart, instEnd).
+ *
+ * counts holds the PMU event deltas for the interval, with the
+ * model-truth totals (CpuCycles, Slots*, Stall*) synthesized from the
+ * pipeline's live accounting so the analysis helpers
+ * (analysis::DerivedMetrics::compute, analysis::TopDown::
+ * fromModelTruth) work on an epoch exactly as they do on a whole run.
+ */
+struct EpochRecord
+{
+    u64 index = 0;
+    u64 instStart = 0;
+    u64 instEnd = 0;
+
+    u64 cycles = 0;          //!< Model cycles spent in the epoch.
+    pmu::EventCounts counts; //!< Event deltas + synthesized totals.
+
+    // Top-down slot attribution (fractions of the epoch's slots).
+    double retiring = 0;
+    double badSpeculation = 0;
+    double frontendBound = 0;
+    double backendBound = 0;
+
+    // Backend drill-down (fractions of the epoch's cycles).
+    double memL1Bound = 0;
+    double memL2Bound = 0;
+    double memExtBound = 0;
+    double coreBound = 0;
+    double pccStallShare = 0; //!< Frontend share lost to PCC installs.
+
+    // Capability / store-queue mechanisms.
+    u32 sqOccupancy = 0;  //!< Store-queue entries live at epoch close.
+    u64 sqFullStalls = 0; //!< Store-queue full events in the epoch.
+    u64 capFaults = 0;    //!< Capability faults raised in the epoch.
+
+    u64 instructions() const { return instEnd - instStart; }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions()) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** The ordered epoch timeline of one run. */
+struct EpochSeries
+{
+    std::vector<EpochRecord> epochs;
+
+    bool empty() const { return epochs.empty(); }
+    std::size_t size() const { return epochs.size(); }
+};
+
+} // namespace cheri::trace
+
+#endif // CHERI_TRACE_TRACE_HPP

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hpp"
+#include "trace/profile.hpp"
 
 namespace cheri::uarch {
 
@@ -201,11 +202,33 @@ PipelineModel::issue(const DynOp &op)
             lastLoadLevel_ = res.level;
         }
     }
+
+    // Observability hook: one predictable null check per retired op
+    // when tracing is off, so sweep throughput is unchanged.
+    if (hook_ != nullptr)
+        hook_->onRetire(*this);
+}
+
+PipelineModel::LiveStats
+PipelineModel::liveStats() const
+{
+    LiveStats live;
+    live.cycles = cycleF_;
+    live.stallFrontend = stallFrontendF_;
+    live.stallPcc = stallPccF_;
+    live.stallBadSpec = stallBadSpecF_;
+    live.stallMemL1 = stallMemL1F_;
+    live.stallMemL2 = stallMemL2F_;
+    live.stallMemExt = stallMemExtF_;
+    live.stallCore = stallCoreF_;
+    live.uopsRetired = uopsRetired_;
+    return live;
 }
 
 void
 PipelineModel::finish()
 {
+    CHERI_TRACE_SCOPE("uarch/pipeline.finish");
     CHERI_ASSERT(!finished_, "finish called twice");
     finished_ = true;
 

@@ -54,9 +54,43 @@ struct PipelineConfig
     StoreQueueConfig sq{};
 };
 
+class PipelineModel;
+
+/**
+ * Observer invoked after every retired DynOp with the live model
+ * state. The trace layer's epoch collector implements this; the
+ * indirection keeps uarch free of a dependency on trace. With no hook
+ * attached the per-op cost is a single predictable null check.
+ */
+class RetireHook
+{
+  public:
+    virtual ~RetireHook() = default;
+    virtual void onRetire(const PipelineModel &pipe) = 0;
+};
+
 class PipelineModel
 {
   public:
+    /**
+     * The model's un-finalized accounting, readable mid-run. finish()
+     * writes exactly these totals (rounded) into the PMU counts; the
+     * epoch collector diffs successive samples to attribute cycles to
+     * intervals.
+     */
+    struct LiveStats
+    {
+        double cycles = 0;
+        double stallFrontend = 0;
+        double stallPcc = 0;
+        double stallBadSpec = 0;
+        double stallMemL1 = 0;
+        double stallMemL2 = 0;
+        double stallMemExt = 0;
+        double stallCore = 0;
+        u64 uopsRetired = 0;
+    };
+
     PipelineModel(const PipelineConfig &config, mem::MemorySystem &memory,
                   pmu::EventCounts &counts);
 
@@ -68,6 +102,15 @@ class PipelineModel
 
     /** Current cycle count (valid any time). */
     Cycles cycles() const { return static_cast<Cycles>(cycleF_); }
+
+    /** Snapshot the live (pre-finish) accounting. */
+    LiveStats liveStats() const;
+
+    /** The count vector the model increments (readable mid-run). */
+    const pmu::EventCounts &liveCounts() const { return counts_; }
+
+    /** Attach/detach the per-retire observer (nullptr = none). */
+    void setRetireHook(RetireHook *hook) { hook_ = hook; }
 
     const BranchPredictor &predictor() const { return predictor_; }
     const StoreQueue &storeQueue() const { return sq_; }
@@ -83,6 +126,7 @@ class PipelineModel
     pmu::EventCounts &counts_;
     BranchPredictor predictor_;
     StoreQueue sq_;
+    RetireHook *hook_ = nullptr;
 
     double cycleF_ = 0.0;           //!< Master clock.
     double stallFrontendF_ = 0.0;

@@ -45,6 +45,20 @@ class StoreQueue
     /** Entries occupied at time @p now (drains lazily). */
     u32 occupancy(Cycles now);
 
+    /**
+     * Entries still in flight at time @p now without mutating the
+     * queue — the read the epoch collector uses at interval close.
+     */
+    u32
+    occupancyAt(Cycles now) const
+    {
+        u32 live = 0;
+        for (Cycles release : releaseTimes_)
+            if (release > now)
+                ++live;
+        return live;
+    }
+
     u64 fullStalls() const { return fullStalls_; }
 
     const StoreQueueConfig &config() const { return config_; }

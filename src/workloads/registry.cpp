@@ -1,5 +1,8 @@
 #include "workloads/registry.hpp"
 
+#include "support/logging.hpp"
+#include "trace/collector.hpp"
+#include "trace/profile.hpp"
 #include "workloads/kernels.hpp"
 
 namespace cheri::workloads {
@@ -68,6 +71,17 @@ detail::executeWorkload(const Workload &workload, abi::Abi abi,
                         Scale scale, const sim::MachineConfig *base,
                         u64 seed)
 {
+    return executeWorkload(workload, abi, scale, base, seed, nullptr,
+                           nullptr);
+}
+
+std::optional<sim::SimResult>
+detail::executeWorkload(const Workload &workload, abi::Abi abi,
+                        Scale scale, const sim::MachineConfig *base,
+                        u64 seed, const trace::TraceConfig *trace_config,
+                        trace::EpochSeries *epochs_out)
+{
+    CHERI_TRACE_SCOPE("workloads/execute");
     if (!workload.supports(abi))
         return std::nullopt;
 
@@ -75,7 +89,25 @@ detail::executeWorkload(const Workload &workload, abi::Abi abi,
         base ? *base : sim::MachineConfig::forAbi(abi);
     config.abi = abi;
     sim::Machine machine(config);
+
+    const bool traced = trace_config != nullptr && trace_config->enabled;
+    CHERI_ASSERT(!traced || epochs_out != nullptr,
+                 "tracing requested without an epoch sink");
+    std::optional<trace::EpochCollector> collector;
+    if (traced) {
+        collector.emplace(*trace_config);
+        machine.pipeline().setRetireHook(&*collector);
+    }
+
     workload.run(machine, abi, scale, seed);
+
+    // Close the trailing epoch before finalize(): the pipeline's
+    // finish() write-back would otherwise bleed whole-run totals into
+    // the last interval's deltas.
+    if (traced) {
+        machine.pipeline().setRetireHook(nullptr);
+        *epochs_out = collector->finish(machine.pipeline());
+    }
     return machine.finalize();
 }
 

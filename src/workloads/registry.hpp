@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "workloads/workload.hpp"
 
 namespace cheri::workloads {
@@ -47,6 +48,18 @@ std::optional<sim::SimResult>
 executeWorkload(const Workload &workload, abi::Abi abi,
                 Scale scale = Scale::Small,
                 const sim::MachineConfig *base = nullptr, u64 seed = 42);
+
+/**
+ * As above, additionally collecting an epoch trace. When
+ * @p trace_config is non-null and enabled, an EpochCollector rides
+ * the machine's pipeline and the resulting series is moved into
+ * @p epochs_out (which must be non-null in that case).
+ */
+std::optional<sim::SimResult>
+executeWorkload(const Workload &workload, abi::Abi abi, Scale scale,
+                const sim::MachineConfig *base, u64 seed,
+                const trace::TraceConfig *trace_config,
+                trace::EpochSeries *epochs_out);
 
 } // namespace detail
 

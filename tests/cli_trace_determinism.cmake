@@ -1,0 +1,82 @@
+# Trace-artifact determinism fixture.
+#
+# The observability layer's contract is that an epoch trace for a
+# fixed (workload, ABI, seed) cell is byte-identical across repeat
+# runs and across any --jobs value. This re-verifies that contract
+# end-to-end through the CLI:
+#
+#   1. `cheriperf trace` run twice -> identical JSONL files;
+#   2. `cheriperf sweep --emit-epochs` with --jobs 1 and --jobs 4 ->
+#      identical JSONL files (cells written in plan order, not
+#      completion order);
+#   3. the JSONL parses line-by-line as single JSON objects starting
+#      with the cell identity keys.
+#
+# Invoked by ctest as:
+#   cmake -DCHERIPERF=<binary> -DWORK_DIR=<scratch> -P cli_trace_determinism.cmake
+
+if(NOT CHERIPERF)
+    message(FATAL_ERROR "pass -DCHERIPERF=<path to cheriperf binary>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_cheriperf)
+    execute_process(
+        COMMAND "${CHERIPERF}" ${ARGN}
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "cheriperf ${ARGN} failed (${status}):\n${stderr}")
+    endif()
+endfunction()
+
+function(require_identical a b what)
+    file(READ "${a}" text_a)
+    file(READ "${b}" text_b)
+    if(NOT text_a STREQUAL text_b)
+        message(FATAL_ERROR "${what}: ${a} differs from ${b}")
+    endif()
+    if(text_a STREQUAL "")
+        message(FATAL_ERROR "${what}: ${a} is empty")
+    endif()
+endfunction()
+
+# --- repeat-run determinism of `cheriperf trace` ----------------------
+run_cheriperf(trace SQLite --abi purecap --scale tiny --epoch 25000
+    --out "${WORK_DIR}/trace_a.jsonl")
+run_cheriperf(trace SQLite --abi purecap --scale tiny --epoch 25000
+    --out "${WORK_DIR}/trace_b.jsonl")
+require_identical("${WORK_DIR}/trace_a.jsonl" "${WORK_DIR}/trace_b.jsonl"
+    "repeat `cheriperf trace` runs")
+
+# --- jobs-count determinism of `sweep --emit-epochs` ------------------
+run_cheriperf(sweep --workload SQLite --scale tiny --emit-epochs
+    --epoch 30000 --jobs 1 --no-cache --csv
+    --out "${WORK_DIR}/sweep_j1.jsonl")
+run_cheriperf(sweep --workload SQLite --scale tiny --emit-epochs
+    --epoch 30000 --jobs 4 --no-cache --csv
+    --out "${WORK_DIR}/sweep_j4.jsonl")
+require_identical("${WORK_DIR}/sweep_j1.jsonl" "${WORK_DIR}/sweep_j4.jsonl"
+    "sweep --emit-epochs across --jobs 1/4")
+
+# --- shape: every line is one JSON object with the identity prefix ----
+file(STRINGS "${WORK_DIR}/sweep_j1.jsonl" lines)
+list(LENGTH lines n_lines)
+if(n_lines EQUAL 0)
+    message(FATAL_ERROR "sweep --emit-epochs wrote no epoch lines")
+endif()
+foreach(line IN LISTS lines)
+    if(NOT line MATCHES "^\\{\"workload\":\"[^\"]+\",\"abi\":\"[^\"]+\",\"seed\":[0-9]+,\"epoch\":[0-9]+,")
+        message(FATAL_ERROR "malformed epoch line: ${line}")
+    endif()
+    if(NOT line MATCHES "\\}$")
+        message(FATAL_ERROR "epoch line does not close its object: ${line}")
+    endif()
+endforeach()
+
+message(STATUS "cli_trace_determinism ok: identical JSONL across repeat "
+               "runs and jobs 1/4 (${n_lines} epoch lines)")

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * The observability layer: exact epoch boundaries, byte-deterministic
+ * JSONL across repeat runs and runner job counts, trace options in
+ * the cache fingerprint, cache bypass for traced cells, the JSONL
+ * writer's fixed formatting, and the TraceScope profiler's gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "runner/runner.hpp"
+#include "trace/collector.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/profile.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::trace {
+namespace {
+
+using abi::Abi;
+using workloads::Scale;
+
+/** A fresh per-test cache directory under gtest's temp root. */
+std::string
+tempCacheDir(const std::string &tag)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir()) /
+                     ("cheriperf-trace-cache-" + tag);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+runner::RunRequest
+tracedRequest(const std::string &workload, Abi abi, u64 epoch_insts)
+{
+    runner::RunRequest request;
+    request.workload = workload;
+    request.abi = abi;
+    request.scale = Scale::Tiny;
+    request.trace.enabled = true;
+    request.trace.epoch_insts = epoch_insts;
+    return request;
+}
+
+runner::RunnerOptions
+quietOptions()
+{
+    runner::RunnerOptions options;
+    options.cache = false;
+    options.progress = false;
+    return options;
+}
+
+TEST(TraceEpochs, BoundariesLandOnExactInstructionCounts)
+{
+    constexpr u64 kEpoch = 20'000;
+    const auto run =
+        runner::run(tracedRequest("SQLite", Abi::Purecap, kEpoch),
+                    quietOptions());
+    ASSERT_TRUE(run.ok());
+    ASSERT_FALSE(run.epochs.empty());
+
+    const u64 total = run.sim->instructions;
+    const auto &epochs = run.epochs.epochs;
+    for (std::size_t i = 0; i < epochs.size(); ++i) {
+        const auto &e = epochs[i];
+        EXPECT_EQ(e.index, i);
+        EXPECT_EQ(e.instStart, i * kEpoch);
+        if (i + 1 < epochs.size())
+            EXPECT_EQ(e.instEnd, (i + 1) * kEpoch)
+                << "interior epoch " << i << " must close exactly on "
+                << "the boundary";
+        else
+            EXPECT_EQ(e.instEnd, total)
+                << "trailing epoch must end at the run's total";
+        EXPECT_GT(e.cycles, 0u);
+    }
+    EXPECT_EQ(epochs.size(), (total + kEpoch - 1) / kEpoch);
+
+    // Epoch cycles tile the run: the per-epoch roundings may differ
+    // from the whole-run rounding by at most one cycle per epoch.
+    u64 cycle_sum = 0;
+    for (const auto &e : epochs)
+        cycle_sum += e.cycles;
+    const u64 total_cycles = run.sim->cycles;
+    const u64 slack = epochs.size();
+    EXPECT_LE(cycle_sum, total_cycles + slack);
+    EXPECT_GE(cycle_sum + slack, total_cycles);
+}
+
+TEST(TraceEpochs, DisabledRunsProduceNoEpochs)
+{
+    runner::RunRequest request;
+    request.workload = "SQLite";
+    request.abi = Abi::Purecap;
+    request.scale = Scale::Tiny;
+    const auto run = runner::run(request, quietOptions());
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run.epochs.empty());
+}
+
+TEST(TraceEpochs, AttributionFractionsAreSane)
+{
+    const auto run =
+        runner::run(tracedRequest("520.omnetpp_r", Abi::Purecap, 50'000),
+                    quietOptions());
+    ASSERT_TRUE(run.ok());
+    ASSERT_FALSE(run.epochs.empty());
+    for (const auto &e : run.epochs.epochs) {
+        EXPECT_GE(e.retiring, 0.0);
+        EXPECT_GE(e.badSpeculation, 0.0);
+        EXPECT_GE(e.frontendBound, 0.0);
+        EXPECT_GE(e.backendBound, 0.0);
+        EXPECT_NEAR(e.backendBound,
+                    e.memL1Bound + e.memL2Bound + e.memExtBound +
+                        e.coreBound,
+                    1e-9);
+        EXPECT_LE(e.pccStallShare, e.frontendBound + 1e-9)
+            << "PCC stalls are a frontend subset";
+        EXPECT_GT(e.ipc(), 0.0);
+    }
+}
+
+TEST(TraceJsonl, ByteIdenticalAcrossRepeatRuns)
+{
+    const auto request = tracedRequest("SQLite", Abi::Purecap, 25'000);
+    const auto a = runner::run(request, quietOptions());
+    const auto b = runner::run(request, quietOptions());
+    ASSERT_TRUE(a.ok() && b.ok());
+    const auto text_a =
+        seriesToJsonl(a.epochs, "SQLite", "purecap", request.seed);
+    const auto text_b =
+        seriesToJsonl(b.epochs, "SQLite", "purecap", request.seed);
+    ASSERT_FALSE(text_a.empty());
+    EXPECT_EQ(text_a, text_b);
+}
+
+TEST(TraceJsonl, ByteIdenticalAcrossRunnerJobCounts)
+{
+    runner::ExperimentPlan plan;
+    for (Abi a : abi::kAllAbis)
+        plan.add(tracedRequest("SQLite", a, 30'000));
+
+    const auto render = [&](u32 jobs) {
+        auto options = quietOptions();
+        options.jobs = jobs;
+        const auto outcome = runner::runPlan(plan, options);
+        std::string text;
+        for (const auto &run : outcome.results)
+            text += seriesToJsonl(run.epochs, run.request.workload,
+                                  abi::abiName(run.request.abi),
+                                  run.request.seed);
+        return text;
+    };
+
+    const std::string serial = render(1);
+    const std::string parallel = render(4);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(TraceFingerprint, TraceOptionsChangeTheCell)
+{
+    runner::RunRequest base;
+    base.workload = "519.lbm_r";
+    base.abi = Abi::Purecap;
+    base.scale = Scale::Tiny;
+
+    auto traced = base;
+    traced.trace.enabled = true;
+    EXPECT_NE(runner::cellFingerprint(base),
+              runner::cellFingerprint(traced));
+
+    auto other_epoch = traced;
+    other_epoch.trace.epoch_insts = traced.trace.epoch_insts * 2;
+    EXPECT_NE(runner::cellFingerprint(traced),
+              runner::cellFingerprint(other_epoch));
+
+    // Epoch size is irrelevant while tracing is off.
+    auto disabled_other_epoch = base;
+    disabled_other_epoch.trace.epoch_insts = 1;
+    EXPECT_EQ(runner::cellFingerprint(base),
+              runner::cellFingerprint(disabled_other_epoch));
+}
+
+TEST(TraceCache, TracedCellsAlwaysSimulate)
+{
+    const std::string dir = tempCacheDir("traced-bypass");
+    runner::RunnerOptions options;
+    options.cache = true;
+    options.cache_dir = dir;
+    options.progress = false;
+
+    const auto request = tracedRequest("519.lbm_r", Abi::Purecap, 40'000);
+    const auto first = runner::run(request, options);
+    const auto second = runner::run(request, options);
+    ASSERT_TRUE(first.ok() && second.ok());
+    EXPECT_FALSE(first.cacheHit);
+    EXPECT_FALSE(second.cacheHit) << "traced cells must bypass the "
+                                     "cache: cpr records cannot carry "
+                                     "an epoch series";
+    EXPECT_FALSE(second.epochs.empty());
+
+    // The same cell untraced caches normally.
+    runner::RunRequest plain = request;
+    plain.trace = {};
+    const auto cold = runner::run(plain, options);
+    const auto warm = runner::run(plain, options);
+    ASSERT_TRUE(cold.ok() && warm.ok());
+    EXPECT_FALSE(cold.cacheHit);
+    EXPECT_TRUE(warm.cacheHit);
+    EXPECT_EQ(cold.sim->cycles, warm.sim->cycles);
+}
+
+TEST(TraceJsonl, WriterFormatsAreFixed)
+{
+    JsonlWriter w;
+    const std::string line = w.field("name", std::string_view("a\"b\\c"))
+                                 .field("count", u64{18446744073709551615ULL})
+                                 .field("ratio", 0.125)
+                                 .finish();
+    EXPECT_EQ(line, "{\"name\":\"a\\\"b\\\\c\","
+                    "\"count\":18446744073709551615,"
+                    "\"ratio\":0.125000}\n");
+}
+
+TEST(TraceJsonl, EpochLineHasStableKeyOrder)
+{
+    const auto run =
+        runner::run(tracedRequest("SQLite", Abi::Purecap, 50'000),
+                    quietOptions());
+    ASSERT_TRUE(run.ok());
+    ASSERT_FALSE(run.epochs.empty());
+    const std::string line =
+        epochToJsonl(run.epochs.epochs.front(), "SQLite", "purecap", 42);
+    EXPECT_EQ(line.rfind("{\"workload\":\"SQLite\",\"abi\":\"purecap\","
+                         "\"seed\":42,\"epoch\":0,\"inst_start\":0,",
+                         0),
+              0u);
+    EXPECT_NE(line.find("\"cap_faults\":"), std::string::npos);
+    EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(TraceProfiler, ScopesOnlyAccumulateWhenEnabled)
+{
+    Profiler::setEnabled(false);
+    Profiler::reset();
+    {
+        CHERI_TRACE_SCOPE("test/disabled-scope");
+    }
+    for (const auto &s : Profiler::snapshot())
+        EXPECT_NE(s.name, "test/disabled-scope");
+
+    Profiler::setEnabled(true);
+    {
+        CHERI_TRACE_SCOPE("test/enabled-scope");
+    }
+    Profiler::setEnabled(false);
+
+    bool found = false;
+    for (const auto &s : Profiler::snapshot())
+        if (s.name == "test/enabled-scope") {
+            found = true;
+            EXPECT_EQ(s.calls, 1u);
+        }
+    EXPECT_TRUE(found);
+    Profiler::reset();
+}
+
+TEST(TraceProfiler, ReportListsHotSitesWhenProfiled)
+{
+    Profiler::reset();
+    Profiler::setEnabled(true);
+    const auto run =
+        runner::run(tracedRequest("SQLite", Abi::Purecap, 50'000),
+                    quietOptions());
+    Profiler::setEnabled(false);
+    ASSERT_TRUE(run.ok());
+
+    const auto stats = Profiler::snapshot();
+    const auto has = [&](const char *name) {
+        for (const auto &s : stats)
+            if (s.name == name && s.calls > 0)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("workloads/execute"));
+    EXPECT_TRUE(has("mem/data"));
+    EXPECT_TRUE(has("mem/fetch"));
+    EXPECT_NE(Profiler::report().find("workloads/execute"),
+              std::string::npos);
+    Profiler::reset();
+}
+
+} // namespace
+} // namespace cheri::trace

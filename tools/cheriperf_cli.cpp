@@ -11,6 +11,7 @@
  *   cheriperf list
  *   cheriperf run --workload 520.omnetpp_r --abi purecap [options]
  *   cheriperf sweep [--workload QuickJS | --set table3] [options]
+ *   cheriperf trace <workload> --abi purecap --epoch 50000 --out t.jsonl
  *   cheriperf events
  *   cheriperf clear-cache
  *
@@ -27,6 +28,14 @@
  *   --set table3|table4|all    sweep workload set (default all)
  *   --raw                      print raw PMU events too
  *   --csv                      machine-readable output
+ *   --profile                  simulator self-profile report on stderr
+ *
+ * Tracing (trace command, or sweep --emit-epochs):
+ *   --epoch N                  retired insts per epoch (default 100000)
+ *   --out PATH                 JSONL destination (trace: stdout when
+ *                              omitted; sweep: epochs.jsonl)
+ *   --emit-epochs              sweep only: trace every cell, write the
+ *                              concatenated JSONL in plan order
  */
 
 #include <cstdio>
@@ -40,6 +49,8 @@
 #include "runner/runner.hpp"
 #include "support/serialize.hpp"
 #include "support/table.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/profile.hpp"
 #include "workloads/registry.hpp"
 
 using namespace cheri;
@@ -63,6 +74,10 @@ struct Options
     std::string cache_dir;
     bool raw = false;
     bool csv = false;
+    u64 epoch_insts = 100'000;
+    std::string out;
+    bool emit_epochs = false;
+    bool profile = false;
 };
 
 [[noreturn]] void
@@ -70,7 +85,8 @@ usage(int code)
 {
     std::fprintf(
         stderr,
-        "usage: cheriperf <list|events|run|sweep|clear-cache> [options]\n"
+        "usage: cheriperf <list|events|run|sweep|trace|clear-cache> "
+        "[options]\n"
         "  run/sweep options:\n"
         "    --workload NAME   (required for run; see 'cheriperf list')\n"
         "    --abi hybrid|purecap|benchmark   (run only)\n"
@@ -78,7 +94,11 @@ usage(int code)
         "    --scale tiny|small|ref   --seed N\n"
         "    --cap-aware-bp  --wide-sq  --tag-latency N  --l1d-kib N\n"
         "    --jobs N  --no-cache  --cache-dir PATH\n"
-        "    --raw  --csv\n");
+        "    --raw  --csv  --profile\n"
+        "  trace <workload> options:\n"
+        "    --abi NAME  --epoch N  --out PATH  (plus run options)\n"
+        "  sweep tracing:\n"
+        "    --emit-epochs  --epoch N  --out PATH (default epochs.jsonl)\n");
     std::exit(code);
 }
 
@@ -143,8 +163,30 @@ parse(int argc, char **argv)
             opt.raw = true;
         } else if (arg == "--csv") {
             opt.csv = true;
+        } else if (arg == "--epoch") {
+            const std::string s = next();
+            const auto n = parseU64(s);
+            if (!n || *n == 0) {
+                std::fprintf(stderr,
+                             "--epoch expects a positive count, got "
+                             "'%s'\n",
+                             s.c_str());
+                usage(1);
+            }
+            opt.epoch_insts = *n;
+        } else if (arg == "--out") {
+            opt.out = next();
+        } else if (arg == "--emit-epochs") {
+            opt.emit_epochs = true;
+        } else if (arg == "--profile") {
+            opt.profile = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
+        } else if (arg.rfind("--", 0) != 0 && opt.command == "trace" &&
+                   opt.workload.empty()) {
+            // `cheriperf trace <workload>` takes the workload
+            // positionally.
+            opt.workload = arg;
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage(1);
@@ -256,6 +298,25 @@ printResult(const Options &opt, const runner::RunResult &run)
         printRawEvents(opt, result.counts);
 }
 
+/** Write @p text to @p path, or to stdout when @p path is empty. */
+bool
+writeTextOut(const std::string &path, const std::string &text)
+{
+    if (path.empty()) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
 int
 cmdList()
 {
@@ -309,6 +370,46 @@ cmdRun(const Options &opt)
     return 0;
 }
 
+int
+cmdTrace(const Options &opt)
+{
+    if (opt.workload.empty()) {
+        std::fprintf(stderr,
+                     "usage: cheriperf trace <workload> [options]\n");
+        usage(1);
+    }
+    auto request = requestFor(opt, opt.workload, parseAbi(opt.abi));
+    request.trace.enabled = true;
+    request.trace.epoch_insts = opt.epoch_insts;
+
+    runner::ExperimentPlan plan;
+    plan.add(request);
+    auto options = runnerOptions(opt);
+    options.progress = false; // keep stdout/stderr quiet around JSONL
+    const auto outcome = runner::runPlan(plan, options);
+
+    const auto &run = outcome.results.front();
+    if (!run.ok()) {
+        std::fprintf(stderr,
+                     "[cheriperf] %s/%s faulted; trace covers the "
+                     "epochs retired before the fault\n",
+                     run.request.workload.c_str(),
+                     abi::abiName(run.request.abi));
+    }
+    const std::string text =
+        trace::seriesToJsonl(run.epochs, run.request.workload,
+                             abi::abiName(run.request.abi),
+                             run.request.seed);
+    if (!writeTextOut(opt.out, text))
+        return 1;
+    std::fprintf(stderr, "[cheriperf] %zu epochs (%llu insts each)%s%s\n",
+                 run.epochs.size(),
+                 static_cast<unsigned long long>(opt.epoch_insts),
+                 opt.out.empty() ? "" : " -> ",
+                 opt.out.c_str());
+    return run.ok() ? 0 : 2;
+}
+
 /** The sweep's workload selection: --workload wins, then --set. */
 std::vector<std::string>
 sweepSelection(const Options &opt)
@@ -334,10 +435,33 @@ cmdSweep(const Options &opt)
 {
     runner::ExperimentPlan plan;
     for (const auto &name : sweepSelection(opt))
-        for (abi::Abi a : abi::kAllAbis)
-            plan.add(requestFor(opt, name, a));
+        for (abi::Abi a : abi::kAllAbis) {
+            auto request = requestFor(opt, name, a);
+            if (opt.emit_epochs) {
+                request.trace.enabled = true;
+                request.trace.epoch_insts = opt.epoch_insts;
+            }
+            plan.add(request);
+        }
 
     const auto outcome = runner::runPlan(plan, runnerOptions(opt));
+
+    if (opt.emit_epochs) {
+        // Concatenate every cell's epochs in plan order; the result is
+        // byte-identical for any --jobs value.
+        std::string text;
+        for (const auto &run : outcome.results)
+            text += trace::seriesToJsonl(run.epochs,
+                                         run.request.workload,
+                                         abi::abiName(run.request.abi),
+                                         run.request.seed);
+        const std::string path =
+            opt.out.empty() ? "epochs.jsonl" : opt.out;
+        if (!writeTextOut(path, text))
+            return 1;
+        std::fprintf(stderr, "[cheriperf] epoch trace -> %s\n",
+                     path.c_str());
+    }
 
     if (opt.csv) {
         // One flat CSV row per cell, byte-identical for any --jobs.
@@ -399,9 +523,8 @@ cmdClearCache(const Options &opt)
 } // namespace
 
 int
-main(int argc, char **argv)
+dispatch(const Options &opt)
 {
-    const Options opt = parse(argc, argv);
     if (opt.command == "list")
         return cmdList();
     if (opt.command == "events")
@@ -410,7 +533,25 @@ main(int argc, char **argv)
         return cmdRun(opt);
     if (opt.command == "sweep")
         return cmdSweep(opt);
+    if (opt.command == "trace")
+        return cmdTrace(opt);
     if (opt.command == "clear-cache")
         return cmdClearCache(opt);
     usage(1);
+}
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    const bool profiling =
+        opt.profile || trace::Profiler::envRequested();
+    if (profiling)
+        trace::Profiler::setEnabled(true);
+
+    const int rc = dispatch(opt);
+
+    if (profiling)
+        std::fprintf(stderr, "%s", trace::Profiler::report().c_str());
+    return rc;
 }

@@ -24,6 +24,7 @@
 #include "analysis/projection.hpp"
 #include "analysis/topdown.hpp"
 #include "runner/runner.hpp"
+#include "trace/trace.hpp"
 #include "workloads/registry.hpp"
 
 using namespace cheri;
@@ -149,6 +150,42 @@ main(int argc, char **argv)
                     rows[1].speedupVsBaseline, rows[2].speedupVsBaseline,
                     rows[3].speedupVsBaseline);
     }
+
+    // --- Epoch timeline -----------------------------------------------
+    // One traced purecap cell, sliced into retired-instruction epochs,
+    // shows how the paper's whole-run top-down attribution (Table 4)
+    // moves across a run's phases.
+    const u64 epoch_insts = scale == workloads::Scale::Tiny  ? 10'000
+                            : scale == workloads::Scale::Ref ? 250'000
+                                                             : 50'000;
+    runner::RunRequest traced;
+    traced.workload = "QuickJS";
+    traced.abi = abi::Abi::Purecap;
+    traced.scale = scale;
+    traced.trace.enabled = true;
+    traced.trace.epoch_insts = epoch_insts;
+    traced.config = sim::MachineConfig::forAbi(abi::Abi::Purecap);
+    const auto traced_run = runner::run(traced, options);
+
+    std::printf("\n## Epoch timeline: QuickJS purecap "
+                "(%llu-instruction epochs)\n\n",
+                static_cast<unsigned long long>(epoch_insts));
+    std::printf("| epoch | insts | IPC | retiring | bad-spec | frontend "
+                "| backend | mem L1/L2/ext | core | pcc | sq-occ |\n");
+    std::printf("|---|---|---|---|---|---|---|---|---|---|---|\n");
+    for (const auto &e : traced_run.epochs.epochs) {
+        std::printf("| %llu | %llu | %.3f | %.3f | %.3f | %.3f | %.3f "
+                    "| %.3f/%.3f/%.3f | %.3f | %.3f | %u |\n",
+                    static_cast<unsigned long long>(e.index),
+                    static_cast<unsigned long long>(e.instructions()),
+                    e.ipc(), e.retiring, e.badSpeculation,
+                    e.frontendBound, e.backendBound, e.memL1Bound,
+                    e.memL2Bound, e.memExtBound, e.coreBound,
+                    e.pccStallShare, e.sqOccupancy);
+    }
+    std::printf("\nRegenerate as JSONL with `cheriperf trace QuickJS "
+                "--abi purecap --epoch %llu --out quickjs.jsonl`.\n",
+                static_cast<unsigned long long>(epoch_insts));
 
     std::printf("\nGenerated by tools/make_report.\n");
     return 0;
