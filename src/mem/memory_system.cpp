@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/uncore.hpp"
 #include "trace/profile.hpp"
 
 namespace cheri::mem {
@@ -20,15 +21,34 @@ memLevelName(MemLevel level)
     return "?";
 }
 
-MemorySystem::MemorySystem(const MemConfig &config, pmu::EventCounts &counts)
+PrivateHierarchy::PrivateHierarchy(const MemConfig &config,
+                                   pmu::EventCounts &counts, Uncore &uncore,
+                                   u32 core_id)
     : config_(config), counts_(counts), l1i_(config.l1i), l1d_(config.l1d),
-      l2_(config.l2), llc_(config.llc), l1iTlb_(config.l1i_tlb),
-      l1dTlb_(config.l1d_tlb), l2Tlb_(config.l2_tlb)
+      l2_(config.l2), l1iTlb_(config.l1i_tlb), l1dTlb_(config.l1d_tlb),
+      l2Tlb_(config.l2_tlb), uncore_(&uncore), core_(core_id)
 {
 }
 
+PrivateHierarchy::PrivateHierarchy(const MemConfig &config,
+                                   pmu::EventCounts &counts)
+    : config_(config), counts_(counts), l1i_(config.l1i), l1d_(config.l1d),
+      l2_(config.l2), l1iTlb_(config.l1i_tlb), l1dTlb_(config.l1d_tlb),
+      l2Tlb_(config.l2_tlb), ownedUncore_(std::make_unique<Uncore>(config, 1)),
+      uncore_(ownedUncore_.get()), core_(0)
+{
+}
+
+PrivateHierarchy::~PrivateHierarchy() = default;
+
+const SetAssocCache &
+PrivateHierarchy::llc() const
+{
+    return uncore_->llc();
+}
+
 Cycles
-MemorySystem::translate(Addr addr, bool instruction_side, bool &walked)
+PrivateHierarchy::translate(Addr addr, bool instruction_side, bool &walked)
 {
     walked = false;
     Tlb &l1 = instruction_side ? l1iTlb_ : l1dTlb_;
@@ -47,7 +67,7 @@ MemorySystem::translate(Addr addr, bool instruction_side, bool &walked)
 }
 
 AccessResult
-MemorySystem::fetch(Addr pc)
+PrivateHierarchy::fetch(Addr pc)
 {
     CHERI_TRACE_SCOPE("mem/fetch");
     AccessResult result;
@@ -70,20 +90,16 @@ MemorySystem::fetch(Addr pc)
     }
     counts_.add(Event::L2dCacheRefill);
 
-    counts_.add(Event::LlCacheRd);
-    if (llc_.access(pc, false)) {
-        result.level = MemLevel::Llc;
-        result.latency += config_.llc_latency;
-        return result;
-    }
-    counts_.add(Event::LlCacheMissRd);
-    result.level = MemLevel::Dram;
-    result.latency += config_.dram_latency;
+    const Uncore::Access shared =
+        uncore_->access(core_, pc, /*is_write=*/false, /*is_cap=*/false,
+                        counts_);
+    result.level = shared.level;
+    result.latency += shared.latency;
     return result;
 }
 
 AccessResult
-MemorySystem::data(Addr addr, u32 size, bool is_write, bool is_cap)
+PrivateHierarchy::data(Addr addr, u32 size, bool is_write, bool is_cap)
 {
     CHERI_TRACE_SCOPE("mem/data");
     counts_.add(is_write ? Event::MemAccessWr : Event::MemAccessRd);
@@ -121,17 +137,10 @@ MemorySystem::data(Addr addr, u32 size, bool is_write, bool is_cap)
         }
         counts_.add(Event::L2dCacheRefill);
 
-        if (!is_write)
-            counts_.add(Event::LlCacheRd);
-        if (llc_.access(a, is_write)) {
-            result.level = std::max(result.level, MemLevel::Llc);
-            result.latency += config_.llc_latency;
-            continue;
-        }
-        if (!is_write)
-            counts_.add(Event::LlCacheMissRd);
-        result.level = MemLevel::Dram;
-        result.latency += config_.dram_latency;
+        const Uncore::Access shared =
+            uncore_->access(core_, a, is_write, is_cap, counts_);
+        result.level = std::max(result.level, shared.level);
+        result.latency += shared.latency;
     }
     return result;
 }

@@ -1,17 +1,26 @@
 /**
  * @file
- * The Morello memory hierarchy timing model: per-core L1I/L1D, private
- * L2, shared last-level cache, two-level TLBs with a page walker, and
- * a flat DRAM latency. Geometry defaults follow §2.2 of the paper
- * (64 KiB 4-way L1s, 1 MiB 8-way L2, 1 MiB shared LLC, 64 B lines).
+ * The Morello memory hierarchy timing model, split along the SoC's
+ * core/uncore boundary:
  *
- * The MemorySystem counts PMU events as accesses flow through it; it
- * models timing and presence only — functional data lives in
- * BackingStore.
+ *  - PrivateHierarchy: one core's L1I/L1D, private L2, and two-level
+ *    TLBs with a page walker (geometry per §2.2 of the paper:
+ *    64 KiB 4-way L1s, 1 MiB 8-way private L2, 64 B lines).
+ *  - Uncore (uncore.hpp): the shared 1 MiB 16-way system-level cache,
+ *    tag-table traffic, and flat DRAM latency, arbitrated between
+ *    cores. (§2.2 gives the LLC capacity but not its associativity;
+ *    we model 16 ways — the SLC organisation of CMN-600-class mesh
+ *    uncores — and pin the choice with a geometry test.)
+ *
+ * Each PrivateHierarchy counts PMU events into its core's
+ * EventCounts as accesses flow through; it models timing and
+ * presence only — functional data lives in BackingStore.
  */
 
 #ifndef CHERI_MEM_MEMORY_SYSTEM_HPP
 #define CHERI_MEM_MEMORY_SYSTEM_HPP
+
+#include <memory>
 
 #include "mem/cache.hpp"
 #include "mem/tlb.hpp"
@@ -19,6 +28,8 @@
 #include "support/types.hpp"
 
 namespace cheri::mem {
+
+class Uncore;
 
 /** Which level serviced an access. */
 enum class MemLevel : u8 { L1, L2, Llc, Dram };
@@ -30,6 +41,7 @@ struct MemConfig
     CacheConfig l1i{64 * kKiB, 4, 64};
     CacheConfig l1d{64 * kKiB, 4, 64};
     CacheConfig l2{1 * kMiB, 8, 64};
+    /** Shared system-level cache; 16-way, see the file comment. */
     CacheConfig llc{1 * kMiB, 16, 64};
 
     TlbConfig l1i_tlb{48, 0, 4096};
@@ -48,6 +60,18 @@ struct MemConfig
      * the data path); exposed as an ablation knob.
      */
     Cycles tag_extra_latency = 0;
+
+    /**
+     * Uncore arbitration penalties (co-run contention model): every
+     * LLC lookup, respectively DRAM fill, pays this many extra cycles
+     * per OTHER core that is currently mid-run. A deterministic
+     * occupancy proxy for shared-bandwidth queueing — see
+     * DESIGN.md "Core/uncore model" for what it does not capture.
+     * With one core (or solo lanes) the penalty is always zero, so
+     * single-core results are bit-identical to the pre-split model.
+     */
+    Cycles llc_arb_penalty = 6;
+    Cycles dram_arb_penalty = 18;
 };
 
 /** Timing outcome of one access. */
@@ -58,10 +82,30 @@ struct AccessResult
     bool tlb_walk = false;
 };
 
-class MemorySystem
+/**
+ * One core's private slice of the hierarchy: L1I/L1D, private L2 and
+ * the TLBs. Misses past the L2 are forwarded to the shared Uncore.
+ */
+class PrivateHierarchy
 {
   public:
-    MemorySystem(const MemConfig &config, pmu::EventCounts &counts);
+    /**
+     * SoC mode: a per-core slice over a shared @p uncore. @p core_id
+     * selects the uncore arbitration lane and frames LLC addresses so
+     * distinct cores' working sets contend for LLC capacity without
+     * aliasing into shared lines.
+     */
+    PrivateHierarchy(const MemConfig &config, pmu::EventCounts &counts,
+                     Uncore &uncore, u32 core_id);
+
+    /**
+     * Standalone mode: owns a private single-core Uncore. Equivalent
+     * to the pre-split MemorySystem; used by unit tests and
+     * microbenchmarks that exercise the hierarchy in isolation.
+     */
+    PrivateHierarchy(const MemConfig &config, pmu::EventCounts &counts);
+
+    ~PrivateHierarchy();
 
     /**
      * Instruction fetch of the 16-byte fetch group at @p pc.
@@ -83,15 +127,19 @@ class MemorySystem
     AccessResult data(Addr addr, u32 size, bool is_write, bool is_cap);
 
     const MemConfig &config() const { return config_; }
+    u32 coreId() const { return core_; }
 
     // Component access for tests and diagnostics.
     const SetAssocCache &l1i() const { return l1i_; }
     const SetAssocCache &l1d() const { return l1d_; }
     const SetAssocCache &l2() const { return l2_; }
-    const SetAssocCache &llc() const { return llc_; }
+    /** The shared LLC (lives in the Uncore). */
+    const SetAssocCache &llc() const;
     const Tlb &l1iTlb() const { return l1iTlb_; }
     const Tlb &l1dTlb() const { return l1dTlb_; }
     const Tlb &l2Tlb() const { return l2Tlb_; }
+    Uncore &uncore() { return *uncore_; }
+    const Uncore &uncore() const { return *uncore_; }
 
   private:
     /** Translate; returns walk latency contribution (0 on TLB hit). */
@@ -102,11 +150,16 @@ class MemorySystem
     SetAssocCache l1i_;
     SetAssocCache l1d_;
     SetAssocCache l2_;
-    SetAssocCache llc_;
     Tlb l1iTlb_;
     Tlb l1dTlb_;
     Tlb l2Tlb_;
+    std::unique_ptr<Uncore> ownedUncore_; //!< Standalone mode only.
+    Uncore *uncore_;
+    u32 core_ = 0;
 };
+
+/** Pre-split name; single-core call sites use the two-arg ctor. */
+using MemorySystem = PrivateHierarchy;
 
 } // namespace cheri::mem
 

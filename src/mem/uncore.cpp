@@ -1,0 +1,82 @@
+#include "mem/uncore.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::mem {
+
+using pmu::Event;
+
+Uncore::Uncore(const MemConfig &config, u32 cores)
+    : config_(config), llc_(config.llc), cores_(cores > 0 ? cores : 1),
+      lanes_(std::make_unique<Lane[]>(cores_))
+{
+}
+
+u32
+Uncore::contenders(u32 core) const
+{
+    u32 n = 0;
+    for (u32 o = 0; o < cores_; ++o) {
+        if (o == core)
+            continue;
+        const Lane &lane = lanes_[o];
+        if (lane.started.load(std::memory_order_relaxed) &&
+            !lane.finished.load(std::memory_order_relaxed))
+            ++n;
+    }
+    return n;
+}
+
+Uncore::Access
+Uncore::access(u32 core, Addr addr, bool is_write, bool is_cap,
+               pmu::EventCounts &counts)
+{
+    CHERI_ASSERT(core < cores_, "uncore access from core ", core, " of ",
+                 cores_);
+    Lane &lane = lanes_[core];
+    if (!lane.started.load(std::memory_order_relaxed))
+        lane.started.store(true, std::memory_order_relaxed);
+    ++lane.stats.llc_accesses;
+
+    const Cycles toll =
+        static_cast<Cycles>(contenders(core)) * config_.llc_arb_penalty;
+    const Addr framed = addr + static_cast<Addr>(core) * kLaneAddrStride;
+
+    Access out;
+    if (!is_write)
+        counts.add(Event::LlCacheRd);
+    if (llc_.access(framed, is_write)) {
+        ++lane.stats.llc_hits;
+        out.level = MemLevel::Llc;
+        out.latency = config_.llc_latency + toll;
+        lane.stats.contention_cycles += toll;
+        return out;
+    }
+    if (!is_write)
+        counts.add(Event::LlCacheMissRd);
+    ++lane.stats.dram_fills;
+    if (is_cap)
+        ++lane.stats.tag_line_fills;
+    const Cycles dram_toll =
+        static_cast<Cycles>(contenders(core)) * config_.dram_arb_penalty;
+    out.level = MemLevel::Dram;
+    out.latency = config_.dram_latency + toll + dram_toll;
+    lane.stats.contention_cycles += toll + dram_toll;
+    return out;
+}
+
+void
+Uncore::coreFinished(u32 core)
+{
+    CHERI_ASSERT(core < cores_, "coreFinished(", core, ") of ", cores_);
+    lanes_[core].finished.store(true, std::memory_order_relaxed);
+}
+
+const Uncore::LaneStats &
+Uncore::laneStats(u32 core) const
+{
+    CHERI_ASSERT(core < cores_, "laneStats(", core, ") of ", cores_);
+    return lanes_[core].stats;
+}
+
+} // namespace cheri::mem

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The shared uncore: the 1 MiB system-level cache, capability
+ * tag-table fill traffic, the flat DRAM latency, and a deterministic
+ * bandwidth/occupancy contention model. One Uncore is shared by every
+ * sim::Core slice of a Machine; each L2 miss from a core's
+ * PrivateHierarchy arrives here tagged with its core id.
+ *
+ * Contention model (deterministic by construction): an access pays
+ * `contenders * llc_arb_penalty` extra cycles at the LLC and another
+ * `contenders * dram_arb_penalty` on a DRAM fill, where `contenders`
+ * is the number of OTHER cores that have started issuing and not yet
+ * finished their lane. Co-running cores therefore lengthen each
+ * other's LLC/DRAM latencies by a fixed per-access toll — an
+ * occupancy proxy, not a timed queue (no MSHRs, no coherence; see
+ * DESIGN.md "Core/uncore model").
+ *
+ * LLC capacity sharing: lookups are framed per core
+ * (addr + core * kLaneAddrStride) so distinct lanes never alias into
+ * the same line yet do fight for the same sets and ways. Under LRU
+ * this makes a co-running lane's miss count monotonically >= its solo
+ * miss count. Core 0's frame offset is zero, so single-core runs are
+ * bit-identical to the pre-split MemorySystem.
+ */
+
+#ifndef CHERI_MEM_UNCORE_HPP
+#define CHERI_MEM_UNCORE_HPP
+
+#include <atomic>
+#include <memory>
+
+#include "mem/cache.hpp"
+#include "mem/memory_system.hpp"
+#include "pmu/counts.hpp"
+#include "support/types.hpp"
+
+namespace cheri::mem {
+
+class Uncore
+{
+  public:
+    /**
+     * Address-frame stride between cores' LLC views. Workload virtual
+     * addresses live far below bit 44, so frames never collide.
+     */
+    static constexpr Addr kLaneAddrStride = Addr{1} << 44;
+
+    explicit Uncore(const MemConfig &config, u32 cores = 1);
+
+    /** Timing outcome of an uncore access (level is Llc or Dram). */
+    struct Access
+    {
+        Cycles latency = 0;
+        MemLevel level = MemLevel::Llc;
+    };
+
+    /**
+     * An L2 miss from @p core. Counts LL_CACHE_RD / LL_CACHE_MISS_RD
+     * into @p counts for reads (the N1 LLC events are read-side only,
+     * matching the pre-split model); writes still update LLC state.
+     * @p is_cap marks capability-width traffic so DRAM fills can be
+     * attributed to tag-table line fills.
+     */
+    Access access(u32 core, Addr addr, bool is_write, bool is_cap,
+                  pmu::EventCounts &counts);
+
+    /**
+     * Lane @p core is done issuing: it stops counting as a contender
+     * for the remaining lanes. Must be called at a point that is
+     * deterministic in the co-run interleave — in practice while the
+     * lane still holds (or never took) the CorunGate token.
+     */
+    void coreFinished(u32 core);
+
+    u32 cores() const { return cores_; }
+    const SetAssocCache &llc() const { return llc_; }
+
+    /** Per-lane uncore traffic, for interference reporting. */
+    struct LaneStats
+    {
+        u64 llc_accesses = 0;
+        u64 llc_hits = 0;
+        u64 dram_fills = 0;
+        /** DRAM fills of capability-width traffic (tag-table fills). */
+        u64 tag_line_fills = 0;
+        /** Cycles added by the arbitration (contention) model. */
+        Cycles contention_cycles = 0;
+    };
+    const LaneStats &laneStats(u32 core) const;
+
+  private:
+    u32 contenders(u32 core) const;
+
+    struct Lane
+    {
+        LaneStats stats;
+        /**
+         * Lifecycle flags are atomic only so a lane that never touches
+         * the uncore can be marked finished from its own thread
+         * without a data race; transitions that matter for timing are
+         * serialized by the CorunGate token.
+         */
+        std::atomic<bool> started{false};
+        std::atomic<bool> finished{false};
+    };
+
+    MemConfig config_;
+    SetAssocCache llc_;
+    u32 cores_;
+    std::unique_ptr<Lane[]> lanes_;
+};
+
+} // namespace cheri::mem
+
+#endif // CHERI_MEM_UNCORE_HPP

@@ -45,6 +45,8 @@ hashConfig(Fnv1a &h, const sim::MachineConfig &config)
     h.add(m.l1_latency).add(m.l2_latency).add(m.llc_latency)
         .add(m.dram_latency).add(m.walk_latency)
         .add(m.tag_extra_latency);
+    h.add(m.llc_arb_penalty).add(m.dram_arb_penalty);
+    h.add(static_cast<u64>(config.cores)).add(config.corun_quantum);
 
     const uarch::PipelineConfig &p = config.pipe;
     h.add(static_cast<u64>(p.width)).add(static_cast<u64>(p.mlp));
@@ -76,6 +78,14 @@ cellFingerprint(const RunRequest &request)
     // runs). epoch_insts only matters while tracing is on.
     h.add(request.trace.enabled);
     h.add(request.trace.enabled ? request.trace.epoch_insts : 0);
+    // Co-run lane composition (count, order, per-lane workload+ABI)
+    // is part of the cell identity; the cores/quantum/arbitration
+    // knobs it resolves to are hashed with the config below.
+    h.add(static_cast<u64>(request.lanes.size()));
+    for (const Lane &lane : request.lanes) {
+        h.add(std::string_view(lane.workload));
+        h.add(static_cast<u64>(lane.abi));
+    }
     hashConfig(h, request.resolvedConfig());
     return h.value();
 }

@@ -30,8 +30,10 @@ namespace cheri::runner {
 /**
  * Bump when simulation semantics change, so stale caches from older
  * models self-invalidate instead of replaying outdated numbers.
+ * v3: core/uncore split — fingerprints cover co-run lanes, cores,
+ * corun_quantum and the uncore arbitration penalties.
  */
-inline constexpr u64 kCacheSchemaVersion = 2;
+inline constexpr u64 kCacheSchemaVersion = 3;
 
 /** The cache key for @p request (see file comment for coverage). */
 u64 cellFingerprint(const RunRequest &request);

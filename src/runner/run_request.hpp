@@ -17,12 +17,22 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/machine.hpp"
 #include "trace/trace.hpp"
 #include "workloads/workload.hpp"
 
 namespace cheri::runner {
+
+/** One co-run lane: a workload (registry name) bound to an ABI. */
+struct Lane
+{
+    std::string workload;
+    abi::Abi abi = abi::Abi::Purecap;
+
+    bool operator==(const Lane &) const = default;
+};
 
 struct RunRequest
 {
@@ -40,19 +50,63 @@ struct RunRequest
     trace::TraceConfig trace{};
 
     /**
+     * Multi-programmed co-run lanes. Empty (the default) describes
+     * the classic single-lane cell given by workload/abi above. With
+     * two or more entries, lane i runs on core i of one N-core
+     * machine over the shared uncore and the cell's result carries
+     * per-lane outcomes plus an SoC aggregate. Part of the cell's
+     * identity (fingerprinted); co-run cells always simulate — the
+     * on-disk record format does not carry per-lane results. A
+     * single-entry vector is rejected: express solo cells through
+     * workload/abi.
+     */
+    std::vector<Lane> lanes;
+
+    /**
      * Microarchitectural knobs. Empty = MachineConfig::forAbi(abi).
      * The abi member of a supplied config is ignored; the request's
      * abi field is authoritative.
      */
     std::optional<sim::MachineConfig> config = std::nullopt;
 
+    /** True when this cell is a multi-programmed co-run. */
+    bool corun() const { return lanes.size() >= 2; }
+
+    /** The lanes this cell runs: the co-run vector, or workload/abi. */
+    std::vector<Lane>
+    resolvedLanes() const
+    {
+        if (corun())
+            return lanes;
+        return {Lane{workload, abi}};
+    }
+
+    /** The cell's display name ("w1+w2" for co-runs). */
+    std::string
+    displayName() const
+    {
+        if (!corun())
+            return workload;
+        std::string out;
+        for (const Lane &lane : lanes) {
+            if (!out.empty())
+                out += '+';
+            out += lane.workload;
+        }
+        return out;
+    }
+
     /** The config this request resolves to (knobs or ABI defaults). */
     sim::MachineConfig
     resolvedConfig() const
     {
         sim::MachineConfig out =
-            config ? *config : sim::MachineConfig::forAbi(abi);
-        out.abi = abi;
+            config ? *config
+                   : sim::MachineConfig::forAbi(
+                         corun() ? lanes.front().abi : abi);
+        out.abi = corun() ? lanes.front().abi : abi;
+        if (corun())
+            out.cores = static_cast<u32>(lanes.size());
         return out;
     }
 };

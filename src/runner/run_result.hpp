@@ -18,13 +18,37 @@
 
 namespace cheri::runner {
 
+/** One lane's complete outcome within a co-run cell. */
+struct LaneOutcome
+{
+    Lane lane;
+
+    /** Empty for NA lanes (workload does not support the ABI). */
+    std::optional<sim::SimResult> sim;
+
+    // Derived views, valid when ok().
+    analysis::DerivedMetrics metrics{};
+    analysis::TopDown topdownTruth{};
+    analysis::TopDown topdownPaper{};
+
+    /** Per-core epoch timeline (request.trace.enabled co-runs). */
+    trace::EpochSeries epochs{};
+
+    bool ok() const { return sim.has_value(); }
+};
+
 struct RunResult
 {
     RunRequest request; //!< The cell this result answers.
 
     /**
      * Empty when the workload does not support the requested ABI —
-     * the paper's "NA" cells (QuickJS under purecap-benchmark).
+     * the paper's "NA" cells (QuickJS under purecap-benchmark). For
+     * co-run cells this is the SoC aggregate: counts summed across
+     * lanes (so counts[CpuCycles] is total core-cycles burned),
+     * instructions summed, and cycles/seconds the makespan (slowest
+     * lane) — the wall-clock view of the co-schedule. Empty when no
+     * lane is runnable.
      */
     std::optional<sim::SimResult> sim;
 
@@ -39,6 +63,12 @@ struct RunResult
      * counts and repeat runs).
      */
     trace::EpochSeries epochs{};
+
+    /**
+     * Per-core outcomes; non-empty only for co-run cells
+     * (request.corun()), one entry per lane in lane order.
+     */
+    std::vector<LaneOutcome> lanes;
 
     // Provenance.
     bool cacheHit = false;   //!< Replayed from the result cache.

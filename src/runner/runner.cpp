@@ -24,18 +24,114 @@ secondsSince(Clock::time_point start)
 }
 
 /**
+ * Resolve a cell's lane workloads against the registry. Fatal on an
+ * unknown name or a malformed (single-entry) lane vector — user
+ * errors that must surface before any worker starts.
+ */
+std::vector<const workloads::Workload *>
+resolveLanes(const std::vector<std::unique_ptr<workloads::Workload>> &pool,
+             const RunRequest &request)
+{
+    if (request.lanes.size() == 1)
+        CHERI_FATAL("a co-run needs >= 2 lanes; describe solo cells "
+                    "through RunRequest::workload/abi");
+    std::vector<const workloads::Workload *> out;
+    for (const Lane &lane : request.resolvedLanes()) {
+        const auto *workload = workloads::findWorkload(pool, lane.workload);
+        if (!workload)
+            CHERI_FATAL("unknown workload '", lane.workload,
+                        "' (try 'cheriperf list')");
+        out.push_back(workload);
+    }
+    return out;
+}
+
+/**
+ * Execute one resolved co-run cell: always a fresh multi-core
+ * simulation (the on-disk record format does not carry per-lane
+ * results), producing per-lane outcomes plus the SoC aggregate.
+ */
+RunResult
+runCorunCell(const RunRequest &request,
+             const std::vector<const workloads::Workload *> &targets,
+             u32 worker)
+{
+    CHERI_TRACE_SCOPE("runner/corun-cell");
+    const auto start = Clock::now();
+    RunResult out;
+    out.request = request;
+    out.workerThread = worker;
+
+    const auto lanes = request.resolvedLanes();
+    std::vector<workloads::detail::CorunLane> wl;
+    wl.reserve(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+        wl.push_back({targets[i], lanes[i].abi});
+
+    const auto config = request.resolvedConfig();
+    const bool traced = request.trace.enabled;
+    std::vector<trace::EpochSeries> epochs;
+    auto sims = workloads::detail::executeCoRun(
+        wl, request.scale, &config, request.seed,
+        traced ? &request.trace : nullptr, traced ? &epochs : nullptr);
+
+    sim::SimResult aggregate;
+    bool any = false;
+    Cycles makespan = 0;
+    out.lanes.reserve(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        LaneOutcome lane;
+        lane.lane = lanes[i];
+        lane.sim = std::move(sims[i]);
+        if (lane.ok()) {
+            lane.metrics =
+                analysis::DerivedMetrics::compute(lane.sim->counts);
+            lane.topdownTruth =
+                analysis::TopDown::fromModelTruth(lane.sim->counts);
+            lane.topdownPaper =
+                analysis::TopDown::fromPaperFormulas(lane.sim->counts);
+            aggregate.counts += lane.sim->counts;
+            aggregate.instructions += lane.sim->instructions;
+            makespan = std::max(makespan, lane.sim->cycles);
+            any = true;
+        }
+        if (traced)
+            lane.epochs = std::move(epochs[i]);
+        out.lanes.push_back(std::move(lane));
+    }
+    if (any) {
+        aggregate.cycles = makespan;
+        aggregate.seconds =
+            static_cast<double>(makespan) / (config.clock_ghz * 1e9);
+        out.sim = std::move(aggregate);
+        out.metrics = analysis::DerivedMetrics::compute(out.sim->counts);
+        out.topdownTruth =
+            analysis::TopDown::fromModelTruth(out.sim->counts);
+        out.topdownPaper =
+            analysis::TopDown::fromPaperFormulas(out.sim->counts);
+    }
+    out.wallSeconds = secondsSince(start);
+    return out;
+}
+
+/**
  * Execute one resolved cell: cache replay when possible, otherwise a
  * fresh Machine simulation, plus the derived-metric views.
  */
 RunResult
-runCell(const RunRequest &request, const workloads::Workload &workload,
+runCell(const RunRequest &request,
+        const std::vector<const workloads::Workload *> &targets,
         const ResultCache *cache, u32 worker)
 {
+    if (request.corun())
+        return runCorunCell(request, targets, worker);
+
     CHERI_TRACE_SCOPE("runner/cell");
     const auto start = Clock::now();
     RunResult out;
     out.request = request;
     out.workerThread = worker;
+    const workloads::Workload &workload = *targets.front();
 
     if (workload.supports(request.abi)) {
         // Traced cells always simulate: the on-disk record format
@@ -142,20 +238,14 @@ runPlan(const ExperimentPlan &plan, const RunnerOptions &options)
     if (plan.empty())
         return outcome;
 
-    // Resolve every cell before any worker starts: an unknown
-    // workload is a user error and must not surface mid-plan from an
-    // arbitrary thread.
+    // Resolve every cell (and every co-run lane) before any worker
+    // starts: an unknown workload is a user error and must not
+    // surface mid-plan from an arbitrary thread.
     const auto pool = workloads::allWorkloads();
-    std::vector<const workloads::Workload *> targets;
+    std::vector<std::vector<const workloads::Workload *>> targets;
     targets.reserve(plan.size());
-    for (const auto &cell : plan.cells()) {
-        const auto *workload =
-            workloads::findWorkload(pool, cell.workload);
-        if (!workload)
-            CHERI_FATAL("unknown workload '", cell.workload,
-                        "' in experiment plan (try 'cheriperf list')");
-        targets.push_back(workload);
-    }
+    for (const auto &cell : plan.cells())
+        targets.push_back(resolveLanes(pool, cell));
 
     const ResultCache cache(options.cache_dir);
     const ResultCache *cachePtr = options.cache ? &cache : nullptr;
@@ -169,12 +259,12 @@ runPlan(const ExperimentPlan &plan, const RunnerOptions &options)
         for (std::size_t i = next.fetch_add(1); i < plan.size();
              i = next.fetch_add(1)) {
             outcome.results[i] =
-                runCell(plan.cells()[i], *targets[i], cachePtr, tid);
+                runCell(plan.cells()[i], targets[i], cachePtr, tid);
             if (options.progress) {
                 const auto &r = outcome.results[i];
                 std::fprintf(
                     stderr, "  [runner] %s/%s %s (%.3fs, t%u)\n",
-                    r.request.workload.c_str(),
+                    r.request.displayName().c_str(),
                     abi::abiName(r.request.abi),
                     !r.ok()        ? "NA"
                     : r.cacheHit   ? "cached"
@@ -214,11 +304,7 @@ RunResult
 run(const RunRequest &request)
 {
     const auto pool = workloads::allWorkloads();
-    const auto *workload = workloads::findWorkload(pool, request.workload);
-    if (!workload)
-        CHERI_FATAL("unknown workload '", request.workload,
-                    "' (try 'cheriperf list')");
-    return runCell(request, *workload, nullptr, 0);
+    return runCell(request, resolveLanes(pool, request), nullptr, 0);
 }
 
 RunResult

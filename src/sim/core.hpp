@@ -1,0 +1,156 @@
+/**
+ * @file
+ * One core slice of the simulated SoC: architectural register file,
+ * pipeline model, private L1I/L1D + L2 + TLBs (PrivateHierarchy),
+ * per-core PMU counts and per-core capability roots (PCC/DDC/CSP).
+ * Cores share nothing but the Uncore they are constructed over;
+ * Machine owns the Uncore and the core slices.
+ *
+ * A Core supports both execution modes of the pre-split Machine:
+ * functional execution with full capability enforcement for static
+ * MorelloLite programs (run()), and the dynamic-issue interface the
+ * workload generators use (pipeline()/store()/regs() + finalize()).
+ */
+
+#ifndef CHERI_SIM_CORE_HPP
+#define CHERI_SIM_CORE_HPP
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "abi/abi.hpp"
+#include "cap/fault.hpp"
+#include "isa/program.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/memory_system.hpp"
+#include "pmu/counts.hpp"
+#include "sim/regfile.hpp"
+#include "uarch/pipeline.hpp"
+
+namespace cheri::mem {
+class Uncore;
+}
+
+namespace cheri::sim {
+
+struct MachineConfig
+{
+    abi::Abi abi = abi::Abi::Hybrid;
+    mem::MemConfig mem{};
+    uarch::PipelineConfig pipe{};
+    u64 max_insts = 500'000'000; //!< Runaway guard for the executor.
+    double clock_ghz = 2.5;      //!< Morello clock (§2.2).
+
+    /**
+     * Core slices sharing one uncore (Morello is quad-core; §2.1).
+     * 1 = the classic single-core machine, bit-identical to the
+     * pre-split model.
+     */
+    u32 cores = 1;
+
+    /**
+     * Co-run interleave grant, in core cycles: how far one core's
+     * timeline may run ahead of the laggard before the scheduler
+     * hands the token on. Smaller = finer-grained sharing (more
+     * handoffs); the interleave is deterministic for any value.
+     */
+    Cycles corun_quantum = 256;
+
+    /** Apply per-ABI defaults (purecap capability branches, etc.). */
+    static MachineConfig forAbi(abi::Abi abi);
+};
+
+/** Outcome of a simulation. */
+struct SimResult
+{
+    pmu::EventCounts counts;
+    u64 instructions = 0;
+    Cycles cycles = 0;
+    double seconds = 0.0; //!< cycles / clock.
+    bool halted = false;  //!< Clean Halt (vs fault / inst limit).
+    std::optional<cap::CapFault> fault;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+};
+
+class Core
+{
+  public:
+    /**
+     * @param config SoC configuration; @c config.abi must already be
+     *        this core's ABI (Machine overrides it per lane for
+     *        mixed-ABI co-runs).
+     * @param uncore The shared uncore; must outlive the core.
+     * @param id This core's slice index (uncore arbitration lane).
+     */
+    Core(const MachineConfig &config, mem::Uncore &uncore, u32 id);
+
+    /**
+     * Run a static program from @p entry ("main" = function 0 by
+     * default) until Halt, a capability fault, or the instruction
+     * limit. The program must already be laid out (Program::layout).
+     */
+    SimResult run(const isa::Program &program, isa::FuncId entry = 0);
+
+    // --- Dynamic-issue interface (workload generators) ---------------
+    uarch::PipelineModel &pipeline() { return *pipe_; }
+    pmu::EventCounts &counts() { return counts_; }
+    mem::PrivateHierarchy &memory() { return *memory_; }
+    mem::BackingStore &store() { return store_; }
+    RegFile &regs() { return regs_; }
+
+    const MachineConfig &config() const { return config_; }
+    abi::Abi abi() const { return config_.abi; }
+    u32 id() const { return id_; }
+
+    /** Finish the pipeline and snapshot results (dynamic-issue mode). */
+    SimResult finalize();
+
+  private:
+    struct ExecCursor
+    {
+        isa::BlockId block = 0;
+        u32 index = 0;
+    };
+
+    /** Execute one instruction; returns false when execution ends. */
+    bool step(const isa::Program &program, ExecCursor &cursor,
+              SimResult &result);
+
+    /** Resolve a code address to a block (indirect branches). */
+    isa::BlockId blockAt(Addr addr) const;
+
+    /** The capability used for addressing by a memory instruction. */
+    cap::Capability addressingCap(u8 rn) const;
+
+    MachineConfig config_;
+    u32 id_;
+    pmu::EventCounts counts_;
+    std::unique_ptr<mem::PrivateHierarchy> memory_;
+    std::unique_ptr<uarch::PipelineModel> pipe_;
+    mem::BackingStore store_;
+    RegFile regs_;
+
+    cap::Capability pcc_;
+    cap::Capability ddc_;
+    cap::Capability csp_;
+
+    const isa::Program *program_ = nullptr;
+    std::unordered_map<Addr, isa::BlockId> blockByAddr_;
+    std::vector<ExecCursor> callStack_;
+    bool finalized_ = false;
+
+    /** Pointer-chase detection: last load destination + freshness. */
+    u8 lastLoadDest_ = isa::kRegZero;
+    u32 chaseCredit_ = 0;
+};
+
+} // namespace cheri::sim
+
+#endif // CHERI_SIM_CORE_HPP

@@ -1,0 +1,72 @@
+#include "sim/corun_gate.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::sim {
+
+CorunGate::CorunGate(u32 cores, Cycles quantum)
+    : lanes_(cores), quantum_(static_cast<double>(quantum))
+{
+}
+
+void
+CorunGate::activate(u32 core)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CHERI_ASSERT(core < lanes_.size(), "activate(", core, ") of ",
+                 lanes_.size());
+    lanes_[core].active = true;
+    // First grant goes to the lowest activated id (all lanes start at
+    // cycle 0, so this matches the lowest-(cycle, id) policy).
+    if (holder_ == kNoHolder || core < holder_)
+        holder_ = core;
+}
+
+int
+CorunGate::pickNext(u32 exclude) const
+{
+    int best = -1;
+    for (u32 i = 0; i < lanes_.size(); ++i) {
+        if (i == exclude || !lanes_[i].active || lanes_[i].done)
+            continue;
+        if (best < 0 ||
+            lanes_[i].cycle < lanes_[static_cast<u32>(best)].cycle)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+void
+CorunGate::onIssue(u32 core, double cycleF)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    lanes_[core].cycle = cycleF;
+    for (;;) {
+        if (holder_ == core) {
+            const int next = pickNext(core);
+            // Sole surviving lane: run free.
+            if (next < 0)
+                return;
+            // Still within the grant relative to the laggard.
+            if (cycleF <= lanes_[static_cast<u32>(next)].cycle + quantum_)
+                return;
+            holder_ = static_cast<u32>(next);
+            cv_.notify_all();
+        }
+        cv_.wait(lock, [&] { return holder_ == core; });
+    }
+}
+
+void
+CorunGate::finish(u32 core)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lanes_[core].done = true;
+    if (holder_ == core) {
+        const int next = pickNext(core);
+        holder_ = next < 0 ? kNoHolder : static_cast<u32>(next);
+        cv_.notify_all();
+    }
+}
+
+} // namespace cheri::sim

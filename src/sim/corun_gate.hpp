@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic co-run interleaver. Workload generators drive their
+ * core's pipeline synchronously, so a co-run needs one host thread
+ * per lane — but the *model* interleave must not depend on host
+ * scheduling. The CorunGate makes it deterministic with an exclusive
+ * token: exactly one lane simulates at a time, and the token moves
+ * purely as a function of the cores' model clocks.
+ *
+ * Policy: the holder runs until its cycle count exceeds the laggard
+ * active lane's by more than the configured quantum, then hands the
+ * token to the lane with the lowest (cycle, id) — a cycle-ordered
+ * round-robin. Token handoffs therefore depend only on simulated
+ * cycles, never on wall-clock timing, so every co-run of the same
+ * lanes/seed/config reproduces the same interleave, the same uncore
+ * contention, and byte-identical results.
+ *
+ * Lifecycle: activate() every participating lane before any lane
+ * thread starts; each lane calls finish() (via executeCoRun) after
+ * its generator returns. A lane that ever issued holds the token at
+ * that point, so finish-time state changes (e.g. Uncore::
+ * coreFinished) land at deterministic points of the interleave too.
+ */
+
+#ifndef CHERI_SIM_CORUN_GATE_HPP
+#define CHERI_SIM_CORUN_GATE_HPP
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "support/types.hpp"
+#include "uarch/pipeline.hpp"
+
+namespace cheri::sim {
+
+class CorunGate final : public uarch::IssueGate
+{
+  public:
+    CorunGate(u32 cores, Cycles quantum);
+
+    /** Register lane @p core; call before any lane thread starts. */
+    void activate(u32 core);
+
+    /** IssueGate: blocks until @p core may simulate its next op. */
+    void onIssue(u32 core, double cycleF) override;
+
+    /**
+     * Lane @p core is done issuing; hands the token on. Called from
+     * the lane's own thread after its generator returns.
+     */
+    void finish(u32 core);
+
+  private:
+    static constexpr u32 kNoHolder = ~0u;
+
+    /**
+     * Lowest-(cycle, id) lane that is active, not done, and not
+     * @p exclude; -1 if none.
+     */
+    int pickNext(u32 exclude) const;
+
+    struct Lane
+    {
+        double cycle = 0.0;
+        bool active = false;
+        bool done = false;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Lane> lanes_;
+    double quantum_;
+    u32 holder_ = kNoHolder;
+};
+
+} // namespace cheri::sim
+
+#endif // CHERI_SIM_CORUN_GATE_HPP

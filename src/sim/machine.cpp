@@ -1,454 +1,50 @@
 #include "sim/machine.hpp"
 
-#include <algorithm>
-
-#include <bit>
-
+#include "mem/uncore.hpp"
 #include "support/logging.hpp"
-#include "trace/profile.hpp"
 
 namespace cheri::sim {
 
-using cap::CapFault;
-using cap::CapFaultKind;
-using cap::Capability;
-using isa::Inst;
-using isa::Opcode;
-using uarch::BranchKind;
-using uarch::DynOp;
-
-MachineConfig
-MachineConfig::forAbi(abi::Abi abi)
-{
-    MachineConfig config;
-    config.abi = abi;
-    return config;
-}
-
 Machine::Machine(const MachineConfig &config)
-    : config_(config),
-      memory_(std::make_unique<mem::MemorySystem>(config.mem, counts_)),
-      pipe_(std::make_unique<uarch::PipelineModel>(config.pipe, *memory_,
-                                                   counts_))
+    : Machine(config, std::vector<abi::Abi>(
+                          config.cores > 0 ? config.cores : 1, config.abi))
 {
-    // Root capabilities: a DDC covering the address space for hybrid
-    // integer addressing — the pure-capability ABIs null it out, so
-    // every access must carry a valid capability — an executable PCC
-    // installed by run(), and a stack capability.
-    ddc_ = abi::capabilityPointers(config.abi)
-               ? Capability()
-               : Capability::root().withPerms(cap::PermSet::data());
-    csp_ = Capability::dataRegion(0x7ff0'0000, 0x10'0000);
-    // C0 carries the almighty root (as CheriBSD hands the runtime at
-    // startup); programs derive restricted capabilities from it.
-    regs_.setC(0, Capability::root());
-    regs_.setC(isa::kRegFp, csp_.withAddress(0x7fff'0000));
 }
 
-SimResult
-Machine::finalize()
+Machine::Machine(const MachineConfig &config,
+                 const std::vector<abi::Abi> &core_abis)
+    : config_(config)
 {
-    CHERI_ASSERT(!finalized_, "finalize called twice");
-    finalized_ = true;
-    pipe_->finish();
-
-    SimResult result;
-    result.counts = counts_;
-    result.instructions = counts_.get(pmu::Event::InstRetired);
-    result.cycles = counts_.get(pmu::Event::CpuCycles);
-    result.seconds =
-        static_cast<double>(result.cycles) / (config_.clock_ghz * 1e9);
-    return result;
-}
-
-isa::BlockId
-Machine::blockAt(Addr addr) const
-{
-    const auto it = blockByAddr_.find(addr);
-    return it == blockByAddr_.end() ? isa::kNoBlock : it->second;
-}
-
-Capability
-Machine::addressingCap(u8 rn) const
-{
-    const Capability &base = regs_.c(rn);
-    if (base.tag())
-        return base;
-    // Untagged base: hybrid-style DDC-relative addressing.
-    return ddc_.withAddress(regs_.x(rn));
-}
-
-SimResult
-Machine::run(const isa::Program &program, isa::FuncId entry)
-{
-    CHERI_TRACE_SCOPE("sim/machine.run");
-    CHERI_ASSERT(!finalized_, "Machine already used");
-    program.validate();
-    program_ = &program;
-
-    Addr text_lo = ~0ULL, text_hi = 0;
-    blockByAddr_.clear();
-    for (isa::BlockId id = 0; id < program.blockCount(); ++id) {
-        const auto &block = program.block(id);
-        CHERI_ASSERT(block.address != 0,
-                     "program must be laid out before run()");
-        blockByAddr_[block.address] = id;
-        text_lo = std::min(text_lo, block.address);
-        text_hi = std::max(text_hi,
-                           block.address + block.insts.size() * 4);
+    const u32 n = static_cast<u32>(core_abis.size());
+    CHERI_ASSERT(n > 0, "Machine needs at least one core");
+    // config.cores defaults to 1; an explicit ABI list overrides it,
+    // but a deliberate multi-core config must agree with the list.
+    CHERI_ASSERT(config.cores <= 1 || config.cores == n,
+                 "config.cores (", config.cores, ") != core ABIs (", n, ")");
+    config_.cores = n;
+    uncore_ = std::make_unique<mem::Uncore>(config_.mem, n);
+    cores_.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+        MachineConfig slice = config_;
+        slice.abi = core_abis[i];
+        cores_.push_back(std::make_unique<Core>(slice, *uncore_, i));
     }
-    pcc_ = Capability::codeRegion(text_lo, text_hi - text_lo);
-
-    SimResult partial;
-    ExecCursor cursor{program.function(entry).entry, 0};
-    callStack_.clear();
-
-    u64 executed = 0;
-    while (executed < config_.max_insts) {
-        if (!step(program, cursor, partial))
-            break;
-        ++executed;
-    }
-
-    SimResult result = finalize();
-    result.halted = partial.halted;
-    result.fault = partial.fault;
-    return result;
 }
 
-bool
-Machine::step(const isa::Program &program, ExecCursor &cursor,
-              SimResult &result)
+Machine::~Machine() = default;
+
+Core &
+Machine::core(u32 i)
 {
-    const isa::BasicBlock *block = &program.block(cursor.block);
-    // Implicit fallthrough into the next block.
-    while (cursor.index >= block->insts.size()) {
-        if (cursor.block + 1 >= program.blockCount())
-            return false;
-        ++cursor.block;
-        cursor.index = 0;
-        block = &program.block(cursor.block);
-    }
+    CHERI_ASSERT(i < cores_.size(), "core(", i, ") of ", cores_.size());
+    return *cores_[i];
+}
 
-    const Inst &inst = block->insts[cursor.index];
-    const Addr pc = block->address + cursor.index * 4;
-    const isa::LibId lib = program.libOf(cursor.block);
-
-    // Pointer-chase detection: a memory op whose base register was
-    // the destination of a recent load is latency-serialized.
-    static_assert(isa::kNumRegs == 32);
-    const bool dependent =
-        isa::isMemory(inst.op) && chaseCredit_ > 0 &&
-        inst.rn == lastLoadDest_;
-    if (chaseCredit_ > 0)
-        --chaseCredit_;
-
-    ExecCursor next{cursor.block, cursor.index + 1};
-
-    auto fault_out = [&](const CapFault &fault) {
-        result.fault = fault;
-        return false;
-    };
-
-    switch (inst.op) {
-      case Opcode::Nop:
-        pipe_->issue(DynOp::alu(pc, Opcode::Nop));
-        break;
-      case Opcode::MovImm:
-        regs_.setX(inst.rd, static_cast<u64>(inst.imm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::MovReg:
-        regs_.setX(inst.rd, regs_.x(inst.rn));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::Add:
-        regs_.setX(inst.rd, regs_.x(inst.rn) + regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::AddImm:
-        regs_.setX(inst.rd, regs_.x(inst.rn) + static_cast<u64>(inst.imm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::Sub:
-        regs_.setX(inst.rd, regs_.x(inst.rn) - regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::SubImm:
-        regs_.setX(inst.rd, regs_.x(inst.rn) - static_cast<u64>(inst.imm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::And:
-        regs_.setX(inst.rd, regs_.x(inst.rn) & regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::Orr:
-        regs_.setX(inst.rd, regs_.x(inst.rn) | regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::Eor:
-        regs_.setX(inst.rd, regs_.x(inst.rn) ^ regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::Lsl:
-        regs_.setX(inst.rd, regs_.x(inst.rn) << (inst.imm & 63));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::Lsr:
-        regs_.setX(inst.rd, regs_.x(inst.rn) >> (inst.imm & 63));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::Mul:
-        regs_.setX(inst.rd, regs_.x(inst.rn) * regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::Madd:
-        regs_.setX(inst.rd, regs_.x(inst.ra) +
-                                regs_.x(inst.rn) * regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::Udiv: {
-        const u64 div = regs_.x(inst.rm);
-        regs_.setX(inst.rd, div ? regs_.x(inst.rn) / div : 0);
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      }
-      case Opcode::Cmp:
-        regs_.setFlags(static_cast<s64>(regs_.x(inst.rn)),
-                       static_cast<s64>(regs_.x(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CmpImm:
-        regs_.setFlags(static_cast<s64>(regs_.x(inst.rn)), inst.imm);
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-
-      case Opcode::FAdd:
-      case Opcode::FMul:
-      case Opcode::FMadd:
-      case Opcode::FDiv: {
-        const double a = std::bit_cast<double>(regs_.x(inst.rn));
-        const double b = std::bit_cast<double>(regs_.x(inst.rm));
-        double value = 0.0;
-        switch (inst.op) {
-          case Opcode::FAdd: value = a + b; break;
-          case Opcode::FMul: value = a * b; break;
-          case Opcode::FMadd:
-            value = std::bit_cast<double>(regs_.x(inst.ra)) + a * b;
-            break;
-          default: value = b != 0.0 ? a / b : 0.0; break;
-        }
-        regs_.setX(inst.rd, std::bit_cast<u64>(value));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      }
-
-      case Opcode::VAdd:
-      case Opcode::VMul:
-      case Opcode::VFma:
-      case Opcode::VDot:
-        // SIMD values are abstracted; keep dataflow deterministic.
-        regs_.setX(inst.rd, regs_.x(inst.rn) + regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-
-      case Opcode::Ldr: {
-        const Capability base = addressingCap(inst.rn);
-        const Addr addr = base.address() + static_cast<u64>(inst.imm);
-        if (auto fault = base.checkAccess(addr, inst.size, false))
-            return fault_out(*fault);
-        regs_.setX(inst.rd, store_.read(addr, inst.size));
-        pipe_->issue(DynOp::load(pc, addr, inst.size, false, dependent));
-        lastLoadDest_ = inst.rd;
-        chaseCredit_ = 4;
-        break;
-      }
-      case Opcode::Str: {
-        const Capability base = addressingCap(inst.rn);
-        const Addr addr = base.address() + static_cast<u64>(inst.imm);
-        if (auto fault = base.checkAccess(addr, inst.size, true))
-            return fault_out(*fault);
-        store_.write(addr, regs_.x(inst.rd), inst.size);
-        pipe_->issue(DynOp::store(pc, addr, inst.size, false));
-        break;
-      }
-      case Opcode::LdrCap: {
-        const Capability base = addressingCap(inst.rn);
-        const Addr addr = base.address() + static_cast<u64>(inst.imm);
-        if (addr % mem::kCapGranule != 0)
-            return fault_out(CapFault{CapFaultKind::BoundsViolation, addr,
-                                      16});
-        if (auto fault = base.checkAccess(addr, 16, false, true))
-            return fault_out(*fault);
-        regs_.setC(inst.rd, store_.readCap(addr));
-        pipe_->issue(DynOp::load(pc, addr, 16, true, dependent));
-        lastLoadDest_ = inst.rd;
-        chaseCredit_ = 4;
-        break;
-      }
-      case Opcode::StrCap: {
-        const Capability base = addressingCap(inst.rn);
-        const Addr addr = base.address() + static_cast<u64>(inst.imm);
-        if (addr % mem::kCapGranule != 0)
-            return fault_out(CapFault{CapFaultKind::BoundsViolation, addr,
-                                      16});
-        if (auto fault = base.checkAccess(addr, 16, true, true))
-            return fault_out(*fault);
-        store_.writeCap(addr, regs_.c(inst.rd));
-        pipe_->issue(DynOp::store(pc, addr, 16, true));
-        break;
-      }
-
-      case Opcode::CSetBounds:
-        regs_.setC(inst.rd, regs_.c(inst.rn).setBounds(regs_.x(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CSetBoundsImm:
-        regs_.setC(inst.rd, regs_.c(inst.rn).setBounds(
-                                static_cast<u64>(inst.imm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CIncOffset:
-        regs_.setC(inst.rd, regs_.c(inst.rn).add(
-                                static_cast<s64>(regs_.x(inst.rm))));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CIncOffsetImm:
-        regs_.setC(inst.rd, regs_.c(inst.rn).add(inst.imm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CSetAddr:
-        regs_.setC(inst.rd,
-                   regs_.c(inst.rn).withAddress(regs_.x(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CAndPerm:
-        regs_.setC(inst.rd, regs_.c(inst.rn).withPerms(cap::PermSet(
-                                static_cast<u16>(regs_.x(inst.rm)))));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CClearTag:
-        regs_.setC(inst.rd, regs_.c(inst.rn).withoutTag());
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CSeal:
-        regs_.setC(inst.rd, regs_.c(inst.rn).sealWith(regs_.c(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CUnseal:
-        regs_.setC(inst.rd, regs_.c(inst.rn).unsealWith(regs_.c(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CGetBase:
-        regs_.setX(inst.rd, regs_.c(inst.rn).base());
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CGetLen:
-        regs_.setX(inst.rd, regs_.c(inst.rn).length());
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CGetTag:
-        regs_.setX(inst.rd, regs_.c(inst.rn).tag() ? 1 : 0);
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CGetAddr:
-        regs_.setX(inst.rd, regs_.c(inst.rn).address());
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::CMove:
-        regs_.setC(inst.rd, regs_.c(inst.rn));
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      case Opcode::LeaFunc: {
-        const auto func = static_cast<isa::FuncId>(inst.imm);
-        const Addr addr =
-            program.block(program.function(func).entry).address;
-        if (abi::capabilityPointers(config_.abi))
-            regs_.setC(inst.rd, pcc_.withAddress(addr));
-        else
-            regs_.setX(inst.rd, addr);
-        pipe_->issue(DynOp::alu(pc, inst.op));
-        break;
-      }
-
-      case Opcode::B:
-        next = ExecCursor{inst.target, 0};
-        pipe_->issue(DynOp::branchOp(
-            pc, BranchKind::Immed, true,
-            program.block(inst.target).address));
-        break;
-      case Opcode::BCond: {
-        const bool taken = regs_.condHolds(inst.cond);
-        if (taken)
-            next = ExecCursor{inst.target, 0};
-        pipe_->issue(DynOp::condBranch(
-            pc, taken, program.block(inst.target).address));
-        break;
-      }
-      case Opcode::Bl: {
-        const isa::LibId target_lib = program.libOf(inst.target);
-        callStack_.push_back(next);
-        regs_.setC(isa::kRegLr, pcc_.withAddress(pc + 4));
-        next = ExecCursor{inst.target, 0};
-        const bool pcc_change = inst.capBranch &&
-                                abi::capabilityBranches(config_.abi) &&
-                                target_lib != lib;
-        pipe_->issue(DynOp::branchOp(
-            pc, BranchKind::Immed, true,
-            program.block(inst.target).address, pcc_change, true));
-        break;
-      }
-      case Opcode::Br:
-      case Opcode::Blr: {
-        const Capability target_cap = regs_.c(inst.rn).tag()
-                                          ? regs_.c(inst.rn)
-                                          : pcc_.withAddress(
-                                                regs_.x(inst.rn));
-        if (auto fault = target_cap.checkExecute(target_cap.address()))
-            return fault_out(*fault);
-        const isa::BlockId target = blockAt(target_cap.address());
-        if (target == isa::kNoBlock)
-            return fault_out(CapFault{CapFaultKind::BoundsViolation,
-                                      target_cap.address(), 4});
-        if (inst.op == Opcode::Blr) {
-            callStack_.push_back(next);
-            regs_.setC(isa::kRegLr, pcc_.withAddress(pc + 4));
-        }
-        next = ExecCursor{target, 0};
-        const bool pcc_change =
-            inst.capBranch && abi::capabilityBranches(config_.abi);
-        pipe_->issue(DynOp::branchOp(pc, BranchKind::Indirect, true,
-                                     target_cap.address(), pcc_change,
-                                     inst.op == Opcode::Blr));
-        break;
-      }
-      case Opcode::Ret: {
-        const bool pcc_change = inst.capBranch &&
-                                abi::capabilityBranches(config_.abi);
-        if (callStack_.empty()) {
-            pipe_->issue(DynOp::branchOp(pc, BranchKind::Return, true, 0,
-                                         pcc_change));
-            result.halted = true;
-            return false;
-        }
-        next = callStack_.back();
-        callStack_.pop_back();
-        const Addr target =
-            program.block(next.block).address + next.index * 4;
-        pipe_->issue(DynOp::branchOp(pc, BranchKind::Return, true, target,
-                                     pcc_change));
-        break;
-      }
-
-      case Opcode::Halt:
-        result.halted = true;
-        return false;
-      case Opcode::Brk:
-        return false;
-    }
-
-    cursor = next;
-    return true;
+const Core &
+Machine::core(u32 i) const
+{
+    CHERI_ASSERT(i < cores_.size(), "core(", i, ") of ", cores_.size());
+    return *cores_[i];
 }
 
 } // namespace cheri::sim

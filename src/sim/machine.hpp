@@ -1,118 +1,73 @@
 /**
  * @file
- * The Machine ties everything together: functional execution with
- * full capability enforcement (for static MorelloLite programs) and
- * the dynamic-issue interface the workload generators use, both
- * feeding the same timing models and PMU counts.
+ * The Machine is the simulated SoC: N Core slices (MachineConfig::
+ * cores, default 1) over one shared mem::Uncore, mirroring Morello's
+ * quad-core Neoverse-N1 with its shared 1 MiB system-level cache.
+ *
+ * For the (default) single-core machine the pre-split API is
+ * preserved verbatim: run()/pipeline()/counts()/memory()/store()/
+ * regs()/finalize() forward to core 0, and results are bit-identical
+ * to the pre-split monolith. Multi-core co-runs construct the Machine
+ * with per-core ABIs and drive each core from its own lane
+ * (workloads::detail::executeCoRun), interleaved deterministically by
+ * sim::CorunGate.
  */
 
 #ifndef CHERI_SIM_MACHINE_HPP
 #define CHERI_SIM_MACHINE_HPP
 
 #include <memory>
-#include <optional>
-#include <unordered_map>
+#include <vector>
 
-#include "abi/abi.hpp"
-#include "cap/fault.hpp"
-#include "isa/program.hpp"
-#include "mem/backing_store.hpp"
-#include "mem/memory_system.hpp"
-#include "pmu/counts.hpp"
-#include "sim/regfile.hpp"
-#include "uarch/pipeline.hpp"
+#include "sim/core.hpp"
+
+namespace cheri::mem {
+class Uncore;
+}
 
 namespace cheri::sim {
-
-struct MachineConfig
-{
-    abi::Abi abi = abi::Abi::Hybrid;
-    mem::MemConfig mem{};
-    uarch::PipelineConfig pipe{};
-    u64 max_insts = 500'000'000; //!< Runaway guard for the executor.
-    double clock_ghz = 2.5;      //!< Morello clock (§2.2).
-
-    /** Apply per-ABI defaults (purecap capability branches, etc.). */
-    static MachineConfig forAbi(abi::Abi abi);
-};
-
-/** Outcome of a simulation. */
-struct SimResult
-{
-    pmu::EventCounts counts;
-    u64 instructions = 0;
-    Cycles cycles = 0;
-    double seconds = 0.0; //!< cycles / clock.
-    bool halted = false;  //!< Clean Halt (vs fault / inst limit).
-    std::optional<cap::CapFault> fault;
-
-    double
-    ipc() const
-    {
-        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
-    }
-};
 
 class Machine
 {
   public:
+    /** An SoC of config.cores identical-ABI core slices. */
     explicit Machine(const MachineConfig &config);
 
     /**
-     * Run a static program from @p entry ("main" = function 0 by
-     * default) until Halt, a capability fault, or the instruction
-     * limit. The program must already be laid out (Program::layout).
+     * An SoC with per-core ABIs (multi-programmed co-runs): core i
+     * runs @p core_abis[i]. @p core_abis must have config.cores
+     * entries (or one per core when config.cores is defaulted).
      */
-    SimResult run(const isa::Program &program, isa::FuncId entry = 0);
+    Machine(const MachineConfig &config,
+            const std::vector<abi::Abi> &core_abis);
 
-    // --- Dynamic-issue interface (workload generators) ---------------
-    uarch::PipelineModel &pipeline() { return *pipe_; }
-    pmu::EventCounts &counts() { return counts_; }
-    mem::MemorySystem &memory() { return *memory_; }
-    mem::BackingStore &store() { return store_; }
-    RegFile &regs() { return regs_; }
+    ~Machine();
+
+    u32 coreCount() const { return static_cast<u32>(cores_.size()); }
+    Core &core(u32 i);
+    const Core &core(u32 i) const;
+    mem::Uncore &uncore() { return *uncore_; }
+    const mem::Uncore &uncore() const { return *uncore_; }
 
     const MachineConfig &config() const { return config_; }
 
-    /** Finish the pipeline and snapshot results (dynamic-issue mode). */
-    SimResult finalize();
+    // --- Single-core convenience API (forwards to core 0) -------------
+    SimResult
+    run(const isa::Program &program, isa::FuncId entry = 0)
+    {
+        return core(0).run(program, entry);
+    }
+    uarch::PipelineModel &pipeline() { return core(0).pipeline(); }
+    pmu::EventCounts &counts() { return core(0).counts(); }
+    mem::PrivateHierarchy &memory() { return core(0).memory(); }
+    mem::BackingStore &store() { return core(0).store(); }
+    RegFile &regs() { return core(0).regs(); }
+    SimResult finalize() { return core(0).finalize(); }
 
   private:
-    struct ExecCursor
-    {
-        isa::BlockId block = 0;
-        u32 index = 0;
-    };
-
-    /** Execute one instruction; returns false when execution ends. */
-    bool step(const isa::Program &program, ExecCursor &cursor,
-              SimResult &result);
-
-    /** Resolve a code address to a block (indirect branches). */
-    isa::BlockId blockAt(Addr addr) const;
-
-    /** The capability used for addressing by a memory instruction. */
-    cap::Capability addressingCap(u8 rn) const;
-
     MachineConfig config_;
-    pmu::EventCounts counts_;
-    std::unique_ptr<mem::MemorySystem> memory_;
-    std::unique_ptr<uarch::PipelineModel> pipe_;
-    mem::BackingStore store_;
-    RegFile regs_;
-
-    cap::Capability pcc_;
-    cap::Capability ddc_;
-    cap::Capability csp_;
-
-    const isa::Program *program_ = nullptr;
-    std::unordered_map<Addr, isa::BlockId> blockByAddr_;
-    std::vector<ExecCursor> callStack_;
-    bool finalized_ = false;
-
-    /** Pointer-chase detection: last load destination + freshness. */
-    u8 lastLoadDest_ = isa::kRegZero;
-    u32 chaseCredit_ = 0;
+    std::unique_ptr<mem::Uncore> uncore_;
+    std::vector<std::unique_ptr<Core>> cores_;
 };
 
 } // namespace cheri::sim

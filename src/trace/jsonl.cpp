@@ -1,5 +1,6 @@
 #include "trace/jsonl.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "analysis/metrics.hpp"
@@ -67,9 +68,18 @@ JsonlWriter::finish()
     return std::move(text_);
 }
 
+namespace {
+
+/**
+ * Shared epoch renderer. @p core_id null for the classic single-lane
+ * stream (whose bytes CI goldens pin down); non-null inserts a
+ * "core_id" field right after "epoch". The key is "core_id", not
+ * "core" — that name is already taken by the core-bound top-down
+ * fraction below.
+ */
 std::string
-epochToJsonl(const EpochRecord &epoch, std::string_view workload,
-             std::string_view abi, u64 seed)
+epochLine(const EpochRecord &epoch, std::string_view workload,
+          std::string_view abi, u64 seed, const u32 *core_id)
 {
     // Per-epoch cache/TLB rates via the same Table 1 formulas the
     // aggregate report uses (the synthesized totals make this valid).
@@ -79,8 +89,10 @@ epochToJsonl(const EpochRecord &epoch, std::string_view workload,
     w.field("workload", workload)
         .field("abi", abi)
         .field("seed", seed)
-        .field("epoch", epoch.index)
-        .field("inst_start", epoch.instStart)
+        .field("epoch", epoch.index);
+    if (core_id != nullptr)
+        w.field("core_id", static_cast<u64>(*core_id));
+    w.field("inst_start", epoch.instStart)
         .field("inst_end", epoch.instEnd)
         .field("cycles", epoch.cycles)
         .field("ipc", epoch.ipc())
@@ -108,6 +120,22 @@ epochToJsonl(const EpochRecord &epoch, std::string_view workload,
     return w.finish();
 }
 
+} // namespace
+
+std::string
+epochToJsonl(const EpochRecord &epoch, std::string_view workload,
+             std::string_view abi, u64 seed)
+{
+    return epochLine(epoch, workload, abi, seed, nullptr);
+}
+
+std::string
+epochToJsonl(const EpochRecord &epoch, std::string_view workload,
+             std::string_view abi, u64 seed, u32 core_id)
+{
+    return epochLine(epoch, workload, abi, seed, &core_id);
+}
+
 std::string
 seriesToJsonl(const EpochSeries &series, std::string_view workload,
               std::string_view abi, u64 seed)
@@ -115,6 +143,48 @@ seriesToJsonl(const EpochSeries &series, std::string_view workload,
     std::string out;
     for (const auto &epoch : series.epochs)
         out += epochToJsonl(epoch, workload, abi, seed);
+    return out;
+}
+
+std::string
+seriesToJsonl(const EpochSeries &series, std::string_view workload,
+              std::string_view abi, u64 seed, u32 core_id)
+{
+    std::string out;
+    for (const auto &epoch : series.epochs)
+        out += epochToJsonl(epoch, workload, abi, seed, core_id);
+    return out;
+}
+
+std::string
+corunSummaryJsonl(const std::vector<CorunLaneSummary> &lanes, u64 seed)
+{
+    std::string out;
+    u64 total_insts = 0;
+    u64 makespan = 0;
+    for (const CorunLaneSummary &lane : lanes) {
+        JsonlWriter w;
+        w.field("record", "lane-total")
+            .field("workload", lane.workload)
+            .field("abi", lane.abi)
+            .field("seed", seed)
+            .field("core_id", static_cast<u64>(lane.core))
+            .field("instructions", lane.instructions)
+            .field("cycles", lane.cycles)
+            .field("ipc", lane.ipc)
+            .field("llc_rd_misses", lane.llc_rd_misses)
+            .field("seconds", lane.seconds);
+        out += w.finish();
+        total_insts += lane.instructions;
+        makespan = std::max(makespan, lane.cycles);
+    }
+    JsonlWriter w;
+    w.field("record", "soc-total")
+        .field("seed", seed)
+        .field("lanes", static_cast<u64>(lanes.size()))
+        .field("instructions", total_insts)
+        .field("makespan_cycles", makespan);
+    out += w.finish();
     return out;
 }
 

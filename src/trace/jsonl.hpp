@@ -15,6 +15,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "trace/trace.hpp"
 
@@ -55,6 +56,40 @@ std::string epochToJsonl(const EpochRecord &epoch,
 std::string seriesToJsonl(const EpochSeries &series,
                           std::string_view workload, std::string_view abi,
                           u64 seed);
+
+/**
+ * Per-core variants for co-run traces: identical to the above except
+ * a "core_id" field follows "epoch", tagging the line with the core
+ * slice that produced it. (The plain overloads stay byte-identical
+ * for single-lane traces — the CI golden contract.)
+ */
+std::string epochToJsonl(const EpochRecord &epoch,
+                         std::string_view workload, std::string_view abi,
+                         u64 seed, u32 core_id);
+std::string seriesToJsonl(const EpochSeries &series,
+                          std::string_view workload, std::string_view abi,
+                          u64 seed, u32 core_id);
+
+/** One lane's whole-run totals, for the co-run aggregate summary. */
+struct CorunLaneSummary
+{
+    std::string workload;
+    std::string abi; //!< abi::abiName, or "NA" for unrunnable lanes.
+    u32 core = 0;
+    u64 instructions = 0;
+    u64 cycles = 0;
+    double ipc = 0.0;
+    u64 llc_rd_misses = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * Render a co-run cell's aggregate stream: one "lane-total" line per
+ * lane plus one trailing "soc-total" line (summed instructions,
+ * makespan cycles). Deterministic like the epoch lines.
+ */
+std::string corunSummaryJsonl(const std::vector<CorunLaneSummary> &lanes,
+                              u64 seed);
 
 } // namespace cheri::trace
 

@@ -99,6 +99,8 @@ void
 PipelineModel::issue(const DynOp &op)
 {
     CHERI_ASSERT(!finished_, "issue after finish");
+    if (gate_ != nullptr)
+        gate_->onIssue(gateCore_, cycleF_);
     const InstClass cls = isa::opcodeClass(op.op);
     const u32 uops = std::max<u32>(op.uops, 1);
 

@@ -69,6 +69,21 @@ class RetireHook
     virtual void onRetire(const PipelineModel &pipe) = 0;
 };
 
+/**
+ * Co-run interleave hook, called at the top of every issue() with the
+ * issuing core's id and its live fractional cycle. The sim layer's
+ * CorunGate implements this to timeshare N core timelines
+ * deterministically in cycle order; the call may block until the core
+ * is allowed to proceed. With no gate attached the per-op cost is a
+ * single predictable null check.
+ */
+class IssueGate
+{
+  public:
+    virtual ~IssueGate() = default;
+    virtual void onIssue(u32 core, double cycleF) = 0;
+};
+
 class PipelineModel
 {
   public:
@@ -112,6 +127,16 @@ class PipelineModel
     /** Attach/detach the per-retire observer (nullptr = none). */
     void setRetireHook(RetireHook *hook) { hook_ = hook; }
 
+    /**
+     * Attach/detach the co-run interleave gate (nullptr = none).
+     * @p core is the id passed back on every onIssue().
+     */
+    void setIssueGate(IssueGate *gate, u32 core)
+    {
+        gate_ = gate;
+        gateCore_ = core;
+    }
+
     const BranchPredictor &predictor() const { return predictor_; }
     const StoreQueue &storeQueue() const { return sq_; }
     const PipelineConfig &config() const { return config_; }
@@ -127,6 +152,8 @@ class PipelineModel
     BranchPredictor predictor_;
     StoreQueue sq_;
     RetireHook *hook_ = nullptr;
+    IssueGate *gate_ = nullptr;
+    u32 gateCore_ = 0;
 
     double cycleF_ = 0.0;           //!< Master clock.
     double stallFrontendF_ = 0.0;

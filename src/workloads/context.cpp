@@ -29,7 +29,7 @@ Ctx::allocLinkedPool(const abi::StructDesc &desc, u64 count, bool emit_ops,
         for (u64 i = 0; i < len; ++i) {
             const Addr from = nodes[begin + perm[i]];
             const Addr to = nodes[begin + perm[(i + 1) % len]];
-            machine.store().write(from + layout.offsetOf(0), to, 8);
+            core.store().write(from + layout.offsetOf(0), to, 8);
             if (emit_ops && (i & 63) == 0)
                 low.storePointer(from + layout.offsetOf(0));
         }

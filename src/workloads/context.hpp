@@ -14,7 +14,7 @@
 #include "abi/allocator.hpp"
 #include "abi/layout.hpp"
 #include "abi/lowering.hpp"
-#include "sim/machine.hpp"
+#include "sim/core.hpp"
 #include "support/rng.hpp"
 
 namespace cheri::workloads {
@@ -22,14 +22,14 @@ namespace cheri::workloads {
 class Ctx
 {
   public:
-    Ctx(sim::Machine &machine, abi::Abi abi, u64 seed)
-        : abi(abi), machine(machine), alloc(abi),
-          code(abi), low(abi, machine.pipeline(), code), rng(seed)
+    Ctx(sim::Core &core, abi::Abi abi, u64 seed)
+        : abi(abi), core(core), alloc(abi),
+          code(abi), low(abi, core.pipeline(), code), rng(seed)
     {
     }
 
     abi::Abi abi;
-    sim::Machine &machine;
+    sim::Core &core;
     abi::SimAllocator alloc;
     abi::CodeMap code;
     abi::DynLowering low;

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Multi-programmed co-run execution: one host thread per lane driving
+ * its core slice, serialized into a deterministic cycle-ordered
+ * interleave by sim::CorunGate. See registry.hpp for the contract.
+ */
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "mem/uncore.hpp"
+#include "sim/corun_gate.hpp"
+#include "sim/machine.hpp"
+#include "support/logging.hpp"
+#include "trace/collector.hpp"
+#include "trace/profile.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::workloads {
+
+std::vector<std::optional<sim::SimResult>>
+detail::executeCoRun(const std::vector<CorunLane> &lanes, Scale scale,
+                     const sim::MachineConfig *base, u64 seed,
+                     const trace::TraceConfig *trace_config,
+                     std::vector<trace::EpochSeries> *epochs_out)
+{
+    CHERI_TRACE_SCOPE("workloads/corun");
+    CHERI_ASSERT(!lanes.empty(), "co-run needs at least one lane");
+    const u32 n = static_cast<u32>(lanes.size());
+
+    sim::MachineConfig config =
+        base ? *base : sim::MachineConfig::forAbi(lanes.front().abi);
+    config.cores = n;
+    std::vector<abi::Abi> abis;
+    abis.reserve(n);
+    for (const CorunLane &lane : lanes) {
+        CHERI_ASSERT(lane.workload != nullptr, "co-run lane without workload");
+        abis.push_back(lane.abi);
+    }
+    config.abi = abis.front();
+    sim::Machine machine(config, abis);
+
+    const bool traced = trace_config != nullptr && trace_config->enabled;
+    CHERI_ASSERT(!traced || epochs_out != nullptr,
+                 "tracing requested without an epoch sink");
+    if (traced)
+        epochs_out->assign(n, trace::EpochSeries{});
+
+    std::vector<u32> runnable;
+    for (u32 i = 0; i < n; ++i)
+        if (lanes[i].workload->supports(lanes[i].abi))
+            runnable.push_back(i);
+
+    std::vector<std::optional<trace::EpochCollector>> collectors(n);
+    auto runLane = [&](u32 i) {
+        sim::Core &core = machine.core(i);
+        if (traced) {
+            collectors[i].emplace(*trace_config);
+            core.pipeline().setRetireHook(&*collectors[i]);
+        }
+        lanes[i].workload->run(core, lanes[i].abi, scale, seed);
+    };
+
+    if (runnable.size() <= 1) {
+        // Degenerate co-run (<= 1 runnable lane): no contention is
+        // possible, so skip the gate and the threads entirely.
+        if (!runnable.empty())
+            runLane(runnable.front());
+    } else {
+        sim::CorunGate gate(n, config.corun_quantum);
+        for (u32 i : runnable)
+            gate.activate(i);
+        for (u32 i : runnable)
+            machine.core(i).pipeline().setIssueGate(&gate, i);
+
+        std::vector<std::thread> threads;
+        threads.reserve(runnable.size());
+        for (u32 i : runnable)
+            threads.emplace_back([&, i] {
+                runLane(i);
+                // The lane holds the gate token here (or never issued
+                // and never touched the uncore), so dropping out of
+                // the contender set is a deterministic event.
+                machine.uncore().coreFinished(i);
+                gate.finish(i);
+            });
+        for (std::thread &t : threads)
+            t.join();
+        for (u32 i : runnable)
+            machine.core(i).pipeline().setIssueGate(nullptr, 0);
+    }
+
+    std::vector<std::optional<sim::SimResult>> out(n);
+    for (u32 i : runnable) {
+        sim::Core &core = machine.core(i);
+        // Close the trailing epoch before finalize(), as in
+        // executeWorkload().
+        if (traced) {
+            core.pipeline().setRetireHook(nullptr);
+            (*epochs_out)[i] = collectors[i]->finish(core.pipeline());
+        }
+        out[i] = core.finalize();
+    }
+    return out;
+}
+
+} // namespace cheri::workloads

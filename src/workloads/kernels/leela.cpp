@@ -42,10 +42,10 @@ class LeelaWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+    run(sim::Core &core, abi::Abi abi, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(machine, abi, seed + (speed_ ? 1 : 0));
+        Ctx ctx(core, abi, seed + (speed_ ? 1 : 0));
         const u32 f_main = ctx.code.addFunction(0, 700);
         const u32 f_uct = ctx.code.addFunction(0, 800);
         u32 f_policy[4];
@@ -82,7 +82,7 @@ class LeelaWorkload final : public Workload
                                     : ctx.rng.nextBelow(pool)];
             for (int hop = 0; hop < 6; ++hop) {
                 const u32 slot = ctx.rng.chance(0.5) ? 1 : 2;
-                const Addr next = ctx.machine.store().read(
+                const Addr next = ctx.core.store().read(
                     cursor + node.offsetOf(0), 8);
                 ctx.low.loadPointer(cursor + node.offsetOf(slot),
                                     /*dependent=*/hop > 0);

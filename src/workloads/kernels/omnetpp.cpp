@@ -49,10 +49,10 @@ class OmnetppWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+    run(sim::Core &core, abi::Abi abi, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(machine, abi, seed + (speed_ ? 1 : 0));
+        Ctx ctx(core, abi, seed + (speed_ ? 1 : 0));
 
         // Code layout: main model code plus the simulation kernel
         // library (lib 1) the model calls into constantly.
@@ -119,7 +119,7 @@ class OmnetppWorkload final : public Workload
 
             for (int hop = 0; hop < 2; ++hop) {
                 const Addr next =
-                    ctx.machine.store().read(cursor + off_next, 8);
+                    ctx.core.store().read(cursor + off_next, 8);
                 ctx.low.loadPointer(cursor + off_next, hop > 0);
                 ctx.low.alu(1);
                 cursor = next;

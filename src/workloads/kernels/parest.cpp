@@ -43,10 +43,10 @@ class ParestWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+    run(sim::Core &core, abi::Abi abi, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(machine, abi, seed);
+        Ctx ctx(core, abi, seed);
         const u32 f_main = ctx.code.addFunction(0, 800);
         const u32 f_spmv = ctx.code.addFunction(0, 500);
         const u32 f_mesh = ctx.code.addFunction(0, 700);

@@ -48,10 +48,10 @@ class QuickjsWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+    run(sim::Core &core, abi::Abi abi, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(machine, abi, seed);
+        Ctx ctx(core, abi, seed);
 
         // The interpreter loop is one huge function (~40 KiB hybrid,
         // exceeding the 64 KiB L1I together with the runtime helpers).
@@ -96,7 +96,7 @@ class QuickjsWorkload final : public Workload
                 ctx.low.store(addr + obj.offsetOf(7), 8);
                 ctx.low.alu(4);
                 // Link prototype chains through the fresh graph.
-                ctx.machine.store().write(
+                ctx.core.store().write(
                     addr + obj.offsetOf(1),
                     graph[ctx.rng.nextBelow(graph.size())], 8);
             }
@@ -143,7 +143,7 @@ class QuickjsWorkload final : public Workload
                     // Property lookup: shape/prototype chain chase.
                     Addr cursor = o;
                     for (int hop = 0; hop < 2; ++hop) {
-                        const Addr next = ctx.machine.store().read(
+                        const Addr next = ctx.core.store().read(
                             cursor + obj.offsetOf(1), 8);
                         ctx.low.loadPointer(cursor + obj.offsetOf(1),
                                             /*dependent=*/true);

@@ -44,10 +44,10 @@ class SqliteWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+    run(sim::Core &core, abi::Abi abi, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(machine, abi, seed);
+        Ctx ctx(core, abi, seed);
 
         // Wide, flat code footprint: the VDBE + B-tree + OS layers.
         const u32 f_main = ctx.code.addFunction(0, 600);
@@ -111,7 +111,7 @@ class SqliteWorkload final : public Workload
             for (int level = 0; level < 4; ++level) {
                 const u32 cell =
                     2 + static_cast<u32>(ctx.rng.nextBelow(4));
-                const Addr next = ctx.machine.store().read(
+                const Addr next = ctx.core.store().read(
                     cursor + page.offsetOf(0), 8);
                 ctx.low.loadPointer(cursor + page.offsetOf(cell),
                                     /*dependent=*/level > 0);

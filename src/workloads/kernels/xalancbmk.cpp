@@ -48,10 +48,10 @@ class XalancbmkWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Machine &machine, abi::Abi abi, Scale scale,
+    run(sim::Core &core, abi::Abi abi, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(machine, abi, seed + (speed_ ? 1 : 0));
+        Ctx ctx(core, abi, seed + (speed_ ? 1 : 0));
 
         // Main transform code plus the Xerces DOM library (lib 1):
         // virtual handlers resolve into library code.
@@ -101,14 +101,14 @@ class XalancbmkWorkload final : public Workload
                 matched = static_cast<u32>(ctx.rng.nextBelow(12));
             ctx.low.call(f_visit[matched], abi::CallKind::Virtual);
 
-            Addr child = ctx.machine.store().read(node + off_child, 8);
+            Addr child = ctx.core.store().read(node + off_child, 8);
             ctx.low.loadPointer(node + off_child);
             for (int i = 0; i < 3; ++i) {
                 ctx.low.loadPointer(child + off_sib, /*dependent=*/true);
                 ctx.low.load(child + off_hash, 8);
                 ctx.low.alu(2);
                 ctx.low.branch(ctx.rng.chance(0.93));
-                child = ctx.machine.store().read(child + off_sib, 8);
+                child = ctx.core.store().read(child + off_sib, 8);
                 // Each child classification is its own virtual call.
                 ctx.low.call(f_visit[(matched + i) % 12],
                              abi::CallKind::Virtual);

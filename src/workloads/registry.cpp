@@ -1,5 +1,6 @@
 #include "workloads/registry.hpp"
 
+#include "sim/machine.hpp"
 #include "support/logging.hpp"
 #include "trace/collector.hpp"
 #include "trace/profile.hpp"
@@ -99,7 +100,7 @@ detail::executeWorkload(const Workload &workload, abi::Abi abi,
         machine.pipeline().setRetireHook(&*collector);
     }
 
-    workload.run(machine, abi, scale, seed);
+    workload.run(machine.core(0), abi, scale, seed);
 
     // Close the trailing epoch before finalize(): the pipeline's
     // finish() write-back would otherwise bleed whole-run totals into

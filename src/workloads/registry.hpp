@@ -61,21 +61,37 @@ executeWorkload(const Workload &workload, abi::Abi abi, Scale scale,
                 const trace::TraceConfig *trace_config,
                 trace::EpochSeries *epochs_out);
 
-} // namespace detail
+/** One co-run lane: a workload bound to an ABI. */
+struct CorunLane
+{
+    const Workload *workload = nullptr;
+    abi::Abi abi = abi::Abi::Purecap;
+};
 
 /**
- * Forwarding shim for the pre-runner positional API. Will be removed
- * one release after the runner lands.
+ * Multi-programmed co-run executor: one Machine with lanes.size()
+ * core slices over a shared uncore; lane i's workload generator
+ * drives core i, the timelines interleaved deterministically in cycle
+ * order by sim::CorunGate so co-run results are byte-identical across
+ * repeat runs regardless of host scheduling. Every lane uses the same
+ * @p seed (solo and co-run lanes of a workload then retire identical
+ * instruction streams, isolating the uncore contention delta).
+ *
+ * @param base Optional config template; cores/abi are overridden
+ *        from the lane vector.
+ * @param trace_config When non-null and enabled, each lane collects
+ *        its own epoch series into @p epochs_out (resized to
+ *        lanes.size(); NA lanes get an empty series).
+ * @return One SimResult per lane, std::nullopt for lanes whose
+ *         workload does not support its ABI (the paper's "NA").
  */
-[[deprecated("construct a runner::RunRequest and call runner::run() / "
-             "runner::runPlan() instead")]]
-inline std::optional<sim::SimResult>
-runWorkload(const Workload &workload, abi::Abi abi,
-            Scale scale = Scale::Small,
-            const sim::MachineConfig *base = nullptr, u64 seed = 42)
-{
-    return detail::executeWorkload(workload, abi, scale, base, seed);
-}
+std::vector<std::optional<sim::SimResult>>
+executeCoRun(const std::vector<CorunLane> &lanes, Scale scale,
+             const sim::MachineConfig *base, u64 seed,
+             const trace::TraceConfig *trace_config = nullptr,
+             std::vector<trace::EpochSeries> *epochs_out = nullptr);
+
+} // namespace detail
 
 } // namespace cheri::workloads
 

@@ -16,7 +16,7 @@
 
 #include "abi/abi.hpp"
 #include "binsize/sections.hpp"
-#include "sim/machine.hpp"
+#include "sim/core.hpp"
 
 namespace cheri::workloads {
 
@@ -60,11 +60,12 @@ class Workload
     virtual const WorkloadInfo &info() const = 0;
 
     /**
-     * Synthesize the workload's dynamic behaviour into @p machine
+     * Synthesize the workload's dynamic behaviour into @p core
      * (via its pipeline/dynamic-issue interface) for the given ABI.
-     * Deterministic for a given (abi, scale, seed).
+     * Deterministic for a given (abi, scale, seed); in a co-run the
+     * core's shared uncore adds deterministic interference on top.
      */
-    virtual void run(sim::Machine &machine, abi::Abi abi, Scale scale,
+    virtual void run(sim::Core &core, abi::Abi abi, Scale scale,
                      u64 seed) const = 0;
 
     /** True when the workload can execute under @p abi. */

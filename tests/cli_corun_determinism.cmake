@@ -1,0 +1,126 @@
+# Co-run determinism fixture.
+#
+# The core/uncore split's contract is that a co-run cell — multiple
+# workload lanes racing on one shared uncore, each on its own model
+# thread — is still fully deterministic: byte-identical CSV and
+# per-core epoch JSONL across repeat runs, and the same numbers
+# whether the surrounding plan uses --jobs 1 or --jobs 4. This
+# re-verifies that end-to-end through the CLI:
+#
+#   1. `cheriperf corun` with --csv run twice -> identical CSV;
+#   2. the same cell with --emit-epochs run twice -> identical
+#      per-core JSONL (epoch streams + lane/SoC totals);
+#   3. `cheriperf sweep --cores 2` with --jobs 1 and --jobs 4 ->
+#      identical CSV (self-co-run cells written in plan order);
+#   4. shape checks: the corun CSV leads with a core column, epoch
+#      lines carry core_id, and both co-run cores appear.
+#
+# Invoked by ctest as:
+#   cmake -DCHERIPERF=<binary> -DWORK_DIR=<scratch> -P cli_corun_determinism.cmake
+
+if(NOT CHERIPERF)
+    message(FATAL_ERROR "pass -DCHERIPERF=<path to cheriperf binary>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_cheriperf out_file)
+    execute_process(
+        COMMAND "${CHERIPERF}" ${ARGN}
+        OUTPUT_FILE "${out_file}"
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "cheriperf ${ARGN} failed (${status}):\n${stderr}")
+    endif()
+endfunction()
+
+function(require_identical a b what)
+    file(READ "${a}" text_a)
+    file(READ "${b}" text_b)
+    if(NOT text_a STREQUAL text_b)
+        message(FATAL_ERROR "${what}: ${a} differs from ${b}")
+    endif()
+    if(text_a STREQUAL "")
+        message(FATAL_ERROR "${what}: ${a} is empty")
+    endif()
+endfunction()
+
+# --- repeat-run determinism of `cheriperf corun --csv` ----------------
+run_cheriperf("${WORK_DIR}/corun_a.csv"
+    corun 519.lbm_r 541.leela_r --abi purecap --scale tiny --seed 42
+    --csv --no-cache)
+run_cheriperf("${WORK_DIR}/corun_b.csv"
+    corun 519.lbm_r 541.leela_r --abi purecap --scale tiny --seed 42
+    --csv --no-cache)
+require_identical("${WORK_DIR}/corun_a.csv" "${WORK_DIR}/corun_b.csv"
+    "repeat `cheriperf corun` runs")
+
+# --- repeat-run determinism of the per-core epoch JSONL ---------------
+run_cheriperf("${WORK_DIR}/null_a"
+    corun 519.lbm_r 541.leela_r --abi purecap --scale tiny --seed 42
+    --no-cache --emit-epochs --epoch 20000
+    --out "${WORK_DIR}/epochs_a.jsonl")
+run_cheriperf("${WORK_DIR}/null_b"
+    corun 519.lbm_r 541.leela_r --abi purecap --scale tiny --seed 42
+    --no-cache --emit-epochs --epoch 20000
+    --out "${WORK_DIR}/epochs_b.jsonl")
+require_identical("${WORK_DIR}/epochs_a.jsonl" "${WORK_DIR}/epochs_b.jsonl"
+    "repeat co-run epoch traces")
+
+# --- jobs-count determinism of `sweep --cores 2` ----------------------
+run_cheriperf("${WORK_DIR}/sweep_j1.csv"
+    sweep --workload 519.lbm_r --scale tiny --cores 2 --csv --no-cache
+    --jobs 1)
+run_cheriperf("${WORK_DIR}/sweep_j4.csv"
+    sweep --workload 519.lbm_r --scale tiny --cores 2 --csv --no-cache
+    --jobs 4)
+require_identical("${WORK_DIR}/sweep_j1.csv" "${WORK_DIR}/sweep_j4.csv"
+    "sweep --cores 2 across --jobs 1/4")
+
+# --- shape checks -----------------------------------------------------
+file(STRINGS "${WORK_DIR}/corun_a.csv" csv_lines)
+list(GET csv_lines 0 header)
+if(NOT header MATCHES "^core,workload,abi,instructions,cycles,seconds,")
+    message(FATAL_ERROR "unexpected corun CSV header: ${header}")
+endif()
+list(LENGTH csv_lines n_rows)
+if(NOT n_rows EQUAL 3)
+    message(FATAL_ERROR
+        "expected header + one row per core, got ${n_rows} lines")
+endif()
+list(GET csv_lines 1 row0)
+list(GET csv_lines 2 row1)
+if(NOT row0 MATCHES "^0,519\\.lbm_r,purecap,[0-9]+,[0-9]+,")
+    message(FATAL_ERROR "malformed core-0 row: ${row0}")
+endif()
+if(NOT row1 MATCHES "^1,541\\.leela_r,purecap,[0-9]+,[0-9]+,")
+    message(FATAL_ERROR "malformed core-1 row: ${row1}")
+endif()
+
+file(STRINGS "${WORK_DIR}/epochs_a.jsonl" jsonl_lines)
+set(saw_core0 FALSE)
+set(saw_core1 FALSE)
+set(saw_soc FALSE)
+foreach(line IN LISTS jsonl_lines)
+    if(line MATCHES "^\\{\"workload\":\"[^\"]+\",\"abi\":\"[^\"]+\",\"seed\":[0-9]+,\"epoch\":[0-9]+,\"core_id\":0,")
+        set(saw_core0 TRUE)
+    elseif(line MATCHES "^\\{\"workload\":\"[^\"]+\",\"abi\":\"[^\"]+\",\"seed\":[0-9]+,\"epoch\":[0-9]+,\"core_id\":1,")
+        set(saw_core1 TRUE)
+    elseif(line MATCHES "^\\{\"record\":\"soc-total\",")
+        set(saw_soc TRUE)
+    elseif(NOT line MATCHES "^\\{\"record\":\"lane-total\",")
+        message(FATAL_ERROR "malformed co-run trace line: ${line}")
+    endif()
+endforeach()
+if(NOT saw_core0 OR NOT saw_core1 OR NOT saw_soc)
+    message(FATAL_ERROR
+        "co-run trace missing a per-core stream or the SoC total "
+        "(core0=${saw_core0} core1=${saw_core1} soc=${saw_soc})")
+endif()
+
+list(LENGTH jsonl_lines n_jsonl)
+message(STATUS "cli_corun_determinism ok: identical CSV/JSONL across "
+               "repeat runs and jobs 1/4 (${n_jsonl} trace lines)")

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * The core/uncore split and the multi-programmed co-run path.
+ *
+ * Three contracts, in order of importance:
+ *  1. Extraction regression — a single-core Machine after the split
+ *     must reproduce the pre-refactor SimResults exactly (values
+ *     hardcoded from the pre-split tree at tiny/seed 42).
+ *  2. Interference — co-running lanes keep their instruction streams
+ *     (same seed, same retire sequence) but pay for the shared
+ *     uncore: strictly more cycles, never fewer LLC read misses.
+ *  3. Determinism — co-run results are identical across repeat runs
+ *     and across runner job counts.
+ *
+ * Plus the Uncore unit contract and the static LLC geometry check
+ * against the paper's §2.2 platform description.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/uncore.hpp"
+#include "runner/runner.hpp"
+#include "sim/machine.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri {
+namespace {
+
+using abi::Abi;
+using workloads::Scale;
+
+// --- Satellite: §2.2 geometry, pinned at compile time ---------------
+// Morello's Neoverse N1-like cores: 64 KiB 4-way L1s, 1 MiB 8-way
+// private L2, and a shared 1 MiB system-level cache (modeled 16-way;
+// the paper gives capacity but not associativity — see the
+// memory_system.hpp file comment). 64 B lines everywhere; 48-entry L1
+// TLBs over a 1280-entry 5-way L2 TLB.
+constexpr mem::MemConfig kGeom{};
+static_assert(kGeom.l1i.size_bytes == 64 * 1024);
+static_assert(kGeom.l1i.ways == 4);
+static_assert(kGeom.l1d.size_bytes == 64 * 1024);
+static_assert(kGeom.l1d.ways == 4);
+static_assert(kGeom.l2.size_bytes == 1024 * 1024);
+static_assert(kGeom.l2.ways == 8);
+static_assert(kGeom.llc.size_bytes == 1024 * 1024);
+static_assert(kGeom.llc.ways == 16);
+static_assert(kGeom.l1i.line_bytes == 64 && kGeom.l1d.line_bytes == 64 &&
+              kGeom.l2.line_bytes == 64 && kGeom.llc.line_bytes == 64);
+static_assert(kGeom.l1i_tlb.entries == 48 && kGeom.l1d_tlb.entries == 48);
+static_assert(kGeom.l2_tlb.entries == 1280 && kGeom.l2_tlb.ways == 5);
+
+TEST(Geometry, MatchesPaperSection22)
+{
+    // The static_asserts above are the real test; this body keeps the
+    // contract visible in test listings and checks the derived shape.
+    const mem::MemConfig config;
+    EXPECT_EQ(config.llc.size_bytes /
+                  (config.llc.ways * config.llc.line_bytes),
+              1024u)
+        << "16-way 1 MiB LLC with 64 B lines must have 1024 sets";
+}
+
+// --- Uncore unit contract -------------------------------------------
+
+TEST(Uncore, SoloCorePaysNoArbitrationToll)
+{
+    const mem::MemConfig config;
+    mem::Uncore uncore(config, 1);
+    pmu::EventCounts counts;
+
+    const auto miss = uncore.access(0, 0x1000, false, false, counts);
+    EXPECT_EQ(miss.level, mem::MemLevel::Dram);
+    EXPECT_EQ(miss.latency, config.dram_latency);
+
+    const auto hit = uncore.access(0, 0x1000, false, false, counts);
+    EXPECT_EQ(hit.level, mem::MemLevel::Llc);
+    EXPECT_EQ(hit.latency, config.llc_latency);
+
+    EXPECT_EQ(counts.get(pmu::Event::LlCacheRd), 2u);
+    EXPECT_EQ(counts.get(pmu::Event::LlCacheMissRd), 1u);
+    EXPECT_EQ(uncore.laneStats(0).contention_cycles, 0u);
+}
+
+TEST(Uncore, AddressFramingKeepsLanesDistinct)
+{
+    mem::Uncore uncore(mem::MemConfig{}, 2);
+    pmu::EventCounts c0, c1;
+
+    // Core 0 fills line 0x1000; the same program address from core 1
+    // must still miss — frames never alias.
+    uncore.access(0, 0x1000, false, false, c0);
+    const auto other = uncore.access(1, 0x1000, false, false, c1);
+    EXPECT_EQ(other.level, mem::MemLevel::Dram);
+    EXPECT_EQ(c1.get(pmu::Event::LlCacheMissRd), 1u);
+}
+
+TEST(Uncore, ContendersAddDeterministicToll)
+{
+    const mem::MemConfig config;
+    mem::Uncore uncore(config, 2);
+    pmu::EventCounts c0, c1;
+
+    // Until core 0 has issued anything, core 1 runs toll-free.
+    const auto alone = uncore.access(1, 0x2000, false, false, c1);
+    EXPECT_EQ(alone.latency, config.dram_latency);
+
+    // Once core 0 starts, core 1 pays one contender's toll: the LLC
+    // arbitration penalty on a hit, plus the DRAM penalty on a fill.
+    uncore.access(0, 0x1000, false, false, c0);
+    const auto contended_miss =
+        uncore.access(1, 0x3000, false, false, c1);
+    EXPECT_EQ(contended_miss.latency,
+              config.dram_latency + config.llc_arb_penalty +
+                  config.dram_arb_penalty);
+    const auto contended_hit =
+        uncore.access(1, 0x3000, false, false, c1);
+    EXPECT_EQ(contended_hit.latency,
+              config.llc_latency + config.llc_arb_penalty);
+    EXPECT_EQ(uncore.laneStats(1).contention_cycles,
+              config.llc_arb_penalty + config.dram_arb_penalty +
+                  config.llc_arb_penalty);
+
+    // A finished lane stops contending.
+    uncore.coreFinished(0);
+    const auto after = uncore.access(1, 0x3000, false, false, c1);
+    EXPECT_EQ(after.latency, config.llc_latency);
+}
+
+TEST(Uncore, TagLineFillsTrackCapabilityTraffic)
+{
+    mem::Uncore uncore(mem::MemConfig{}, 1);
+    pmu::EventCounts counts;
+    uncore.access(0, 0x1000, false, true, counts);
+    uncore.access(0, 0x2000, false, false, counts);
+    EXPECT_EQ(uncore.laneStats(0).dram_fills, 2u);
+    EXPECT_EQ(uncore.laneStats(0).tag_line_fills, 1u);
+}
+
+// --- Extraction regression ------------------------------------------
+
+struct Reference
+{
+    Abi abi;
+    u64 instructions;
+    u64 cycles;
+    u64 stall_frontend;
+    u64 br_mispredicts;
+    u64 l1d_refills;
+    u64 llc_rd_misses;
+    u64 cap_rd;
+};
+
+TEST(CoreExtraction, SingleCoreReproducesPreRefactorResults)
+{
+    // Values captured from the tree before the core/uncore split:
+    // 519.lbm_r, scale tiny, seed 42, default knobs. Any drift here
+    // means the refactor changed single-core semantics.
+    const Reference refs[] = {
+        {Abi::Hybrid, 82694, 80379, 680, 13, 3904, 1571, 0},
+        {Abi::Purecap, 82704, 78332, 813, 13, 1561, 1566, 2},
+        {Abi::Benchmark, 82704, 78332, 813, 13, 1561, 1566, 2},
+    };
+    for (const Reference &ref : refs) {
+        const auto run = runner::run({.workload = "519.lbm_r",
+                                      .abi = ref.abi,
+                                      .scale = Scale::Tiny,
+                                      .seed = 42});
+        ASSERT_TRUE(run.ok()) << abi::abiName(ref.abi);
+        const auto &counts = run.sim->counts;
+        EXPECT_EQ(run.sim->instructions, ref.instructions)
+            << abi::abiName(ref.abi);
+        EXPECT_EQ(run.sim->cycles, ref.cycles) << abi::abiName(ref.abi);
+        EXPECT_EQ(counts.get(pmu::Event::StallFrontend),
+                  ref.stall_frontend);
+        EXPECT_EQ(counts.get(pmu::Event::BrMisPredRetired),
+                  ref.br_mispredicts);
+        EXPECT_EQ(counts.get(pmu::Event::L1dCacheRefill),
+                  ref.l1d_refills);
+        EXPECT_EQ(counts.get(pmu::Event::LlCacheMissRd),
+                  ref.llc_rd_misses);
+        EXPECT_EQ(counts.get(pmu::Event::CapMemAccessRd), ref.cap_rd);
+        EXPECT_DOUBLE_EQ(run.sim->seconds,
+                         static_cast<double>(ref.cycles) / 2.5e9);
+    }
+
+    // A pointer-chasing workload for good measure (different executor
+    // paths than lbm's streaming kernel).
+    const auto sqlite = runner::run({.workload = "SQLite",
+                                     .abi = Abi::Purecap,
+                                     .scale = Scale::Tiny,
+                                     .seed = 42});
+    ASSERT_TRUE(sqlite.ok());
+    EXPECT_EQ(sqlite.sim->instructions, 76760u);
+    EXPECT_EQ(sqlite.sim->cycles, 643969u);
+}
+
+// --- Co-run behaviour -----------------------------------------------
+
+runner::RunRequest
+corunRequest(std::vector<runner::Lane> lanes)
+{
+    runner::RunRequest request;
+    request.workload = lanes.front().workload;
+    request.abi = lanes.front().abi;
+    request.scale = Scale::Tiny;
+    request.seed = 42;
+    request.lanes = std::move(lanes);
+    return request;
+}
+
+TEST(Corun, LanesKeepTheirStreamsButPayForTheUncore)
+{
+    const auto solo_lbm = runner::run({.workload = "519.lbm_r",
+                                       .abi = Abi::Purecap,
+                                       .scale = Scale::Tiny,
+                                       .seed = 42});
+    const auto solo_leela = runner::run({.workload = "541.leela_r",
+                                         .abi = Abi::Purecap,
+                                         .scale = Scale::Tiny,
+                                         .seed = 42});
+    ASSERT_TRUE(solo_lbm.ok() && solo_leela.ok());
+
+    const auto co = runner::run(
+        corunRequest({{"519.lbm_r", Abi::Purecap},
+                      {"541.leela_r", Abi::Purecap}}));
+    ASSERT_TRUE(co.ok());
+    ASSERT_EQ(co.lanes.size(), 2u);
+    const auto &lbm = co.lanes[0];
+    const auto &leela = co.lanes[1];
+    ASSERT_TRUE(lbm.ok() && leela.ok());
+
+    // Same seed, same ABI => identical retired streams; the co-run
+    // only changes timing, never architecture.
+    EXPECT_EQ(lbm.sim->instructions, solo_lbm.sim->instructions);
+    EXPECT_EQ(leela.sim->instructions, solo_leela.sim->instructions);
+
+    // The shared uncore must cost something: strictly more cycles
+    // (arbitration tolls) and never fewer LLC read misses (capacity
+    // sharing under LRU).
+    EXPECT_GT(lbm.sim->cycles, solo_lbm.sim->cycles);
+    EXPECT_GT(leela.sim->cycles, solo_leela.sim->cycles);
+    EXPECT_GE(lbm.sim->counts.get(pmu::Event::LlCacheMissRd),
+              solo_lbm.sim->counts.get(pmu::Event::LlCacheMissRd));
+    EXPECT_GE(leela.sim->counts.get(pmu::Event::LlCacheMissRd),
+              solo_leela.sim->counts.get(pmu::Event::LlCacheMissRd));
+
+    // Aggregate: instructions summed, cycles the makespan.
+    EXPECT_EQ(co.sim->instructions,
+              lbm.sim->instructions + leela.sim->instructions);
+    EXPECT_EQ(co.sim->cycles,
+              std::max(lbm.sim->cycles, leela.sim->cycles));
+    EXPECT_EQ(co.sim->counts.get(pmu::Event::CpuCycles),
+              lbm.sim->cycles + leela.sim->cycles);
+}
+
+TEST(Corun, RepeatRunsAreIdentical)
+{
+    const auto request = corunRequest(
+        {{"519.lbm_r", Abi::Purecap}, {"541.leela_r", Abi::Purecap}});
+    const auto a = runner::run(request);
+    const auto b = runner::run(request);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a.lanes.size(), b.lanes.size());
+    for (std::size_t i = 0; i < a.lanes.size(); ++i) {
+        ASSERT_EQ(a.lanes[i].ok(), b.lanes[i].ok()) << i;
+        EXPECT_EQ(a.lanes[i].sim->counts, b.lanes[i].sim->counts) << i;
+        EXPECT_EQ(a.lanes[i].sim->cycles, b.lanes[i].sim->cycles) << i;
+        EXPECT_EQ(a.lanes[i].sim->seconds, b.lanes[i].sim->seconds) << i;
+    }
+    EXPECT_EQ(a.sim->counts, b.sim->counts);
+}
+
+TEST(Corun, PlanResultsAreJobCountIndependent)
+{
+    runner::ExperimentPlan plan;
+    plan.add(corunRequest(
+        {{"519.lbm_r", Abi::Purecap}, {"541.leela_r", Abi::Purecap}}));
+    plan.add(corunRequest(
+        {{"SQLite", Abi::Purecap}, {"519.lbm_r", Abi::Hybrid}}));
+    plan.add({.workload = "519.lbm_r",
+              .abi = Abi::Purecap,
+              .scale = Scale::Tiny,
+              .seed = 42});
+
+    runner::RunnerOptions serial;
+    serial.jobs = 1;
+    serial.cache = false;
+    serial.progress = false;
+    runner::RunnerOptions parallel = serial;
+    parallel.jobs = 4;
+
+    const auto a = runner::runPlan(plan, serial);
+    const auto b = runner::runPlan(plan, parallel);
+    ASSERT_EQ(a.results.size(), plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        ASSERT_EQ(a.results[i].ok(), b.results[i].ok()) << i;
+        EXPECT_EQ(a.results[i].sim->counts, b.results[i].sim->counts)
+            << i;
+        ASSERT_EQ(a.results[i].lanes.size(), b.results[i].lanes.size());
+        for (std::size_t l = 0; l < a.results[i].lanes.size(); ++l) {
+            EXPECT_EQ(a.results[i].lanes[l].sim->counts,
+                      b.results[i].lanes[l].sim->counts)
+                << i << "/" << l;
+        }
+    }
+}
+
+TEST(Corun, UnsupportedLaneIsNaWithoutPoisoningTheCell)
+{
+    // QuickJS cannot run under the benchmark ABI (the paper's NA
+    // cell); its lane must come back empty while the lbm lane and the
+    // aggregate still carry results.
+    const auto co = runner::run(corunRequest(
+        {{"QuickJS", Abi::Benchmark}, {"519.lbm_r", Abi::Benchmark}}));
+    ASSERT_EQ(co.lanes.size(), 2u);
+    EXPECT_FALSE(co.lanes[0].ok());
+    ASSERT_TRUE(co.lanes[1].ok());
+    ASSERT_TRUE(co.ok());
+    EXPECT_EQ(co.sim->instructions, co.lanes[1].sim->instructions);
+
+    // With its contender NA, the surviving lane runs effectively solo
+    // on the shared uncore — no toll, identical to a plain run.
+    const auto solo = runner::run({.workload = "519.lbm_r",
+                                   .abi = Abi::Benchmark,
+                                   .scale = Scale::Tiny,
+                                   .seed = 42});
+    ASSERT_TRUE(solo.ok());
+    EXPECT_EQ(co.lanes[1].sim->counts, solo.sim->counts);
+    EXPECT_EQ(co.lanes[1].sim->cycles, solo.sim->cycles);
+}
+
+TEST(Corun, TracedLanesCarryPerCoreEpochs)
+{
+    auto request = corunRequest(
+        {{"519.lbm_r", Abi::Purecap}, {"541.leela_r", Abi::Purecap}});
+    request.trace.enabled = true;
+    request.trace.epoch_insts = 20'000;
+    const auto co = runner::run(request);
+    ASSERT_TRUE(co.ok());
+    ASSERT_EQ(co.lanes.size(), 2u);
+    for (const auto &lane : co.lanes) {
+        ASSERT_TRUE(lane.ok());
+        ASSERT_FALSE(lane.epochs.epochs.empty());
+        // Epoch instruction ranges must tile the lane's whole run.
+        u64 covered = 0;
+        for (const auto &e : lane.epochs.epochs) {
+            EXPECT_EQ(e.instStart, covered);
+            covered = e.instEnd;
+        }
+        EXPECT_EQ(covered, lane.sim->instructions);
+    }
+}
+
+TEST(Corun, MachineSlicesExposeTheSharedUncore)
+{
+    sim::MachineConfig config = sim::MachineConfig::forAbi(Abi::Purecap);
+    sim::Machine machine(config,
+                         {Abi::Purecap, Abi::Hybrid, Abi::Benchmark});
+    EXPECT_EQ(machine.coreCount(), 3u);
+    EXPECT_EQ(machine.config().cores, 3u);
+    EXPECT_EQ(machine.uncore().cores(), 3u);
+    EXPECT_EQ(machine.core(0).abi(), Abi::Purecap);
+    EXPECT_EQ(machine.core(1).abi(), Abi::Hybrid);
+    EXPECT_EQ(machine.core(2).abi(), Abi::Benchmark);
+    // Every slice shares one LLC instance.
+    EXPECT_EQ(&machine.core(0).memory().llc(),
+              &machine.core(2).memory().llc());
+}
+
+} // namespace
+} // namespace cheri

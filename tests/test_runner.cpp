@@ -116,25 +116,55 @@ TEST(Fingerprint, SensitiveToEveryRequestAxis)
     EXPECT_EQ(cellFingerprint(base), cellFingerprint(other));
 }
 
-TEST(Runner, SingleRunMatchesDeprecatedShim)
+TEST(Fingerprint, SensitiveToCoresAndLaneComposition)
+{
+    const RunRequest base{.workload = "519.lbm_r",
+                          .abi = Abi::Purecap,
+                          .scale = Scale::Tiny,
+                          .seed = 7};
+
+    // The core count is a model knob even without co-run lanes.
+    RunRequest other = base;
+    other.config = sim::MachineConfig::forAbi(Abi::Purecap);
+    other.config->cores = 2;
+    EXPECT_NE(cellFingerprint(base), cellFingerprint(other));
+
+    // Adding lanes, changing a lane's ABI, and reordering lanes are
+    // all different cells.
+    RunRequest co = base;
+    co.lanes = {{"519.lbm_r", Abi::Purecap},
+                {"541.leela_r", Abi::Purecap}};
+    EXPECT_NE(cellFingerprint(base), cellFingerprint(co));
+
+    RunRequest abi_swap = co;
+    abi_swap.lanes[1].abi = Abi::Hybrid;
+    EXPECT_NE(cellFingerprint(co), cellFingerprint(abi_swap));
+
+    RunRequest reordered = co;
+    std::swap(reordered.lanes[0], reordered.lanes[1]);
+    EXPECT_NE(cellFingerprint(co), cellFingerprint(reordered));
+
+    RunRequest wider = co;
+    wider.lanes.push_back({"519.lbm_r", Abi::Purecap});
+    EXPECT_NE(cellFingerprint(co), cellFingerprint(wider));
+}
+
+TEST(Runner, SingleRunMatchesDirectExecutor)
 {
     const auto pool = workloads::allWorkloads();
     const auto *lbm = workloads::findWorkload(pool, "519.lbm_r");
     ASSERT_NE(lbm, nullptr);
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const auto old_api =
-        workloads::runWorkload(*lbm, Abi::Purecap, Scale::Tiny);
-#pragma GCC diagnostic pop
+    const auto direct = workloads::detail::executeWorkload(
+        *lbm, Abi::Purecap, Scale::Tiny);
 
     const auto new_api = run({.workload = "519.lbm_r",
                               .abi = Abi::Purecap,
                               .scale = Scale::Tiny});
-    ASSERT_TRUE(old_api && new_api.ok());
-    EXPECT_EQ(old_api->counts, new_api.sim->counts);
-    EXPECT_EQ(old_api->cycles, new_api.sim->cycles);
-    EXPECT_EQ(old_api->seconds, new_api.sim->seconds);
+    ASSERT_TRUE(direct && new_api.ok());
+    EXPECT_EQ(direct->counts, new_api.sim->counts);
+    EXPECT_EQ(direct->cycles, new_api.sim->cycles);
+    EXPECT_EQ(direct->seconds, new_api.sim->seconds);
 }
 
 TEST(Runner, ParallelPlanIsBitIdenticalToSerial)

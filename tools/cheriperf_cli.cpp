@@ -11,6 +11,7 @@
  *   cheriperf list
  *   cheriperf run --workload 520.omnetpp_r --abi purecap [options]
  *   cheriperf sweep [--workload QuickJS | --set table3] [options]
+ *   cheriperf corun <w1[@abi]> <w2[@abi]> ... [--cores N] [options]
  *   cheriperf trace <workload> --abi purecap --epoch 50000 --out t.jsonl
  *   cheriperf events
  *   cheriperf clear-cache
@@ -23,6 +24,9 @@
  *   --tag-latency N            extra cycles per capability access
  *   --l1d-kib N                L1D capacity
  *   --jobs N                   runner threads (default: hardware)
+ *   --cores N                  sweep: N-way homogeneous self-co-run
+ *                              per cell; corun: SoC core count
+ *                              (default: the number of lanes)
  *   --no-cache                 always re-simulate (skip result cache)
  *   --cache-dir PATH           result cache location
  *   --set table3|table4|all    sweep workload set (default all)
@@ -61,6 +65,7 @@ struct Options
 {
     std::string command;
     std::string workload;
+    std::vector<std::string> lane_specs; //!< corun positionals.
     std::string set;
     std::string abi = "purecap";
     workloads::Scale scale = workloads::Scale::Small;
@@ -70,6 +75,7 @@ struct Options
     u64 tag_latency = 0;
     u64 l1d_kib = 64;
     u64 jobs = 0;
+    u64 cores = 0; //!< 0 = default (1 for sweep, #lanes for corun).
     bool cache = true;
     std::string cache_dir;
     bool raw = false;
@@ -85,16 +91,20 @@ usage(int code)
 {
     std::fprintf(
         stderr,
-        "usage: cheriperf <list|events|run|sweep|trace|clear-cache> "
-        "[options]\n"
+        "usage: cheriperf "
+        "<list|events|run|sweep|corun|trace|clear-cache> [options]\n"
         "  run/sweep options:\n"
         "    --workload NAME   (required for run; see 'cheriperf list')\n"
         "    --abi hybrid|purecap|benchmark   (run only)\n"
         "    --set table3|table4|all   (sweep only; default all)\n"
         "    --scale tiny|small|ref   --seed N\n"
         "    --cap-aware-bp  --wide-sq  --tag-latency N  --l1d-kib N\n"
-        "    --jobs N  --no-cache  --cache-dir PATH\n"
+        "    --jobs N  --cores N  --no-cache  --cache-dir PATH\n"
         "    --raw  --csv  --profile\n"
+        "  corun <w1[@abi]> <w2[@abi]> ... options:\n"
+        "    --cores N (default #lanes; extra cores replicate lanes\n"
+        "    round-robin)  --abi NAME (default for bare lanes)\n"
+        "    plus run/trace options\n"
         "  trace <workload> options:\n"
         "    --abi NAME  --epoch N  --out PATH  (plus run options)\n"
         "  sweep tracing:\n"
@@ -155,6 +165,17 @@ parse(int argc, char **argv)
                 usage(1);
             }
             opt.jobs = static_cast<u32>(*n);
+        } else if (arg == "--cores") {
+            const std::string s = next();
+            const auto n = parseU64(s);
+            if (!n || *n == 0) {
+                std::fprintf(stderr,
+                             "--cores expects a positive count, got "
+                             "'%s'\n",
+                             s.c_str());
+                usage(1);
+            }
+            opt.cores = *n;
         } else if (arg == "--no-cache") {
             opt.cache = false;
         } else if (arg == "--cache-dir") {
@@ -187,6 +208,10 @@ parse(int argc, char **argv)
             // `cheriperf trace <workload>` takes the workload
             // positionally.
             opt.workload = arg;
+        } else if (arg.rfind("--", 0) != 0 && opt.command == "corun") {
+            // `cheriperf corun <w1[@abi]> <w2[@abi]> ...` takes its
+            // lanes positionally.
+            opt.lane_specs.push_back(arg);
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage(1);
@@ -437,6 +462,14 @@ cmdSweep(const Options &opt)
     for (const auto &name : sweepSelection(opt))
         for (abi::Abi a : abi::kAllAbis) {
             auto request = requestFor(opt, name, a);
+            if (opt.cores >= 2) {
+                // Homogeneous self-co-run: N copies of the cell's
+                // (workload, abi) sharing one uncore. workload/abi
+                // stay set so the CSV schema and find() still work.
+                request.lanes.assign(
+                    static_cast<std::size_t>(opt.cores),
+                    runner::Lane{name, a});
+            }
             if (opt.emit_epochs) {
                 request.trace.enabled = true;
                 request.trace.epoch_insts = opt.epoch_insts;
@@ -448,13 +481,23 @@ cmdSweep(const Options &opt)
 
     if (opt.emit_epochs) {
         // Concatenate every cell's epochs in plan order; the result is
-        // byte-identical for any --jobs value.
+        // byte-identical for any --jobs value. Co-run cells emit one
+        // core_id-tagged stream per lane, in lane order.
         std::string text;
-        for (const auto &run : outcome.results)
-            text += trace::seriesToJsonl(run.epochs,
-                                         run.request.workload,
-                                         abi::abiName(run.request.abi),
-                                         run.request.seed);
+        for (const auto &run : outcome.results) {
+            if (run.request.corun()) {
+                for (std::size_t i = 0; i < run.lanes.size(); ++i)
+                    text += trace::seriesToJsonl(
+                        run.lanes[i].epochs,
+                        run.lanes[i].lane.workload,
+                        abi::abiName(run.lanes[i].lane.abi),
+                        run.request.seed, static_cast<u32>(i));
+            } else {
+                text += trace::seriesToJsonl(
+                    run.epochs, run.request.workload,
+                    abi::abiName(run.request.abi), run.request.seed);
+            }
+        }
         const std::string path =
             opt.out.empty() ? "epochs.jsonl" : opt.out;
         if (!writeTextOut(path, text))
@@ -510,6 +553,176 @@ cmdSweep(const Options &opt)
     return 0;
 }
 
+/**
+ * Parse one corun lane spec: "name" (ABI from --abi) or "name@abi".
+ * Workload names contain no '@', so the split is unambiguous.
+ */
+runner::Lane
+parseLaneSpec(const Options &opt, const std::string &spec)
+{
+    runner::Lane lane;
+    const auto at = spec.rfind('@');
+    if (at == std::string::npos) {
+        lane.workload = spec;
+        lane.abi = parseAbi(opt.abi);
+    } else {
+        lane.workload = spec.substr(0, at);
+        lane.abi = parseAbi(spec.substr(at + 1));
+    }
+    if (lane.workload.empty()) {
+        std::fprintf(stderr, "empty workload in lane spec '%s'\n",
+                     spec.c_str());
+        usage(1);
+    }
+    return lane;
+}
+
+int
+cmdCorun(const Options &opt)
+{
+    if (opt.lane_specs.size() < 2) {
+        std::fprintf(stderr,
+                     "corun needs at least two lanes, e.g. "
+                     "cheriperf corun 519.lbm_r 541.leela_r\n");
+        usage(1);
+    }
+
+    std::vector<runner::Lane> lanes;
+    lanes.reserve(opt.lane_specs.size());
+    for (const auto &spec : opt.lane_specs)
+        lanes.push_back(parseLaneSpec(opt, spec));
+
+    // --cores defaults to the lane count; more cores replicate the
+    // lane list round-robin; fewer is an error (no time-sharing).
+    const std::size_t cores =
+        opt.cores ? static_cast<std::size_t>(opt.cores) : lanes.size();
+    if (cores < lanes.size()) {
+        std::fprintf(stderr,
+                     "--cores %zu < %zu lanes; each lane needs its own "
+                     "core\n",
+                     cores, lanes.size());
+        usage(1);
+    }
+    const std::size_t base = lanes.size();
+    for (std::size_t i = base; i < cores; ++i)
+        lanes.push_back(lanes[i % base]);
+
+    auto request =
+        requestFor(opt, lanes.front().workload, lanes.front().abi);
+    request.lanes = lanes;
+    if (opt.emit_epochs) {
+        request.trace.enabled = true;
+        request.trace.epoch_insts = opt.epoch_insts;
+    }
+
+    runner::ExperimentPlan plan;
+    plan.add(request);
+    auto options = runnerOptions(opt);
+    options.progress = false; // lane table below is the progress
+    const auto outcome = runner::runPlan(plan, options);
+    const auto &run = outcome.results.front();
+
+    std::vector<trace::CorunLaneSummary> summaries;
+    summaries.reserve(run.lanes.size());
+    for (std::size_t i = 0; i < run.lanes.size(); ++i) {
+        const auto &lane = run.lanes[i];
+        trace::CorunLaneSummary s;
+        s.workload = lane.lane.workload;
+        s.abi = lane.ok() ? abi::abiName(lane.lane.abi) : "NA";
+        s.core = static_cast<u32>(i);
+        if (lane.ok()) {
+            s.instructions = lane.sim->instructions;
+            s.cycles = lane.sim->cycles;
+            s.ipc = lane.sim->ipc();
+            s.llc_rd_misses =
+                lane.sim->counts.get(pmu::Event::LlCacheMissRd);
+            s.seconds = lane.sim->seconds;
+        }
+        summaries.push_back(std::move(s));
+    }
+
+    if (opt.emit_epochs) {
+        // Per-core epoch streams (core_id-tagged) in lane order, then
+        // the lane/SoC totals; byte-identical across repeat runs.
+        std::string text;
+        for (std::size_t i = 0; i < run.lanes.size(); ++i)
+            text += trace::seriesToJsonl(
+                run.lanes[i].epochs, run.lanes[i].lane.workload,
+                abi::abiName(run.lanes[i].lane.abi), run.request.seed,
+                static_cast<u32>(i));
+        text += trace::corunSummaryJsonl(summaries, run.request.seed);
+        const std::string path =
+            opt.out.empty() ? "epochs.jsonl" : opt.out;
+        if (!writeTextOut(path, text))
+            return 1;
+        std::fprintf(stderr, "[cheriperf] epoch trace -> %s\n",
+                     path.c_str());
+    }
+
+    if (opt.csv) {
+        // One row per core; this layout is the corun golden contract
+        // (tests/golden/corun_smoke.csv).
+        std::printf("core,workload,abi,instructions,cycles,seconds");
+        for (const auto &field : analysis::allMetricFields())
+            std::printf(",%s", field.name.c_str());
+        std::printf("\n");
+        for (std::size_t i = 0; i < run.lanes.size(); ++i) {
+            const auto &lane = run.lanes[i];
+            std::printf("%zu,%s,%s", i, lane.lane.workload.c_str(),
+                        abi::abiName(lane.lane.abi));
+            if (!lane.ok()) {
+                std::printf(",NA,NA,NA");
+                for (std::size_t f = 0;
+                     f < analysis::allMetricFields().size(); ++f)
+                    std::printf(",NA");
+                std::printf("\n");
+                continue;
+            }
+            std::printf(",%llu,%llu,%.9f",
+                        static_cast<unsigned long long>(
+                            lane.sim->instructions),
+                        static_cast<unsigned long long>(
+                            lane.sim->cycles),
+                        lane.sim->seconds);
+            for (const auto &field : analysis::allMetricFields())
+                std::printf(",%.6f", lane.metrics.*(field.member));
+            std::printf("\n");
+        }
+    } else {
+        std::printf("=== co-run: %s (%zu cores)\n",
+                    run.request.displayName().c_str(),
+                    run.lanes.size());
+        for (const auto &s : summaries) {
+            if (s.abi == "NA") {
+                std::printf("  core %u  %-14s NA (ABI unsupported)\n",
+                            s.core, s.workload.c_str());
+                continue;
+            }
+            std::printf("  core %u  %-14s %-9s insts %llu  cycles "
+                        "%llu  IPC %.3f  LLC-rd-miss %llu\n",
+                        s.core, s.workload.c_str(), s.abi.c_str(),
+                        static_cast<unsigned long long>(s.instructions),
+                        static_cast<unsigned long long>(s.cycles),
+                        s.ipc,
+                        static_cast<unsigned long long>(
+                            s.llc_rd_misses));
+        }
+        if (run.ok())
+            std::printf("  SoC: makespan %llu cycles (%.6f ms), %llu "
+                        "insts total\n",
+                        static_cast<unsigned long long>(
+                            run.sim->cycles),
+                        run.sim->seconds * 1e3,
+                        static_cast<unsigned long long>(
+                            run.sim->instructions));
+        else
+            std::printf("  SoC: NA (no runnable lane)\n");
+    }
+    std::fprintf(stderr, "[cheriperf] %s\n",
+                 outcome.stats.summary().c_str());
+    return 0;
+}
+
 int
 cmdClearCache(const Options &opt)
 {
@@ -533,6 +746,8 @@ dispatch(const Options &opt)
         return cmdRun(opt);
     if (opt.command == "sweep")
         return cmdSweep(opt);
+    if (opt.command == "corun")
+        return cmdCorun(opt);
     if (opt.command == "trace")
         return cmdTrace(opt);
     if (opt.command == "clear-cache")

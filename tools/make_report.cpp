@@ -151,6 +151,48 @@ main(int argc, char **argv)
                     rows[3].speedupVsBaseline);
     }
 
+    // --- Shared-LLC interference --------------------------------------
+    // Solo vs 2-core self-co-run for the Table 4 set under purecap:
+    // two copies of the workload share the uncore (LLC capacity +
+    // arbitration), so the slowdown and extra LLC read misses bound
+    // how contended the paper's shared 1 MiB SLC can get.
+    std::printf("\n## Shared-LLC interference: 2-core self-co-run "
+                "(purecap)\n\n");
+    std::printf("| workload | solo cycles | co-run cycles (core 0) | "
+                "slowdown | solo LLC-rd-miss | co-run LLC-rd-miss |\n");
+    std::printf("|---|---|---|---|---|---|\n");
+    for (const auto &name : workloads::table4Names()) {
+        const auto &solo = resultFor(name, abi::Abi::Purecap);
+        if (!solo.ok()) {
+            std::printf("| %s | NA | NA | NA | NA | NA |\n",
+                        name.c_str());
+            continue;
+        }
+        runner::RunRequest corun;
+        corun.workload = name;
+        corun.abi = abi::Abi::Purecap;
+        corun.scale = scale;
+        corun.lanes = {{name, abi::Abi::Purecap},
+                       {name, abi::Abi::Purecap}};
+        corun.config = sim::MachineConfig::forAbi(abi::Abi::Purecap);
+        const auto co = runner::run(corun, options);
+        const auto &lane0 = co.lanes.front();
+        const u64 solo_miss =
+            solo.sim->counts.get(pmu::Event::LlCacheMissRd);
+        const u64 co_miss =
+            lane0.sim->counts.get(pmu::Event::LlCacheMissRd);
+        std::printf("| %s | %llu | %llu | %.3fx | %llu | %llu |\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(solo.sim->cycles),
+                    static_cast<unsigned long long>(lane0.sim->cycles),
+                    static_cast<double>(lane0.sim->cycles) /
+                        static_cast<double>(solo.sim->cycles),
+                    static_cast<unsigned long long>(solo_miss),
+                    static_cast<unsigned long long>(co_miss));
+    }
+    std::printf("\nRegenerate one cell with `cheriperf corun <w> <w> "
+                "--abi purecap --csv`.\n");
+
     // --- Epoch timeline -----------------------------------------------
     // One traced purecap cell, sliced into retired-instruction epochs,
     // shows how the paper's whole-run top-down attribution (Table 4)
