@@ -131,9 +131,13 @@ representableLength(u64 length)
     if (mask == ~0ULL)
         return length;
     const u64 granule = ~mask + 1;
-    const u64 rounded = (length + granule - 1) & mask;
-    CHERI_ASSERT(rounded >= length, "representableLength overflow");
-    return rounded;
+    // 128-bit so lengths within one granule of 2^64 round up to 2^64
+    // instead of wrapping; like the hardware CRRL result register the
+    // return value is modulo 2^64, so "whole address space" reads 0.
+    const u128 rounded = (u128(length) + granule - 1) & u128(mask);
+    CHERI_ASSERT(rounded >= length || rounded == 0,
+                 "representableLength overflow");
+    return static_cast<u64>(rounded);
 }
 
 } // namespace cheri::cap

@@ -102,7 +102,12 @@ bool isRepresentable(const BoundsFields &fields, u64 reference,
  */
 u64 representableAlignmentMask(u64 length);
 
-/** The rounded-up length CRRL would report for a requested length. */
+/**
+ * The rounded-up length CRRL would report for a requested length.
+ * Like the hardware result register the value is modulo 2^64: a
+ * request within one granule of 2^64 rounds up to the whole address
+ * space and reads back as 0.
+ */
 u64 representableLength(u64 length);
 
 } // namespace cheri::cap

@@ -65,8 +65,11 @@ hashConfig(Fnv1a &h, const sim::MachineConfig &config)
 } // namespace
 
 u64
-cellFingerprint(const RunRequest &request)
+cellFingerprint(const RunRequest &raw)
 {
+    // Canonicalize so the two spellings of a solo cell (plain
+    // workload/abi vs a single-entry lane vector) share cache entries.
+    const RunRequest request = raw.normalized();
     Fnv1a h;
     h.add(kCacheSchemaVersion);
     h.add(std::string_view(request.workload));

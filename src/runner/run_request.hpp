@@ -57,8 +57,10 @@ struct RunRequest
      * per-lane outcomes plus an SoC aggregate. Part of the cell's
      * identity (fingerprinted); co-run cells always simulate — the
      * on-disk record format does not carry per-lane results. A
-     * single-entry vector is rejected: express solo cells through
-     * workload/abi.
+     * single-entry vector degrades to the solo cell it describes:
+     * normalized() folds the lone lane into workload/abi, so it runs
+     * the single-core path, fingerprints identically to the
+     * equivalent solo cell, and is cache-eligible.
      */
     std::vector<Lane> lanes;
 
@@ -71,6 +73,26 @@ struct RunRequest
 
     /** True when this cell is a multi-programmed co-run. */
     bool corun() const { return lanes.size() >= 2; }
+
+    /**
+     * The canonical form of this request: a degenerate single-entry
+     * lane vector collapses into workload/abi (a one-lane "co-run" IS
+     * the solo experiment — same machine, same uncore contention of
+     * one core). Requests with zero or >= 2 lanes return unchanged.
+     * The runner and the cache fingerprint both normalize, so the two
+     * spellings of a solo cell share results.
+     */
+    RunRequest
+    normalized() const
+    {
+        if (lanes.size() != 1)
+            return *this;
+        RunRequest out = *this;
+        out.workload = lanes.front().workload;
+        out.abi = lanes.front().abi;
+        out.lanes.clear();
+        return out;
+    }
 
     /** The lanes this cell runs: the co-run vector, or workload/abi. */
     std::vector<Lane>

@@ -23,18 +23,17 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+std::atomic<ResultHook> gResultHook{nullptr};
+
 /**
  * Resolve a cell's lane workloads against the registry. Fatal on an
- * unknown name or a malformed (single-entry) lane vector — user
- * errors that must surface before any worker starts.
+ * unknown name — a user error that must surface before any worker
+ * starts. Expects a normalized() request (no single-entry lanes).
  */
 std::vector<const workloads::Workload *>
 resolveLanes(const std::vector<std::unique_ptr<workloads::Workload>> &pool,
              const RunRequest &request)
 {
-    if (request.lanes.size() == 1)
-        CHERI_FATAL("a co-run needs >= 2 lanes; describe solo cells "
-                    "through RunRequest::workload/abi");
     std::vector<const workloads::Workload *> out;
     for (const Lane &lane : request.resolvedLanes()) {
         const auto *workload = workloads::findWorkload(pool, lane.workload);
@@ -115,17 +114,15 @@ runCorunCell(const RunRequest &request,
 }
 
 /**
- * Execute one resolved cell: cache replay when possible, otherwise a
- * fresh Machine simulation, plus the derived-metric views.
+ * Execute one resolved solo cell: cache replay when possible,
+ * otherwise a fresh Machine simulation, plus the derived-metric
+ * views.
  */
 RunResult
-runCell(const RunRequest &request,
-        const std::vector<const workloads::Workload *> &targets,
-        const ResultCache *cache, u32 worker)
+runSoloCell(const RunRequest &request,
+            const std::vector<const workloads::Workload *> &targets,
+            const ResultCache *cache, u32 worker)
 {
-    if (request.corun())
-        return runCorunCell(request, targets, worker);
-
     CHERI_TRACE_SCOPE("runner/cell");
     const auto start = Clock::now();
     RunResult out;
@@ -167,7 +164,33 @@ runCell(const RunRequest &request,
     return out;
 }
 
+/** Solo/co-run dispatch plus the process-wide observation hook. */
+RunResult
+runCell(const RunRequest &request,
+        const std::vector<const workloads::Workload *> &targets,
+        const ResultCache *cache, u32 worker)
+{
+    RunResult out = request.corun()
+                        ? runCorunCell(request, targets, worker)
+                        : runSoloCell(request, targets, cache, worker);
+    if (ResultHook hook = gResultHook.load(std::memory_order_acquire))
+        hook(out);
+    return out;
+}
+
 } // namespace
+
+ResultHook
+setResultHook(ResultHook hook)
+{
+    return gResultHook.exchange(hook, std::memory_order_acq_rel);
+}
+
+ResultHook
+resultHook()
+{
+    return gResultHook.load(std::memory_order_acquire);
+}
 
 ExperimentPlan &
 ExperimentPlan::addAbiSweep(const std::string &workload,
@@ -238,13 +261,19 @@ runPlan(const ExperimentPlan &plan, const RunnerOptions &options)
     if (plan.empty())
         return outcome;
 
-    // Resolve every cell (and every co-run lane) before any worker
-    // starts: an unknown workload is a user error and must not
-    // surface mid-plan from an arbitrary thread.
+    // Canonicalize first (single-entry lane vectors collapse to their
+    // solo cell), then resolve every cell (and every co-run lane)
+    // before any worker starts: an unknown workload is a user error
+    // and must not surface mid-plan from an arbitrary thread.
+    std::vector<RunRequest> cells;
+    cells.reserve(plan.size());
+    for (const auto &cell : plan.cells())
+        cells.push_back(cell.normalized());
+
     const auto pool = workloads::allWorkloads();
     std::vector<std::vector<const workloads::Workload *>> targets;
     targets.reserve(plan.size());
-    for (const auto &cell : plan.cells())
+    for (const auto &cell : cells)
         targets.push_back(resolveLanes(pool, cell));
 
     const ResultCache cache(options.cache_dir);
@@ -259,7 +288,7 @@ runPlan(const ExperimentPlan &plan, const RunnerOptions &options)
         for (std::size_t i = next.fetch_add(1); i < plan.size();
              i = next.fetch_add(1)) {
             outcome.results[i] =
-                runCell(plan.cells()[i], targets[i], cachePtr, tid);
+                runCell(cells[i], targets[i], cachePtr, tid);
             if (options.progress) {
                 const auto &r = outcome.results[i];
                 std::fprintf(
@@ -303,8 +332,9 @@ runPlan(const ExperimentPlan &plan, const RunnerOptions &options)
 RunResult
 run(const RunRequest &request)
 {
+    const RunRequest cell = request.normalized();
     const auto pool = workloads::allWorkloads();
-    return runCell(request, resolveLanes(pool, request), nullptr, 0);
+    return runCell(cell, resolveLanes(pool, cell), nullptr, 0);
 }
 
 RunResult

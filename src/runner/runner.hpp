@@ -106,6 +106,22 @@ PlanOutcome runPlan(const ExperimentPlan &plan,
                     const RunnerOptions &options = {});
 
 /**
+ * Observation hook called with every completed cell result (solo and
+ * co-run, cache hits included), on the worker thread that produced
+ * it. Installed process-wide; pass nullptr to clear. The verification
+ * layer uses this to audit run invariants on every result the test
+ * suite produces without threading a parameter through every call
+ * site. Hooks must be thread-safe and must not re-enter the runner.
+ */
+using ResultHook = void (*)(const RunResult &);
+
+/** Install @p hook (nullptr clears). Returns the previous hook. */
+ResultHook setResultHook(ResultHook hook);
+
+/** The currently installed hook, or nullptr. */
+ResultHook resultHook();
+
+/**
  * Execute one cell synchronously on the calling thread, without
  * touching the cache — the drop-in replacement for the deprecated
  * workloads::runWorkload().

@@ -1,0 +1,33 @@
+#include "support/fmt.hpp"
+
+#include <cstdio>
+
+namespace cheri::fmt {
+
+std::string
+fixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+metric(double value)
+{
+    return fixed(value, 6);
+}
+
+std::string
+seconds(double value)
+{
+    return fixed(value, 9);
+}
+
+std::string
+ratio(double value)
+{
+    return fixed(value, 3);
+}
+
+} // namespace cheri::fmt

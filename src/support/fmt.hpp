@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The one place numeric text formatting lives.
+ *
+ * Every golden-checked surface (sweep/corun CSV, JSONL traces,
+ * make_report tables, the interference matrix) must round and print
+ * doubles identically, or byte-level diffs against committed goldens
+ * turn into noise. These helpers all reduce to snprintf("%.*f") with
+ * a fixed precision — never locale-, width- or build-dependent — so
+ * routing a call site through them cannot change its bytes, only pin
+ * them.
+ */
+
+#ifndef CHERI_SUPPORT_FMT_HPP
+#define CHERI_SUPPORT_FMT_HPP
+
+#include <string>
+
+namespace cheri::fmt {
+
+/** "%.*f" with @p precision digits; the primitive under the rest. */
+std::string fixed(double value, int precision);
+
+/** Derived-metric precision (CSV metric columns, JSONL doubles). */
+std::string metric(double value);
+
+/** Model-seconds precision (CSV "seconds" columns). */
+std::string seconds(double value);
+
+/** Ratio/share precision (top-down fractions, interference "x"). */
+std::string ratio(double value);
+
+} // namespace cheri::fmt
+
+#endif // CHERI_SUPPORT_FMT_HPP

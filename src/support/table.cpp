@@ -1,9 +1,9 @@
 #include "support/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
 
+#include "support/fmt.hpp"
 #include "support/logging.hpp"
 
 namespace cheri {
@@ -11,9 +11,7 @@ namespace cheri {
 std::string
 formatFixed(double value, int precision)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
-    return buf;
+    return fmt::fixed(value, precision);
 }
 
 std::string

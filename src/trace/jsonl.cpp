@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "analysis/metrics.hpp"
+#include "support/fmt.hpp"
 #include "support/logging.hpp"
 
 namespace cheri::trace {
@@ -52,12 +53,10 @@ JsonlWriter &
 JsonlWriter::field(std::string_view key, double value)
 {
     comma();
-    char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.6f", value);
     text_ += '"';
     text_ += key;
     text_ += "\":";
-    text_ += buf;
+    text_ += fmt::metric(value);
     return *this;
 }
 

@@ -1,0 +1,523 @@
+#include "verify/fuzz.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "cap/bounds.hpp"
+#include "cap/capability.hpp"
+#include "cap/perms.hpp"
+#include "verify/reference.hpp"
+
+namespace cheri::verify {
+
+namespace {
+
+using cap::BoundsFields;
+using cap::Capability;
+using cap::DecodedBounds;
+using cap::EncodeResult;
+using cap::PermSet;
+using u128 = unsigned __int128;
+
+constexpr u128 kTop64 = u128(1) << 64;
+constexpr u32 kMantissaMask = (1u << cap::kMantissaWidth) - 1;
+
+/** The requested region as exact 128-bit [base, top). */
+struct Region
+{
+    u64 base = 0;
+    u128 top = 0;
+
+    bool topIsMax() const { return top == kTop64; }
+    u64 top64() const { return static_cast<u64>(top); }
+};
+
+/**
+ * A tuple's region with the length clamped so base+length never
+ * exceeds 2^64 — the largest region the ISA can even request.
+ */
+Region
+regionOf(const CapTuple &t)
+{
+    Region r;
+    r.base = t.base;
+    r.top = u128(t.base) + t.length;
+    if (r.top > kTop64)
+        r.top = kTop64;
+    return r;
+}
+
+u128
+decodedTop(const DecodedBounds &d)
+{
+    return d.topIsMax ? kTop64 : u128(d.top);
+}
+
+std::string
+hex64(u64 v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+    return buf;
+}
+
+/** Encode the tuple's region, applying the harness's injected bug. */
+EncodeResult
+encodeRegion(const Region &r, const FuzzConfig &config)
+{
+    EncodeResult enc =
+        cap::encodeBounds(r.base, r.top64(), r.topIsMax());
+    if (config.injectRepresentabilityBug && !enc.exact)
+        enc.fields.t = (enc.fields.t - 1) & kMantissaMask;
+    return enc;
+}
+
+bool
+sameBounds(const DecodedBounds &a, const DecodedBounds &b)
+{
+    return a.base == b.base && a.top == b.top && a.topIsMax == b.topIsMax;
+}
+
+/**
+ * Each law returns nullopt on success. They are checked in a fixed
+ * order, so a tuple violating several laws always reports the same
+ * one — which is what lets the shrinker pin "the same bug".
+ */
+using Law = std::optional<std::string> (*)(const CapTuple &,
+                                           const FuzzConfig &);
+
+/** Law: the encoded region always covers the requested one. */
+std::optional<std::string>
+lawBoundsCover(const CapTuple &t, const FuzzConfig &config)
+{
+    const Region r = regionOf(t);
+    const EncodeResult enc = encodeRegion(r, config);
+    const DecodedBounds dec = cap::decodeBounds(enc.fields, r.base);
+    if (dec.base > r.base)
+        return "decoded base " + hex64(dec.base) +
+               " above requested base " + hex64(r.base);
+    if (decodedTop(dec) < r.top)
+        return "decoded top " + hex64(dec.top) +
+               " below requested top " + hex64(r.top64()) +
+               (r.topIsMax() ? " (2^64)" : "");
+    return std::nullopt;
+}
+
+/** Law: an exact encoding round-trips bit-for-bit. */
+std::optional<std::string>
+lawExactRoundTrip(const CapTuple &t, const FuzzConfig &config)
+{
+    const Region r = regionOf(t);
+    const EncodeResult enc = encodeRegion(r, config);
+    if (!enc.exact)
+        return std::nullopt;
+    const DecodedBounds dec = cap::decodeBounds(enc.fields, r.base);
+    if (dec.base != r.base || decodedTop(dec) != r.top)
+        return "exact encoding decodes to [" + hex64(dec.base) + ", " +
+               hex64(dec.top) + ") instead of the request";
+    return std::nullopt;
+}
+
+/**
+ * Law: decode is address-invariant across the representable range —
+ * any address isRepresentable() admits reconstructs identical bounds.
+ */
+std::optional<std::string>
+lawRepresentableRange(const CapTuple &t, const FuzzConfig &config)
+{
+    const Region r = regionOf(t);
+    const EncodeResult enc = encodeRegion(r, config);
+    const DecodedBounds ref = cap::decodeBounds(enc.fields, r.base);
+    const u64 probes[] = {r.base, r.base + t.offset,
+                          r.base + t.length / 2,
+                          r.top64() - (t.length ? 1 : 0)};
+    for (const u64 addr : probes) {
+        if (!cap::isRepresentable(enc.fields, r.base, addr))
+            continue;
+        const DecodedBounds alt = cap::decodeBounds(enc.fields, addr);
+        if (!sameBounds(ref, alt))
+            return "representable address " + hex64(addr) +
+                   " decodes different bounds";
+    }
+    return std::nullopt;
+}
+
+/** Law: CRRL/CRAM — aligning to the reported mask and length makes
+ *  the region exactly representable. */
+std::optional<std::string>
+lawCrrlCram(const CapTuple &t, const FuzzConfig &)
+{
+    const u64 mask = cap::representableAlignmentMask(t.length);
+    const u64 rlen = cap::representableLength(t.length);
+    // CRRL is modulo 2^64: a zero result with a nonzero request means
+    // the rounded length is the whole address space.
+    const u128 rlen128 =
+        (rlen == 0 && t.length != 0) ? kTop64 : u128(rlen);
+    if (rlen128 < t.length)
+        return "CRRL " + hex64(rlen) + " below requested length";
+    if ((rlen & ~mask) != 0)
+        return "CRRL " + hex64(rlen) + " not a multiple of CRAM granule";
+    const u64 aligned = t.base & mask;
+    const u128 top = u128(aligned) + rlen128;
+    if (top > kTop64)
+        return std::nullopt; // rounded region passes 2^64 at this base
+    const EncodeResult enc = cap::encodeBounds(
+        aligned, static_cast<u64>(top), top == kTop64);
+    if (!enc.exact)
+        return "CRAM-aligned [" + hex64(aligned) + ", +" + hex64(rlen) +
+               ") does not encode exactly";
+    return std::nullopt;
+}
+
+/** Law: the independent u128 reference decoder agrees everywhere. */
+std::optional<std::string>
+lawReferenceDecode(const CapTuple &t, const FuzzConfig &config)
+{
+    const Region r = regionOf(t);
+    const EncodeResult enc = encodeRegion(r, config);
+    const u64 probes[] = {r.base, r.base + t.offset, t.offset};
+    for (const u64 addr : probes) {
+        const DecodedBounds model = cap::decodeBounds(enc.fields, addr);
+        const DecodedBounds ref = refDecodeBounds(enc.fields, addr);
+        if (!sameBounds(model, ref))
+            return "model decode [" + hex64(model.base) + ", " +
+                   hex64(model.top) + ") != reference [" +
+                   hex64(ref.base) + ", " + hex64(ref.top) + ") at " +
+                   hex64(addr);
+    }
+    return std::nullopt;
+}
+
+/** Law: setBounds is monotonic — a derived child never gains bounds
+ *  beyond its parent, and a tagged child covers its request. */
+std::optional<std::string>
+lawSetBoundsMonotonic(const CapTuple &t, const FuzzConfig &)
+{
+    const Region r = regionOf(t);
+    const u64 length =
+        r.topIsMax() ? (0 - r.base) : (r.top64() - r.base);
+    const Capability parent =
+        Capability::root().withAddress(r.base).setBounds(length);
+    if (!parent.tag())
+        return "root-derived parent lost its tag";
+    if (parent.base() > r.base)
+        return "parent base above request";
+
+    // A sub-range of the requested region must derive monotonically.
+    const u64 off = t.length ? t.offset % t.length : 0;
+    const u64 inner_base = r.base + off;
+    const u64 inner_len = t.length ? t.length - off : 0;
+    const Capability child =
+        parent.withAddress(inner_base).setBounds(inner_len);
+    if (!child.tag())
+        return std::nullopt; // refusing (tag clear) is always legal
+    if (child.base() < parent.base())
+        return "child base " + hex64(child.base()) +
+               " below parent base " + hex64(parent.base());
+    if (child.top() > parent.top())
+        return "child top " + hex64(child.top()) +
+               " above parent top " + hex64(parent.top());
+    if (child.base() > inner_base)
+        return "tagged child does not cover its requested base";
+    if (!child.inBounds(inner_base, inner_len))
+        return "tagged child does not cover its requested region";
+    if (!child.perms().subsetOf(parent.perms()))
+        return "child gained permissions through setBounds";
+    return std::nullopt;
+}
+
+/** Law: withPerms only ever clears permission bits. */
+std::optional<std::string>
+lawPermsMonotonic(const CapTuple &t, const FuzzConfig &)
+{
+    const Capability parent = Capability::root()
+                                  .withAddress(t.base)
+                                  .setBounds(regionOf(t).topIsMax()
+                                                 ? (0 - t.base)
+                                                 : t.length);
+    const PermSet mask(static_cast<u16>(t.perms & PermSet::all().bits()));
+    const Capability derived = parent.withPerms(mask);
+    if (!derived.perms().subsetOf(parent.perms()))
+        return "withPerms set a bit the parent lacked";
+    if (!derived.perms().subsetOf(mask))
+        return "withPerms kept a bit outside the mask";
+    const Capability again = derived.withPerms(mask);
+    if (!(again.perms() == derived.perms()))
+        return "withPerms is not idempotent";
+    return std::nullopt;
+}
+
+/** Law: seal/unseal round-trips; mutating a sealed cap clears tag. */
+std::optional<std::string>
+lawSealUnseal(const CapTuple &t, const FuzzConfig &)
+{
+    const Region r = regionOf(t);
+    const u64 length = r.topIsMax() ? (0 - r.base) : t.length;
+    const Capability c =
+        Capability::root().withAddress(r.base).setBounds(length);
+    const u16 otype =
+        static_cast<u16>(1 + (t.perms % cap::kOtypeMax));
+    const Capability sealer = Capability::root().withAddress(otype);
+
+    const Capability sealed = c.sealWith(sealer);
+    if (!sealed.tag())
+        return "sealing a valid cap with a valid sealer cleared tag";
+    if (!sealed.sealed() || sealed.otype() != otype)
+        return "sealed otype mismatch";
+
+    if (sealed.withAddress(r.base + t.offset).tag())
+        return "withAddress on a sealed cap kept the tag";
+    if (sealed.setBounds(t.length).tag())
+        return "setBounds on a sealed cap kept the tag";
+    if (sealed.withPerms(PermSet::all()).tag())
+        return "withPerms on a sealed cap kept the tag";
+    if (!sealed.checkAccess(r.base, 1, false))
+        return "access through a sealed cap passed the check";
+
+    const Capability unsealed =
+        sealed.unsealWith(Capability::root().withAddress(otype));
+    if (!unsealed.tag() || unsealed.sealed())
+        return "matched unseal did not restore an unsealed cap";
+    if (!(unsealed == c))
+        return "seal/unseal round trip changed the capability";
+
+    const u16 wrong = otype == cap::kOtypeMax
+                          ? static_cast<u16>(1)
+                          : static_cast<u16>(otype + 1);
+    if (sealed.unsealWith(Capability::root().withAddress(wrong)).tag())
+        return "unseal with the wrong otype kept the tag";
+    return std::nullopt;
+}
+
+/** Law: tags only die; an untagged cap fails every check and every
+ *  derivation from it stays untagged. */
+std::optional<std::string>
+lawTagClearing(const CapTuple &t, const FuzzConfig &)
+{
+    const Region r = regionOf(t);
+    const u64 length = r.topIsMax() ? (0 - r.base) : t.length;
+    const Capability c =
+        Capability::root().withAddress(r.base).setBounds(length);
+    const Capability dead = c.withoutTag();
+    if (dead.tag())
+        return "withoutTag left the tag set";
+    const auto fault = dead.checkAccess(r.base, 1, false);
+    if (!fault || fault->kind != cap::CapFaultKind::TagViolation)
+        return "untagged access did not raise TagViolation";
+    if (dead.setBounds(t.length).tag() ||
+        dead.withPerms(PermSet::all()).tag() ||
+        dead.sealWith(Capability::root().withAddress(1)).tag())
+        return "derivation from an untagged cap resurrected the tag";
+    return std::nullopt;
+}
+
+/** Law: pack/unpack round-trips the full 129-bit image. */
+std::optional<std::string>
+lawPackRoundTrip(const CapTuple &t, const FuzzConfig &)
+{
+    const Region r = regionOf(t);
+    const u64 length = r.topIsMax() ? (0 - r.base) : t.length;
+    const PermSet mask(static_cast<u16>(t.perms & PermSet::all().bits()));
+    const Capability c = Capability::root()
+                             .withAddress(r.base)
+                             .setBounds(length)
+                             .withPerms(mask)
+                             .withAddress(r.base + t.offset);
+    const Capability back = Capability::unpack(c.pack(), c.tag());
+    if (!(back == c))
+        return "pack/unpack round trip changed the capability";
+    return std::nullopt;
+}
+
+/** Law: checkAccess honors tag, perms and bounds in that order. */
+std::optional<std::string>
+lawCheckAccess(const CapTuple &t, const FuzzConfig &)
+{
+    const Region r = regionOf(t);
+    const u64 length = r.topIsMax() ? (0 - r.base) : t.length;
+    const Capability c =
+        Capability::root().withAddress(r.base).setBounds(length);
+    if (t.length > 0 && c.checkAccess(r.base, 1, false))
+        return "in-bounds load through a full-perm cap faulted";
+
+    const Capability no_perms = c.withPerms(PermSet(0));
+    const auto fault = no_perms.checkAccess(r.base, 1, false);
+    if (!fault || fault->kind != cap::CapFaultKind::PermitLoadViolation)
+        return "load without Load permission did not raise "
+               "PermitLoadViolation";
+
+    // The decoded top is the hard edge (the request may have rounded
+    // outward, so probe the capability's own bound, not the tuple's).
+    if (c.top() != ~0ULL) {
+        const auto oob = c.checkAccess(c.top(), 1, false);
+        if (!oob || oob->kind != cap::CapFaultKind::BoundsViolation)
+            return "access at the decoded top did not raise "
+                   "BoundsViolation";
+    }
+    return std::nullopt;
+}
+
+struct NamedLaw
+{
+    const char *name;
+    Law law;
+};
+
+constexpr NamedLaw kLaws[] = {
+    {"bounds-cover", lawBoundsCover},
+    {"exact-roundtrip", lawExactRoundTrip},
+    {"representable-range", lawRepresentableRange},
+    {"crrl-cram", lawCrrlCram},
+    {"reference-decode", lawReferenceDecode},
+    {"setbounds-monotonic", lawSetBoundsMonotonic},
+    {"perms-monotonic", lawPermsMonotonic},
+    {"seal-unseal", lawSealUnseal},
+    {"tag-clearing", lawTagClearing},
+    {"pack-roundtrip", lawPackRoundTrip},
+    {"check-access", lawCheckAccess},
+};
+
+/** Boundary-biased 64-bit draw (powers of two, near-2^64, tiny). */
+u64
+interestingU64(Xoshiro256StarStar &rng)
+{
+    switch (rng.nextBelow(6)) {
+      case 0:
+        return rng.nextBelow(17);
+      case 1: {
+          const u64 bit = 1ULL << rng.nextBelow(64);
+          return bit + rng.nextBelow(5) - 2; // may wrap: still valid
+      }
+      case 2:
+        return ~0ULL - rng.nextBelow(17);
+      case 3:
+        return rng.next() & 0xffff;
+      case 4:
+        return rng.next() & ((1ULL << (1 + rng.nextBelow(63))) - 1);
+      default:
+        return rng.next();
+    }
+}
+
+} // namespace
+
+CapTuple
+genCapTuple(Xoshiro256StarStar &rng)
+{
+    CapTuple t;
+    t.base = interestingU64(rng);
+    t.length = interestingU64(rng);
+    if (t.base != 0 && u128(t.base) + t.length > kTop64)
+        t.length = 0 - t.base; // clamp: top lands exactly on 2^64
+    t.offset = interestingU64(rng);
+    t.perms = static_cast<u16>(rng.next());
+    return t;
+}
+
+std::optional<LawFailure>
+checkCapLaws(const CapTuple &tuple, const FuzzConfig &config)
+{
+    CapTuple t = tuple;
+    if (t.base != 0 && u128(t.base) + t.length > kTop64)
+        t.length = 0 - t.base;
+    for (const NamedLaw &entry : kLaws) {
+        if (auto detail = entry.law(t, config))
+            return LawFailure{entry.name, t, std::move(*detail)};
+    }
+    return std::nullopt;
+}
+
+CapTuple
+shrinkCapTuple(const CapTuple &failing, const FuzzConfig &config)
+{
+    const auto original = checkCapLaws(failing, config);
+    if (!original)
+        return failing;
+    const std::string law = original->law;
+    const auto stillFails = [&](const CapTuple &candidate) {
+        const auto f = checkCapLaws(candidate, config);
+        return f && f->law == law;
+    };
+
+    // Candidate moves for one 64-bit field, all strictly decreasing:
+    // zero, halve, decrement, drop lowest set bit, drop highest set
+    // bit. Strict decrease bounds the loop; the fixed order makes the
+    // shrink deterministic.
+    const auto moves = [](u64 v) {
+        std::vector<u64> out;
+        if (v == 0)
+            return out;
+        out.push_back(0);
+        out.push_back(v >> 1);
+        out.push_back(v - 1);
+        out.push_back(v & (v - 1));
+        u64 high = v;
+        while (high & (high - 1))
+            high &= high - 1;
+        out.push_back(v & ~high);
+        return out;
+    };
+
+    CapTuple t = original->tuple;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        u64 *fields[] = {&t.base, &t.length, &t.offset};
+        for (u64 *field : fields) {
+            for (const u64 candidate : moves(*field)) {
+                if (candidate >= *field)
+                    continue;
+                const u64 saved = *field;
+                *field = candidate;
+                if (stillFails(t)) {
+                    progress = true;
+                    break;
+                }
+                *field = saved;
+            }
+        }
+        for (const u64 candidate : moves(t.perms)) {
+            if (candidate >= t.perms)
+                continue;
+            const u16 saved = t.perms;
+            t.perms = static_cast<u16>(candidate);
+            if (stillFails(t)) {
+                progress = true;
+                break;
+            }
+            t.perms = saved;
+        }
+    }
+    return t;
+}
+
+std::string
+reproLine(const CapTuple &tuple)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "cap base=0x%016" PRIx64 " length=0x%016" PRIx64
+                  " offset=0x%016" PRIx64 " perms=0x%04x",
+                  tuple.base, tuple.length, tuple.offset,
+                  static_cast<unsigned>(tuple.perms));
+    return buf;
+}
+
+std::optional<CapTuple>
+parseReproLine(const std::string &line)
+{
+    CapTuple t;
+    unsigned perms = 0;
+    const int n = std::sscanf(
+        line.c_str(),
+        "cap base=%" SCNx64 " length=%" SCNx64 " offset=%" SCNx64
+        " perms=%x",
+        &t.base, &t.length, &t.offset, &perms);
+    if (n != 4 || perms > 0xffff)
+        return std::nullopt;
+    t.perms = static_cast<u16>(perms);
+    return t;
+}
+
+} // namespace cheri::verify

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Property-based fuzzing of the capability layer (src/cap).
+ *
+ * A CapTuple (base, length, offset, perms) is enough to exercise the
+ * whole derivation surface: CHERI-Concentrate bounds compression,
+ * representability rounding, pointer arithmetic, permission
+ * intersection, sealing and tag clearing. checkCapLaws() runs every
+ * algebraic law the model must obey against one tuple and returns the
+ * first violated law; shrinkCapTuple() greedily minimizes a failing
+ * tuple (while preserving the failing law) down to a one-line repro
+ * that `cheriperf verify --replay "<line>"` re-executes exactly.
+ *
+ * Everything here is deterministic: tuples come from a seeded
+ * Xoshiro256**, laws are pure functions, and the shrinker's candidate
+ * order is fixed — no wall-clock, no host dependence.
+ */
+
+#ifndef CHERI_VERIFY_FUZZ_HPP
+#define CHERI_VERIFY_FUZZ_HPP
+
+#include <optional>
+#include <string>
+
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace cheri::verify {
+
+/** One fuzzed capability scenario. */
+struct CapTuple
+{
+    u64 base = 0;   //!< Requested region base.
+    u64 length = 0; //!< Requested region length (clamped to 2^64-base).
+    u64 offset = 0; //!< Pointer-arithmetic displacement to exercise.
+    u16 perms = 0;  //!< Permission mask to intersect with.
+
+    bool operator==(const CapTuple &) const = default;
+};
+
+/**
+ * Deliberate model perturbations for CI's negative test: the verify
+ * job must prove the fuzzer actually catches the class of bug it
+ * exists for, so the harness can corrupt the checked value on the way
+ * into the law — the model itself is never modified.
+ */
+struct FuzzConfig
+{
+    /**
+     * Corrupt the encoded top mantissa whenever representability
+     * rounding occurred (the exact bug class CHERI-Concentrate's
+     * corrections exist to prevent). Makes the bounds-cover law fail.
+     */
+    bool injectRepresentabilityBug = false;
+};
+
+/** One violated law: which law, on which (shrunk) tuple, and why. */
+struct LawFailure
+{
+    std::string law;    //!< Law identifier, e.g. "bounds-cover".
+    CapTuple tuple;     //!< The tuple that violates it.
+    std::string detail; //!< Human-readable mismatch description.
+};
+
+/** Draw one tuple, biased toward boundary values (powers of two,
+ *  top-of-address-space, tiny lengths). */
+CapTuple genCapTuple(Xoshiro256StarStar &rng);
+
+/**
+ * Check every capability law against @p tuple. Returns the first
+ * violated law, or nullopt when all hold. Pure and deterministic.
+ */
+std::optional<LawFailure> checkCapLaws(const CapTuple &tuple,
+                                       const FuzzConfig &config = {});
+
+/**
+ * Greedily minimize @p failing while the same law keeps failing.
+ * Deterministic (fixed candidate order) and guaranteed to terminate
+ * (every accepted step strictly decreases a field).
+ */
+CapTuple shrinkCapTuple(const CapTuple &failing,
+                        const FuzzConfig &config = {});
+
+/** The replayable one-line repro for a tuple:
+ *  "cap base=0x... length=0x... offset=0x... perms=0x...". */
+std::string reproLine(const CapTuple &tuple);
+
+/** Parse a reproLine() back into a tuple; nullopt on malformed text. */
+std::optional<CapTuple> parseReproLine(const std::string &line);
+
+} // namespace cheri::verify
+
+#endif // CHERI_VERIFY_FUZZ_HPP

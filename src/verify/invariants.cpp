@@ -1,0 +1,286 @@
+#include "verify/invariants.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "pmu/events.hpp"
+
+namespace cheri::verify {
+
+namespace {
+
+using pmu::Event;
+using pmu::EventCounts;
+
+std::string
+num(u64 v)
+{
+    return std::to_string(v);
+}
+
+/** "lhs <name> rhs" violation with both sides spelled out. */
+void
+fail(std::vector<InvariantViolation> &out, const char *name,
+     const std::string &detail)
+{
+    out.push_back({name, detail});
+}
+
+void
+requireEq(std::vector<InvariantViolation> &out, const char *name,
+          const char *lhs_name, u64 lhs, const char *rhs_name, u64 rhs)
+{
+    if (lhs != rhs)
+        fail(out, name,
+             std::string(lhs_name) + "=" + num(lhs) + " != " +
+                 rhs_name + "=" + num(rhs));
+}
+
+void
+requireLe(std::vector<InvariantViolation> &out, const char *name,
+          const char *lhs_name, u64 lhs, const char *rhs_name, u64 rhs)
+{
+    if (lhs > rhs)
+        fail(out, name,
+             std::string(lhs_name) + "=" + num(lhs) + " > " + rhs_name +
+                 "=" + num(rhs));
+}
+
+void
+requireNear(std::vector<InvariantViolation> &out, const char *name,
+            const char *lhs_name, u64 lhs, const char *rhs_name, u64 rhs,
+            u64 slack)
+{
+    const u64 gap = lhs > rhs ? lhs - rhs : rhs - lhs;
+    if (gap > slack)
+        fail(out, name,
+             std::string(lhs_name) + "=" + num(lhs) + " vs " + rhs_name +
+                 "=" + num(rhs) + " differ by " + num(gap) +
+                 " (slack " + num(slack) + ")");
+}
+
+/**
+ * The events the epoch collector live-counts: deltas of the model's
+ * running counters, so their epoch sum must reproduce the finals
+ * exactly. CpuCycles and the two architectural stall counters are
+ * synthesized per epoch from float accumulators instead and only sum
+ * within rounding.
+ */
+bool
+isLiveCounted(Event event)
+{
+    if (!pmu::isArchitectural(event))
+        return false;
+    return event != Event::CpuCycles && event != Event::StallFrontend &&
+           event != Event::StallBackend;
+}
+
+/** Epoch-series conservation against the finals it was sliced from. */
+void
+checkEpochSeries(std::vector<InvariantViolation> &out,
+                 const trace::EpochSeries &series,
+                 const EventCounts &finals, u64 cycles, u64 instructions,
+                 u32 width)
+{
+    if (series.empty())
+        return;
+
+    EventCounts summed;
+    u64 cycle_sum = 0;
+    u64 prev_end = 0;
+    for (const trace::EpochRecord &epoch : series.epochs) {
+        if (epoch.instStart != prev_end)
+            fail(out, "epoch-contiguous",
+                 "epoch " + num(epoch.index) + " starts at " +
+                     num(epoch.instStart) + " but previous ended at " +
+                     num(prev_end));
+        if (epoch.instEnd <= epoch.instStart)
+            fail(out, "epoch-nonempty",
+                 "epoch " + num(epoch.index) + " spans [" +
+                     num(epoch.instStart) + ", " + num(epoch.instEnd) +
+                     ")");
+        prev_end = epoch.instEnd;
+        summed += epoch.counts;
+        cycle_sum += epoch.cycles;
+        requireEq(out, "epoch-slots-width", "epoch SlotsTotal",
+                  epoch.counts.get(Event::SlotsTotal), "cycles*width",
+                  epoch.cycles * width);
+    }
+    requireEq(out, "epoch-covers-run", "last epoch instEnd", prev_end,
+              "instructions", instructions);
+
+    for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
+        const Event event = static_cast<Event>(i);
+        if (!isLiveCounted(event))
+            continue;
+        requireEq(out, "epoch-delta-sum",
+                  (std::string("sum of epoch ") + pmu::eventName(event))
+                      .c_str(),
+                  summed.get(event), "final", finals.get(event));
+    }
+
+    // CpuCycles per epoch is llround() of a float delta; each epoch can
+    // be off by one, plus the final partial epoch's clamp.
+    requireNear(out, "epoch-cycle-sum", "sum of epoch cycles", cycle_sum,
+                "run cycles", cycles, series.size() + 2);
+}
+
+} // namespace
+
+std::vector<InvariantViolation>
+checkCountInvariants(const pmu::EventCounts &counts, u32 width, u32 lanes)
+{
+    std::vector<InvariantViolation> out;
+    const auto get = [&](Event e) { return counts.get(e); };
+
+    // --- Exact hierarchy conservation --------------------------------
+    requireEq(out, "l2-is-l1-refills", "L2D_CACHE", get(Event::L2dCache),
+              "L1I_CACHE_REFILL + L1D_CACHE_REFILL",
+              get(Event::L1iCacheRefill) + get(Event::L1dCacheRefill));
+    requireEq(out, "walks-are-l2tlb-refills", "L2D_TLB_REFILL",
+              get(Event::L2dTlbRefill), "ITLB_WALK + DTLB_WALK",
+              get(Event::ItlbWalk) + get(Event::DtlbWalk));
+    requireEq(out, "cap-reads-are-ctag-reads", "CAP_MEM_ACCESS_RD",
+              get(Event::CapMemAccessRd), "MEM_ACCESS_RD_CTAG",
+              get(Event::MemAccessRdCtag));
+    requireEq(out, "cap-writes-are-ctag-writes", "CAP_MEM_ACCESS_WR",
+              get(Event::CapMemAccessWr), "MEM_ACCESS_WR_CTAG",
+              get(Event::MemAccessWrCtag));
+    requireEq(out, "slots-are-cycles-times-width", "SLOTS_TOTAL",
+              get(Event::SlotsTotal), "CPU_CYCLES * width",
+              get(Event::CpuCycles) * width);
+
+    // --- Ordering laws ----------------------------------------------
+    requireLe(out, "l1i-refills-within-accesses", "L1I_CACHE_REFILL",
+              get(Event::L1iCacheRefill), "L1I_CACHE",
+              get(Event::L1iCache));
+    requireLe(out, "l1d-refills-within-accesses", "L1D_CACHE_REFILL",
+              get(Event::L1dCacheRefill), "L1D_CACHE",
+              get(Event::L1dCache));
+    requireLe(out, "l2-refills-within-accesses", "L2D_CACHE_REFILL",
+              get(Event::L2dCacheRefill), "L2D_CACHE",
+              get(Event::L2dCache));
+    requireLe(out, "llc-reads-within-l2-refills", "LL_CACHE_RD",
+              get(Event::LlCacheRd), "L2D_CACHE_REFILL",
+              get(Event::L2dCacheRefill));
+    requireLe(out, "llc-misses-within-reads", "LL_CACHE_MISS_RD",
+              get(Event::LlCacheMissRd), "LL_CACHE_RD",
+              get(Event::LlCacheRd));
+    requireLe(out, "l2tlb-within-l1tlbs", "L2D_TLB", get(Event::L2dTlb),
+              "L1I_TLB + L1D_TLB",
+              get(Event::L1iTlb) + get(Event::L1dTlb));
+    requireLe(out, "l2tlb-refills-within-accesses", "L2D_TLB_REFILL",
+              get(Event::L2dTlbRefill), "L2D_TLB", get(Event::L2dTlb));
+    requireLe(out, "retired-within-spec", "INST_RETIRED",
+              get(Event::InstRetired), "INST_SPEC",
+              get(Event::InstSpec));
+    requireLe(out, "branch-misses-within-branches", "BR_MIS_PRED_RETIRED",
+              get(Event::BrMisPredRetired), "BR_RETIRED",
+              get(Event::BrRetired));
+    requireLe(out, "branches-within-retired", "BR_RETIRED",
+              get(Event::BrRetired), "INST_RETIRED",
+              get(Event::InstRetired));
+    requireLe(out, "retired-slots-cover-insts", "INST_RETIRED",
+              get(Event::InstRetired), "SLOTS_RETIRED",
+              get(Event::SlotsRetired));
+
+    // --- Float-accumulated partitions (rounding slack scales with the
+    // number of independently rounded accumulators: one per lane) ----
+    const u64 stall_sum = get(Event::StallMemL1) + get(Event::StallMemL2) +
+                          get(Event::StallMemExt) + get(Event::StallCore);
+    requireNear(out, "backend-stall-partition",
+                "STALL_MEM_* + STALL_CORE", stall_sum, "STALL_BACKEND",
+                get(Event::StallBackend), 3ULL * lanes);
+    requireLe(out, "pcc-stalls-within-frontend", "PCC_STALL",
+              get(Event::PccStall), "STALL_FRONTEND + slack",
+              get(Event::StallFrontend) + 2ULL * lanes);
+
+    const u64 slot_sum = get(Event::SlotsRetired) +
+                         get(Event::SlotsBadSpec) +
+                         get(Event::SlotsFrontend) +
+                         get(Event::SlotsBackend);
+    const u64 slot_slack = u64(lanes) * (2ULL * width + 2) +
+                           get(Event::SlotsTotal) / 1'000'000;
+    requireNear(out, "slot-partition",
+                "SLOTS_{RETIRED,BAD_SPEC,FRONTEND,BACKEND}", slot_sum,
+                "SLOTS_TOTAL", get(Event::SlotsTotal), slot_slack);
+
+    return out;
+}
+
+std::vector<InvariantViolation>
+checkRunInvariants(const runner::RunResult &result)
+{
+    std::vector<InvariantViolation> out;
+    if (!result.ok() || result.sim->fault)
+        return out;
+
+    const sim::MachineConfig config = result.request.resolvedConfig();
+    const u32 width = config.pipe.width;
+    const u32 lane_count =
+        result.lanes.empty() ? 1u : static_cast<u32>(result.lanes.size());
+
+    for (const InvariantViolation &v :
+         checkCountInvariants(result.sim->counts, width, lane_count))
+        out.push_back(
+            {v.name, "aggregate: " + v.detail});
+
+    requireEq(out, "instructions-are-retired", "sim.instructions",
+              result.sim->instructions, "INST_RETIRED",
+              result.sim->counts.get(pmu::Event::InstRetired));
+
+    if (result.lanes.empty()) {
+        // Solo cell: the run's cycles ARE the count vector's cycles.
+        requireEq(out, "cycles-match-counts", "sim.cycles",
+                  result.sim->cycles, "CPU_CYCLES",
+                  result.sim->counts.get(pmu::Event::CpuCycles));
+        checkEpochSeries(out, result.epochs, result.sim->counts,
+                         result.sim->cycles, result.sim->instructions,
+                         width);
+        return out;
+    }
+
+    // Co-run cell: per-lane audits plus SoC-aggregate conservation.
+    pmu::EventCounts lane_sum;
+    u64 inst_sum = 0;
+    u64 makespan = 0;
+    for (std::size_t i = 0; i < result.lanes.size(); ++i) {
+        const runner::LaneOutcome &lane = result.lanes[i];
+        if (!lane.ok())
+            continue;
+        const std::string tag = "lane " + std::to_string(i) + " (" +
+                                lane.lane.workload + "): ";
+        if (lane.sim->fault)
+            continue;
+        for (const InvariantViolation &v :
+             checkCountInvariants(lane.sim->counts, width, 1))
+            out.push_back({v.name, tag + v.detail});
+        requireEq(out, "lane-cycles-match-counts",
+                  (tag + "sim.cycles").c_str(), lane.sim->cycles,
+                  "CPU_CYCLES",
+                  lane.sim->counts.get(pmu::Event::CpuCycles));
+        checkEpochSeries(out, lane.epochs, lane.sim->counts,
+                         lane.sim->cycles, lane.sim->instructions, width);
+        lane_sum += lane.sim->counts;
+        inst_sum += lane.sim->instructions;
+        makespan = std::max<u64>(makespan, lane.sim->cycles);
+    }
+
+    for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
+        const auto event = static_cast<pmu::Event>(i);
+        requireEq(out, "lanes-sum-to-aggregate",
+                  (std::string("sum of lane ") + pmu::eventName(event))
+                      .c_str(),
+                  lane_sum.get(event), "aggregate",
+                  result.sim->counts.get(event));
+    }
+    requireEq(out, "lane-insts-sum-to-aggregate", "sum of lane insts",
+              inst_sum, "aggregate instructions",
+              result.sim->instructions);
+    requireEq(out, "aggregate-cycles-are-makespan", "max lane cycles",
+              makespan, "aggregate cycles", result.sim->cycles);
+
+    return out;
+}
+
+} // namespace cheri::verify

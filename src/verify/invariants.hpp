@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Run-invariant checking: conservation laws every simulated run must
+ * obey, checked on real RunResults rather than fuzzed inputs.
+ *
+ * Two layers:
+ *
+ *  - checkCountInvariants() audits one PMU count vector: hierarchy
+ *    conservation (L2 accesses are exactly the L1 refills, TLB walks
+ *    are exactly the L2-TLB refills, capability traffic equals tagged
+ *    traffic), ordering laws (refills never exceed accesses, retired
+ *    never exceeds speculated), and the top-down slot partition
+ *    (retired + bad-spec + frontend + backend slots account for every
+ *    issued slot, within the pipeline's documented rounding slack).
+ *
+ *  - checkRunInvariants() audits a whole runner::RunResult: the count
+ *    laws on the aggregate and on every lane, lane-sum/makespan
+ *    consistency for co-runs, and epoch-series conservation (live
+ *    event deltas sum exactly to the final counts; synthesized cycle
+ *    totals sum within rounding of the run's cycles).
+ *
+ * Violations are returned, not asserted, so callers decide severity:
+ * tests FAIL_ADD them, `cheriperf verify` prints and exits non-zero.
+ */
+
+#ifndef CHERI_VERIFY_INVARIANTS_HPP
+#define CHERI_VERIFY_INVARIANTS_HPP
+
+#include <string>
+#include <vector>
+
+#include "pmu/counts.hpp"
+#include "runner/run_result.hpp"
+#include "support/types.hpp"
+
+namespace cheri::verify {
+
+/** One violated conservation law. */
+struct InvariantViolation
+{
+    std::string name;   //!< Law identifier, e.g. "l2-is-l1-refills".
+    std::string detail; //!< The two sides that failed to balance.
+};
+
+/**
+ * Check the conservation laws on one count vector.
+ *
+ * @param counts The vector to audit (a run's finals, a lane's finals,
+ *        or a co-run SoC aggregate).
+ * @param width Pipeline issue width the counts were produced under.
+ * @param lanes Number of summed lanes (1 for a single core). Scales
+ *        the rounding slack of the float-accumulated stall laws.
+ */
+std::vector<InvariantViolation>
+checkCountInvariants(const pmu::EventCounts &counts, u32 width,
+                     u32 lanes = 1);
+
+/**
+ * Check every invariant a completed RunResult must satisfy. NA cells
+ * and faulted runs are skipped (a fault legitimately truncates the
+ * final epoch and the slot partition).
+ */
+std::vector<InvariantViolation>
+checkRunInvariants(const runner::RunResult &result);
+
+} // namespace cheri::verify
+
+#endif // CHERI_VERIFY_INVARIANTS_HPP

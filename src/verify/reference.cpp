@@ -1,0 +1,119 @@
+#include "verify/reference.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cheri::verify {
+
+namespace {
+
+using u128 = unsigned __int128;
+using s128 = __int128;
+
+constexpr u32 kMask = (1u << cap::kMantissaWidth) - 1;
+
+/** MRU-list lookup shared by RefCache and RefTlb: hit moves the key
+ *  to the front, miss inserts at the front and truncates to ways. */
+bool
+mruAccess(std::vector<Addr> &set, Addr key, u32 ways)
+{
+    const auto it = std::find(set.begin(), set.end(), key);
+    if (it != set.end()) {
+        std::rotate(set.begin(), it, it + 1);
+        return true;
+    }
+    set.insert(set.begin(), key);
+    if (set.size() > ways)
+        set.pop_back();
+    return false;
+}
+
+} // namespace
+
+cap::DecodedBounds
+refDecodeBounds(const cap::BoundsFields &fields, u64 address)
+{
+    const unsigned e = fields.e;
+    const unsigned window_bits = e + cap::kMantissaWidth;
+    const u128 span = u128(1) << window_bits;
+
+    // The representable limit R in mantissa units: one eighth-space
+    // below the base mantissa's aligned chunk.
+    const u32 r = (((fields.b >> (cap::kMantissaWidth - 3)) - 1)
+                   << (cap::kMantissaWidth - 3)) &
+                  kMask;
+
+    // Materialize the representable window holding the address: it
+    // starts at the R boundary at or below the address. The window
+    // may start below zero (signed 128-bit), which the final mod-2^64
+    // reduction absorbs.
+    const u64 a_hi = window_bits >= 64 ? 0 : address >> window_bits;
+    const u64 a_mid = (address >> e) & kMask;
+    s128 window = static_cast<s128>((u128(a_hi) << window_bits) +
+                                    (u128(r) << e));
+    if (a_mid < r)
+        window -= static_cast<s128>(span);
+
+    // Both mantissas live inside the window, at their modular distance
+    // above R. This places each field independently — the reference
+    // never computes the production decoder's +/-1 corrections.
+    const auto place = [&](u32 mantissa) -> u128 {
+        const u32 above_r = (mantissa - r) & kMask;
+        return static_cast<u128>(window + s128(u128(above_r) << e));
+    };
+
+    const u128 base128 = place(fields.b) & ((u128(1) << 64) - 1);
+    const u128 top128 = place(fields.t) & ((u128(1) << 65) - 1);
+
+    cap::DecodedBounds out;
+    out.base = static_cast<u64>(base128);
+    out.topIsMax = top128 >= (u128(1) << 64);
+    out.top = out.topIsMax ? ~0ULL : static_cast<u64>(top128);
+    return out;
+}
+
+RefCache::RefCache(const mem::CacheConfig &config) : config_(config)
+{
+    const u64 lines = config.size_bytes / config.line_bytes;
+    CHERI_ASSERT(config.ways > 0 && lines % config.ways == 0,
+                 "RefCache geometry mismatch");
+    numSets_ = static_cast<u32>(lines / config.ways);
+    sets_.resize(numSets_);
+}
+
+bool
+RefCache::access(Addr addr, bool is_write)
+{
+    (void)is_write; // presence model: dirtiness never affects hits
+    ++accesses_;
+    const Addr line = addr / config_.line_bytes;
+    const u32 set = static_cast<u32>(line & (numSets_ - 1));
+    if (mruAccess(sets_[set], line, config_.ways))
+        return true;
+    ++misses_;
+    return false;
+}
+
+RefTlb::RefTlb(const mem::TlbConfig &config) : config_(config)
+{
+    ways_ = config.ways == 0 ? config.entries : config.ways;
+    CHERI_ASSERT(ways_ > 0 && config.entries % ways_ == 0,
+                 "RefTlb geometry mismatch");
+    numSets_ = config.entries / ways_;
+    sets_.resize(numSets_);
+}
+
+bool
+RefTlb::access(Addr addr)
+{
+    ++accesses_;
+    const Addr vpn = addr / config_.page_bytes;
+    const u32 set = static_cast<u32>(vpn & (numSets_ - 1));
+    if (mruAccess(sets_[set], vpn, ways_))
+        return true;
+    ++misses_;
+    return false;
+}
+
+} // namespace cheri::verify

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Differential reference models: naive, obviously-correct
+ * reimplementations of the compressed-bounds decoder, the
+ * set-associative cache and the TLB, used to cross-check the
+ * production models access-by-access on fuzzed inputs.
+ *
+ * Each reference deliberately uses a different formulation from the
+ * production code so that shared-bug blindness is unlikely:
+ *
+ *  - refDecodeBounds() reconstructs bounds by materializing the whole
+ *    representable-space window in 128-bit arithmetic and placing both
+ *    mantissas inside it modularly, instead of the per-field +/-1
+ *    high-bit corrections mem::decodeBounds applies.
+ *  - RefCache keeps an explicit MRU-ordered vector per set (front =
+ *    most recent) instead of timestamped lines with a victim scan.
+ *  - RefTlb does the same for translations.
+ *
+ * The reference models are presence-equivalent, not timing models:
+ * they answer only "would this access hit?".
+ */
+
+#ifndef CHERI_VERIFY_REFERENCE_HPP
+#define CHERI_VERIFY_REFERENCE_HPP
+
+#include <vector>
+
+#include "cap/bounds.hpp"
+#include "mem/cache.hpp"
+#include "mem/tlb.hpp"
+#include "support/types.hpp"
+
+namespace cheri::verify {
+
+/**
+ * Decode compressed bounds relative to @p address using the
+ * representable-space-window formulation. Must agree bit-for-bit with
+ * cap::decodeBounds for every (fields, address) pair — including
+ * corrupted fields, since both decoders are fed the same bits.
+ */
+cap::DecodedBounds refDecodeBounds(const cap::BoundsFields &fields,
+                                   u64 address);
+
+/**
+ * Reference set-associative cache: one MRU-ordered list of line
+ * addresses per set, truncated to the way count. Same hit/miss and
+ * victim behaviour as mem::SetAssocCache by construction.
+ */
+class RefCache
+{
+  public:
+    explicit RefCache(const mem::CacheConfig &config);
+
+    /** @return True on hit. Allocates on miss (write-allocate). */
+    bool access(Addr addr, bool is_write);
+
+    u64 accesses() const { return accesses_; }
+    u64 misses() const { return misses_; }
+
+  private:
+    mem::CacheConfig config_;
+    u32 numSets_;
+    std::vector<std::vector<Addr>> sets_; //!< Per-set MRU line lists.
+    u64 accesses_ = 0;
+    u64 misses_ = 0;
+};
+
+/** Reference TLB, same MRU-list construction over page numbers. */
+class RefTlb
+{
+  public:
+    explicit RefTlb(const mem::TlbConfig &config);
+
+    /** @return True on hit. Allocates on miss. */
+    bool access(Addr addr);
+
+    u64 accesses() const { return accesses_; }
+    u64 misses() const { return misses_; }
+
+  private:
+    mem::TlbConfig config_;
+    u32 numSets_;
+    u32 ways_;
+    std::vector<std::vector<Addr>> sets_; //!< Per-set MRU VPN lists.
+    u64 accesses_ = 0;
+    u64 misses_ = 0;
+};
+
+} // namespace cheri::verify
+
+#endif // CHERI_VERIFY_REFERENCE_HPP

@@ -1,0 +1,433 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "runner/runner.hpp"
+#include "support/hash.hpp"
+#include "support/serialize.hpp"
+#include "verify/reference.hpp"
+
+namespace cheri::verify {
+
+namespace {
+
+/** Tuples per fuzz chunk: the unit of work-stealing. Chunk seeds are
+ *  derived from (seed, chunk index), so the tuple set is identical
+ *  for every --jobs value. */
+constexpr u64 kChunkTuples = 2048;
+
+/** At most this many shrunk failures are reported / written out. */
+constexpr std::size_t kMaxReportedFailures = 8;
+
+u64
+chunkSeed(u64 seed, u64 chunk, u64 salt)
+{
+    Fnv1a h;
+    h.add(seed).add(salt).add(chunk);
+    return h.value();
+}
+
+// ---------------------------------------------------------------- cap
+
+void
+runCapSuite(const VerifyOptions &options, VerifyReport &report)
+{
+    const u64 iters = std::max<u64>(options.iters, 1);
+    const u64 chunks = (iters + kChunkTuples - 1) / kChunkTuples;
+    std::vector<std::vector<LawFailure>> perChunk(chunks);
+
+    std::atomic<u64> next{0};
+    const auto worker = [&]() {
+        for (u64 c = next.fetch_add(1); c < chunks; c = next.fetch_add(1)) {
+            Xoshiro256StarStar rng(chunkSeed(options.seed, c, 0xCA9));
+            const u64 count =
+                std::min<u64>(kChunkTuples, iters - c * kChunkTuples);
+            for (u64 i = 0; i < count; ++i) {
+                const CapTuple tuple = genCapTuple(rng);
+                if (auto failure = checkCapLaws(tuple, options.fuzz)) {
+                    if (perChunk[c].size() < kMaxReportedFailures)
+                        perChunk[c].push_back(std::move(*failure));
+                }
+            }
+        }
+    };
+
+    const u32 jobs = std::max<u32>(options.jobs, 1);
+    if (jobs == 1 || chunks == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(jobs);
+        for (u32 t = 0; t < jobs; ++t)
+            threads.emplace_back(worker);
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    // Aggregate in chunk order (not completion order), shrink on this
+    // thread, and dedupe by repro line: byte-identical output for any
+    // thread count.
+    std::vector<std::string> seen;
+    for (const auto &chunk : perChunk) {
+        for (const LawFailure &failure : chunk) {
+            if (report.capFailures.size() >= kMaxReportedFailures)
+                break;
+            const CapTuple shrunk =
+                shrinkCapTuple(failure.tuple, options.fuzz);
+            const std::string line = reproLine(shrunk);
+            if (std::find(seen.begin(), seen.end(), line) != seen.end())
+                continue;
+            seen.push_back(line);
+            auto detail = checkCapLaws(shrunk, options.fuzz);
+            report.capFailures.push_back(
+                detail ? std::move(*detail)
+                       : LawFailure{failure.law, shrunk, failure.detail});
+        }
+    }
+
+    report.text += "cap: " + std::to_string(iters) + " tuples, " +
+                   std::to_string(report.capFailures.size()) +
+                   " failing laws\n";
+    for (const LawFailure &failure : report.capFailures) {
+        report.text += "cap: FAIL " + failure.law + ": " +
+                       failure.detail + "\n";
+        report.text += "  repro: " + reproLine(failure.tuple) + "\n";
+    }
+
+    if (!options.corpus_dir.empty() && !report.capFailures.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.corpus_dir, ec);
+        for (const LawFailure &failure : report.capFailures) {
+            Fnv1a h;
+            h.add(failure.tuple.base)
+                .add(failure.tuple.length)
+                .add(failure.tuple.offset)
+                .add(static_cast<u64>(failure.tuple.perms));
+            const std::string name =
+                failure.law + "-" + toHex64(h.value()) + ".repro";
+            writeFileAtomic(options.corpus_dir + "/" + name,
+                            reproLine(failure.tuple) + "\n");
+            report.text += "  corpus: " + name + "\n";
+        }
+    }
+}
+
+// ---------------------------------------------------------------- mem
+
+/** Addresses for one differential trace: a mix of patterns so hits,
+ *  conflict misses and capacity misses all occur. */
+u64
+traceAddress(Xoshiro256StarStar &rng, u64 pattern, u64 step)
+{
+    switch (pattern) {
+      case 0: // small uniform window: mostly hits
+        return rng.nextBelow(1ULL << 12);
+      case 1: // large uniform window: mostly misses
+        return rng.nextBelow(1ULL << 24);
+      case 2: // strided sweep with jitter: conflict pressure
+        return step * 4096 + rng.nextBelow(64);
+      case 3: // skewed hot set
+        return rng.nextZipf(1ULL << 16, 1.1) * 32;
+      default: // pathological high addresses
+        return ~0ULL - rng.nextBelow(1ULL << 20);
+    }
+}
+
+void
+runMemSuite(const VerifyOptions &options, VerifyReport &report)
+{
+    const mem::CacheConfig cacheMenu[] = {
+        {1 * kKiB, 2, 64},
+        {4 * kKiB, 4, 64},
+        {512, 1, 32},
+        {2 * kKiB, 8, 64},
+    };
+    const mem::TlbConfig tlbMenu[] = {
+        {8, 0, 4096},
+        {16, 4, 4096},
+        {32, 8, 4096},
+    };
+    constexpr u64 kAccessesPerTrace = 512;
+
+    const u64 traces =
+        std::clamp<u64>(options.iters / 1000, 8, 256);
+    u64 mismatched_traces = 0;
+
+    for (u64 t = 0; t < traces; ++t) {
+        Xoshiro256StarStar rng(chunkSeed(options.seed, t, 0x3E3));
+        const auto &cc = cacheMenu[rng.nextBelow(std::size(cacheMenu))];
+        const auto &l1c = tlbMenu[rng.nextBelow(std::size(tlbMenu))];
+        const auto &l2c = tlbMenu[rng.nextBelow(std::size(tlbMenu))];
+        const u64 pattern = rng.nextBelow(5);
+
+        mem::SetAssocCache cache(cc);
+        RefCache refCache(cc);
+        mem::Tlb l1(l1c), l2(l2c);
+        RefTlb refL1(l1c), refL2(l2c);
+
+        std::string mismatch;
+        for (u64 i = 0; i < kAccessesPerTrace && mismatch.empty(); ++i) {
+            const u64 addr = traceAddress(rng, pattern, i);
+            const bool is_write = rng.nextBelow(4) == 0;
+
+            if (cache.access(addr, is_write) !=
+                refCache.access(addr, is_write))
+                mismatch = "cache hit/miss diverged at access " +
+                           std::to_string(i) + " addr " + toHex64(addr);
+
+            // Two-level translation with the production short-circuit:
+            // the L2 TLB is consulted only on an L1 miss, on both
+            // sides, so allocation order is compared too.
+            const bool l1_hit = l1.access(addr);
+            if (l1_hit != refL1.access(addr)) {
+                if (mismatch.empty())
+                    mismatch = "L1 TLB diverged at access " +
+                               std::to_string(i) + " addr " +
+                               toHex64(addr);
+            } else if (!l1_hit && l2.access(addr) != refL2.access(addr)) {
+                if (mismatch.empty())
+                    mismatch = "L2 TLB diverged at access " +
+                               std::to_string(i) + " addr " +
+                               toHex64(addr);
+            }
+        }
+        if (mismatch.empty() &&
+            (cache.accesses() != refCache.accesses() ||
+             cache.misses() != refCache.misses()))
+            mismatch = "cache totals diverged: model " +
+                       std::to_string(cache.misses()) + "/" +
+                       std::to_string(cache.accesses()) + " vs ref " +
+                       std::to_string(refCache.misses()) + "/" +
+                       std::to_string(refCache.accesses());
+
+        if (!mismatch.empty()) {
+            ++mismatched_traces;
+            if (report.memMismatches.size() < kMaxReportedFailures)
+                report.memMismatches.push_back(
+                    "trace " + std::to_string(t) + ": " + mismatch);
+        }
+    }
+
+    report.text += "mem: " + std::to_string(traces) + " traces, " +
+                   std::to_string(mismatched_traces) + " mismatches\n";
+    for (const std::string &m : report.memMismatches)
+        report.text += "mem: FAIL " + m + "\n";
+}
+
+// --------------------------------------------------------- invariants
+
+void
+runInvariantsSuite(const VerifyOptions &options, VerifyReport &report)
+{
+    using runner::RunRequest;
+
+    // A fixed miniature plan covering every result shape the runner
+    // produces: a solo ABI pair, an NA cell, a traced cell, a co-run,
+    // and a single-entry lane vector (which must degrade to solo).
+    runner::ExperimentPlan plan;
+    {
+        RunRequest r;
+        r.workload = "519.lbm_r";
+        r.abi = abi::Abi::Purecap;
+        r.scale = workloads::Scale::Tiny;
+        plan.add(r);
+        r.abi = abi::Abi::Hybrid;
+        plan.add(r);
+    }
+    {
+        RunRequest r;
+        r.workload = "SQLite";
+        r.abi = abi::Abi::Purecap;
+        r.scale = workloads::Scale::Tiny;
+        plan.add(r);
+    }
+    {
+        RunRequest r; // the paper's NA cell
+        r.workload = "QuickJS";
+        r.abi = abi::Abi::Benchmark;
+        r.scale = workloads::Scale::Tiny;
+        plan.add(r);
+    }
+    {
+        RunRequest r; // traced: exercises epoch conservation
+        r.workload = "SQLite";
+        r.abi = abi::Abi::Purecap;
+        r.scale = workloads::Scale::Tiny;
+        r.trace.enabled = true;
+        r.trace.epoch_insts = 20'000;
+        plan.add(r);
+    }
+    {
+        RunRequest r; // co-run: exercises lane-sum/makespan laws
+        r.scale = workloads::Scale::Tiny;
+        r.lanes = {{"519.lbm_r", abi::Abi::Purecap},
+                   {"SQLite", abi::Abi::Purecap}};
+        plan.add(r);
+    }
+    {
+        RunRequest r; // single-entry lanes: must normalize to solo
+        r.scale = workloads::Scale::Tiny;
+        r.lanes = {{"519.lbm_r", abi::Abi::Purecap}};
+        plan.add(r);
+    }
+
+    // Scratch cache for the cold/warm round trip. Never printed: the
+    // report must be byte-identical across hosts.
+    std::string scratch = options.cache_dir;
+    if (scratch.empty())
+        scratch = (std::filesystem::temp_directory_path() /
+                   "cheriperf-verify-cache")
+                      .string();
+    runner::ResultCache(scratch).clear();
+
+    runner::RunnerOptions ropts;
+    ropts.jobs = std::max<u32>(options.jobs, 1);
+    ropts.cache_dir = scratch;
+
+    const auto cold = runner::runPlan(plan, ropts);
+    const auto warm = runner::runPlan(plan, ropts);
+
+    std::size_t audited = 0;
+    const auto audit = [&](const runner::RunResult &result,
+                           const char *pass) {
+        ++audited;
+        for (const InvariantViolation &v : checkRunInvariants(result))
+            report.violations.push_back(
+                {v.name, result.request.displayName() + "/" +
+                             abi::abiName(result.request.abi) + " (" +
+                             pass + "): " + v.detail});
+    };
+    for (const auto &result : cold.results)
+        audit(result, "cold");
+    for (const auto &result : warm.results)
+        audit(result, "warm");
+
+    // Bit-identical replay: warm solo untraced cells must come from
+    // the cache and reproduce the cold pass exactly.
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const auto &a = cold.results[i];
+        const auto &b = warm.results[i];
+        const std::string cell = a.request.displayName() + "/" +
+                                 abi::abiName(a.request.abi);
+        const bool eligible =
+            a.ok() && !a.request.corun() && !a.request.trace.enabled;
+        if (eligible && !b.cacheHit)
+            report.violations.push_back(
+                {"cache-replay-missed",
+                 cell + ": warm pass re-simulated a cacheable cell"});
+        if (a.ok() != b.ok()) {
+            report.violations.push_back(
+                {"cold-warm-divergence", cell + ": NA status changed"});
+            continue;
+        }
+        if (a.ok() &&
+            (!(a.sim->counts == b.sim->counts) ||
+             a.sim->instructions != b.sim->instructions ||
+             a.sim->cycles != b.sim->cycles ||
+             a.sim->seconds != b.sim->seconds))
+            report.violations.push_back(
+                {"cold-warm-divergence",
+                 cell + ": cached replay is not bit-identical"});
+    }
+
+    // The normalized single-lane cell must equal the plain solo cell.
+    const auto &solo = cold.results[0];
+    const auto &folded = cold.results[plan.size() - 1];
+    if (!folded.lanes.empty() || !folded.ok() || !solo.ok() ||
+        !(folded.sim->counts == solo.sim->counts))
+        report.violations.push_back(
+            {"single-lane-degradation",
+             "single-entry lane cell did not reproduce the solo cell"});
+
+    report.text += "invariants: " + std::to_string(audited) +
+                   " results audited, " +
+                   std::to_string(report.violations.size()) +
+                   " violations\n";
+    for (const InvariantViolation &v : report.violations)
+        report.text +=
+            "invariants: FAIL " + v.name + ": " + v.detail + "\n";
+}
+
+void
+runReplay(const VerifyOptions &options, VerifyReport &report)
+{
+    const auto tuple = parseReproLine(options.replay);
+    if (!tuple) {
+        report.text += "replay: malformed repro line\n";
+        return;
+    }
+    if (auto failure = checkCapLaws(*tuple, options.fuzz)) {
+        report.capFailures.push_back(*failure);
+        report.text += "replay: FAIL " + failure->law + ": " +
+                       failure->detail + "\n";
+        report.text += "  repro: " + reproLine(failure->tuple) + "\n";
+    } else {
+        report.text += "replay: PASS " + reproLine(*tuple) + "\n";
+    }
+}
+
+} // namespace
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Cap:
+        return "cap";
+      case Suite::Mem:
+        return "mem";
+      case Suite::Invariants:
+        return "invariants";
+      case Suite::All:
+        return "all";
+    }
+    return "?";
+}
+
+std::optional<Suite>
+parseSuite(const std::string &name)
+{
+    for (Suite s :
+         {Suite::Cap, Suite::Mem, Suite::Invariants, Suite::All})
+        if (name == suiteName(s))
+            return s;
+    return std::nullopt;
+}
+
+VerifyReport
+runVerify(const VerifyOptions &options)
+{
+    VerifyReport report;
+    report.text = "cheriperf verify: seed=" +
+                  std::to_string(options.seed) +
+                  " iters=" + std::to_string(options.iters) +
+                  " suite=" + suiteName(options.suite) + "\n";
+
+    if (!options.replay.empty()) {
+        runReplay(options, report);
+    } else {
+        const auto want = [&](Suite s) {
+            return options.suite == Suite::All || options.suite == s;
+        };
+        if (want(Suite::Cap))
+            runCapSuite(options, report);
+        if (want(Suite::Mem))
+            runMemSuite(options, report);
+        if (want(Suite::Invariants))
+            runInvariantsSuite(options, report);
+    }
+
+    report.passed = report.capFailures.empty() &&
+                    report.memMismatches.empty() &&
+                    report.violations.empty() &&
+                    (options.replay.empty() ||
+                     report.text.find("malformed") == std::string::npos);
+    report.text += std::string("verify: ") +
+                   (report.passed ? "PASS" : "FAIL") + "\n";
+    return report;
+}
+
+} // namespace cheri::verify

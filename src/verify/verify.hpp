@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The model-verification orchestrator behind `cheriperf verify`.
+ *
+ * Three suites, all deterministic for a fixed seed (no wall-clock, no
+ * host state, byte-identical reports across repeat runs and any
+ * --jobs count):
+ *
+ *  - cap: property-based fuzzing of the capability layer (fuzz.hpp).
+ *    Iterations are split into fixed-size chunks, each chunk's RNG
+ *    seeded from (seed, chunk index), and workers pull chunks from an
+ *    atomic counter — the set of tuples checked is independent of the
+ *    thread count, and failures are aggregated in chunk order.
+ *  - mem: differential testing of the cache/TLB models against the
+ *    naive reference models (reference.hpp), access-by-access on
+ *    seeded traces over a menu of geometries.
+ *  - invariants: a fixed miniature experiment plan is run through the
+ *    real runner and every result audited with checkRunInvariants();
+ *    the cell set includes a solo sweep, a traced cell and a co-run,
+ *    plus a cold/warm result-cache round trip that must be
+ *    bit-identical.
+ */
+
+#ifndef CHERI_VERIFY_VERIFY_HPP
+#define CHERI_VERIFY_VERIFY_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/invariants.hpp"
+
+namespace cheri::verify {
+
+enum class Suite : u8 {
+    Cap,        //!< Capability-law property fuzzing.
+    Mem,        //!< Cache/TLB differential reference models.
+    Invariants, //!< Run-invariant audits on real runner results.
+    All,
+};
+
+/** CLI name of a suite ("cap", "mem", "invariants", "all"). */
+const char *suiteName(Suite suite);
+
+/** Parse a CLI suite name; nullopt on an unknown one. */
+std::optional<Suite> parseSuite(const std::string &name);
+
+struct VerifyOptions
+{
+    u64 seed = 1;
+    u64 iters = 100'000; //!< Cap tuples; mem traces scale from this.
+    u32 jobs = 1;        //!< Worker threads for the cap suite.
+    Suite suite = Suite::All;
+
+    /** Harness-level bug injection (CI's negative test). */
+    FuzzConfig fuzz{};
+
+    /**
+     * Non-empty: replay this one repro line (see reproLine()) instead
+     * of fuzzing, so a shrunk failure from CI re-executes exactly.
+     */
+    std::string replay;
+
+    /** Non-empty: write each shrunk cap failure here as a .repro file. */
+    std::string corpus_dir;
+
+    /**
+     * Scratch directory for the invariant suite's cache round-trip.
+     * Empty = a fixed subdirectory of the system temp dir. Cleared
+     * before use; never printed in the report.
+     */
+    std::string cache_dir;
+};
+
+struct VerifyReport
+{
+    bool passed = false;
+
+    /**
+     * The full human-readable report. Deterministic: contains the
+     * seed, iteration counts and failures, but no wall-clock times,
+     * no thread counts and no absolute paths.
+     */
+    std::string text;
+
+    /** Shrunk cap-law failures, at most kMaxReportedFailures. */
+    std::vector<LawFailure> capFailures;
+
+    /** Mem-suite mismatch descriptions (first per trace). */
+    std::vector<std::string> memMismatches;
+
+    /** Invariant violations across the audited runs. */
+    std::vector<InvariantViolation> violations;
+};
+
+/** Run the selected suites. Never throws; failures land in the report. */
+VerifyReport runVerify(const VerifyOptions &options);
+
+} // namespace cheri::verify
+
+#endif // CHERI_VERIFY_VERIFY_HPP

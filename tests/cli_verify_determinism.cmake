@@ -1,0 +1,94 @@
+# `cheriperf verify` determinism + negative-test fixture.
+#
+# 1. Runs the cap+mem suites with --jobs 1 and --jobs 4 and requires
+#    byte-identical stdout (the report carries no thread counts, no
+#    wall-clock and no paths), then repeats the --jobs 4 run and
+#    requires identical bytes again.
+# 2. Runs the cap suite with the injected representability bug and
+#    requires a FAILING exit, a shrunk one-line repro in the output,
+#    and that replaying the extracted repro line reproduces the
+#    failure — the proof the fuzzer catches the bug class it exists
+#    for.
+#
+# Invoked by ctest as:
+#   cmake -DCHERIPERF=<binary> -DWORK_DIR=<scratch> -P cli_verify_determinism.cmake
+
+if(NOT CHERIPERF)
+    message(FATAL_ERROR "pass -DCHERIPERF=<path to cheriperf binary>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(VERIFY_ARGS verify --seed 1 --iters 8000)
+
+function(run_verify out_var expect_fail)
+    execute_process(
+        COMMAND "${CHERIPERF}" ${ARGN}
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(expect_fail AND status EQUAL 0)
+        message(FATAL_ERROR "expected failing exit from: ${ARGN}\n${stdout}")
+    endif()
+    if(NOT expect_fail AND NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "cheriperf ${ARGN} failed (${status}):\n${stdout}${stderr}")
+    endif()
+    set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+# --- determinism across jobs and repeats -----------------------------
+run_verify(cap_serial FALSE ${VERIFY_ARGS} --suite cap --jobs 1)
+run_verify(cap_parallel FALSE ${VERIFY_ARGS} --suite cap --jobs 4)
+run_verify(cap_again FALSE ${VERIFY_ARGS} --suite cap --jobs 4)
+if(NOT cap_serial STREQUAL cap_parallel OR
+   NOT cap_parallel STREQUAL cap_again)
+    file(WRITE "${WORK_DIR}/serial.txt" "${cap_serial}")
+    file(WRITE "${WORK_DIR}/parallel.txt" "${cap_parallel}")
+    message(FATAL_ERROR "verify report differs across --jobs 1/4 or "
+                        "repeats; see ${WORK_DIR}/serial.txt vs "
+                        "parallel.txt")
+endif()
+
+run_verify(mem_a FALSE ${VERIFY_ARGS} --suite mem)
+run_verify(mem_b FALSE ${VERIFY_ARGS} --suite mem)
+if(NOT mem_a STREQUAL mem_b)
+    message(FATAL_ERROR "mem suite report not deterministic")
+endif()
+
+# --- injected-bug negative test --------------------------------------
+run_verify(injected TRUE ${VERIFY_ARGS} --suite cap --jobs 4
+    --inject-representability-bug
+    --corpus-dir "${WORK_DIR}/corpus")
+if(NOT injected MATCHES "FAIL bounds-cover")
+    message(FATAL_ERROR
+        "injected bug not attributed to bounds-cover:\n${injected}")
+endif()
+string(REGEX MATCH "repro: (cap [^\n]*)" _ "${injected}")
+if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "no shrunk repro line in:\n${injected}")
+endif()
+set(repro "${CMAKE_MATCH_1}")
+
+file(GLOB corpus_files "${WORK_DIR}/corpus/*.repro")
+list(LENGTH corpus_files n_corpus)
+if(n_corpus EQUAL 0)
+    message(FATAL_ERROR "no corpus files written to ${WORK_DIR}/corpus")
+endif()
+
+# The extracted repro replays the failure under injection, and passes
+# against the clean model.
+run_verify(replayed TRUE verify --replay "${repro}"
+    --inject-representability-bug)
+if(NOT replayed MATCHES "replay: FAIL")
+    message(FATAL_ERROR "repro line did not replay the failure:\n${replayed}")
+endif()
+run_verify(clean FALSE verify --replay "${repro}")
+if(NOT clean MATCHES "replay: PASS")
+    message(FATAL_ERROR "clean model rejected the repro:\n${clean}")
+endif()
+
+message(STATUS "cli_verify_determinism ok: identical reports across "
+               "jobs 1/4, injected bug caught and replayed "
+               "(${n_corpus} corpus entries)")

@@ -153,6 +153,97 @@ TEST(Bounds, ExponentMonotoneInLength)
     }
 }
 
+/**
+ * Exponent-boundary edge cases, table-driven. The rows were seeded by
+ * the verify fuzzer's shrunk corpus (tests/corpus/cap_bounds_edges.txt):
+ * every interesting failure it ever minimized landed next to an
+ * exponent transition, so the table pins encode exactness, outward
+ * rounding and decode agreement on both sides of each transition.
+ */
+struct ExponentEdgeCase
+{
+    u64 base;
+    u64 length;
+    u8 expected_e;  //!< Exponent the encoder must choose.
+    bool exact;     //!< Whether the encoding must be exact.
+};
+
+class ExponentBoundaryTest
+    : public ::testing::TestWithParam<ExponentEdgeCase>
+{
+};
+
+TEST_P(ExponentBoundaryTest, EncodesAtTheExpectedExponent)
+{
+    const auto &tc = GetParam();
+    const bool top_is_max = u64(0) - tc.base == tc.length && tc.base != 0;
+    const auto enc =
+        encodeBounds(tc.base, tc.base + tc.length, top_is_max);
+    EXPECT_EQ(enc.fields.e, tc.expected_e)
+        << "base " << tc.base << " len " << tc.length;
+    EXPECT_EQ(enc.exact, tc.exact);
+
+    // Whatever the exponent, rounding is outward-only and the decoded
+    // region covers the request.
+    const auto dec = decodeBounds(enc.fields, tc.base);
+    EXPECT_LE(dec.base, tc.base);
+    if (!dec.topIsMax)
+        EXPECT_GE(dec.top, tc.base + tc.length);
+    if (tc.exact) {
+        EXPECT_EQ(dec.base, tc.base);
+        if (!dec.topIsMax)
+            EXPECT_EQ(dec.top, tc.base + tc.length);
+    }
+}
+
+constexpr u64 kLimit = 3ULL << 12; // kMantissaLimit: 3/4 mantissa space
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeTable, ExponentBoundaryTest,
+    ::testing::Values(
+        // Degenerate lengths encode exactly at e=0 anywhere.
+        ExponentEdgeCase{0, 0, 0, true},
+        ExponentEdgeCase{0x1234, 0, 0, true},
+        ExponentEdgeCase{0, 1, 0, true},
+        // The largest length a 64-bit request can spell.
+        ExponentEdgeCase{0, ~0ULL, 51, false},
+        // e=0 -> e=1: the mantissa limit itself and one byte past it.
+        ExponentEdgeCase{0, kLimit, 0, true},
+        ExponentEdgeCase{0, kLimit + 1, 1, false},
+        ExponentEdgeCase{0, kLimit + 2, 1, true},
+        ExponentEdgeCase{0, 0x3fff, 1, false}, // smallest shrunk repro
+        // Aligned base, straddling length: still e=1.
+        ExponentEdgeCase{2, 2 * kLimit - 2, 1, true},
+        // e=1 -> e=2.
+        ExponentEdgeCase{0, 2 * kLimit, 1, true},
+        ExponentEdgeCase{0, 2 * kLimit + 1, 2, false},
+        ExponentEdgeCase{0, 2 * kLimit + 4, 2, true},
+        // An unaligned base forces the larger exponent's granularity.
+        ExponentEdgeCase{1, kLimit + 1, 1, false},
+        // High exponents: 2^63 needs e >= 50 (2^13 mantissa units).
+        ExponentEdgeCase{0, 1ULL << 63, 50, true},
+        ExponentEdgeCase{0, (1ULL << 63) + 1, 50, false},
+        // Top of the address space, exact and inexact.
+        ExponentEdgeCase{0xffffffffffff0000ULL, 0x10000, 3, true},
+        ExponentEdgeCase{0xffffffffffffffffULL, 1, 0, true},
+        ExponentEdgeCase{0xfffffffffffffff1ULL, 0xe, 0, true}));
+
+TEST(Bounds, RepresentableLengthIsModulo64AtTheTop)
+{
+    // A request within one granule of 2^64 rounds up to the whole
+    // address space; like the hardware CRRL register the result is
+    // modulo 2^64, so it reads back as 0 — and must not trap.
+    EXPECT_EQ(representableLength(~0ULL), 0u);
+    EXPECT_EQ(representableLength(~0ULL - 100), 0u);
+
+    // Just below the last granule the rounded length still fits.
+    const u64 mask = representableAlignmentMask(~0ULL);
+    const u64 granule = ~mask + 1;
+    const u64 fitting = (~0ULL & mask);
+    EXPECT_EQ(representableLength(fitting), fitting);
+    EXPECT_GT(granule, 1u);
+}
+
 TEST(Bounds, ZeroLengthAtArbitraryBase)
 {
     Xoshiro256StarStar rng(5);

@@ -15,6 +15,7 @@
 #include "binsize/sections.hpp"
 #include "runner/runner.hpp"
 #include "support/stats.hpp"
+#include "verify/invariants.hpp"
 #include "workloads/registry.hpp"
 
 namespace cheri {
@@ -38,6 +39,21 @@ runProxy(const workloads::Workload &workload, Abi abi, Scale scale,
     return runner::run(request).sim;
 }
 
+/**
+ * Runner-level invariant gate: every result any integration test
+ * produces is audited against the conservation laws as it comes out
+ * of the runner, so a model change that breaks a law fails the suite
+ * even if no assertion looks at the affected counter.
+ */
+void
+invariantGate(const runner::RunResult &result)
+{
+    for (const auto &v : verify::checkRunInvariants(result))
+        ADD_FAILURE() << "run invariant violated for "
+                      << result.request.workload << ": " << v.name
+                      << " (" << v.detail << ")";
+}
+
 class IntegrationTest : public ::testing::Test
 {
   protected:
@@ -46,11 +62,13 @@ class IntegrationTest : public ::testing::Test
     {
         pool_ = new std::vector<std::unique_ptr<workloads::Workload>>(
             workloads::allWorkloads());
+        previous_hook_ = runner::setResultHook(&invariantGate);
     }
 
     static void
     TearDownTestSuite()
     {
+        runner::setResultHook(previous_hook_);
         delete pool_;
         pool_ = nullptr;
     }
@@ -72,10 +90,12 @@ class IntegrationTest : public ::testing::Test
     }
 
     static std::vector<std::unique_ptr<workloads::Workload>> *pool_;
+    static runner::ResultHook previous_hook_;
 };
 
 std::vector<std::unique_ptr<workloads::Workload>> *IntegrationTest::pool_ =
     nullptr;
+runner::ResultHook IntegrationTest::previous_hook_ = nullptr;
 
 TEST_F(IntegrationTest, PointerIntensiveWorkloadsSufferMost)
 {

@@ -275,6 +275,148 @@ TEST(Runner, CorruptedCacheEntryFallsBackToSimulation)
         << "re-simulation must rewrite the corrupted entry";
 }
 
+/** Re-run one solo lbm cell against an existing cache directory. */
+RunResult
+rerunLbm(const RunnerOptions &options)
+{
+    ExperimentPlan plan;
+    plan.add({.workload = "519.lbm_r",
+              .abi = Abi::Purecap,
+              .scale = Scale::Tiny});
+    auto outcome = runPlan(plan, options);
+    return std::move(outcome.results[0]);
+}
+
+/**
+ * The cache negative paths all share one contract: a damaged entry is
+ * a silent miss — the runner re-simulates, produces identical numbers
+ * and repairs the entry; it never errors and never replays bad bytes.
+ */
+class CacheNegativePathTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        options_.jobs = 1;
+        options_.cache_dir = tempCacheDir("negative");
+        const auto first = rerunLbm(options_);
+        ASSERT_TRUE(first.ok());
+        baseline_ = first.sim->counts;
+
+        const ResultCache cache(options_.cache_dir);
+        path_ = cache.entryPath(cellFingerprint(first.request));
+        ASSERT_TRUE(std::filesystem::exists(path_));
+        std::ifstream in(path_);
+        text_.assign(std::istreambuf_iterator<char>(in), {});
+        ASSERT_FALSE(text_.empty());
+    }
+
+    void
+    rewrite(const std::string &text)
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << text;
+    }
+
+    /** The damaged entry must silently re-simulate to the same counts. */
+    void
+    expectSilentResimulation()
+    {
+        const auto again = rerunLbm(options_);
+        ASSERT_TRUE(again.ok());
+        EXPECT_FALSE(again.cacheHit);
+        EXPECT_EQ(again.sim->counts, baseline_);
+
+        // ... and the rewritten entry serves the next run.
+        EXPECT_TRUE(rerunLbm(options_).cacheHit);
+    }
+
+    RunnerOptions options_;
+    pmu::EventCounts baseline_;
+    std::string path_;
+    std::string text_;
+};
+
+TEST_F(CacheNegativePathTest, TruncatedEntryIsASilentMiss)
+{
+    rewrite(text_.substr(0, text_.size() / 2));
+    expectSilentResimulation();
+}
+
+TEST_F(CacheNegativePathTest, WrongSchemaVersionIsASilentMiss)
+{
+    // Bump only the version line of an otherwise-valid record.
+    const auto pos = text_.find("version ");
+    ASSERT_NE(pos, std::string::npos);
+    auto bumped = text_;
+    bumped.replace(pos, text_.find('\n', pos) - pos, "version 999");
+    rewrite(bumped);
+    expectSilentResimulation();
+}
+
+TEST_F(CacheNegativePathTest, FlippedFingerprintByteIsASilentMiss)
+{
+    // Corrupt one hex digit of the stored key: the self-check against
+    // the entry's own filename must reject it.
+    const auto pos = text_.find("key ");
+    ASSERT_NE(pos, std::string::npos);
+    auto flipped = text_;
+    flipped[pos + 4] = flipped[pos + 4] == '0' ? '1' : '0';
+    rewrite(flipped);
+    expectSilentResimulation();
+}
+
+TEST(Runner, SingleLaneRequestNormalizesToSolo)
+{
+    RunRequest solo{.workload = "519.lbm_r",
+                    .abi = Abi::Purecap,
+                    .scale = Scale::Tiny};
+    RunRequest lane = solo;
+    lane.workload.clear();
+    lane.lanes = {{"519.lbm_r", Abi::Purecap}};
+
+    const RunRequest folded = lane.normalized();
+    EXPECT_TRUE(folded.lanes.empty());
+    EXPECT_EQ(folded.workload, solo.workload);
+    EXPECT_EQ(folded.abi, solo.abi);
+    EXPECT_FALSE(folded.corun());
+
+    // Same cell, same cache entry: the two spellings share a
+    // fingerprint, while a real two-lane co-run does not.
+    EXPECT_EQ(cellFingerprint(lane), cellFingerprint(solo));
+    RunRequest pair = lane;
+    pair.lanes.push_back({"519.lbm_r", Abi::Purecap});
+    EXPECT_NE(cellFingerprint(pair), cellFingerprint(solo));
+}
+
+TEST(Runner, SingleLaneCorunDegradesToTheSoloPath)
+{
+    RunnerOptions options;
+    options.jobs = 1;
+    options.cache_dir = tempCacheDir("degrade");
+
+    RunRequest solo{.workload = "519.lbm_r",
+                    .abi = Abi::Purecap,
+                    .scale = Scale::Tiny};
+    const auto direct = run(solo, options);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_FALSE(direct.cacheHit);
+
+    RunRequest lane;
+    lane.scale = Scale::Tiny;
+    lane.lanes = {{"519.lbm_r", Abi::Purecap}};
+    const auto degraded = run(lane, options);
+    ASSERT_TRUE(degraded.ok());
+    // Solo path: no lane outcomes, bit-identical counts, and served
+    // from the solo cell's cache entry.
+    EXPECT_TRUE(degraded.lanes.empty());
+    EXPECT_TRUE(degraded.cacheHit);
+    EXPECT_EQ(degraded.sim->counts, direct.sim->counts);
+    EXPECT_EQ(degraded.sim->cycles, direct.sim->cycles);
+    EXPECT_EQ(degraded.sim->seconds, direct.sim->seconds);
+}
+
 TEST(Runner, CacheIsKnobSensitive)
 {
     RunnerOptions options;

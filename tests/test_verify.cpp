@@ -1,0 +1,385 @@
+/**
+ * @file
+ * The model-verification subsystem itself: capability-law fuzzing and
+ * shrinking, repro-line round trips, the differential reference
+ * models, run-invariant detection on both real and corrupted results,
+ * report determinism across job counts, and corpus replay of every
+ * shrunk counterexample checked in under tests/corpus/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cap/bounds.hpp"
+#include "runner/runner.hpp"
+#include "support/rng.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/invariants.hpp"
+#include "verify/reference.hpp"
+#include "verify/verify.hpp"
+
+namespace cheri::verify {
+namespace {
+
+using abi::Abi;
+using workloads::Scale;
+
+FuzzConfig
+injected()
+{
+    FuzzConfig config;
+    config.injectRepresentabilityBug = true;
+    return config;
+}
+
+/** The first tuple (from a fixed seed) the injected bug breaks. */
+LawFailure
+firstInjectedFailure()
+{
+    Xoshiro256StarStar rng(1);
+    for (int i = 0; i < 100'000; ++i) {
+        const CapTuple t = genCapTuple(rng);
+        if (auto failure = checkCapLaws(t, injected()))
+            return *failure;
+    }
+    ADD_FAILURE() << "injected bug never triggered in 100k tuples";
+    return {};
+}
+
+TEST(Fuzz, CleanModelSatisfiesAllLaws)
+{
+    Xoshiro256StarStar rng(1);
+    for (int i = 0; i < 20'000; ++i) {
+        const CapTuple t = genCapTuple(rng);
+        const auto failure = checkCapLaws(t);
+        EXPECT_FALSE(failure)
+            << failure->law << ": " << failure->detail << "\n  "
+            << reproLine(failure->tuple);
+        if (failure)
+            break;
+    }
+}
+
+TEST(Fuzz, InjectedBugIsCaughtAndShrunkToOneLine)
+{
+    const LawFailure failure = firstInjectedFailure();
+    EXPECT_EQ(failure.law, "bounds-cover");
+
+    const CapTuple shrunk = shrinkCapTuple(failure.tuple, injected());
+    // The shrink preserves the law and never grows a field.
+    const auto still = checkCapLaws(shrunk, injected());
+    ASSERT_TRUE(still.has_value());
+    EXPECT_EQ(still->law, failure.law);
+    EXPECT_LE(shrunk.base, failure.tuple.base);
+    EXPECT_LE(shrunk.length, failure.tuple.length);
+    EXPECT_LE(shrunk.offset, failure.tuple.offset);
+    EXPECT_LE(shrunk.perms, failure.tuple.perms);
+
+    // The representability bug needs only an inexact length: every
+    // other coordinate shrinks all the way to zero.
+    EXPECT_EQ(shrunk.base, 0u);
+    EXPECT_EQ(shrunk.offset, 0u);
+    EXPECT_EQ(shrunk.perms, 0u);
+    EXPECT_GT(shrunk.length, 0u);
+
+    // ... and the repro is a single line that replays exactly.
+    const std::string line = reproLine(shrunk);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    const auto parsed = parseReproLine(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, shrunk);
+    EXPECT_TRUE(checkCapLaws(*parsed, injected()).has_value());
+    EXPECT_FALSE(checkCapLaws(*parsed).has_value())
+        << "the clean model must pass the shrunk repro";
+}
+
+TEST(Fuzz, ShrinkIsDeterministic)
+{
+    const LawFailure failure = firstInjectedFailure();
+    const CapTuple a = shrinkCapTuple(failure.tuple, injected());
+    const CapTuple b = shrinkCapTuple(failure.tuple, injected());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Fuzz, ReproLineRejectsMalformedText)
+{
+    EXPECT_FALSE(parseReproLine("").has_value());
+    EXPECT_FALSE(parseReproLine("cap base=").has_value());
+    EXPECT_FALSE(parseReproLine("mem base=0x0 length=0x1 offset=0x0 "
+                                "perms=0x0")
+                     .has_value());
+    EXPECT_FALSE(
+        parseReproLine("cap base=0x0 length=0x1 offset=0x0 perms=0x10000")
+            .has_value())
+        << "perms wider than 16 bits must be rejected";
+
+    const CapTuple t{.base = 0xdeadbeef,
+                     .length = 0x1000,
+                     .offset = 0x42,
+                     .perms = 0x1ff};
+    const auto parsed = parseReproLine(reproLine(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+}
+
+TEST(Reference, DecodeAgreesWithProductionOnRawFields)
+{
+    // Feed both decoders raw (field, address) pairs — including field
+    // combinations no encoder produces, the corrupted-capability case.
+    Xoshiro256StarStar rng(7);
+    for (int i = 0; i < 50'000; ++i) {
+        cap::BoundsFields fields;
+        fields.b = static_cast<u32>(rng.next()) &
+                   ((1u << cap::kMantissaWidth) - 1);
+        fields.t = static_cast<u32>(rng.next()) &
+                   ((1u << cap::kMantissaWidth) - 1);
+        fields.e =
+            static_cast<u8>(rng.nextBelow(cap::kMaxExponent + 1));
+        const u64 addr = rng.next();
+
+        const auto model = cap::decodeBounds(fields, addr);
+        const auto ref = refDecodeBounds(fields, addr);
+        ASSERT_EQ(model.base, ref.base)
+            << "b=" << fields.b << " t=" << fields.t
+            << " e=" << unsigned(fields.e) << " addr=" << addr;
+        ASSERT_EQ(model.top, ref.top);
+        ASSERT_EQ(model.topIsMax, ref.topIsMax);
+    }
+}
+
+TEST(Reference, CacheMatchesProductionAccessByAccess)
+{
+    mem::CacheConfig config;
+    config.size_bytes = 2048;
+    config.ways = 4;
+    config.line_bytes = 64;
+    mem::SetAssocCache model(config);
+    RefCache ref(config);
+
+    Xoshiro256StarStar rng(11);
+    for (int i = 0; i < 20'000; ++i) {
+        const Addr addr = rng.nextBelow(1u << 14);
+        const bool is_write = rng.chance(0.3);
+        ASSERT_EQ(model.access(addr, is_write), ref.access(addr, is_write))
+            << "access " << i << " addr " << addr;
+    }
+    EXPECT_EQ(model.accesses(), ref.accesses());
+    EXPECT_EQ(model.misses(), ref.misses());
+}
+
+TEST(Reference, TlbMatchesProductionAccessByAccess)
+{
+    mem::TlbConfig config;
+    config.entries = 16;
+    config.ways = 4;
+    config.page_bytes = 4096;
+    mem::Tlb model(config);
+    RefTlb ref(config);
+
+    Xoshiro256StarStar rng(13);
+    for (int i = 0; i < 20'000; ++i) {
+        const Addr addr = rng.nextBelow(1ULL << 24);
+        ASSERT_EQ(model.access(addr), ref.access(addr))
+            << "access " << i << " addr " << addr;
+    }
+    EXPECT_EQ(model.misses(), ref.misses());
+}
+
+TEST(Invariants, RealRunHasNoViolations)
+{
+    const auto result = runner::run({.workload = "519.lbm_r",
+                                     .abi = Abi::Purecap,
+                                     .scale = Scale::Tiny});
+    ASSERT_TRUE(result.ok());
+    for (const auto &v : checkRunInvariants(result))
+        ADD_FAILURE() << v.name << ": " << v.detail;
+}
+
+TEST(Invariants, CorruptedCountsAreDetected)
+{
+    auto result = runner::run({.workload = "519.lbm_r",
+                               .abi = Abi::Purecap,
+                               .scale = Scale::Tiny});
+    ASSERT_TRUE(result.ok());
+
+    // Break hierarchy conservation: extra L2 accesses from nowhere.
+    auto counts = result.sim->counts;
+    counts.add(pmu::Event::L2dCache, 1);
+    const auto violations = checkCountInvariants(
+        counts, result.request.resolvedConfig().pipe.width);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_EQ(violations.front().name, "l2-is-l1-refills");
+
+    // Break the slot partition: retire slots that were never issued.
+    auto counts2 = result.sim->counts;
+    counts2.add(pmu::Event::SlotsRetired,
+                counts2.get(pmu::Event::SlotsTotal));
+    EXPECT_FALSE(checkCountInvariants(
+                     counts2,
+                     result.request.resolvedConfig().pipe.width)
+                     .empty());
+}
+
+TEST(Invariants, CorruptedEpochSeriesIsDetected)
+{
+    runner::RunRequest request{.workload = "SQLite",
+                               .abi = Abi::Purecap,
+                               .scale = Scale::Tiny};
+    request.trace.enabled = true;
+    request.trace.epoch_insts = 20'000;
+    auto result = runner::run(request);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result.epochs.epochs.empty());
+    EXPECT_TRUE(checkRunInvariants(result).empty());
+
+    // An epoch that claims instructions the finals never saw.
+    result.epochs.epochs.front().instEnd += 1;
+    EXPECT_FALSE(checkRunInvariants(result).empty());
+}
+
+TEST(Verify, ReportIsByteIdenticalAcrossJobsAndRepeats)
+{
+    VerifyOptions options;
+    options.seed = 3;
+    options.iters = 4000;
+    options.suite = Suite::Cap;
+
+    const auto serial = runVerify(options);
+    options.jobs = 4;
+    const auto parallel = runVerify(options);
+    const auto again = runVerify(options);
+    EXPECT_TRUE(serial.passed);
+    EXPECT_EQ(serial.text, parallel.text);
+    EXPECT_EQ(parallel.text, again.text);
+}
+
+TEST(Verify, InjectedBugFailsTheRunDeterministically)
+{
+    VerifyOptions options;
+    options.seed = 3;
+    options.iters = 4000;
+    options.suite = Suite::Cap;
+    options.fuzz.injectRepresentabilityBug = true;
+
+    const auto serial = runVerify(options);
+    options.jobs = 4;
+    const auto parallel = runVerify(options);
+    EXPECT_FALSE(serial.passed);
+    EXPECT_EQ(serial.text, parallel.text);
+    ASSERT_FALSE(serial.capFailures.empty());
+    EXPECT_NE(serial.text.find("repro: cap base="), std::string::npos);
+
+    // Every reported failure is already shrunk and replayable.
+    for (const auto &failure : serial.capFailures) {
+        const auto parsed = parseReproLine(reproLine(failure.tuple));
+        ASSERT_TRUE(parsed.has_value());
+        const auto replayed = checkCapLaws(*parsed, options.fuzz);
+        ASSERT_TRUE(replayed.has_value());
+        EXPECT_EQ(replayed->law, failure.law);
+        EXPECT_EQ(shrinkCapTuple(failure.tuple, options.fuzz),
+                  failure.tuple)
+            << "reported tuples must be fully shrunk";
+    }
+}
+
+TEST(Verify, MemSuitePassesAndIsDeterministic)
+{
+    VerifyOptions options;
+    options.seed = 5;
+    options.iters = 10'000;
+    options.suite = Suite::Mem;
+    const auto a = runVerify(options);
+    const auto b = runVerify(options);
+    EXPECT_TRUE(a.passed);
+    EXPECT_TRUE(a.memMismatches.empty());
+    EXPECT_EQ(a.text, b.text);
+}
+
+TEST(Verify, ReplayReExecutesAShrunkRepro)
+{
+    const CapTuple shrunk =
+        shrinkCapTuple(firstInjectedFailure().tuple, injected());
+
+    VerifyOptions options;
+    options.replay = reproLine(shrunk);
+    options.fuzz.injectRepresentabilityBug = true;
+    const auto failing = runVerify(options);
+    EXPECT_FALSE(failing.passed);
+    ASSERT_FALSE(failing.capFailures.empty());
+    EXPECT_EQ(failing.capFailures.front().law, "bounds-cover");
+
+    options.fuzz.injectRepresentabilityBug = false;
+    const auto clean = runVerify(options);
+    EXPECT_TRUE(clean.passed);
+
+    options.replay = "not a repro line";
+    EXPECT_FALSE(runVerify(options).passed);
+}
+
+TEST(Verify, CorpusDirectoryCollectsShrunkFailures)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir()) /
+                     "cheriperf-verify-corpus";
+    std::filesystem::remove_all(dir);
+
+    VerifyOptions options;
+    options.seed = 3;
+    options.iters = 4000;
+    options.suite = Suite::Cap;
+    options.fuzz.injectRepresentabilityBug = true;
+    options.corpus_dir = dir.string();
+    const auto report = runVerify(options);
+    EXPECT_FALSE(report.passed);
+
+    std::size_t files = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        EXPECT_EQ(entry.path().extension(), ".repro");
+        std::ifstream in(entry.path());
+        std::string line;
+        ASSERT_TRUE(std::getline(in, line));
+        EXPECT_TRUE(parseReproLine(line).has_value()) << line;
+        ++files;
+    }
+    EXPECT_EQ(files, report.capFailures.size());
+}
+
+TEST(Verify, SuiteNamesRoundTrip)
+{
+    for (Suite s :
+         {Suite::Cap, Suite::Mem, Suite::Invariants, Suite::All})
+        EXPECT_EQ(parseSuite(suiteName(s)), s);
+    EXPECT_FALSE(parseSuite("bogus").has_value());
+}
+
+/**
+ * Every shrunk counterexample checked in under tests/corpus/ must
+ * pass the clean model forever — the regression corpus the fuzzer's
+ * past findings (and CI's injected-bug runs) seeded.
+ */
+TEST(Verify, CheckedInCorpusReplaysClean)
+{
+    const std::filesystem::path path =
+        std::filesystem::path(CHERIPERF_TEST_CORPUS_DIR) /
+        "cap_bounds_edges.txt";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open()) << path;
+
+    std::string line;
+    std::size_t replayed = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto tuple = parseReproLine(line);
+        ASSERT_TRUE(tuple.has_value()) << "malformed corpus line: " << line;
+        const auto failure = checkCapLaws(*tuple);
+        EXPECT_FALSE(failure)
+            << failure->law << " regressed on corpus line: " << line;
+        ++replayed;
+    }
+    EXPECT_GE(replayed, 10u) << "corpus unexpectedly small";
+}
+
+} // namespace
+} // namespace cheri::verify

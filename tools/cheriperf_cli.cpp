@@ -11,8 +11,9 @@
  *   cheriperf list
  *   cheriperf run --workload 520.omnetpp_r --abi purecap [options]
  *   cheriperf sweep [--workload QuickJS | --set table3] [options]
- *   cheriperf corun <w1[@abi]> <w2[@abi]> ... [--cores N] [options]
+ *   cheriperf corun <w1[@abi]> [w2[@abi] ...] [--cores N] [options]
  *   cheriperf trace <workload> --abi purecap --epoch 50000 --out t.jsonl
+ *   cheriperf verify --seed 1 --iters 100000 --suite cap|mem|invariants
  *   cheriperf events
  *   cheriperf clear-cache
  *
@@ -40,6 +41,12 @@
  *                              omitted; sweep: epochs.jsonl)
  *   --emit-epochs              sweep only: trace every cell, write the
  *                              concatenated JSONL in plan order
+ *
+ * Verification (verify command):
+ *   --seed N --iters M --jobs N --suite cap|mem|invariants|all
+ *   --replay "cap base=0x... ..."   re-run one shrunk repro line
+ *   --corpus-dir PATH          write shrunk failures as .repro files
+ *   --inject-representability-bug   harness-level negative test
  */
 
 #include <cstdio>
@@ -51,10 +58,12 @@
 #include "analysis/metrics.hpp"
 #include "analysis/topdown.hpp"
 #include "runner/runner.hpp"
+#include "support/fmt.hpp"
 #include "support/serialize.hpp"
 #include "support/table.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/profile.hpp"
+#include "verify/verify.hpp"
 #include "workloads/registry.hpp"
 
 using namespace cheri;
@@ -84,6 +93,13 @@ struct Options
     std::string out;
     bool emit_epochs = false;
     bool profile = false;
+
+    // verify command.
+    u64 iters = 100'000;
+    std::string suite = "all";
+    std::string replay;
+    std::string corpus_dir;
+    bool inject_bug = false;
 };
 
 [[noreturn]] void
@@ -92,7 +108,8 @@ usage(int code)
     std::fprintf(
         stderr,
         "usage: cheriperf "
-        "<list|events|run|sweep|corun|trace|clear-cache> [options]\n"
+        "<list|events|run|sweep|corun|trace|verify|clear-cache> "
+        "[options]\n"
         "  run/sweep options:\n"
         "    --workload NAME   (required for run; see 'cheriperf list')\n"
         "    --abi hybrid|purecap|benchmark   (run only)\n"
@@ -101,14 +118,20 @@ usage(int code)
         "    --cap-aware-bp  --wide-sq  --tag-latency N  --l1d-kib N\n"
         "    --jobs N  --cores N  --no-cache  --cache-dir PATH\n"
         "    --raw  --csv  --profile\n"
-        "  corun <w1[@abi]> <w2[@abi]> ... options:\n"
+        "  corun <w1[@abi]> [w2[@abi] ...] options:\n"
         "    --cores N (default #lanes; extra cores replicate lanes\n"
         "    round-robin)  --abi NAME (default for bare lanes)\n"
-        "    plus run/trace options\n"
+        "    plus run/trace options; a single lane degrades to the\n"
+        "    equivalent single-core run (same cache fingerprint)\n"
         "  trace <workload> options:\n"
         "    --abi NAME  --epoch N  --out PATH  (plus run options)\n"
         "  sweep tracing:\n"
-        "    --emit-epochs  --epoch N  --out PATH (default epochs.jsonl)\n");
+        "    --emit-epochs  --epoch N  --out PATH (default epochs.jsonl)\n"
+        "  verify options:\n"
+        "    --seed N  --iters M  --jobs N\n"
+        "    --suite cap|mem|invariants|all   (default all)\n"
+        "    --replay LINE  --corpus-dir PATH  --cache-dir PATH\n"
+        "    --inject-representability-bug   (negative self-test)\n");
     std::exit(code);
 }
 
@@ -197,6 +220,25 @@ parse(int argc, char **argv)
             opt.epoch_insts = *n;
         } else if (arg == "--out") {
             opt.out = next();
+        } else if (arg == "--iters") {
+            const std::string s = next();
+            const auto n = parseU64(s);
+            if (!n || *n == 0) {
+                std::fprintf(stderr,
+                             "--iters expects a positive count, got "
+                             "'%s'\n",
+                             s.c_str());
+                usage(1);
+            }
+            opt.iters = *n;
+        } else if (arg == "--suite") {
+            opt.suite = next();
+        } else if (arg == "--replay") {
+            opt.replay = next();
+        } else if (arg == "--corpus-dir") {
+            opt.corpus_dir = next();
+        } else if (arg == "--inject-representability-bug") {
+            opt.inject_bug = true;
         } else if (arg == "--emit-epochs") {
             opt.emit_epochs = true;
         } else if (arg == "--profile") {
@@ -281,13 +323,13 @@ printResult(const Options &opt, const runner::RunResult &run)
 
     if (opt.csv) {
         std::printf("abi,%s\n", abi::abiName(abi));
-        std::printf("instructions,%llu\ncycles,%llu\nseconds,%.9f\n",
+        std::printf("instructions,%llu\ncycles,%llu\nseconds,%s\n",
                     static_cast<unsigned long long>(result.instructions),
                     static_cast<unsigned long long>(result.cycles),
-                    result.seconds);
+                    fmt::seconds(result.seconds).c_str());
         for (const auto &field : analysis::allMetricFields())
-            std::printf("%s,%.6f\n", field.name.c_str(),
-                        metrics.*(field.member));
+            std::printf("%s,%s\n", field.name.c_str(),
+                        fmt::metric(metrics.*(field.member)).c_str());
     } else {
         std::printf("--- %s\n", abi::abiName(abi));
         std::printf("  instructions %llu  cycles %llu  IPC %.3f  model "
@@ -523,13 +565,15 @@ cmdSweep(const Options &opt)
                 std::printf("\n");
                 continue;
             }
-            std::printf(",%llu,%llu,%.9f",
+            std::printf(",%llu,%llu,%s",
                         static_cast<unsigned long long>(
                             run.sim->instructions),
                         static_cast<unsigned long long>(run.sim->cycles),
-                        run.sim->seconds);
+                        fmt::seconds(run.sim->seconds).c_str());
             for (const auto &field : analysis::allMetricFields())
-                std::printf(",%.6f", run.metrics.*(field.member));
+                std::printf(
+                    ",%s",
+                    fmt::metric(run.metrics.*(field.member)).c_str());
             std::printf("\n");
         }
     } else {
@@ -580,9 +624,9 @@ parseLaneSpec(const Options &opt, const std::string &spec)
 int
 cmdCorun(const Options &opt)
 {
-    if (opt.lane_specs.size() < 2) {
+    if (opt.lane_specs.empty()) {
         std::fprintf(stderr,
-                     "corun needs at least two lanes, e.g. "
+                     "corun needs at least one lane, e.g. "
                      "cheriperf corun 519.lbm_r 541.leela_r\n");
         usage(1);
     }
@@ -622,10 +666,26 @@ cmdCorun(const Options &opt)
     const auto outcome = runner::runPlan(plan, options);
     const auto &run = outcome.results.front();
 
+    // A single lane degrades to the single-core path: the runner
+    // normalizes the request, so run.lanes is empty and the result is
+    // the plain solo cell (identical fingerprint, cache-eligible).
+    // Synthesize the one-lane view so every corun output shape still
+    // holds with core 0.
+    std::vector<runner::LaneOutcome> soloLane;
+    if (run.lanes.empty()) {
+        runner::LaneOutcome lane;
+        lane.lane = {run.request.workload, run.request.abi};
+        lane.sim = run.sim;
+        lane.metrics = run.metrics;
+        lane.epochs = run.epochs;
+        soloLane.push_back(std::move(lane));
+    }
+    const auto &viewLanes = run.lanes.empty() ? soloLane : run.lanes;
+
     std::vector<trace::CorunLaneSummary> summaries;
-    summaries.reserve(run.lanes.size());
-    for (std::size_t i = 0; i < run.lanes.size(); ++i) {
-        const auto &lane = run.lanes[i];
+    summaries.reserve(viewLanes.size());
+    for (std::size_t i = 0; i < viewLanes.size(); ++i) {
+        const auto &lane = viewLanes[i];
         trace::CorunLaneSummary s;
         s.workload = lane.lane.workload;
         s.abi = lane.ok() ? abi::abiName(lane.lane.abi) : "NA";
@@ -645,10 +705,10 @@ cmdCorun(const Options &opt)
         // Per-core epoch streams (core_id-tagged) in lane order, then
         // the lane/SoC totals; byte-identical across repeat runs.
         std::string text;
-        for (std::size_t i = 0; i < run.lanes.size(); ++i)
+        for (std::size_t i = 0; i < viewLanes.size(); ++i)
             text += trace::seriesToJsonl(
-                run.lanes[i].epochs, run.lanes[i].lane.workload,
-                abi::abiName(run.lanes[i].lane.abi), run.request.seed,
+                viewLanes[i].epochs, viewLanes[i].lane.workload,
+                abi::abiName(viewLanes[i].lane.abi), run.request.seed,
                 static_cast<u32>(i));
         text += trace::corunSummaryJsonl(summaries, run.request.seed);
         const std::string path =
@@ -666,8 +726,8 @@ cmdCorun(const Options &opt)
         for (const auto &field : analysis::allMetricFields())
             std::printf(",%s", field.name.c_str());
         std::printf("\n");
-        for (std::size_t i = 0; i < run.lanes.size(); ++i) {
-            const auto &lane = run.lanes[i];
+        for (std::size_t i = 0; i < viewLanes.size(); ++i) {
+            const auto &lane = viewLanes[i];
             std::printf("%zu,%s,%s", i, lane.lane.workload.c_str(),
                         abi::abiName(lane.lane.abi));
             if (!lane.ok()) {
@@ -678,20 +738,22 @@ cmdCorun(const Options &opt)
                 std::printf("\n");
                 continue;
             }
-            std::printf(",%llu,%llu,%.9f",
+            std::printf(",%llu,%llu,%s",
                         static_cast<unsigned long long>(
                             lane.sim->instructions),
                         static_cast<unsigned long long>(
                             lane.sim->cycles),
-                        lane.sim->seconds);
+                        fmt::seconds(lane.sim->seconds).c_str());
             for (const auto &field : analysis::allMetricFields())
-                std::printf(",%.6f", lane.metrics.*(field.member));
+                std::printf(
+                    ",%s",
+                    fmt::metric(lane.metrics.*(field.member)).c_str());
             std::printf("\n");
         }
     } else {
         std::printf("=== co-run: %s (%zu cores)\n",
                     run.request.displayName().c_str(),
-                    run.lanes.size());
+                    viewLanes.size());
         for (const auto &s : summaries) {
             if (s.abi == "NA") {
                 std::printf("  core %u  %-14s NA (ABI unsupported)\n",
@@ -708,11 +770,11 @@ cmdCorun(const Options &opt)
                             s.llc_rd_misses));
         }
         if (run.ok())
-            std::printf("  SoC: makespan %llu cycles (%.6f ms), %llu "
+            std::printf("  SoC: makespan %llu cycles (%s ms), %llu "
                         "insts total\n",
                         static_cast<unsigned long long>(
                             run.sim->cycles),
-                        run.sim->seconds * 1e3,
+                        fmt::metric(run.sim->seconds * 1e3).c_str(),
                         static_cast<unsigned long long>(
                             run.sim->instructions));
         else
@@ -721,6 +783,30 @@ cmdCorun(const Options &opt)
     std::fprintf(stderr, "[cheriperf] %s\n",
                  outcome.stats.summary().c_str());
     return 0;
+}
+
+int
+cmdVerify(const Options &opt)
+{
+    const auto suite = verify::parseSuite(opt.suite);
+    if (!suite) {
+        std::fprintf(stderr, "unknown --suite '%s'\n", opt.suite.c_str());
+        usage(1);
+    }
+
+    verify::VerifyOptions options;
+    options.seed = opt.seed;
+    options.iters = opt.iters;
+    options.jobs = opt.jobs ? static_cast<u32>(opt.jobs) : 1;
+    options.suite = *suite;
+    options.fuzz.injectRepresentabilityBug = opt.inject_bug;
+    options.replay = opt.replay;
+    options.corpus_dir = opt.corpus_dir;
+    options.cache_dir = opt.cache_dir;
+
+    const verify::VerifyReport report = verify::runVerify(options);
+    std::fwrite(report.text.data(), 1, report.text.size(), stdout);
+    return report.passed ? 0 : 1;
 }
 
 int
@@ -750,6 +836,8 @@ dispatch(const Options &opt)
         return cmdCorun(opt);
     if (opt.command == "trace")
         return cmdTrace(opt);
+    if (opt.command == "verify")
+        return cmdVerify(opt);
     if (opt.command == "clear-cache")
         return cmdClearCache(opt);
     usage(1);

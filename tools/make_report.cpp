@@ -24,6 +24,7 @@
 #include "analysis/projection.hpp"
 #include "analysis/topdown.hpp"
 #include "runner/runner.hpp"
+#include "support/fmt.hpp"
 #include "trace/trace.hpp"
 #include "workloads/registry.hpp"
 
@@ -31,18 +32,12 @@ using namespace cheri;
 
 namespace {
 
-const char *
+std::string
 cell(double value, int precision = 3)
 {
-    static char buffers[8][32];
-    static int slot = 0;
-    slot = (slot + 1) % 8;
     if (value < 0)
-        std::snprintf(buffers[slot], sizeof(buffers[slot]), "NA");
-    else
-        std::snprintf(buffers[slot], sizeof(buffers[slot]), "%.*f",
-                      precision, value);
-    return buffers[slot];
+        return "NA";
+    return fmt::fixed(value, precision);
 }
 
 } // namespace
@@ -95,19 +90,22 @@ main(int argc, char **argv)
         const double pc_ratio = purecap.seconds() / hybrid.seconds();
         const bool has_paper = info.paperTimeHybrid > 0;
 
-        std::printf("| %s | %.3f | %s | %s | %s | %s | %s |\n",
-                    info.name.c_str(), hybrid.metrics.memoryIntensity,
+        const std::string paper_bench =
+            has_paper && info.paperTimeBenchmark > 0
+                ? cell(info.paperTimeBenchmark / info.paperTimeHybrid)
+                : std::string(has_paper ? "NA" : "-");
+        const std::string paper_pc =
+            has_paper
+                ? cell(info.paperTimePurecap / info.paperTimeHybrid)
+                : std::string("-");
+        std::printf("| %s | %s | %s | %s | %s | %s | %s |\n",
+                    info.name.c_str(),
+                    fmt::ratio(hybrid.metrics.memoryIntensity).c_str(),
                     analysis::intensityClassName(
                         analysis::classifyIntensity(
                             hybrid.metrics.memoryIntensity)),
-                    cell(bench_ratio), cell(pc_ratio),
-                    has_paper && info.paperTimeBenchmark > 0
-                        ? cell(info.paperTimeBenchmark /
-                               info.paperTimeHybrid)
-                        : (has_paper ? "NA" : "-"),
-                    has_paper ? cell(info.paperTimePurecap /
-                                     info.paperTimeHybrid)
-                              : "-");
+                    cell(bench_ratio).c_str(), cell(pc_ratio).c_str(),
+                    paper_bench.c_str(), paper_pc.c_str());
     }
 
     // --- Capability-event summary ------------------------------------
@@ -146,9 +144,10 @@ main(int argc, char **argv)
         const auto rows = analysis::runProjections(
             simulate, sim::MachineConfig::forAbi(abi::Abi::Purecap),
             {scenarios[0], scenarios[1], scenarios[2]});
-        std::printf("| %s | %.3fx | %.3fx | %.3fx |\n", name.c_str(),
-                    rows[1].speedupVsBaseline, rows[2].speedupVsBaseline,
-                    rows[3].speedupVsBaseline);
+        std::printf("| %s | %sx | %sx | %sx |\n", name.c_str(),
+                    fmt::ratio(rows[1].speedupVsBaseline).c_str(),
+                    fmt::ratio(rows[2].speedupVsBaseline).c_str(),
+                    fmt::ratio(rows[3].speedupVsBaseline).c_str());
     }
 
     // --- Shared-LLC interference --------------------------------------
@@ -181,12 +180,13 @@ main(int argc, char **argv)
             solo.sim->counts.get(pmu::Event::LlCacheMissRd);
         const u64 co_miss =
             lane0.sim->counts.get(pmu::Event::LlCacheMissRd);
-        std::printf("| %s | %llu | %llu | %.3fx | %llu | %llu |\n",
+        std::printf("| %s | %llu | %llu | %sx | %llu | %llu |\n",
                     name.c_str(),
                     static_cast<unsigned long long>(solo.sim->cycles),
                     static_cast<unsigned long long>(lane0.sim->cycles),
-                    static_cast<double>(lane0.sim->cycles) /
-                        static_cast<double>(solo.sim->cycles),
+                    fmt::ratio(static_cast<double>(lane0.sim->cycles) /
+                               static_cast<double>(solo.sim->cycles))
+                        .c_str(),
                     static_cast<unsigned long long>(solo_miss),
                     static_cast<unsigned long long>(co_miss));
     }
