@@ -38,13 +38,6 @@ CodeMap::addFunction(u16 lib, u32 body_insts)
     return static_cast<u32>(funcs_.size() - 1);
 }
 
-const CodeMap::Func &
-CodeMap::func(u32 id) const
-{
-    CHERI_ASSERT(id < funcs_.size(), "bad function id ", id);
-    return funcs_[id];
-}
-
 Addr
 CodeMap::gotBase(u16 lib) const
 {
@@ -72,139 +65,21 @@ DynLowering::loopBegin()
     frames_.back().cursor = 0;
 }
 
-Addr
-DynLowering::pcNext()
-{
-    CHERI_ASSERT(!frames_.empty(), "op emitted outside any function");
-    Frame &frame = frames_.back();
-    const CodeMap::Func &f = code_.func(frame.func);
-    const Addr pc = f.base + (frame.cursor % f.bytes);
-    frame.cursor += 4;
-    return pc;
-}
-
-void
-DynLowering::emitAlu(u32 n, Opcode op)
-{
-    for (u32 i = 0; i < n; ++i)
-        pipe_.issue(DynOp::alu(pcNext(), op));
-}
-
-void
-DynLowering::alu(u32 n)
-{
-    emitAlu(n);
-}
-
-void
-DynLowering::mul(u32 n)
-{
-    for (u32 i = 0; i < n; ++i) {
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::Mul));
-        // Morello lacks a capability-aware MADD: the capability ABIs
-        // split fused multiply-adds into MUL + ADD (§2.2).
-        if (capabilityPointers(abi_) && (i & 3) == 0)
-            pipe_.issue(DynOp::alu(pcNext(), Opcode::Add));
-    }
-}
-
-void
-DynLowering::fp(u32 n)
-{
-    for (u32 i = 0; i < n; ++i)
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::FMadd));
-}
-
-void
-DynLowering::vec(u32 n)
-{
-    for (u32 i = 0; i < n; ++i)
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::VFma));
-}
-
-void
-DynLowering::div()
-{
-    pipe_.issue(DynOp::alu(pcNext(), Opcode::Udiv));
-}
-
-void
-DynLowering::load(Addr addr, u32 size, bool dependent)
-{
-    pipe_.issue(DynOp::load(pcNext(), addr, static_cast<u8>(size), false,
-                            dependent));
-}
-
-void
-DynLowering::store(Addr addr, u32 size)
-{
-    pipe_.issue(DynOp::store(pcNext(), addr, static_cast<u8>(size), false));
-}
-
-void
-DynLowering::local(u32 n)
-{
-    CHERI_ASSERT(!frames_.empty(), "local() outside any function");
-    const Addr sp = frames_.back().sp;
-    for (u32 i = 0; i < n; ++i) {
-        const Addr slot = sp + 32 + 8 * (i % 6);
-        if (i & 1)
-            pipe_.issue(DynOp::store(pcNext(), slot, 8, false));
-        else
-            pipe_.issue(DynOp::load(pcNext(), slot, 8, false));
-    }
-}
-
-void
-DynLowering::loadPointer(Addr addr, bool dependent)
-{
-    const bool cap = capabilityPointers(abi_);
-    pipe_.issue(DynOp::load(pcNext(), addr, cap ? 16 : 8, cap, dependent));
-}
-
-void
-DynLowering::storePointer(Addr addr)
-{
-    const bool cap = capabilityPointers(abi_);
-    pipe_.issue(DynOp::store(pcNext(), addr, cap ? 16 : 8, cap));
-}
-
-void
-DynLowering::derivePointer()
-{
-    if (capabilityPointers(abi_)) {
-        // csetbounds + candperm-style derivation sequence.
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::CSetBoundsImm));
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::CAndPerm));
-    } else {
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::Add));
-    }
-}
-
-void
-DynLowering::capOverhead(u32 n)
-{
-    if (!capabilityPointers(abi_))
-        return;
-    for (u32 i = 0; i < n; ++i)
-        pipe_.issue(DynOp::alu(pcNext(), (i & 1) ? Opcode::CIncOffsetImm
-                                                 : Opcode::CSetAddr));
-}
-
 void
 DynLowering::globalAccess(u16 lib)
 {
+    if (pipe_.approxSkip()) {
+        // Both pcNext() calls below advance the cursor (the GOT-slot
+        // hash and the op's own pc), so the skip must advance it by 8
+        // to keep the PC trajectory identical either way.
+        frames_.back().cursor += 8;
+        pipe_.issueSkipped();
+        return;
+    }
     const Addr got = code_.gotBase(lib) +
                      (pcNext() % 64) * pointerSize(abi_);
     const bool cap = capabilityPointers(abi_);
     pipe_.issue(DynOp::load(pcNext(), got, cap ? 16 : 8, cap));
-}
-
-void
-DynLowering::branch(bool taken)
-{
-    const Addr pc = pcNext();
-    pipe_.issue(DynOp::condBranch(pc, taken, pc + 32));
 }
 
 void
@@ -214,8 +89,11 @@ DynLowering::dispatch(u32 selector)
     Frame &frame = frames_.back();
     const CodeMap::Func &f = code_.func(frame.func);
     const u32 offset = (selector * 64) % f.bytes;
-    pipe_.issue(DynOp::branchOp(pc, BranchKind::Indirect, true,
-                                f.base + offset, false));
+    if (pipe_.approxSkip())
+        pipe_.issueSkipped();
+    else
+        pipe_.issue(DynOp::branchOp(pc, BranchKind::Indirect, true,
+                                    f.base + offset, false));
     // Execution continues in the selected handler's code region: the
     // interpreter's instruction footprint spans the whole function.
     frame.cursor = offset;
@@ -226,13 +104,18 @@ DynLowering::prologue(Frame &frame)
 {
     if (capabilityPointers(abi_)) {
         // stp c29, c30: two 16-byte capability stores + CSP bookkeeping.
-        pipe_.issue(DynOp::store(pcNext(), frame.sp, 16, true));
-        pipe_.issue(DynOp::store(pcNext(), frame.sp + 16, 16, true));
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
+        if (!skipOne())
+            pipe_.issue(DynOp::store(pcNext(), frame.sp, 16, true));
+        if (!skipOne())
+            pipe_.issue(DynOp::store(pcNext(), frame.sp + 16, 16, true));
+        if (!skipOne())
+            pipe_.issue(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
     } else {
         // stp x29, x30: one 16-byte integer store pair.
-        pipe_.issue(DynOp::store(pcNext(), frame.sp, 16, false));
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::SubImm));
+        if (!skipOne())
+            pipe_.issue(DynOp::store(pcNext(), frame.sp, 16, false));
+        if (!skipOne())
+            pipe_.issue(DynOp::alu(pcNext(), Opcode::SubImm));
     }
 }
 
@@ -240,12 +123,17 @@ void
 DynLowering::epilogue(Frame &frame)
 {
     if (capabilityPointers(abi_)) {
-        pipe_.issue(DynOp::load(pcNext(), frame.sp, 16, true));
-        pipe_.issue(DynOp::load(pcNext(), frame.sp + 16, 16, true));
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
+        if (!skipOne())
+            pipe_.issue(DynOp::load(pcNext(), frame.sp, 16, true));
+        if (!skipOne())
+            pipe_.issue(DynOp::load(pcNext(), frame.sp + 16, 16, true));
+        if (!skipOne())
+            pipe_.issue(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
     } else {
-        pipe_.issue(DynOp::load(pcNext(), frame.sp, 16, false));
-        pipe_.issue(DynOp::alu(pcNext(), Opcode::AddImm));
+        if (!skipOne())
+            pipe_.issue(DynOp::load(pcNext(), frame.sp, 16, false));
+        if (!skipOne())
+            pipe_.issue(DynOp::alu(pcNext(), Opcode::AddImm));
     }
 }
 
@@ -260,22 +148,26 @@ DynLowering::call(u32 callee, CallKind kind)
 
     switch (kind) {
       case CallKind::Local:
-        pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Immed, true,
-                                    target.base, /*pcc_change=*/false,
-                                    /*is_call=*/true));
+        if (!skipOne())
+            pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Immed, true,
+                                        target.base, /*pcc_change=*/false,
+                                        /*is_call=*/true));
         break;
       case CallKind::CrossLib: {
         // PLT/GOT indirection: load the target (a capability under the
         // purecap ABIs), then branch indirect.
         globalAccess(caller.lib);
-        pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Indirect, true,
-                                    target.base,
-                                    cap_branches && cross, true));
+        if (!skipOne())
+            pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Indirect,
+                                        true, target.base,
+                                        cap_branches && cross, true));
         break;
       }
       case CallKind::Virtual:
-        pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Indirect, true,
-                                    target.base, cap_branches, true));
+        if (!skipOne())
+            pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Indirect,
+                                        true, target.base, cap_branches,
+                                        true));
         break;
     }
 
@@ -300,6 +192,12 @@ DynLowering::ret()
     frames_.pop_back();
     stackTop_ = frame.sp + (capabilityPointers(abi_) ? 96 : 64);
 
+    // The RET's pc was consumed from the callee frame above, so a
+    // skip here must not advance the caller's cursor via skipOne().
+    if (pipe_.approxSkip()) {
+        pipe_.issueSkipped();
+        return;
+    }
     const CodeMap::Func &caller = code_.func(frames_.back().func);
     const Addr return_target =
         caller.base + (frames_.back().cursor % caller.bytes);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "abi/abi.hpp"
+#include "support/logging.hpp"
 #include "support/types.hpp"
 #include "uarch/pipeline.hpp"
 
@@ -64,7 +65,12 @@ class CodeMap
      */
     u32 addFunction(u16 lib, u32 body_insts);
 
-    const Func &func(u32 id) const;
+    const Func &
+    func(u32 id) const
+    {
+        CHERI_ASSERT(id < funcs_.size(), "bad function id ", id);
+        return funcs_[id];
+    }
 
     /** Address of the GOT region for a library. */
     Addr gotBase(u16 lib) const;
@@ -172,6 +178,51 @@ class DynLowering
     };
 
     Addr pcNext();
+
+    /**
+     * Approx fast-forward: when the pipeline is skipping, retire one
+     * instruction through PipelineModel::issueSkipped() without
+     * materializing its DynOp, advancing the PC cursor exactly as the
+     * pcNext() it replaces would. Returns true when the op was
+     * consumed. Must be tested per op, never hoisted out of a loop:
+     * the epoch hook issueSkipped() fires can end the skipped stratum
+     * mid-sequence, after which the remaining ops have to go through
+     * the full issue() path.
+     */
+    bool
+    skipOne()
+    {
+        if (!pipe_.approxSkip())
+            return false;
+        frames_.back().cursor += 4;
+        pipe_.issueSkipped();
+        return true;
+    }
+
+    /**
+     * Batch form of skipOne() for homogeneous op runs: consumes as
+     * many of @p want identical ops as the pipeline's bulk budget
+     * allows (one call instead of a per-op loop), or exactly one op
+     * through issueSkipped() when the next op lands on the epoch
+     * boundary. Returns the number of ops consumed; 0 when not
+     * skipping (the caller must then issue in full).
+     */
+    u32
+    skipRun(u32 want)
+    {
+        if (!pipe_.approxSkip())
+            return 0;
+        const u64 bulk = pipe_.skipBulkBudget(want);
+        if (bulk > 0) {
+            frames_.back().cursor += 4 * static_cast<u32>(bulk);
+            pipe_.retireSkippedBulk(bulk);
+            return static_cast<u32>(bulk);
+        }
+        frames_.back().cursor += 4;
+        pipe_.issueSkipped();
+        return 1;
+    }
+
     void emitAlu(u32 n, isa::Opcode op = isa::Opcode::Add);
     void prologue(Frame &frame);
     void epilogue(Frame &frame);
@@ -182,6 +233,175 @@ class DynLowering
     std::vector<Frame> frames_;
     Addr stackTop_;
 };
+
+// ---- Hot-path inline definitions ----------------------------------
+// The per-op emitters live in the header so workload generators can
+// inline them — in approx-skip mode an op reduces to a cursor bump
+// plus retire bookkeeping, and the cross-TU call would cost more than
+// the work itself. Control-flow emitters (call/ret and the frame
+// prologue/epilogue) stay out of line: they are rare and carry real
+// frame bookkeeping.
+
+inline Addr
+DynLowering::pcNext()
+{
+    CHERI_ASSERT(!frames_.empty(), "op emitted outside any function");
+    Frame &frame = frames_.back();
+    const CodeMap::Func &f = code_.func(frame.func);
+    const Addr pc = f.base + (frame.cursor % f.bytes);
+    frame.cursor += 4;
+    return pc;
+}
+
+inline void
+DynLowering::emitAlu(u32 n, isa::Opcode op)
+{
+    for (u32 i = 0; i < n;) {
+        if (const u32 skipped = skipRun(n - i)) {
+            i += skipped;
+            continue;
+        }
+        pipe_.issue(uarch::DynOp::alu(pcNext(), op));
+        ++i;
+    }
+}
+
+inline void
+DynLowering::alu(u32 n)
+{
+    emitAlu(n);
+}
+
+inline void
+DynLowering::mul(u32 n)
+{
+    for (u32 i = 0; i < n; ++i) {
+        if (!skipOne())
+            pipe_.issue(uarch::DynOp::alu(pcNext(), isa::Opcode::Mul));
+        // Morello lacks a capability-aware MADD: the capability ABIs
+        // split fused multiply-adds into MUL + ADD (§2.2).
+        if (capabilityPointers(abi_) && (i & 3) == 0)
+            if (!skipOne())
+                pipe_.issue(uarch::DynOp::alu(pcNext(), isa::Opcode::Add));
+    }
+}
+
+inline void
+DynLowering::fp(u32 n)
+{
+    emitAlu(n, isa::Opcode::FMadd);
+}
+
+inline void
+DynLowering::vec(u32 n)
+{
+    emitAlu(n, isa::Opcode::VFma);
+}
+
+inline void
+DynLowering::div()
+{
+    if (!skipOne())
+        pipe_.issue(uarch::DynOp::alu(pcNext(), isa::Opcode::Udiv));
+}
+
+inline void
+DynLowering::load(Addr addr, u32 size, bool dependent)
+{
+    if (!skipOne())
+        pipe_.issue(uarch::DynOp::load(pcNext(), addr,
+                                       static_cast<u8>(size), false,
+                                       dependent));
+}
+
+inline void
+DynLowering::store(Addr addr, u32 size)
+{
+    if (!skipOne())
+        pipe_.issue(uarch::DynOp::store(pcNext(), addr,
+                                        static_cast<u8>(size), false));
+}
+
+inline void
+DynLowering::local(u32 n)
+{
+    CHERI_ASSERT(!frames_.empty(), "local() outside any function");
+    const Addr sp = frames_.back().sp;
+    for (u32 i = 0; i < n;) {
+        if (const u32 skipped = skipRun(n - i)) {
+            i += skipped;
+            continue;
+        }
+        const Addr slot = sp + 32 + 8 * (i % 6);
+        if (i & 1)
+            pipe_.issue(uarch::DynOp::store(pcNext(), slot, 8, false));
+        else
+            pipe_.issue(uarch::DynOp::load(pcNext(), slot, 8, false));
+        ++i;
+    }
+}
+
+inline void
+DynLowering::loadPointer(Addr addr, bool dependent)
+{
+    if (skipOne())
+        return;
+    const bool cap = capabilityPointers(abi_);
+    pipe_.issue(
+        uarch::DynOp::load(pcNext(), addr, cap ? 16 : 8, cap, dependent));
+}
+
+inline void
+DynLowering::storePointer(Addr addr)
+{
+    if (skipOne())
+        return;
+    const bool cap = capabilityPointers(abi_);
+    pipe_.issue(uarch::DynOp::store(pcNext(), addr, cap ? 16 : 8, cap));
+}
+
+inline void
+DynLowering::derivePointer()
+{
+    if (capabilityPointers(abi_)) {
+        // csetbounds + candperm-style derivation sequence.
+        if (!skipOne())
+            pipe_.issue(
+                uarch::DynOp::alu(pcNext(), isa::Opcode::CSetBoundsImm));
+        if (!skipOne())
+            pipe_.issue(
+                uarch::DynOp::alu(pcNext(), isa::Opcode::CAndPerm));
+    } else {
+        if (!skipOne())
+            pipe_.issue(uarch::DynOp::alu(pcNext(), isa::Opcode::Add));
+    }
+}
+
+inline void
+DynLowering::capOverhead(u32 n)
+{
+    if (!capabilityPointers(abi_))
+        return;
+    for (u32 i = 0; i < n;) {
+        if (const u32 skipped = skipRun(n - i)) {
+            i += skipped;
+            continue;
+        }
+        pipe_.issue(uarch::DynOp::alu(pcNext(),
+                                      (i & 1) ? isa::Opcode::CIncOffsetImm
+                                              : isa::Opcode::CSetAddr));
+        ++i;
+    }
+}
+
+inline void
+DynLowering::branch(bool taken)
+{
+    if (skipOne())
+        return;
+    const Addr pc = pcNext();
+    pipe_.issue(uarch::DynOp::condBranch(pc, taken, pc + 32));
+}
 
 } // namespace cheri::abi
 

@@ -1,16 +1,26 @@
 #include "mem/backing_store.hpp"
 
+#include <bit>
+#include <cstring>
+
 #include "support/logging.hpp"
 
 namespace cheri::mem {
+
+BackingStore::BackingStore() = default;
 
 BackingStore::Page &
 BackingStore::pageFor(Addr addr)
 {
     const u64 key = addr / kPageBytes;
+    PageMemo &memo = memo_[key & (memo_.size() - 1)];
+    if (memo.key == key)
+        return *memo.page;
     auto &slot = pages_[key];
     if (!slot)
         slot = std::make_unique<Page>(Page{});
+    memo.key = key;
+    memo.page = slot.get();
     return *slot;
 }
 
@@ -18,6 +28,25 @@ u64
 BackingStore::read(Addr addr, u32 size)
 {
     CHERI_ASSERT(size >= 1 && size <= 8, "scalar read size ", size);
+    const u64 off = addr % kPageBytes;
+    if (off + size <= kPageBytes) {
+        // Page-local access (the common case): one page lookup for
+        // the whole value instead of one per byte.
+        const Page &page = pageFor(addr);
+        if constexpr (std::endian::native == std::endian::little) {
+            // The byte loop assembles little-endian; on a
+            // little-endian host that is a plain copy.
+            if (size == 8) {
+                u64 value;
+                std::memcpy(&value, page.data() + off, 8);
+                return value;
+            }
+        }
+        u64 value = 0;
+        for (u32 i = 0; i < size; ++i)
+            value |= static_cast<u64>(page[off + i]) << (8 * i);
+        return value;
+    }
     u64 value = 0;
     for (u32 i = 0; i < size; ++i) {
         const Addr byte_addr = addr + i;
@@ -31,10 +60,25 @@ void
 BackingStore::write(Addr addr, u64 value, u32 size)
 {
     CHERI_ASSERT(size >= 1 && size <= 8, "scalar write size ", size);
-    for (u32 i = 0; i < size; ++i) {
-        const Addr byte_addr = addr + i;
-        Page &page = pageFor(byte_addr);
-        page[byte_addr % kPageBytes] = static_cast<u8>(value >> (8 * i));
+    const u64 off = addr % kPageBytes;
+    if (off + size <= kPageBytes) {
+        Page &page = pageFor(addr);
+        if constexpr (std::endian::native == std::endian::little) {
+            if (size == 8) {
+                std::memcpy(page.data() + off, &value, 8);
+                tags_.clobber(addr, size);
+                return;
+            }
+        }
+        for (u32 i = 0; i < size; ++i)
+            page[off + i] = static_cast<u8>(value >> (8 * i));
+    } else {
+        for (u32 i = 0; i < size; ++i) {
+            const Addr byte_addr = addr + i;
+            Page &page = pageFor(byte_addr);
+            page[byte_addr % kPageBytes] =
+                static_cast<u8>(value >> (8 * i));
+        }
     }
     tags_.clobber(addr, size);
 }

@@ -21,6 +21,8 @@ namespace cheri::mem {
 class BackingStore
 {
   public:
+    BackingStore();
+
     /** Read @p size (1..8) bytes little-endian, zero-extended. */
     u64 read(Addr addr, u32 size);
 
@@ -54,6 +56,18 @@ class BackingStore
     Page &pageFor(Addr addr);
 
     std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+    // Direct-mapped memo over recently touched pages: workloads
+    // alternate between a handful of structures (stack frame, pool,
+    // globals), so a small table turns most pageFor() calls into one
+    // compare instead of a hash-bucket division. Page objects are
+    // heap-stable (owned by unique_ptr, never erased), so the raw
+    // pointers cannot dangle across rehashes.
+    struct PageMemo
+    {
+        u64 key = ~0ULL; // ~0 is unreachable: key = addr / 4096 < 2^52
+        Page *page = nullptr;
+    };
+    std::array<PageMemo, 1024> memo_;
     TagTable tags_;
 };
 

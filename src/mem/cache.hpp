@@ -39,6 +39,23 @@ class SetAssocCache
     /** Probe without allocating or updating LRU. */
     bool contains(Addr addr) const;
 
+    /**
+     * Account one hit the owner's fast path replayed without the set
+     * search. Keeps accesses()/missRate() and the LRU tick stream
+     * identical to a full-path hit; the hit line's lastUse stays
+     * frozen, which cannot change any victim choice as long as the
+     * owner touches no other line during the replay streak (ticks are
+     * unique, so the frozen value keeps the same relative order
+     * against every line last used before the streak and every line
+     * touched after it — see DESIGN.md §"Hot path").
+     */
+    void
+    noteFastHit()
+    {
+        ++accesses_;
+        ++tick_;
+    }
+
     /** Invalidate everything. */
     void flush();
 

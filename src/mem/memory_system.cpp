@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/uncore.hpp"
+#include "support/telemetry.hpp"
 #include "trace/profile.hpp"
 
 namespace cheri::mem {
@@ -39,7 +40,10 @@ PrivateHierarchy::PrivateHierarchy(const MemConfig &config,
 {
 }
 
-PrivateHierarchy::~PrivateHierarchy() = default;
+PrivateHierarchy::~PrivateHierarchy()
+{
+    telemetry::addMemFastPath(dataFast_, dataFull_, fetchFast_, fetchFull_);
+}
 
 const SetAssocCache &
 PrivateHierarchy::llc() const
@@ -69,6 +73,23 @@ PrivateHierarchy::translate(Addr addr, bool instruction_side, bool &walked)
 AccessResult
 PrivateHierarchy::fetch(Addr pc)
 {
+    // Fast path: an uninterrupted streak of fetches from the MRU L1I
+    // line replays the full walk's exact outcome — micro-ITLB hit and
+    // L1I hit, zero added latency — without the set searches. The
+    // fetch side touches no data-side structure (and vice versa), so
+    // the streak survives interleaved data accesses.
+    const Addr fline = pc / config_.l1i.line_bytes;
+    if (fetchFp_.valid && fline == fetchFp_.line) {
+        ++fetchFast_;
+        counts_.add(Event::L1iTlb);
+        l1iTlb_.noteFastHit();
+        counts_.add(Event::L1iCache);
+        l1i_.noteFastHit();
+        return AccessResult{};
+    }
+    ++fetchFull_;
+    fetchFp_.valid = false;
+
     CHERI_TRACE_SCOPE("mem/fetch");
     AccessResult result;
     result.latency = translate(pc, /*instruction_side=*/true,
@@ -77,6 +98,10 @@ PrivateHierarchy::fetch(Addr pc)
     counts_.add(Event::L1iCache);
     if (l1i_.access(pc, /*is_write=*/false)) {
         result.level = MemLevel::L1;
+        if (config_.fast_path && result.latency == 0) {
+            fetchFp_.line = fline;
+            fetchFp_.valid = true;
+        }
         // L1I hits are fully pipelined: no added fetch latency.
         return result;
     }
@@ -101,6 +126,40 @@ PrivateHierarchy::fetch(Addr pc)
 AccessResult
 PrivateHierarchy::data(Addr addr, u32 size, bool is_write, bool is_cap)
 {
+    // An access that straddles a line boundary touches two lines; the
+    // second access is what the PMU would count as another L1D access.
+    const u64 line = config_.l1d.line_bytes;
+    const Addr dline = addr / line;
+    const bool straddles =
+        size > 0 && dline != ((addr + size - 1) / line);
+
+    // Fast path: a streak of same-line accesses whose full walk is
+    // provably a micro-DTLB hit plus an L1D hit replays the exact
+    // counts, latency and LRU tick stream without the set searches.
+    // Writes replay only onto a line already known dirty, so the
+    // skipped dirty|=is_write update is a no-op.
+    if (dataFp_.valid && dline == dataFp_.line && !straddles &&
+        (!is_write || dataFp_.dirty)) {
+        ++dataFast_;
+        counts_.add(is_write ? Event::MemAccessWr : Event::MemAccessRd);
+        if (is_cap) {
+            counts_.add(is_write ? Event::CapMemAccessWr
+                                 : Event::CapMemAccessRd);
+            counts_.add(is_write ? Event::MemAccessWrCtag
+                                 : Event::MemAccessRdCtag);
+        }
+        counts_.add(Event::L1dTlb);
+        l1dTlb_.noteFastHit();
+        counts_.add(Event::L1dCache);
+        l1d_.noteFastHit();
+        AccessResult result;
+        result.latency = config_.tag_extra_latency * (is_cap ? 1 : 0) +
+                         config_.l1_latency;
+        return result;
+    }
+    ++dataFull_;
+    dataFp_.valid = false;
+
     CHERI_TRACE_SCOPE("mem/data");
     counts_.add(is_write ? Event::MemAccessWr : Event::MemAccessRd);
     if (is_cap) {
@@ -111,19 +170,18 @@ PrivateHierarchy::data(Addr addr, u32 size, bool is_write, bool is_cap)
     }
 
     AccessResult result;
-    result.latency = translate(addr, /*instruction_side=*/false,
-                               result.tlb_walk);
+    const Cycles walk = translate(addr, /*instruction_side=*/false,
+                                  result.tlb_walk);
+    result.latency = walk;
     result.latency += config_.tag_extra_latency * (is_cap ? 1 : 0);
 
-    // An access that straddles a line boundary touches two lines; the
-    // second access is what the PMU would count as another L1D access.
-    const u64 line = config_.l1d.line_bytes;
-    const bool straddles = size > 0 && (addr / line) != ((addr + size - 1) / line);
-
+    bool l1d_hit = false;
     for (int part = 0; part < (straddles ? 2 : 1); ++part) {
-        const Addr a = part == 0 ? addr : (addr / line + 1) * line;
+        const Addr a = part == 0 ? addr : (dline + 1) * line;
         counts_.add(Event::L1dCache);
         if (l1d_.access(a, is_write)) {
+            if (part == 0)
+                l1d_hit = true;
             result.latency += config_.l1_latency;
             continue;
         }
@@ -141,6 +199,14 @@ PrivateHierarchy::data(Addr addr, u32 size, bool is_write, bool is_cap)
             uncore_->access(core_, a, is_write, is_cap, counts_);
         result.level = std::max(result.level, shared.level);
         result.latency += shared.latency;
+    }
+
+    // Arm the fast path when the walk we just did is replayable: one
+    // line, micro-DTLB hit, L1D hit.
+    if (config_.fast_path && !straddles && walk == 0 && l1d_hit) {
+        dataFp_.line = dline;
+        dataFp_.valid = true;
+        dataFp_.dirty = is_write;
     }
     return result;
 }

@@ -72,6 +72,17 @@ struct MemConfig
      */
     Cycles llc_arb_penalty = 6;
     Cycles dram_arb_penalty = 18;
+
+    /**
+     * DMI-style fast path: replay repeat accesses to the MRU L1 line
+     * without the TLB/cache set searches when the outcome is provably
+     * identical (same line, no straddle, micro-TLB and L1 hit, write
+     * only onto an already-dirty line). Counts, latencies and LRU
+     * victim choices are bit-identical either way — the regression
+     * suite toggles this over the whole workload registry. Deliberately
+     * NOT part of the result-cache fingerprint.
+     */
+    bool fast_path = true;
 };
 
 /** Timing outcome of one access. */
@@ -141,9 +152,28 @@ class PrivateHierarchy
     Uncore &uncore() { return *uncore_; }
     const Uncore &uncore() const { return *uncore_; }
 
+    /** Fast-path self-stats (telemetry; not model-visible). */
+    u64 dataFastHits() const { return dataFast_; }
+    u64 fetchFastHits() const { return fetchFast_; }
+
   private:
     /** Translate; returns walk latency contribution (0 on TLB hit). */
     Cycles translate(Addr addr, bool instruction_side, bool &walked);
+
+    /**
+     * One MRU fast-path entry. Valid only during an uninterrupted
+     * streak of accesses to the same L1 line on this side (any
+     * non-matching access invalidates it before walking the full
+     * hierarchy), which is what makes the frozen-lastUse replay
+     * argument airtight: during the streak no other line of the
+     * replayed structures is touched.
+     */
+    struct FastEntry
+    {
+        Addr line = 0;
+        bool valid = false;
+        bool dirty = false; //!< Line known dirty (write at arm time).
+    };
 
     MemConfig config_;
     pmu::EventCounts &counts_;
@@ -156,6 +186,13 @@ class PrivateHierarchy
     std::unique_ptr<Uncore> ownedUncore_; //!< Standalone mode only.
     Uncore *uncore_;
     u32 core_ = 0;
+
+    FastEntry dataFp_;
+    FastEntry fetchFp_;
+    u64 dataFast_ = 0;
+    u64 dataFull_ = 0;
+    u64 fetchFast_ = 0;
+    u64 fetchFull_ = 0;
 };
 
 /** Pre-split name; single-core call sites use the two-arg ctor. */

@@ -47,6 +47,8 @@ TagTable::write(Addr addr, bool tag)
 void
 TagTable::clobber(Addr addr, u64 size)
 {
+    if (bits_.empty()) // nothing tagged, nothing to unforge
+        return;
     const u64 first = granuleIndex(addr);
     const u64 last = size ? granuleIndex(addr + size - 1) : first;
     for (u64 granule = first; granule <= last; ++granule) {

@@ -30,6 +30,17 @@ class Tlb
     /** Translate the page containing @p addr; allocate on miss. */
     bool access(Addr addr);
 
+    /**
+     * Account one hit replayed by the owner's fast path; same
+     * contract as SetAssocCache::noteFastHit().
+     */
+    void
+    noteFastHit()
+    {
+        ++accesses_;
+        ++tick_;
+    }
+
     void flush();
 
     u64 accesses() const { return accesses_; }

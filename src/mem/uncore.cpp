@@ -1,6 +1,7 @@
 #include "mem/uncore.hpp"
 
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 
 namespace cheri::mem {
 
@@ -10,6 +11,11 @@ Uncore::Uncore(const MemConfig &config, u32 cores)
     : config_(config), llc_(config.llc), cores_(cores > 0 ? cores : 1),
       lanes_(std::make_unique<Lane[]>(cores_))
 {
+}
+
+Uncore::~Uncore()
+{
+    telemetry::addUncoreFastPath(fast_, full_);
 }
 
 u32
@@ -41,6 +47,25 @@ Uncore::access(u32 core, Addr addr, bool is_write, bool is_cap,
     const Cycles toll =
         static_cast<Cycles>(contenders(core)) * config_.llc_arb_penalty;
     const Addr framed = addr + static_cast<Addr>(core) * kLaneAddrStride;
+    const Addr fline = framed / config_.llc.line_bytes;
+
+    // Fast path: replay a same-core same-line LLC-hit streak without
+    // the 16-way set search (toll recomputed — contenders may leave).
+    if (fp_.valid && fp_.core == core && fp_.line == fline &&
+        (!is_write || fp_.dirty)) {
+        ++fast_;
+        if (!is_write)
+            counts.add(Event::LlCacheRd);
+        llc_.noteFastHit();
+        ++lane.stats.llc_hits;
+        lane.stats.contention_cycles += toll;
+        Access out;
+        out.level = MemLevel::Llc;
+        out.latency = config_.llc_latency + toll;
+        return out;
+    }
+    ++full_;
+    fp_.valid = false;
 
     Access out;
     if (!is_write)
@@ -50,6 +75,12 @@ Uncore::access(u32 core, Addr addr, bool is_write, bool is_cap,
         out.level = MemLevel::Llc;
         out.latency = config_.llc_latency + toll;
         lane.stats.contention_cycles += toll;
+        if (config_.fast_path) {
+            fp_.line = fline;
+            fp_.core = core;
+            fp_.valid = true;
+            fp_.dirty = is_write;
+        }
         return out;
     }
     if (!is_write)

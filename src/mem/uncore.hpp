@@ -47,6 +47,8 @@ class Uncore
 
     explicit Uncore(const MemConfig &config, u32 cores = 1);
 
+    ~Uncore();
+
     /** Timing outcome of an uncore access (level is Llc or Dram). */
     struct Access
     {
@@ -108,6 +110,25 @@ class Uncore
     SetAssocCache llc_;
     u32 cores_;
     std::unique_ptr<Lane[]> lanes_;
+
+    /**
+     * One MRU fast-path entry for the whole uncore (accesses are
+     * serialized — by construction solo, by the CorunGate token in a
+     * co-run). Valid during an uninterrupted streak of LLC-hit
+     * accesses from one core to one framed line; the arbitration toll
+     * is recomputed per replay because the contender set can shrink
+     * mid-streak. See PrivateHierarchy for the replay argument.
+     */
+    struct FastEntry
+    {
+        Addr line = 0; //!< Framed line index.
+        u32 core = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+    FastEntry fp_;
+    u64 fast_ = 0;
+    u64 full_ = 0;
 };
 
 } // namespace cheri::mem

@@ -30,6 +30,13 @@ class EventCounts
         return counts_[static_cast<std::size_t>(event)];
     }
 
+    /** Overwrite one event's count (sampled-run extrapolation). */
+    void
+    set(Event event, u64 n)
+    {
+        counts_[static_cast<std::size_t>(event)] = n;
+    }
+
     /** get() as double, convenient for ratio metrics. */
     double
     getF(Event event) const

@@ -81,6 +81,12 @@ cellFingerprint(const RunRequest &raw)
     // runs). epoch_insts only matters while tracing is on.
     h.add(request.trace.enabled);
     h.add(request.trace.enabled ? request.trace.epoch_insts : 0);
+    // Approx knobs likewise: a sampled run is a different experiment.
+    // normalized() already folded a disabled config to the default,
+    // and the rate/epoch knobs only matter while sampling is on.
+    h.add(request.approx.enabled);
+    h.add(request.approx.enabled ? request.approx.rate : 0);
+    h.add(request.approx.enabled ? request.approx.epoch_insts : 0);
     // Co-run lane composition (count, order, per-lane workload+ABI)
     // is part of the cell identity; the cores/quantum/arbitration
     // knobs it resolves to are hashed with the config below.

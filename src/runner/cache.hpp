@@ -32,8 +32,13 @@ namespace cheri::runner {
  * models self-invalidate instead of replaying outdated numbers.
  * v3: core/uncore split — fingerprints cover co-run lanes, cores,
  * corun_quantum and the uncore arbitration penalties.
+ * v4: decoded-block/fast-path execution redesign + --approx sampling
+ * — fingerprints cover the approx knobs (approx cells never alias
+ * exact ones). The mem fast-path and block-cache toggles are
+ * deliberately NOT hashed: they are bit-identical accelerations of
+ * the same model, proven by the equivalence regression suite.
  */
-inline constexpr u64 kCacheSchemaVersion = 3;
+inline constexpr u64 kCacheSchemaVersion = 4;
 
 /** The cache key for @p request (see file comment for coverage). */
 u64 cellFingerprint(const RunRequest &request);

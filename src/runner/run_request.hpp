@@ -50,6 +50,17 @@ struct RunRequest
     trace::TraceConfig trace{};
 
     /**
+     * Sampled-simulation mode (off by default). Part of the cell's
+     * identity: the knobs enter the cache fingerprint (folded exactly
+     * once via normalized()), and approx cells always simulate — the
+     * on-disk record format carries ground truth, never extrapolated
+     * estimates, so an approx cell can never alias an exact one.
+     * Incompatible with co-run lanes and with epoch tracing (both
+     * enforced by the executor).
+     */
+    trace::ApproxConfig approx{};
+
+    /**
      * Multi-programmed co-run lanes. Empty (the default) describes
      * the classic single-lane cell given by workload/abi above. With
      * two or more entries, lane i runs on core i of one N-core
@@ -78,19 +89,28 @@ struct RunRequest
      * The canonical form of this request: a degenerate single-entry
      * lane vector collapses into workload/abi (a one-lane "co-run" IS
      * the solo experiment — same machine, same uncore contention of
-     * one core). Requests with zero or >= 2 lanes return unchanged.
-     * The runner and the cache fingerprint both normalize, so the two
-     * spellings of a solo cell share results.
+     * one core), and disabled approx knobs collapse to the default
+     * ApproxConfig so every spelling of "approx off" is one identity
+     * (the rate/epoch knobs of a disabled config are folded away
+     * exactly once — they carry no information). Already-canonical
+     * requests return unchanged; normalized() is idempotent.
+     * The runner and the cache fingerprint both normalize, so
+     * equivalent spellings of a cell share results.
      */
     RunRequest
     normalized() const
     {
-        if (lanes.size() != 1)
+        if (lanes.size() != 1 &&
+            (approx.enabled || approx == trace::ApproxConfig{}))
             return *this;
         RunRequest out = *this;
-        out.workload = lanes.front().workload;
-        out.abi = lanes.front().abi;
-        out.lanes.clear();
+        if (!out.approx.enabled)
+            out.approx = trace::ApproxConfig{};
+        if (out.lanes.size() == 1) {
+            out.workload = out.lanes.front().workload;
+            out.abi = out.lanes.front().abi;
+            out.lanes.clear();
+        }
         return out;
     }
 

@@ -18,6 +18,19 @@
 
 namespace cheri::runner {
 
+/**
+ * What an --approx cell measured beyond the extrapolated SimResult:
+ * the sampling accounting plus per-metric error bars. The stderr
+ * struct reuses DerivedMetrics field-for-field — each member holds
+ * the standard error of the mean of that metric across the sampled
+ * epochs (0 when fewer than two full epochs were sampled).
+ */
+struct ApproxOutcome
+{
+    trace::ApproxReport report;
+    analysis::DerivedMetrics stderr_{};
+};
+
 /** One lane's complete outcome within a co-run cell. */
 struct LaneOutcome
 {
@@ -69,6 +82,13 @@ struct RunResult
      * (request.corun()), one entry per lane in lane order.
      */
     std::vector<LaneOutcome> lanes;
+
+    /**
+     * Sampling accounting + error bars, present only for --approx
+     * cells (request.approx.enabled). The sim counts above are then
+     * extrapolated estimates, not ground truth.
+     */
+    std::optional<ApproxOutcome> approx;
 
     // Provenance.
     bool cacheHit = false;   //!< Replayed from the result cache.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <thread>
@@ -24,6 +25,7 @@ secondsSince(Clock::time_point start)
 }
 
 std::atomic<ResultHook> gResultHook{nullptr};
+std::atomic<RunObserver *> gRunObserver{nullptr};
 
 /**
  * Resolve a cell's lane workloads against the registry. Fatal on an
@@ -56,6 +58,9 @@ runCorunCell(const RunRequest &request,
              u32 worker)
 {
     CHERI_TRACE_SCOPE("runner/corun-cell");
+    if (request.approx.enabled)
+        CHERI_FATAL("--approx does not support co-run cells: sampled "
+                    "lanes would skew the shared-uncore interleaving");
     const auto start = Clock::now();
     RunResult out;
     out.request = request;
@@ -114,6 +119,41 @@ runCorunCell(const RunRequest &request,
 }
 
 /**
+ * Per-metric standard error of the mean across sampled epochs: each
+ * DerivedMetrics member of the returned struct holds the stderr of
+ * that metric's per-epoch values. Fewer than two epochs -> all zero
+ * (no variance estimate to report).
+ */
+analysis::DerivedMetrics
+metricStderr(const std::vector<pmu::EventCounts> &epochs)
+{
+    analysis::DerivedMetrics out{};
+    const std::size_t n = epochs.size();
+    if (n < 2)
+        return out;
+
+    std::vector<analysis::DerivedMetrics> per;
+    per.reserve(n);
+    for (const auto &counts : epochs)
+        per.push_back(analysis::DerivedMetrics::compute(counts));
+
+    for (const auto &field : analysis::allMetricFields()) {
+        double mean = 0;
+        for (const auto &m : per)
+            mean += m.*(field.member);
+        mean /= static_cast<double>(n);
+        double var = 0;
+        for (const auto &m : per) {
+            const double d = m.*(field.member) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(n - 1);
+        out.*(field.member) = std::sqrt(var / static_cast<double>(n));
+    }
+    return out;
+}
+
+/**
  * Execute one resolved solo cell: cache replay when possible,
  * otherwise a fresh Machine simulation, plus the derived-metric
  * views.
@@ -131,11 +171,14 @@ runSoloCell(const RunRequest &request,
     const workloads::Workload &workload = *targets.front();
 
     if (workload.supports(request.abi)) {
-        // Traced cells always simulate: the on-disk record format
-        // does not round-trip epoch series, and their fingerprint is
-        // disjoint from untraced cells anyway.
+        // Traced and approx cells always simulate: the on-disk record
+        // format does not round-trip epoch series, extrapolated
+        // estimates must never be replayed as ground truth, and their
+        // fingerprints are disjoint from exact cells anyway.
         const bool traced = request.trace.enabled;
-        const ResultCache *cell_cache = traced ? nullptr : cache;
+        const bool approx = request.approx.enabled;
+        const ResultCache *cell_cache =
+            (traced || approx) ? nullptr : cache;
         const u64 key = cell_cache ? cellFingerprint(request) : 0;
         if (cell_cache)
             out.sim = cell_cache->load(request, key);
@@ -143,10 +186,19 @@ runSoloCell(const RunRequest &request,
             out.cacheHit = true;
         } else {
             const auto config = request.resolvedConfig();
+            trace::ApproxReport report;
             out.sim = workloads::detail::executeWorkload(
                 workload, request.abi, request.scale, &config,
                 request.seed, traced ? &request.trace : nullptr,
-                traced ? &out.epochs : nullptr);
+                traced ? &out.epochs : nullptr,
+                approx ? &request.approx : nullptr,
+                approx ? &report : nullptr);
+            if (approx && out.sim) {
+                ApproxOutcome ao;
+                ao.stderr_ = metricStderr(report.epochCounts);
+                ao.report = std::move(report);
+                out.approx = std::move(ao);
+            }
             if (cell_cache && out.sim)
                 cell_cache->store(request, key, *out.sim);
         }
@@ -173,12 +225,27 @@ runCell(const RunRequest &request,
     RunResult out = request.corun()
                         ? runCorunCell(request, targets, worker)
                         : runSoloCell(request, targets, cache, worker);
+    if (RunObserver *observer =
+            gRunObserver.load(std::memory_order_acquire))
+        observer->onResult(out);
     if (ResultHook hook = gResultHook.load(std::memory_order_acquire))
         hook(out);
     return out;
 }
 
 } // namespace
+
+RunObserver *
+setRunObserver(RunObserver *observer)
+{
+    return gRunObserver.exchange(observer, std::memory_order_acq_rel);
+}
+
+RunObserver *
+runObserver()
+{
+    return gRunObserver.load(std::memory_order_acquire);
+}
 
 ResultHook
 setResultHook(ResultHook hook)

@@ -106,19 +106,39 @@ PlanOutcome runPlan(const ExperimentPlan &plan,
                     const RunnerOptions &options = {});
 
 /**
- * Observation hook called with every completed cell result (solo and
- * co-run, cache hits included), on the worker thread that produced
- * it. Installed process-wide; pass nullptr to clear. The verification
- * layer uses this to audit run invariants on every result the test
- * suite produces without threading a parameter through every call
- * site. Hooks must be thread-safe and must not re-enter the runner.
+ * Runner-level observer, the plan-granularity companion of
+ * sim::ExecHooks: onResult fires with every completed cell result
+ * (solo and co-run, cache hits included), on the worker thread that
+ * produced it. Installed process-wide; the verification layer
+ * registers its invariant gate here so every result the test suite
+ * produces is audited without threading a parameter through every
+ * call site. Observers must be thread-safe and must not re-enter the
+ * runner.
+ */
+class RunObserver
+{
+  public:
+    virtual ~RunObserver() = default;
+    virtual void onResult(const RunResult &result) = 0;
+};
+
+/** Install @p observer (nullptr clears). Returns the previous one. */
+RunObserver *setRunObserver(RunObserver *observer);
+
+/** The currently installed observer, or nullptr. */
+RunObserver *runObserver();
+
+/**
+ * @deprecated Pre-ExecHooks seam kept for out-of-tree callers: a bare
+ * function pointer fired after the RunObserver. New code should
+ * implement RunObserver.
  */
 using ResultHook = void (*)(const RunResult &);
 
-/** Install @p hook (nullptr clears). Returns the previous hook. */
+/** @deprecated Install @p hook (nullptr clears); returns previous. */
 ResultHook setResultHook(ResultHook hook);
 
-/** The currently installed hook, or nullptr. */
+/** @deprecated The currently installed legacy hook, or nullptr. */
 ResultHook resultHook();
 
 /**

@@ -1,0 +1,118 @@
+#include "sim/block_cache.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+#include "support/telemetry.hpp"
+
+namespace cheri::sim {
+
+using isa::Opcode;
+using uarch::BranchKind;
+using uarch::DynOp;
+
+BlockCache::~BlockCache()
+{
+    telemetry::addBlockCache(hits_, misses_, opsReplayed_);
+}
+
+const BlockCache::DecodedProgram &
+BlockCache::decode(const isa::Program &program, bool cap_branches)
+{
+    const auto key = std::make_pair(&program, cap_branches);
+    if (const auto it = programs_.find(key); it != programs_.end())
+        return it->second;
+
+    program.validate();
+    DecodedProgram dp;
+    const auto n = static_cast<isa::BlockId>(program.blockCount());
+    dp.blocks.resize(n);
+    dp.textLo = ~0ULL;
+    misses_ += n;
+
+    for (isa::BlockId id = 0; id < n; ++id) {
+        const isa::BasicBlock &src = program.block(id);
+        CHERI_ASSERT(src.address != 0,
+                     "program must be laid out before decode");
+        DecodedBlock &blk = dp.blocks[id];
+        blk.address = src.address;
+        blk.lib = program.libOf(id);
+        dp.blockByAddr[src.address] = id;
+        dp.textLo = std::min(dp.textLo, src.address);
+        dp.textHi = std::max(dp.textHi,
+                             src.address + src.insts.size() * 4);
+
+        blk.ops.reserve(src.insts.size());
+        for (u32 i = 0; i < src.insts.size(); ++i) {
+            const isa::Inst &inst = src.insts[i];
+            const Addr pc = src.address + i * 4;
+            DecodedOp op;
+            op.inst = inst;
+            // Pre-resolve everything execution cannot change. The
+            // run-time fields left for Core::run() to patch are the
+            // memory address + pointer-chase flag, the conditional
+            // direction, and indirect/return targets.
+            switch (inst.op) {
+              case Opcode::Ldr:
+                op.tmpl = DynOp::load(pc, 0, inst.size, false);
+                break;
+              case Opcode::LdrCap:
+                op.tmpl = DynOp::load(pc, 0, 16, true);
+                break;
+              case Opcode::Str:
+                op.tmpl = DynOp::store(pc, 0, inst.size, false);
+                break;
+              case Opcode::StrCap:
+                op.tmpl = DynOp::store(pc, 0, 16, true);
+                break;
+              case Opcode::B:
+                op.tmpl = DynOp::branchOp(
+                    pc, BranchKind::Immed, true,
+                    program.block(inst.target).address);
+                break;
+              case Opcode::BCond:
+                op.tmpl = DynOp::condBranch(
+                    pc, false, program.block(inst.target).address);
+                break;
+              case Opcode::Bl:
+                op.tmpl = DynOp::branchOp(
+                    pc, BranchKind::Immed, true,
+                    program.block(inst.target).address,
+                    inst.capBranch && cap_branches &&
+                        program.libOf(inst.target) != blk.lib,
+                    /*is_call=*/true);
+                break;
+              case Opcode::Br:
+              case Opcode::Blr:
+                op.tmpl = DynOp::branchOp(pc, BranchKind::Indirect, true,
+                                          0, inst.capBranch && cap_branches,
+                                          inst.op == Opcode::Blr);
+                break;
+              case Opcode::Ret:
+                op.tmpl = DynOp::branchOp(pc, BranchKind::Return, true, 0,
+                                          inst.capBranch && cap_branches);
+                break;
+              default:
+                op.tmpl = DynOp::alu(pc, inst.op);
+                break;
+            }
+            blk.ops.push_back(op);
+        }
+    }
+
+    // Fold empty-block chains: fallthrough jumps straight to the next
+    // block that has instructions (or ends the run), replacing the
+    // old one-block-at-a-time scan in the executor's hot loop.
+    for (isa::BlockId id = n; id-- > 0;) {
+        if (id + 1 >= n)
+            dp.blocks[id].fallthrough = isa::kNoBlock;
+        else if (dp.blocks[id + 1].ops.empty())
+            dp.blocks[id].fallthrough = dp.blocks[id + 1].fallthrough;
+        else
+            dp.blocks[id].fallthrough = id + 1;
+    }
+
+    return programs_.emplace(key, std::move(dp)).first->second;
+}
+
+} // namespace cheri::sim

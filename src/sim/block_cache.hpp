@@ -1,0 +1,110 @@
+/**
+ * @file
+ * BlockCache — decoded basic blocks for the static-program executor.
+ *
+ * The pre-redesign Core::step() re-resolved every instruction on
+ * every visit: block bounds, the pc, the owning library, and a fresh
+ * DynOp built field-by-field for the pipeline. Programs are immutable
+ * once laid out, so all of that is loop-invariant. The BlockCache
+ * decodes each basic block ONCE into a flat array of DecodedOps —
+ * the instruction plus a pre-resolved uarch::DynOp template with
+ * every statically-known field (pc, opcode class inputs, size,
+ * capability width, uop crack, static branch targets, PCC-change
+ * flags) already filled in. At execution time Core::run() walks the
+ * flat array and patches only the run-time-dependent fields (memory
+ * address, pointer-chase dependence, branch direction, indirect
+ * targets) before issue.
+ *
+ * Lookup is keyed by (pc, program-id): program-id is the Program's
+ * address — programs are immutable and must outlive the cache, and
+ * nothing is ever invalidated — and within a decoded program the pc
+ * index is the per-block address map (shared with indirect-branch
+ * resolution). Decoded blocks depend on one ABI property, capability
+ * branches, so hybrid and purecap cores decoding the same program get
+ * distinct entries.
+ *
+ * Self-stats (block entries served from the cache, programs decoded,
+ * ops replayed from decoded arrays) flush to telemetry on
+ * destruction and surface under --profile.
+ */
+
+#ifndef CHERI_SIM_BLOCK_CACHE_HPP
+#define CHERI_SIM_BLOCK_CACHE_HPP
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "support/types.hpp"
+#include "uarch/dynop.hpp"
+
+namespace cheri::sim {
+
+class BlockCache
+{
+  public:
+    /** One pre-decoded instruction slot. */
+    struct DecodedOp
+    {
+        isa::Inst inst;    //!< Copied: no pointer chase per visit.
+        uarch::DynOp tmpl; //!< Static fields resolved; see file doc.
+    };
+
+    /** One basic block as a flat op array plus static metadata. */
+    struct DecodedBlock
+    {
+        std::vector<DecodedOp> ops;
+        Addr address = 0;
+        isa::LibId lib = 0;
+        /** Next block with instructions (empty-block chains folded). */
+        isa::BlockId fallthrough = isa::kNoBlock;
+    };
+
+    /** A fully decoded program. */
+    struct DecodedProgram
+    {
+        std::vector<DecodedBlock> blocks;
+        std::unordered_map<Addr, isa::BlockId> blockByAddr;
+        Addr textLo = 0;
+        Addr textHi = 0;
+    };
+
+    BlockCache() = default;
+    ~BlockCache();
+
+    BlockCache(const BlockCache &) = delete;
+    BlockCache &operator=(const BlockCache &) = delete;
+
+    /**
+     * Decoded form of @p program under the given branch ABI. Decodes
+     * on first sight (a miss per block), then returns the cached form
+     * forever. @p program must be laid out, immutable, and outlive
+     * this cache.
+     */
+    const DecodedProgram &decode(const isa::Program &program,
+                                 bool cap_branches);
+
+    /** Account one block entry served from the decoded form. */
+    void noteBlockEntry() { ++hits_; }
+
+    /** Account @p n ops issued from decoded arrays. */
+    void noteOpsReplayed(u64 n) { opsReplayed_ += n; }
+
+    // Self-stats (also flushed to telemetry:: on destruction).
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+    u64 opsReplayed() const { return opsReplayed_; }
+
+  private:
+    std::map<std::pair<const isa::Program *, bool>, DecodedProgram>
+        programs_;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+    u64 opsReplayed_ = 0;
+};
+
+} // namespace cheri::sim
+
+#endif // CHERI_SIM_BLOCK_CACHE_HPP

@@ -33,6 +33,7 @@ Core::Core(const MachineConfig &config, mem::Uncore &uncore, u32 id)
       pipe_(std::make_unique<uarch::PipelineModel>(config.pipe, *memory_,
                                                    counts_))
 {
+    pipe_->setLaneId(id);
     // Root capabilities: a DDC covering the address space for hybrid
     // integer addressing — the pure-capability ABIs null it out, so
     // every access must carry a valid capability — an executable PCC
@@ -63,13 +64,6 @@ Core::finalize()
     return result;
 }
 
-isa::BlockId
-Core::blockAt(Addr addr) const
-{
-    const auto it = blockByAddr_.find(addr);
-    return it == blockByAddr_.end() ? isa::kNoBlock : it->second;
-}
-
 Capability
 Core::addressingCap(u8 rn) const
 {
@@ -83,23 +77,27 @@ Core::addressingCap(u8 rn) const
 SimResult
 Core::run(const isa::Program &program, isa::FuncId entry)
 {
+    // Deprecated shim: a throwaway cache decodes the program for this
+    // run only, and no observer attaches.
+    BlockCache cache;
+    NullExecHooks hooks;
+    return run(program, cache, hooks, entry);
+}
+
+SimResult
+Core::run(const isa::Program &program, BlockCache &blocks,
+          ExecHooks &hooks, isa::FuncId entry)
+{
     CHERI_TRACE_SCOPE("sim/core.run");
     CHERI_ASSERT(!finalized_, "Core already used");
-    program.validate();
-    program_ = &program;
+    BlockCache throwaway;
+    BlockCache &cache = config_.block_cache ? blocks : throwaway;
+    const BlockCache::DecodedProgram &decoded =
+        cache.decode(program, abi::capabilityBranches(config_.abi));
+    pcc_ = Capability::codeRegion(decoded.textLo,
+                                  decoded.textHi - decoded.textLo);
 
-    Addr text_lo = ~0ULL, text_hi = 0;
-    blockByAddr_.clear();
-    for (isa::BlockId id = 0; id < program.blockCount(); ++id) {
-        const auto &block = program.block(id);
-        CHERI_ASSERT(block.address != 0,
-                     "program must be laid out before run()");
-        blockByAddr_[block.address] = id;
-        text_lo = std::min(text_lo, block.address);
-        text_hi = std::max(text_hi,
-                           block.address + block.insts.size() * 4);
-    }
-    pcc_ = Capability::codeRegion(text_lo, text_hi - text_lo);
+    pipe_->attachHooks(&hooks);
 
     SimResult partial;
     ExecCursor cursor{program.function(entry).entry, 0};
@@ -107,10 +105,13 @@ Core::run(const isa::Program &program, isa::FuncId entry)
 
     u64 executed = 0;
     while (executed < config_.max_insts) {
-        if (!step(program, cursor, partial))
+        if (!step(decoded, program, cache, cursor, partial))
             break;
         ++executed;
     }
+    cache.noteOpsReplayed(executed);
+
+    pipe_->detachHooks(&hooks);
 
     SimResult result = finalize();
     result.halted = partial.halted;
@@ -119,22 +120,25 @@ Core::run(const isa::Program &program, isa::FuncId entry)
 }
 
 bool
-Core::step(const isa::Program &program, ExecCursor &cursor,
-              SimResult &result)
+Core::step(const BlockCache::DecodedProgram &decoded,
+           const isa::Program &program, BlockCache &blocks,
+           ExecCursor &cursor, SimResult &result)
 {
-    const isa::BasicBlock *block = &program.block(cursor.block);
-    // Implicit fallthrough into the next block.
-    while (cursor.index >= block->insts.size()) {
-        if (cursor.block + 1 >= program.blockCount())
+    const BlockCache::DecodedBlock *block = &decoded.blocks[cursor.block];
+    // Implicit fallthrough (empty-block chains pre-folded at decode).
+    if (cursor.index >= block->ops.size()) {
+        if (block->fallthrough == isa::kNoBlock)
             return false;
-        ++cursor.block;
+        cursor.block = block->fallthrough;
         cursor.index = 0;
-        block = &program.block(cursor.block);
+        block = &decoded.blocks[cursor.block];
     }
+    if (cursor.index == 0)
+        blocks.noteBlockEntry();
 
-    const Inst &inst = block->insts[cursor.index];
-    const Addr pc = block->address + cursor.index * 4;
-    const isa::LibId lib = program.libOf(cursor.block);
+    const BlockCache::DecodedOp &dop = block->ops[cursor.index];
+    const Inst &inst = dop.inst;
+    const Addr pc = dop.tmpl.pc;
 
     // Pointer-chase detection: a memory op whose base register was
     // the destination of a recent load is latency-serialized.
@@ -149,80 +153,81 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
 
     auto fault_out = [&](const CapFault &fault) {
         result.fault = fault;
+        pipe_->notifyFault(pc);
         return false;
     };
 
     switch (inst.op) {
       case Opcode::Nop:
-        pipe_->issue(DynOp::alu(pc, Opcode::Nop));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::MovImm:
         regs_.setX(inst.rd, static_cast<u64>(inst.imm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::MovReg:
         regs_.setX(inst.rd, regs_.x(inst.rn));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::Add:
         regs_.setX(inst.rd, regs_.x(inst.rn) + regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::AddImm:
         regs_.setX(inst.rd, regs_.x(inst.rn) + static_cast<u64>(inst.imm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::Sub:
         regs_.setX(inst.rd, regs_.x(inst.rn) - regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::SubImm:
         regs_.setX(inst.rd, regs_.x(inst.rn) - static_cast<u64>(inst.imm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::And:
         regs_.setX(inst.rd, regs_.x(inst.rn) & regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::Orr:
         regs_.setX(inst.rd, regs_.x(inst.rn) | regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::Eor:
         regs_.setX(inst.rd, regs_.x(inst.rn) ^ regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::Lsl:
         regs_.setX(inst.rd, regs_.x(inst.rn) << (inst.imm & 63));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::Lsr:
         regs_.setX(inst.rd, regs_.x(inst.rn) >> (inst.imm & 63));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::Mul:
         regs_.setX(inst.rd, regs_.x(inst.rn) * regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::Madd:
         regs_.setX(inst.rd, regs_.x(inst.ra) +
                                 regs_.x(inst.rn) * regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::Udiv: {
         const u64 div = regs_.x(inst.rm);
         regs_.setX(inst.rd, div ? regs_.x(inst.rn) / div : 0);
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       }
       case Opcode::Cmp:
         regs_.setFlags(static_cast<s64>(regs_.x(inst.rn)),
                        static_cast<s64>(regs_.x(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CmpImm:
         regs_.setFlags(static_cast<s64>(regs_.x(inst.rn)), inst.imm);
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
 
       case Opcode::FAdd:
@@ -241,7 +246,7 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
           default: value = b != 0.0 ? a / b : 0.0; break;
         }
         regs_.setX(inst.rd, std::bit_cast<u64>(value));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       }
 
@@ -251,7 +256,7 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
       case Opcode::VDot:
         // SIMD values are abstracted; keep dataflow deterministic.
         regs_.setX(inst.rd, regs_.x(inst.rn) + regs_.x(inst.rm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
 
       case Opcode::Ldr: {
@@ -260,7 +265,10 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
         if (auto fault = base.checkAccess(addr, inst.size, false))
             return fault_out(*fault);
         regs_.setX(inst.rd, store_.read(addr, inst.size));
-        pipe_->issue(DynOp::load(pc, addr, inst.size, false, dependent));
+        DynOp d = dop.tmpl;
+        d.addr = addr;
+        d.dependsOnLoad = dependent;
+        pipe_->issue(d);
         lastLoadDest_ = inst.rd;
         chaseCredit_ = 4;
         break;
@@ -271,7 +279,9 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
         if (auto fault = base.checkAccess(addr, inst.size, true))
             return fault_out(*fault);
         store_.write(addr, regs_.x(inst.rd), inst.size);
-        pipe_->issue(DynOp::store(pc, addr, inst.size, false));
+        DynOp d = dop.tmpl;
+        d.addr = addr;
+        pipe_->issue(d);
         break;
       }
       case Opcode::LdrCap: {
@@ -283,7 +293,10 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
         if (auto fault = base.checkAccess(addr, 16, false, true))
             return fault_out(*fault);
         regs_.setC(inst.rd, store_.readCap(addr));
-        pipe_->issue(DynOp::load(pc, addr, 16, true, dependent));
+        DynOp d = dop.tmpl;
+        d.addr = addr;
+        d.dependsOnLoad = dependent;
+        pipe_->issue(d);
         lastLoadDest_ = inst.rd;
         chaseCredit_ = 4;
         break;
@@ -297,69 +310,71 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
         if (auto fault = base.checkAccess(addr, 16, true, true))
             return fault_out(*fault);
         store_.writeCap(addr, regs_.c(inst.rd));
-        pipe_->issue(DynOp::store(pc, addr, 16, true));
+        DynOp d = dop.tmpl;
+        d.addr = addr;
+        pipe_->issue(d);
         break;
       }
 
       case Opcode::CSetBounds:
         regs_.setC(inst.rd, regs_.c(inst.rn).setBounds(regs_.x(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CSetBoundsImm:
         regs_.setC(inst.rd, regs_.c(inst.rn).setBounds(
                                 static_cast<u64>(inst.imm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CIncOffset:
         regs_.setC(inst.rd, regs_.c(inst.rn).add(
                                 static_cast<s64>(regs_.x(inst.rm))));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CIncOffsetImm:
         regs_.setC(inst.rd, regs_.c(inst.rn).add(inst.imm));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CSetAddr:
         regs_.setC(inst.rd,
                    regs_.c(inst.rn).withAddress(regs_.x(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CAndPerm:
         regs_.setC(inst.rd, regs_.c(inst.rn).withPerms(cap::PermSet(
                                 static_cast<u16>(regs_.x(inst.rm)))));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CClearTag:
         regs_.setC(inst.rd, regs_.c(inst.rn).withoutTag());
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CSeal:
         regs_.setC(inst.rd, regs_.c(inst.rn).sealWith(regs_.c(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CUnseal:
         regs_.setC(inst.rd, regs_.c(inst.rn).unsealWith(regs_.c(inst.rm)));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CGetBase:
         regs_.setX(inst.rd, regs_.c(inst.rn).base());
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CGetLen:
         regs_.setX(inst.rd, regs_.c(inst.rn).length());
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CGetTag:
         regs_.setX(inst.rd, regs_.c(inst.rn).tag() ? 1 : 0);
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CGetAddr:
         regs_.setX(inst.rd, regs_.c(inst.rn).address());
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::CMove:
         regs_.setC(inst.rd, regs_.c(inst.rn));
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::LeaFunc: {
         const auto func = static_cast<isa::FuncId>(inst.imm);
@@ -369,35 +384,28 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
             regs_.setC(inst.rd, pcc_.withAddress(addr));
         else
             regs_.setX(inst.rd, addr);
-        pipe_->issue(DynOp::alu(pc, inst.op));
+        pipe_->issue(dop.tmpl);
         break;
       }
 
       case Opcode::B:
         next = ExecCursor{inst.target, 0};
-        pipe_->issue(DynOp::branchOp(
-            pc, BranchKind::Immed, true,
-            program.block(inst.target).address));
+        pipe_->issue(dop.tmpl);
         break;
       case Opcode::BCond: {
         const bool taken = regs_.condHolds(inst.cond);
         if (taken)
             next = ExecCursor{inst.target, 0};
-        pipe_->issue(DynOp::condBranch(
-            pc, taken, program.block(inst.target).address));
+        DynOp d = dop.tmpl;
+        d.taken = taken;
+        pipe_->issue(d);
         break;
       }
       case Opcode::Bl: {
-        const isa::LibId target_lib = program.libOf(inst.target);
         callStack_.push_back(next);
         regs_.setC(isa::kRegLr, pcc_.withAddress(pc + 4));
         next = ExecCursor{inst.target, 0};
-        const bool pcc_change = inst.capBranch &&
-                                abi::capabilityBranches(config_.abi) &&
-                                target_lib != lib;
-        pipe_->issue(DynOp::branchOp(
-            pc, BranchKind::Immed, true,
-            program.block(inst.target).address, pcc_change, true));
+        pipe_->issue(dop.tmpl);
         break;
       }
       case Opcode::Br:
@@ -408,7 +416,10 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
                                                 regs_.x(inst.rn));
         if (auto fault = target_cap.checkExecute(target_cap.address()))
             return fault_out(*fault);
-        const isa::BlockId target = blockAt(target_cap.address());
+        const auto tgt_it = decoded.blockByAddr.find(target_cap.address());
+        const isa::BlockId target = tgt_it == decoded.blockByAddr.end()
+                                        ? isa::kNoBlock
+                                        : tgt_it->second;
         if (target == isa::kNoBlock)
             return fault_out(CapFault{CapFaultKind::BoundsViolation,
                                       target_cap.address(), 4});
@@ -417,28 +428,22 @@ Core::step(const isa::Program &program, ExecCursor &cursor,
             regs_.setC(isa::kRegLr, pcc_.withAddress(pc + 4));
         }
         next = ExecCursor{target, 0};
-        const bool pcc_change =
-            inst.capBranch && abi::capabilityBranches(config_.abi);
-        pipe_->issue(DynOp::branchOp(pc, BranchKind::Indirect, true,
-                                     target_cap.address(), pcc_change,
-                                     inst.op == Opcode::Blr));
+        DynOp d = dop.tmpl;
+        d.target = target_cap.address();
+        pipe_->issue(d);
         break;
       }
       case Opcode::Ret: {
-        const bool pcc_change = inst.capBranch &&
-                                abi::capabilityBranches(config_.abi);
         if (callStack_.empty()) {
-            pipe_->issue(DynOp::branchOp(pc, BranchKind::Return, true, 0,
-                                         pcc_change));
+            pipe_->issue(dop.tmpl);
             result.halted = true;
             return false;
         }
         next = callStack_.back();
         callStack_.pop_back();
-        const Addr target =
-            program.block(next.block).address + next.index * 4;
-        pipe_->issue(DynOp::branchOp(pc, BranchKind::Return, true, target,
-                                     pcc_change));
+        DynOp d = dop.tmpl;
+        d.target = decoded.blocks[next.block].address + next.index * 4;
+        pipe_->issue(d);
         break;
       }
 

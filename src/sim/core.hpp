@@ -26,6 +26,8 @@
 #include "mem/backing_store.hpp"
 #include "mem/memory_system.hpp"
 #include "pmu/counts.hpp"
+#include "sim/block_cache.hpp"
+#include "sim/exec_hooks.hpp"
 #include "sim/regfile.hpp"
 #include "uarch/pipeline.hpp"
 
@@ -42,6 +44,16 @@ struct MachineConfig
     uarch::PipelineConfig pipe{};
     u64 max_insts = 500'000'000; //!< Runaway guard for the executor.
     double clock_ghz = 2.5;      //!< Morello clock (§2.2).
+
+    /**
+     * Escape hatch (--no-blockcache): when false, Core::run ignores
+     * the caller's shared BlockCache and decodes into a throwaway
+     * per-run cache instead — no cross-run reuse. Results are
+     * bit-identical either way (decoding is deterministic), so like
+     * mem::MemConfig::fast_path this is NOT part of the cell
+     * fingerprint.
+     */
+    bool block_cache = true;
 
     /**
      * Core slices sharing one uncore (Morello is quad-core; §2.1).
@@ -95,6 +107,21 @@ class Core
      * Run a static program from @p entry ("main" = function 0 by
      * default) until Halt, a capability fault, or the instruction
      * limit. The program must already be laid out (Program::layout).
+     *
+     * Execution walks @p blocks' decoded form of the program (decoded
+     * once, reused across runs and cores sharing the cache) and
+     * dispatches execution events — fault, plus whatever @p hooks
+     * subscribed to at attach — through the unified ExecHooks
+     * observer for the duration of the run.
+     */
+    SimResult run(const isa::Program &program, BlockCache &blocks,
+                  ExecHooks &hooks, isa::FuncId entry = 0);
+
+    /**
+     * @deprecated Pre-BlockCache entry point: runs with a throwaway
+     * block cache and no observer. Kept so single-program callers
+     * (tests, examples) stay source-compatible; results are
+     * bit-identical to the decoded-block path.
      */
     SimResult run(const isa::Program &program, isa::FuncId entry = 0);
 
@@ -119,12 +146,14 @@ class Core
         u32 index = 0;
     };
 
-    /** Execute one instruction; returns false when execution ends. */
-    bool step(const isa::Program &program, ExecCursor &cursor,
-              SimResult &result);
-
-    /** Resolve a code address to a block (indirect branches). */
-    isa::BlockId blockAt(Addr addr) const;
+    /**
+     * Execute one instruction from the decoded program; returns false
+     * when execution ends. @p program is only consulted for the rare
+     * ops that need function metadata (LeaFunc).
+     */
+    bool step(const BlockCache::DecodedProgram &decoded,
+              const isa::Program &program, BlockCache &blocks,
+              ExecCursor &cursor, SimResult &result);
 
     /** The capability used for addressing by a memory instruction. */
     cap::Capability addressingCap(u8 rn) const;
@@ -141,8 +170,6 @@ class Core
     cap::Capability ddc_;
     cap::Capability csp_;
 
-    const isa::Program *program_ = nullptr;
-    std::unordered_map<Addr, isa::BlockId> blockByAddr_;
     std::vector<ExecCursor> callStack_;
     bool finalized_ = false;
 

@@ -37,7 +37,7 @@ CorunGate::pickNext(u32 exclude) const
 }
 
 void
-CorunGate::onIssue(u32 core, double cycleF)
+CorunGate::onLaneSwitch(u32 core, double cycleF)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     lanes_[core].cycle = cycleF;

@@ -29,12 +29,12 @@
 #include <mutex>
 #include <vector>
 
+#include "sim/exec_hooks.hpp"
 #include "support/types.hpp"
-#include "uarch/pipeline.hpp"
 
 namespace cheri::sim {
 
-class CorunGate final : public uarch::IssueGate
+class CorunGate final : public ExecHooks
 {
   public:
     CorunGate(u32 cores, Cycles quantum);
@@ -42,8 +42,11 @@ class CorunGate final : public uarch::IssueGate
     /** Register lane @p core; call before any lane thread starts. */
     void activate(u32 core);
 
-    /** IssueGate: blocks until @p core may simulate its next op. */
-    void onIssue(u32 core, double cycleF) override;
+    /** ExecHooks: blocks until @p core may simulate its next op. */
+    void onLaneSwitch(u32 core, double cycleF) override;
+
+    /** Claim the pipeline's lane-switch dispatch slot. */
+    bool wantsLaneSwitch() const override { return true; }
 
     /**
      * Lane @p core is done issuing; hands the token on. Called from

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * sim::ExecHooks — the public name of the unified execution observer.
+ *
+ * The interface itself lives in uarch/exec_hooks.hpp because the
+ * pipeline dispatches the events and uarch cannot depend on sim; this
+ * header gives the simulation layer's clients (Core::run, the trace
+ * collector, the co-run gate, tests) the name the API redesign
+ * standardized on. See uarch/exec_hooks.hpp for event semantics.
+ */
+
+#ifndef CHERI_SIM_EXEC_HOOKS_HPP
+#define CHERI_SIM_EXEC_HOOKS_HPP
+
+#include "uarch/exec_hooks.hpp"
+
+namespace cheri::sim {
+
+using ExecHooks = uarch::ExecHooks;
+
+/** The do-nothing observer Core::run's compatibility shim attaches. */
+class NullExecHooks final : public ExecHooks
+{
+};
+
+} // namespace cheri::sim
+
+#endif // CHERI_SIM_EXEC_HOOKS_HPP

@@ -57,6 +57,12 @@ class Machine
     {
         return core(0).run(program, entry);
     }
+    SimResult
+    run(const isa::Program &program, BlockCache &blocks, ExecHooks &hooks,
+        isa::FuncId entry = 0)
+    {
+        return core(0).run(program, blocks, hooks, entry);
+    }
     uarch::PipelineModel &pipeline() { return core(0).pipeline(); }
     pmu::EventCounts &counts() { return core(0).counts(); }
     mem::PrivateHierarchy &memory() { return core(0).memory(); }

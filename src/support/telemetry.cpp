@@ -1,0 +1,134 @@
+#include "support/telemetry.hpp"
+
+#include <atomic>
+
+namespace cheri::telemetry {
+
+namespace {
+
+struct Totals
+{
+    std::atomic<u64> data_fast{0};
+    std::atomic<u64> data_full{0};
+    std::atomic<u64> fetch_fast{0};
+    std::atomic<u64> fetch_full{0};
+    std::atomic<u64> uncore_fast{0};
+    std::atomic<u64> uncore_full{0};
+    std::atomic<u64> block_hits{0};
+    std::atomic<u64> block_misses{0};
+    std::atomic<u64> block_ops{0};
+};
+
+Totals &
+totals()
+{
+    static Totals t;
+    return t;
+}
+
+void
+bump(std::atomic<u64> &slot, u64 n)
+{
+    if (n)
+        slot.fetch_add(n, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+addMemFastPath(u64 data_fast, u64 data_full, u64 fetch_fast, u64 fetch_full)
+{
+    Totals &t = totals();
+    bump(t.data_fast, data_fast);
+    bump(t.data_full, data_full);
+    bump(t.fetch_fast, fetch_fast);
+    bump(t.fetch_full, fetch_full);
+}
+
+void
+addUncoreFastPath(u64 fast, u64 full)
+{
+    Totals &t = totals();
+    bump(t.uncore_fast, fast);
+    bump(t.uncore_full, full);
+}
+
+void
+addBlockCache(u64 hits, u64 misses, u64 ops_replayed)
+{
+    Totals &t = totals();
+    bump(t.block_hits, hits);
+    bump(t.block_misses, misses);
+    bump(t.block_ops, ops_replayed);
+}
+
+HotPathStats
+snapshot()
+{
+    const Totals &t = totals();
+    HotPathStats s;
+    s.data_fast = t.data_fast.load(std::memory_order_relaxed);
+    s.data_full = t.data_full.load(std::memory_order_relaxed);
+    s.fetch_fast = t.fetch_fast.load(std::memory_order_relaxed);
+    s.fetch_full = t.fetch_full.load(std::memory_order_relaxed);
+    s.uncore_fast = t.uncore_fast.load(std::memory_order_relaxed);
+    s.uncore_full = t.uncore_full.load(std::memory_order_relaxed);
+    s.block_hits = t.block_hits.load(std::memory_order_relaxed);
+    s.block_misses = t.block_misses.load(std::memory_order_relaxed);
+    s.block_ops_replayed = t.block_ops.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+reset()
+{
+    Totals &t = totals();
+    t.data_fast.store(0, std::memory_order_relaxed);
+    t.data_full.store(0, std::memory_order_relaxed);
+    t.fetch_fast.store(0, std::memory_order_relaxed);
+    t.fetch_full.store(0, std::memory_order_relaxed);
+    t.uncore_fast.store(0, std::memory_order_relaxed);
+    t.uncore_full.store(0, std::memory_order_relaxed);
+    t.block_hits.store(0, std::memory_order_relaxed);
+    t.block_misses.store(0, std::memory_order_relaxed);
+    t.block_ops.store(0, std::memory_order_relaxed);
+}
+
+void
+report(std::FILE *out)
+{
+    const HotPathStats s = snapshot();
+    const bool mem = s.data_fast + s.data_full + s.fetch_fast +
+                         s.fetch_full + s.uncore_fast + s.uncore_full >
+                     0;
+    const bool blocks = s.block_hits + s.block_misses > 0;
+    if (!mem && !blocks)
+        return;
+    std::fprintf(out, "[hotpath]\n");
+    if (mem) {
+        std::fprintf(out,
+                     "  mem data    : %llu fast / %llu full (%.1f%% fast)\n",
+                     static_cast<unsigned long long>(s.data_fast),
+                     static_cast<unsigned long long>(s.data_full),
+                     100.0 * s.dataCoverage());
+        std::fprintf(out,
+                     "  mem fetch   : %llu fast / %llu full (%.1f%% fast)\n",
+                     static_cast<unsigned long long>(s.fetch_fast),
+                     static_cast<unsigned long long>(s.fetch_full),
+                     100.0 * s.fetchCoverage());
+        std::fprintf(out, "  uncore      : %llu fast / %llu full\n",
+                     static_cast<unsigned long long>(s.uncore_fast),
+                     static_cast<unsigned long long>(s.uncore_full));
+    }
+    if (blocks)
+        std::fprintf(
+            out,
+            "  block cache : %llu hits / %llu misses (%.1f%% hit), "
+            "%llu ops replayed\n",
+            static_cast<unsigned long long>(s.block_hits),
+            static_cast<unsigned long long>(s.block_misses),
+            100.0 * s.blockHitRate(),
+            static_cast<unsigned long long>(s.block_ops_replayed));
+}
+
+} // namespace cheri::telemetry

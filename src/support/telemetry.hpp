@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Process-wide hot-path self-statistics.
+ *
+ * The decoded-block cache and the memory fast path keep per-instance
+ * plain counters on their own hot paths (no atomics, no sharing);
+ * each instance flushes them here exactly once, from its destructor,
+ * into process-wide atomic totals. `--profile` prints the aggregate
+ * next to the wall-clock profiler so a sweep reports its own
+ * block-cache hit rate and fast-path coverage, and the bench
+ * harness (tools/bench_throughput) emits the same numbers into
+ * BENCH_throughput.json.
+ *
+ * Telemetry is observational only: nothing model-visible reads it,
+ * so it can never perturb simulated counts or cycles.
+ */
+
+#ifndef CHERI_SUPPORT_TELEMETRY_HPP
+#define CHERI_SUPPORT_TELEMETRY_HPP
+
+#include <cstdio>
+
+#include "support/types.hpp"
+
+namespace cheri::telemetry {
+
+/** Snapshot of the process-wide hot-path totals. */
+struct HotPathStats
+{
+    // mem::PrivateHierarchy data()/fetch() fast-path replays vs full
+    // hierarchy walks.
+    u64 data_fast = 0;
+    u64 data_full = 0;
+    u64 fetch_fast = 0;
+    u64 fetch_full = 0;
+    // mem::Uncore MRU replays vs full LLC lookups.
+    u64 uncore_fast = 0;
+    u64 uncore_full = 0;
+    // sim::BlockCache decoded-block lookups.
+    u64 block_hits = 0;
+    u64 block_misses = 0;
+    u64 block_ops_replayed = 0; //!< DynOps issued from cached blocks.
+
+    double
+    dataCoverage() const
+    {
+        const u64 total = data_fast + data_full;
+        return total ? static_cast<double>(data_fast) / total : 0.0;
+    }
+    double
+    fetchCoverage() const
+    {
+        const u64 total = fetch_fast + fetch_full;
+        return total ? static_cast<double>(fetch_fast) / total : 0.0;
+    }
+    double
+    blockHitRate() const
+    {
+        const u64 total = block_hits + block_misses;
+        return total ? static_cast<double>(block_hits) / total : 0.0;
+    }
+};
+
+/** Flush one memory hierarchy's counters (PrivateHierarchy dtor). */
+void addMemFastPath(u64 data_fast, u64 data_full, u64 fetch_fast,
+                    u64 fetch_full);
+
+/** Flush one uncore's counters (Uncore dtor). */
+void addUncoreFastPath(u64 fast, u64 full);
+
+/** Flush one block cache's counters (BlockCache dtor). */
+void addBlockCache(u64 hits, u64 misses, u64 ops_replayed);
+
+/** Read the current totals. */
+HotPathStats snapshot();
+
+/** Zero the totals (tests and the bench harness between phases). */
+void reset();
+
+/** Human-readable dump (the --profile report), if any activity. */
+void report(std::FILE *out);
+
+} // namespace cheri::telemetry
+
+#endif // CHERI_SUPPORT_TELEMETRY_HPP

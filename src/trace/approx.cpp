@@ -1,0 +1,262 @@
+#include "trace/approx.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cheri::trace {
+
+using pmu::Event;
+
+namespace {
+
+/** splitmix64 finalizer: a well-mixed 64-bit hash of seed ^ epoch. */
+u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+u64
+roundCycles(double value)
+{
+    return value > 0 ? static_cast<u64>(std::llround(value)) : 0;
+}
+
+} // namespace
+
+ApproxSampler::ApproxSampler(const ApproxConfig &config, u64 seed,
+                             uarch::PipelineModel &pipe)
+    : config_(config), seed_(seed), pipe_(pipe)
+{
+    CHERI_ASSERT(config.enabled, "ApproxSampler on a disabled config");
+    CHERI_ASSERT(config.rate >= 1, "approx rate must be >= 1");
+    CHERI_ASSERT(config.epoch_insts > 0,
+                 "approx epoch size must be positive");
+    // Epoch 0 is always simulated; the pipeline starts un-skipped.
+}
+
+/**
+ * Which epoch of stratum `stratum` is measured. Stratum 0 avoids
+ * offset 0: epoch 0's cold-start cost is counted exactly and must
+ * never be scaled into the steady-state estimate.
+ */
+u64
+ApproxSampler::measuredOffset(u64 stratum) const
+{
+    const u64 h = mix64(seed_ ^ stratum);
+    if (stratum == 0)
+        return 1 + h % (config_.rate - 1);
+    return h % config_.rate;
+}
+
+bool
+ApproxSampler::measuredEpoch(u64 epoch) const
+{
+    if (epoch == 0)
+        return false; // Cold start: counted exactly, never scaled.
+    if (config_.rate == 1)
+        return true;
+    // Epoch 2 is always measured (epochs 0-1 serve as its warm-up):
+    // at high rates a short run might otherwise end before any
+    // stratum's systematic pick, leaving no steady-state sample at
+    // all and forcing the biased uniform fallback.
+    if (epoch == 2)
+        return true;
+    return epoch % config_.rate == measuredOffset(epoch / config_.rate);
+}
+
+bool
+ApproxSampler::simulatedEpoch(u64 epoch) const
+{
+    if (epoch == 0 || config_.rate == 1)
+        return true;
+    // Simulate the two epochs before each measured one as detailed
+    // warm-up, so the measured epoch sees re-converged caches and
+    // predictors rather than state frozen at the last simulated
+    // interval.
+    return measuredEpoch(epoch) || measuredEpoch(epoch + 1) ||
+           measuredEpoch(epoch + 2);
+}
+
+void
+ApproxSampler::onEpochBoundary(const uarch::PipelineModel &pipe)
+{
+    const u64 now = pipe.liveCounts().get(Event::InstRetired);
+    if (curSimulated_) {
+        sampledInsts_ += now - prevInst_;
+        ++epochsSimulated_;
+        pmu::EventCounts delta = closeDelta(pipe);
+        simulatedTotals_ += delta;
+        if (measuredEpoch(epoch_))
+            measured_.push_back(
+                {epoch_ / config_.rate, std::move(delta)});
+        prevInst_ = now;
+    } else {
+        resync(pipe, now);
+    }
+
+    ++epoch_;
+    curSimulated_ = simulatedEpoch(epoch_);
+    pipe_.setApproxSkip(!curSimulated_);
+}
+
+/**
+ * Event delta since the previous boundary, with the finish()-time
+ * totals synthesized in (same rounding as trace::EpochCollector::
+ * closeEpoch) so the interval feeds DerivedMetrics like a whole run.
+ * Leaves prevCounts_/prevLive_ resynced to now.
+ */
+pmu::EventCounts
+ApproxSampler::closeDelta(const uarch::PipelineModel &pipe)
+{
+    const auto live = pipe.liveStats();
+    const pmu::EventCounts &counts = pipe.liveCounts();
+    pmu::EventCounts delta = counts.diff(prevCounts_);
+
+    const double cycles = live.cycles - prevLive_.cycles;
+    const double frontend = live.stallFrontend - prevLive_.stallFrontend;
+    const double pcc = live.stallPcc - prevLive_.stallPcc;
+    const double bad_spec = live.stallBadSpec - prevLive_.stallBadSpec;
+    const double mem_l1 = live.stallMemL1 - prevLive_.stallMemL1;
+    const double mem_l2 = live.stallMemL2 - prevLive_.stallMemL2;
+    const double mem_ext = live.stallMemExt - prevLive_.stallMemExt;
+    const double core = live.stallCore - prevLive_.stallCore;
+    const double backend = mem_l1 + mem_l2 + mem_ext + core;
+    const u64 uops = live.uopsRetired - prevLive_.uopsRetired;
+    const u64 cyc = roundCycles(cycles);
+    const u32 width = pipe.config().width;
+
+    delta.add(Event::CpuCycles, cyc);
+    delta.add(Event::StallFrontend, static_cast<u64>(frontend + 0.5));
+    delta.add(Event::StallBackend, static_cast<u64>(backend + 0.5));
+    delta.add(Event::StallMemL1, static_cast<u64>(mem_l1 + 0.5));
+    delta.add(Event::StallMemL2, static_cast<u64>(mem_l2 + 0.5));
+    delta.add(Event::StallMemExt, static_cast<u64>(mem_ext + 0.5));
+    delta.add(Event::StallCore, static_cast<u64>(core + 0.5));
+    delta.add(Event::PccStall, static_cast<u64>(pcc + 0.5));
+    delta.add(Event::SlotsTotal, cyc * width);
+    delta.add(Event::SlotsRetired, uops);
+    delta.add(Event::SlotsBadSpec,
+              static_cast<u64>(bad_spec * width + 0.5));
+    delta.add(Event::SlotsFrontend,
+              static_cast<u64>(frontend * width + 0.5));
+    delta.add(Event::SlotsBackend,
+              static_cast<u64>(backend * width + 0.5));
+
+    prevCounts_ = counts;
+    prevLive_ = live;
+    return delta;
+}
+
+void
+ApproxSampler::resync(const uarch::PipelineModel &pipe, u64 inst_now)
+{
+    prevInst_ = inst_now;
+    prevCounts_ = pipe.liveCounts();
+    prevLive_ = pipe.liveStats();
+}
+
+ApproxReport
+ApproxSampler::finish(const uarch::PipelineModel &pipe)
+{
+    CHERI_ASSERT(!taken_, "ApproxSampler::finish called twice");
+    taken_ = true;
+    pipe_.setApproxSkip(false);
+
+    const u64 now = pipe.liveCounts().get(Event::InstRetired);
+    const bool tail = now > prevInst_;
+
+    ApproxReport report;
+    report.rate = config_.rate;
+    report.epochInsts = config_.epoch_insts;
+    report.epochsTotal = epoch_ + (tail ? 1 : 0);
+    report.epochsSimulated = epochsSimulated_;
+    if (tail) {
+        report.tailInsts = now - prevInst_;
+        report.tailSimulated = curSimulated_;
+        if (curSimulated_) {
+            // The partial tail's events are counted exactly, but it
+            // never enters the across-epoch sample: it is shorter
+            // than a full epoch and would skew mean and variance.
+            sampledInsts_ += report.tailInsts;
+            report.tailCounts = closeDelta(pipe);
+        }
+    }
+    report.epochsSampled = measured_.size();
+    report.sampledInsts = sampledInsts_;
+    report.totalInsts = now;
+    report.scale = sampledInsts_ > 0
+                       ? static_cast<double>(now) /
+                             static_cast<double>(sampledInsts_)
+                       : 1.0;
+    report.simulatedTotals = simulatedTotals_;
+
+    // Whole-run estimate: exact simulated intervals plus each skipped
+    // epoch priced at its stratum's measured epoch. Fractional (tail)
+    // weights force double accumulation; one deterministic llround at
+    // the end.
+    const u64 full_epochs = epoch_;
+    std::vector<double> skipped(full_epochs / config_.rate + 1, 0.0);
+    u64 skipped_any = 0;
+    for (u64 e = 0; e < full_epochs; ++e)
+        if (!simulatedEpoch(e)) {
+            skipped[e / config_.rate] += 1.0;
+            ++skipped_any;
+        }
+    if (tail && !curSimulated_)
+        skipped[full_epochs / config_.rate] +=
+            static_cast<double>(report.tailInsts) /
+            static_cast<double>(config_.epoch_insts);
+
+    const bool anything_skipped =
+        skipped_any > 0 || (tail && !curSimulated_);
+    if (anything_skipped && !measured_.empty()) {
+        std::array<double, pmu::kNumEvents> est{};
+        for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
+            const auto event = static_cast<Event>(i);
+            est[i] = simulatedTotals_.getF(event) +
+                     report.tailCounts.getF(event);
+        }
+        for (u64 s = 0; s < skipped.size(); ++s) {
+            if (skipped[s] <= 0.0)
+                continue;
+            // Nearest measured stratum (prefer lower on ties) — a
+            // stratum can lack a sample when the run ended before its
+            // measured epoch.
+            const MeasuredEpoch *best = &measured_.front();
+            u64 best_dist = ~u64{0};
+            for (const auto &m : measured_) {
+                const u64 dist =
+                    m.stratum > s ? m.stratum - s : s - m.stratum;
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    best = &m;
+                }
+            }
+            for (std::size_t i = 0; i < pmu::kNumEvents; ++i)
+                est[i] += best->delta.getF(static_cast<Event>(i)) *
+                          skipped[s];
+        }
+        for (std::size_t i = 0; i < pmu::kNumEvents; ++i)
+            report.estimatedTotals.set(
+                static_cast<Event>(i),
+                est[i] > 0 ? static_cast<u64>(std::llround(est[i]))
+                           : 0);
+        // Retired instructions are architecturally exact regardless.
+        report.estimatedTotals.set(Event::InstRetired, now);
+        report.estimated = true;
+    }
+
+    report.epochCounts.reserve(measured_.size());
+    for (auto &m : measured_)
+        report.epochCounts.push_back(std::move(m.delta));
+    measured_.clear();
+    return report;
+}
+
+} // namespace cheri::trace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ApproxSampler — the ExecHooks observer behind --approx sampled
+ * simulation.
+ *
+ * The sampler claims the pipeline's epoch slot (like the trace
+ * collector does — the two are mutually exclusive, which is why
+ * --approx forbids --trace=epochs) and, at every exact
+ * retired-instruction boundary, decides whether the NEXT epoch runs
+ * through the full timing model or is skipped: a skipped epoch's
+ * instructions still retire architecturally (register/memory state
+ * and InstRetired stay exact, so workload control flow is unchanged),
+ * but the pipeline timing, memory hierarchy and speculation models
+ * are bypassed at zero model cost.
+ *
+ * Epoch selection is deterministic and seed-derived, stratified
+ * systematic sampling in the SMARTS tradition of sampled
+ * microarchitecture simulation:
+ *
+ *  - the run is divided into STRATA of `rate` consecutive epochs;
+ *    each stratum k measures exactly one epoch, at a seed-derived
+ *    offset splitmix64(seed ^ k) % rate — one clean sample per
+ *    stratum tracks phase drift that a global random pick would
+ *    alias;
+ *  - the epoch before each measured epoch is SIMULATED as detailed
+ *    warm-up (caches, TLBs and predictors re-converge after the
+ *    skip), but excluded from the sample — its own miss rates carry
+ *    the staleness bias the warm-up exists to absorb;
+ *  - epoch 0 is always simulated (cold-start cost is real and is
+ *    counted exactly once) but never enters the sample — scaling a
+ *    cold epoch by the sampling rate is how naive samplers
+ *    overestimate warm-up-heavy workloads; stratum 0's measured
+ *    offset is drawn from [1, rate).
+ *
+ * Every simulated interval's events are counted exactly; only the
+ * skipped epochs are estimated, each priced at its own stratum's
+ * measured epoch (nearest measured stratum when its own never
+ * completed). Same seed, same rate -> same epochs, byte-identical
+ * extrapolated results across repeat runs and job counts. rate == 1
+ * degrades to exact simulation (nothing skipped, nothing scaled).
+ */
+
+#ifndef CHERI_TRACE_APPROX_HPP
+#define CHERI_TRACE_APPROX_HPP
+
+#include "trace/trace.hpp"
+#include "uarch/pipeline.hpp"
+
+namespace cheri::trace {
+
+class ApproxSampler final : public uarch::ExecHooks
+{
+  public:
+    /**
+     * @param pipe The pipeline this sampler will be attached to; the
+     *        sampler toggles its approx-skip state at boundaries
+     *        (ExecHooks callbacks only see a const view).
+     */
+    ApproxSampler(const ApproxConfig &config, u64 seed,
+                  uarch::PipelineModel &pipe);
+
+    /** Simulate/skip decision + epoch bookkeeping at boundaries. */
+    void onEpochBoundary(const uarch::PipelineModel &pipe) override;
+
+    /** Claim the epoch slot at our configured interval. */
+    u64 epochInstructions() const override { return config_.epoch_insts; }
+
+    /**
+     * Close the (possibly partial) trailing epoch and take the
+     * report. Must be called after detaching and before
+     * PipelineModel::finish().
+     */
+    ApproxReport finish(const uarch::PipelineModel &pipe);
+
+    const ApproxConfig &config() const { return config_; }
+
+  private:
+    /** One steady-state sample: a measured epoch and its stratum. */
+    struct MeasuredEpoch
+    {
+        u64 stratum = 0;
+        pmu::EventCounts delta;
+    };
+
+    u64 measuredOffset(u64 stratum) const;
+    bool simulatedEpoch(u64 epoch) const;
+    bool measuredEpoch(u64 epoch) const;
+    pmu::EventCounts closeDelta(const uarch::PipelineModel &pipe);
+    void resync(const uarch::PipelineModel &pipe, u64 inst_now);
+
+    ApproxConfig config_;
+    u64 seed_;
+    uarch::PipelineModel &pipe_;
+
+    u64 epoch_ = 0;            //!< Index of the epoch now executing.
+    bool curSimulated_ = true; //!< Epoch 0 is always simulated.
+    u64 epochsSimulated_ = 0;
+    u64 sampledInsts_ = 0;
+    pmu::EventCounts simulatedTotals_{};
+
+    u64 prevInst_ = 0;
+    pmu::EventCounts prevCounts_{};
+    uarch::PipelineModel::LiveStats prevLive_{};
+    std::vector<MeasuredEpoch> measured_;
+    bool taken_ = false;
+};
+
+} // namespace cheri::trace
+
+#endif // CHERI_TRACE_APPROX_HPP

@@ -19,21 +19,16 @@ roundCycles(double value)
 } // namespace
 
 EpochCollector::EpochCollector(const TraceConfig &config)
-    : config_(config),
-      nextBoundary_(config.epoch_insts ? config.epoch_insts : ~0ULL)
+    : config_(config)
 {
     CHERI_ASSERT(config.epoch_insts > 0,
                  "trace epoch size must be positive");
 }
 
 void
-EpochCollector::onRetire(const uarch::PipelineModel &pipe)
+EpochCollector::onEpochBoundary(const uarch::PipelineModel &pipe)
 {
-    const u64 inst = pipe.liveCounts().get(Event::InstRetired);
-    if (inst < nextBoundary_)
-        return;
-    closeEpoch(pipe, inst);
-    nextBoundary_ = inst + config_.epoch_insts;
+    closeEpoch(pipe, pipe.liveCounts().get(Event::InstRetired));
 }
 
 void

@@ -1,19 +1,20 @@
 /**
  * @file
- * EpochCollector — the uarch::RetireHook that slices a run into
+ * EpochCollector — the ExecHooks observer that slices a run into
  * fixed-size retired-instruction epochs.
  *
  * Attached to a PipelineModel before the workload issues its first
- * op, the collector watches InstRetired and, every epoch_insts
- * instructions, snapshots the live count vector and the pipeline's
- * un-finalized cycle attribution. Each epoch's record is the delta
- * between consecutive snapshots, with the model-truth totals
- * (CpuCycles, Slots*, Stall*) synthesized into the delta counts so
- * the analysis layer treats an epoch like a miniature run.
+ * op, the collector registers an epochInstructions() interval and,
+ * at every onEpochBoundary, snapshots the live count vector and the
+ * pipeline's un-finalized cycle attribution. Each epoch's record is
+ * the delta between consecutive snapshots, with the model-truth
+ * totals (CpuCycles, Slots*, Stall*) synthesized into the delta
+ * counts so the analysis layer treats an epoch like a miniature run.
  *
  * Epoch boundaries land on exact instruction counts because the
- * pipeline retires exactly one instruction per issue() and the hook
- * fires after each.
+ * pipeline retires exactly one instruction per issue() and counts
+ * down to the boundary internally — the collector no longer pays (or
+ * imposes) a per-retire virtual call.
  */
 
 #ifndef CHERI_TRACE_COLLECTOR_HPP
@@ -24,13 +25,16 @@
 
 namespace cheri::trace {
 
-class EpochCollector final : public uarch::RetireHook
+class EpochCollector final : public uarch::ExecHooks
 {
   public:
     explicit EpochCollector(const TraceConfig &config);
 
-    /** Per-retire boundary check (hot; early-outs on non-boundaries). */
-    void onRetire(const uarch::PipelineModel &pipe) override;
+    /** Exact boundary callback (the pipeline counts down for us). */
+    void onEpochBoundary(const uarch::PipelineModel &pipe) override;
+
+    /** Claim the epoch slot at our configured interval. */
+    u64 epochInstructions() const override { return config_.epoch_insts; }
 
     /**
      * Close the trailing partial epoch (if any) and take the series.
@@ -50,7 +54,6 @@ class EpochCollector final : public uarch::RetireHook
 
     TraceConfig config_;
     EpochSeries series_;
-    u64 nextBoundary_;
     u64 prevInst_ = 0;
     u64 prevSqFullStalls_ = 0;
     pmu::EventCounts prevCounts_{};

@@ -39,6 +39,85 @@ struct TraceConfig
 };
 
 /**
+ * Sampled-simulation knobs (the CLI's --approx mode). Carried inside
+ * runner::RunRequest and folded into the cache fingerprint exactly
+ * once; approx cells never alias exact cells (they also bypass the
+ * on-disk cache entirely — extrapolated counts are estimates, not
+ * replayable ground truth).
+ *
+ * When enabled, only a deterministic, seed-derived subset of
+ * retired-instruction epochs runs through the full timing model
+ * (1-in-rate, epoch 0 always sampled for warmup fidelity); skipped
+ * epochs retire architecturally at zero model cost. Totals are
+ * extrapolated from the sampled epochs, with per-metric error bars
+ * from the across-epoch variance.
+ */
+struct ApproxConfig
+{
+    bool enabled = false;
+
+    /** Simulate 1 epoch in @c rate (>= 1; 1 = exact coverage). */
+    u64 rate = 10;
+
+    /** Retired-instruction interval per sampling epoch. */
+    u64 epoch_insts = 100'000;
+
+    bool operator==(const ApproxConfig &) const = default;
+};
+
+/**
+ * What an approx run measured: the sampling accounting the runner
+ * needs to extrapolate totals and derive error bars.
+ */
+struct ApproxReport
+{
+    u64 rate = 0;
+    u64 epochInsts = 0;
+    u64 epochsTotal = 0;     //!< Epochs the run retired (incl. tail).
+    u64 epochsSampled = 0;   //!< Measured full epochs (the sample).
+    u64 epochsSimulated = 0; //!< All full epochs through the timing
+                             //!< model: epoch 0 + warm-ups + sample.
+    u64 sampledInsts = 0;    //!< Instructions under the full model.
+    u64 totalInsts = 0;      //!< All architecturally retired insts.
+    double scale = 1.0;      //!< totalInsts / sampledInsts.
+
+    /**
+     * Sum of every fully simulated epoch's event deltas (synthesized
+     * totals included, tail excluded). These intervals — epoch 0's
+     * cold start, the detailed warm-ups, the measured sample — were
+     * really simulated, so the extrapolation counts them exactly and
+     * estimates only the skipped epochs.
+     */
+    pmu::EventCounts simulatedTotals{};
+
+    /** Partial trailing epoch: length, and whether it was simulated
+     *  (its delta is then in tailCounts and counted exactly). */
+    u64 tailInsts = 0;
+    bool tailSimulated = false;
+    pmu::EventCounts tailCounts{};
+
+    /**
+     * The sampler's whole-run estimate, built stratum by stratum:
+     * simulated intervals exact, each skipped epoch priced at its
+     * stratum's measured epoch. Only valid when `estimated` — false
+     * when nothing was skipped (the run is exact as-is) or when no
+     * measured epoch completed (short run; the caller falls back to
+     * uniform instruction-ratio scaling).
+     */
+    bool estimated = false;
+    pmu::EventCounts estimatedTotals{};
+
+    /**
+     * Per-measured-epoch event deltas (steady-state sample only:
+     * epoch 0, warm-up epochs and the tail are excluded), with the
+     * model-truth totals synthesized in — each entry feeds
+     * analysis::DerivedMetrics like a miniature run, and the mean
+     * over them prices the skipped epochs.
+     */
+    std::vector<pmu::EventCounts> epochCounts;
+};
+
+/**
  * One epoch: the count deltas and cycle attribution for a contiguous
  * retired-instruction interval [instStart, instEnd).
  *

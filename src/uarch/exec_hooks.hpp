@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ExecHooks — the unified execution-observer seam.
+ *
+ * The pipeline used to expose two ad-hoc observer slots (RetireHook
+ * for the trace layer, IssueGate for the co-run interleaver) and the
+ * runner a third (setResultHook). Every new observer forced another
+ * per-op virtual call into issue(), which is exactly the hot path the
+ * decoded-block cache wants to batch. ExecHooks folds the execution-
+ * side events into one interface with *capability queries*: the
+ * pipeline asks each attached observer what it wants (per-retire
+ * callbacks, lane-switch arbitration, an epoch interval) once at
+ * attach time and caches the answers as plain pointers/counters, so
+ * an untraced run pays one predictable null check per op and a traced
+ * run pays a counter decrement instead of a virtual call per retire.
+ *
+ * Events:
+ *  - onRetire: after every retired DynOp (only when wantsRetire()).
+ *  - onEpochBoundary: every epochInstructions() retired instructions
+ *    (exact boundaries — the pipeline counts down internally). The
+ *    trace layer's EpochCollector and the --approx sampler register
+ *    here; neither needs per-retire callbacks any more.
+ *  - onFault: the executing core raised a capability fault; fired by
+ *    sim::Core before the run is finalized.
+ *  - onLaneSwitch: at the top of every issue() with the issuing
+ *    core's id and live fractional cycle (only when
+ *    wantsLaneSwitch()). The co-run gate blocks here to timeshare N
+ *    core timelines deterministically; the name reflects what the
+ *    event means to the SoC — a potential handoff point between
+ *    lanes.
+ *
+ * Layering: defined in uarch (the pipeline dispatches the events) and
+ * re-exported as sim::ExecHooks (sim/exec_hooks.hpp), which is the
+ * name the public API uses. uarch must not depend on sim or trace.
+ */
+
+#ifndef CHERI_UARCH_EXEC_HOOKS_HPP
+#define CHERI_UARCH_EXEC_HOOKS_HPP
+
+#include "support/types.hpp"
+
+namespace cheri::uarch {
+
+class PipelineModel;
+
+class ExecHooks
+{
+  public:
+    virtual ~ExecHooks() = default;
+
+    /** After every retired op; fired only when wantsRetire(). */
+    virtual void onRetire(const PipelineModel &) {}
+
+    /**
+     * Every epochInstructions() retired instructions, with the live
+     * model state; fired only when epochInstructions() > 0. The
+     * boundary is exact: the pipeline retires one instruction per
+     * issue() and counts down internally.
+     */
+    virtual void onEpochBoundary(const PipelineModel &) {}
+
+    /** The core raised a capability fault at @p pc. */
+    virtual void onFault(const PipelineModel &, Addr /*pc*/) {}
+
+    /**
+     * Top of issue(): core @p core is about to simulate its next op
+     * at fractional cycle @p cycleF. May block (co-run arbitration).
+     * Fired only when wantsLaneSwitch().
+     */
+    virtual void onLaneSwitch(u32 /*core*/, double /*cycleF*/) {}
+
+    // --- Capability queries (sampled once at attach) ------------------
+    virtual bool wantsRetire() const { return false; }
+    virtual bool wantsLaneSwitch() const { return false; }
+    /** Retired-instruction interval for onEpochBoundary; 0 = none. */
+    virtual u64 epochInstructions() const { return 0; }
+};
+
+} // namespace cheri::uarch
+
+#endif // CHERI_UARCH_EXEC_HOOKS_HPP

@@ -20,6 +20,62 @@ PipelineModel::PipelineModel(const PipelineConfig &config,
     CHERI_ASSERT(config.width > 0 && config.mlp > 0, "bad pipeline config");
 }
 
+void
+PipelineModel::refreshHookDispatch()
+{
+    retireHook_ = nullptr;
+    laneHook_ = nullptr;
+    epochHook_ = nullptr;
+    u64 every = 0;
+    for (ExecHooks *h : hooks_) {
+        if (h->wantsRetire()) {
+            CHERI_ASSERT(retireHook_ == nullptr,
+                         "two ExecHooks claim the retire slot");
+            retireHook_ = h;
+        }
+        if (h->wantsLaneSwitch()) {
+            CHERI_ASSERT(laneHook_ == nullptr,
+                         "two ExecHooks claim the lane-switch slot");
+            laneHook_ = h;
+        }
+        if (const u64 interval = h->epochInstructions(); interval > 0) {
+            CHERI_ASSERT(epochHook_ == nullptr,
+                         "two ExecHooks claim the epoch slot");
+            epochHook_ = h;
+            every = interval;
+        }
+    }
+    // Preserve the countdown phase across attach/detach mid-run: only
+    // (re)arm when the interval provider actually changed.
+    if (every != epochEvery_) {
+        epochEvery_ = every;
+        instsToEpoch_ = every;
+    }
+}
+
+void
+PipelineModel::attachHooks(ExecHooks *hooks)
+{
+    CHERI_ASSERT(hooks != nullptr, "attachHooks(nullptr)");
+    hooks_.push_back(hooks);
+    refreshHookDispatch();
+}
+
+void
+PipelineModel::detachHooks(ExecHooks *hooks)
+{
+    hooks_.erase(std::remove(hooks_.begin(), hooks_.end(), hooks),
+                 hooks_.end());
+    refreshHookDispatch();
+}
+
+void
+PipelineModel::notifyFault(Addr pc)
+{
+    for (ExecHooks *h : hooks_)
+        h->onFault(*this, pc);
+}
+
 double
 PipelineModel::portCost(InstClass cls) const
 {
@@ -99,8 +155,16 @@ void
 PipelineModel::issue(const DynOp &op)
 {
     CHERI_ASSERT(!finished_, "issue after finish");
-    if (gate_ != nullptr)
-        gate_->onIssue(gateCore_, cycleF_);
+    if (laneHook_ != nullptr)
+        laneHook_->onLaneSwitch(laneId_, cycleF_);
+    if (approxSkip_) {
+        // Approx fast-forward: the instruction retires (architectural
+        // progress and epoch boundaries stay exact) but the timing
+        // model is skipped; the sampler extrapolates its cost later.
+        counts_.add(Event::InstRetired);
+        retireTail();
+        return;
+    }
     const InstClass cls = isa::opcodeClass(op.op);
     const u32 uops = std::max<u32>(op.uops, 1);
 
@@ -205,10 +269,9 @@ PipelineModel::issue(const DynOp &op)
         }
     }
 
-    // Observability hook: one predictable null check per retired op
-    // when tracing is off, so sweep throughput is unchanged.
-    if (hook_ != nullptr)
-        hook_->onRetire(*this);
+    // Observability: one predictable null check per retired op when
+    // tracing is off, a counter decrement when epoch-sampling is on.
+    retireTail();
 }
 
 PipelineModel::LiveStats

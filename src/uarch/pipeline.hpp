@@ -27,10 +27,15 @@
 #ifndef CHERI_UARCH_PIPELINE_HPP
 #define CHERI_UARCH_PIPELINE_HPP
 
+#include <algorithm>
+#include <vector>
+
 #include "mem/memory_system.hpp"
+#include "support/logging.hpp"
 #include "pmu/counts.hpp"
 #include "uarch/branch_predictor.hpp"
 #include "uarch/dynop.hpp"
+#include "uarch/exec_hooks.hpp"
 #include "uarch/store_queue.hpp"
 
 namespace cheri::uarch {
@@ -52,36 +57,6 @@ struct PipelineConfig
 
     BranchPredictorConfig bp{};
     StoreQueueConfig sq{};
-};
-
-class PipelineModel;
-
-/**
- * Observer invoked after every retired DynOp with the live model
- * state. The trace layer's epoch collector implements this; the
- * indirection keeps uarch free of a dependency on trace. With no hook
- * attached the per-op cost is a single predictable null check.
- */
-class RetireHook
-{
-  public:
-    virtual ~RetireHook() = default;
-    virtual void onRetire(const PipelineModel &pipe) = 0;
-};
-
-/**
- * Co-run interleave hook, called at the top of every issue() with the
- * issuing core's id and its live fractional cycle. The sim layer's
- * CorunGate implements this to timeshare N core timelines
- * deterministically in cycle order; the call may block until the core
- * is allowed to proceed. With no gate attached the per-op cost is a
- * single predictable null check.
- */
-class IssueGate
-{
-  public:
-    virtual ~IssueGate() = default;
-    virtual void onIssue(u32 core, double cycleF) = 0;
 };
 
 class PipelineModel
@@ -124,18 +99,93 @@ class PipelineModel
     /** The count vector the model increments (readable mid-run). */
     const pmu::EventCounts &liveCounts() const { return counts_; }
 
-    /** Attach/detach the per-retire observer (nullptr = none). */
-    void setRetireHook(RetireHook *hook) { hook_ = hook; }
+    /**
+     * Attach an ExecHooks observer. Its capability queries
+     * (wantsRetire / wantsLaneSwitch / epochInstructions) are sampled
+     * here and cached as plain dispatch pointers, so the per-op cost
+     * with no observers is one predictable null check and the cost
+     * with an epoch observer is one counter decrement. At most one
+     * attached observer may claim each capability (asserted): the
+     * trace collector takes the epoch slot, the co-run gate the
+     * lane-switch slot. Observers must outlive their attachment.
+     */
+    void attachHooks(ExecHooks *hooks);
+
+    /** Detach a previously attached observer. */
+    void detachHooks(ExecHooks *hooks);
+
+    /** Dispatch onFault to every attached observer (sim::Core). */
+    void notifyFault(Addr pc);
 
     /**
-     * Attach/detach the co-run interleave gate (nullptr = none).
-     * @p core is the id passed back on every onIssue().
+     * The lane id passed to onLaneSwitch (the owning core's slice
+     * index; sim::Core sets it at construction).
      */
-    void setIssueGate(IssueGate *gate, u32 core)
+    void setLaneId(u32 lane) { laneId_ = lane; }
+    u32 laneId() const { return laneId_; }
+
+    /**
+     * Approx-sampling fast-forward: while set, issue() retires
+     * instructions (InstRetired and the epoch countdown stay exact)
+     * but skips the timing model entirely — no fetch, no memory walk,
+     * no predictor, no float accounting. The --approx sampler toggles
+     * this at epoch boundaries; totals for skipped epochs are
+     * extrapolated from the sampled ones (runner layer).
+     */
+    void setApproxSkip(bool skip) { approxSkip_ = skip; }
+    bool approxSkip() const { return approxSkip_; }
+
+    /**
+     * Retire one instruction through the approx-skip fast path
+     * without materializing a DynOp: same bookkeeping as issue()
+     * under approxSkip() (lane-switch dispatch, InstRetired, retire
+     * and epoch hooks), minus the op decode the skip would discard
+     * anyway. Callers must re-check approxSkip() before every op —
+     * the epoch hook fired here can end the skipped stratum
+     * mid-sequence, and every later op must then take the full
+     * issue() path or its timing would be lost.
+     */
+    void
+    issueSkipped()
     {
-        gate_ = gate;
-        gateCore_ = core;
+        CHERI_ASSERT(!finished_, "issue after finish");
+        if (laneHook_ != nullptr)
+            laneHook_->onLaneSwitch(laneId_, cycleF_);
+        counts_.add(pmu::Event::InstRetired);
+        retireTail();
     }
+
+    /**
+     * How many ops retireSkippedBulk() may take in one call without
+     * observable effect: only up to (never through) the next epoch
+     * boundary, and only when no per-op observer (retire or
+     * lane-switch hook) is attached. Returns 0 when ops must go
+     * through issueSkipped() one at a time — in particular for the
+     * op that lands on the epoch boundary, so the epoch hook fires
+     * at exactly the same instruction either way.
+     */
+    u64
+    skipBulkBudget(u64 want) const
+    {
+        if (!approxSkip_ || retireHook_ != nullptr ||
+            laneHook_ != nullptr || epochEvery_ == 0)
+            return 0;
+        return std::min(want, instsToEpoch_ - 1);
+    }
+
+    /** Retire @p n skipped ops at once; n <= skipBulkBudget(). */
+    void
+    retireSkippedBulk(u64 n)
+    {
+        CHERI_ASSERT(!finished_ && approxSkip_ && n < instsToEpoch_,
+                     "bulk skip outside its budget");
+        counts_.add(pmu::Event::InstRetired, n);
+        retired_ += n;
+        instsToEpoch_ -= n;
+    }
+
+    /** Total instructions retired so far (exact in approx mode too). */
+    u64 retired() const { return retired_; }
 
     const BranchPredictor &predictor() const { return predictor_; }
     const StoreQueue &storeQueue() const { return sq_; }
@@ -145,15 +195,38 @@ class PipelineModel
     double portCost(isa::InstClass cls) const;
     void recordSpec(isa::InstClass cls, u64 n);
     void stallBackendMem(double cycles, mem::MemLevel level);
+    void refreshHookDispatch();
+
+    /** Retire bookkeeping shared by the full and approx-skip paths. */
+    void
+    retireTail()
+    {
+        ++retired_;
+        if (retireHook_ != nullptr)
+            retireHook_->onRetire(*this);
+        if (epochEvery_ != 0 && --instsToEpoch_ == 0) {
+            instsToEpoch_ = epochEvery_;
+            epochHook_->onEpochBoundary(*this);
+        }
+    }
 
     PipelineConfig config_;
     mem::MemorySystem &memory_;
     pmu::EventCounts &counts_;
     BranchPredictor predictor_;
     StoreQueue sq_;
-    RetireHook *hook_ = nullptr;
-    IssueGate *gate_ = nullptr;
-    u32 gateCore_ = 0;
+
+    // Attached observers plus the cached capability dispatch state
+    // refreshHookDispatch() derives from them.
+    std::vector<ExecHooks *> hooks_;
+    ExecHooks *retireHook_ = nullptr;
+    ExecHooks *laneHook_ = nullptr;
+    ExecHooks *epochHook_ = nullptr;
+    u64 epochEvery_ = 0;
+    u64 instsToEpoch_ = 0;
+    u32 laneId_ = 0;
+    bool approxSkip_ = false;
+    u64 retired_ = 0;
 
     double cycleF_ = 0.0;           //!< Master clock.
     double stallFrontendF_ = 0.0;

@@ -57,7 +57,7 @@ detail::executeCoRun(const std::vector<CorunLane> &lanes, Scale scale,
         sim::Core &core = machine.core(i);
         if (traced) {
             collectors[i].emplace(*trace_config);
-            core.pipeline().setRetireHook(&*collectors[i]);
+            core.pipeline().attachHooks(&*collectors[i]);
         }
         lanes[i].workload->run(core, lanes[i].abi, scale, seed);
     };
@@ -72,7 +72,7 @@ detail::executeCoRun(const std::vector<CorunLane> &lanes, Scale scale,
         for (u32 i : runnable)
             gate.activate(i);
         for (u32 i : runnable)
-            machine.core(i).pipeline().setIssueGate(&gate, i);
+            machine.core(i).pipeline().attachHooks(&gate);
 
         std::vector<std::thread> threads;
         threads.reserve(runnable.size());
@@ -88,7 +88,7 @@ detail::executeCoRun(const std::vector<CorunLane> &lanes, Scale scale,
         for (std::thread &t : threads)
             t.join();
         for (u32 i : runnable)
-            machine.core(i).pipeline().setIssueGate(nullptr, 0);
+            machine.core(i).pipeline().detachHooks(&gate);
     }
 
     std::vector<std::optional<sim::SimResult>> out(n);
@@ -97,7 +97,7 @@ detail::executeCoRun(const std::vector<CorunLane> &lanes, Scale scale,
         // Close the trailing epoch before finalize(), as in
         // executeWorkload().
         if (traced) {
-            core.pipeline().setRetireHook(nullptr);
+            core.pipeline().detachHooks(&*collectors[i]);
             (*epochs_out)[i] = collectors[i]->finish(core.pipeline());
         }
         out[i] = core.finalize();

@@ -1,7 +1,10 @@
 #include "workloads/registry.hpp"
 
+#include <cmath>
+
 #include "sim/machine.hpp"
 #include "support/logging.hpp"
+#include "trace/approx.hpp"
 #include "trace/collector.hpp"
 #include "trace/profile.hpp"
 #include "workloads/kernels.hpp"
@@ -82,6 +85,18 @@ detail::executeWorkload(const Workload &workload, abi::Abi abi,
                         u64 seed, const trace::TraceConfig *trace_config,
                         trace::EpochSeries *epochs_out)
 {
+    return executeWorkload(workload, abi, scale, base, seed,
+                           trace_config, epochs_out, nullptr, nullptr);
+}
+
+std::optional<sim::SimResult>
+detail::executeWorkload(const Workload &workload, abi::Abi abi,
+                        Scale scale, const sim::MachineConfig *base,
+                        u64 seed, const trace::TraceConfig *trace_config,
+                        trace::EpochSeries *epochs_out,
+                        const trace::ApproxConfig *approx_config,
+                        trace::ApproxReport *approx_out)
+{
     CHERI_TRACE_SCOPE("workloads/execute");
     if (!workload.supports(abi))
         return std::nullopt;
@@ -92,12 +107,24 @@ detail::executeWorkload(const Workload &workload, abi::Abi abi,
     sim::Machine machine(config);
 
     const bool traced = trace_config != nullptr && trace_config->enabled;
+    const bool approx =
+        approx_config != nullptr && approx_config->enabled;
     CHERI_ASSERT(!traced || epochs_out != nullptr,
                  "tracing requested without an epoch sink");
+    CHERI_ASSERT(!approx || approx_out != nullptr,
+                 "approx requested without a report sink");
+    CHERI_ASSERT(!(traced && approx),
+                 "approx and epoch tracing both need the pipeline's "
+                 "epoch slot; run them separately");
     std::optional<trace::EpochCollector> collector;
     if (traced) {
         collector.emplace(*trace_config);
-        machine.pipeline().setRetireHook(&*collector);
+        machine.pipeline().attachHooks(&*collector);
+    }
+    std::optional<trace::ApproxSampler> sampler;
+    if (approx) {
+        sampler.emplace(*approx_config, seed, machine.pipeline());
+        machine.pipeline().attachHooks(&*sampler);
     }
 
     workload.run(machine.core(0), abi, scale, seed);
@@ -106,10 +133,51 @@ detail::executeWorkload(const Workload &workload, abi::Abi abi,
     // finish() write-back would otherwise bleed whole-run totals into
     // the last interval's deltas.
     if (traced) {
-        machine.pipeline().setRetireHook(nullptr);
+        machine.pipeline().detachHooks(&*collector);
         *epochs_out = collector->finish(machine.pipeline());
     }
-    return machine.finalize();
+    if (approx) {
+        machine.pipeline().detachHooks(&*sampler);
+        *approx_out = sampler->finish(machine.pipeline());
+    }
+
+    sim::SimResult result = machine.finalize();
+
+    if (approx) {
+        const trace::ApproxReport &rep = *approx_out;
+        if (rep.estimated) {
+            // The sampler's stratified estimate: every simulated
+            // interval — epoch 0's cold start, the detailed warm-ups,
+            // the measured sample, a simulated tail — counted
+            // exactly; each skipped epoch priced at its own stratum's
+            // measured epoch, so phase drift doesn't smear one
+            // interval's CPI across the run. InstRetired inside it is
+            // already the architecturally exact total.
+            result.counts = rep.estimatedTotals;
+        } else if (rep.sampledInsts > 0 &&
+                   rep.sampledInsts < rep.totalInsts) {
+            // Short run: epochs were skipped but no measured epoch
+            // completed, so fall back to uniformly scaling the raw
+            // counts by the retired/sampled instruction ratio.
+            for (std::size_t i = 0; i < pmu::kNumEvents; ++i) {
+                const auto event = static_cast<pmu::Event>(i);
+                if (event == pmu::Event::InstRetired)
+                    continue;
+                const u64 raw = result.counts.get(event);
+                if (raw != 0)
+                    result.counts.set(
+                        event,
+                        static_cast<u64>(std::llround(
+                            static_cast<double>(raw) * rep.scale)));
+            }
+        }
+        result.instructions =
+            result.counts.get(pmu::Event::InstRetired);
+        result.cycles = result.counts.get(pmu::Event::CpuCycles);
+        result.seconds = static_cast<double>(result.cycles) /
+                         (config.clock_ghz * 1e9);
+    }
+    return result;
 }
 
 } // namespace cheri::workloads

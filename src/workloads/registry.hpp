@@ -61,6 +61,27 @@ executeWorkload(const Workload &workload, abi::Abi abi, Scale scale,
                 const trace::TraceConfig *trace_config,
                 trace::EpochSeries *epochs_out);
 
+/**
+ * As above, additionally supporting sampled (--approx) simulation.
+ * When @p approx_config is non-null and enabled, an ApproxSampler
+ * rides the pipeline, only the seed-derived 1-in-rate epoch subset
+ * runs the full timing model, and the returned SimResult's
+ * non-architectural counts are the sampler's stratified estimate
+ * (each skipped epoch priced at its own stratum's measured epoch,
+ * falling back to uniform retired/sampled scaling when no measured
+ * epoch completed); InstRetired stays exact. The accounting moves into
+ * @p approx_out (which must be non-null in that case). Approx is
+ * mutually exclusive with epoch tracing (asserted): both claim the
+ * pipeline's one epoch-boundary slot.
+ */
+std::optional<sim::SimResult>
+executeWorkload(const Workload &workload, abi::Abi abi, Scale scale,
+                const sim::MachineConfig *base, u64 seed,
+                const trace::TraceConfig *trace_config,
+                trace::EpochSeries *epochs_out,
+                const trace::ApproxConfig *approx_config,
+                trace::ApproxReport *approx_out);
+
 /** One co-run lane: a workload bound to an ABI. */
 struct CorunLane
 {

@@ -1,0 +1,60 @@
+# Hot-path acceleration CLI equivalence fixture.
+#
+# 1. `cheriperf sweep` with the accelerations on (default) and with
+#    the --no-fastpath / --no-blockcache escape hatches must print
+#    byte-identical CSV: both toggles are pure accelerations, so a
+#    single diverging digit is a model bug.
+# 2. `cheriperf sweep --approx=5` must be deterministic: identical
+#    bytes across --jobs 1 and --jobs 4 and across repeat runs.
+#
+# Invoked by ctest as:
+#   cmake -DCHERIPERF=<binary> -DWORK_DIR=<scratch> \
+#       -P cli_fastpath_equivalence.cmake
+
+if(NOT CHERIPERF)
+    message(FATAL_ERROR "pass -DCHERIPERF=<path to cheriperf binary>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(SWEEP_ARGS sweep --set table4 --scale tiny --csv --no-cache)
+
+function(run_sweep out_var)
+    execute_process(
+        COMMAND "${CHERIPERF}" ${SWEEP_ARGS} ${ARGN}
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "cheriperf sweep ${ARGN} failed (${status}):\n${stderr}")
+    endif()
+    set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+function(require_identical a b what)
+    if(NOT "${${a}}" STREQUAL "${${b}}")
+        file(WRITE "${WORK_DIR}/${a}.csv" "${${a}}")
+        file(WRITE "${WORK_DIR}/${b}.csv" "${${b}}")
+        message(FATAL_ERROR "${what}: CSV differs; see "
+                            "${WORK_DIR}/${a}.csv vs ${b}.csv")
+    endif()
+endfunction()
+
+run_sweep(accelerated --jobs 1)
+run_sweep(no_fastpath --jobs 1 --no-fastpath)
+run_sweep(no_blockcache --jobs 1 --no-blockcache)
+run_sweep(no_either --jobs 1 --no-fastpath --no-blockcache)
+require_identical(accelerated no_fastpath "--no-fastpath")
+require_identical(accelerated no_blockcache "--no-blockcache")
+require_identical(accelerated no_either "--no-fastpath --no-blockcache")
+
+run_sweep(approx_j1 --jobs 1 --approx=5)
+run_sweep(approx_j4 --jobs 4 --approx=5)
+run_sweep(approx_rep --jobs 1 --approx=5)
+require_identical(approx_j1 approx_j4 "--approx across --jobs 1/4")
+require_identical(approx_j1 approx_rep "--approx across repeats")
+
+message(STATUS "cli_fastpath_equivalence ok: accelerations are "
+               "byte-identical and --approx is deterministic")

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for --approx sampled simulation: cache-identity hygiene
+ * (approx cells must never alias exact cells, in fingerprint or on
+ * disk), determinism, the rate=1 exactness degeneration, error-bar
+ * plumbing, and the sampling-accuracy bounds the stratified
+ * extrapolation is expected to hold on the bench-smoke workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "runner/cache.hpp"
+#include "runner/runner.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::runner {
+namespace {
+
+using abi::Abi;
+using workloads::Scale;
+
+/** A fresh per-test cache directory under gtest's temp root. */
+std::string
+tempCacheDir(const std::string &tag)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir()) /
+                     ("cheriperf-approx-cache-" + tag);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+std::size_t
+cprCount(const std::string &dir)
+{
+    std::size_t n = 0;
+    if (!std::filesystem::exists(dir))
+        return 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir))
+        if (entry.path().extension() == ".cpr")
+            ++n;
+    return n;
+}
+
+RunRequest
+lbmRequest()
+{
+    return RunRequest{.workload = "519.lbm_r",
+                      .abi = Abi::Purecap,
+                      .scale = Scale::Tiny,
+                      .seed = 42};
+}
+
+TEST(ApproxFingerprint, ExactAndApproxNeverAlias)
+{
+    const RunRequest exact = lbmRequest();
+
+    RunRequest approx = exact;
+    approx.approx.enabled = true;
+    approx.approx.rate = 10;
+    EXPECT_NE(cellFingerprint(exact), cellFingerprint(approx));
+
+    // Every approx knob is part of the identity...
+    RunRequest other_rate = approx;
+    other_rate.approx.rate = 100;
+    EXPECT_NE(cellFingerprint(approx), cellFingerprint(other_rate));
+
+    RunRequest other_epoch = approx;
+    other_epoch.approx.epoch_insts = 50'000;
+    EXPECT_NE(cellFingerprint(approx), cellFingerprint(other_epoch));
+}
+
+TEST(ApproxFingerprint, DisabledKnobsFoldExactlyOnce)
+{
+    // "Approx off with junk knobs" and "approx off" are the same
+    // cell: normalized() folds the dead knobs away, so the
+    // fingerprint cannot fracture on information-free fields.
+    const RunRequest plain = lbmRequest();
+    RunRequest junk = plain;
+    junk.approx.enabled = false;
+    junk.approx.rate = 77;
+    junk.approx.epoch_insts = 123;
+
+    EXPECT_EQ(junk.normalized().approx, trace::ApproxConfig{});
+    EXPECT_EQ(cellFingerprint(plain), cellFingerprint(junk));
+
+    // Idempotence: normalizing a normalized request changes nothing.
+    const RunRequest once = junk.normalized();
+    EXPECT_EQ(once.normalized().approx, once.approx);
+}
+
+TEST(ApproxCache, ApproxCellsNeverShareAcprRecord)
+{
+    const std::string dir = tempCacheDir("bypass");
+    RunnerOptions options;
+    options.cache_dir = dir;
+    options.jobs = 1;
+
+    // An exact run populates one on-disk record...
+    const RunResult exact = run(lbmRequest(), options);
+    ASSERT_TRUE(exact.ok());
+    const std::size_t exact_records = cprCount(dir);
+    EXPECT_GE(exact_records, 1u);
+
+    // ...an approx run must neither read it (no stale exact counts
+    // surfacing as "sampled" results) nor write beside it (no
+    // extrapolated estimates masquerading as ground truth).
+    RunRequest approx_request = lbmRequest();
+    approx_request.approx.enabled = true;
+    approx_request.approx.rate = 10;
+    approx_request.approx.epoch_insts = 5'000;
+    const RunResult sampled = run(approx_request, options);
+    ASSERT_TRUE(sampled.ok());
+    EXPECT_FALSE(sampled.cacheHit);
+    EXPECT_EQ(cprCount(dir), exact_records);
+
+    // And a repeat of the approx cell simulates again.
+    const RunResult again = run(approx_request, options);
+    ASSERT_TRUE(again.ok());
+    EXPECT_FALSE(again.cacheHit);
+    EXPECT_EQ(cprCount(dir), exact_records);
+
+    // Determinism: both approx runs agree to the last count.
+    EXPECT_EQ(sampled.sim->counts, again.sim->counts);
+}
+
+TEST(ApproxSemantics, RateOneDegradesToExact)
+{
+    RunnerOptions options;
+    options.cache = false;
+    options.jobs = 1;
+
+    const RunResult exact = run(lbmRequest(), options);
+
+    RunRequest degenerate = lbmRequest();
+    degenerate.approx.enabled = true;
+    degenerate.approx.rate = 1;
+    degenerate.approx.epoch_insts = 5'000;
+    const RunResult sampled = run(degenerate, options);
+
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(sampled.ok());
+    // Nothing is skipped at rate 1, so nothing is estimated: the
+    // sampled run must reproduce the exact run bit for bit.
+    EXPECT_EQ(exact.sim->counts, sampled.sim->counts);
+    EXPECT_EQ(exact.sim->cycles, sampled.sim->cycles);
+    ASSERT_TRUE(sampled.approx.has_value());
+    EXPECT_FALSE(sampled.approx->report.estimated);
+}
+
+TEST(ApproxSemantics, ReportsAccountingAndErrorBars)
+{
+    RunnerOptions options;
+    options.cache = false;
+    options.jobs = 1;
+
+    RunRequest request = lbmRequest();
+    request.approx.enabled = true;
+    request.approx.rate = 5;
+    request.approx.epoch_insts = 2'000;
+    const RunResult result = run(request, options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result.approx.has_value());
+
+    const trace::ApproxReport &report = result.approx->report;
+    EXPECT_EQ(report.rate, 5u);
+    EXPECT_GT(report.epochsTotal, 0u);
+    EXPECT_GT(report.epochsSampled, 0u);
+    EXPECT_LE(report.epochsSampled, report.epochsSimulated);
+    EXPECT_GT(report.sampledInsts, 0u);
+    EXPECT_LE(report.sampledInsts, report.totalInsts);
+    EXPECT_EQ(report.totalInsts, result.sim->instructions)
+        << "InstRetired must stay architecturally exact";
+    EXPECT_EQ(report.epochCounts.size(), report.epochsSampled);
+
+    // Error bars: finite and non-negative for every metric.
+    for (const auto &field : analysis::allMetricFields()) {
+        const double err = result.approx->stderr_.*(field.member);
+        EXPECT_TRUE(std::isfinite(err)) << field.name;
+        EXPECT_GE(err, 0.0) << field.name;
+    }
+}
+
+/**
+ * The accuracy contract on the bench-smoke workloads: stratified
+ * sampling with detailed warm-up holds per-cell cycle error within a
+ * workload-dependent bound at rate 10 — tight for phase-uniform
+ * workloads (lbm), loose for phase-heavy pointer chasers (omnetpp) —
+ * and retired instructions are exact everywhere.
+ */
+TEST(ApproxAccuracy, CycleErrorBoundedOnBenchSmokeWorkloads)
+{
+    struct Case
+    {
+        const char *workload;
+        double bound; // Max |cycle error| fraction at rate 10.
+    };
+    // Bounds are ~2x the currently observed error at Small scale, so
+    // they catch estimator regressions without flaking on model
+    // changes that legitimately shift a workload's phase profile.
+    const Case cases[] = {
+        {"519.lbm_r", 0.02},
+        {"SQLite", 0.10},
+        {"520.omnetpp_r", 0.35},
+        {"541.leela_r", 0.35},
+    };
+
+    RunnerOptions options;
+    options.cache = false;
+    options.jobs = 1;
+
+    for (const Case &c : cases) {
+        RunRequest exact_request{.workload = c.workload,
+                                 .abi = Abi::Purecap,
+                                 .scale = Scale::Small,
+                                 .seed = 42};
+        RunRequest approx_request = exact_request;
+        approx_request.approx.enabled = true;
+        approx_request.approx.rate = 10;
+
+        const RunResult exact = run(exact_request, options);
+        const RunResult sampled = run(approx_request, options);
+        ASSERT_TRUE(exact.ok()) << c.workload;
+        ASSERT_TRUE(sampled.ok()) << c.workload;
+
+        EXPECT_EQ(exact.sim->instructions, sampled.sim->instructions)
+            << c.workload << ": retired instructions must be exact";
+
+        const double exact_cycles =
+            static_cast<double>(exact.sim->cycles);
+        const double approx_cycles =
+            static_cast<double>(sampled.sim->cycles);
+        const double rel_err =
+            std::abs(approx_cycles - exact_cycles) / exact_cycles;
+        EXPECT_LE(rel_err, c.bound)
+            << c.workload << ": exact=" << exact.sim->cycles
+            << " approx=" << sampled.sim->cycles;
+    }
+}
+
+} // namespace
+} // namespace cheri::runner

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Bit-identity regression suite for the two hot-path accelerations:
+ * the DMI-style memory fast path (mem::MemConfig::fast_path) and the
+ * decoded-block cache (sim::MachineConfig::block_cache). Both are
+ * pure accelerations — every count, cycle and derived number must be
+ * byte-identical with the toggle on or off, across the whole workload
+ * registry and in multi-lane co-runs — which is also why neither
+ * toggle is part of the result-cache fingerprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::workloads {
+namespace {
+
+using abi::Abi;
+using isa::Cond;
+using isa::ProgramBuilder;
+
+constexpr auto &kAbis = abi::kAllAbis;
+
+void
+expectIdentical(const sim::SimResult &a, const sim::SimResult &b,
+                const std::string &label)
+{
+    EXPECT_EQ(a.counts, b.counts) << label;
+    EXPECT_EQ(a.instructions, b.instructions) << label;
+    EXPECT_EQ(a.cycles, b.cycles) << label;
+    EXPECT_EQ(a.seconds, b.seconds) << label;
+    EXPECT_EQ(a.halted, b.halted) << label;
+}
+
+/**
+ * Every workload x every supported ABI: the fast path must not move a
+ * single count. This is the guard that lets the fast path skip the
+ * full cache walk only where it proved the walk state-invisible.
+ */
+TEST(FastPathEquivalence, RegistryWideBitIdentity)
+{
+    const auto pool = allWorkloads();
+    for (const auto &workload : pool) {
+        for (const Abi abi : kAbis) {
+            if (!workload->supports(abi))
+                continue;
+            sim::MachineConfig on = sim::MachineConfig::forAbi(abi);
+            on.mem.fast_path = true;
+            sim::MachineConfig off = on;
+            off.mem.fast_path = false;
+
+            const auto fast = detail::executeWorkload(
+                *workload, abi, Scale::Tiny, &on, 42);
+            const auto slow = detail::executeWorkload(
+                *workload, abi, Scale::Tiny, &off, 42);
+            ASSERT_EQ(fast.has_value(), slow.has_value());
+            if (fast)
+                expectIdentical(*fast, *slow,
+                                workload->info().name + " @ " +
+                                    abi::abiName(abi));
+        }
+    }
+}
+
+/**
+ * Two lanes racing on the shared uncore: the fast path's hit proofs
+ * must stay valid under cross-core interleaving (a line another core
+ * can evict is not a provable hit), so the co-run interleave must be
+ * byte-identical with the toggle off.
+ */
+TEST(FastPathEquivalence, TwoLaneCorunBitIdentity)
+{
+    const auto pool = allWorkloads();
+    const Workload *omnetpp = findWorkload(pool, "520.omnetpp_r");
+    const Workload *lbm = findWorkload(pool, "519.lbm_r");
+    ASSERT_NE(omnetpp, nullptr);
+    ASSERT_NE(lbm, nullptr);
+    const std::vector<detail::CorunLane> lanes = {
+        {omnetpp, Abi::Purecap}, {lbm, Abi::Purecap}};
+
+    sim::MachineConfig on = sim::MachineConfig::forAbi(Abi::Purecap);
+    on.mem.fast_path = true;
+    sim::MachineConfig off = on;
+    off.mem.fast_path = false;
+
+    const auto fast = detail::executeCoRun(lanes, Scale::Tiny, &on, 42);
+    const auto slow =
+        detail::executeCoRun(lanes, Scale::Tiny, &off, 42);
+    ASSERT_EQ(fast.size(), lanes.size());
+    ASSERT_EQ(slow.size(), lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        ASSERT_EQ(fast[i].has_value(), slow[i].has_value());
+        if (fast[i])
+            expectIdentical(*fast[i], *slow[i],
+                            "corun lane " + std::to_string(i));
+    }
+}
+
+/**
+ * A branchy static program with calls and loops; DDC-relative memory
+ * ops only when @p with_memory (legal under hybrid, a capability
+ * fault under the purecap ABIs).
+ */
+isa::Program
+staticProgram(bool with_memory)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const isa::BlockId main_entry = pb.currentBlock();
+    pb.beginFunction("callee");
+    pb.addImm(5, 5, 3).ret(false);
+    pb.atBlock(main_entry);
+    pb.movImm(1, 0).movImm(2, 25).movImm(3, 0x5000);
+    const auto loop = pb.newBlock();
+    pb.jump(loop);
+    pb.atBlock(loop);
+    if (with_memory)
+        pb.str(1, 3, 0).ldr(4, 3, 0).addImm(1, 4, 1);
+    else
+        pb.addImm(1, 1, 1);
+    pb.callBlock(pb.program().function(1).entry, false);
+    pb.subImm(2, 2, 1).cmpImm(2, 0);
+    pb.branchCond(Cond::Ne, loop);
+    const auto done = pb.newBlock();
+    pb.atBlock(done);
+    pb.halt();
+    return pb.finish();
+}
+
+/**
+ * Replaying a program from a warm shared BlockCache must be
+ * bit-identical to decoding it fresh (config.block_cache = false) —
+ * the never-invalidated cache is safe because programs are immutable
+ * and decode is deterministic.
+ */
+TEST(BlockCacheEquivalence, SharedVsThrowawayBitIdentity)
+{
+    const isa::Program prog = staticProgram(/*with_memory=*/true);
+    sim::BlockCache shared;
+    sim::NullExecHooks hooks;
+
+    sim::MachineConfig cached =
+        sim::MachineConfig::forAbi(Abi::Hybrid);
+    cached.block_cache = true;
+    sim::MachineConfig fresh = cached;
+    fresh.block_cache = false;
+
+    // Two runs against the same shared cache: the second replays
+    // every block from the decoded form (no new misses).
+    sim::Machine first(cached);
+    const auto cold = first.run(prog, shared, hooks);
+    const u64 misses_after_cold = shared.misses();
+    sim::Machine second(cached);
+    const auto warm = second.run(prog, shared, hooks);
+    EXPECT_EQ(shared.misses(), misses_after_cold)
+        << "second run must decode nothing new";
+    EXPECT_GT(shared.hits(), 0u);
+    EXPECT_GT(shared.opsReplayed(), 0u);
+
+    // And a run that bypasses the shared cache entirely.
+    sim::Machine bypass(fresh);
+    const auto throwaway = bypass.run(prog, shared, hooks);
+    EXPECT_EQ(shared.misses(), misses_after_cold)
+        << "block_cache=false must not touch the shared cache";
+
+    expectIdentical(cold, warm, "cold vs warm shared cache");
+    expectIdentical(cold, throwaway, "shared vs throwaway cache");
+    EXPECT_TRUE(cold.halted);
+}
+
+/**
+ * Hybrid and purecap decode the same program differently (capability
+ * branches), so one shared cache serving both ABIs must keep the
+ * entries distinct rather than alias them.
+ */
+TEST(BlockCacheEquivalence, PerAbiEntriesDoNotAlias)
+{
+    const isa::Program prog = staticProgram(/*with_memory=*/false);
+    sim::BlockCache shared;
+    sim::NullExecHooks hooks;
+
+    sim::Machine hybrid(sim::MachineConfig::forAbi(Abi::Hybrid));
+    const auto h = hybrid.run(prog, shared, hooks);
+    sim::Machine purecap(sim::MachineConfig::forAbi(Abi::Purecap));
+    const auto p = purecap.run(prog, shared, hooks);
+
+    // Same architectural work either way...
+    EXPECT_EQ(h.instructions, p.instructions);
+    EXPECT_TRUE(h.halted);
+    EXPECT_TRUE(p.halted);
+
+    // ...and each ABI must match a solo run that never saw the other
+    // ABI's decoded entries.
+    sim::BlockCache solo_cache;
+    sim::Machine solo(sim::MachineConfig::forAbi(Abi::Purecap));
+    const auto p_solo = solo.run(prog, solo_cache, hooks);
+    expectIdentical(p, p_solo, "purecap via shared vs solo cache");
+}
+
+} // namespace
+} // namespace cheri::workloads

@@ -43,16 +43,24 @@ runProxy(const workloads::Workload &workload, Abi abi, Scale scale,
  * Runner-level invariant gate: every result any integration test
  * produces is audited against the conservation laws as it comes out
  * of the runner, so a model change that breaks a law fails the suite
- * even if no assertion looks at the affected counter.
+ * even if no assertion looks at the affected counter. Registered via
+ * the RunObserver seam (the plan-level face of the ExecHooks
+ * redesign).
  */
-void
-invariantGate(const runner::RunResult &result)
+class InvariantGate final : public runner::RunObserver
 {
-    for (const auto &v : verify::checkRunInvariants(result))
-        ADD_FAILURE() << "run invariant violated for "
-                      << result.request.workload << ": " << v.name
-                      << " (" << v.detail << ")";
-}
+  public:
+    void
+    onResult(const runner::RunResult &result) override
+    {
+        for (const auto &v : verify::checkRunInvariants(result))
+            ADD_FAILURE() << "run invariant violated for "
+                          << result.request.workload << ": " << v.name
+                          << " (" << v.detail << ")";
+    }
+};
+
+InvariantGate gInvariantGate;
 
 class IntegrationTest : public ::testing::Test
 {
@@ -62,13 +70,13 @@ class IntegrationTest : public ::testing::Test
     {
         pool_ = new std::vector<std::unique_ptr<workloads::Workload>>(
             workloads::allWorkloads());
-        previous_hook_ = runner::setResultHook(&invariantGate);
+        previous_observer_ = runner::setRunObserver(&gInvariantGate);
     }
 
     static void
     TearDownTestSuite()
     {
-        runner::setResultHook(previous_hook_);
+        runner::setRunObserver(previous_observer_);
         delete pool_;
         pool_ = nullptr;
     }
@@ -90,12 +98,12 @@ class IntegrationTest : public ::testing::Test
     }
 
     static std::vector<std::unique_ptr<workloads::Workload>> *pool_;
-    static runner::ResultHook previous_hook_;
+    static runner::RunObserver *previous_observer_;
 };
 
 std::vector<std::unique_ptr<workloads::Workload>> *IntegrationTest::pool_ =
     nullptr;
-runner::ResultHook IntegrationTest::previous_hook_ = nullptr;
+runner::RunObserver *IntegrationTest::previous_observer_ = nullptr;
 
 TEST_F(IntegrationTest, PointerIntensiveWorkloadsSufferMost)
 {

@@ -33,14 +33,24 @@
  *   --set table3|table4|all    sweep workload set (default all)
  *   --raw                      print raw PMU events too
  *   --csv                      machine-readable output
- *   --profile                  simulator self-profile report on stderr
+ *   --approx[=N]               sampled sweep mode: simulate 1-in-N
+ *                              epochs (default 10), extrapolate totals,
+ *                              report per-metric error bars
+ *   --trace=LIST               comma-list of observability sinks:
+ *                              epochs[:N] (epoch JSONL, N insts per
+ *                              epoch) and profile (simulator
+ *                              self-profile + hot-path telemetry on
+ *                              stderr)
  *
- * Tracing (trace command, or sweep --emit-epochs):
+ * Deprecated aliases (one-line migration hint on stderr):
+ *   --emit-epochs  -> --trace=epochs
+ *   --epoch N      -> --trace=epochs:N   (still primary for `trace`)
+ *   --profile      -> --trace=profile
+ *
+ * Tracing (trace command, or sweep --trace=epochs):
  *   --epoch N                  retired insts per epoch (default 100000)
  *   --out PATH                 JSONL destination (trace: stdout when
  *                              omitted; sweep: epochs.jsonl)
- *   --emit-epochs              sweep only: trace every cell, write the
- *                              concatenated JSONL in plan order
  *
  * Verification (verify command):
  *   --seed N --iters M --jobs N --suite cap|mem|invariants|all
@@ -61,6 +71,7 @@
 #include "support/fmt.hpp"
 #include "support/serialize.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/profile.hpp"
 #include "verify/verify.hpp"
@@ -93,6 +104,10 @@ struct Options
     std::string out;
     bool emit_epochs = false;
     bool profile = false;
+    bool approx = false;
+    u64 approx_rate = 10;
+    bool fast_path = true;   //!< Hidden escape hatch (--no-fastpath).
+    bool block_cache = true; //!< Hidden escape hatch (--no-blockcache).
 
     // verify command.
     u64 iters = 100'000;
@@ -117,7 +132,7 @@ usage(int code)
         "    --scale tiny|small|ref   --seed N\n"
         "    --cap-aware-bp  --wide-sq  --tag-latency N  --l1d-kib N\n"
         "    --jobs N  --cores N  --no-cache  --cache-dir PATH\n"
-        "    --raw  --csv  --profile\n"
+        "    --raw  --csv  --approx[=N]  --trace=epochs[:N],profile\n"
         "  corun <w1[@abi]> [w2[@abi] ...] options:\n"
         "    --cores N (default #lanes; extra cores replicate lanes\n"
         "    round-robin)  --abi NAME (default for bare lanes)\n"
@@ -133,6 +148,63 @@ usage(int code)
         "    --replay LINE  --corpus-dir PATH  --cache-dir PATH\n"
         "    --inject-representability-bug   (negative self-test)\n");
     std::exit(code);
+}
+
+/**
+ * Apply one --trace list entry: "epochs", "epochs:N" or "profile".
+ * The consolidated spelling of the deprecated --emit-epochs /
+ * --epoch / --profile trio.
+ */
+void
+applyTraceItem(Options &opt, const std::string &item)
+{
+    if (item == "profile") {
+        opt.profile = true;
+        return;
+    }
+    if (item == "epochs" || item.rfind("epochs:", 0) == 0) {
+        opt.emit_epochs = true;
+        if (const auto colon = item.find(':');
+            colon != std::string::npos) {
+            const auto n = parseU64(item.substr(colon + 1));
+            if (!n || *n == 0) {
+                std::fprintf(stderr,
+                             "--trace=epochs:N expects a positive "
+                             "count, got '%s'\n",
+                             item.c_str());
+                usage(1);
+            }
+            opt.epoch_insts = *n;
+        }
+        return;
+    }
+    std::fprintf(stderr,
+                 "unknown --trace item '%s' (expected "
+                 "epochs[:N] or profile)\n",
+                 item.c_str());
+    usage(1);
+}
+
+void
+applyTraceList(Options &opt, const std::string &list)
+{
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string item =
+            list.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (item.empty()) {
+            std::fprintf(stderr, "empty --trace item in '%s'\n",
+                         list.c_str());
+            usage(1);
+        }
+        applyTraceItem(opt, item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
 }
 
 Options
@@ -207,6 +279,27 @@ parse(int argc, char **argv)
             opt.raw = true;
         } else if (arg == "--csv") {
             opt.csv = true;
+        } else if (arg == "--trace") {
+            applyTraceList(opt, next());
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            applyTraceList(opt, arg.substr(8));
+        } else if (arg == "--approx") {
+            opt.approx = true;
+        } else if (arg.rfind("--approx=", 0) == 0) {
+            const auto n = parseU64(arg.substr(9));
+            if (!n || *n == 0) {
+                std::fprintf(stderr,
+                             "--approx=N expects a positive sampling "
+                             "rate, got '%s'\n",
+                             arg.c_str());
+                usage(1);
+            }
+            opt.approx = true;
+            opt.approx_rate = *n;
+        } else if (arg == "--no-fastpath") {
+            opt.fast_path = false;
+        } else if (arg == "--no-blockcache") {
+            opt.block_cache = false;
         } else if (arg == "--epoch") {
             const std::string s = next();
             const auto n = parseU64(s);
@@ -218,6 +311,11 @@ parse(int argc, char **argv)
                 usage(1);
             }
             opt.epoch_insts = *n;
+            if (opt.command != "trace")
+                std::fprintf(stderr,
+                             "note: --epoch is deprecated; use "
+                             "--trace=epochs:%llu\n",
+                             static_cast<unsigned long long>(*n));
         } else if (arg == "--out") {
             opt.out = next();
         } else if (arg == "--iters") {
@@ -241,8 +339,12 @@ parse(int argc, char **argv)
             opt.inject_bug = true;
         } else if (arg == "--emit-epochs") {
             opt.emit_epochs = true;
+            std::fprintf(stderr, "note: --emit-epochs is deprecated; "
+                                 "use --trace=epochs\n");
         } else if (arg == "--profile") {
             opt.profile = true;
+            std::fprintf(stderr, "note: --profile is deprecated; use "
+                                 "--trace=profile\n");
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else if (arg.rfind("--", 0) != 0 && opt.command == "trace" &&
@@ -258,6 +360,19 @@ parse(int argc, char **argv)
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage(1);
         }
+    }
+
+    if (opt.approx && opt.emit_epochs) {
+        std::fprintf(stderr,
+                     "--approx and --trace=epochs are mutually "
+                     "exclusive (both need the pipeline's epoch "
+                     "slot)\n");
+        usage(1);
+    }
+    if (opt.approx &&
+        (opt.command == "corun" || opt.command == "trace")) {
+        std::fprintf(stderr, "--approx only applies to run/sweep\n");
+        usage(1);
     }
     return opt;
 }
@@ -287,7 +402,18 @@ requestFor(const Options &opt, const std::string &workload, abi::Abi abi)
     config.pipe.sq.wide_entries = opt.wide_sq;
     config.mem.tag_extra_latency = opt.tag_latency;
     config.mem.l1d.size_bytes = opt.l1d_kib * kKiB;
+    // Bit-identical acceleration escape hatches; not part of the
+    // cell's fingerprint (the equivalence suite proves both settings
+    // agree).
+    config.mem.fast_path = opt.fast_path;
+    config.block_cache = opt.block_cache;
     request.config = config;
+
+    if (opt.approx) {
+        request.approx.enabled = true;
+        request.approx.rate = opt.approx_rate;
+        request.approx.epoch_insts = opt.epoch_insts;
+    }
     return request;
 }
 
@@ -330,6 +456,21 @@ printResult(const Options &opt, const runner::RunResult &run)
         for (const auto &field : analysis::allMetricFields())
             std::printf("%s,%s\n", field.name.c_str(),
                         fmt::metric(metrics.*(field.member)).c_str());
+        if (run.approx) {
+            const auto &a = *run.approx;
+            std::printf("approx_rate,%llu\napprox_epochs_sampled,%llu\n"
+                        "approx_epochs_total,%llu\napprox_scale,%s\n",
+                        static_cast<unsigned long long>(a.report.rate),
+                        static_cast<unsigned long long>(
+                            a.report.epochsSampled),
+                        static_cast<unsigned long long>(
+                            a.report.epochsTotal),
+                        fmt::metric(a.report.scale).c_str());
+            for (const auto &field : analysis::allMetricFields())
+                std::printf(
+                    "%s_err,%s\n", field.name.c_str(),
+                    fmt::metric(a.stderr_.*(field.member)).c_str());
+        }
     } else {
         std::printf("--- %s\n", abi::abiName(abi));
         std::printf("  instructions %llu  cycles %llu  IPC %.3f  model "
@@ -359,6 +500,20 @@ printResult(const Options &opt, const runner::RunResult &run)
                     metrics.capTagOverhead * 100);
         std::printf("  branch MR %.2f%%  MI %.3f\n",
                     metrics.branchMissRate * 100, metrics.memoryIntensity);
+        if (run.approx) {
+            const auto &a = run.approx->report;
+            std::printf("  approx: 1-in-%llu epochs sampled (%llu/%llu,"
+                        " %.1f%% of insts), totals x%.2f, ipc +/- "
+                        "%.4f\n",
+                        static_cast<unsigned long long>(a.rate),
+                        static_cast<unsigned long long>(a.epochsSampled),
+                        static_cast<unsigned long long>(a.epochsTotal),
+                        a.totalInsts
+                            ? 100.0 * static_cast<double>(a.sampledInsts) /
+                                  static_cast<double>(a.totalInsts)
+                            : 0.0,
+                        a.scale, run.approx->stderr_.ipc);
+        }
     }
 
     if (opt.raw)
@@ -550,17 +705,30 @@ cmdSweep(const Options &opt)
 
     if (opt.csv) {
         // One flat CSV row per cell, byte-identical for any --jobs.
+        // --approx appends the sampling provenance plus a per-metric
+        // error-bar column block (<name>_err = standard error of the
+        // metric across sampled epochs), so approx CSVs are
+        // schema-distinguishable from exact ones at a glance.
         std::printf("workload,abi,instructions,cycles,seconds");
         for (const auto &field : analysis::allMetricFields())
             std::printf(",%s", field.name.c_str());
+        if (opt.approx) {
+            std::printf(",approx_rate,approx_epochs_sampled,"
+                        "approx_epochs_total,approx_scale");
+            for (const auto &field : analysis::allMetricFields())
+                std::printf(",%s_err", field.name.c_str());
+        }
         std::printf("\n");
         for (const auto &run : outcome.results) {
+            const std::size_t metric_cols =
+                analysis::allMetricFields().size() +
+                (opt.approx ? 4 + analysis::allMetricFields().size()
+                            : 0);
             std::printf("%s,%s", run.request.workload.c_str(),
                         abi::abiName(run.request.abi));
             if (!run.ok()) {
                 std::printf(",NA,NA,NA");
-                for (std::size_t i = 0;
-                     i < analysis::allMetricFields().size(); ++i)
+                for (std::size_t i = 0; i < metric_cols; ++i)
                     std::printf(",NA");
                 std::printf("\n");
                 continue;
@@ -574,6 +742,27 @@ cmdSweep(const Options &opt)
                 std::printf(
                     ",%s",
                     fmt::metric(run.metrics.*(field.member)).c_str());
+            if (opt.approx) {
+                if (run.approx) {
+                    const auto &a = *run.approx;
+                    std::printf(
+                        ",%llu,%llu,%llu,%s",
+                        static_cast<unsigned long long>(a.report.rate),
+                        static_cast<unsigned long long>(
+                            a.report.epochsSampled),
+                        static_cast<unsigned long long>(
+                            a.report.epochsTotal),
+                        fmt::metric(a.report.scale).c_str());
+                    for (const auto &field : analysis::allMetricFields())
+                        std::printf(",%s",
+                                    fmt::metric(a.stderr_.*(field.member))
+                                        .c_str());
+                } else {
+                    for (std::size_t i = 0;
+                         i < 4 + analysis::allMetricFields().size(); ++i)
+                        std::printf(",NA");
+                }
+            }
             std::printf("\n");
         }
     } else {
@@ -854,7 +1043,9 @@ main(int argc, char **argv)
 
     const int rc = dispatch(opt);
 
-    if (profiling)
+    if (profiling) {
         std::fprintf(stderr, "%s", trace::Profiler::report().c_str());
+        telemetry::report(stderr);
+    }
     return rc;
 }
