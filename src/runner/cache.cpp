@@ -3,6 +3,10 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include "pmu/events.hpp"
 #include "support/hash.hpp"
 #include "support/serialize.hpp"
@@ -209,6 +213,57 @@ ResultCache::store(const RunRequest &request, u64 key,
                      result.counts.get(event));
     }
     writeFileAtomic(entryPath(key), record.text());
+}
+
+std::string
+CacheDirLock::lockPath(const std::string &dir)
+{
+    return dir + "/.lock";
+}
+
+std::optional<CacheDirLock>
+CacheDirLock::tryAcquire(const std::string &dir, Mode mode)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return std::nullopt;
+
+    const int fd = ::open(lockPath(dir).c_str(),
+                          O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return std::nullopt;
+    const int op = (mode == Mode::Shared ? LOCK_SH : LOCK_EX) | LOCK_NB;
+    if (::flock(fd, op) != 0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    return CacheDirLock(fd);
+}
+
+CacheDirLock::CacheDirLock(CacheDirLock &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+CacheDirLock &
+CacheDirLock::operator=(CacheDirLock &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+CacheDirLock::~CacheDirLock()
+{
+    // Closing the descriptor releases the flock.
+    if (fd_ >= 0)
+        ::close(fd_);
 }
 
 std::size_t

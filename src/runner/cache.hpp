@@ -43,6 +43,42 @@ inline constexpr u64 kCacheSchemaVersion = 4;
 /** The cache key for @p request (see file comment for coverage). */
 u64 cellFingerprint(const RunRequest &request);
 
+/**
+ * Advisory flock(2) lock on a cache directory.
+ *
+ * A long-lived daemon holds the lock Shared for its whole run;
+ * destructive maintenance (`cheriperf clear-cache`) must take it
+ * Exclusive and therefore refuses to race live `.cpr` writes. The
+ * lock file itself (".lock") lives inside the cache dir and is never
+ * treated as a cache entry.
+ */
+class CacheDirLock
+{
+  public:
+    enum class Mode { Shared, Exclusive };
+
+    /**
+     * Try to take the lock without blocking. nullopt when another
+     * process holds a conflicting lock (or the dir cannot be
+     * created). Held until the returned object is destroyed.
+     */
+    static std::optional<CacheDirLock> tryAcquire(const std::string &dir,
+                                                  Mode mode);
+
+    /** Path of the lock file guarding @p dir. */
+    static std::string lockPath(const std::string &dir);
+
+    CacheDirLock(CacheDirLock &&other) noexcept;
+    CacheDirLock &operator=(CacheDirLock &&other) noexcept;
+    CacheDirLock(const CacheDirLock &) = delete;
+    CacheDirLock &operator=(const CacheDirLock &) = delete;
+    ~CacheDirLock();
+
+  private:
+    explicit CacheDirLock(int fd) : fd_(fd) {}
+    int fd_ = -1;
+};
+
 class ResultCache
 {
   public:

@@ -1,0 +1,127 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "serve/http.hpp"
+#include "support/serialize.hpp"
+
+namespace cheri::serve {
+
+namespace {
+
+/** Resolve the daemon port: --port wins, else poll the port file. */
+std::optional<u16>
+resolvePort(const SubmitOptions &options)
+{
+    if (options.port != 0)
+        return options.port;
+    if (options.port_file.empty()) {
+        std::fprintf(stderr,
+                     "submit: need --port or --port-file to find the "
+                     "daemon\n");
+        return std::nullopt;
+    }
+    // The daemon writes the file atomically right after bind; poll
+    // briefly so `serve &` + `submit` races resolve themselves.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        if (const auto text = readFile(options.port_file)) {
+            if (const auto port = parseU64(
+                    text->substr(0, text->find('\n'))))
+                if (*port > 0 && *port <= 65535)
+                    return static_cast<u16>(*port);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::fprintf(stderr, "submit: no daemon port in %s after 10s\n",
+                 options.port_file.c_str());
+    return std::nullopt;
+}
+
+int
+statusToExit(int http_status, const std::string &body)
+{
+    switch (http_status) {
+    case 400:
+        std::fprintf(stderr, "submit: rejected: %s", body.c_str());
+        return 2;
+    case 429:
+        std::fprintf(stderr, "submit: queue full, retry later\n");
+        return 3;
+    case 503:
+        std::fprintf(stderr, "submit: daemon is draining\n");
+        return 4;
+    default:
+        std::fprintf(stderr, "submit: HTTP %d: %s", http_status,
+                     body.c_str());
+        return 1;
+    }
+}
+
+} // namespace
+
+int
+runSubmitClient(const SubmitOptions &options)
+{
+    const auto port = resolvePort(options);
+    if (!port)
+        return 1;
+    const std::string body = jobSpecJsonl(options.spec);
+    std::string error;
+
+    if (!options.stream) {
+        const auto response =
+            httpRequest(*port, "POST", "/v1/jobs", body, &error);
+        if (!response) {
+            std::fprintf(stderr, "submit: %s\n", error.c_str());
+            return 1;
+        }
+        if (response->status != 200)
+            return statusToExit(response->status, response->body);
+        std::fwrite(response->body.data(), 1, response->body.size(),
+                    stdout);
+        return 0;
+    }
+
+    const auto ack =
+        httpRequest(*port, "POST", "/v1/jobs?wait=0", body, &error);
+    if (!ack) {
+        std::fprintf(stderr, "submit: %s\n", error.c_str());
+        return 1;
+    }
+    if (ack->status != 202)
+        return statusToExit(ack->status, ack->body);
+
+    // Pull the job id out of the ack: {"job":"<hex>",...}.
+    const std::string marker = "\"job\":\"";
+    const auto at = ack->body.find(marker);
+    const auto end = at == std::string::npos
+                         ? std::string::npos
+                         : ack->body.find('"', at + marker.size());
+    if (at == std::string::npos || end == std::string::npos) {
+        std::fprintf(stderr, "submit: malformed ack: %s",
+                     ack->body.c_str());
+        return 1;
+    }
+    const std::string id =
+        ack->body.substr(at + marker.size(),
+                         end - at - marker.size());
+    std::fprintf(stderr, "submit: job %s accepted, streaming\n",
+                 id.c_str());
+
+    const bool ok = httpStream(
+        *port, "/v1/jobs/" + id + "/stream",
+        [](std::string_view line) {
+            std::fwrite(line.data(), 1, line.size(), stdout);
+            return true;
+        },
+        &error);
+    if (!ok) {
+        std::fprintf(stderr, "submit: %s\n", error.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace cheri::serve

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * `cheriperf submit` — the bundled client for the experiment daemon.
+ *
+ * Default mode is fully synchronous: POST the job, block, write the
+ * CSV response verbatim to stdout — so `cheriperf submit ... >
+ * out.csv` is byte-for-byte interchangeable with `cheriperf sweep
+ * ... --csv > out.csv` (the determinism contract CI diffs). --stream
+ * instead submits asynchronously and relays the job's NDJSON
+ * telemetry stream (live epochs + cell trailers) to stdout.
+ *
+ * Exit codes: 0 ok, 1 transport/protocol error, 2 bad request,
+ * 3 queue full (retry later), 4 daemon draining.
+ */
+
+#ifndef CHERI_SERVE_CLIENT_HPP
+#define CHERI_SERVE_CLIENT_HPP
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace cheri::serve {
+
+struct SubmitOptions
+{
+    u16 port = 0;          //!< Direct port, or 0 to use port_file.
+    std::string port_file; //!< Polled (~10 s) until it appears.
+    bool stream = false;
+    JobSpec spec;
+};
+
+int runSubmitClient(const SubmitOptions &options);
+
+} // namespace cheri::serve
+
+#endif // CHERI_SERVE_CLIENT_HPP

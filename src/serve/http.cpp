@@ -1,0 +1,305 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace cheri::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 4 * 1024 * 1024;
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+    case 200:
+        return "OK";
+    case 202:
+        return "Accepted";
+    case 400:
+        return "Bad Request";
+    case 404:
+        return "Not Found";
+    case 429:
+        return "Too Many Requests";
+    case 500:
+        return "Internal Server Error";
+    case 503:
+        return "Service Unavailable";
+    default:
+        return "Unknown";
+    }
+}
+
+/** Case-insensitive "Header-Name:" scan over a CRLF header block. */
+std::optional<std::string>
+findHeader(const std::string &head, std::string_view name)
+{
+    std::size_t pos = 0;
+    while (pos < head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos)
+            eol = head.size();
+        const std::string_view line(head.data() + pos, eol - pos);
+        const std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos &&
+            colon == name.size()) {
+            bool match = true;
+            for (std::size_t i = 0; i < name.size(); ++i)
+                if (std::tolower(static_cast<unsigned char>(line[i])) !=
+                    std::tolower(static_cast<unsigned char>(name[i]))) {
+                    match = false;
+                    break;
+                }
+            if (match) {
+                std::size_t v = colon + 1;
+                while (v < line.size() &&
+                       (line[v] == ' ' || line[v] == '\t'))
+                    ++v;
+                return std::string(line.substr(v));
+            }
+        }
+        pos = eol + 2;
+    }
+    return std::nullopt;
+}
+
+/** Read until the header/body separator; body prefix spills to @p rest. */
+bool
+readHead(net::Socket &sock, std::string *head, std::string *rest,
+         std::string *error)
+{
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        const std::size_t sep = buf.find("\r\n\r\n");
+        if (sep != std::string::npos) {
+            *head = buf.substr(0, sep + 2);
+            *rest = buf.substr(sep + 4);
+            return true;
+        }
+        if (buf.size() > kMaxHeaderBytes) {
+            *error = "oversized header block";
+            return false;
+        }
+        const long n = net::recvSome(sock, chunk, sizeof(chunk));
+        if (n <= 0) {
+            *error = n == 0 ? "connection closed mid-header"
+                            : "recv failed";
+            return false;
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+readExact(net::Socket &sock, std::string *buf, std::size_t want,
+          std::string *error)
+{
+    char chunk[4096];
+    while (buf->size() < want) {
+        const long n = net::recvSome(
+            sock, chunk,
+            std::min(sizeof(chunk), want - buf->size()));
+        if (n <= 0) {
+            *error = "connection closed mid-body";
+            return false;
+        }
+        buf->append(chunk, static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+readHttpRequest(net::Socket &sock, HttpRequest *out, std::string *error)
+{
+    std::string head;
+    std::string body;
+    if (!readHead(sock, &head, &body, error))
+        return false;
+
+    // Request line: METHOD SP TARGET SP VERSION CRLF.
+    const std::size_t eol = head.find("\r\n");
+    const std::string line = head.substr(0, eol);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        *error = "malformed request line";
+        return false;
+    }
+    out->method = line.substr(0, sp1);
+    out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    std::size_t content_length = 0;
+    if (const auto cl = findHeader(head, "Content-Length")) {
+        content_length =
+            static_cast<std::size_t>(std::strtoull(cl->c_str(),
+                                                   nullptr, 10));
+        if (content_length > kMaxBodyBytes) {
+            *error = "oversized body";
+            return false;
+        }
+    }
+    if (body.size() > content_length) {
+        *error = "body longer than Content-Length";
+        return false;
+    }
+    if (!readExact(sock, &body, content_length, error))
+        return false;
+    out->body = std::move(body);
+    return true;
+}
+
+bool
+writeHttpResponse(net::Socket &sock, int status,
+                  std::string_view content_type, std::string_view body,
+                  std::string_view extra_headers)
+{
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       statusText(status) + "\r\n";
+    head += "Content-Type: ";
+    head += content_type;
+    head += "\r\nContent-Length: " + std::to_string(body.size()) +
+            "\r\n";
+    head += extra_headers;
+    head += "Connection: close\r\n\r\n";
+    return net::sendAll(sock, head) && net::sendAll(sock, body);
+}
+
+bool
+beginHttpStream(net::Socket &sock, int status,
+                std::string_view content_type)
+{
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       statusText(status) + "\r\n";
+    head += "Content-Type: ";
+    head += content_type;
+    head += "\r\nConnection: close\r\n\r\n";
+    return net::sendAll(sock, head);
+}
+
+std::optional<HttpResponse>
+httpRequest(u16 port, std::string_view method, std::string_view target,
+            std::string_view body, std::string *error)
+{
+    net::Socket sock = net::connectLoopback(port, error);
+    if (!sock.valid())
+        return std::nullopt;
+
+    std::string req(method);
+    req += ' ';
+    req += target;
+    req += " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " +
+           std::to_string(body.size()) +
+           "\r\nConnection: close\r\n\r\n";
+    req += body;
+    if (!net::sendAll(sock, req)) {
+        if (error)
+            *error = "send failed";
+        return std::nullopt;
+    }
+
+    std::string head;
+    std::string rest;
+    if (!readHead(sock, &head, &rest, error))
+        return std::nullopt;
+    const std::size_t eol = head.find("\r\n");
+    const std::string line = head.substr(0, eol);
+    // Status line: HTTP/1.1 SP CODE SP TEXT.
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos) {
+        if (error)
+            *error = "malformed status line";
+        return std::nullopt;
+    }
+    HttpResponse out;
+    out.status = std::atoi(line.c_str() + sp1 + 1);
+    out.body = std::move(rest);
+
+    if (const auto cl = findHeader(head, "Content-Length")) {
+        const auto want = static_cast<std::size_t>(
+            std::strtoull(cl->c_str(), nullptr, 10));
+        if (!readExact(sock, &out.body, want, error))
+            return std::nullopt;
+    } else {
+        // Close-delimited: read to EOF.
+        char chunk[4096];
+        for (;;) {
+            const long n = net::recvSome(sock, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (error)
+                    *error = "recv failed";
+                return std::nullopt;
+            }
+            if (n == 0)
+                break;
+            out.body.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+    return out;
+}
+
+bool
+httpStream(u16 port, std::string_view target,
+           const std::function<bool(std::string_view)> &emit,
+           std::string *error)
+{
+    net::Socket sock = net::connectLoopback(port, error);
+    if (!sock.valid())
+        return false;
+
+    std::string req = "GET ";
+    req += target;
+    req += " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+    if (!net::sendAll(sock, req)) {
+        if (error)
+            *error = "send failed";
+        return false;
+    }
+
+    std::string head;
+    std::string buf;
+    if (!readHead(sock, &head, &buf, error))
+        return false;
+    const std::size_t sp1 = head.find(' ');
+    if (sp1 == std::string::npos ||
+        std::atoi(head.c_str() + sp1 + 1) != 200) {
+        if (error)
+            *error = "stream request failed: " +
+                     head.substr(0, head.find("\r\n"));
+        return false;
+    }
+
+    char chunk[4096];
+    for (;;) {
+        // Flush whole lines as they complete.
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            if (!emit(std::string_view(buf).substr(0, nl + 1)))
+                return false;
+            buf.erase(0, nl + 1);
+        }
+        const long n = net::recvSome(sock, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (error)
+                *error = "recv failed";
+            return false;
+        }
+        if (n == 0)
+            break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (!buf.empty() && !emit(buf))
+        return false;
+    return true;
+}
+
+} // namespace cheri::serve

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 framing for the loopback experiment service: just
+ * enough protocol for `POST body → response bytes` and close-delimited
+ * NDJSON streaming, one request per connection (Connection: close).
+ * No chunked encoding, no keep-alive, no TLS — clients are the
+ * bundled `cheriperf submit` verb and curl-shaped CI scripts.
+ */
+
+#ifndef CHERI_SERVE_HTTP_HPP
+#define CHERI_SERVE_HTTP_HPP
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/socket.hpp"
+
+namespace cheri::serve {
+
+struct HttpRequest
+{
+    std::string method; //!< "GET" | "POST".
+    std::string target; //!< Path + optional query ("/v1/jobs?wait=0").
+    std::string body;
+};
+
+/**
+ * Read one request from @p sock. False on malformed framing, EOF, or
+ * oversized headers/body (64 KiB / 4 MiB caps — this is a loopback
+ * job API, not a general server).
+ */
+bool readHttpRequest(net::Socket &sock, HttpRequest *out,
+                     std::string *error);
+
+/** One complete Content-Length-framed response; closes nothing. */
+bool writeHttpResponse(net::Socket &sock, int status,
+                       std::string_view content_type,
+                       std::string_view body,
+                       std::string_view extra_headers = {});
+
+/**
+ * Response head for a close-delimited stream (no Content-Length;
+ * "Connection: close"). The caller then sendAll()s lines and closes.
+ */
+bool beginHttpStream(net::Socket &sock, int status,
+                     std::string_view content_type);
+
+struct HttpResponse
+{
+    int status = 0;
+    std::string body;
+};
+
+/** Client: one request to 127.0.0.1:@p port, full response back. */
+std::optional<HttpResponse> httpRequest(u16 port,
+                                        std::string_view method,
+                                        std::string_view target,
+                                        std::string_view body,
+                                        std::string *error);
+
+/**
+ * Client: GET @p target and hand each received line (newline
+ * included) to @p emit as it arrives, until EOF. @p emit returning
+ * false aborts. False on connect/HTTP errors or abort.
+ */
+bool httpStream(u16 port, std::string_view target,
+                const std::function<bool(std::string_view)> &emit,
+                std::string *error);
+
+} // namespace cheri::serve
+
+#endif // CHERI_SERVE_HTTP_HPP

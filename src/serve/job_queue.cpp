@@ -1,0 +1,55 @@
+#include "serve/job_queue.hpp"
+
+#include "support/logging.hpp"
+
+namespace cheri::serve {
+
+ShardedQueue::ShardedQueue(std::size_t shards, std::size_t capacity)
+    : sets_(shards ? shards : 1), capacity_(capacity)
+{
+    CHERI_ASSERT(capacity_ > 0, "queue capacity must be positive");
+}
+
+bool
+ShardedQueue::push(u64 fingerprint, s64 priority, u64 seq)
+{
+    CHERI_ASSERT(!contains(fingerprint),
+                 "duplicate fingerprint pushed (dedup before push)");
+    if (index_.size() >= capacity_)
+        return false;
+    const Entry entry{priority, seq, fingerprint};
+    sets_[shardOf(fingerprint)].insert(entry);
+    index_.emplace(fingerprint, entry);
+    return true;
+}
+
+bool
+ShardedQueue::reprioritize(u64 fingerprint, s64 priority)
+{
+    auto it = index_.find(fingerprint);
+    if (it == index_.end() || it->second.priority >= priority)
+        return false;
+    auto &shard = sets_[shardOf(fingerprint)];
+    shard.erase(it->second);
+    it->second.priority = priority;
+    shard.insert(it->second);
+    return true;
+}
+
+std::optional<u64>
+ShardedQueue::pop(std::size_t home_shard)
+{
+    const std::size_t n = sets_.size();
+    for (std::size_t probe = 0; probe < n; ++probe) {
+        auto &shard = sets_[(home_shard + probe) % n];
+        if (shard.empty())
+            continue;
+        const u64 fingerprint = shard.begin()->fingerprint;
+        shard.erase(shard.begin());
+        index_.erase(fingerprint);
+        return fingerprint;
+    }
+    return std::nullopt;
+}
+
+} // namespace cheri::serve

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The sharded, deduplicating priority queue under the experiment
+ * service.
+ *
+ * Entries are cell fingerprints, one per unique in-flight cell —
+ * deduplication happens before push (the service's memo map), so the
+ * queue itself never holds the same cell twice. Cells partition into
+ * shards by fingerprint (shard = fp % nshards); each worker drains
+ * its home shard in priority order and steals round-robin from the
+ * others when home is dry. Because a cell's result is independent of
+ * which worker runs it, stealing affects wall-clock only, never
+ * bytes.
+ *
+ * Ordering within a shard: priority descending, then submission
+ * sequence ascending (FIFO among equals). A duplicate submission at
+ * higher priority re-prioritizes the queued entry in place, keeping
+ * its original sequence — a raise, never a requeue.
+ *
+ * Pure data structure: not thread-safe on its own. The service holds
+ * its one mutex around every call, which keeps the invariants (index
+ * map ↔ shard sets) trivially atomic and the structure directly
+ * unit-testable.
+ */
+
+#ifndef CHERI_SERVE_JOB_QUEUE_HPP
+#define CHERI_SERVE_JOB_QUEUE_HPP
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace cheri::serve {
+
+class ShardedQueue
+{
+  public:
+    /** @p shards >= 1; @p capacity bounds total queued entries. */
+    ShardedQueue(std::size_t shards, std::size_t capacity);
+
+    std::size_t shards() const { return sets_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return index_.size(); }
+    std::size_t freeSlots() const { return capacity_ - index_.size(); }
+    bool contains(u64 fingerprint) const
+    {
+        return index_.count(fingerprint) != 0;
+    }
+
+    std::size_t
+    shardOf(u64 fingerprint) const
+    {
+        return static_cast<std::size_t>(fingerprint % sets_.size());
+    }
+
+    /**
+     * Enqueue @p fingerprint (must not already be queued). @p seq is
+     * the service's global submission counter. False when full.
+     */
+    bool push(u64 fingerprint, s64 priority, u64 seq);
+
+    /**
+     * Raise a queued entry to @p priority (no-op when not queued or
+     * already at least as urgent). Returns true when it moved.
+     */
+    bool reprioritize(u64 fingerprint, s64 priority);
+
+    /**
+     * Dequeue the most urgent entry of @p home_shard, stealing
+     * round-robin from the other shards when home is empty. nullopt
+     * when the whole queue is empty.
+     */
+    std::optional<u64> pop(std::size_t home_shard);
+
+  private:
+    struct Entry
+    {
+        s64 priority = 0;
+        u64 seq = 0;
+        u64 fingerprint = 0;
+
+        bool
+        operator<(const Entry &other) const
+        {
+            if (priority != other.priority)
+                return priority > other.priority; // higher first
+            if (seq != other.seq)
+                return seq < other.seq; // FIFO among equals
+            return fingerprint < other.fingerprint;
+        }
+    };
+
+    std::vector<std::set<Entry>> sets_;
+    std::unordered_map<u64, Entry> index_; //!< fingerprint -> entry.
+    std::size_t capacity_;
+};
+
+} // namespace cheri::serve
+
+#endif // CHERI_SERVE_JOB_QUEUE_HPP

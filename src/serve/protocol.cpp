@@ -1,0 +1,396 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "runner/cache.hpp"
+#include "support/hash.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::serve {
+
+namespace {
+
+/** A parsed flat-JSON value: exactly one of the members is live. */
+struct FlatValue
+{
+    enum class Kind { String, Number, Bool } kind = Kind::String;
+    std::string str;
+    s64 num = 0;
+    bool negative = false;
+    bool boolean = false;
+};
+
+void
+skipWs(const std::string &s, std::size_t &i)
+{
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+}
+
+bool
+parseString(const std::string &s, std::size_t &i, std::string *out,
+            std::string *error)
+{
+    if (i >= s.size() || s[i] != '"') {
+        *error = "expected '\"'";
+        return false;
+    }
+    ++i;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+        char c = s[i];
+        if (c == '\\') {
+            if (i + 1 >= s.size()) {
+                *error = "dangling escape in string";
+                return false;
+            }
+            c = s[++i];
+            if (c != '"' && c != '\\') {
+                *error = "unsupported escape in string";
+                return false;
+            }
+        }
+        out->push_back(c);
+        ++i;
+    }
+    if (i >= s.size()) {
+        *error = "unterminated string";
+        return false;
+    }
+    ++i; // closing quote
+    return true;
+}
+
+bool
+parseValue(const std::string &s, std::size_t &i, FlatValue *out,
+           std::string *error)
+{
+    if (i >= s.size()) {
+        *error = "truncated value";
+        return false;
+    }
+    const char c = s[i];
+    if (c == '"') {
+        out->kind = FlatValue::Kind::String;
+        return parseString(s, i, &out->str, error);
+    }
+    if (c == 't' || c == 'f') {
+        const std::string word = c == 't' ? "true" : "false";
+        if (s.compare(i, word.size(), word) != 0) {
+            *error = "malformed literal";
+            return false;
+        }
+        i += word.size();
+        out->kind = FlatValue::Kind::Bool;
+        out->boolean = c == 't';
+        return true;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+        out->kind = FlatValue::Kind::Number;
+        out->negative = c == '-';
+        const std::size_t start = i;
+        if (c == '-')
+            ++i;
+        while (i < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i == start + (out->negative ? 1u : 0u)) {
+            *error = "malformed number";
+            return false;
+        }
+        if (i < s.size() && (s[i] == '.' || s[i] == 'e' || s[i] == 'E')) {
+            *error = "only integer numbers are accepted";
+            return false;
+        }
+        out->num = std::strtoll(s.substr(start, i - start).c_str(),
+                                nullptr, 10);
+        return true;
+    }
+    *error = "nested or unsupported JSON value (flat objects only)";
+    return false;
+}
+
+bool
+assignU64(const FlatValue &v, const char *key, u64 *out,
+          std::string *error)
+{
+    if (v.kind != FlatValue::Kind::Number || v.negative) {
+        *error = std::string(key) + " expects a non-negative integer";
+        return false;
+    }
+    *out = static_cast<u64>(v.num);
+    return true;
+}
+
+bool
+assignString(const FlatValue &v, const char *key, std::string *out,
+             std::string *error)
+{
+    if (v.kind != FlatValue::Kind::String) {
+        *error = std::string(key) + " expects a string";
+        return false;
+    }
+    *out = v.str;
+    return true;
+}
+
+void
+appendEscaped(std::string &out, const std::string &value)
+{
+    out.push_back('"');
+    for (char c : value) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+bool
+parseJobSpec(const std::string &line, JobSpec *out, std::string *error)
+{
+    JobSpec spec;
+    std::size_t i = 0;
+    std::string err;
+
+    skipWs(line, i);
+    if (i >= line.size() || line[i] != '{') {
+        *error = "submission must be one flat JSON object";
+        return false;
+    }
+    ++i;
+    skipWs(line, i);
+    bool first = true;
+    while (i < line.size() && line[i] != '}') {
+        if (!first) {
+            if (line[i] != ',') {
+                *error = "expected ',' between fields";
+                return false;
+            }
+            ++i;
+            skipWs(line, i);
+        }
+        first = false;
+
+        std::string key;
+        if (!parseString(line, i, &key, &err)) {
+            *error = err;
+            return false;
+        }
+        skipWs(line, i);
+        if (i >= line.size() || line[i] != ':') {
+            *error = "expected ':' after key '" + key + "'";
+            return false;
+        }
+        ++i;
+        skipWs(line, i);
+        FlatValue value;
+        if (!parseValue(line, i, &value, &err)) {
+            *error = err + " (key '" + key + "')";
+            return false;
+        }
+        skipWs(line, i);
+
+        bool ok = true;
+        if (key == "workload")
+            ok = assignString(value, "workload", &spec.workload, error);
+        else if (key == "set")
+            ok = assignString(value, "set", &spec.set, error);
+        else if (key == "abi")
+            ok = assignString(value, "abi", &spec.abi, error);
+        else if (key == "scale")
+            ok = assignString(value, "scale", &spec.scale, error);
+        else if (key == "seed")
+            ok = assignU64(value, "seed", &spec.seed, error);
+        else if (key == "priority") {
+            if (value.kind != FlatValue::Kind::Number) {
+                *error = "priority expects an integer";
+                return false;
+            }
+            spec.priority = value.num;
+        } else if (key == "cores")
+            ok = assignU64(value, "cores", &spec.cores, error);
+        else if (key == "trace_epochs")
+            ok = assignU64(value, "trace_epochs", &spec.trace_epochs,
+                           error);
+        else if (key == "approx_rate")
+            ok = assignU64(value, "approx_rate", &spec.approx_rate,
+                           error);
+        else if (key == "approx_epoch_insts")
+            ok = assignU64(value, "approx_epoch_insts",
+                           &spec.approx_epoch_insts, error);
+        else {
+            *error = "unknown field '" + key + "'";
+            return false;
+        }
+        if (!ok)
+            return false;
+    }
+    if (i >= line.size()) {
+        *error = "unterminated object";
+        return false;
+    }
+    ++i; // '}'
+    skipWs(line, i);
+    if (i != line.size()) {
+        *error = "trailing bytes after object";
+        return false;
+    }
+    *out = std::move(spec);
+    return true;
+}
+
+std::string
+jobSpecJsonl(const JobSpec &spec)
+{
+    std::string out = "{";
+    const auto field = [&](const char *key, const std::string &value,
+                           bool quoted) {
+        if (out.size() > 1)
+            out += ',';
+        out += '"';
+        out += key;
+        out += "\":";
+        if (quoted)
+            appendEscaped(out, value);
+        else
+            out += value;
+    };
+    if (!spec.workload.empty())
+        field("workload", spec.workload, true);
+    else
+        field("set", spec.set.empty() ? "all" : spec.set, true);
+    if (spec.abi != "all")
+        field("abi", spec.abi, true);
+    if (spec.scale != "small")
+        field("scale", spec.scale, true);
+    if (spec.seed != 42)
+        field("seed", std::to_string(spec.seed), false);
+    if (spec.priority != 0)
+        field("priority", std::to_string(spec.priority), false);
+    if (spec.cores != 1)
+        field("cores", std::to_string(spec.cores), false);
+    if (spec.trace_epochs != 0)
+        field("trace_epochs", std::to_string(spec.trace_epochs), false);
+    if (spec.approx_rate != 0) {
+        field("approx_rate", std::to_string(spec.approx_rate), false);
+        if (spec.approx_epoch_insts != 100'000)
+            field("approx_epoch_insts",
+                  std::to_string(spec.approx_epoch_insts), false);
+    }
+    out += '}';
+    return out;
+}
+
+std::vector<runner::RunRequest>
+expandJobSpec(const JobSpec &spec, std::string *error)
+{
+    if (spec.cores == 0) {
+        *error = "cores must be >= 1";
+        return {};
+    }
+    if (spec.approx_rate > 0 && spec.trace_epochs > 0) {
+        *error = "approx and epoch tracing are mutually exclusive";
+        return {};
+    }
+    if (spec.approx_rate > 0 && spec.cores >= 2) {
+        *error = "approx does not support co-run cells";
+        return {};
+    }
+
+    workloads::Scale scale;
+    if (spec.scale == "tiny")
+        scale = workloads::Scale::Tiny;
+    else if (spec.scale == "small")
+        scale = workloads::Scale::Small;
+    else if (spec.scale == "ref")
+        scale = workloads::Scale::Ref;
+    else {
+        *error = "unknown scale '" + spec.scale +
+                 "' (expected tiny|small|ref)";
+        return {};
+    }
+
+    std::vector<abi::Abi> abis;
+    if (spec.abi == "all") {
+        for (abi::Abi a : abi::kAllAbis)
+            abis.push_back(a);
+    } else {
+        bool found = false;
+        for (abi::Abi a : abi::kAllAbis)
+            if (spec.abi == abi::abiName(a)) {
+                abis.push_back(a);
+                found = true;
+            }
+        if (!found) {
+            *error = "unknown abi '" + spec.abi + "'";
+            return {};
+        }
+    }
+
+    std::vector<std::string> names;
+    if (!spec.workload.empty()) {
+        names.push_back(spec.workload);
+    } else if (spec.set.empty() || spec.set == "all") {
+        for (const auto &w : workloads::allWorkloads())
+            names.push_back(w->info().name);
+    } else if (spec.set == "table3") {
+        names = workloads::table3Names();
+    } else if (spec.set == "table4") {
+        names = workloads::table4Names();
+    } else {
+        *error = "unknown set '" + spec.set +
+                 "' (expected table3|table4|all)";
+        return {};
+    }
+
+    // Validate every name before building a single cell: the daemon
+    // must answer 400, never die in CHERI_FATAL mid-plan.
+    const auto pool = workloads::allWorkloads();
+    for (const auto &name : names)
+        if (workloads::findWorkload(pool, name) == nullptr) {
+            *error = "unknown workload '" + name + "'";
+            return {};
+        }
+
+    std::vector<runner::RunRequest> cells;
+    cells.reserve(names.size() * abis.size());
+    for (const auto &name : names)
+        for (abi::Abi a : abis) {
+            runner::RunRequest request;
+            request.workload = name;
+            request.abi = a;
+            request.scale = scale;
+            request.seed = spec.seed;
+            if (spec.cores >= 2)
+                request.lanes.assign(
+                    static_cast<std::size_t>(spec.cores),
+                    runner::Lane{name, a});
+            if (spec.trace_epochs > 0) {
+                request.trace.enabled = true;
+                request.trace.epoch_insts = spec.trace_epochs;
+            }
+            if (spec.approx_rate > 0) {
+                request.approx.enabled = true;
+                request.approx.rate = spec.approx_rate;
+                request.approx.epoch_insts = spec.approx_epoch_insts;
+            }
+            cells.push_back(std::move(request));
+        }
+    return cells;
+}
+
+std::string
+jobId(const std::vector<runner::RunRequest> &cells)
+{
+    Fnv1a h;
+    h.add(static_cast<u64>(cells.size()));
+    for (const auto &cell : cells)
+        h.add(runner::cellFingerprint(cell));
+    return toHex64(h.value());
+}
+
+} // namespace cheri::serve

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The experiment service's JSONL wire protocol (DESIGN.md §8).
+ *
+ * A job submission is one flat JSON object per line — string, number
+ * and boolean values only, no nesting — mirroring the sweep CLI's
+ * flags. The daemon expands a JobSpec into the same RunRequest cells
+ * `cheriperf sweep` would build (workload selection × ABIs, name-major
+ * order), which is what makes a served response byte-identical to the
+ * offline run: both sides render the identical RunResult vector
+ * through serve::sweepCsv.
+ *
+ * The job id is content-addressed over the expanded cells' cache
+ * fingerprints, so two clients submitting the same experiment — in
+ * any field spelling that expands to the same cells — share one job.
+ * Priority is deliberately NOT part of the id: a duplicate submission
+ * at higher priority re-prioritizes the in-flight job instead of
+ * forking it.
+ */
+
+#ifndef CHERI_SERVE_PROTOCOL_HPP
+#define CHERI_SERVE_PROTOCOL_HPP
+
+#include <string>
+#include <vector>
+
+#include "runner/run_request.hpp"
+
+namespace cheri::serve {
+
+/** One submitted experiment, as it travels on the wire. */
+struct JobSpec
+{
+    std::string workload; //!< Single-workload job (wins over set).
+    std::string set;      //!< "table3" | "table4" | "all".
+    std::string abi = "all"; //!< One ABI name, or "all" (sweep parity).
+    std::string scale = "small";
+    u64 seed = 42;
+    s64 priority = 0; //!< Higher runs sooner; FIFO within a level.
+    u64 cores = 1;    //!< >= 2: homogeneous self-co-run per cell.
+    u64 trace_epochs = 0; //!< > 0: epoch tracing, N insts per epoch.
+    u64 approx_rate = 0;  //!< > 0: sampled simulation, 1-in-N epochs.
+    u64 approx_epoch_insts = 100'000;
+
+    bool approxColumns() const { return approx_rate > 0; }
+};
+
+/**
+ * Parse one submission line. Strict: the line must be a single flat
+ * JSON object; unknown keys, nested values and type mismatches are
+ * errors (reported via @p error), never silently ignored — a typo'd
+ * key must not quietly run the default experiment.
+ */
+bool parseJobSpec(const std::string &line, JobSpec *out,
+                  std::string *error);
+
+/** Canonical wire rendering of @p spec (defaults omitted). */
+std::string jobSpecJsonl(const JobSpec &spec);
+
+/**
+ * Expand @p spec into its RunRequest cells, sweep order (name-major,
+ * ABI-minor). Validates everything the daemon must never die on:
+ * workload names against the registry, ABI/scale/set spellings, and
+ * the approx exclusions (approx+trace, approx+corun). Empty vector +
+ * @p error on any violation.
+ */
+std::vector<runner::RunRequest> expandJobSpec(const JobSpec &spec,
+                                              std::string *error);
+
+/**
+ * Content-addressed job id: FNV-1a over the expanded cells' cache
+ * fingerprints (order-sensitive) plus the cell count, hex-encoded.
+ */
+std::string jobId(const std::vector<runner::RunRequest> &cells);
+
+} // namespace cheri::serve
+
+#endif // CHERI_SERVE_PROTOCOL_HPP

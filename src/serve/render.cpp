@@ -1,0 +1,80 @@
+#include "serve/render.hpp"
+
+#include "analysis/metrics.hpp"
+#include "support/fmt.hpp"
+
+namespace cheri::serve {
+
+std::string
+sweepCsv(const std::vector<runner::RunResult> &results,
+         bool approx_columns)
+{
+    std::string out;
+    out += "workload,abi,instructions,cycles,seconds";
+    for (const auto &field : analysis::allMetricFields()) {
+        out += ',';
+        out += field.name;
+    }
+    if (approx_columns) {
+        out += ",approx_rate,approx_epochs_sampled,"
+               "approx_epochs_total,approx_scale";
+        for (const auto &field : analysis::allMetricFields()) {
+            out += ',';
+            out += field.name;
+            out += "_err";
+        }
+    }
+    out += '\n';
+
+    for (const auto &run : results) {
+        const std::size_t metric_cols =
+            analysis::allMetricFields().size() +
+            (approx_columns ? 4 + analysis::allMetricFields().size()
+                            : 0);
+        out += run.request.workload;
+        out += ',';
+        out += abi::abiName(run.request.abi);
+        if (!run.ok()) {
+            out += ",NA,NA,NA";
+            for (std::size_t i = 0; i < metric_cols; ++i)
+                out += ",NA";
+            out += '\n';
+            continue;
+        }
+        out += ',';
+        out += std::to_string(run.sim->instructions);
+        out += ',';
+        out += std::to_string(run.sim->cycles);
+        out += ',';
+        out += fmt::seconds(run.sim->seconds);
+        for (const auto &field : analysis::allMetricFields()) {
+            out += ',';
+            out += fmt::metric(run.metrics.*(field.member));
+        }
+        if (approx_columns) {
+            if (run.approx) {
+                const auto &a = *run.approx;
+                out += ',';
+                out += std::to_string(a.report.rate);
+                out += ',';
+                out += std::to_string(a.report.epochsSampled);
+                out += ',';
+                out += std::to_string(a.report.epochsTotal);
+                out += ',';
+                out += fmt::metric(a.report.scale);
+                for (const auto &field : analysis::allMetricFields()) {
+                    out += ',';
+                    out += fmt::metric(a.stderr_.*(field.member));
+                }
+            } else {
+                for (std::size_t i = 0;
+                     i < 4 + analysis::allMetricFields().size(); ++i)
+                    out += ",NA";
+            }
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace cheri::serve

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The one sweep-CSV renderer.
+ *
+ * `cheriperf sweep --csv` and the experiment daemon both answer with
+ * this exact byte stream — the CLI writes it to stdout, the daemon
+ * into an HTTP body — so "served response == offline run" holds by
+ * construction, not by parallel maintenance of two printf blocks.
+ * The layout is the golden contract checked by
+ * tests/golden/bench_smoke.csv; any change here is a schema change.
+ */
+
+#ifndef CHERI_SERVE_RENDER_HPP
+#define CHERI_SERVE_RENDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "runner/run_result.hpp"
+
+namespace cheri::serve {
+
+/**
+ * Render @p results (plan order) as the sweep CSV: one header line,
+ * one flat row per cell, NA rows for unsupported ABI cells. With
+ * @p approx_columns the sampling-provenance and per-metric error-bar
+ * column block is appended (the --approx schema).
+ */
+std::string sweepCsv(const std::vector<runner::RunResult> &results,
+                     bool approx_columns);
+
+} // namespace cheri::serve
+
+#endif // CHERI_SERVE_RENDER_HPP

@@ -1,0 +1,299 @@
+#include "serve/server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "runner/cache.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+#include "support/serialize.hpp"
+#include "support/socket.hpp"
+
+namespace cheri::serve {
+
+namespace {
+
+net::WakePipe *gShutdownPipe = nullptr;
+std::atomic<bool> gShutdownRequested{false};
+
+void
+onShutdownSignal(int)
+{
+    gShutdownRequested.store(true, std::memory_order_relaxed);
+    if (gShutdownPipe != nullptr)
+        gShutdownPipe->notify(); // async-signal-safe (write(2))
+}
+
+/** Counted detached connection threads, so drain can wait for them. */
+class ConnectionTracker
+{
+  public:
+    void
+    add()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++active_;
+    }
+
+    void
+    remove()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        --active_;
+        cv_.notify_all();
+    }
+
+    void
+    waitIdle()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return active_ == 0; });
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t active_ = 0;
+};
+
+std::string
+statsJson(const ServiceStats &s)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"jobs\":%llu,\"cells\":%llu,\"unique\":%llu,"
+        "\"simulated\":%llu,\"inflight_dedup\":%llu,"
+        "\"memo_hits\":%llu,\"cache_hits\":%llu,"
+        "\"rejected_full\":%llu,\"rejected_draining\":%llu,"
+        "\"queue_p50_s\":%.6f,\"queue_p99_s\":%.6f}\n",
+        static_cast<unsigned long long>(s.jobsSubmitted),
+        static_cast<unsigned long long>(s.cellsSubmitted),
+        static_cast<unsigned long long>(s.uniqueCells),
+        static_cast<unsigned long long>(s.simulated),
+        static_cast<unsigned long long>(s.inflightDedup),
+        static_cast<unsigned long long>(s.memoHits),
+        static_cast<unsigned long long>(s.cacheHits),
+        static_cast<unsigned long long>(s.rejectedFull),
+        static_cast<unsigned long long>(s.rejectedDraining),
+        s.queueLatencyP50, s.queueLatencyP99);
+    return buf;
+}
+
+void
+handleConnection(net::Socket sock, ExperimentService &service)
+{
+    sock.setIoTimeout(30);
+
+    HttpRequest request;
+    std::string error;
+    if (!readHttpRequest(sock, &request, &error))
+        return;
+
+    // POST /v1/jobs[?wait=0] — submit; the default (blocking) mode
+    // answers with the job's full sweep CSV on this connection.
+    std::string target = request.target;
+    bool wait = true;
+    if (const auto q = target.find('?'); q != std::string::npos) {
+        if (target.substr(q) == "?wait=0")
+            wait = false;
+        target.erase(q);
+    }
+
+    if (request.method == "POST" && target == "/v1/jobs") {
+        JobSpec spec;
+        if (!parseJobSpec(request.body, &spec, &error)) {
+            writeHttpResponse(sock, 400, "application/json",
+                              "{\"error\":\"" + error + "\"}\n");
+            return;
+        }
+        std::string id;
+        switch (service.submit(spec, &id, &error)) {
+        case SubmitStatus::BadRequest:
+            writeHttpResponse(sock, 400, "application/json",
+                              "{\"error\":\"" + error + "\"}\n");
+            return;
+        case SubmitStatus::QueueFull:
+            writeHttpResponse(sock, 429, "application/json",
+                              "{\"error\":\"queue full\"}\n",
+                              "Retry-After: 1\r\n");
+            return;
+        case SubmitStatus::Draining:
+            writeHttpResponse(sock, 503, "application/json",
+                              "{\"error\":\"draining\"}\n");
+            return;
+        case SubmitStatus::Accepted:
+            break;
+        }
+        if (!wait) {
+            // The ack is deterministic: id and cell count derive from
+            // the spec alone, never from arrival-order dedup state.
+            const auto status = service.status(id);
+            writeHttpResponse(
+                sock, 202, "application/json",
+                "{\"job\":\"" + id + "\",\"cells\":" +
+                    std::to_string(status.cells) +
+                    ",\"state\":\"accepted\"}\n");
+            return;
+        }
+        const auto csv = service.waitResult(id);
+        if (!csv) {
+            writeHttpResponse(sock, 500, "application/json",
+                              "{\"error\":\"job vanished\"}\n");
+            return;
+        }
+        writeHttpResponse(sock, 200, "text/csv", *csv);
+        return;
+    }
+
+    if (request.method == "GET" && target == "/healthz") {
+        writeHttpResponse(sock, 200, "text/plain", "ok\n");
+        return;
+    }
+    if (request.method == "GET" && target == "/v1/stats") {
+        writeHttpResponse(sock, 200, "application/json",
+                          statsJson(service.stats()));
+        return;
+    }
+
+    // GET /v1/jobs/<id>[/result|/stream]
+    const std::string prefix = "/v1/jobs/";
+    if (request.method == "GET" &&
+        target.rfind(prefix, 0) == 0) {
+        std::string rest = target.substr(prefix.size());
+        std::string verb;
+        if (const auto slash = rest.find('/');
+            slash != std::string::npos) {
+            verb = rest.substr(slash + 1);
+            rest.erase(slash);
+        }
+        const auto status = service.status(rest);
+        if (!status.known) {
+            writeHttpResponse(sock, 404, "application/json",
+                              "{\"error\":\"unknown job\"}\n");
+            return;
+        }
+        if (verb.empty()) {
+            writeHttpResponse(
+                sock, 200, "application/json",
+                "{\"job\":\"" + rest + "\",\"cells\":" +
+                    std::to_string(status.cells) + ",\"done\":" +
+                    std::to_string(status.done) + ",\"state\":\"" +
+                    (status.finished() ? "done" : "running") +
+                    "\"}\n");
+            return;
+        }
+        if (verb == "result") {
+            const auto csv = service.waitResult(rest);
+            writeHttpResponse(sock, 200, "text/csv",
+                              csv ? *csv : std::string());
+            return;
+        }
+        if (verb == "stream") {
+            if (!beginHttpStream(sock, 200, "application/x-ndjson"))
+                return;
+            service.streamJob(rest, [&](const std::string &line) {
+                return net::sendAll(sock, line);
+            });
+            return;
+        }
+    }
+
+    writeHttpResponse(sock, 404, "application/json",
+                      "{\"error\":\"no such endpoint\"}\n");
+}
+
+} // namespace
+
+int
+runServer(const ServeOptions &options)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+
+    net::WakePipe wake;
+    if (!wake.open()) {
+        std::fprintf(stderr, "[serve] cannot create wake pipe\n");
+        return 1;
+    }
+    gShutdownPipe = &wake;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onShutdownSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    // A daemon holds the cache-dir lock Shared for its lifetime so
+    // `cheriperf clear-cache` (Exclusive) cannot race live writes.
+    std::optional<runner::CacheDirLock> cacheLock;
+    if (options.cache) {
+        const std::string dir = options.cache_dir.empty()
+                                    ? runner::ResultCache::defaultDir()
+                                    : options.cache_dir;
+        cacheLock = runner::CacheDirLock::tryAcquire(
+            dir, runner::CacheDirLock::Mode::Shared);
+        if (!cacheLock) {
+            std::fprintf(stderr,
+                         "[serve] cache dir %s is locked exclusively "
+                         "(clear-cache in progress?); retry later\n",
+                         dir.c_str());
+            return 1;
+        }
+    }
+
+    net::ListenSocket listener;
+    std::string error;
+    if (!listener.listen(options.port, &error)) {
+        std::fprintf(stderr, "[serve] %s\n", error.c_str());
+        return 1;
+    }
+    if (!options.port_file.empty())
+        writeFileAtomic(options.port_file,
+                        std::to_string(listener.boundPort()) + "\n");
+
+    ServiceConfig config;
+    config.workers = options.workers;
+    config.queue_depth = options.queue_depth;
+    config.cache = options.cache;
+    config.cache_dir = options.cache_dir;
+    ExperimentService service(config);
+
+    std::fprintf(stderr,
+                 "[serve] listening on 127.0.0.1:%u (workers=%u, "
+                 "queue=%zu)\n",
+                 static_cast<unsigned>(listener.boundPort()),
+                 static_cast<unsigned>(service.config().workers),
+                 options.queue_depth);
+
+    ConnectionTracker connections;
+    for (;;) {
+        auto sock = listener.accept(wake.read_end.fd());
+        if (!sock)
+            break; // woken for shutdown, or listener died
+        connections.add();
+        std::thread([&connections, &service,
+                     s = std::move(*sock)]() mutable {
+            handleConnection(std::move(s), service);
+            connections.remove();
+        }).detach();
+    }
+
+    // Shutdown: stop admitting connections first, then finish every
+    // request already in flight and run the queue dry.
+    listener.close();
+    std::fprintf(stderr, "[serve] shutdown requested; draining\n");
+    service.beginDrain();
+    connections.waitIdle();
+    service.drainAndStop();
+
+    std::fprintf(stderr, "[serve] %s drained clean\n",
+                 service.stats().summary().c_str());
+    return 0;
+}
+
+} // namespace cheri::serve

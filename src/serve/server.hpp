@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The daemon entry point: sockets + signals around ExperimentService.
+ *
+ * Shutdown contract (the CI hammer gates on it): SIGTERM/SIGINT stops
+ * the listener immediately — late connections get ECONNREFUSED —
+ * while every connection accepted before the signal is served to
+ * completion and every queued cell drains. The daemon then prints one
+ * final `[serve] ... drained clean` stats line on stderr and exits 0.
+ */
+
+#ifndef CHERI_SERVE_SERVER_HPP
+#define CHERI_SERVE_SERVER_HPP
+
+#include <string>
+
+#include "support/types.hpp"
+
+namespace cheri::serve {
+
+struct ServeOptions
+{
+    u16 port = 0; //!< 0 = kernel-assigned ephemeral port.
+
+    /** When set, the bound port is written here (atomically) once
+     *  listening — how scripts using --port 0 find the daemon. */
+    std::string port_file;
+
+    u32 workers = 0; //!< 0 = hardware threads.
+    std::size_t queue_depth = 4096;
+    bool cache = true;
+    std::string cache_dir;
+};
+
+/** Run until SIGTERM/SIGINT; returns the process exit code. */
+int runServer(const ServeOptions &options);
+
+} // namespace cheri::serve
+
+#endif // CHERI_SERVE_SERVER_HPP

@@ -1,0 +1,452 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "serve/render.hpp"
+#include "support/logging.hpp"
+#include "trace/jsonl.hpp"
+
+namespace cheri::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+} // namespace
+
+/**
+ * Streams a solo traced cell's epochs into its task buffer as they
+ * close, on the worker thread, so subscribers read them while the
+ * cell still simulates. The buffer is the single authoritative
+ * stream: late subscribers replay it, so every subscriber sees the
+ * same bytes. (A terminal fault is attributed to the final epoch
+ * after the series closes — the live line for that epoch will not
+ * carry the capFault bump; documented in DESIGN.md §8.)
+ */
+class ExperimentService::LiveEpochSink : public trace::EpochSink
+{
+  public:
+    LiveEpochSink(ExperimentService &service,
+                  std::shared_ptr<CellTask> task)
+        : service_(service), task_(std::move(task))
+    {
+    }
+
+    void
+    onEpoch(const trace::EpochRecord &epoch) override
+    {
+        std::string line = trace::epochToJsonl(
+            epoch, task_->request.workload,
+            abi::abiName(task_->request.abi), task_->request.seed);
+        std::lock_guard<std::mutex> lk(service_.mu_);
+        task_->streamLines.push_back(std::move(line));
+        service_.doneCv_.notify_all();
+    }
+
+  private:
+    ExperimentService &service_;
+    std::shared_ptr<CellTask> task_;
+};
+
+std::string
+ServiceStats::summary() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "jobs=%llu cells=%llu unique=%llu simulated=%llu "
+        "inflight_dedup=%llu memo_hits=%llu cache_hits=%llu "
+        "rejected=%llu",
+        static_cast<unsigned long long>(jobsSubmitted),
+        static_cast<unsigned long long>(cellsSubmitted),
+        static_cast<unsigned long long>(uniqueCells),
+        static_cast<unsigned long long>(simulated),
+        static_cast<unsigned long long>(inflightDedup),
+        static_cast<unsigned long long>(memoHits),
+        static_cast<unsigned long long>(cacheHits),
+        static_cast<unsigned long long>(rejectedFull +
+                                        rejectedDraining));
+    return buf;
+}
+
+ExperimentService::ExperimentService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_dir),
+      queue_(config_.shards
+                 ? config_.shards
+                 : (config_.workers ? config_.workers
+                                    : runner::hardwareJobs()),
+             config_.queue_depth)
+{
+    if (config_.workers == 0)
+        config_.workers = runner::hardwareJobs();
+    if (config_.shards == 0)
+        config_.shards = config_.workers;
+    if (config_.autostart)
+        start();
+}
+
+ExperimentService::~ExperimentService()
+{
+    drainAndStop();
+}
+
+void
+ExperimentService::start()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (started_ || stopped_)
+        return;
+    started_ = true;
+    workers_.reserve(config_.workers);
+    for (u32 i = 0; i < config_.workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+SubmitStatus
+ExperimentService::submit(const JobSpec &spec, std::string *job_id,
+                          std::string *error)
+{
+    std::string err;
+    auto cells = expandJobSpec(spec, &err);
+    if (cells.empty()) {
+        if (error)
+            *error = err.empty() ? "job expands to no cells" : err;
+        return SubmitStatus::BadRequest;
+    }
+    for (auto &cell : cells)
+        cell = cell.normalized();
+    std::vector<u64> fps;
+    fps.reserve(cells.size());
+    for (const auto &cell : cells)
+        fps.push_back(runner::cellFingerprint(cell));
+    const std::string id = jobId(cells);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    if (draining_) {
+        ++stats_.rejectedDraining;
+        if (error)
+            *error = "service is draining";
+        return SubmitStatus::Draining;
+    }
+
+    if (auto it = jobs_.find(id); it != jobs_.end()) {
+        // Whole-job dedup: same cells already registered. A higher
+        // priority raises any still-queued cells; the subscriber set
+        // just grows.
+        ++stats_.jobsSubmitted;
+        stats_.cellsSubmitted += it->second.cells.size();
+        for (const auto &task : it->second.cells) {
+            if (task->state == CellTask::State::Done)
+                ++stats_.memoHits;
+            else
+                ++stats_.inflightDedup;
+            if (task->state == CellTask::State::Queued)
+                queue_.reprioritize(task->fingerprint, spec.priority);
+        }
+        workCv_.notify_all();
+        if (job_id)
+            *job_id = id;
+        return SubmitStatus::Accepted;
+    }
+
+    // Phase 1 — classify without mutating, so admission is
+    // all-or-nothing. Disk probes are read-only and happen here once;
+    // their results carry into phase 2.
+    std::unordered_map<u64, sim::SimResult> diskHits;
+    std::size_t fresh = 0;
+    std::size_t seenNew = 0;
+    {
+        std::unordered_map<u64, bool> seen;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const u64 fp = fps[i];
+            if (memo_.count(fp) || seen.count(fp))
+                continue;
+            seen.emplace(fp, true);
+            ++seenNew;
+            const auto &req = cells[i];
+            const bool eligible = config_.cache &&
+                                  !req.trace.enabled &&
+                                  !req.approx.enabled && !req.corun();
+            if (eligible) {
+                if (auto replay = cache_.load(req, fp)) {
+                    diskHits.emplace(fp, std::move(*replay));
+                    continue;
+                }
+            }
+            ++fresh;
+        }
+    }
+    if (fresh > queue_.freeSlots()) {
+        ++stats_.rejectedFull;
+        if (error)
+            *error = "queue full";
+        return SubmitStatus::QueueFull;
+    }
+
+    // Phase 2 — register the job. Guaranteed to succeed: every fresh
+    // cell has a reserved slot.
+    Job job;
+    job.approxColumns = spec.approxColumns();
+    job.cells.reserve(cells.size());
+    ++stats_.jobsSubmitted;
+    stats_.cellsSubmitted += cells.size();
+    stats_.uniqueCells += seenNew;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const u64 fp = fps[i];
+        if (auto it = memo_.find(fp); it != memo_.end()) {
+            auto &task = it->second;
+            if (task->state == CellTask::State::Done)
+                ++stats_.memoHits;
+            else
+                ++stats_.inflightDedup;
+            if (task->state == CellTask::State::Queued)
+                queue_.reprioritize(fp, spec.priority);
+            job.cells.push_back(task);
+            continue;
+        }
+        auto task = std::make_shared<CellTask>();
+        task->request = cells[i];
+        task->fingerprint = fp;
+        if (auto hit = diskHits.find(fp); hit != diskHits.end()) {
+            ++stats_.cacheHits;
+            task->state = CellTask::State::Done;
+            task->result.request = task->request;
+            task->result.sim = std::move(hit->second);
+            task->result.cacheHit = true;
+            task->result.metrics = analysis::DerivedMetrics::compute(
+                task->result.sim->counts);
+            task->result.topdownTruth =
+                analysis::TopDown::fromModelTruth(
+                    task->result.sim->counts);
+            task->result.topdownPaper =
+                analysis::TopDown::fromPaperFormulas(
+                    task->result.sim->counts);
+        } else {
+            task->state = CellTask::State::Queued;
+            task->enqueued = Clock::now();
+            const bool pushed =
+                queue_.push(fp, spec.priority, submitSeq_++);
+            CHERI_ASSERT(pushed, "admission reserved a slot");
+        }
+        memo_.emplace(fp, task);
+        job.cells.push_back(std::move(task));
+    }
+    jobs_.emplace(id, std::move(job));
+    workCv_.notify_all();
+    doneCv_.notify_all();
+    if (job_id)
+        *job_id = id;
+    return SubmitStatus::Accepted;
+}
+
+void
+ExperimentService::workerLoop(u32 index)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    const std::size_t home = index % queue_.shards();
+    for (;;) {
+        auto fp = queue_.pop(home);
+        if (!fp) {
+            if (draining_)
+                return;
+            workCv_.wait(lk);
+            continue;
+        }
+        auto task = memo_.at(*fp);
+        task->state = CellTask::State::Running;
+        latencySamples_.push_back(secondsSince(task->enqueued));
+        runner::RunRequest request = task->request;
+        lk.unlock();
+
+        LiveEpochSink sink(*this, task);
+        if (request.trace.enabled && !request.corun())
+            request.trace.sink = &sink;
+        runner::RunResult result = runner::run(request);
+        // The sink is this stack frame; the stored result must not
+        // carry a pointer into it.
+        result.request.trace.sink = nullptr;
+
+        const bool eligible = config_.cache &&
+                              !task->request.trace.enabled &&
+                              !task->request.approx.enabled &&
+                              !task->request.corun() && result.ok();
+        if (eligible)
+            cache_.store(result.request, *fp, *result.sim);
+
+        lk.lock();
+        task->result = std::move(result);
+        if (task->request.trace.enabled && task->request.corun()) {
+            // Co-run traces have no live stream (lanes interleave in
+            // cycle order inside the machine); publish the per-lane,
+            // core-tagged streams at completion, lane order.
+            for (std::size_t i = 0; i < task->result.lanes.size();
+                 ++i) {
+                const auto &lane = task->result.lanes[i];
+                for (const auto &epoch : lane.epochs.epochs)
+                    task->streamLines.push_back(trace::epochToJsonl(
+                        epoch, lane.lane.workload,
+                        abi::abiName(lane.lane.abi),
+                        task->request.seed, static_cast<u32>(i)));
+            }
+        }
+        task->state = CellTask::State::Done;
+        ++stats_.simulated;
+        doneCv_.notify_all();
+    }
+}
+
+std::optional<std::string>
+ExperimentService::waitResult(const std::string &job_id)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    const Job &job = it->second;
+    doneCv_.wait(lk, [&] {
+        return std::all_of(job.cells.begin(), job.cells.end(),
+                           [](const auto &t) {
+                               return t->state == CellTask::State::Done;
+                           });
+    });
+    std::vector<runner::RunResult> results;
+    results.reserve(job.cells.size());
+    for (const auto &task : job.cells)
+        results.push_back(task->result);
+    const bool approx = job.approxColumns;
+    lk.unlock();
+    return sweepCsv(results, approx);
+}
+
+ExperimentService::JobStatus
+ExperimentService::status(const std::string &job_id)
+{
+    JobStatus out;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end())
+        return out;
+    out.known = true;
+    out.cells = it->second.cells.size();
+    for (const auto &task : it->second.cells)
+        if (task->state == CellTask::State::Done)
+            ++out.done;
+    return out;
+}
+
+bool
+ExperimentService::streamJob(
+    const std::string &job_id,
+    const std::function<bool(const std::string &)> &emit)
+{
+    std::vector<std::shared_ptr<CellTask>> cells;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = jobs_.find(job_id);
+        if (it == jobs_.end())
+            return false;
+        cells = it->second.cells;
+    }
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &task = cells[i];
+        std::size_t next = 0;
+        for (;;) {
+            std::vector<std::string> batch;
+            bool done = false;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                doneCv_.wait(lk, [&] {
+                    return task->streamLines.size() > next ||
+                           task->state == CellTask::State::Done;
+                });
+                while (next < task->streamLines.size())
+                    batch.push_back(task->streamLines[next++]);
+                done = task->state == CellTask::State::Done;
+            }
+            for (const auto &line : batch)
+                if (!emit(line))
+                    return false;
+            if (done && batch.empty())
+                break;
+        }
+
+        // The deterministic cell trailer: no provenance (cache/dedup
+        // state depends on arrival order), only model truth.
+        trace::JsonlWriter w;
+        w.field("cell", static_cast<u64>(i));
+        w.field("workload", task->request.workload);
+        w.field("abi", abi::abiName(task->request.abi));
+        if (task->result.ok()) {
+            w.field("state", "done");
+            w.field("instructions", task->result.sim->instructions);
+            w.field("cycles", task->result.sim->cycles);
+        } else {
+            w.field("state", "na");
+        }
+        if (!emit(w.finish()))
+            return false;
+    }
+
+    trace::JsonlWriter w;
+    w.field("job", job_id);
+    w.field("state", "done");
+    w.field("cells", static_cast<u64>(cells.size()));
+    return emit(w.finish());
+}
+
+void
+ExperimentService::beginDrain()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+    workCv_.notify_all();
+    doneCv_.notify_all();
+}
+
+void
+ExperimentService::drainAndStop()
+{
+    beginDrain();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+    }
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+}
+
+ServiceStats
+ExperimentService::stats()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ServiceStats out = stats_;
+    std::vector<double> sorted = latencySamples_;
+    std::sort(sorted.begin(), sorted.end());
+    out.queueLatencyP50 = percentile(sorted, 0.50);
+    out.queueLatencyP99 = percentile(std::move(sorted), 0.99);
+    return out;
+}
+
+} // namespace cheri::serve

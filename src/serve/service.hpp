@@ -1,0 +1,190 @@
+/**
+ * @file
+ * ExperimentService — the daemon's in-process core: a deduplicating
+ * job registry over a sharded priority queue and a worker pool.
+ *
+ * Dedup happens at three layers, all keyed by the cell's cache
+ * fingerprint (runner::cellFingerprint):
+ *   1. on-disk: a `.cpr` cache hit at submit time replays instantly;
+ *   2. in-flight: a fingerprint already Queued/Running attaches the
+ *      new job as a second subscriber of the same CellTask;
+ *   3. memo: a fingerprint already Done this daemon lifetime reuses
+ *      the completed task.
+ * Either way, every unique fingerprint simulates at most once per
+ * daemon lifetime, and every subscriber reads the same RunResult —
+ * the determinism contract (same request → same bytes) holds no
+ * matter how many clients race.
+ *
+ * The service is deliberately separable from the HTTP layer: tests
+ * drive submit/waitResult/streamJob directly, and the in-process
+ * bench (tools/bench_serve.cpp) measures it without socket noise.
+ */
+
+#ifndef CHERI_SERVE_SERVICE_HPP
+#define CHERI_SERVE_SERVICE_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/protocol.hpp"
+
+namespace cheri::serve {
+
+struct ServiceConfig
+{
+    u32 workers = 0; //!< 0 = runner::hardwareJobs().
+    u32 shards = 0;  //!< 0 = worker count.
+    std::size_t queue_depth = 4096; //!< Admission bound (cells).
+    bool cache = true;              //!< Consult/populate the .cpr cache.
+    std::string cache_dir;          //!< Empty = ResultCache::defaultDir().
+
+    /**
+     * Spawn workers in the constructor. Tests turn this off to stage
+     * guaranteed-overlapping submissions before any cell can finish,
+     * then call start().
+     */
+    bool autostart = true;
+};
+
+enum class SubmitStatus
+{
+    Accepted,   //!< Job registered (possibly entirely deduplicated).
+    QueueFull,  //!< Backpressure: not enough queue slots; retry later.
+    Draining,   //!< Daemon is shutting down; no new work.
+    BadRequest, //!< Malformed/unknown spec; never retriable.
+};
+
+/** Monotonic counters + queue-latency percentiles (stats()). */
+struct ServiceStats
+{
+    u64 jobsSubmitted = 0;
+    u64 cellsSubmitted = 0;   //!< Cells across all accepted jobs.
+    u64 uniqueCells = 0;      //!< New fingerprints first seen.
+    u64 simulated = 0;        //!< Worker-executed simulations.
+    u64 inflightDedup = 0;    //!< Joined a Queued/Running cell.
+    u64 memoHits = 0;         //!< Joined an already-Done cell.
+    u64 cacheHits = 0;        //!< Replayed from disk at submit.
+    u64 rejectedFull = 0;     //!< Submissions bounced by backpressure.
+    u64 rejectedDraining = 0; //!< Submissions bounced by shutdown.
+    double queueLatencyP50 = 0; //!< Seconds enqueue→pop.
+    double queueLatencyP99 = 0;
+
+    /** The daemon's shutdown summary line (asserted by CI). */
+    std::string summary() const;
+};
+
+class ExperimentService
+{
+  public:
+    explicit ExperimentService(ServiceConfig config = {});
+    ~ExperimentService();
+
+    ExperimentService(const ExperimentService &) = delete;
+    ExperimentService &operator=(const ExperimentService &) = delete;
+
+    /** Spawn the worker pool (idempotent; no-op after drain). */
+    void start();
+
+    /**
+     * Register @p spec. On Accepted, @p job_id names the (possibly
+     * pre-existing) job; on BadRequest, @p error says why. Admission
+     * is all-or-nothing: a job whose fresh cells exceed the free
+     * queue slots is rejected whole (QueueFull) with no partial
+     * state.
+     */
+    SubmitStatus submit(const JobSpec &spec, std::string *job_id,
+                        std::string *error);
+
+    /**
+     * Block until every cell of @p job_id is done, then render the
+     * job's sweep CSV. nullopt for unknown ids.
+     */
+    std::optional<std::string> waitResult(const std::string &job_id);
+
+    struct JobStatus
+    {
+        bool known = false;
+        std::size_t cells = 0;
+        std::size_t done = 0;
+        bool finished() const { return known && done == cells; }
+    };
+    JobStatus status(const std::string &job_id);
+
+    /**
+     * Stream @p job_id as NDJSON: per cell in plan order, any live
+     * epoch lines (traced cells — pushed while the cell simulates,
+     * replayed from the buffer for late subscribers) followed by one
+     * deterministic cell-done line, then one job-done trailer. @p emit
+     * returns false to abort (client went away). False for unknown
+     * ids or an aborted emit.
+     */
+    bool streamJob(const std::string &job_id,
+                   const std::function<bool(const std::string &)> &emit);
+
+    /** Stop admitting work; queued cells still complete. */
+    void beginDrain();
+
+    /** beginDrain() + run the queue dry + join the workers. */
+    void drainAndStop();
+
+    ServiceStats stats();
+
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    struct CellTask
+    {
+        enum class State { Queued, Running, Done };
+
+        runner::RunRequest request; //!< Normalized.
+        u64 fingerprint = 0;
+        State state = State::Queued;
+        runner::RunResult result;
+        /** Live epoch JSONL lines (traced cells), in epoch order. */
+        std::vector<std::string> streamLines;
+        std::chrono::steady_clock::time_point enqueued{};
+    };
+
+    struct Job
+    {
+        std::vector<std::shared_ptr<CellTask>> cells; //!< Plan order.
+        bool approxColumns = false;
+    };
+
+    class LiveEpochSink;
+
+    void workerLoop(u32 index);
+    void noteDone(CellTask &task);
+
+    ServiceConfig config_;
+    runner::ResultCache cache_;
+
+    std::mutex mu_;
+    std::condition_variable workCv_; //!< Workers: queue non-empty/drain.
+    std::condition_variable doneCv_; //!< Waiters: cell progress.
+    ShardedQueue queue_;
+    std::unordered_map<u64, std::shared_ptr<CellTask>> memo_;
+    std::map<std::string, Job> jobs_;
+    std::vector<double> latencySamples_;
+    ServiceStats stats_;
+    u64 submitSeq_ = 0;
+    bool draining_ = false;
+    bool started_ = false;
+    bool stopped_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace cheri::serve
+
+#endif // CHERI_SERVE_SERVICE_HPP

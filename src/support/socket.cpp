@@ -1,0 +1,198 @@
+#include "support/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace cheri::net {
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::setIoTimeout(u32 seconds)
+{
+    if (fd_ < 0)
+        return;
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool
+ListenSocket::listen(u16 port, std::string *error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sock_ = Socket(fd);
+
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (error)
+            *error = std::string("bind 127.0.0.1:") + std::to_string(port) +
+                     ": " + std::strerror(errno);
+        sock_.close();
+        return false;
+    }
+    if (::listen(fd, 128) != 0) {
+        if (error)
+            *error = std::string("listen: ") + std::strerror(errno);
+        sock_.close();
+        return false;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&addr), &len) !=
+        0) {
+        if (error)
+            *error = std::string("getsockname: ") + std::strerror(errno);
+        sock_.close();
+        return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    return true;
+}
+
+std::optional<Socket>
+ListenSocket::accept(int wake_fd)
+{
+    for (;;) {
+        struct pollfd fds[2];
+        fds[0].fd = sock_.fd();
+        fds[0].events = POLLIN;
+        fds[0].revents = 0;
+        fds[1].fd = wake_fd;
+        fds[1].events = POLLIN;
+        fds[1].revents = 0;
+        int n = ::poll(fds, wake_fd >= 0 ? 2 : 1, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::nullopt;
+        }
+        if (wake_fd >= 0 && (fds[1].revents & POLLIN) != 0)
+            return std::nullopt; // woken for shutdown
+        if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0)
+            continue;
+        int fd = ::accept4(sock_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return std::nullopt;
+        }
+        return Socket(fd);
+    }
+}
+
+Socket
+connectLoopback(u16 port, std::string *error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return Socket();
+    }
+    Socket sock(fd);
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = std::string("connect 127.0.0.1:") + std::to_string(port) +
+                     ": " + std::strerror(errno);
+        return Socket();
+    }
+    return sock;
+}
+
+bool
+sendAll(Socket &sock, std::string_view data)
+{
+    const char *p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+        ssize_t n = ::send(sock.fd(), p, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+recvSome(Socket &sock, char *out, std::size_t max)
+{
+    for (;;) {
+        ssize_t n = ::recv(sock.fd(), out, max, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return static_cast<long>(n);
+    }
+}
+
+bool
+WakePipe::open()
+{
+    int fds[2];
+    if (::pipe2(fds, O_CLOEXEC) != 0)
+        return false;
+    // The write end is poked from a signal handler: it must never block.
+    int flags = ::fcntl(fds[1], F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fds[1], F_SETFL, flags | O_NONBLOCK);
+    read_end = Socket(fds[0]);
+    write_end = Socket(fds[1]);
+    return true;
+}
+
+void
+WakePipe::notify()
+{
+    if (!write_end.valid())
+        return;
+    char byte = 1;
+    // Best effort: a full pipe already means a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(write_end.fd(), &byte, 1);
+}
+
+} // namespace cheri::net

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal POSIX TCP plumbing for the experiment service.
+ *
+ * Deliberately loopback-only: `cheriperf serve` is a local experiment
+ * daemon, not an internet-facing server, so the listener binds
+ * 127.0.0.1 and the client connects to it. Everything here is a thin
+ * RAII veneer over socket(2)/accept(2)/poll(2); protocol framing
+ * (HTTP request lines, JSONL bodies) lives in src/serve, which is the
+ * only consumer.
+ */
+
+#ifndef CHERI_SUPPORT_SOCKET_HPP
+#define CHERI_SUPPORT_SOCKET_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/types.hpp"
+
+namespace cheri::net {
+
+/** Owning file-descriptor handle (sockets, pipe ends). */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void close();
+
+    /** Bound send/recv so a stalled peer cannot wedge a thread. */
+    void setIoTimeout(u32 seconds);
+
+  private:
+    int fd_ = -1;
+};
+
+/** Loopback TCP listener; port 0 asks the kernel for an ephemeral one. */
+class ListenSocket
+{
+  public:
+    /** Bind+listen on 127.0.0.1:@p port. False (with @p error) on failure. */
+    bool listen(u16 port, std::string *error);
+
+    /** The actual bound port (resolves port 0). */
+    u16 boundPort() const { return port_; }
+
+    /**
+     * Block until a connection arrives or @p wake_fd becomes readable
+     * (the self-pipe a signal handler writes to). nullopt = woken or
+     * listener error; transient accept failures retry internally.
+     */
+    std::optional<Socket> accept(int wake_fd);
+
+    bool valid() const { return sock_.valid(); }
+    void close() { sock_.close(); }
+
+  private:
+    Socket sock_;
+    u16 port_ = 0;
+};
+
+/** Connect to 127.0.0.1:@p port. Invalid socket (+ @p error) on failure. */
+Socket connectLoopback(u16 port, std::string *error);
+
+/** Write all of @p data; false on any error (EPIPE included). */
+bool sendAll(Socket &sock, std::string_view data);
+
+/**
+ * Read some bytes (up to @p max) into @p out. Returns bytes read,
+ * 0 on orderly close, negative on error.
+ */
+long recvSome(Socket &sock, char *out, std::size_t max);
+
+/** A pipe pair for interrupting poll/accept from a signal handler. */
+struct WakePipe
+{
+    Socket read_end;
+    Socket write_end;
+
+    /** Create (non-blocking write end). False on failure. */
+    bool open();
+
+    /** Async-signal-safe nudge (one byte, best-effort). */
+    void notify();
+};
+
+} // namespace cheri::net
+
+#endif // CHERI_SUPPORT_SOCKET_HPP

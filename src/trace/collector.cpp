@@ -96,6 +96,8 @@ EpochCollector::closeEpoch(const uarch::PipelineModel &pipe, u64 inst_now)
         pipe.storeQueue().occupancyAt(static_cast<Cycles>(live.cycles));
 
     series_.epochs.push_back(std::move(rec));
+    if (config_.sink != nullptr)
+        config_.sink->onEpoch(series_.epochs.back());
 
     prevInst_ = inst_now;
     prevCounts_ = counts;

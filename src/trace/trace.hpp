@@ -23,6 +23,21 @@
 
 namespace cheri::trace {
 
+struct EpochRecord;
+
+/**
+ * Live epoch observer. The experiment service attaches one so closed
+ * epochs stream to subscribed clients while the cell still runs; the
+ * collector invokes it synchronously on the simulating thread right
+ * after an epoch is appended to the series.
+ */
+class EpochSink
+{
+  public:
+    virtual ~EpochSink() = default;
+    virtual void onEpoch(const EpochRecord &epoch) = 0;
+};
+
 /**
  * Per-request tracing knobs. Carried inside runner::RunRequest and
  * folded into the result-cache fingerprint: a traced cell is a
@@ -35,7 +50,18 @@ struct TraceConfig
     /** Retired-instruction interval per epoch. */
     u64 epoch_insts = 100'000;
 
-    bool operator==(const TraceConfig &) const = default;
+    /**
+     * Optional live observer. NOT part of request identity: a
+     * streamed run and a buffered run are the same experiment, so
+     * equality (and therefore the cache fingerprint) ignores it.
+     */
+    EpochSink *sink = nullptr;
+
+    bool
+    operator==(const TraceConfig &other) const
+    {
+        return enabled == other.enabled && epoch_insts == other.epoch_insts;
+    }
 };
 
 /**

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# CI load harness for the experiment daemon's determinism contract.
+#
+# Boots `cheriperf serve`, fires CLIENTS concurrent submissions spread
+# round-robin over a small set of distinct experiments (so well over
+# half the submissions are duplicates), and asserts:
+#   * every client exits 0 and duplicates get byte-identical responses;
+#   * every response is byte-identical to the offline
+#     `cheriperf sweep --csv --jobs 4` run of the same experiment;
+#   * the drain summary proves exactly one simulation per unique cell;
+#   * SIGTERM drains clean (exit 0, "drained clean" in the log).
+# All responses and the daemon log land in ARTIFACT_DIR (when set) so
+# CI can upload them on failure.
+#
+# Usage: serve_hammer.sh <cheriperf-binary> <work-dir> [clients] [workers]
+set -u
+
+BIN=$1
+WORK=$2
+CLIENTS=${3:-64}
+WORKERS=${4:-4}
+
+# The distinct experiments the clients cycle through: 4 unique jobs,
+# 3 cells each -> 12 unique cells however many clients hammer them.
+SPECS=(519.lbm_r 520.omnetpp_r SQLite QuickJS)
+
+fail() {
+    echo "serve_hammer: FAIL: $*" >&2
+    [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+    if [ -f "$WORK/daemon.log" ]; then
+        echo "--- daemon log ---" >&2
+        cat "$WORK/daemon.log" >&2
+    fi
+    exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK/responses"
+
+echo "serve_hammer: $CLIENTS clients over ${#SPECS[@]} unique jobs," \
+    "$WORKERS workers"
+
+"$BIN" serve --port 0 --port-file "$WORK/port" --workers "$WORKERS" \
+    --cache-dir "$WORK/cache" 2> "$WORK/daemon.log" &
+DAEMON_PID=$!
+
+pids=()
+for ((i = 0; i < CLIENTS; ++i)); do
+    spec=${SPECS[$((i % ${#SPECS[@]}))]}
+    "$BIN" submit --workload "$spec" --scale tiny \
+        --port-file "$WORK/port" \
+        > "$WORK/responses/$i.csv" 2> "$WORK/responses/$i.log" &
+    pids+=($!)
+done
+
+failed=0
+for ((i = 0; i < CLIENTS; ++i)); do
+    if ! wait "${pids[$i]}"; then
+        echo "serve_hammer: client $i exited non-zero:" >&2
+        sed 's/^/  /' "$WORK/responses/$i.log" >&2
+        failed=1
+    fi
+done
+[ "$failed" -eq 0 ] || fail "one or more clients failed"
+
+# Offline references, then byte-compare every response against the
+# reference for its spec — this covers duplicate-vs-duplicate identity
+# transitively.
+for spec in "${SPECS[@]}"; do
+    "$BIN" sweep --workload "$spec" --scale tiny --csv --jobs 4 \
+        --no-cache > "$WORK/offline-$spec.csv" 2> /dev/null ||
+        fail "offline sweep for $spec failed"
+done
+for ((i = 0; i < CLIENTS; ++i)); do
+    spec=${SPECS[$((i % ${#SPECS[@]}))]}
+    cmp -s "$WORK/responses/$i.csv" "$WORK/offline-$spec.csv" ||
+        fail "client $i response differs from offline $spec sweep"
+done
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon exited non-zero after SIGTERM"
+DAEMON_PID=
+grep -q "drained clean" "$WORK/daemon.log" ||
+    fail "daemon log lacks the drained-clean line"
+
+unique=$((${#SPECS[@]} * 3))
+cells=$((CLIENTS * 3))
+grep -q "cells=$cells unique=$unique simulated=$unique" \
+    "$WORK/daemon.log" ||
+    fail "summary must show $cells cells, $unique unique," \
+        "$unique simulated (one simulation per unique cell)"
+
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$ARTIFACT_DIR"
+    cp "$WORK/daemon.log" "$ARTIFACT_DIR/"
+    cp -r "$WORK/responses" "$ARTIFACT_DIR/"
+fi
+
+echo "serve_hammer: OK ($CLIENTS clients, $unique unique cells," \
+    "all responses byte-identical)"

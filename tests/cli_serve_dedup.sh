@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end fixture for the experiment daemon's dedup contract: two
+# in-flight identical submissions must produce byte-identical CSV,
+# exactly one simulation per unique cell (asserted via the daemon's
+# drain summary counters), and the response must match the offline
+# `cheriperf sweep --csv` bytes. Also exercises the clear-cache lock:
+# clearing is refused while the daemon holds the cache dir and works
+# again after a clean SIGTERM drain.
+#
+# Usage: cli_serve_dedup.sh <cheriperf-binary> <work-dir>
+set -u
+
+BIN=$1
+WORK=$2
+
+fail() {
+    echo "cli_serve_dedup: FAIL: $*" >&2
+    [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+    [ -f "$WORK/daemon.log" ] && sed 's/^/  daemon: /' "$WORK/daemon.log" >&2
+    exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+"$BIN" serve --port 0 --port-file "$WORK/port" --workers 2 \
+    --cache-dir "$WORK/cache" 2> "$WORK/daemon.log" &
+DAEMON_PID=$!
+
+# Two identical submissions racing: the client polls the port file, so
+# launching both immediately is safe.
+"$BIN" submit --workload 519.lbm_r --scale tiny \
+    --port-file "$WORK/port" > "$WORK/a.csv" 2> "$WORK/a.log" &
+SUB_A=$!
+"$BIN" submit --workload 519.lbm_r --scale tiny \
+    --port-file "$WORK/port" > "$WORK/b.csv" 2> "$WORK/b.log" &
+SUB_B=$!
+wait "$SUB_A" || fail "first submission exited non-zero"
+wait "$SUB_B" || fail "second submission exited non-zero"
+
+cmp -s "$WORK/a.csv" "$WORK/b.csv" ||
+    fail "duplicate submissions returned different bytes"
+
+# The served CSV must be byte-identical to the offline sweep.
+"$BIN" sweep --workload 519.lbm_r --scale tiny --csv --jobs 4 \
+    --no-cache > "$WORK/offline.csv" 2> /dev/null ||
+    fail "offline sweep failed"
+cmp -s "$WORK/a.csv" "$WORK/offline.csv" ||
+    fail "served CSV differs from offline sweep CSV"
+
+# The bugfix: clear-cache must refuse while the daemon holds the dir.
+if "$BIN" clear-cache --cache-dir "$WORK/cache" 2> "$WORK/clear.log"; then
+    fail "clear-cache succeeded while the daemon holds the cache"
+fi
+grep -q "in use" "$WORK/clear.log" ||
+    fail "clear-cache refusal lacks the explanatory message"
+
+# Graceful drain: SIGTERM, clean exit, summary counters prove exactly
+# one simulation per unique cell (3 ABIs x 1 workload).
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon exited non-zero after SIGTERM"
+DAEMON_PID=
+grep -q "drained clean" "$WORK/daemon.log" ||
+    fail "daemon log lacks the drained-clean line"
+grep -q "unique=3 simulated=3" "$WORK/daemon.log" ||
+    fail "expected 3 unique cells / 3 simulations in the summary"
+grep -Eq "jobs=2 cells=6" "$WORK/daemon.log" ||
+    fail "expected 2 jobs / 6 cells in the summary"
+
+# With the daemon gone the lock is free and clearing works.
+"$BIN" clear-cache --cache-dir "$WORK/cache" ||
+    fail "clear-cache still refused after the daemon exited"
+
+echo "cli_serve_dedup: OK"

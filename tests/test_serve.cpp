@@ -1,0 +1,444 @@
+/**
+ * @file
+ * The experiment service: queue ordering/stealing/backpressure, the
+ * JSONL wire protocol (strict parse, canonical render, sweep-order
+ * expansion, content-addressed job ids), the three dedup layers
+ * (in-flight, memo, disk), CSV byte-parity with the offline runner,
+ * drain semantics, and the cache-directory lock behind the
+ * clear-cache bugfix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "runner/cache.hpp"
+#include "runner/runner.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/protocol.hpp"
+#include "serve/render.hpp"
+#include "serve/service.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::serve {
+namespace {
+
+using runner::CacheDirLock;
+
+/** A fresh per-test cache directory under gtest's temp root. */
+std::string
+tempCacheDir(const std::string &tag)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir()) /
+                     ("cheriperf-serve-test-" + tag);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+JobSpec
+lbmSpec()
+{
+    JobSpec spec;
+    spec.workload = "519.lbm_r";
+    spec.abi = "all";
+    spec.scale = "tiny";
+    return spec;
+}
+
+// --- ShardedQueue ---------------------------------------------------
+
+TEST(ShardedQueue, PriorityDescendingThenFifo)
+{
+    ShardedQueue q(1, 16);
+    EXPECT_TRUE(q.push(10, 0, 0));
+    EXPECT_TRUE(q.push(11, 5, 1));
+    EXPECT_TRUE(q.push(12, 5, 2));
+    EXPECT_TRUE(q.push(13, -1, 3));
+    EXPECT_EQ(q.pop(0), 11u); // highest priority first
+    EXPECT_EQ(q.pop(0), 12u); // FIFO among equals
+    EXPECT_EQ(q.pop(0), 10u);
+    EXPECT_EQ(q.pop(0), 13u);
+    EXPECT_EQ(q.pop(0), std::nullopt);
+}
+
+TEST(ShardedQueue, CapacityBoundsAndFreeSlots)
+{
+    ShardedQueue q(2, 2);
+    EXPECT_EQ(q.freeSlots(), 2u);
+    EXPECT_TRUE(q.push(1, 0, 0));
+    EXPECT_TRUE(q.push(2, 0, 1));
+    EXPECT_EQ(q.freeSlots(), 0u);
+    EXPECT_FALSE(q.push(3, 0, 2)) << "push past capacity must fail";
+    EXPECT_TRUE(q.contains(1));
+    EXPECT_FALSE(q.contains(3));
+    ASSERT_TRUE(q.pop(0).has_value());
+    EXPECT_EQ(q.freeSlots(), 1u);
+    EXPECT_TRUE(q.push(3, 0, 3));
+}
+
+TEST(ShardedQueue, ReprioritizeIsRaiseOnly)
+{
+    ShardedQueue q(1, 8);
+    EXPECT_TRUE(q.push(1, 0, 0));
+    EXPECT_TRUE(q.push(2, 0, 1));
+    EXPECT_FALSE(q.reprioritize(2, 0)) << "equal priority is a no-op";
+    EXPECT_FALSE(q.reprioritize(2, -3)) << "lowering is a no-op";
+    EXPECT_FALSE(q.reprioritize(99, 7)) << "unknown fp is a no-op";
+    EXPECT_TRUE(q.reprioritize(2, 7));
+    EXPECT_EQ(q.pop(0), 2u) << "raised entry must now pop first";
+    EXPECT_EQ(q.pop(0), 1u);
+}
+
+TEST(ShardedQueue, StealsFromOtherShardsWhenHomeDry)
+{
+    ShardedQueue q(4, 16);
+    // fp 5 lands on shard 1; pop from shard 0 must steal it.
+    EXPECT_EQ(q.shardOf(5), 1u);
+    EXPECT_TRUE(q.push(5, 0, 0));
+    EXPECT_EQ(q.pop(0), 5u);
+    EXPECT_EQ(q.pop(0), std::nullopt);
+}
+
+// --- protocol -------------------------------------------------------
+
+TEST(ServeProtocol, ParseRoundTripsCanonicalForm)
+{
+    JobSpec spec;
+    spec.workload = "SQLite";
+    spec.scale = "tiny";
+    spec.seed = 7;
+    spec.priority = -2;
+    spec.trace_epochs = 50'000;
+    const std::string wire = jobSpecJsonl(spec);
+
+    JobSpec parsed;
+    std::string error;
+    ASSERT_TRUE(parseJobSpec(wire, &parsed, &error)) << error;
+    EXPECT_EQ(jobSpecJsonl(parsed), wire);
+    EXPECT_EQ(parsed.workload, "SQLite");
+    EXPECT_EQ(parsed.seed, 7u);
+    EXPECT_EQ(parsed.priority, -2);
+    EXPECT_EQ(parsed.trace_epochs, 50'000u);
+}
+
+TEST(ServeProtocol, ParseRejectsUnknownKeysAndGarbage)
+{
+    JobSpec spec;
+    std::string error;
+    EXPECT_FALSE(parseJobSpec("{\"workload\":\"SQLite\",\"sede\":1}",
+                              &spec, &error));
+    EXPECT_NE(error.find("sede"), std::string::npos)
+        << "error must name the offending key: " << error;
+    EXPECT_FALSE(parseJobSpec("not json", &spec, &error));
+    EXPECT_FALSE(parseJobSpec("{\"seed\":\"forty-two\"}", &spec, &error))
+        << "type mismatch must be an error";
+    EXPECT_FALSE(parseJobSpec("{\"cfg\":{\"a\":1}}", &spec, &error))
+        << "nested values must be an error";
+}
+
+TEST(ServeProtocol, ExpandMatchesSweepOrderAndValidates)
+{
+    std::string error;
+    JobSpec spec = lbmSpec();
+    const auto cells = expandJobSpec(spec, &error);
+    ASSERT_EQ(cells.size(), 3u) << error;
+    for (const auto &cell : cells) {
+        EXPECT_EQ(cell.workload, "519.lbm_r");
+        EXPECT_EQ(cell.scale, workloads::Scale::Tiny);
+        EXPECT_FALSE(cell.config.has_value())
+            << "daemon cells must fingerprint like default CLI cells";
+    }
+    EXPECT_EQ(cells[0].abi, abi::kAllAbis[0]);
+    EXPECT_EQ(cells[1].abi, abi::kAllAbis[1]);
+    EXPECT_EQ(cells[2].abi, abi::kAllAbis[2]);
+
+    JobSpec bad = lbmSpec();
+    bad.workload = "no-such-workload";
+    EXPECT_TRUE(expandJobSpec(bad, &error).empty());
+    EXPECT_NE(error.find("no-such-workload"), std::string::npos);
+
+    JobSpec conflict = lbmSpec();
+    conflict.approx_rate = 100;
+    conflict.trace_epochs = 1000;
+    EXPECT_TRUE(expandJobSpec(conflict, &error).empty())
+        << "approx + trace must be rejected";
+}
+
+TEST(ServeProtocol, JobIdIsContentAddressed)
+{
+    std::string error;
+    const auto a = expandJobSpec(lbmSpec(), &error);
+    const auto b = expandJobSpec(lbmSpec(), &error);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(jobId(a), jobId(b));
+
+    JobSpec other = lbmSpec();
+    other.seed = 43;
+    const auto c = expandJobSpec(other, &error);
+    EXPECT_NE(jobId(a), jobId(c));
+
+    // Priority is intentionally not part of the identity.
+    JobSpec urgent = lbmSpec();
+    urgent.priority = 99;
+    const auto d = expandJobSpec(urgent, &error);
+    EXPECT_EQ(jobId(a), jobId(d));
+}
+
+// --- ExperimentService ----------------------------------------------
+
+TEST(ExperimentService, InflightDedupSimulatesOnce)
+{
+    ServiceConfig config;
+    config.workers = 2;
+    config.cache = false;
+    config.autostart = false; // stage guaranteed overlap
+    ExperimentService service(config);
+
+    std::string id1, id2, error;
+    ASSERT_EQ(service.submit(lbmSpec(), &id1, &error),
+              SubmitStatus::Accepted)
+        << error;
+    ASSERT_EQ(service.submit(lbmSpec(), &id2, &error),
+              SubmitStatus::Accepted)
+        << error;
+    EXPECT_EQ(id1, id2) << "identical submissions share one job";
+
+    service.start();
+    const auto csv1 = service.waitResult(id1);
+    const auto csv2 = service.waitResult(id2);
+    ASSERT_TRUE(csv1.has_value());
+    ASSERT_TRUE(csv2.has_value());
+    EXPECT_EQ(*csv1, *csv2) << "subscribers must read identical bytes";
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.jobsSubmitted, 2u);
+    EXPECT_EQ(stats.cellsSubmitted, 6u);
+    EXPECT_EQ(stats.uniqueCells, 3u);
+    EXPECT_EQ(stats.simulated, 3u)
+        << "each unique fingerprint simulates exactly once";
+    EXPECT_EQ(stats.inflightDedup + stats.memoHits, 3u);
+    service.drainAndStop();
+}
+
+TEST(ExperimentService, CsvMatchesOfflineSweepBytes)
+{
+    ServiceConfig config;
+    config.workers = 2;
+    config.cache = false;
+    ExperimentService service(config);
+
+    std::string id, error;
+    ASSERT_EQ(service.submit(lbmSpec(), &id, &error),
+              SubmitStatus::Accepted)
+        << error;
+    const auto csv = service.waitResult(id);
+    ASSERT_TRUE(csv.has_value());
+
+    runner::ExperimentPlan plan =
+        runner::ExperimentPlan::fullSweep({"519.lbm_r"},
+                                          workloads::Scale::Tiny);
+    runner::RunnerOptions ropt;
+    ropt.cache = false;
+    const auto outcome = runner::runPlan(plan, ropt);
+    EXPECT_EQ(*csv, sweepCsv(outcome.results, false))
+        << "served CSV must be byte-identical to the offline sweep";
+    service.drainAndStop();
+}
+
+TEST(ExperimentService, MemoHitsReuseDoneCells)
+{
+    ServiceConfig config;
+    config.workers = 2;
+    config.cache = false;
+    ExperimentService service(config);
+
+    std::string id1, id2, error;
+    ASSERT_EQ(service.submit(lbmSpec(), &id1, &error),
+              SubmitStatus::Accepted);
+    ASSERT_TRUE(service.waitResult(id1).has_value());
+
+    // Same cells again after completion: memo layer, zero new work.
+    ASSERT_EQ(service.submit(lbmSpec(), &id2, &error),
+              SubmitStatus::Accepted);
+    EXPECT_EQ(id1, id2);
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.simulated, 3u);
+    EXPECT_EQ(stats.memoHits + stats.inflightDedup, 3u);
+    service.drainAndStop();
+}
+
+TEST(ExperimentService, DiskCacheHitsSkipTheQueue)
+{
+    const std::string dir = tempCacheDir("disk-dedup");
+    {
+        ServiceConfig config;
+        config.workers = 2;
+        config.cache_dir = dir;
+        ExperimentService service(config);
+        std::string id, error;
+        ASSERT_EQ(service.submit(lbmSpec(), &id, &error),
+                  SubmitStatus::Accepted)
+            << error;
+        ASSERT_TRUE(service.waitResult(id).has_value());
+        service.drainAndStop();
+    }
+    // A fresh daemon over the same cache dir replays from disk.
+    ServiceConfig config;
+    config.workers = 2;
+    config.cache_dir = dir;
+    ExperimentService service(config);
+    std::string id, error;
+    ASSERT_EQ(service.submit(lbmSpec(), &id, &error),
+              SubmitStatus::Accepted)
+        << error;
+    ASSERT_TRUE(service.waitResult(id).has_value());
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.cacheHits, 3u);
+    EXPECT_EQ(stats.simulated, 0u) << "no simulation on a warm cache";
+    service.drainAndStop();
+}
+
+TEST(ExperimentService, BackpressureRejectsWholeJob)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    config.cache = false;
+    config.queue_depth = 2; // < the 3 cells of an all-ABI job
+    config.autostart = false;
+    ExperimentService service(config);
+
+    std::string id, error;
+    EXPECT_EQ(service.submit(lbmSpec(), &id, &error),
+              SubmitStatus::QueueFull);
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.rejectedFull, 1u);
+    EXPECT_EQ(stats.cellsSubmitted, 0u)
+        << "all-or-nothing: no partial registration";
+
+    // A job that fits still goes through afterwards.
+    JobSpec narrow = lbmSpec();
+    narrow.abi = "purecap";
+    EXPECT_EQ(service.submit(narrow, &id, &error),
+              SubmitStatus::Accepted)
+        << error;
+    service.start();
+    EXPECT_TRUE(service.waitResult(id).has_value());
+    service.drainAndStop();
+}
+
+TEST(ExperimentService, DrainRejectsNewWorkButFinishesQueued)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    config.cache = false;
+    config.autostart = false;
+    ExperimentService service(config);
+
+    std::string id, error;
+    ASSERT_EQ(service.submit(lbmSpec(), &id, &error),
+              SubmitStatus::Accepted);
+    service.beginDrain();
+    std::string id2;
+    EXPECT_EQ(service.submit(lbmSpec(), &id2, &error),
+              SubmitStatus::Draining);
+    EXPECT_EQ(service.stats().rejectedDraining, 1u);
+
+    // Queued work admitted before the drain still completes.
+    service.start();
+    service.drainAndStop();
+    EXPECT_TRUE(service.status(id).finished());
+    EXPECT_TRUE(service.waitResult(id).has_value());
+}
+
+TEST(ExperimentService, StreamEndsWithDeterministicTrailers)
+{
+    ServiceConfig config;
+    config.workers = 2;
+    config.cache = false;
+    ExperimentService service(config);
+
+    std::string id, error;
+    JobSpec spec = lbmSpec();
+    spec.abi = "purecap";
+    ASSERT_EQ(service.submit(spec, &id, &error),
+              SubmitStatus::Accepted);
+
+    std::vector<std::string> lines;
+    ASSERT_TRUE(service.streamJob(id, [&](const std::string &line) {
+        lines.push_back(line);
+        return true;
+    }));
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_NE(lines[lines.size() - 2].find("\"state\":\"done\""),
+              std::string::npos);
+    EXPECT_NE(lines.back().find("\"job\":\"" + id + "\""),
+              std::string::npos);
+    EXPECT_NE(lines.back().find("\"cells\":1"), std::string::npos);
+
+    // Replays for late subscribers are byte-identical.
+    std::vector<std::string> replay;
+    ASSERT_TRUE(service.streamJob(id, [&](const std::string &line) {
+        replay.push_back(line);
+        return true;
+    }));
+    EXPECT_EQ(lines, replay);
+    EXPECT_FALSE(service.streamJob("feedfacefeedface", [](const auto &) {
+        return true;
+    }));
+    service.drainAndStop();
+}
+
+TEST(ExperimentService, TracedJobStreamsEpochLines)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    config.cache = false;
+    ExperimentService service(config);
+
+    JobSpec spec;
+    spec.workload = "519.lbm_r";
+    spec.abi = "purecap";
+    spec.scale = "tiny";
+    spec.trace_epochs = 10'000;
+    std::string id, error;
+    ASSERT_EQ(service.submit(spec, &id, &error),
+              SubmitStatus::Accepted)
+        << error;
+
+    std::size_t epochLines = 0;
+    ASSERT_TRUE(service.streamJob(id, [&](const std::string &line) {
+        if (line.find("\"epoch\":") != std::string::npos)
+            ++epochLines;
+        return true;
+    }));
+    EXPECT_GT(epochLines, 0u) << "traced cells must stream epochs";
+    service.drainAndStop();
+}
+
+// --- CacheDirLock ---------------------------------------------------
+
+TEST(CacheDirLockTest, SharedCoexistsExclusiveConflicts)
+{
+    const std::string dir = tempCacheDir("lock");
+    auto daemon = CacheDirLock::tryAcquire(dir, CacheDirLock::Mode::Shared);
+    ASSERT_TRUE(daemon.has_value());
+    auto second =
+        CacheDirLock::tryAcquire(dir, CacheDirLock::Mode::Shared);
+    EXPECT_TRUE(second.has_value())
+        << "two daemons may share one cache";
+    EXPECT_FALSE(CacheDirLock::tryAcquire(dir,
+                                          CacheDirLock::Mode::Exclusive)
+                     .has_value())
+        << "clear-cache must be refused while a daemon holds the dir";
+
+    daemon.reset();
+    second.reset();
+    EXPECT_TRUE(CacheDirLock::tryAcquire(dir,
+                                         CacheDirLock::Mode::Exclusive)
+                    .has_value())
+        << "lock must release when the daemons exit";
+}
+
+} // namespace
+} // namespace cheri::serve

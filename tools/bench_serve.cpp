@@ -1,0 +1,359 @@
+/**
+ * @file
+ * bench_serve — the CI harness for the experiment service.
+ *
+ * Drives an in-process ExperimentService (no sockets: this measures
+ * the queue/dedup/worker machinery, not loopback TCP) with the tier-1
+ * table-4 sweep submitted as per-workload jobs, each duplicated 4×,
+ * and emits BENCH_serve.json: jobs/sec, the dedup hit rate, p50/p99
+ * queue latency, and serve_efficiency — direct runner wall time over
+ * service wall time for the same unique cells, the "how much does the
+ * daemon machinery cost" ratio.
+ *
+ * With --baseline the harness gates like bench_throughput: the
+ * wall-clock metric gated is the RATIO (serve_efficiency — host speed
+ * cancels), and the deterministic counter (dedup_hit_rate — fixed by
+ * the submission pattern: 4× duplication ⇒ 0.75) is gated directly.
+ * jobs/sec and the latency percentiles are informational.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "serve/service.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri {
+namespace {
+
+struct Options
+{
+    workloads::Scale scale = workloads::Scale::Small;
+    u32 workers = 0; //!< 0 = hardware threads.
+    u64 seed = 42;
+    u32 duplicates = 4; //!< Submissions per distinct job.
+    std::string out = "BENCH_serve.json";
+    std::string baseline;
+    double tolerance = 0.10;
+};
+
+[[noreturn]] void
+usage(int status)
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_serve [options]\n"
+        "  --scale tiny|small|ref   cell scale (default small)\n"
+        "  --workers N              service workers (default: "
+        "hardware)\n"
+        "  --seed N                 sweep seed (default 42)\n"
+        "  --duplicates N           submissions per job (default 4)\n"
+        "  --out FILE               JSON output (default "
+        "BENCH_serve.json)\n"
+        "  --baseline FILE          gate against a prior JSON\n"
+        "  --tolerance FRAC         allowed relative drop "
+        "(default 0.10)\n");
+    std::exit(status);
+}
+
+const char *
+scaleName(workloads::Scale scale)
+{
+    switch (scale) {
+      case workloads::Scale::Tiny: return "tiny";
+      case workloads::Scale::Small: return "small";
+      case workloads::Scale::Ref: return "ref";
+    }
+    return "?";
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct ServeMeasure
+{
+    double wall_seconds = 0;
+    u64 jobs = 0;
+    u64 cells_submitted = 0;
+    u64 unique_cells = 0;
+    u64 simulated = 0;
+    double dedup_hit_rate = 0;
+    double jobs_per_sec = 0;
+    double p50 = 0;
+    double p99 = 0;
+};
+
+/**
+ * The service pass: one job per table-4 workload (all three ABIs),
+ * every job submitted `duplicates` times before the workers start —
+ * guaranteed in-flight overlap, so the dedup rate is exact and
+ * deterministic: 1 - 1/duplicates.
+ */
+ServeMeasure
+runService(const Options &opt)
+{
+    serve::ServiceConfig config;
+    config.workers = opt.workers;
+    config.cache = false; // measure dedup + workers, not the disk
+    config.autostart = false;
+    serve::ExperimentService service(config);
+
+    std::vector<serve::JobSpec> specs;
+    for (const auto &name : workloads::table4Names()) {
+        serve::JobSpec spec;
+        spec.workload = name;
+        spec.scale = scaleName(opt.scale);
+        spec.seed = opt.seed;
+        specs.push_back(std::move(spec));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::string> ids;
+    for (u32 dup = 0; dup < std::max<u32>(1, opt.duplicates); ++dup)
+        for (const auto &spec : specs) {
+            std::string id;
+            std::string error;
+            if (service.submit(spec, &id, &error) !=
+                serve::SubmitStatus::Accepted) {
+                std::fprintf(stderr, "bench_serve: submit failed: %s\n",
+                             error.c_str());
+                std::exit(2);
+            }
+            ids.push_back(std::move(id));
+        }
+    service.start();
+    for (const auto &id : ids)
+        if (!service.waitResult(id)) {
+            std::fprintf(stderr, "bench_serve: job %s vanished\n",
+                         id.c_str());
+            std::exit(2);
+        }
+    ServeMeasure m;
+    m.wall_seconds = secondsSince(start);
+    const auto stats = service.stats();
+    m.jobs = stats.jobsSubmitted;
+    m.cells_submitted = stats.cellsSubmitted;
+    m.unique_cells = stats.uniqueCells;
+    m.simulated = stats.simulated;
+    m.dedup_hit_rate =
+        stats.cellsSubmitted
+            ? static_cast<double>(stats.inflightDedup +
+                                  stats.memoHits + stats.cacheHits) /
+                  static_cast<double>(stats.cellsSubmitted)
+            : 0;
+    m.jobs_per_sec = m.wall_seconds > 0
+                         ? static_cast<double>(m.jobs) / m.wall_seconds
+                         : 0;
+    m.p50 = stats.queueLatencyP50;
+    m.p99 = stats.queueLatencyP99;
+    return m;
+}
+
+/** The same unique cells straight through runPlan — the denominator. */
+double
+runDirect(const Options &opt)
+{
+    runner::ExperimentPlan plan;
+    for (const auto &name : workloads::table4Names())
+        for (abi::Abi abi : abi::kAllAbis) {
+            runner::RunRequest request;
+            request.workload = name;
+            request.abi = abi;
+            request.scale = opt.scale;
+            request.seed = opt.seed;
+            plan.add(request);
+        }
+    runner::RunnerOptions ropt;
+    ropt.jobs = opt.workers;
+    ropt.cache = false;
+    const auto start = std::chrono::steady_clock::now();
+    runner::runPlan(plan, ropt);
+    return secondsSince(start);
+}
+
+void
+writeJson(const Options &opt, const ServeMeasure &serve,
+          double direct_wall, double efficiency)
+{
+    std::FILE *f = std::fopen(opt.out.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                     opt.out.c_str());
+        std::exit(2);
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": 1,\n");
+    std::fprintf(f, "  \"scale\": \"%s\",\n", scaleName(opt.scale));
+    std::fprintf(f, "  \"duplicates\": %u,\n", opt.duplicates);
+    std::fprintf(f, "  \"jobs\": %llu,\n",
+                 static_cast<unsigned long long>(serve.jobs));
+    std::fprintf(f, "  \"cells_submitted\": %llu,\n",
+                 static_cast<unsigned long long>(serve.cells_submitted));
+    std::fprintf(f, "  \"unique_cells\": %llu,\n",
+                 static_cast<unsigned long long>(serve.unique_cells));
+    std::fprintf(f, "  \"simulated\": %llu,\n",
+                 static_cast<unsigned long long>(serve.simulated));
+    std::fprintf(f, "  \"service_wall_seconds\": %.6f,\n",
+                 serve.wall_seconds);
+    std::fprintf(f, "  \"direct_wall_seconds\": %.6f,\n", direct_wall);
+    std::fprintf(f, "  \"jobs_per_sec\": %.3f,\n", serve.jobs_per_sec);
+    std::fprintf(f, "  \"queue_latency_p50_s\": %.6f,\n", serve.p50);
+    std::fprintf(f, "  \"queue_latency_p99_s\": %.6f,\n", serve.p99);
+    std::fprintf(f, "  \"dedup_hit_rate\": %.6f,\n",
+                 serve.dedup_hit_rate);
+    std::fprintf(f, "  \"serve_efficiency\": %.4f\n", efficiency);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+double
+jsonField(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = text.find(needle);
+    if (pos == std::string::npos) {
+        std::fprintf(stderr, "bench_serve: baseline lacks key '%s'\n",
+                     key.c_str());
+        std::exit(2);
+    }
+    return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+bool
+regressed(const char *name, double current, double base,
+          double tolerance)
+{
+    if (base <= 0)
+        return false;
+    const double floor = base * (1.0 - tolerance);
+    const bool bad = current < floor;
+    std::fprintf(stderr, "  %-24s %12.4f  baseline %12.4f  %s\n", name,
+                 current, base, bad ? "REGRESSED" : "ok");
+    return bad;
+}
+
+int
+checkBaseline(const Options &opt, const ServeMeasure &serve,
+              double efficiency)
+{
+    std::ifstream in(opt.baseline);
+    if (!in) {
+        std::fprintf(stderr, "bench_serve: cannot read baseline %s\n",
+                     opt.baseline.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::fprintf(stderr, "baseline gate (tolerance %.0f%%):\n",
+                 opt.tolerance * 100);
+    bool bad = false;
+    // Ratio gate: direct/service on the same host, so machine speed
+    // cancels and only real service overhead can drag it down.
+    bad |= regressed("serve_efficiency", efficiency,
+                     jsonField(text, "serve_efficiency"),
+                     opt.tolerance);
+    // Deterministic: the submission pattern fixes this exactly; any
+    // drop means dedup (memo/in-flight matching) broke.
+    bad |= regressed("dedup_hit_rate", serve.dedup_hit_rate,
+                     jsonField(text, "dedup_hit_rate"), opt.tolerance);
+    return bad ? 1 : 0;
+}
+
+int
+benchMain(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            const std::string s = next();
+            if (s == "tiny")
+                opt.scale = workloads::Scale::Tiny;
+            else if (s == "small")
+                opt.scale = workloads::Scale::Small;
+            else if (s == "ref")
+                opt.scale = workloads::Scale::Ref;
+            else
+                usage(2);
+        } else if (arg == "--workers") {
+            opt.workers = static_cast<u32>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--duplicates") {
+            opt.duplicates = static_cast<u32>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (arg == "--out") {
+            opt.out = next();
+        } else if (arg == "--baseline") {
+            opt.baseline = next();
+        } else if (arg == "--tolerance") {
+            opt.tolerance = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(2);
+        }
+    }
+
+    std::fprintf(stderr,
+                 "bench_serve: table4 jobs x%u duplicates, scale %s\n",
+                 opt.duplicates, scaleName(opt.scale));
+
+    const ServeMeasure serve = runService(opt);
+    std::fprintf(stderr,
+                 "  service: %8.3f s  %llu jobs (%llu cells, %llu "
+                 "unique, %llu simulated)\n",
+                 serve.wall_seconds,
+                 static_cast<unsigned long long>(serve.jobs),
+                 static_cast<unsigned long long>(serve.cells_submitted),
+                 static_cast<unsigned long long>(serve.unique_cells),
+                 static_cast<unsigned long long>(serve.simulated));
+
+    const double direct = runDirect(opt);
+    const double efficiency =
+        serve.wall_seconds > 0 ? direct / serve.wall_seconds : 0;
+    std::fprintf(stderr,
+                 "  direct : %8.3f s  -> efficiency %.3f, dedup "
+                 "%.3f, %.1f jobs/s, queue p50 %.4fs p99 %.4fs\n",
+                 direct, efficiency, serve.dedup_hit_rate,
+                 serve.jobs_per_sec, serve.p50, serve.p99);
+
+    writeJson(opt, serve, direct, efficiency);
+    std::fprintf(stderr, "wrote %s\n", opt.out.c_str());
+
+    if (!opt.baseline.empty())
+        return checkBaseline(opt, serve, efficiency);
+    return 0;
+}
+
+} // namespace
+} // namespace cheri
+
+int
+main(int argc, char **argv)
+{
+    return cheri::benchMain(argc, argv);
+}

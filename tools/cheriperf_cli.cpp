@@ -68,6 +68,9 @@
 #include "analysis/metrics.hpp"
 #include "analysis/topdown.hpp"
 #include "runner/runner.hpp"
+#include "serve/client.hpp"
+#include "serve/render.hpp"
+#include "serve/server.hpp"
 #include "support/fmt.hpp"
 #include "support/serialize.hpp"
 #include "support/table.hpp"
@@ -109,6 +112,16 @@ struct Options
     bool fast_path = true;   //!< Hidden escape hatch (--no-fastpath).
     bool block_cache = true; //!< Hidden escape hatch (--no-blockcache).
 
+    // serve / submit commands.
+    u64 port = 0;
+    std::string port_file;
+    u64 workers = 0;
+    u64 queue_depth = 4096;
+    s64 priority = 0;
+    bool stream = false;
+    bool abi_set = false; //!< --abi given explicitly (submit default
+                          //!< is otherwise the full ABI sweep).
+
     // verify command.
     u64 iters = 100'000;
     std::string suite = "all";
@@ -123,8 +136,8 @@ usage(int code)
     std::fprintf(
         stderr,
         "usage: cheriperf "
-        "<list|events|run|sweep|corun|trace|verify|clear-cache> "
-        "[options]\n"
+        "<list|events|run|sweep|corun|trace|verify|serve|submit|"
+        "clear-cache> [options]\n"
         "  run/sweep options:\n"
         "    --workload NAME   (required for run; see 'cheriperf list')\n"
         "    --abi hybrid|purecap|benchmark   (run only)\n"
@@ -142,6 +155,12 @@ usage(int code)
         "    --abi NAME  --epoch N  --out PATH  (plus run options)\n"
         "  sweep tracing:\n"
         "    --emit-epochs  --epoch N  --out PATH (default epochs.jsonl)\n"
+        "  serve options (experiment daemon; see README):\n"
+        "    --port P (0 = ephemeral)  --port-file PATH\n"
+        "    --workers N  --queue-depth N  --no-cache\n"
+        "    --cache-dir PATH\n"
+        "  submit options (daemon client; sweep selection flags plus):\n"
+        "    --port P | --port-file PATH  --priority N  --stream\n"
         "  verify options:\n"
         "    --seed N  --iters M  --jobs N\n"
         "    --suite cap|mem|invariants|all   (default all)\n"
@@ -229,6 +248,7 @@ parse(int argc, char **argv)
             opt.workload = next();
         } else if (arg == "--abi") {
             opt.abi = next();
+            opt.abi_set = true;
         } else if (arg == "--set") {
             opt.set = next();
         } else if (arg == "--scale") {
@@ -300,6 +320,43 @@ parse(int argc, char **argv)
             opt.fast_path = false;
         } else if (arg == "--no-blockcache") {
             opt.block_cache = false;
+        } else if (arg == "--port") {
+            const std::string s = next();
+            const auto n = parseU64(s);
+            if (!n || *n > 65535) {
+                std::fprintf(stderr,
+                             "--port expects 0..65535, got '%s'\n",
+                             s.c_str());
+                usage(1);
+            }
+            opt.port = *n;
+        } else if (arg == "--port-file") {
+            opt.port_file = next();
+        } else if (arg == "--workers") {
+            const std::string s = next();
+            const auto n = parseU64(s);
+            if (!n) {
+                std::fprintf(stderr,
+                             "--workers expects a number, got '%s'\n",
+                             s.c_str());
+                usage(1);
+            }
+            opt.workers = *n;
+        } else if (arg == "--queue-depth") {
+            const std::string s = next();
+            const auto n = parseU64(s);
+            if (!n || *n == 0) {
+                std::fprintf(stderr,
+                             "--queue-depth expects a positive count, "
+                             "got '%s'\n",
+                             s.c_str());
+                usage(1);
+            }
+            opt.queue_depth = *n;
+        } else if (arg == "--priority") {
+            opt.priority = std::strtoll(next().c_str(), nullptr, 0);
+        } else if (arg == "--stream") {
+            opt.stream = true;
         } else if (arg == "--epoch") {
             const std::string s = next();
             const auto n = parseU64(s);
@@ -705,66 +762,13 @@ cmdSweep(const Options &opt)
 
     if (opt.csv) {
         // One flat CSV row per cell, byte-identical for any --jobs.
-        // --approx appends the sampling provenance plus a per-metric
-        // error-bar column block (<name>_err = standard error of the
-        // metric across sampled epochs), so approx CSVs are
-        // schema-distinguishable from exact ones at a glance.
-        std::printf("workload,abi,instructions,cycles,seconds");
-        for (const auto &field : analysis::allMetricFields())
-            std::printf(",%s", field.name.c_str());
-        if (opt.approx) {
-            std::printf(",approx_rate,approx_epochs_sampled,"
-                        "approx_epochs_total,approx_scale");
-            for (const auto &field : analysis::allMetricFields())
-                std::printf(",%s_err", field.name.c_str());
-        }
-        std::printf("\n");
-        for (const auto &run : outcome.results) {
-            const std::size_t metric_cols =
-                analysis::allMetricFields().size() +
-                (opt.approx ? 4 + analysis::allMetricFields().size()
-                            : 0);
-            std::printf("%s,%s", run.request.workload.c_str(),
-                        abi::abiName(run.request.abi));
-            if (!run.ok()) {
-                std::printf(",NA,NA,NA");
-                for (std::size_t i = 0; i < metric_cols; ++i)
-                    std::printf(",NA");
-                std::printf("\n");
-                continue;
-            }
-            std::printf(",%llu,%llu,%s",
-                        static_cast<unsigned long long>(
-                            run.sim->instructions),
-                        static_cast<unsigned long long>(run.sim->cycles),
-                        fmt::seconds(run.sim->seconds).c_str());
-            for (const auto &field : analysis::allMetricFields())
-                std::printf(
-                    ",%s",
-                    fmt::metric(run.metrics.*(field.member)).c_str());
-            if (opt.approx) {
-                if (run.approx) {
-                    const auto &a = *run.approx;
-                    std::printf(
-                        ",%llu,%llu,%llu,%s",
-                        static_cast<unsigned long long>(a.report.rate),
-                        static_cast<unsigned long long>(
-                            a.report.epochsSampled),
-                        static_cast<unsigned long long>(
-                            a.report.epochsTotal),
-                        fmt::metric(a.report.scale).c_str());
-                    for (const auto &field : analysis::allMetricFields())
-                        std::printf(",%s",
-                                    fmt::metric(a.stderr_.*(field.member))
-                                        .c_str());
-                } else {
-                    for (std::size_t i = 0;
-                         i < 4 + analysis::allMetricFields().size(); ++i)
-                        std::printf(",NA");
-                }
-            }
-            std::printf("\n");
-        }
+        // The layout (including the --approx error-bar block) lives
+        // in serve::sweepCsv, shared verbatim with the experiment
+        // daemon — that sharing IS the served-response determinism
+        // contract, so the bytes here are also the daemon's bytes.
+        const std::string csv =
+            serve::sweepCsv(outcome.results, opt.approx);
+        std::fwrite(csv.data(), 1, csv.size(), stdout);
     } else {
         std::string current;
         for (const auto &run : outcome.results) {
@@ -1002,10 +1006,64 @@ int
 cmdClearCache(const Options &opt)
 {
     const runner::ResultCache cache(opt.cache_dir);
+    // A live daemon holds the dir's lock Shared; clearing under it
+    // would race its .cpr writes. Exclusive-or-refuse, never race.
+    const auto lock = runner::CacheDirLock::tryAcquire(
+        cache.dir(), runner::CacheDirLock::Mode::Exclusive);
+    if (!lock) {
+        std::fprintf(stderr,
+                     "cheriperf: cache %s is in use (a running "
+                     "cheriperf daemon holds it); stop the daemon "
+                     "before clearing\n",
+                     cache.dir().c_str());
+        return 1;
+    }
     const std::size_t removed = cache.clear();
     std::printf("removed %zu cached results from %s\n", removed,
                 cache.dir().c_str());
     return 0;
+}
+
+int
+cmdServe(const Options &opt)
+{
+    serve::ServeOptions options;
+    options.port = static_cast<u16>(opt.port);
+    options.port_file = opt.port_file;
+    options.workers = static_cast<u32>(opt.workers);
+    options.queue_depth = static_cast<std::size_t>(opt.queue_depth);
+    options.cache = opt.cache;
+    options.cache_dir = opt.cache_dir;
+    return serve::runServer(options);
+}
+
+int
+cmdSubmit(const Options &opt)
+{
+    serve::SubmitOptions options;
+    options.port = static_cast<u16>(opt.port);
+    options.port_file = opt.port_file;
+    options.stream = opt.stream;
+
+    serve::JobSpec &spec = options.spec;
+    spec.workload = opt.workload;
+    spec.set = opt.set;
+    // Sweep parity: without an explicit --abi a submission covers all
+    // three ABIs, exactly like `cheriperf sweep`.
+    spec.abi = opt.abi_set ? opt.abi : "all";
+    spec.scale = opt.scale == workloads::Scale::Tiny    ? "tiny"
+                 : opt.scale == workloads::Scale::Small ? "small"
+                                                        : "ref";
+    spec.seed = opt.seed;
+    spec.priority = opt.priority;
+    spec.cores = opt.cores ? opt.cores : 1;
+    if (opt.emit_epochs)
+        spec.trace_epochs = opt.epoch_insts;
+    if (opt.approx) {
+        spec.approx_rate = opt.approx_rate;
+        spec.approx_epoch_insts = opt.epoch_insts;
+    }
+    return serve::runSubmitClient(options);
 }
 
 } // namespace
@@ -1027,6 +1085,10 @@ dispatch(const Options &opt)
         return cmdTrace(opt);
     if (opt.command == "verify")
         return cmdVerify(opt);
+    if (opt.command == "serve")
+        return cmdServe(opt);
+    if (opt.command == "submit")
+        return cmdSubmit(opt);
     if (opt.command == "clear-cache")
         return cmdClearCache(opt);
     usage(1);
