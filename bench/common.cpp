@@ -7,6 +7,29 @@
 
 namespace cheri::bench {
 
+const AbiRun &
+SweepRow::run(abi::Abi a) const
+{
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        if (scenarios[i].abi == a && scenarios[i].allocator.isDefault())
+            return runs[i];
+    // Non-default-only sweep: the first allocator stands in.
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        if (scenarios[i].abi == a)
+            return runs[i];
+    CHERI_FATAL("sweep row for '", workload->info().name,
+                "' has no cell under ", abi::abiName(a));
+}
+
+const AbiRun *
+SweepRow::run(abi::Abi a, const alloc::AllocatorConfig &allocator) const
+{
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        if (scenarios[i].abi == a && scenarios[i].allocator == allocator)
+            return &runs[i];
+    return nullptr;
+}
+
 double
 SweepRow::seconds(abi::Abi a) const
 {
@@ -38,9 +61,15 @@ Sweep::Sweep(SweepOptions options) : pool_(workloads::allWorkloads())
         }
     }
 
+    const std::vector<alloc::AllocatorConfig> allocators =
+        options.allocators.empty()
+            ? std::vector<alloc::AllocatorConfig>{alloc::AllocatorConfig{}}
+            : options.allocators;
+
     runner::ExperimentPlan plan;
     for (const auto *w : selected)
-        plan.addAbiSweep(w->info().name, options.scale, options.seed);
+        plan.addScenarioSweep(w->info().name, options.scale,
+                              options.seed, allocators);
 
     runner::RunnerOptions run_options;
     run_options.jobs = options.jobs;
@@ -49,22 +78,29 @@ Sweep::Sweep(SweepOptions options) : pool_(workloads::allWorkloads())
     auto outcome = runner::runPlan(plan, run_options);
     stats_ = outcome.stats;
 
-    // Cells are name-major, ABI-minor (addAbiSweep order); fold each
-    // ABI triple back into one presentation row.
+    // Cells are name-major, allocator-major, ABI-minor
+    // (addScenarioSweep order); fold each workload's grid back into
+    // one presentation row.
     std::size_t cell = 0;
     for (const auto *w : selected) {
         SweepRow row;
         row.workload = w;
-        for (abi::Abi a : abi::kAllAbis) {
-            runner::RunResult &result = outcome.results[cell++];
-            CHERI_ASSERT(result.request.workload == w->info().name &&
-                             result.request.abi == a,
-                         "runner returned cells out of plan order");
-            AbiRun &run = row.runs[static_cast<int>(a)];
-            run.result = std::move(result.sim);
-            run.metrics = result.metrics;
-            run.topdownTruth = result.topdownTruth;
-            run.topdownPaper = result.topdownPaper;
+        for (const alloc::AllocatorConfig &allocator : allocators) {
+            for (abi::Abi a : abi::kAllAbis) {
+                runner::RunResult &result = outcome.results[cell++];
+                CHERI_ASSERT(result.request.workload ==
+                                     w->info().name &&
+                                 result.request.abi == a &&
+                                 result.request.allocator == allocator,
+                             "runner returned cells out of plan order");
+                AbiRun run;
+                run.result = std::move(result.sim);
+                run.metrics = result.metrics;
+                run.topdownTruth = result.topdownTruth;
+                run.topdownPaper = result.topdownPaper;
+                row.scenarios.push_back(SweepScenario{a, allocator});
+                row.runs.push_back(std::move(run));
+            }
         }
         rows_.push_back(std::move(row));
     }

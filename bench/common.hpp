@@ -28,25 +28,36 @@ struct AbiRun
     bool ok() const { return result.has_value(); }
 };
 
+/** One point of a row's scenario grid: an (abi, allocator) pair. */
+struct SweepScenario
+{
+    abi::Abi abi = abi::Abi::Purecap;
+    alloc::AllocatorConfig allocator{};
+};
+
+/**
+ * One workload's results over the scenario grid. The grid is
+ * allocator-major, ABI-minor in plan order; the classic three-ABI
+ * harnesses keep using run(abi), which resolves to the
+ * default-allocator cell.
+ */
 struct SweepRow
 {
     const workloads::Workload *workload = nullptr;
-    AbiRun runs[abi::kAllAbis.size()]; //!< Indexed by static_cast<int>(Abi).
+    std::vector<SweepScenario> scenarios;
+    std::vector<AbiRun> runs; //!< Parallel to scenarios.
 
-    // The runs[] array is indexed by the Abi enumerator value; this
-    // pins the enumerator order and count the indexing relies on.
-    static_assert(abi::kAllAbis.size() == 3 &&
-                      static_cast<int>(abi::Abi::Hybrid) == 0 &&
-                      static_cast<int>(abi::Abi::Purecap) == 1 &&
-                      static_cast<int>(abi::Abi::Benchmark) == 2,
-                  "SweepRow::runs indexing assumes the Hybrid/Purecap/"
-                  "Benchmark enumerator order — update runs[] and every "
-                  "static_cast<int>(Abi) index together");
+    /**
+     * The default-allocator cell under @p a (every pre-axis caller's
+     * meaning). Falls back to the row's first cell with that ABI when
+     * the sweep ran without the default allocator; asserts on a grid
+     * with no such ABI at all.
+     */
+    const AbiRun &run(abi::Abi a) const;
 
-    const AbiRun &run(abi::Abi a) const
-    {
-        return runs[static_cast<int>(a)];
-    }
+    /** The exact (abi, allocator) cell, or nullptr when absent. */
+    const AbiRun *run(abi::Abi a,
+                      const alloc::AllocatorConfig &allocator) const;
 
     /** Simulated seconds under @p a; negative when NA. */
     double seconds(abi::Abi a) const;
@@ -60,6 +71,9 @@ struct SweepOptions
     std::vector<std::string> names; //!< Empty = all 20 workloads.
     workloads::Scale scale = workloads::Scale::Small;
     u64 seed = 42;
+
+    /** Allocator axis values; empty = just the default allocator. */
+    std::vector<alloc::AllocatorConfig> allocators{};
 
     u32 jobs = 0;      //!< Runner pool width; 0 = hardware threads.
     bool cache = true; //!< Replay unchanged cells from the cache.

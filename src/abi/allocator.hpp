@@ -1,86 +1,21 @@
 /**
  * @file
- * A simulated user-space heap allocator with CHERI-aware behaviour.
- *
- * Under the capability ABIs, CheriBSD's malloc must return memory
- * whose bounds are exactly representable: allocations are aligned to
- * the capability granule (and, for large sizes, to the CHERI
- * Concentrate representable-alignment mask) and their lengths rounded
- * up with representableLength(). This padding — together with 16-byte
- * pointer fields — is where purecap's extra footprint and cache/TLB
- * pressure come from.
- *
- * The allocator is a segregated free-list bump allocator: freed
- * blocks of a size class are reused LIFO, which preserves realistic
- * address reuse patterns for the workloads.
+ * Compatibility shim: the simulated heap allocator moved to
+ * src/alloc, where it became one strategy (FreelistAllocator) behind
+ * the axis-generic alloc::Allocator interface. The historical names
+ * keep resolving so existing includes and call sites work unchanged;
+ * new code should include alloc/allocator.hpp directly.
  */
 
 #ifndef CHERI_ABI_ALLOCATOR_HPP
 #define CHERI_ABI_ALLOCATOR_HPP
 
-#include <map>
-#include <vector>
-
-#include "abi/abi.hpp"
-#include "cap/capability.hpp"
-#include "support/types.hpp"
+#include "alloc/allocator.hpp"
 
 namespace cheri::abi {
 
-struct AllocationStats
-{
-    u64 allocations = 0;
-    u64 frees = 0;
-    u64 requestedBytes = 0; //!< Sum of requested sizes.
-    u64 reservedBytes = 0;  //!< Sum of padded/aligned sizes.
-    u64 heapExtent = 0;     //!< High-water mark above the heap base.
-};
-
-class SimAllocator
-{
-  public:
-    /**
-     * @param abi Determines alignment/padding policy.
-     * @param heap_base Simulated address the heap starts at.
-     * @param heap_size Size of the heap arena.
-     */
-    SimAllocator(Abi abi, Addr heap_base = 0x4000'0000,
-                 u64 heap_size = 0x4000'0000);
-
-    /**
-     * Allocate @p size bytes with at least @p align alignment.
-     * Capability ABIs enforce >= 16-byte alignment and representable
-     * padding. Returns the block address.
-     */
-    Addr allocate(u64 size, u64 align = 0);
-
-    /** Return a block to its size-class free list. */
-    void free(Addr addr, u64 size);
-
-    /**
-     * The capability malloc would return for a block: bounds set to
-     * the (padded) allocation, data permissions. Under hybrid the
-     * returned capability is a DDC-derived convenience, not stored.
-     */
-    cap::Capability boundedCap(Addr addr, u64 size) const;
-
-    /** The padded size the allocator reserves for a request. */
-    u64 paddedSize(u64 size) const;
-
-    const AllocationStats &stats() const { return stats_; }
-    Abi abi() const { return abi_; }
-    Addr heapBase() const { return heapBase_; }
-
-  private:
-    u64 alignmentFor(u64 size, u64 align) const;
-
-    Abi abi_;
-    Addr heapBase_;
-    u64 heapSize_;
-    Addr cursor_;
-    std::map<u64, std::vector<Addr>> freeLists_; //!< padded size -> blocks.
-    AllocationStats stats_;
-};
+using AllocationStats = alloc::AllocationStats;
+using SimAllocator = alloc::FreelistAllocator;
 
 } // namespace cheri::abi
 

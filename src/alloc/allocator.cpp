@@ -1,0 +1,234 @@
+#include "alloc/allocator.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "cap/bounds.hpp"
+#include "support/logging.hpp"
+
+namespace cheri::alloc {
+
+Allocator::Allocator(abi::Abi abi, Addr heap_base, u64 heap_size)
+    : abi_(abi), heapBase_(heap_base), heapSize_(heap_size),
+      cursor_(heap_base)
+{
+    CHERI_ASSERT(heap_size > 0, "empty heap");
+}
+
+u64
+Allocator::paddedSize(u64 size) const
+{
+    if (size == 0)
+        size = 1;
+    // Every allocator rounds to a minimum granule; 16 bytes matches
+    // common size-class floors and the CHERI granule.
+    u64 padded = (size + 15) & ~15ULL;
+    if (abi::capabilityPointers(abi_))
+        padded = cap::representableLength(padded);
+    return padded;
+}
+
+u64
+Allocator::alignmentFor(u64 size, u64 align) const
+{
+    u64 required = std::max<u64>(align, 16);
+    if (abi::capabilityPointers(abi_)) {
+        const u64 mask = cap::representableAlignmentMask(size);
+        const u64 cheri_align = mask == ~0ULL ? 16 : (~mask + 1);
+        required = std::max(required, cheri_align);
+    }
+    return required;
+}
+
+Addr
+Allocator::bump(u64 padded, u64 align)
+{
+    const u64 alignment = alignmentFor(padded, align);
+    const Addr addr = (cursor_ + alignment - 1) & ~(alignment - 1);
+    CHERI_ASSERT(addr + padded <= heapBase_ + heapSize_,
+                 "simulated heap exhausted (", padded, " bytes)");
+    cursor_ = addr + padded;
+    stats_.heapExtent = std::max(stats_.heapExtent, cursor_ - heapBase_);
+    return addr;
+}
+
+Addr
+Allocator::allocate(u64 size, u64 align)
+{
+    const u64 padded = paddedSize(size);
+    ++stats_.allocations;
+    stats_.requestedBytes += size;
+    const Addr addr = allocateBlock(padded, align);
+    stats_.reservedBytes += padded;
+    const bool fresh = live_.emplace(addr, padded).second;
+    CHERI_ASSERT(fresh, "allocator handed out a live block at ", addr);
+    // Under the revocation policy each block gets a tagged metadata
+    // capability in the shadow region: the in-memory capability the
+    // sweep must find (and, once the block is freed, revoke). This is
+    // what gives sweeps real tag-table work proportional to the live
+    // heap, as in Cornucopia.
+    if (revoker_ && abi::capabilityPointers(abi_))
+        store_->writeCap(shadowSlot(addr),
+                         cap::Capability::dataRegion(addr, padded));
+    return addr;
+}
+
+void
+Allocator::free(Addr addr)
+{
+    auto it = live_.find(addr);
+    CHERI_ASSERT(it != live_.end(),
+                 "free of address not handed out: ", addr);
+    const u64 padded = it->second;
+    live_.erase(it);
+    ++stats_.frees;
+    if (revoker_) {
+        // Temporal safety: the block cannot be reused until a sweep
+        // has revoked every capability still pointing into it.
+        revoker_->quarantine(addr, padded);
+        pending_.emplace_back(addr, padded);
+        maybeSweep();
+    } else {
+        freeBlock(addr, padded);
+    }
+}
+
+void
+Allocator::free(Addr addr, u64 size)
+{
+    const auto it = live_.find(addr);
+    CHERI_ASSERT(it != live_.end(),
+                 "free of address not handed out: ", addr);
+    CHERI_ASSERT(it->second == paddedSize(size),
+                 "free size mismatch at ", addr, ": recorded ",
+                 it->second, ", caller claims ", paddedSize(size));
+    free(addr);
+}
+
+void
+Allocator::maybeSweep()
+{
+    if (revoker_->quarantinedBytes() < quarantineLimit_)
+        return;
+    const mem::SweepStats swept = revoker_->sweep(observer_);
+    ++revocation_.sweeps;
+    revocation_.granulesVisited += swept.granulesVisited;
+    revocation_.capsRevoked += swept.capsRevoked;
+    revocation_.bytesReleased += swept.bytesReleased;
+    // Quarantine is clear: the deferred frees may reuse memory now.
+    for (const auto &[addr, padded] : pending_)
+        freeBlock(addr, padded);
+    pending_.clear();
+}
+
+Addr
+Allocator::shadowSlot(Addr addr) const
+{
+    // One capability-granule slot per heap address, directly above
+    // the arena. Block addresses are >= 16-byte aligned, so slots
+    // never collide between live blocks.
+    return heapBase_ + heapSize_ + (addr - heapBase_);
+}
+
+void
+Allocator::enableRevocation(mem::BackingStore &store, u64 quarantine_kib,
+                            mem::SweepObserver *observer)
+{
+    CHERI_ASSERT(!revoker_, "revocation enabled twice");
+    store_ = &store;
+    observer_ = observer;
+    quarantineLimit_ = quarantine_kib * 1024;
+    revoker_.emplace(store);
+}
+
+cap::Capability
+Allocator::boundedCap(Addr addr, u64 size) const
+{
+    return cap::Capability::dataRegion(addr, paddedSize(size));
+}
+
+Addr
+FreelistAllocator::allocateBlock(u64 padded, u64 align)
+{
+    auto &list = freeLists_[padded];
+    if (!list.empty()) {
+        const Addr addr = list.back();
+        list.pop_back();
+        return addr;
+    }
+    return bump(padded, align);
+}
+
+void
+FreelistAllocator::freeBlock(Addr addr, u64 padded)
+{
+    freeLists_[padded].push_back(addr);
+}
+
+Addr
+BumpAllocator::allocateBlock(u64 padded, u64 align)
+{
+    return bump(padded, align);
+}
+
+u64
+SizeClassAllocator::paddedSize(u64 size) const
+{
+    if (size == 0)
+        size = 1;
+    u64 padded = (size + 15) & ~15ULL;
+    if (padded > 256) {
+        // Four classes per power-of-two doubling (2^k, 1.25·2^k,
+        // 1.5·2^k, 1.75·2^k): round up to a quarter of the enclosing
+        // power of two. padded > 256 keeps the step >= 64.
+        const u64 bit = static_cast<u64>(std::bit_width(padded)) - 1;
+        if (padded != (u64(1) << bit)) {
+            const u64 step = u64(1) << (bit - 2);
+            padded = (padded + step - 1) & ~(step - 1);
+        }
+    }
+    if (abi::capabilityPointers(abi()))
+        padded = cap::representableLength(padded);
+    return padded;
+}
+
+Addr
+SizeClassAllocator::allocateBlock(u64 padded, u64 align)
+{
+    auto &list = freeLists_[padded];
+    if (!list.empty()) {
+        const Addr addr = list.back();
+        list.pop_back();
+        return addr;
+    }
+    return bump(padded, align);
+}
+
+void
+SizeClassAllocator::freeBlock(Addr addr, u64 padded)
+{
+    freeLists_[padded].push_back(addr);
+}
+
+std::unique_ptr<Allocator>
+makeAllocator(const AllocatorConfig &config, abi::Abi abi,
+              mem::BackingStore *store, mem::SweepObserver *observer)
+{
+    std::unique_ptr<Allocator> out;
+    switch (config.strategy) {
+      case Strategy::Freelist:
+        out = std::make_unique<FreelistAllocator>(abi);
+        break;
+      case Strategy::Bump:
+        out = std::make_unique<BumpAllocator>(abi);
+        break;
+      case Strategy::SizeClass:
+        out = std::make_unique<SizeClassAllocator>(abi);
+        break;
+    }
+    if (config.revoke && store)
+        out->enableRevocation(*store, config.quarantine_kib, observer);
+    return out;
+}
+
+} // namespace cheri::alloc

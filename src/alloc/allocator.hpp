@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Simulated user-space heap allocators behind one interface.
+ *
+ * Under the capability ABIs, CheriBSD's malloc must return memory
+ * whose bounds are exactly representable: allocations are aligned to
+ * the capability granule (and, for large sizes, to the CHERI
+ * Concentrate representable-alignment mask) and their lengths rounded
+ * up with representableLength(). This padding — together with 16-byte
+ * pointer fields — is where purecap's extra footprint and cache/TLB
+ * pressure come from. How much of it a program pays depends on the
+ * allocator's placement policy, which is why the allocator is an
+ * experiment axis and not a fixed implementation detail.
+ *
+ * Three strategies share the Allocator interface:
+ *  - FreelistAllocator: segregated exact-size LIFO free lists over a
+ *    bump arena — the historical abi::SimAllocator, and the default.
+ *  - BumpAllocator: monotone bump pointer; frees never reuse memory.
+ *  - SizeClassAllocator: snmalloc-style size classes (exact 16-byte
+ *    steps up to 256 B, then four classes per power-of-two doubling),
+ *    LIFO reuse within a class.
+ *
+ * Any strategy can additionally run a Cornucopia-style
+ * quarantine+revocation policy (AllocatorConfig::revoke): frees
+ * quarantine instead of reusing, and once quarantine crosses the
+ * threshold a mem::Revoker sweep walks the tag table. The sweep's
+ * per-granule loads and per-revocation tag writes are surfaced
+ * through mem::SweepObserver so the owning workload context can issue
+ * them as *real* modeled memory traffic (they land in the pipeline
+ * and mem::Uncore tag-table counters, not in the side-channel
+ * SweepStats::modeledCycles() estimate).
+ */
+
+#ifndef CHERI_ALLOC_ALLOCATOR_HPP
+#define CHERI_ALLOC_ALLOCATOR_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "abi/abi.hpp"
+#include "alloc/policy.hpp"
+#include "cap/capability.hpp"
+#include "mem/revoker.hpp"
+#include "support/types.hpp"
+
+namespace cheri::alloc {
+
+struct AllocationStats
+{
+    u64 allocations = 0;
+    u64 frees = 0;
+    u64 requestedBytes = 0; //!< Sum of requested sizes.
+    u64 reservedBytes = 0;  //!< Sum of padded/aligned sizes.
+    u64 heapExtent = 0;     //!< High-water mark above the heap base.
+};
+
+/** Cumulative cost of the revocation policy (when enabled). */
+struct RevocationStats
+{
+    u64 sweeps = 0;          //!< Threshold-triggered sweep passes.
+    u64 granulesVisited = 0; //!< Tagged granules loaded across sweeps.
+    u64 capsRevoked = 0;     //!< Dangling capabilities invalidated.
+    u64 bytesReleased = 0;   //!< Quarantined bytes returned for reuse.
+};
+
+/**
+ * The allocator interface the workload generators program against.
+ * Placement policy is virtual; CHERI bounds/alignment policy, stats,
+ * the live-block size map and the quarantine+revocation machinery are
+ * shared here so every strategy accounts identically.
+ */
+class Allocator
+{
+  public:
+    /**
+     * @param abi Determines alignment/padding policy.
+     * @param heap_base Simulated address the heap starts at.
+     * @param heap_size Size of the heap arena.
+     */
+    explicit Allocator(abi::Abi abi, Addr heap_base = 0x4000'0000,
+                       u64 heap_size = 0x4000'0000);
+    virtual ~Allocator() = default;
+
+    /**
+     * Allocate @p size bytes with at least @p align alignment.
+     * Capability ABIs enforce >= 16-byte alignment and representable
+     * padding. Returns the block address.
+     */
+    Addr allocate(u64 size, u64 align = 0);
+
+    /**
+     * Return a block. The allocator tracks every live block's padded
+     * size internally, so the address alone identifies it.
+     */
+    void free(Addr addr);
+
+    /**
+     * Transitional two-argument overload: forwards to free(addr)
+     * after checking that @p size pads to the recorded block size.
+     * Kept for one release so existing call sites keep compiling.
+     */
+    void free(Addr addr, u64 size);
+
+    /**
+     * The capability malloc would return for a block: bounds set to
+     * the (padded) allocation, data permissions. Under hybrid the
+     * returned capability is a DDC-derived convenience, not stored.
+     */
+    cap::Capability boundedCap(Addr addr, u64 size) const;
+
+    /** The padded size the allocator reserves for a request. */
+    virtual u64 paddedSize(u64 size) const;
+
+    /** Placement policy this allocator implements. */
+    virtual Strategy strategy() const = 0;
+
+    /**
+     * Arm the Cornucopia-style quarantine+revocation policy. Frees
+     * stop reusing memory immediately; instead they quarantine, and
+     * once quarantined bytes reach @p quarantine_kib a revocation
+     * sweep runs over @p store's tag table. Under capability ABIs
+     * each allocation also plants a tagged metadata capability in a
+     * shadow region of @p store, so sweeps have real capabilities to
+     * visit and revoke. @p observer (optional) receives the sweep's
+     * granule loads and tag writes for replay as modeled traffic.
+     */
+    void enableRevocation(mem::BackingStore &store, u64 quarantine_kib,
+                          mem::SweepObserver *observer = nullptr);
+
+    bool revocationEnabled() const { return revoker_.has_value(); }
+
+    const AllocationStats &stats() const { return stats_; }
+    const RevocationStats &revocation() const { return revocation_; }
+    abi::Abi abi() const { return abi_; }
+    Addr heapBase() const { return heapBase_; }
+
+  protected:
+    /** Reserve a block of exactly @p padded bytes (policy hook). */
+    virtual Addr allocateBlock(u64 padded, u64 align) = 0;
+
+    /** Accept a block back for eventual reuse (policy hook). */
+    virtual void freeBlock(Addr addr, u64 padded) = 0;
+
+    /** Alignment for a block, honouring CHERI representability. */
+    u64 alignmentFor(u64 size, u64 align) const;
+
+    /** Carve @p padded bytes off the arena cursor (shared helper). */
+    Addr bump(u64 padded, u64 align);
+
+  private:
+    void maybeSweep();
+    Addr shadowSlot(Addr addr) const;
+
+    abi::Abi abi_;
+    Addr heapBase_;
+    u64 heapSize_;
+    Addr cursor_;
+    std::map<Addr, u64> live_; //!< Live block -> padded size.
+    AllocationStats stats_;
+
+    // Revocation policy state (engaged by enableRevocation).
+    std::optional<mem::Revoker> revoker_;
+    mem::BackingStore *store_ = nullptr;
+    mem::SweepObserver *observer_ = nullptr;
+    u64 quarantineLimit_ = 0; //!< Bytes; sweep trigger threshold.
+    std::vector<std::pair<Addr, u64>> pending_; //!< Frees awaiting sweep.
+    RevocationStats revocation_;
+};
+
+/**
+ * The historical abi::SimAllocator: segregated exact-padded-size LIFO
+ * free lists over a bump arena. Address sequences and stats are
+ * byte-identical to the pre-axis allocator — this is what makes the
+ * default AllocatorConfig preserve goldens and cached fingerprints.
+ */
+class FreelistAllocator : public Allocator
+{
+  public:
+    using Allocator::Allocator;
+    Strategy strategy() const override { return Strategy::Freelist; }
+
+  protected:
+    Addr allocateBlock(u64 padded, u64 align) override;
+    void freeBlock(Addr addr, u64 padded) override;
+
+  private:
+    std::map<u64, std::vector<Addr>> freeLists_; //!< padded -> blocks.
+};
+
+/** Monotone bump pointer: maximal locality, zero reuse. */
+class BumpAllocator : public Allocator
+{
+  public:
+    using Allocator::Allocator;
+    Strategy strategy() const override { return Strategy::Bump; }
+
+  protected:
+    Addr allocateBlock(u64 padded, u64 align) override;
+    void freeBlock(Addr /*addr*/, u64 /*padded*/) override {}
+};
+
+/**
+ * snmalloc-style size classes: requests round up to 16-byte steps up
+ * to 256 B, then to one of four classes per power-of-two doubling
+ * (2^k, 1.25·2^k, 1.5·2^k, 1.75·2^k). Reuse is LIFO within a class,
+ * so distinct request sizes share blocks at the cost of internal
+ * fragmentation — the classic size-class trade visible in
+ * reservedBytes.
+ */
+class SizeClassAllocator : public Allocator
+{
+  public:
+    using Allocator::Allocator;
+    u64 paddedSize(u64 size) const override;
+    Strategy strategy() const override { return Strategy::SizeClass; }
+
+  protected:
+    Addr allocateBlock(u64 padded, u64 align) override;
+    void freeBlock(Addr addr, u64 padded) override;
+
+  private:
+    std::map<u64, std::vector<Addr>> freeLists_; //!< class -> blocks.
+};
+
+/**
+ * Build the allocator one AllocatorConfig describes. When the config
+ * asks for revocation and @p store is provided, the quarantine policy
+ * is armed with @p observer bridging sweep traffic into the caller's
+ * modeled memory system.
+ */
+std::unique_ptr<Allocator>
+makeAllocator(const AllocatorConfig &config, abi::Abi abi,
+              mem::BackingStore *store = nullptr,
+              mem::SweepObserver *observer = nullptr);
+
+} // namespace cheri::alloc
+
+#endif // CHERI_ALLOC_ALLOCATOR_HPP

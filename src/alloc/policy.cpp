@@ -1,0 +1,96 @@
+#include "alloc/policy.hpp"
+
+#include <algorithm>
+
+namespace cheri::alloc {
+
+const char *
+strategyName(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::Freelist: return "freelist";
+      case Strategy::Bump: return "bump";
+      case Strategy::SizeClass: return "sizeclass";
+    }
+    return "?";
+}
+
+std::string
+allocatorName(const AllocatorConfig &config)
+{
+    std::string out = strategyName(config.strategy);
+    if (config.revoke)
+        out += "+revoke";
+    return out;
+}
+
+std::optional<AllocatorConfig>
+parseAllocator(const std::string &name)
+{
+    AllocatorConfig config;
+    std::string base = name;
+    if (const auto plus = name.find('+'); plus != std::string::npos) {
+        if (name.substr(plus + 1) != "revoke")
+            return std::nullopt;
+        config.revoke = true;
+        base = name.substr(0, plus);
+    }
+    for (Strategy s : {Strategy::Freelist, Strategy::Bump,
+                       Strategy::SizeClass})
+        if (base == strategyName(s)) {
+            config.strategy = s;
+            return config;
+        }
+    return std::nullopt;
+}
+
+const std::vector<std::string> &
+knownAllocatorNames()
+{
+    static const std::vector<std::string> kNames = {
+        "freelist",          "bump",          "sizeclass",
+        "freelist+revoke",   "bump+revoke",   "sizeclass+revoke",
+    };
+    return kNames;
+}
+
+namespace {
+
+/** Classic Levenshtein distance; inputs are short axis names. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t cur = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            prev = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+std::string
+closestAllocatorName(const std::string &name)
+{
+    std::string best;
+    std::size_t best_distance = 0;
+    for (const std::string &known : knownAllocatorNames()) {
+        const std::size_t d = editDistance(name, known);
+        if (best.empty() || d < best_distance) {
+            best = known;
+            best_distance = d;
+        }
+    }
+    return best;
+}
+
+} // namespace cheri::alloc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The allocator axis: strategy selection and per-cell knobs.
+ *
+ * "Picking a CHERI Allocator" (Bramley et al.) shows allocator choice
+ * swings CHERI overheads as much as ABI choice; this header is the
+ * plain-data description of one point on that axis. An
+ * AllocatorConfig travels inside runner::RunRequest exactly like the
+ * ABI does — hashable, comparable, wire-encodable — and the default
+ * value is defined to be byte-for-byte the historical
+ * abi::SimAllocator behaviour, so cells that never mention the axis
+ * keep their pre-axis identity (fingerprints, goldens, CSV bytes).
+ */
+
+#ifndef CHERI_ALLOC_POLICY_HPP
+#define CHERI_ALLOC_POLICY_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace cheri::alloc {
+
+/** Heap management strategy for the simulated user-space malloc. */
+enum class Strategy : u8 {
+    Freelist,  //!< Segregated exact-size LIFO free lists (the
+               //!< historical SimAllocator; the default).
+    Bump,      //!< Monotone bump pointer, frees never reuse.
+    SizeClass, //!< snmalloc-style size classes: LIFO reuse within a
+               //!< class, internal fragmentation between classes.
+};
+
+/** The strategy's wire/CLI name ("freelist", "bump", "sizeclass"). */
+const char *strategyName(Strategy strategy);
+
+/**
+ * One point on the allocator axis. The default-constructed value IS
+ * the pre-axis allocator (freelist, no revocation): experiment cells
+ * carrying it are defined to be identical to cells that predate the
+ * axis, which is what keeps warm caches and goldens valid.
+ */
+struct AllocatorConfig
+{
+    Strategy strategy = Strategy::Freelist;
+
+    /**
+     * Cornucopia-style temporal safety: frees quarantine instead of
+     * reuse, and once quarantine exceeds quarantine_kib a revocation
+     * sweep walks the tag table through mem::Revoker — with the
+     * traffic issued into the modeled memory system, not estimated.
+     */
+    bool revoke = false;
+    u64 quarantine_kib = 256; //!< Sweep trigger threshold.
+
+    bool operator==(const AllocatorConfig &) const = default;
+
+    bool isDefault() const { return *this == AllocatorConfig{}; }
+};
+
+/**
+ * Canonical axis-value name: the strategy name, with "+revoke"
+ * appended when revocation is on ("sizeclass+revoke"). This is the
+ * spelling used by `sweep --allocators`, the serve protocol's
+ * "allocators" field and the CSV's allocator column.
+ */
+std::string allocatorName(const AllocatorConfig &config);
+
+/**
+ * Parse one axis-value name (any spelling allocatorName() emits).
+ * Unknown names return nullopt — callers print a suggestion from
+ * closestAllocatorName() and exit 2 (CLI) or answer 400 (daemon).
+ */
+std::optional<AllocatorConfig> parseAllocator(const std::string &name);
+
+/** Every parseable axis value, CLI listing order. */
+const std::vector<std::string> &knownAllocatorNames();
+
+/** The known name with the smallest edit distance to @p name. */
+std::string closestAllocatorName(const std::string &name);
+
+} // namespace cheri::alloc
+
+#endif // CHERI_ALLOC_POLICY_HPP

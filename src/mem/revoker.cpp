@@ -10,7 +10,33 @@ void
 Revoker::quarantine(Addr base, u64 length)
 {
     CHERI_ASSERT(length > 0, "empty quarantine region");
-    quarantine_.push_back({base, length});
+    // Sorted insert, then merge every neighbor the new region touches
+    // (adjacent counts: freeing two abutting blocks is one region).
+    // The invariant — sorted by base, pairwise disjoint and
+    // non-adjacent — keeps quarantinedBytes() and sweep accounting
+    // free of double-counted granules on repeated neighboring frees.
+    Region region{base, length};
+    auto it = std::lower_bound(
+        quarantine_.begin(), quarantine_.end(), region,
+        [](const Region &a, const Region &b) { return a.base < b.base; });
+    if (it != quarantine_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->base + prev->length >= region.base) {
+            const Addr top = std::max(prev->base + prev->length,
+                                      region.base + region.length);
+            prev->length = top - prev->base;
+            region = *prev;
+            it = quarantine_.erase(prev);
+        }
+    }
+    while (it != quarantine_.end() &&
+           it->base <= region.base + region.length) {
+        const Addr top = std::max(region.base + region.length,
+                                  it->base + it->length);
+        region.length = top - region.base;
+        it = quarantine_.erase(it);
+    }
+    quarantine_.insert(it, region);
 }
 
 bool
@@ -36,19 +62,24 @@ Revoker::quarantinedBytes() const
 }
 
 SweepStats
-Revoker::sweep()
+Revoker::sweep(SweepObserver *observer)
 {
     SweepStats stats;
     if (quarantine_.empty())
         return stats;
 
-    // Collect first (the tag table must not be mutated mid-visit).
+    // Collect first (the tag table must not be mutated mid-visit),
+    // then sort: the tag table's iteration order is unspecified, and
+    // the observer's traffic must be deterministic.
     std::vector<Addr> tagged;
     store_.tags().forEachTagged(
         [&tagged](Addr addr) { tagged.push_back(addr); });
+    std::sort(tagged.begin(), tagged.end());
 
     for (const Addr addr : tagged) {
         ++stats.granulesVisited;
+        if (observer)
+            observer->onGranuleVisited(addr);
         const cap::Capability capability = store_.readCap(addr);
         if (!capability.tag())
             continue; // raced with our own revocations: impossible
@@ -59,6 +90,8 @@ Revoker::sweep()
                           length ? length : 1)) {
             store_.tags().write(addr, false);
             ++stats.capsRevoked;
+            if (observer)
+                observer->onCapRevoked(addr);
         }
     }
 

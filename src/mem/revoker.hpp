@@ -45,6 +45,22 @@ struct SweepStats
     }
 };
 
+/**
+ * Observation hook for the sweep's memory traffic: one granuleVisited
+ * per tagged granule inspected (a capability-width load) and one
+ * capRevoked per tag cleared (a tag write). A revoking allocator
+ * bridges these into the simulated core's lowering engine so sweep
+ * cost lands in the modeled pipeline and mem::Uncore tag-table
+ * counters instead of the side-channel modeledCycles() estimate.
+ */
+class SweepObserver
+{
+  public:
+    virtual ~SweepObserver() = default;
+    virtual void onGranuleVisited(Addr addr) = 0;
+    virtual void onCapRevoked(Addr addr) = 0;
+};
+
 class Revoker
 {
   public:
@@ -53,6 +69,9 @@ class Revoker
     /**
      * Mark a freed region as quarantined: it must not be handed out
      * again until a sweep has revoked every capability into it.
+     * Adjacent and overlapping regions coalesce — freeing neighboring
+     * blocks yields one merged region, so quarantinedBytes() and the
+     * sweep's bytesReleased never double-count granules.
      */
     void quarantine(Addr base, u64 length);
 
@@ -68,8 +87,15 @@ class Revoker
      * it can authorize access to quarantined memory (its
      * [base, top) overlaps a quarantined region). On completion the
      * quarantine empties — the memory is safe to reuse.
+     *
+     * @param observer When non-null, receives one onGranuleVisited
+     *        per tagged granule inspected and one onCapRevoked per
+     *        tag cleared, in address order (deterministic).
      */
-    SweepStats sweep();
+    SweepStats sweep(SweepObserver *observer = nullptr);
+
+    /** Number of (coalesced) quarantined regions — test visibility. */
+    std::size_t regionCount() const { return quarantine_.size(); }
 
   private:
     struct Region
@@ -79,7 +105,7 @@ class Revoker
     };
 
     BackingStore &store_;
-    std::vector<Region> quarantine_;
+    std::vector<Region> quarantine_; //!< Sorted by base, disjoint.
 };
 
 } // namespace cheri::mem

@@ -91,6 +91,16 @@ cellFingerprint(const RunRequest &raw)
     h.add(request.approx.enabled);
     h.add(request.approx.enabled ? request.approx.rate : 0);
     h.add(request.approx.enabled ? request.approx.epoch_insts : 0);
+    // v5 allocator-axis extension: hashed only for non-default
+    // configurations, so every pre-axis cell keeps its v4 key (the
+    // schema-v5 compatibility rule, see cache.hpp). normalized()
+    // already folded the quarantine knob of non-revoking configs.
+    if (!request.allocator.isDefault()) {
+        h.add(std::string_view("alloc"));
+        h.add(static_cast<u64>(request.allocator.strategy));
+        h.add(request.allocator.revoke);
+        h.add(request.allocator.quarantine_kib);
+    }
     // Co-run lane composition (count, order, per-lane workload+ABI)
     // is part of the cell identity; the cores/quantum/arbitration
     // knobs it resolves to are hashed with the config below.
@@ -204,6 +214,11 @@ ResultCache::store(const RunRequest &request, u64 key,
     record.field("abi", abi::abiName(request.abi));
     record.field("scale", static_cast<u64>(request.scale));
     record.field("seed", request.seed);
+    // Informational (identity lives in the key); absent for default
+    // cells so their records stay byte-identical to pre-axis ones.
+    if (!request.allocator.isDefault())
+        record.field("allocator",
+                     alloc::allocatorName(request.allocator));
     record.field("halted", result.halted ? u64{1} : u64{0});
     record.field("instructions", result.instructions);
     record.field("cycles", result.cycles);

@@ -37,6 +37,13 @@ namespace cheri::runner {
  * exact ones). The mem fast-path and block-cache toggles are
  * deliberately NOT hashed: they are bit-identical accelerations of
  * the same model, proven by the equivalence regression suite.
+ * v5: allocator axis. Non-default AllocatorConfig cells mix an
+ * allocator extension block into the hash; default-allocator cells
+ * hash nothing new. The constant below stays 4 BY DESIGN — v5 is a
+ * strict superset of v4, defined so that cells whose outcome did not
+ * change (every pre-axis cell) keep their exact v4 fingerprints and
+ * their warm cache entries. Bump the constant only when simulation
+ * semantics change for existing cells.
  */
 inline constexpr u64 kCacheSchemaVersion = 4;
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/policy.hpp"
 #include "sim/machine.hpp"
 #include "trace/trace.hpp"
 #include "workloads/workload.hpp"
@@ -40,6 +41,16 @@ struct RunRequest
     abi::Abi abi = abi::Abi::Purecap;
     workloads::Scale scale = workloads::Scale::Small;
     u64 seed = 42;
+
+    /**
+     * The allocator-axis point of the cell's scenario. The default
+     * value is the historical allocator, and default cells are
+     * defined to be the same experiment as before the axis existed:
+     * they fingerprint, replay and render byte-identically (schema-v5
+     * compatibility rule, see cache.hpp). In a co-run the one config
+     * applies to every lane.
+     */
+    alloc::AllocatorConfig allocator{};
 
     /**
      * Epoch-trace collection (off by default). Part of the cell's
@@ -73,7 +84,7 @@ struct RunRequest
      * the single-core path, fingerprints identically to the
      * equivalent solo cell, and is cache-eligible.
      */
-    std::vector<Lane> lanes;
+    std::vector<Lane> lanes{};
 
     /**
      * Microarchitectural knobs. Empty = MachineConfig::forAbi(abi).
@@ -92,20 +103,29 @@ struct RunRequest
      * one core), and disabled approx knobs collapse to the default
      * ApproxConfig so every spelling of "approx off" is one identity
      * (the rate/epoch knobs of a disabled config are folded away
-     * exactly once — they carry no information). Already-canonical
-     * requests return unchanged; normalized() is idempotent.
-     * The runner and the cache fingerprint both normalize, so
-     * equivalent spellings of a cell share results.
+     * exactly once — they carry no information). The allocator's
+     * quarantine knob likewise folds to its default while revocation
+     * is off — it only means something during sweeps. Already-
+     * canonical requests return unchanged; normalized() is
+     * idempotent. The runner and the cache fingerprint both
+     * normalize, so equivalent spellings of a cell share results.
      */
     RunRequest
     normalized() const
     {
-        if (lanes.size() != 1 &&
+        const bool alloc_canonical =
+            allocator.revoke ||
+            allocator.quarantine_kib ==
+                alloc::AllocatorConfig{}.quarantine_kib;
+        if (lanes.size() != 1 && alloc_canonical &&
             (approx.enabled || approx == trace::ApproxConfig{}))
             return *this;
         RunRequest out = *this;
         if (!out.approx.enabled)
             out.approx = trace::ApproxConfig{};
+        if (!out.allocator.revoke)
+            out.allocator.quarantine_kib =
+                alloc::AllocatorConfig{}.quarantine_kib;
         if (out.lanes.size() == 1) {
             out.workload = out.lanes.front().workload;
             out.abi = out.lanes.front().abi;

@@ -77,7 +77,8 @@ runCorunCell(const RunRequest &request,
     std::vector<trace::EpochSeries> epochs;
     auto sims = workloads::detail::executeCoRun(
         wl, request.scale, &config, request.seed,
-        traced ? &request.trace : nullptr, traced ? &epochs : nullptr);
+        traced ? &request.trace : nullptr, traced ? &epochs : nullptr,
+        &request.allocator);
 
     sim::SimResult aggregate;
     bool any = false;
@@ -192,7 +193,7 @@ runSoloCell(const RunRequest &request,
                 request.seed, traced ? &request.trace : nullptr,
                 traced ? &out.epochs : nullptr,
                 approx ? &request.approx : nullptr,
-                approx ? &report : nullptr);
+                approx ? &report : nullptr, &request.allocator);
             if (approx && out.sim) {
                 ApproxOutcome ao;
                 ao.stderr_ = metricStderr(report.epochCounts);
@@ -263,13 +264,28 @@ ExperimentPlan &
 ExperimentPlan::addAbiSweep(const std::string &workload,
                             workloads::Scale scale, u64 seed)
 {
-    for (abi::Abi abi : abi::kAllAbis) {
-        RunRequest request;
-        request.workload = workload;
-        request.abi = abi;
-        request.scale = scale;
-        request.seed = seed;
-        cells_.push_back(std::move(request));
+    return addScenarioSweep(workload, scale, seed,
+                            {alloc::AllocatorConfig{}});
+}
+
+ExperimentPlan &
+ExperimentPlan::addScenarioSweep(
+    const std::string &workload, workloads::Scale scale, u64 seed,
+    const std::vector<alloc::AllocatorConfig> &allocators)
+{
+    // Allocator-major, ABI-minor: every axis expansion keeps the
+    // historical three-ABI run order within one allocator, which is
+    // what keeps default sweeps byte-identical to pre-axis output.
+    for (const alloc::AllocatorConfig &allocator : allocators) {
+        for (abi::Abi abi : abi::kAllAbis) {
+            RunRequest request;
+            request.workload = workload;
+            request.abi = abi;
+            request.scale = scale;
+            request.seed = seed;
+            request.allocator = allocator;
+            cells_.push_back(std::move(request));
+        }
     }
     return *this;
 }

@@ -46,6 +46,16 @@ class ExperimentPlan
                                 u64 seed = 42);
 
     /**
+     * The scenario grid for one workload: allocator-major x
+     * ABI-minor cells, one per (allocator, abi) pair. With the
+     * single default allocator this IS addAbiSweep (which delegates
+     * here), so default plans keep their historical cell order.
+     */
+    ExperimentPlan &addScenarioSweep(
+        const std::string &workload, workloads::Scale scale, u64 seed,
+        const std::vector<alloc::AllocatorConfig> &allocators);
+
+    /**
      * The paper's standard sweep: @p names (empty = all 20
      * registered workloads) x all three ABIs, name-major order.
      */

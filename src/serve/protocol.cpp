@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "alloc/policy.hpp"
 #include "runner/cache.hpp"
 #include "support/hash.hpp"
 #include "workloads/registry.hpp"
@@ -222,6 +223,9 @@ parseJobSpec(const std::string &line, JobSpec *out, std::string *error)
         else if (key == "approx_epoch_insts")
             ok = assignU64(value, "approx_epoch_insts",
                            &spec.approx_epoch_insts, error);
+        else if (key == "allocators")
+            ok = assignString(value, "allocators", &spec.allocators,
+                              error);
         else {
             *error = "unknown field '" + key + "'";
             return false;
@@ -281,6 +285,8 @@ jobSpecJsonl(const JobSpec &spec)
             field("approx_epoch_insts",
                   std::to_string(spec.approx_epoch_insts), false);
     }
+    if (!spec.allocators.empty())
+        field("allocators", spec.allocators, true);
     out += '}';
     return out;
 }
@@ -331,6 +337,31 @@ expandJobSpec(const JobSpec &spec, std::string *error)
         }
     }
 
+    // Allocator axis: a comma list of alloc::parseAllocator names;
+    // empty means the one default allocator (the pre-axis job shape).
+    std::vector<alloc::AllocatorConfig> allocators;
+    if (spec.allocators.empty()) {
+        allocators.push_back(alloc::AllocatorConfig{});
+    } else {
+        std::size_t start = 0;
+        while (start <= spec.allocators.size()) {
+            std::size_t comma = spec.allocators.find(',', start);
+            if (comma == std::string::npos)
+                comma = spec.allocators.size();
+            const std::string name =
+                spec.allocators.substr(start, comma - start);
+            const auto config = alloc::parseAllocator(name);
+            if (!config) {
+                *error = "unknown allocator '" + name +
+                         "' (did you mean '" +
+                         alloc::closestAllocatorName(name) + "'?)";
+                return {};
+            }
+            allocators.push_back(*config);
+            start = comma + 1;
+        }
+    }
+
     std::vector<std::string> names;
     if (!spec.workload.empty()) {
         names.push_back(spec.workload);
@@ -356,30 +387,35 @@ expandJobSpec(const JobSpec &spec, std::string *error)
             return {};
         }
 
+    // Name-major, allocator-major, ABI-minor: the CLI plan order
+    // (ExperimentPlan::addScenarioSweep), which is what keeps a
+    // served response byte-identical to the offline sweep.
     std::vector<runner::RunRequest> cells;
-    cells.reserve(names.size() * abis.size());
+    cells.reserve(names.size() * allocators.size() * abis.size());
     for (const auto &name : names)
-        for (abi::Abi a : abis) {
-            runner::RunRequest request;
-            request.workload = name;
-            request.abi = a;
-            request.scale = scale;
-            request.seed = spec.seed;
-            if (spec.cores >= 2)
-                request.lanes.assign(
-                    static_cast<std::size_t>(spec.cores),
-                    runner::Lane{name, a});
-            if (spec.trace_epochs > 0) {
-                request.trace.enabled = true;
-                request.trace.epoch_insts = spec.trace_epochs;
+        for (const alloc::AllocatorConfig &allocator : allocators)
+            for (abi::Abi a : abis) {
+                runner::RunRequest request;
+                request.workload = name;
+                request.abi = a;
+                request.scale = scale;
+                request.seed = spec.seed;
+                request.allocator = allocator;
+                if (spec.cores >= 2)
+                    request.lanes.assign(
+                        static_cast<std::size_t>(spec.cores),
+                        runner::Lane{name, a});
+                if (spec.trace_epochs > 0) {
+                    request.trace.enabled = true;
+                    request.trace.epoch_insts = spec.trace_epochs;
+                }
+                if (spec.approx_rate > 0) {
+                    request.approx.enabled = true;
+                    request.approx.rate = spec.approx_rate;
+                    request.approx.epoch_insts = spec.approx_epoch_insts;
+                }
+                cells.push_back(std::move(request));
             }
-            if (spec.approx_rate > 0) {
-                request.approx.enabled = true;
-                request.approx.rate = spec.approx_rate;
-                request.approx.epoch_insts = spec.approx_epoch_insts;
-            }
-            cells.push_back(std::move(request));
-        }
     return cells;
 }
 

@@ -42,7 +42,18 @@ struct JobSpec
     u64 approx_rate = 0;  //!< > 0: sampled simulation, 1-in-N epochs.
     u64 approx_epoch_insts = 100'000;
 
+    /**
+     * Allocator-axis values, a comma-separated list of names from
+     * alloc::parseAllocator ("bump,freelist+revoke", ...). Empty
+     * means the default allocator alone — the pre-axis job shape,
+     * which must keep rendering the pre-axis CSV byte-for-byte.
+     */
+    std::string allocators;
+
     bool approxColumns() const { return approx_rate > 0; }
+
+    /** Axis active: the CSV grows an allocator column after abi. */
+    bool allocColumns() const { return !allocators.empty(); }
 };
 
 /**
@@ -59,10 +70,11 @@ std::string jobSpecJsonl(const JobSpec &spec);
 
 /**
  * Expand @p spec into its RunRequest cells, sweep order (name-major,
- * ABI-minor). Validates everything the daemon must never die on:
- * workload names against the registry, ABI/scale/set spellings, and
- * the approx exclusions (approx+trace, approx+corun). Empty vector +
- * @p error on any violation.
+ * allocator-major, ABI-minor — the CLI's plan order). Validates
+ * everything the daemon must never die on: workload names against the
+ * registry, ABI/scale/set/allocator spellings, and the approx
+ * exclusions (approx+trace, approx+corun). Empty vector + @p error on
+ * any violation.
  */
 std::vector<runner::RunRequest> expandJobSpec(const JobSpec &spec,
                                               std::string *error);

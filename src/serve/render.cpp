@@ -1,5 +1,6 @@
 #include "serve/render.hpp"
 
+#include "alloc/policy.hpp"
 #include "analysis/metrics.hpp"
 #include "support/fmt.hpp"
 
@@ -7,10 +8,13 @@ namespace cheri::serve {
 
 std::string
 sweepCsv(const std::vector<runner::RunResult> &results,
-         bool approx_columns)
+         bool approx_columns, bool alloc_column)
 {
     std::string out;
-    out += "workload,abi,instructions,cycles,seconds";
+    out += "workload,abi";
+    if (alloc_column)
+        out += ",allocator";
+    out += ",instructions,cycles,seconds";
     for (const auto &field : analysis::allMetricFields()) {
         out += ',';
         out += field.name;
@@ -34,6 +38,10 @@ sweepCsv(const std::vector<runner::RunResult> &results,
         out += run.request.workload;
         out += ',';
         out += abi::abiName(run.request.abi);
+        if (alloc_column) {
+            out += ',';
+            out += alloc::allocatorName(run.request.allocator);
+        }
         if (!run.ok()) {
             out += ",NA,NA,NA";
             for (std::size_t i = 0; i < metric_cols; ++i)

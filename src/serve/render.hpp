@@ -24,10 +24,12 @@ namespace cheri::serve {
  * Render @p results (plan order) as the sweep CSV: one header line,
  * one flat row per cell, NA rows for unsupported ABI cells. With
  * @p approx_columns the sampling-provenance and per-metric error-bar
- * column block is appended (the --approx schema).
+ * column block is appended (the --approx schema). With
+ * @p alloc_column an allocator column follows abi (the allocator-axis
+ * schema; off by default so pre-axis sweeps keep their exact bytes).
  */
 std::string sweepCsv(const std::vector<runner::RunResult> &results,
-                     bool approx_columns);
+                     bool approx_columns, bool alloc_column = false);
 
 } // namespace cheri::serve
 

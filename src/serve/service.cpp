@@ -205,6 +205,7 @@ ExperimentService::submit(const JobSpec &spec, std::string *job_id,
     // cell has a reserved slot.
     Job job;
     job.approxColumns = spec.approxColumns();
+    job.allocColumns = spec.allocColumns();
     job.cells.reserve(cells.size());
     ++stats_.jobsSubmitted;
     stats_.cellsSubmitted += cells.size();
@@ -332,8 +333,9 @@ ExperimentService::waitResult(const std::string &job_id)
     for (const auto &task : job.cells)
         results.push_back(task->result);
     const bool approx = job.approxColumns;
+    const bool alloc_column = job.allocColumns;
     lk.unlock();
-    return sweepCsv(results, approx);
+    return sweepCsv(results, approx, alloc_column);
 }
 
 ExperimentService::JobStatus

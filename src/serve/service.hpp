@@ -160,6 +160,7 @@ class ExperimentService
     {
         std::vector<std::shared_ptr<CellTask>> cells; //!< Plan order.
         bool approxColumns = false;
+        bool allocColumns = false;
     };
 
     class LiveEpochSink;

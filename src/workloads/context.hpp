@@ -9,28 +9,65 @@
 #ifndef CHERI_WORKLOADS_CONTEXT_HPP
 #define CHERI_WORKLOADS_CONTEXT_HPP
 
+#include <memory>
 #include <vector>
 
-#include "abi/allocator.hpp"
 #include "abi/layout.hpp"
 #include "abi/lowering.hpp"
+#include "alloc/allocator.hpp"
 #include "sim/core.hpp"
 #include "support/rng.hpp"
+#include "workloads/workload.hpp"
 
 namespace cheri::workloads {
 
-class Ctx
+/**
+ * Ctx doubles as the allocator's SweepObserver: when the scenario's
+ * allocator runs quarantine+revocation, each sweep's granule loads
+ * and revocation tag-writes are replayed through the lowering engine
+ * as dependent capability loads and pointer stores — so revocation
+ * cost flows through the modeled pipeline, caches and mem::Uncore
+ * tag-table counters like any other memory traffic.
+ */
+class Ctx : public mem::SweepObserver
 {
   public:
-    Ctx(sim::Core &core, abi::Abi abi, u64 seed)
-        : abi(abi), core(core), alloc(abi),
-          code(abi), low(abi, core.pipeline(), code), rng(seed)
+    Ctx(sim::Core &core, const Scenario &scenario, u64 seed)
+        : abi(scenario.abi), core(core),
+          alloc_(alloc::makeAllocator(scenario.allocator, scenario.abi,
+                                      &core.store(), this)),
+          alloc(*alloc_), code(abi),
+          low(abi, core.pipeline(), code), rng(seed)
     {
+    }
+
+    Ctx(sim::Core &core, abi::Abi abi, u64 seed)
+        : Ctx(core, Scenario{abi}, seed)
+    {
+    }
+
+    void
+    onGranuleVisited(Addr addr) override
+    {
+        if (low.callDepth() > 0)
+            low.loadPointer(addr, true);
+    }
+
+    void
+    onCapRevoked(Addr addr) override
+    {
+        if (low.callDepth() > 0)
+            low.storePointer(addr);
     }
 
     abi::Abi abi;
     sim::Core &core;
-    abi::SimAllocator alloc;
+
+  private:
+    std::unique_ptr<alloc::Allocator> alloc_;
+
+  public:
+    alloc::Allocator &alloc;
     abi::CodeMap code;
     abi::DynLowering low;
     Xoshiro256StarStar rng;

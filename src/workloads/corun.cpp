@@ -23,7 +23,8 @@ std::vector<std::optional<sim::SimResult>>
 detail::executeCoRun(const std::vector<CorunLane> &lanes, Scale scale,
                      const sim::MachineConfig *base, u64 seed,
                      const trace::TraceConfig *trace_config,
-                     std::vector<trace::EpochSeries> *epochs_out)
+                     std::vector<trace::EpochSeries> *epochs_out,
+                     const alloc::AllocatorConfig *allocator)
 {
     CHERI_TRACE_SCOPE("workloads/corun");
     CHERI_ASSERT(!lanes.empty(), "co-run needs at least one lane");
@@ -59,7 +60,9 @@ detail::executeCoRun(const std::vector<CorunLane> &lanes, Scale scale,
             collectors[i].emplace(*trace_config);
             core.pipeline().attachHooks(&*collectors[i]);
         }
-        lanes[i].workload->run(core, lanes[i].abi, scale, seed);
+        const Scenario scenario{
+            lanes[i].abi, allocator ? *allocator : alloc::AllocatorConfig{}};
+        lanes[i].workload->run(core, scenario, scale, seed);
     };
 
     if (runnable.size() <= 1) {

@@ -31,6 +31,7 @@ std::unique_ptr<Workload> makeLlamaInference();
 std::unique_ptr<Workload> makeLlamaMatmul();
 std::unique_ptr<Workload> makeSqlite();
 std::unique_ptr<Workload> makeQuickjs();
+std::unique_ptr<Workload> makeInterp(); // boxed-value bytecode VM
 
 } // namespace cheri::workloads
 

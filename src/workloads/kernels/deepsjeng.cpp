@@ -42,10 +42,10 @@ class DeepsjengWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed + (speed_ ? 1 : 0));
+        Ctx ctx(core, scenario, seed + (speed_ ? 1 : 0));
         const u32 f_main = ctx.code.addFunction(0, 600);
         const u32 f_search = ctx.code.addFunction(0, 1400);
         const u32 f_eval = ctx.code.addFunction(0, 900);

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Boxed-value bytecode interpreter: the allocator-axis stressor.
+ *
+ * Lowther et al.'s CHERI interpreter studies (PAPERS.md) show dynamic
+ * language runtimes are where allocator policy matters most on
+ * Morello: every value is a heap box, so the interpreter's inner loop
+ * is an allocate / link / chase / free cycle and the malloc
+ * implementation decides the heap's locality, footprint and — under
+ * Cornucopia-style temporal safety — how often revocation sweeps run.
+ *
+ * Proxy structure: programs execute an opcode trace through indirect
+ * dispatch. Each step allocates a fresh boxed value (sizes mixed
+ * across three box shapes so size-class rounding diverges from exact
+ * free lists), links it into the live set, chases operand pointers
+ * through recently produced boxes, and evicts the oldest box from a
+ * fixed-capacity ring — a steady-state churn that a free-list
+ * allocator recycles LIFO, a bump allocator turns into unbounded
+ * footprint growth, and a revoking allocator periodically interrupts
+ * with tag-table sweeps whose traffic lands in the modeled memory
+ * system. Unlike the QuickJS proxy (churn across program boundaries),
+ * the churn here is inside the hot loop, which is what makes the
+ * allocator axis bite.
+ */
+
+#include "workloads/context.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cheri::workloads {
+
+namespace {
+
+class InterpWorkload final : public Workload
+{
+  public:
+    InterpWorkload()
+    {
+        info_.name = "Interp.boxvm";
+        info_.suite = "real-world";
+        info_.description =
+            "boxed-value bytecode VM (allocator-axis stressor)";
+        info_.binary = binsize::BinaryProfile{
+            info_.name, 420 * kKiB, 90 * kKiB, 5'000, 40 * kKiB, 1'600,
+            90 * kKiB,  900,        60,        600 * kKiB, 40 * kKiB};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    void
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
+        u64 seed) const override
+    {
+        const abi::Abi abi = scenario.abi;
+        Ctx ctx(core, scenario, seed);
+
+        const u32 f_main = ctx.code.addFunction(0, 300);
+        const u32 f_interp = ctx.code.addFunction(0, 6'000);
+        const u32 f_box = ctx.code.addFunction(0, 500);
+        const u32 f_libc = ctx.code.addFunction(1, 600);
+        ctx.low.enterFunction(f_main);
+
+        // A boxed value: type tag, payload, and a pointer to the box
+        // it was computed from (provenance chains are what the
+        // operand-fetch chases walk).
+        const abi::StructDesc box_desc({
+            abi::Field::pointer("from"),
+            abi::Field::scalar(8, "payload"),
+            abi::Field::scalar(4, "type"),
+            abi::Field::scalar(4, "flags"),
+        });
+        const abi::RecordLayout box = box_desc.layoutFor(abi);
+        // Three box shapes: bare box, small string/tuple payload,
+        // larger buffer payload. The mixed sizes are deliberate —
+        // exact-size free lists keep them apart, size classes fold
+        // them together, bump ignores them.
+        const u64 shapes[3] = {box.size, box.size + 24, box.size + 120};
+
+        // Persistent constant pool the programs keep reading.
+        const std::vector<Addr> pool =
+            ctx.allocLinkedPool(box_desc, 512, true, 64);
+
+        const double f = scaleFactor(scale);
+        const u64 programs = static_cast<u64>(36 * f);
+        const u64 steps = 1'600;
+
+        // Fixed-capacity live set: steady-state heap churn.
+        const u64 ring_size = 1024;
+        std::vector<Addr> ring;
+        ring.reserve(ring_size);
+
+        for (u64 prog = 0; prog < programs; ++prog) {
+            ctx.low.loopBegin();
+            // Each program is a short opcode trace executed hot.
+            const u64 trace_len = 32;
+            std::vector<u32> trace(trace_len);
+            for (u64 i = 0; i < trace_len; ++i)
+                trace[i] = static_cast<u32>(ctx.rng.nextBelow(96));
+
+            ctx.low.call(f_interp, abi::CallKind::Local);
+            for (u64 s = 0; s < steps; ++s) {
+                const u32 op = trace[s % trace_len];
+                ctx.low.dispatch(op);
+                ctx.low.alu(5); // decode, type tests
+                ctx.low.local(1);
+
+                // Produce a fresh box (every result is heap-boxed).
+                ctx.low.call(f_box, abi::CallKind::Local);
+                const u64 shape = op % 3;
+                const Addr addr =
+                    ctx.alloc.allocate(shapes[shape], box.align);
+                ctx.low.derivePointer();
+                ctx.low.storePointer(addr + box.offsetOf(0));
+                ctx.low.store(addr + box.offsetOf(1), 8);
+                ctx.low.ret();
+
+                // Operand fetch: chase provenance through a recent box
+                // and a constant-pool entry (boxed loads).
+                const Addr operand =
+                    ring.empty()
+                        ? pool[op % pool.size()]
+                        : ring[ctx.rng.nextBelow(ring.size())];
+                ctx.core.store().write(addr + box.offsetOf(0), operand,
+                                       8);
+                ctx.low.loadPointer(operand + box.offsetOf(0),
+                                    /*dependent=*/true);
+                ctx.low.load(operand + box.offsetOf(1), 8);
+                ctx.low.loadPointer(pool[(op * 7 + s) % pool.size()] +
+                                    box.offsetOf(0));
+                ctx.low.alu(3);
+                ctx.low.branch((s & 7) != 0);
+
+                // Under CHERI C every box handle is a capability;
+                // moving one re-derives bounds.
+                ctx.low.capOverhead(6);
+
+                // Evict: the displaced box dies here, inside the hot
+                // loop. This free is where the allocator axis bites —
+                // reuse policy, footprint, quarantine pressure.
+                if (ring.size() < ring_size) {
+                    ring.push_back(addr);
+                } else {
+                    const u64 slot = s % ring_size;
+                    ctx.alloc.free(ring[slot]);
+                    ring[slot] = addr;
+                }
+
+                // Occasional runtime helper (string ops, arithmetic
+                // slow paths).
+                if ((s % 96) == 0) {
+                    ctx.low.call(f_libc, abi::CallKind::CrossLib);
+                    ctx.low.alu(6);
+                    ctx.low.ret();
+                }
+            }
+            ctx.low.ret(); // interpreter
+
+            // Program teardown: drop the whole live set.
+            for (const Addr addr : ring)
+                ctx.alloc.free(addr);
+            ring.clear();
+        }
+    }
+
+  private:
+    WorkloadInfo info_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeInterp()
+{
+    return std::make_unique<InterpWorkload>();
+}
+
+} // namespace cheri::workloads

@@ -50,10 +50,10 @@ class LbmWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed);
+        Ctx ctx(core, scenario, seed);
         const u32 f_main = ctx.code.addFunction(0, 600);
         const u32 f_collide = ctx.code.addFunction(0, 900);
         ctx.low.enterFunction(f_main);

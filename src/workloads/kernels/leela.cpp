@@ -42,10 +42,11 @@ class LeelaWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed + (speed_ ? 1 : 0));
+        const abi::Abi abi = scenario.abi;
+        Ctx ctx(core, scenario, seed + (speed_ ? 1 : 0));
         const u32 f_main = ctx.code.addFunction(0, 700);
         const u32 f_uct = ctx.code.addFunction(0, 800);
         u32 f_policy[4];

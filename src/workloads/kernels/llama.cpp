@@ -64,10 +64,10 @@ class LlamaMatmulWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed);
+        Ctx ctx(core, scenario, seed);
         const u32 f_main = ctx.code.addFunction(0, 400);
         const u32 f_gemm = ctx.code.addFunction(0, 700);
         ctx.low.enterFunction(f_main);
@@ -108,10 +108,11 @@ class LlamaInferenceWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed);
+        const abi::Abi abi = scenario.abi;
+        Ctx ctx(core, scenario, seed);
         const u32 f_main = ctx.code.addFunction(0, 500);
         const u32 f_gemm = ctx.code.addFunction(0, 700);
         const u32 f_attn = ctx.code.addFunction(0, 600);

@@ -49,10 +49,11 @@ class OmnetppWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed + (speed_ ? 1 : 0));
+        const abi::Abi abi = scenario.abi;
+        Ctx ctx(core, scenario, seed + (speed_ ? 1 : 0));
 
         // Code layout: main model code plus the simulation kernel
         // library (lib 1) the model calls into constantly.

@@ -43,10 +43,11 @@ class ParestWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed);
+        const abi::Abi abi = scenario.abi;
+        Ctx ctx(core, scenario, seed);
         const u32 f_main = ctx.code.addFunction(0, 800);
         const u32 f_spmv = ctx.code.addFunction(0, 500);
         const u32 f_mesh = ctx.code.addFunction(0, 700);

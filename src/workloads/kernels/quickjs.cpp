@@ -48,10 +48,11 @@ class QuickjsWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed);
+        const abi::Abi abi = scenario.abi;
+        Ctx ctx(core, scenario, seed);
 
         // The interpreter loop is one huge function (~40 KiB hybrid,
         // exceeding the 64 KiB L1I together with the runtime helpers).

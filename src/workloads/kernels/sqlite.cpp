@@ -44,10 +44,11 @@ class SqliteWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed);
+        const abi::Abi abi = scenario.abi;
+        Ctx ctx(core, scenario, seed);
 
         // Wide, flat code footprint: the VDBE + B-tree + OS layers.
         const u32 f_main = ctx.code.addFunction(0, 600);

@@ -35,10 +35,10 @@ class X264Workload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed + (speed_ ? 1 : 0));
+        Ctx ctx(core, scenario, seed + (speed_ ? 1 : 0));
         const u32 f_main = ctx.code.addFunction(0, 700);
         const u32 f_sad = ctx.code.addFunction(0, 400);
         const u32 f_dct = ctx.code.addFunction(0, 600);

@@ -48,10 +48,11 @@ class XalancbmkWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed + (speed_ ? 1 : 0));
+        const abi::Abi abi = scenario.abi;
+        Ctx ctx(core, scenario, seed + (speed_ ? 1 : 0));
 
         // Main transform code plus the Xerces DOM library (lib 1):
         // virtual handlers resolve into library code.

@@ -42,10 +42,10 @@ class XzWorkload final : public Workload
     const WorkloadInfo &info() const override { return info_; }
 
     void
-    run(sim::Core &core, abi::Abi abi, Scale scale,
+    run(sim::Core &core, const Scenario &scenario, Scale scale,
         u64 seed) const override
     {
-        Ctx ctx(core, abi, seed + (speed_ ? 1 : 0));
+        Ctx ctx(core, scenario, seed + (speed_ ? 1 : 0));
         const u32 f_main = ctx.code.addFunction(0, 500);
         const u32 f_find = ctx.code.addFunction(0, 900);
         const u32 f_code = ctx.code.addFunction(0, 700);

@@ -17,7 +17,10 @@
 
 namespace cheri::workloads {
 
-/** All 20 workload instances, in the paper's presentation order. */
+/**
+ * All workload instances: the paper's 20 in presentation order, then
+ * repo-local additions (the Interp.boxvm allocator stressor).
+ */
 std::vector<std::unique_ptr<Workload>> allWorkloads();
 
 /** The 12 representative benchmarks of Table 3 (by name). */
@@ -73,6 +76,9 @@ executeWorkload(const Workload &workload, abi::Abi abi, Scale scale,
  * @p approx_out (which must be non-null in that case). Approx is
  * mutually exclusive with epoch tracing (asserted): both claim the
  * pipeline's one epoch-boundary slot.
+ *
+ * @param allocator Optional allocator-axis point for the scenario;
+ *        null means the default allocator (historical behaviour).
  */
 std::optional<sim::SimResult>
 executeWorkload(const Workload &workload, abi::Abi abi, Scale scale,
@@ -80,7 +86,8 @@ executeWorkload(const Workload &workload, abi::Abi abi, Scale scale,
                 const trace::TraceConfig *trace_config,
                 trace::EpochSeries *epochs_out,
                 const trace::ApproxConfig *approx_config,
-                trace::ApproxReport *approx_out);
+                trace::ApproxReport *approx_out,
+                const alloc::AllocatorConfig *allocator = nullptr);
 
 /** One co-run lane: a workload bound to an ABI. */
 struct CorunLane
@@ -110,7 +117,8 @@ std::vector<std::optional<sim::SimResult>>
 executeCoRun(const std::vector<CorunLane> &lanes, Scale scale,
              const sim::MachineConfig *base, u64 seed,
              const trace::TraceConfig *trace_config = nullptr,
-             std::vector<trace::EpochSeries> *epochs_out = nullptr);
+             std::vector<trace::EpochSeries> *epochs_out = nullptr,
+             const alloc::AllocatorConfig *allocator = nullptr);
 
 } // namespace detail
 

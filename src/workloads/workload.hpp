@@ -15,6 +15,7 @@
 #include <string>
 
 #include "abi/abi.hpp"
+#include "alloc/policy.hpp"
 #include "binsize/sections.hpp"
 #include "sim/core.hpp"
 
@@ -28,6 +29,20 @@ enum class Scale : u8 {
 };
 
 double scaleFactor(Scale scale);
+
+/**
+ * Everything about the environment a workload executes in that is an
+ * experiment axis. Historically this was the ABI alone; the scenario
+ * generalizes it so new axes (today: the allocator) thread through
+ * the experiment plane without another signature change. The
+ * default-constructed allocator reproduces the pre-axis heap
+ * behaviour exactly, so Scenario{abi} means what (abi) used to.
+ */
+struct Scenario
+{
+    abi::Abi abi = abi::Abi::Purecap;
+    alloc::AllocatorConfig allocator{};
+};
 
 struct WorkloadInfo
 {
@@ -61,12 +76,20 @@ class Workload
 
     /**
      * Synthesize the workload's dynamic behaviour into @p core
-     * (via its pipeline/dynamic-issue interface) for the given ABI.
-     * Deterministic for a given (abi, scale, seed); in a co-run the
-     * core's shared uncore adds deterministic interference on top.
+     * (via its pipeline/dynamic-issue interface) for the given
+     * scenario. Deterministic for a given (scenario, scale, seed);
+     * in a co-run the core's shared uncore adds deterministic
+     * interference on top.
      */
-    virtual void run(sim::Core &core, abi::Abi abi, Scale scale,
-                     u64 seed) const = 0;
+    virtual void run(sim::Core &core, const Scenario &scenario,
+                     Scale scale, u64 seed) const = 0;
+
+    /** ABI-only convenience: runs the default-allocator scenario. */
+    void
+    run(sim::Core &core, abi::Abi abi, Scale scale, u64 seed) const
+    {
+        run(core, Scenario{abi}, scale, seed);
+    }
 
     /** True when the workload can execute under @p abi. */
     bool

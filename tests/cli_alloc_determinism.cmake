@@ -1,0 +1,79 @@
+# Allocator-axis CLI determinism fixture.
+#
+# Runs `cheriperf sweep --allocators bump,freelist,sizeclass` over the
+# Table 4 workload set with --jobs 1 and --jobs 4 and requires
+# byte-identical CSV on stdout; repeats against the warm cache and
+# requires identical bytes again; then checks the axis column: the
+# header must carry `allocator` and a default sweep (no --allocators)
+# from the same cache must NOT, with its bytes matching a cacheless
+# default sweep (axis cells must never alias default cells).
+#
+# Invoked by ctest as:
+#   cmake -DCHERIPERF=<binary> -DWORK_DIR=<scratch> -P cli_alloc_determinism.cmake
+
+if(NOT CHERIPERF)
+    message(FATAL_ERROR "pass -DCHERIPERF=<path to cheriperf binary>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(CACHE_DIR "${WORK_DIR}/cache")
+
+set(AXIS_ARGS sweep --set table4 --scale tiny --csv
+    --allocators bump,freelist,sizeclass --cache-dir "${CACHE_DIR}")
+
+function(run_sweep out_var jobs)
+    execute_process(
+        COMMAND "${CHERIPERF}" ${ARGN} --jobs ${jobs}
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "cheriperf --jobs ${jobs} failed (${status}):\n${stderr}")
+    endif()
+    set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+run_sweep(serial 1 ${AXIS_ARGS})
+run_sweep(parallel 4 ${AXIS_ARGS})
+if(NOT serial STREQUAL parallel)
+    file(WRITE "${WORK_DIR}/serial.csv" "${serial}")
+    file(WRITE "${WORK_DIR}/parallel.csv" "${parallel}")
+    message(FATAL_ERROR "allocator sweep --jobs 4 CSV differs from "
+                        "--jobs 1; see ${WORK_DIR}/serial.csv vs parallel.csv")
+endif()
+
+run_sweep(cached 4 ${AXIS_ARGS})
+if(NOT serial STREQUAL cached)
+    file(WRITE "${WORK_DIR}/serial.csv" "${serial}")
+    file(WRITE "${WORK_DIR}/cached.csv" "${cached}")
+    message(FATAL_ERROR "warm-cache allocator sweep differs from cold; "
+                        "see ${WORK_DIR}/serial.csv vs cached.csv")
+endif()
+
+if(NOT serial MATCHES "workload,abi,allocator,")
+    message(FATAL_ERROR "allocator sweep CSV is missing the allocator "
+                        "column:\n${serial}")
+endif()
+
+# The axis cells above must not pollute default-cell identity: a
+# default sweep over the warm cache must match a cacheless one and
+# keep the pre-axis header shape.
+run_sweep(default_warm 4 sweep --set table4 --scale tiny --csv
+    --cache-dir "${CACHE_DIR}")
+run_sweep(default_cold 4 sweep --set table4 --scale tiny --csv --no-cache)
+if(NOT default_warm STREQUAL default_cold)
+    file(WRITE "${WORK_DIR}/default_warm.csv" "${default_warm}")
+    file(WRITE "${WORK_DIR}/default_cold.csv" "${default_cold}")
+    message(FATAL_ERROR "default sweep over the axis-warmed cache "
+                        "differs from a cacheless default sweep; see "
+                        "${WORK_DIR}/default_warm.csv vs default_cold.csv")
+endif()
+if(default_warm MATCHES "allocator")
+    message(FATAL_ERROR "default sweep grew an allocator column:\n"
+                        "${default_warm}")
+endif()
+
+message(STATUS "cli_alloc_determinism ok: identical CSV across jobs 1/4 "
+               "and cache replay; default cells unchanged")

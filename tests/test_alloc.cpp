@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for the allocator axis: axis-value naming, the three
+ * placement strategies, the single-argument free contract, CHERI
+ * representability padding across the exponent-boundary corpus, the
+ * quarantine+revocation policy, and the schema-v5 fingerprint rules
+ * that keep default cells byte-identical to their pre-axis selves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/policy.hpp"
+#include "cap/bounds.hpp"
+#include "mem/revoker.hpp"
+#include "runner/cache.hpp"
+#include "runner/run_request.hpp"
+
+namespace cheri::alloc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Axis-value names (the CLI/wire vocabulary).
+
+TEST(AllocPolicy, EveryKnownNameRoundTrips)
+{
+    const auto &names = knownAllocatorNames();
+    ASSERT_EQ(names.size(), 6u);
+    for (const std::string &name : names) {
+        const auto config = parseAllocator(name);
+        ASSERT_TRUE(config.has_value()) << name;
+        EXPECT_EQ(allocatorName(*config), name);
+    }
+}
+
+TEST(AllocPolicy, DefaultConfigIsTheFreelistIdentity)
+{
+    const AllocatorConfig config;
+    EXPECT_TRUE(config.isDefault());
+    EXPECT_EQ(allocatorName(config), "freelist");
+    EXPECT_EQ(parseAllocator("freelist"), config);
+
+    AllocatorConfig revoking = config;
+    revoking.revoke = true;
+    EXPECT_FALSE(revoking.isDefault());
+    EXPECT_EQ(allocatorName(revoking), "freelist+revoke");
+}
+
+TEST(AllocPolicy, UnknownNamesGetAnEditDistanceSuggestion)
+{
+    EXPECT_FALSE(parseAllocator("sizecalss").has_value());
+    EXPECT_EQ(closestAllocatorName("sizecalss"), "sizeclass");
+    EXPECT_FALSE(parseAllocator("bmup").has_value());
+    EXPECT_EQ(closestAllocatorName("bmup"), "bump");
+}
+
+// ---------------------------------------------------------------------
+// Placement strategies.
+
+TEST(AllocStrategy, FreelistReusesLastFreedBlockFirst)
+{
+    FreelistAllocator heap(abi::Abi::Hybrid);
+    const Addr a = heap.allocate(64);
+    const Addr b = heap.allocate(64);
+    ASSERT_NE(a, b);
+    heap.free(b);
+    heap.free(a);
+    // LIFO within the exact padded-size class: a was freed last.
+    EXPECT_EQ(heap.allocate(64), a);
+    EXPECT_EQ(heap.allocate(64), b);
+    EXPECT_EQ(heap.stats().allocations, 4u);
+    EXPECT_EQ(heap.stats().frees, 2u);
+}
+
+TEST(AllocStrategy, BumpNeverReusesFreedMemory)
+{
+    BumpAllocator heap(abi::Abi::Hybrid);
+    const Addr a = heap.allocate(64);
+    heap.free(a);
+    const Addr b = heap.allocate(64);
+    EXPECT_GT(b, a);
+    // heapExtent keeps growing: frees return nothing to the arena.
+    EXPECT_EQ(heap.stats().heapExtent, (b - heap.heapBase()) + 64);
+}
+
+TEST(AllocStrategy, SizeClassRoundsToQuarterPowerClasses)
+{
+    SizeClassAllocator heap(abi::Abi::Hybrid);
+    // <= 256 B: exact 16-byte steps.
+    EXPECT_EQ(heap.paddedSize(1), 16u);
+    EXPECT_EQ(heap.paddedSize(100), 112u);
+    EXPECT_EQ(heap.paddedSize(256), 256u);
+    // > 256 B: four classes per doubling (256, 320, 384, 448, 512).
+    EXPECT_EQ(heap.paddedSize(300), 320u);
+    EXPECT_EQ(heap.paddedSize(400), 448u);
+    EXPECT_EQ(heap.paddedSize(449), 512u);
+    // Powers of two are their own class.
+    EXPECT_EQ(heap.paddedSize(512), 512u);
+    EXPECT_EQ(heap.paddedSize(4096), 4096u);
+}
+
+TEST(AllocStrategy, SizeClassSharesBlocksAcrossRequestSizes)
+{
+    SizeClassAllocator heap(abi::Abi::Hybrid);
+    const Addr a = heap.allocate(300); // class 320
+    heap.free(a);
+    // A different request size in the same class reuses the block —
+    // that cross-size sharing is the point of size classes.
+    EXPECT_EQ(heap.allocate(310), a);
+}
+
+// ---------------------------------------------------------------------
+// The free(addr) contract: the allocator tracks block sizes itself.
+
+TEST(AllocFree, SingleArgumentFreeUsesTheRecordedSize)
+{
+    FreelistAllocator heap(abi::Abi::Purecap);
+    const Addr a = heap.allocate(24);
+    const Addr b = heap.allocate(1000);
+    heap.free(a);
+    heap.free(b);
+    EXPECT_EQ(heap.stats().frees, 2u);
+    // Reuse proves the recorded padded sizes routed each block to the
+    // right free list without the caller restating them.
+    EXPECT_EQ(heap.allocate(1000), b);
+    EXPECT_EQ(heap.allocate(24), a);
+}
+
+TEST(AllocFreeDeathTest, TwoArgumentShimRejectsSizeMismatch)
+{
+    FreelistAllocator heap(abi::Abi::Hybrid);
+    const Addr a = heap.allocate(64);
+    heap.free(a, 64); // matching size: forwards to free(addr)
+    const Addr b = heap.allocate(128);
+    EXPECT_DEATH(heap.free(b, 64), "mismatch");
+}
+
+TEST(AllocFreeDeathTest, FreeingAnUnknownAddressDies)
+{
+    FreelistAllocator heap(abi::Abi::Hybrid);
+    EXPECT_DEATH(heap.free(0xdead0), "not handed out");
+}
+
+// ---------------------------------------------------------------------
+// Representability padding, table-driven over the exponent-boundary
+// corpus: for every strategy x ABI, the padding the stats report must
+// match cap::representableLength() exactly (or bound it, for the
+// size-class allocator, whose classes may round further).
+
+std::vector<u64>
+corpusLengths()
+{
+    const std::filesystem::path path =
+        std::filesystem::path(CHERIPERF_TEST_CORPUS_DIR) /
+        "cap_bounds_edges.txt";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+
+    std::vector<u64> lengths;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto pos = line.find("length=");
+        if (line.empty() || line[0] == '#' || pos == std::string::npos)
+            continue;
+        const u64 len =
+            std::strtoull(line.c_str() + pos + 7, nullptr, 16);
+        // Keep the exponent-boundary cases that fit the simulated
+        // heap; the corpus's address-space-sized entries test the
+        // encoder, not an allocator.
+        if (len > 0 && len <= (1ULL << 20))
+            lengths.push_back(len);
+    }
+    return lengths;
+}
+
+struct PaddingCase
+{
+    Strategy strategy;
+    abi::Abi abi;
+};
+
+class RepresentablePaddingTest
+    : public ::testing::TestWithParam<PaddingCase>
+{
+};
+
+TEST_P(RepresentablePaddingTest, StatsPaddingMatchesBoundsModel)
+{
+    const auto &[strategy, abi] = GetParam();
+    const std::vector<u64> lengths = corpusLengths();
+    ASSERT_GE(lengths.size(), 12u) << "corpus unexpectedly small";
+
+    for (const u64 len : lengths) {
+        AllocatorConfig config;
+        config.strategy = strategy;
+        const auto heap = makeAllocator(config, abi);
+        heap->allocate(len);
+
+        const AllocationStats &stats = heap->stats();
+        ASSERT_EQ(stats.requestedBytes, len);
+        const u64 padding = stats.reservedBytes - stats.requestedBytes;
+
+        // Computed independently of paddedSize(): minimum 16-byte
+        // granule, then CHERI Concentrate representable rounding
+        // under the capability ABIs.
+        u64 floor = ((len + 15) & ~15ULL);
+        if (abi::capabilityPointers(abi))
+            floor = cap::representableLength(floor);
+        const u64 floor_padding = floor - len;
+
+        if (strategy == Strategy::SizeClass) {
+            // Classes may round past the representable floor, but
+            // never below it, and the class size itself must still be
+            // exactly representable.
+            EXPECT_GE(padding, floor_padding) << "len 0x" << std::hex << len;
+            if (abi::capabilityPointers(abi)) {
+                EXPECT_EQ(cap::representableLength(stats.reservedBytes),
+                          stats.reservedBytes)
+                    << "len 0x" << std::hex << len;
+            }
+        } else {
+            EXPECT_EQ(padding, floor_padding) << "len 0x" << std::hex << len;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EveryStrategyTimesAbi, RepresentablePaddingTest,
+    ::testing::Values(
+        PaddingCase{Strategy::Freelist, abi::Abi::Hybrid},
+        PaddingCase{Strategy::Freelist, abi::Abi::Purecap},
+        PaddingCase{Strategy::Freelist, abi::Abi::Benchmark},
+        PaddingCase{Strategy::Bump, abi::Abi::Hybrid},
+        PaddingCase{Strategy::Bump, abi::Abi::Purecap},
+        PaddingCase{Strategy::Bump, abi::Abi::Benchmark},
+        PaddingCase{Strategy::SizeClass, abi::Abi::Hybrid},
+        PaddingCase{Strategy::SizeClass, abi::Abi::Purecap},
+        PaddingCase{Strategy::SizeClass, abi::Abi::Benchmark}),
+    [](const auto &info) {
+        return std::string(strategyName(info.param.strategy)) + "_" +
+               abi::abiName(info.param.abi);
+    });
+
+// ---------------------------------------------------------------------
+// Quarantine + revocation policy.
+
+struct RecordingObserver : mem::SweepObserver
+{
+    std::vector<Addr> visited;
+    std::vector<Addr> revoked;
+    void onGranuleVisited(Addr addr) override { visited.push_back(addr); }
+    void onCapRevoked(Addr addr) override { revoked.push_back(addr); }
+};
+
+TEST(AllocRevocation, SweepTriggersAtThresholdAndRevokesShadowCaps)
+{
+    mem::BackingStore store;
+    RecordingObserver observer;
+    AllocatorConfig config;
+    config.revoke = true;
+    config.quarantine_kib = 1;
+    const auto heap =
+        makeAllocator(config, abi::Abi::Purecap, &store, &observer);
+    ASSERT_TRUE(heap->revocationEnabled());
+
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 8; ++i)
+        blocks.push_back(heap->allocate(256));
+
+    // Free half: 4 x 256 B = 1 KiB reaches the quarantine threshold.
+    for (int i = 0; i < 4; ++i)
+        heap->free(blocks[i]);
+
+    const RevocationStats &stats = heap->revocation();
+    EXPECT_GE(stats.sweeps, 1u);
+    // Every live allocation planted a shadow capability; the sweep
+    // visits all of them and revokes exactly the freed blocks'.
+    EXPECT_GE(stats.granulesVisited, 8u);
+    EXPECT_EQ(stats.capsRevoked, 4u);
+    EXPECT_EQ(stats.bytesReleased, 4u * 256u);
+
+    // The observer saw the same counts, in sorted (deterministic)
+    // address order — this stream becomes modeled memory traffic.
+    EXPECT_EQ(observer.visited.size(), stats.granulesVisited);
+    EXPECT_TRUE(std::is_sorted(observer.visited.begin(),
+                               observer.visited.end()));
+    EXPECT_EQ(observer.revoked.size(), 4u);
+}
+
+TEST(AllocRevocation, FreedMemoryOnlyReusedAfterASweep)
+{
+    mem::BackingStore store;
+    AllocatorConfig config;
+    config.revoke = true;
+    config.quarantine_kib = 1;
+    const auto heap = makeAllocator(config, abi::Abi::Purecap, &store);
+
+    const Addr a = heap->allocate(256);
+    heap->free(a);
+    // 256 B < 1 KiB: still quarantined, so the freelist must not hand
+    // the block back out.
+    EXPECT_NE(heap->allocate(256), a);
+
+    // Push quarantine past the threshold; the sweep drains it and the
+    // deferred frees finally reach the free lists.
+    std::vector<Addr> filler;
+    for (int i = 0; i < 4; ++i)
+        filler.push_back(heap->allocate(256));
+    for (const Addr addr : filler)
+        heap->free(addr);
+    EXPECT_GE(heap->revocation().sweeps, 1u);
+    const Addr reused = heap->allocate(256);
+    EXPECT_TRUE(reused == a ||
+                std::find(filler.begin(), filler.end(), reused) !=
+                    filler.end());
+}
+
+TEST(AllocRevocation, HybridHeapSweepsWithoutShadowCaps)
+{
+    // Under hybrid there are no capabilities to revoke, but the
+    // quarantine discipline (and its sweep accounting) still runs.
+    mem::BackingStore store;
+    AllocatorConfig config;
+    config.revoke = true;
+    config.quarantine_kib = 1;
+    const auto heap = makeAllocator(config, abi::Abi::Hybrid, &store);
+
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 4; ++i)
+        blocks.push_back(heap->allocate(256));
+    for (const Addr addr : blocks)
+        heap->free(addr);
+
+    EXPECT_GE(heap->revocation().sweeps, 1u);
+    EXPECT_EQ(heap->revocation().capsRevoked, 0u);
+    EXPECT_EQ(heap->revocation().bytesReleased, 4u * 256u);
+}
+
+// ---------------------------------------------------------------------
+// Cell identity: the schema-v5 compatibility rules.
+
+TEST(AllocFingerprint, DormantQuarantineKnobDoesNotChangeTheCell)
+{
+    runner::RunRequest base;
+    base.workload = "519.lbm_r";
+
+    runner::RunRequest spelled = base;
+    spelled.allocator.quarantine_kib = 512; // revoke is off: inert
+    EXPECT_EQ(runner::cellFingerprint(base),
+              runner::cellFingerprint(spelled));
+    EXPECT_TRUE(spelled.normalized().allocator.isDefault());
+}
+
+TEST(AllocFingerprint, EveryLiveAllocatorKnobChangesTheCell)
+{
+    runner::RunRequest base;
+    base.workload = "519.lbm_r";
+    const u64 fp = runner::cellFingerprint(base);
+
+    runner::RunRequest bump = base;
+    bump.allocator.strategy = Strategy::Bump;
+    EXPECT_NE(runner::cellFingerprint(bump), fp);
+
+    runner::RunRequest revoking = base;
+    revoking.allocator.revoke = true;
+    EXPECT_NE(runner::cellFingerprint(revoking), fp);
+
+    runner::RunRequest tuned = revoking;
+    tuned.allocator.quarantine_kib = 512; // live under revoke
+    EXPECT_NE(runner::cellFingerprint(tuned),
+              runner::cellFingerprint(revoking));
+}
+
+} // namespace
+} // namespace cheri::alloc

@@ -185,6 +185,60 @@ TEST(ServeProtocol, JobIdIsContentAddressed)
     EXPECT_EQ(jobId(a), jobId(d));
 }
 
+TEST(ServeProtocol, AllocatorsRoundTripAndExpandInPlanOrder)
+{
+    JobSpec spec = lbmSpec();
+    spec.allocators = "bump,freelist+revoke";
+    const std::string wire = jobSpecJsonl(spec);
+    EXPECT_NE(wire.find("\"allocators\":\"bump,freelist+revoke\""),
+              std::string::npos)
+        << wire;
+
+    JobSpec parsed;
+    std::string error;
+    ASSERT_TRUE(parseJobSpec(wire, &parsed, &error)) << error;
+    EXPECT_EQ(parsed.allocators, "bump,freelist+revoke");
+    EXPECT_TRUE(parsed.allocColumns());
+
+    // Allocator-major, ABI-minor within the workload — the CLI's
+    // addScenarioSweep plan order, which byte-parity depends on.
+    const auto cells = expandJobSpec(parsed, &error);
+    ASSERT_EQ(cells.size(), 6u) << error;
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(cells[i].allocator.strategy, alloc::Strategy::Bump);
+        EXPECT_FALSE(cells[i].allocator.revoke);
+        EXPECT_EQ(cells[i].abi, abi::kAllAbis[i]);
+    }
+    for (std::size_t i = 3; i < 6; ++i) {
+        EXPECT_EQ(cells[i].allocator.strategy,
+                  alloc::Strategy::Freelist);
+        EXPECT_TRUE(cells[i].allocator.revoke);
+        EXPECT_EQ(cells[i].abi, abi::kAllAbis[i - 3]);
+    }
+
+    // The axis changes the job identity; the empty spelling keeps the
+    // pre-axis one (no wire field, default allocator in every cell).
+    JobSpec plain = lbmSpec();
+    EXPECT_EQ(jobSpecJsonl(plain).find("allocators"),
+              std::string::npos);
+    const auto base = expandJobSpec(plain, &error);
+    ASSERT_EQ(base.size(), 3u);
+    EXPECT_TRUE(base[0].allocator.isDefault());
+    EXPECT_NE(jobId(cells), jobId(base));
+}
+
+TEST(ServeProtocol, UnknownAllocatorRejectedWithSuggestion)
+{
+    JobSpec spec = lbmSpec();
+    spec.allocators = "sizecalss";
+    std::string error;
+    EXPECT_TRUE(expandJobSpec(spec, &error).empty());
+    EXPECT_NE(error.find("sizecalss"), std::string::npos)
+        << "error must name the bad value: " << error;
+    EXPECT_NE(error.find("sizeclass"), std::string::npos)
+        << "error must suggest the closest known name: " << error;
+}
+
 // --- ExperimentService ----------------------------------------------
 
 TEST(ExperimentService, InflightDedupSimulatesOnce)
@@ -243,6 +297,47 @@ TEST(ExperimentService, CsvMatchesOfflineSweepBytes)
     const auto outcome = runner::runPlan(plan, ropt);
     EXPECT_EQ(*csv, sweepCsv(outcome.results, false))
         << "served CSV must be byte-identical to the offline sweep";
+    service.drainAndStop();
+}
+
+TEST(ExperimentService, AllocatorAxisCsvMatchesOfflineBytes)
+{
+    ServiceConfig config;
+    config.workers = 2;
+    config.cache = false;
+    ExperimentService service(config);
+
+    JobSpec spec = lbmSpec();
+    spec.allocators = "bump,freelist";
+    std::string id, error;
+    ASSERT_EQ(service.submit(spec, &id, &error),
+              SubmitStatus::Accepted)
+        << error;
+    const auto csv = service.waitResult(id);
+    ASSERT_TRUE(csv.has_value());
+    EXPECT_EQ(csv->rfind("workload,abi,allocator,", 0), 0u)
+        << "axis jobs render the allocator column";
+
+    runner::ExperimentPlan plan;
+    plan.addScenarioSweep("519.lbm_r", workloads::Scale::Tiny, 42,
+                          {*alloc::parseAllocator("bump"),
+                           *alloc::parseAllocator("freelist")});
+    runner::RunnerOptions ropt;
+    ropt.cache = false;
+    const auto outcome = runner::runPlan(plan, ropt);
+    EXPECT_EQ(*csv, sweepCsv(outcome.results, false, true))
+        << "served axis CSV must be byte-identical to the offline "
+           "sweep";
+
+    // A bad axis value is a 400-class submit error, never a dead
+    // daemon.
+    JobSpec bad = lbmSpec();
+    bad.allocators = "bmup";
+    std::string id2;
+    EXPECT_EQ(service.submit(bad, &id2, &error),
+              SubmitStatus::BadRequest);
+    EXPECT_NE(error.find("bump"), std::string::npos)
+        << "suggestion expected: " << error;
     service.drainAndStop();
 }
 

@@ -2,10 +2,11 @@
  * @file
  * bench_throughput — the CI throughput harness.
  *
- * Runs the tier-1 table-4 sweep twice through the library API — once
- * exact, once in --approx sampled mode — and emits
- * BENCH_throughput.json: simulated-instructions/sec for both modes,
- * the approx/exact speedup, block-cache hit rate (from a decoded-
+ * Runs the tier-1 table-4 sweep three times through the library API —
+ * exact, --approx sampled, and over the allocator axis (purecap x
+ * bump/freelist/sizeclass) — and emits BENCH_throughput.json:
+ * simulated-instructions/sec for each mode, the approx/exact speedup,
+ * the alloc-axis/exact efficiency, block-cache hit rate (from a decoded-
  * program replay; the synthetic sweep generators do not go through
  * the block cache), and memory fast-path coverage (from the hot-path
  * telemetry the sweeps flush).
@@ -28,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/policy.hpp"
 #include "isa/builder.hpp"
 #include "runner/runner.hpp"
 #include "sim/block_cache.hpp"
@@ -93,24 +95,50 @@ struct SweepMeasure
     telemetry::HotPathStats hotpath;
 };
 
+/** Which table-4 sweep a measurement pass runs. */
+enum class SweepKind {
+    Exact,     //!< 3 ABIs, full timing model.
+    Approx,    //!< 3 ABIs, sampled simulation.
+    AllocAxis, //!< purecap x {bump, freelist, sizeclass}.
+};
+
 SweepMeasure
-runSweep(const Options &opt, bool approx)
+runSweep(const Options &opt, SweepKind kind)
 {
     runner::ExperimentPlan plan;
-    for (const auto &name : workloads::table4Names())
-        for (abi::Abi abi : abi::kAllAbis) {
-            runner::RunRequest request;
-            request.workload = name;
-            request.abi = abi;
-            request.scale = opt.scale;
-            request.seed = opt.seed;
-            if (approx) {
-                request.approx.enabled = true;
-                request.approx.rate = opt.rate;
-                request.approx.epoch_insts = opt.epoch_insts;
+    if (kind == SweepKind::AllocAxis) {
+        // The allocator-axis throughput probe: same workload set, one
+        // ABI, the three strategies. Gated as a ratio to exact_ips so
+        // an allocator-layer slowdown (per-allocation bookkeeping,
+        // shadow-heap traffic) shows up regardless of host speed.
+        for (const auto &name : workloads::table4Names())
+            for (const char *alloc_name :
+                 {"bump", "freelist", "sizeclass"}) {
+                runner::RunRequest request;
+                request.workload = name;
+                request.abi = abi::Abi::Purecap;
+                request.scale = opt.scale;
+                request.seed = opt.seed;
+                request.allocator =
+                    *alloc::parseAllocator(alloc_name);
+                plan.add(request);
             }
-            plan.add(request);
-        }
+    } else {
+        for (const auto &name : workloads::table4Names())
+            for (abi::Abi abi : abi::kAllAbis) {
+                runner::RunRequest request;
+                request.workload = name;
+                request.abi = abi;
+                request.scale = opt.scale;
+                request.seed = opt.seed;
+                if (kind == SweepKind::Approx) {
+                    request.approx.enabled = true;
+                    request.approx.rate = opt.rate;
+                    request.approx.epoch_insts = opt.epoch_insts;
+                }
+                plan.add(request);
+            }
+    }
 
     runner::RunnerOptions ropt;
     ropt.jobs = opt.jobs;
@@ -206,7 +234,8 @@ runBlockCacheProbe()
 
 void
 writeJson(const Options &opt, const SweepMeasure &exact,
-          const SweepMeasure &approx, const BlockCacheMeasure &blocks)
+          const SweepMeasure &approx, const SweepMeasure &alloc_axis,
+          const BlockCacheMeasure &blocks)
 {
     std::FILE *f = std::fopen(opt.out.c_str(), "w");
     if (f == nullptr) {
@@ -217,7 +246,7 @@ writeJson(const Options &opt, const SweepMeasure &exact,
     const double speedup =
         exact.ips > 0 ? approx.ips / exact.ips : 0;
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": 1,\n");
+    std::fprintf(f, "  \"schema\": 2,\n");
     std::fprintf(f, "  \"scale\": \"%s\",\n", scaleName(opt.scale));
     std::fprintf(f, "  \"jobs\": %u,\n", opt.jobs);
     std::fprintf(f, "  \"approx_rate\": %llu,\n",
@@ -235,6 +264,14 @@ writeJson(const Options &opt, const SweepMeasure &exact,
                  static_cast<unsigned long long>(approx.instructions));
     std::fprintf(f, "  \"approx_ips\": %.1f,\n", approx.ips);
     std::fprintf(f, "  \"approx_speedup\": %.4f,\n", speedup);
+    std::fprintf(f, "  \"alloc_axis_wall_seconds\": %.6f,\n",
+                 alloc_axis.wall_seconds);
+    std::fprintf(f, "  \"alloc_axis_instructions\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     alloc_axis.instructions));
+    std::fprintf(f, "  \"alloc_axis_ips\": %.1f,\n", alloc_axis.ips);
+    std::fprintf(f, "  \"alloc_axis_efficiency\": %.4f,\n",
+                 exact.ips > 0 ? alloc_axis.ips / exact.ips : 0);
     std::fprintf(f, "  \"fastpath_data_coverage\": %.6f,\n",
                  exact.hotpath.dataCoverage());
     std::fprintf(f, "  \"fastpath_fetch_coverage\": %.6f,\n",
@@ -287,6 +324,7 @@ regressed(const char *name, double current, double base,
 int
 checkBaseline(const Options &opt, const SweepMeasure &exact,
               const SweepMeasure &approx,
+              const SweepMeasure &alloc_axis,
               const BlockCacheMeasure &blocks)
 {
     std::ifstream in(opt.baseline);
@@ -309,6 +347,13 @@ checkBaseline(const Options &opt, const SweepMeasure &exact,
     // is the one wall-clock metric comparable across machines.
     bad |= regressed("approx_speedup", speedup,
                      jsonField(text, "approx_speedup"), opt.tolerance);
+    // Same trick for the allocator axis: its ips relative to the
+    // exact sweep's cancels host speed, so a drop means the alloc
+    // layer itself got slower per simulated instruction.
+    bad |= regressed("alloc_axis_efficiency",
+                     exact.ips > 0 ? alloc_axis.ips / exact.ips : 0,
+                     jsonField(text, "alloc_axis_efficiency"),
+                     opt.tolerance);
     // Deterministic counters: same binary + same inputs must
     // reproduce these exactly, so a drop is a real coverage loss.
     bad |= regressed("block_cache_hit_rate", blocks.hit_rate,
@@ -383,14 +428,14 @@ benchMain(int argc, char **argv)
                  "jobs %u\n",
                  scaleName(opt.scale), opt.jobs);
 
-    const SweepMeasure exact = runSweep(opt, /*approx=*/false);
+    const SweepMeasure exact = runSweep(opt, SweepKind::Exact);
     std::fprintf(stderr,
                  "  exact : %8.3f s  %12llu insts  %12.0f ips\n",
                  exact.wall_seconds,
                  static_cast<unsigned long long>(exact.instructions),
                  exact.ips);
 
-    const SweepMeasure approx = runSweep(opt, /*approx=*/true);
+    const SweepMeasure approx = runSweep(opt, SweepKind::Approx);
     std::fprintf(stderr,
                  "  approx: %8.3f s  %12llu insts  %12.0f ips  "
                  "(rate %llu, epoch %llu)\n",
@@ -401,6 +446,17 @@ benchMain(int argc, char **argv)
                  static_cast<unsigned long long>(opt.epoch_insts));
     std::fprintf(stderr, "  speedup: %.2fx\n",
                  exact.ips > 0 ? approx.ips / exact.ips : 0.0);
+
+    const SweepMeasure alloc_axis = runSweep(opt, SweepKind::AllocAxis);
+    std::fprintf(stderr,
+                 "  alloc : %8.3f s  %12llu insts  %12.0f ips  "
+                 "(purecap x bump,freelist,sizeclass; %.2fx of "
+                 "exact)\n",
+                 alloc_axis.wall_seconds,
+                 static_cast<unsigned long long>(
+                     alloc_axis.instructions),
+                 alloc_axis.ips,
+                 exact.ips > 0 ? alloc_axis.ips / exact.ips : 0.0);
 
     const BlockCacheMeasure blocks = runBlockCacheProbe();
     std::fprintf(
@@ -417,11 +473,11 @@ benchMain(int argc, char **argv)
                  exact.hotpath.dataCoverage() * 100,
                  exact.hotpath.fetchCoverage() * 100);
 
-    writeJson(opt, exact, approx, blocks);
+    writeJson(opt, exact, approx, alloc_axis, blocks);
     std::fprintf(stderr, "wrote %s\n", opt.out.c_str());
 
     if (!opt.baseline.empty())
-        return checkBaseline(opt, exact, approx, blocks);
+        return checkBaseline(opt, exact, approx, alloc_axis, blocks);
     return 0;
 }
 

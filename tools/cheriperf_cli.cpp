@@ -36,6 +36,14 @@
  *   --approx[=N]               sampled sweep mode: simulate 1-in-N
  *                              epochs (default 10), extrapolate totals,
  *                              report per-metric error bars
+ *   --allocators a,b,c         sweep/submit: allocator-axis values
+ *                              (freelist|bump|sizeclass, each with an
+ *                              optional +revoke suffix); the CSV gains
+ *                              an allocator column after abi
+ *   --set alloc.<key>=<value>  allocator knobs for a single cell:
+ *                              alloc.strategy, alloc.revoke,
+ *                              alloc.quarantine_kib
+ *   --axis                     sweep: list experiment axes and exit
  *   --trace=LIST               comma-list of observability sinks:
  *                              epochs[:N] (epoch JSONL, N insts per
  *                              epoch) and profile (simulator
@@ -65,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/policy.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/topdown.hpp"
 #include "runner/runner.hpp"
@@ -112,6 +121,14 @@ struct Options
     bool fast_path = true;   //!< Hidden escape hatch (--no-fastpath).
     bool block_cache = true; //!< Hidden escape hatch (--no-blockcache).
 
+    // Allocator axis (sweep/submit) and --set alloc.* knobs.
+    std::string allocators; //!< --allocators comma list; "" = axis off.
+    alloc::AllocatorConfig alloc_base{}; //!< --set alloc.* base config.
+    bool alloc_quarantine_set = false; //!< alloc.quarantine_kib given:
+                                       //!< also retunes --allocators
+                                       //!< values that revoke.
+    bool axis_listing = false;         //!< sweep --axis.
+
     // serve / submit commands.
     u64 port = 0;
     std::string port_file;
@@ -146,6 +163,11 @@ usage(int code)
         "    --cap-aware-bp  --wide-sq  --tag-latency N  --l1d-kib N\n"
         "    --jobs N  --cores N  --no-cache  --cache-dir PATH\n"
         "    --raw  --csv  --approx[=N]  --trace=epochs[:N],profile\n"
+        "    --allocators a,b,c   (sweep/submit: allocator axis; adds\n"
+        "    an allocator CSV column; see 'cheriperf sweep --axis')\n"
+        "    --set alloc.strategy=S | alloc.revoke=on|off |\n"
+        "    alloc.quarantine_kib=N   (allocator knobs for one cell)\n"
+        "    --axis   (sweep only: list experiment axes and exit)\n"
         "  corun <w1[@abi]> [w2[@abi] ...] options:\n"
         "    --cores N (default #lanes; extra cores replicate lanes\n"
         "    round-robin)  --abi NAME (default for bare lanes)\n"
@@ -226,6 +248,68 @@ applyTraceList(Options &opt, const std::string &list)
     }
 }
 
+/**
+ * Apply one `--set alloc.<key>=<value>` knob to the base allocator
+ * config. Unknown axis values exit 2 with a did-you-mean suggestion
+ * (the allocator-axis contract, same as the daemon's 400).
+ */
+void
+applyAllocKnob(Options &opt, const std::string &item)
+{
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+        std::fprintf(stderr,
+                     "--set alloc.* expects alloc.<key>=<value>, got "
+                     "'%s'\n",
+                     item.c_str());
+        usage(1);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "alloc.strategy") {
+        const auto config = alloc::parseAllocator(value);
+        if (!config || config->revoke) {
+            std::fprintf(stderr,
+                         "unknown allocator strategy '%s' (did you "
+                         "mean '%s'?)\n",
+                         value.c_str(),
+                         alloc::closestAllocatorName(value).c_str());
+            std::exit(2);
+        }
+        opt.alloc_base.strategy = config->strategy;
+    } else if (key == "alloc.revoke") {
+        if (value == "on" || value == "true" || value == "1") {
+            opt.alloc_base.revoke = true;
+        } else if (value == "off" || value == "false" ||
+                   value == "0") {
+            opt.alloc_base.revoke = false;
+        } else {
+            std::fprintf(stderr,
+                         "alloc.revoke expects on|off, got '%s'\n",
+                         value.c_str());
+            usage(1);
+        }
+    } else if (key == "alloc.quarantine_kib") {
+        const auto n = parseU64(value);
+        if (!n || *n == 0) {
+            std::fprintf(stderr,
+                         "alloc.quarantine_kib expects a positive "
+                         "KiB count, got '%s'\n",
+                         value.c_str());
+            usage(1);
+        }
+        opt.alloc_base.quarantine_kib = *n;
+        opt.alloc_quarantine_set = true;
+    } else {
+        std::fprintf(stderr,
+                     "unknown --set alloc key '%s' (expected "
+                     "alloc.strategy, alloc.revoke or "
+                     "alloc.quarantine_kib)\n",
+                     key.c_str());
+        usage(1);
+    }
+}
+
 Options
 parse(int argc, char **argv)
 {
@@ -250,7 +334,17 @@ parse(int argc, char **argv)
             opt.abi = next();
             opt.abi_set = true;
         } else if (arg == "--set") {
-            opt.set = next();
+            // `--set table3` selects the workload set; values spelled
+            // `alloc.<key>=<value>` are allocator-axis knobs instead.
+            const std::string value = next();
+            if (value.rfind("alloc.", 0) == 0)
+                applyAllocKnob(opt, value);
+            else
+                opt.set = value;
+        } else if (arg == "--allocators") {
+            opt.allocators = next();
+        } else if (arg == "--axis") {
+            opt.axis_listing = true;
         } else if (arg == "--scale") {
             const std::string s = next();
             if (s == "tiny")
@@ -431,6 +525,17 @@ parse(int argc, char **argv)
         std::fprintf(stderr, "--approx only applies to run/sweep\n");
         usage(1);
     }
+    if (!opt.allocators.empty() && opt.command != "sweep" &&
+        opt.command != "submit") {
+        std::fprintf(stderr,
+                     "--allocators only applies to sweep/submit (use "
+                     "--set alloc.strategy=... for one cell)\n");
+        usage(1);
+    }
+    if (opt.axis_listing && opt.command != "sweep") {
+        std::fprintf(stderr, "--axis only applies to sweep\n");
+        usage(1);
+    }
     return opt;
 }
 
@@ -453,6 +558,9 @@ requestFor(const Options &opt, const std::string &workload, abi::Abi abi)
     request.abi = abi;
     request.scale = opt.scale;
     request.seed = opt.seed;
+    // Default-constructed alloc_base keeps the cell's pre-axis
+    // identity; --set alloc.* knobs change it (and the fingerprint).
+    request.allocator = opt.alloc_base;
 
     auto config = sim::MachineConfig::forAbi(abi);
     config.pipe.bp.cap_aware = opt.cap_aware_bp;
@@ -689,6 +797,65 @@ cmdTrace(const Options &opt)
     return run.ok() ? 0 : 2;
 }
 
+/**
+ * Parse the --allocators comma list into axis values. Unknown names
+ * exit 2 with a did-you-mean suggestion. An `alloc.quarantine_kib`
+ * knob retunes every revoking value in the list.
+ */
+std::vector<alloc::AllocatorConfig>
+parseAllocatorList(const Options &opt)
+{
+    std::vector<alloc::AllocatorConfig> out;
+    const std::string &list = opt.allocators;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string name = list.substr(start, comma - start);
+        const auto config = alloc::parseAllocator(name);
+        if (!config) {
+            std::fprintf(stderr,
+                         "unknown allocator '%s' (did you mean "
+                         "'%s'?)\n",
+                         name.c_str(),
+                         alloc::closestAllocatorName(name).c_str());
+            std::exit(2);
+        }
+        out.push_back(*config);
+        if (opt.alloc_quarantine_set && out.back().revoke)
+            out.back().quarantine_kib = opt.alloc_base.quarantine_kib;
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** `sweep --axis`: list every experiment axis and its values. */
+int
+cmdSweepAxis()
+{
+    std::printf("experiment axes (sweep expands the cross product):\n");
+    std::printf("  abi        ");
+    for (std::size_t i = 0; i < abi::kAllAbis.size(); ++i)
+        std::printf("%s%s", i ? ", " : "",
+                    abi::abiName(abi::kAllAbis[i]));
+    std::printf("   (always swept)\n");
+    std::printf("  allocator  ");
+    const auto &names = alloc::knownAllocatorNames();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        std::printf("%s%s", i ? ", " : "", names[i].c_str());
+    std::printf("\n             (--allocators a,b,c; default: "
+                "freelist alone, no extra CSV column)\n");
+    std::printf("  scale      tiny, small, ref   (--scale, one per "
+                "sweep)\n");
+    std::printf("knobs (--set alloc.<key>=<value>):\n");
+    std::printf("  alloc.strategy        freelist|bump|sizeclass\n");
+    std::printf("  alloc.revoke          on|off\n");
+    std::printf("  alloc.quarantine_kib  N   (sweep trigger; revoking "
+                "allocators only)\n");
+    return 0;
+}
+
 /** The sweep's workload selection: --workload wins, then --set. */
 std::vector<std::string>
 sweepSelection(const Options &opt)
@@ -712,24 +879,37 @@ sweepSelection(const Options &opt)
 int
 cmdSweep(const Options &opt)
 {
+    if (opt.axis_listing)
+        return cmdSweepAxis();
+
+    // The allocator axis: --allocators activates it (extra CSV
+    // column); otherwise the single --set alloc.* base config runs,
+    // which defaults to the pre-axis allocator.
+    const bool alloc_axis = !opt.allocators.empty();
+    const std::vector<alloc::AllocatorConfig> axis =
+        alloc_axis ? parseAllocatorList(opt)
+                   : std::vector<alloc::AllocatorConfig>{opt.alloc_base};
+
     runner::ExperimentPlan plan;
     for (const auto &name : sweepSelection(opt))
-        for (abi::Abi a : abi::kAllAbis) {
-            auto request = requestFor(opt, name, a);
-            if (opt.cores >= 2) {
-                // Homogeneous self-co-run: N copies of the cell's
-                // (workload, abi) sharing one uncore. workload/abi
-                // stay set so the CSV schema and find() still work.
-                request.lanes.assign(
-                    static_cast<std::size_t>(opt.cores),
-                    runner::Lane{name, a});
+        for (const alloc::AllocatorConfig &allocator : axis)
+            for (abi::Abi a : abi::kAllAbis) {
+                auto request = requestFor(opt, name, a);
+                request.allocator = allocator;
+                if (opt.cores >= 2) {
+                    // Homogeneous self-co-run: N copies of the cell's
+                    // (workload, abi) sharing one uncore. workload/abi
+                    // stay set so the CSV schema and find() still work.
+                    request.lanes.assign(
+                        static_cast<std::size_t>(opt.cores),
+                        runner::Lane{name, a});
+                }
+                if (opt.emit_epochs) {
+                    request.trace.enabled = true;
+                    request.trace.epoch_insts = opt.epoch_insts;
+                }
+                plan.add(request);
             }
-            if (opt.emit_epochs) {
-                request.trace.enabled = true;
-                request.trace.epoch_insts = opt.epoch_insts;
-            }
-            plan.add(request);
-        }
 
     const auto outcome = runner::runPlan(plan, runnerOptions(opt));
 
@@ -767,13 +947,19 @@ cmdSweep(const Options &opt)
         // daemon — that sharing IS the served-response determinism
         // contract, so the bytes here are also the daemon's bytes.
         const std::string csv =
-            serve::sweepCsv(outcome.results, opt.approx);
+            serve::sweepCsv(outcome.results, opt.approx, alloc_axis);
         std::fwrite(csv.data(), 1, csv.size(), stdout);
     } else {
         std::string current;
         for (const auto &run : outcome.results) {
-            if (run.request.workload != current) {
-                current = run.request.workload;
+            std::string group = run.request.workload;
+            if (alloc_axis) {
+                group += " [";
+                group += alloc::allocatorName(run.request.allocator);
+                group += ']';
+            }
+            if (group != current) {
+                current = group;
                 std::printf("=== %s\n", current.c_str());
             }
             if (!run.ok()) {
@@ -1062,6 +1248,13 @@ cmdSubmit(const Options &opt)
     if (opt.approx) {
         spec.approx_rate = opt.approx_rate;
         spec.approx_epoch_insts = opt.epoch_insts;
+    }
+    if (!opt.allocators.empty()) {
+        // Validate client-side first (exit 2 + suggestion, same as
+        // sweep); the daemon re-validates and answers 400 for specs
+        // arriving over the wire.
+        parseAllocatorList(opt);
+        spec.allocators = opt.allocators;
     }
     return serve::runSubmitClient(options);
 }

@@ -18,7 +18,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "alloc/policy.hpp"
 #include "analysis/intensity.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/projection.hpp"
@@ -192,6 +194,67 @@ main(int argc, char **argv)
     }
     std::printf("\nRegenerate one cell with `cheriperf corun <w> <w> "
                 "--abi purecap --csv`.\n");
+
+    // --- Allocator interference ---------------------------------------
+    // The allocator axis over the Table 4 drill-down set under
+    // purecap: cycles normalized to the default freelist allocator,
+    // plus the tag-table traffic revocation sweeps push through the
+    // modeled memory system (capability-tag reads/writes per kilo
+    // instruction — the Cornucopia cost lands in mem::Uncore, not in
+    // a side-channel estimate).
+    std::printf("\n## Allocator interference: Table 4 set (purecap)\n\n");
+    std::printf("| workload | bump | sizeclass | freelist+revoke | "
+                "ctag-rd/KI freelist | ctag-rd/KI +revoke |\n");
+    std::printf("|---|---|---|---|---|---|\n");
+    const std::vector<std::string> axis_names = {
+        "freelist", "bump", "sizeclass", "freelist+revoke"};
+    // The drill-down set plus the axis stressor: the Table 4 kernels
+    // are steady-state (allocate-once heaps barely notice placement),
+    // while the boxed-value interpreter's box churn is where the
+    // paper-adjacent allocator results actually bite.
+    std::vector<std::string> axis_workloads = workloads::table4Names();
+    axis_workloads.push_back("Interp.boxvm");
+    for (const auto &name : axis_workloads) {
+        std::vector<runner::RunResult> cells;
+        for (const auto &alloc_name : axis_names) {
+            runner::RunRequest request;
+            request.workload = name;
+            request.abi = abi::Abi::Purecap;
+            request.scale = scale;
+            request.allocator = *alloc::parseAllocator(alloc_name);
+            // Tiny-scale heaps never fill the default 256 KiB
+            // quarantine (no sweep ever fires and +revoke degenerates
+            // into bump); 64 KiB makes the sweeps — and their tag
+            // traffic — actually happen at this scale.
+            if (request.allocator.revoke)
+                request.allocator.quarantine_kib = 64;
+            request.config =
+                sim::MachineConfig::forAbi(abi::Abi::Purecap);
+            cells.push_back(runner::run(request, options));
+        }
+        const auto ctagPerKi = [](const runner::RunResult &run) {
+            return 1e3 *
+                   static_cast<double>(run.sim->counts.get(
+                       pmu::Event::MemAccessRdCtag)) /
+                   static_cast<double>(run.sim->instructions);
+        };
+        const double base = static_cast<double>(cells[0].sim->cycles);
+        std::printf("| %s | %sx | %sx | %sx | %.3f | %.3f |\n",
+                    name.c_str(),
+                    fmt::ratio(static_cast<double>(cells[1].sim->cycles) /
+                               base)
+                        .c_str(),
+                    fmt::ratio(static_cast<double>(cells[2].sim->cycles) /
+                               base)
+                        .c_str(),
+                    fmt::ratio(static_cast<double>(cells[3].sim->cycles) /
+                               base)
+                        .c_str(),
+                    ctagPerKi(cells[0]), ctagPerKi(cells[3]));
+    }
+    std::printf("\nRegenerate with `cheriperf sweep --set table4 "
+                "--allocators freelist,bump,sizeclass,freelist+revoke "
+                "--set alloc.quarantine_kib=64 --csv`.\n");
 
     // --- Epoch timeline -----------------------------------------------
     // One traced purecap cell, sliced into retired-instruction epochs,
