@@ -6,6 +6,7 @@
 #include "alloc/policy.hpp"
 #include "runner/cache.hpp"
 #include "support/hash.hpp"
+#include "tune/knobs.hpp"
 #include "workloads/registry.hpp"
 
 namespace cheri::serve {
@@ -226,6 +227,8 @@ parseJobSpec(const std::string &line, JobSpec *out, std::string *error)
         else if (key == "allocators")
             ok = assignString(value, "allocators", &spec.allocators,
                               error);
+        else if (key == "knobs")
+            ok = assignString(value, "knobs", &spec.knobs, error);
         else {
             *error = "unknown field '" + key + "'";
             return false;
@@ -287,6 +290,8 @@ jobSpecJsonl(const JobSpec &spec)
     }
     if (!spec.allocators.empty())
         field("allocators", spec.allocators, true);
+    if (!spec.knobs.empty())
+        field("knobs", spec.knobs, true);
     out += '}';
     return out;
 }
@@ -362,6 +367,16 @@ expandJobSpec(const JobSpec &spec, std::string *error)
         }
     }
 
+    // Machine knobs: validate the whole list once (the daemon must
+    // answer 400 with the registry's did-you-mean, never die), then
+    // bake a per-ABI config for the cells below. Cells without knobs
+    // carry no config at all, preserving their pre-knob fingerprints.
+    if (!spec.knobs.empty()) {
+        sim::MachineConfig probe;
+        if (!tune::applyKnobList(probe, spec.knobs, error))
+            return {};
+    }
+
     std::vector<std::string> names;
     if (!spec.workload.empty()) {
         names.push_back(spec.workload);
@@ -401,6 +416,13 @@ expandJobSpec(const JobSpec &spec, std::string *error)
                 request.scale = scale;
                 request.seed = spec.seed;
                 request.allocator = allocator;
+                if (!spec.knobs.empty()) {
+                    sim::MachineConfig config =
+                        sim::MachineConfig::forAbi(a);
+                    if (!tune::applyKnobList(config, spec.knobs, error))
+                        return {};
+                    request.config = config;
+                }
                 if (spec.cores >= 2)
                     request.lanes.assign(
                         static_cast<std::size_t>(spec.cores),

@@ -50,6 +50,16 @@ struct JobSpec
      */
     std::string allocators;
 
+    /**
+     * Machine knobs, a comma-separated "name=value" list over the
+     * tune::KnobRegistry ("mem.l1d_kib=128,pipe.sq.entries=48") —
+     * the wire form of the CLI's `--set name=value`, which is how
+     * autotune-shaped probe batches travel to the daemon. Empty
+     * means the stock per-ABI MachineConfig — the pre-knob job
+     * shape, whose cells must keep their historical fingerprints.
+     */
+    std::string knobs;
+
     bool approxColumns() const { return approx_rate > 0; }
 
     /** Axis active: the CSV grows an allocator column after abi. */

@@ -1,0 +1,98 @@
+#include "tune/frontier.hpp"
+
+#include <algorithm>
+
+#include "support/fmt.hpp"
+
+namespace cheri::tune {
+
+std::vector<TuneCandidate>
+paretoFrontier(const std::vector<TuneCandidate> &probed)
+{
+    std::vector<TuneCandidate> frontier;
+    for (const TuneCandidate &point : probed) {
+        if (!point.valid)
+            continue;
+        bool dominated = false;
+        for (const TuneCandidate &other : probed) {
+            if (!other.valid || other.grid_index == point.grid_index)
+                continue;
+            bool noWorse = other.overhead <= point.overhead &&
+                           other.area <= point.area;
+            bool better = other.overhead < point.overhead ||
+                          other.area < point.area;
+            // Equal-on-both-axes duplicates keep the lower grid
+            // index, so the frontier is unique and deterministic.
+            if (noWorse &&
+                (better || other.grid_index < point.grid_index)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(point);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const TuneCandidate &a, const TuneCandidate &b) {
+                  if (a.area != b.area)
+                      return a.area < b.area;
+                  if (a.overhead != b.overhead)
+                      return a.overhead < b.overhead;
+                  return a.grid_index < b.grid_index;
+              });
+    return frontier;
+}
+
+std::string
+frontierCsv(const TuneOutcome &outcome)
+{
+    std::string csv = "rank";
+    for (const Knob *knob : outcome.knobs)
+        csv += std::string(",") + knob->name;
+    csv += ",workloads,overhead,area,bottleneck\n";
+    std::size_t rank = 0;
+    for (const TuneCandidate &point : outcome.frontier) {
+        csv += std::to_string(++rank);
+        for (std::size_t i = 0; i < outcome.knobs.size(); ++i)
+            csv += "," +
+                   renderKnobValue(*outcome.knobs[i], point.values[i]);
+        csv += "," + std::to_string(point.workloads_scored) + "," +
+               fmt::metric(point.overhead) + "," +
+               fmt::metric(point.area) + "," + point.bottleneck + "\n";
+    }
+    return csv;
+}
+
+std::string
+frontierMarkdown(const TuneOutcome &outcome)
+{
+    std::string md =
+        "| # | configuration | overhead | area | workloads | "
+        "bottleneck |\n"
+        "|---|---|---|---|---|---|\n";
+    std::size_t rank = 0;
+    for (const TuneCandidate &point : outcome.frontier) {
+        std::string deltas;
+        for (std::size_t i = 0; i < outcome.knobs.size(); ++i) {
+            const Knob &knob = *outcome.knobs[i];
+            if (point.values[i] == knob.baseline)
+                continue;
+            if (!deltas.empty())
+                deltas += " ";
+            deltas += std::string(knob.name) + "=" +
+                      renderKnobValue(knob, point.values[i]);
+        }
+        if (deltas.empty())
+            deltas = "(baseline)";
+        md += "| " + std::to_string(++rank) + " | " + deltas + " | " +
+              fmt::ratio(point.overhead) + " | " +
+              fmt::ratio(point.area) + " | " +
+              std::to_string(point.workloads_scored) + " | " +
+              point.bottleneck + " |\n";
+    }
+    if (outcome.frontier.empty())
+        md += "| - | (no valid candidates) | - | - | - | - |\n";
+    return md;
+}
+
+} // namespace cheri::tune

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pareto-frontier filtering and rendering for autotune outcomes: the
+ * frontier CSV the CLI emits (golden-checked in CI) and the markdown
+ * table make_report embeds. All doubles go through cheri::fmt so the
+ * bytes are stable across builds.
+ */
+
+#ifndef CHERI_TUNE_FRONTIER_HPP
+#define CHERI_TUNE_FRONTIER_HPP
+
+#include <string>
+#include <vector>
+
+#include "tune/tuner.hpp"
+
+namespace cheri::tune {
+
+/**
+ * The Pareto-minimal subset of @p probed over (overhead, area):
+ * valid candidates no other valid candidate beats on both axes.
+ * Sorted area ascending, overhead then grid index as tie-breaks.
+ */
+std::vector<TuneCandidate>
+paretoFrontier(const std::vector<TuneCandidate> &probed);
+
+/**
+ * Frontier CSV: "rank,<knob...>,workloads,overhead,area,bottleneck",
+ * one row per frontier point, knob values in canonical text.
+ */
+std::string frontierCsv(const TuneOutcome &outcome);
+
+/**
+ * Markdown frontier table for make_report: each point described by
+ * its non-default knob settings ("(baseline)" when none differ).
+ */
+std::string frontierMarkdown(const TuneOutcome &outcome);
+
+} // namespace cheri::tune
+
+#endif // CHERI_TUNE_FRONTIER_HPP

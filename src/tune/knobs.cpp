@@ -1,0 +1,445 @@
+#include "tune/knobs.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+#include "support/fmt.hpp"
+#include "support/serialize.hpp"
+
+namespace cheri::tune {
+
+namespace {
+
+using sim::MachineConfig;
+
+Knob
+make(const char *name, const char *desc, KnobKind kind, bool fp,
+     double probe, double min, double weight, std::vector<double> menu,
+     double (*get)(const MachineConfig &),
+     void (*set)(MachineConfig &, double))
+{
+    Knob k;
+    k.name = name;
+    k.description = desc;
+    k.kind = kind;
+    k.fingerprint = fp;
+    k.probe = probe;
+    k.min_value = min;
+    k.area_weight = weight;
+    k.menu = std::move(menu);
+    k.get = get;
+    k.set = set;
+    k.baseline = get(MachineConfig{});
+    return k;
+}
+
+// GETF/SETF adapt one MachineConfig field; the cast round-trips
+// u32/u64/bool/double fields through the registry's double values.
+#define GETF(EXPR)                                                     \
+    [](const MachineConfig &c) -> double {                             \
+        return static_cast<double>(EXPR);                              \
+    }
+#define SETF(FIELD)                                                    \
+    [](MachineConfig &c, double v) {                                   \
+        c.FIELD =                                                      \
+            static_cast<std::remove_reference_t<decltype(c.FIELD)>>(v);\
+    }
+// Cache capacities are exposed in KiB (the unit the paper and the
+// legacy --l1d-kib flag speak), stored in bytes.
+#define SET_KIB(FIELD)                                                 \
+    [](MachineConfig &c, double v) {                                   \
+        c.FIELD = static_cast<u64>(v) * 1024;                          \
+    }
+
+std::vector<Knob>
+buildRegistry()
+{
+    std::vector<Knob> r;
+    auto u64k = [&r](const char *name, const char *desc, double probe,
+                     double min, double weight, std::vector<double> menu,
+                     double (*get)(const MachineConfig &),
+                     void (*set)(MachineConfig &, double)) {
+        r.push_back(make(name, desc, KnobKind::U64, true, probe, min,
+                         weight, std::move(menu), get, set));
+    };
+    auto dblk = [&r](const char *name, const char *desc, double probe,
+                     double min, double weight,
+                     double (*get)(const MachineConfig &),
+                     void (*set)(MachineConfig &, double)) {
+        r.push_back(make(name, desc, KnobKind::Double, true, probe, min,
+                         weight, {}, get, set));
+    };
+    auto boolk = [&r](const char *name, const char *desc, bool fp,
+                      double probe, double weight,
+                      std::vector<double> menu,
+                      double (*get)(const MachineConfig &),
+                      void (*set)(MachineConfig &, double)) {
+        r.push_back(make(name, desc, KnobKind::Bool, fp, probe, 0,
+                         weight, std::move(menu), get, set));
+    };
+
+    // machine.* — whole-machine parameters.
+    u64k("machine.max_insts", "instruction budget per cell",
+         1'000'000, 1, 0, {}, GETF(c.max_insts), SETF(max_insts));
+    dblk("machine.clock_ghz", "core clock used for model seconds",
+         2.0, 0.1, 0, GETF(c.clock_ghz), SETF(clock_ghz));
+    u64k("machine.cores", "modelled cores sharing the uncore",
+         2, 1, 0, {}, GETF(c.cores), SETF(cores));
+    u64k("machine.corun_quantum", "co-run lane scheduling quantum",
+         128, 1, 0, {}, GETF(c.corun_quantum), SETF(corun_quantum));
+    boolk("machine.block_cache",
+          "decoded-block cache (bit-identical acceleration)",
+          /*fingerprint=*/false, 0, 0, {},
+          GETF(c.block_cache), SETF(block_cache));
+
+    // mem.* — cache geometry (KiB / ways / line bytes).
+    u64k("mem.l1i_kib", "L1I capacity", 32, 1, 1.0, {},
+         GETF(c.mem.l1i.size_bytes / 1024.0), SET_KIB(mem.l1i.size_bytes));
+    u64k("mem.l1i_ways", "L1I associativity", 8, 1, 0.25, {},
+         GETF(c.mem.l1i.ways), SETF(mem.l1i.ways));
+    u64k("mem.l1i_line_bytes", "L1I line size", 128, 1, 0, {},
+         GETF(c.mem.l1i.line_bytes), SETF(mem.l1i.line_bytes));
+    u64k("mem.l1d_kib", "L1D capacity", 128, 1, 1.0, {32, 64, 128},
+         GETF(c.mem.l1d.size_bytes / 1024.0), SET_KIB(mem.l1d.size_bytes));
+    u64k("mem.l1d_ways", "L1D associativity", 8, 1, 0.25, {},
+         GETF(c.mem.l1d.ways), SETF(mem.l1d.ways));
+    u64k("mem.l1d_line_bytes", "L1D line size", 128, 1, 0, {},
+         GETF(c.mem.l1d.line_bytes), SETF(mem.l1d.line_bytes));
+    u64k("mem.l2_kib", "private L2 capacity", 2048, 1, 2.0,
+         {512, 1024, 2048},
+         GETF(c.mem.l2.size_bytes / 1024.0), SET_KIB(mem.l2.size_bytes));
+    u64k("mem.l2_ways", "L2 associativity", 16, 1, 0.25, {},
+         GETF(c.mem.l2.ways), SETF(mem.l2.ways));
+    u64k("mem.l2_line_bytes", "L2 line size", 128, 1, 0, {},
+         GETF(c.mem.l2.line_bytes), SETF(mem.l2.line_bytes));
+    u64k("mem.llc_kib", "shared LLC capacity", 2048, 1, 2.0, {},
+         GETF(c.mem.llc.size_bytes / 1024.0), SET_KIB(mem.llc.size_bytes));
+    u64k("mem.llc_ways", "LLC associativity", 8, 1, 0.25, {},
+         GETF(c.mem.llc.ways), SETF(mem.llc.ways));
+    u64k("mem.llc_line_bytes", "LLC line size", 128, 1, 0, {},
+         GETF(c.mem.llc.line_bytes), SETF(mem.llc.line_bytes));
+
+    // mem.* — TLB geometry.
+    u64k("mem.l1i_tlb_entries", "L1I TLB entries", 96, 1, 0.3, {},
+         GETF(c.mem.l1i_tlb.entries), SETF(mem.l1i_tlb.entries));
+    u64k("mem.l1i_tlb_ways", "L1I TLB ways (0 = fully associative)",
+         4, 0, 0, {}, GETF(c.mem.l1i_tlb.ways), SETF(mem.l1i_tlb.ways));
+    u64k("mem.l1i_tlb_page_bytes", "L1I TLB page size", 16384, 1, 0, {},
+         GETF(c.mem.l1i_tlb.page_bytes), SETF(mem.l1i_tlb.page_bytes));
+    u64k("mem.l1d_tlb_entries", "L1D TLB entries", 96, 1, 0.3,
+         {32, 48, 96},
+         GETF(c.mem.l1d_tlb.entries), SETF(mem.l1d_tlb.entries));
+    u64k("mem.l1d_tlb_ways", "L1D TLB ways (0 = fully associative)",
+         4, 0, 0, {}, GETF(c.mem.l1d_tlb.ways), SETF(mem.l1d_tlb.ways));
+    u64k("mem.l1d_tlb_page_bytes", "L1D TLB page size", 16384, 1, 0, {},
+         GETF(c.mem.l1d_tlb.page_bytes), SETF(mem.l1d_tlb.page_bytes));
+    u64k("mem.l2_tlb_entries", "unified L2 TLB entries", 2560, 1, 0.3,
+         {}, GETF(c.mem.l2_tlb.entries), SETF(mem.l2_tlb.entries));
+    u64k("mem.l2_tlb_ways", "L2 TLB ways (0 = fully associative)",
+         10, 0, 0, {}, GETF(c.mem.l2_tlb.ways), SETF(mem.l2_tlb.ways));
+    u64k("mem.l2_tlb_page_bytes", "L2 TLB page size", 16384, 1, 0, {},
+         GETF(c.mem.l2_tlb.page_bytes), SETF(mem.l2_tlb.page_bytes));
+
+    // mem.* — latencies and penalties (cycles; all area-free).
+    u64k("mem.l1_latency", "L1 hit latency", 3, 1, 0, {},
+         GETF(c.mem.l1_latency), SETF(mem.l1_latency));
+    u64k("mem.l2_latency", "L2 hit latency", 9, 1, 0, {},
+         GETF(c.mem.l2_latency), SETF(mem.l2_latency));
+    u64k("mem.llc_latency", "LLC hit latency", 30, 1, 0, {},
+         GETF(c.mem.llc_latency), SETF(mem.llc_latency));
+    u64k("mem.dram_latency", "DRAM latency", 150, 1, 0, {},
+         GETF(c.mem.dram_latency), SETF(mem.dram_latency));
+    u64k("mem.walk_latency", "page-walk latency", 11, 1, 0, {},
+         GETF(c.mem.walk_latency), SETF(mem.walk_latency));
+    u64k("mem.tag_extra_latency", "extra cycles per tagged access",
+         4, 0, 0, {},
+         GETF(c.mem.tag_extra_latency), SETF(mem.tag_extra_latency));
+    u64k("mem.llc_arb_penalty", "LLC arbitration penalty under co-run",
+         12, 0, 0, {},
+         GETF(c.mem.llc_arb_penalty), SETF(mem.llc_arb_penalty));
+    u64k("mem.dram_arb_penalty", "DRAM arbitration penalty under co-run",
+         36, 0, 0, {},
+         GETF(c.mem.dram_arb_penalty), SETF(mem.dram_arb_penalty));
+    boolk("mem.fast_path",
+          "memory fast path (bit-identical acceleration)",
+          /*fingerprint=*/false, 0, 0, {},
+          GETF(c.mem.fast_path), SETF(mem.fast_path));
+
+    // pipe.* — pipeline shape.
+    u64k("pipe.width", "issue width (slots per cycle)", 6, 1, 1.5, {},
+         GETF(c.pipe.width), SETF(pipe.width));
+    u64k("pipe.mlp", "memory-level parallelism (overlap depth)",
+         16, 1, 0.5, {4, 8, 16}, GETF(c.pipe.mlp), SETF(pipe.mlp));
+    u64k("pipe.mispredict_penalty", "branch mispredict penalty",
+         14, 0, 0, {},
+         GETF(c.pipe.mispredict_penalty), SETF(pipe.mispredict_penalty));
+    u64k("pipe.pcc_stall_penalty", "PCC re-derivation stall penalty",
+         0, 0, 0, {},
+         GETF(c.pipe.pcc_stall_penalty), SETF(pipe.pcc_stall_penalty));
+    u64k("pipe.div_latency", "divide latency", 20, 1, 0, {},
+         GETF(c.pipe.div_latency), SETF(pipe.div_latency));
+    dblk("pipe.dp_ports", "integer data-processing ports", 4.0, 0.1,
+         0.4, GETF(c.pipe.dp_ports), SETF(pipe.dp_ports));
+    dblk("pipe.load_ports", "load ports", 3.0, 0.1, 0.4,
+         GETF(c.pipe.load_ports), SETF(pipe.load_ports));
+    dblk("pipe.store_ports", "store ports", 2.0, 0.1, 0.4,
+         GETF(c.pipe.store_ports), SETF(pipe.store_ports));
+    dblk("pipe.fp_ports", "FP/SIMD ports", 3.0, 0.1, 0.4,
+         GETF(c.pipe.fp_ports), SETF(pipe.fp_ports));
+    dblk("pipe.branch_ports", "branch ports", 3.0, 0.1, 0.4,
+         GETF(c.pipe.branch_ports), SETF(pipe.branch_ports));
+
+    // pipe.bp.* — branch predictor tables.
+    u64k("pipe.bp.pht_entries", "pattern history table entries",
+         32768, 1, 0.4, {},
+         GETF(c.pipe.bp.pht_entries), SETF(pipe.bp.pht_entries));
+    u64k("pipe.bp.history_bits", "global history length", 14, 1, 0.1,
+         {}, GETF(c.pipe.bp.history_bits), SETF(pipe.bp.history_bits));
+    u64k("pipe.bp.btb_entries", "branch target buffer entries",
+         2048, 1, 0.4, {},
+         GETF(c.pipe.bp.btb_entries), SETF(pipe.bp.btb_entries));
+    u64k("pipe.bp.ras_depth", "return address stack depth", 32, 1,
+         0.1, {}, GETF(c.pipe.bp.ras_depth), SETF(pipe.bp.ras_depth));
+    boolk("pipe.bp.cap_aware", "capability-aware branch predictor",
+          /*fingerprint=*/true, 1, 0.25, {0, 1},
+          GETF(c.pipe.bp.cap_aware), SETF(pipe.bp.cap_aware));
+
+    // pipe.sq.* — store queue.
+    u64k("pipe.sq.entries", "store queue entries", 48, 1, 0.5,
+         {16, 24, 48},
+         GETF(c.pipe.sq.entries), SETF(pipe.sq.entries));
+    boolk("pipe.sq.wide_entries",
+          "129-bit store queue entries (capability-wide)",
+          /*fingerprint=*/true, 1, 0.25, {0, 1},
+          GETF(c.pipe.sq.wide_entries), SETF(pipe.sq.wide_entries));
+
+    return r;
+}
+
+#undef GETF
+#undef SETF
+#undef SET_KIB
+
+// Classic Levenshtein, mirroring alloc/policy.cpp's did-you-mean.
+std::size_t
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t insert_or_delete =
+                std::min(row[j], row[j - 1]) + 1;
+            std::size_t substitute =
+                prev + (a[i - 1] == b[j - 1] ? 0 : 1);
+            prev = row[j];
+            row[j] = std::min(insert_or_delete, substitute);
+        }
+    }
+    return row[b.size()];
+}
+
+bool
+parseBoolText(std::string_view text, double *out)
+{
+    if (text == "on" || text == "true" || text == "1") {
+        *out = 1;
+        return true;
+    }
+    if (text == "off" || text == "false" || text == "0") {
+        *out = 0;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+const std::vector<Knob> &
+knobRegistry()
+{
+    static const std::vector<Knob> registry = buildRegistry();
+    return registry;
+}
+
+const Knob *
+findKnob(std::string_view name)
+{
+    for (const Knob &k : knobRegistry())
+        if (name == k.name)
+            return &k;
+    return nullptr;
+}
+
+std::string
+closestKnobName(std::string_view name)
+{
+    std::string best;
+    std::size_t bestDistance = ~std::size_t{0};
+    for (const Knob &k : knobRegistry()) {
+        std::size_t d = editDistance(name, k.name);
+        if (d < bestDistance) {
+            bestDistance = d;
+            best = k.name;
+        }
+    }
+    return best;
+}
+
+std::vector<const Knob *>
+tunableKnobs()
+{
+    std::vector<const Knob *> out;
+    for (const Knob &k : knobRegistry())
+        if (!k.menu.empty())
+            out.push_back(&k);
+    return out;
+}
+
+std::string
+renderKnobValue(const Knob &knob, double value)
+{
+    switch (knob.kind) {
+    case KnobKind::Bool:
+        return value != 0 ? "on" : "off";
+    case KnobKind::U64: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(value));
+        return buf;
+    }
+    case KnobKind::Double: {
+        std::string text = fmt::fixed(value, 3);
+        while (!text.empty() && text.back() == '0')
+            text.pop_back();
+        if (!text.empty() && text.back() == '.')
+            text.pop_back();
+        return text;
+    }
+    }
+    return {};
+}
+
+bool
+parseKnobValue(const Knob &knob, std::string_view text, double *out,
+               std::string *error)
+{
+    std::string value(text);
+    double parsed = 0;
+    switch (knob.kind) {
+    case KnobKind::Bool:
+        if (!parseBoolText(value, &parsed)) {
+            if (error)
+                *error = "knob '" + std::string(knob.name) +
+                         "' wants on/off, got '" + value + "'";
+            return false;
+        }
+        break;
+    case KnobKind::U64: {
+        std::optional<u64> n = cheri::parseU64(value);
+        if (!n) {
+            if (error)
+                *error = "knob '" + std::string(knob.name) +
+                         "' wants an integer, got '" + value + "'";
+            return false;
+        }
+        parsed = static_cast<double>(*n);
+        break;
+    }
+    case KnobKind::Double: {
+        char *end = nullptr;
+        parsed = std::strtod(value.c_str(), &end);
+        if (value.empty() || end != value.c_str() + value.size() ||
+            !std::isfinite(parsed)) {
+            if (error)
+                *error = "knob '" + std::string(knob.name) +
+                         "' wants a number, got '" + value + "'";
+            return false;
+        }
+        break;
+    }
+    }
+    if (parsed < knob.min_value) {
+        if (error)
+            *error = "knob '" + std::string(knob.name) + "' minimum is " +
+                     renderKnobValue(knob, knob.min_value) + ", got '" +
+                     value + "'";
+        return false;
+    }
+    *out = parsed;
+    return true;
+}
+
+bool
+applyKnob(sim::MachineConfig &config, std::string_view name,
+          std::string_view value, std::string *error)
+{
+    const Knob *knob = findKnob(name);
+    if (!knob) {
+        if (error)
+            *error = "unknown machine knob '" + std::string(name) +
+                     "'; did you mean '" + closestKnobName(name) + "'?";
+        return false;
+    }
+    double parsed = 0;
+    if (!parseKnobValue(*knob, value, &parsed, error))
+        return false;
+    knob->set(config, parsed);
+    return true;
+}
+
+bool
+applyKnobList(sim::MachineConfig &config, std::string_view list,
+              std::string *error)
+{
+    std::string_view rest = list;
+    while (!rest.empty()) {
+        std::size_t comma = rest.find(',');
+        std::string_view item = rest.substr(0, comma);
+        rest = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : rest.substr(comma + 1);
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos) {
+            if (error)
+                *error = "expected name=value, got '" +
+                         std::string(item) + "'";
+            return false;
+        }
+        if (!applyKnob(config, item.substr(0, eq), item.substr(eq + 1),
+                       error))
+            return false;
+    }
+    return true;
+}
+
+double
+areaProxy(const sim::MachineConfig &config)
+{
+    // Weighted structural cost relative to the default machine; the
+    // ratio of two identical IEEE sums is exactly 1.0 at baseline.
+    double cost = 0;
+    double base = 0;
+    for (const Knob &k : knobRegistry()) {
+        if (k.area_weight <= 0)
+            continue;
+        double value = k.get(config);
+        if (k.kind == KnobKind::Bool) {
+            cost += k.area_weight * (1.0 + value);
+            base += k.area_weight * (1.0 + k.baseline);
+        } else {
+            cost += k.area_weight * (value / k.baseline);
+            base += k.area_weight;
+        }
+    }
+    return base > 0 ? cost / base : 1.0;
+}
+
+} // namespace cheri::tune

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The machine knob registry: one table describing every MachineConfig
+ * field — canonical name, kind, default, a legal probe value, whether
+ * the knob participates in the cell fingerprint, its weight in the
+ * area proxy, and the value menu the autotuner searches.
+ *
+ * The registry is the single source of truth shared by the `--set
+ * name=value` CLI parser, serve's JobSpec `knobs` field, the
+ * autotuner's grid, and tests/test_tune.cpp. Adding a MachineConfig
+ * field without registering it here (or registering it without
+ * joining runner/cache.cpp's fingerprint) is exactly the drift the
+ * table-driven registry test exists to catch.
+ */
+
+#ifndef CHERI_TUNE_KNOBS_HPP
+#define CHERI_TUNE_KNOBS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/core.hpp"
+
+namespace cheri::tune {
+
+enum class KnobKind { U64, Double, Bool };
+
+struct Knob
+{
+    const char *name;        //!< Canonical dotted name ("mem.l1d_kib").
+    const char *description; //!< One-line human description.
+    KnobKind kind = KnobKind::U64;
+
+    /**
+     * True when changing the knob must change cellFingerprint().
+     * Only the proven bit-identical accelerations (block cache, mem
+     * fast path) are documented non-fingerprint escapes.
+     */
+    bool fingerprint = true;
+
+    /** The default MachineConfig{} value (computed at registry build,
+     *  so it cannot drift from sim/core.hpp). */
+    double baseline = 0;
+
+    /** A legal non-default value, used by the round-trip and
+     *  fingerprint-sensitivity tests. */
+    double probe = 0;
+
+    /** Smallest value parseKnobValue() accepts. */
+    double min_value = 0;
+
+    /** Weight in areaProxy(); 0 = the knob is free (latencies,
+     *  penalties and other non-structural parameters). */
+    double area_weight = 0;
+
+    /** Values the autotuner's grid enumerates; empty = not searched. */
+    std::vector<double> menu;
+
+    double (*get)(const sim::MachineConfig &) = nullptr;
+    void (*set)(sim::MachineConfig &, double) = nullptr;
+};
+
+/** The full registry, in canonical (group-major) order. */
+const std::vector<Knob> &knobRegistry();
+
+/** Lookup by canonical name; nullptr when unknown. */
+const Knob *findKnob(std::string_view name);
+
+/** The registered name nearest to @p name (Levenshtein), for
+ *  did-you-mean diagnostics. Empty only if the registry were empty. */
+std::string closestKnobName(std::string_view name);
+
+/** Registry entries with a non-empty menu, registry order — the
+ *  default autotune search space. */
+std::vector<const Knob *> tunableKnobs();
+
+/**
+ * Canonical text for @p value of @p knob: integers bare, doubles with
+ * trailing zeros trimmed, booleans "on"/"off". Stable across builds
+ * (snprintf-based), so golden CSVs can embed knob values.
+ */
+std::string renderKnobValue(const Knob &knob, double value);
+
+/**
+ * Parse @p text as a value for @p knob. Booleans accept
+ * on/off/true/false/1/0. False + @p error on malformed text or a
+ * value below the knob's minimum.
+ */
+bool parseKnobValue(const Knob &knob, std::string_view text,
+                    double *out, std::string *error);
+
+/**
+ * Apply "name=value" semantics: look up @p name, parse @p value, set
+ * it on @p config. False + @p error (with a did-you-mean suggestion
+ * for unknown names) on any failure.
+ */
+bool applyKnob(sim::MachineConfig &config, std::string_view name,
+               std::string_view value, std::string *error);
+
+/** Apply a comma-separated "a=1,b=2" list via applyKnob(). */
+bool applyKnobList(sim::MachineConfig &config, std::string_view list,
+                   std::string *error);
+
+/**
+ * Area-proxy cost of @p config: the weighted mean of each structural
+ * knob's size relative to its default (booleans count 1x when off, 2x
+ * when on), normalized so the default MachineConfig is exactly 1.0.
+ * Pure IEEE adds/divides — byte-stable across compilers, safe for
+ * golden CSVs.
+ */
+double areaProxy(const sim::MachineConfig &config);
+
+} // namespace cheri::tune
+
+#endif // CHERI_TUNE_KNOBS_HPP

@@ -1,0 +1,352 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "analysis/topdown.hpp"
+#include "support/fmt.hpp"
+#include "tune/frontier.hpp"
+#include "support/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::tune {
+
+namespace {
+
+const char *
+scaleName(workloads::Scale scale)
+{
+    switch (scale) {
+    case workloads::Scale::Tiny: return "tiny";
+    case workloads::Scale::Small: return "small";
+    case workloads::Scale::Ref: return "ref";
+    }
+    return "?";
+}
+
+std::string
+gridIndexText(u64 index)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%06llu",
+                  static_cast<unsigned long long>(index));
+    return buf;
+}
+
+/** Decode @p index into one menu value per knob (row-major: the
+ *  first knob is the most significant digit). */
+std::vector<double>
+decodeGridIndex(u64 index, const std::vector<const Knob *> &knobs)
+{
+    std::vector<double> values(knobs.size());
+    for (std::size_t i = knobs.size(); i-- > 0;) {
+        u64 n = knobs[i]->menu.size();
+        values[i] = knobs[i]->menu[index % n];
+        index /= n;
+    }
+    return values;
+}
+
+/** The search bookkeeping for one sampled candidate. */
+struct Work
+{
+    TuneCandidate cand;
+    double sumRatio = 0;
+    bool evaluated = false;
+};
+
+} // namespace
+
+std::string
+bottleneckLabel(const pmu::EventCounts &counts)
+{
+    analysis::TopDown td = analysis::TopDown::fromModelTruth(counts);
+
+    int dominant = 0; // 0 retiring, 1 bad-spec, 2 frontend, 3 backend
+    double top = td.retiring;
+    if (td.badSpeculation > top) { top = td.badSpeculation; dominant = 1; }
+    if (td.frontendBound > top) { top = td.frontendBound; dominant = 2; }
+    if (td.backendBound > top) { top = td.backendBound; dominant = 3; }
+
+    switch (dominant) {
+    case 0: return "retiring";
+    case 1: return "bad-speculation";
+    case 2:
+        return td.pccStallShare > 0.5 * td.frontendBound
+                   ? "frontend-pcc"
+                   : "frontend";
+    default:
+        break;
+    }
+    if (td.coreBound > td.memoryBound)
+        return "backend-core";
+    if (td.l2Bound > td.l1Bound && td.l2Bound > td.extMemBound)
+        return "backend-mem-l2";
+    if (td.extMemBound > td.l1Bound)
+        return "backend-mem-ext";
+    return "backend-mem-l1";
+}
+
+bool
+autotune(const TuneOptions &options, TuneOutcome *out,
+         std::string *error)
+{
+    auto started = std::chrono::steady_clock::now();
+    *out = TuneOutcome{};
+
+    // Resolve and validate the knob subset.
+    if (options.knobs.empty()) {
+        out->knobs = tunableKnobs();
+    } else {
+        for (const std::string &name : options.knobs) {
+            const Knob *knob = findKnob(name);
+            if (!knob) {
+                if (error)
+                    *error = "unknown machine knob '" + name +
+                             "'; did you mean '" + closestKnobName(name) +
+                             "'?";
+                return false;
+            }
+            if (knob->menu.empty()) {
+                if (error)
+                    *error = "knob '" + name +
+                             "' has no search menu; searchable knobs "
+                             "have one (see `cheriperf knobs`)";
+                return false;
+            }
+            out->knobs.push_back(knob);
+        }
+        // Registry order regardless of the spelling order, so the
+        // trace/CSV column order is canonical.
+        std::sort(out->knobs.begin(), out->knobs.end(),
+                  [](const Knob *a, const Knob *b) { return a < b; });
+        out->knobs.erase(
+            std::unique(out->knobs.begin(), out->knobs.end()),
+            out->knobs.end());
+    }
+    if (out->knobs.empty()) {
+        if (error)
+            *error = "no searchable knobs selected";
+        return false;
+    }
+
+    // Validate the workload pool.
+    std::vector<std::string> pool = options.workloads.empty()
+                                        ? workloads::table4Names()
+                                        : options.workloads;
+    auto registry = workloads::allWorkloads();
+    for (const std::string &name : pool) {
+        if (!workloads::findWorkload(registry, name)) {
+            if (error)
+                *error = "unknown workload '" + name + "'";
+            return false;
+        }
+    }
+
+    // Grid size (cross product of menus), overflow-guarded.
+    u64 grid = 1;
+    for (const Knob *knob : out->knobs) {
+        u64 n = knob->menu.size();
+        if (grid > 10'000'000 / n) {
+            if (error)
+                *error = "knob grid too large; search fewer knobs";
+            return false;
+        }
+        grid *= n;
+    }
+    if (options.budget == 0) {
+        if (error)
+            *error = "budget must be >= 1";
+        return false;
+    }
+
+    // Seeded grid sampling: budget/2 initial candidates (successive
+    // halving spends roughly half its probes on generation 0), as
+    // distinct grid indices via Floyd's algorithm, visited ascending.
+    u64 want = std::min<u64>(std::max<u64>(options.budget / 2, 1), grid);
+    std::set<u64> sampled;
+    Xoshiro256StarStar rng(options.seed);
+    if (want == grid) {
+        for (u64 i = 0; i < grid; ++i)
+            sampled.insert(i);
+    } else {
+        for (u64 j = grid - want; j < grid; ++j) {
+            u64 t = rng.nextBelow(j + 1);
+            if (!sampled.insert(t).second)
+                sampled.insert(j);
+        }
+    }
+
+    std::map<u64, Work> all;
+    std::vector<u64> active;
+    for (u64 index : sampled) {
+        Work work;
+        work.cand.grid_index = index;
+        work.cand.values = decodeGridIndex(index, out->knobs);
+        sim::MachineConfig costed; // abi-independent: areaProxy only
+        for (std::size_t i = 0; i < out->knobs.size(); ++i)
+            out->knobs[i]->set(costed, work.cand.values[i]);
+        work.cand.area = areaProxy(costed);
+        all.emplace(index, std::move(work));
+        active.push_back(index);
+    }
+
+    std::string &trace = out->trace;
+    trace += "# cheriperf autotune seed=" + std::to_string(options.seed) +
+             " budget=" + std::to_string(options.budget) + " scale=" +
+             scaleName(options.scale) + "\n";
+    trace += "# knobs (" + std::to_string(out->knobs.size()) + "):";
+    for (const Knob *knob : out->knobs)
+        trace += std::string(" ") + knob->name;
+    trace += "\n# workloads (" + std::to_string(pool.size()) + "):";
+    for (const std::string &name : pool)
+        trace += " " + name;
+    trace += "\n# grid " + std::to_string(grid) + " candidates " +
+             std::to_string(active.size()) + "\n";
+
+    // The rung ladder: rung r scores the first min(2^r, |pool|)
+    // workloads; a generation only simulates the workloads new to
+    // its rung.
+    auto cum = [&pool](u32 rung) {
+        u64 n = u64{1} << std::min<u32>(rung, 62);
+        return std::min<std::size_t>(n, pool.size());
+    };
+
+    u64 spent = 0;
+    u32 rung = 0;
+    while (!active.empty() && spent < options.budget) {
+        std::size_t prev = rung == 0 ? 0 : cum(rung - 1);
+        std::size_t cumw = cum(rung);
+
+        u64 room = options.budget - spent;
+        if (active.size() > room) {
+            active.resize(static_cast<std::size_t>(room));
+            trace += "# budget: truncated generation to " +
+                     std::to_string(active.size()) + " candidates\n";
+        }
+
+        runner::ExperimentPlan plan;
+        for (u64 index : active) {
+            const Work &work = all.at(index);
+            for (std::size_t wi = prev; wi < cumw; ++wi) {
+                for (abi::Abi abi :
+                     {abi::Abi::Hybrid, abi::Abi::Purecap}) {
+                    runner::RunRequest request;
+                    request.workload = pool[wi];
+                    request.abi = abi;
+                    request.scale = options.scale;
+                    request.seed = options.workload_seed;
+                    sim::MachineConfig config =
+                        sim::MachineConfig::forAbi(abi);
+                    for (std::size_t i = 0; i < out->knobs.size(); ++i)
+                        out->knobs[i]->set(config, work.cand.values[i]);
+                    request.config = config;
+                    plan.add(std::move(request));
+                }
+            }
+        }
+
+        runner::PlanOutcome outcome =
+            runner::runPlan(plan, options.runner);
+
+        trace += "# gen " + std::to_string(out->stats.generations) +
+                 " rung " + std::to_string(rung) + ": " +
+                 std::to_string(active.size()) + " candidates, workloads " +
+                 std::to_string(cumw) + " (+" +
+                 std::to_string(cumw - prev) + "), " +
+                 std::to_string(plan.size()) + " cells\n";
+
+        std::size_t at = 0;
+        for (u64 index : active) {
+            Work &work = all.at(index);
+            work.evaluated = true;
+            for (std::size_t wi = prev; wi < cumw; ++wi) {
+                const runner::RunResult &hybrid = outcome.results[at++];
+                const runner::RunResult &purecap = outcome.results[at++];
+                if (!hybrid.ok() || !purecap.ok() ||
+                    hybrid.seconds() <= 0) {
+                    work.cand.valid = false;
+                    continue;
+                }
+                work.sumRatio += purecap.seconds() / hybrid.seconds();
+                work.cand.workloads_scored++;
+                work.cand.purecapCounts += purecap.sim->counts;
+            }
+            work.cand.rung = rung;
+            if (work.cand.valid && work.cand.workloads_scored > 0) {
+                work.cand.overhead =
+                    work.sumRatio / work.cand.workloads_scored;
+                work.cand.bottleneck =
+                    bottleneckLabel(work.cand.purecapCounts);
+            } else {
+                work.cand.valid = false;
+                work.cand.bottleneck = "NA";
+            }
+
+            trace += "probe " + gridIndexText(index);
+            for (std::size_t i = 0; i < out->knobs.size(); ++i)
+                trace += std::string(" ") + out->knobs[i]->name + "=" +
+                         renderKnobValue(*out->knobs[i],
+                                         work.cand.values[i]);
+            trace += " workloads=" +
+                     std::to_string(work.cand.workloads_scored) +
+                     " overhead=" +
+                     (work.cand.valid ? fmt::metric(work.cand.overhead)
+                                      : std::string("NA")) +
+                     " area=" + fmt::metric(work.cand.area) +
+                     " bottleneck=" + work.cand.bottleneck + "\n";
+        }
+
+        spent += active.size();
+        out->stats.probes += active.size();
+        out->stats.cells += outcome.stats.cells;
+        out->stats.cacheHits += outcome.stats.cacheHits;
+        out->stats.simulated += outcome.stats.simulated;
+        out->stats.generations++;
+
+        if (cumw >= pool.size())
+            break; // everyone still active saw the full pool
+
+        // Halve: valid first, lowest overhead first, grid index as
+        // the deterministic tie-break.
+        std::sort(active.begin(), active.end(), [&all](u64 a, u64 b) {
+            const TuneCandidate &ca = all.at(a).cand;
+            const TuneCandidate &cb = all.at(b).cand;
+            if (ca.valid != cb.valid)
+                return ca.valid;
+            if (ca.overhead != cb.overhead)
+                return ca.overhead < cb.overhead;
+            return ca.grid_index < cb.grid_index;
+        });
+        active.resize((active.size() + 1) / 2);
+        ++rung;
+    }
+
+    for (auto &[index, work] : all)
+        if (work.evaluated)
+            out->probed.push_back(work.cand);
+
+    out->frontier = paretoFrontier(out->probed);
+
+    u64 invalid = 0;
+    for (const TuneCandidate &cand : out->probed)
+        if (!cand.valid)
+            ++invalid;
+    trace += "# done: " + std::to_string(out->stats.probes) +
+             " probes, " + std::to_string(out->stats.generations) +
+             " generations\n";
+    trace += "# frontier " + std::to_string(out->frontier.size()) +
+             " of " + std::to_string(out->probed.size()) + " probed (" +
+             std::to_string(invalid) + " invalid)\n";
+
+    out->stats.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    return true;
+}
+
+} // namespace cheri::tune

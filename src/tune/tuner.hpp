@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic design-space search over MachineConfig knobs
+ * (DESIGN.md §10): grid seeding + successive halving, every probe a
+ * RunRequest routed through runner::runPlan so the content-addressed
+ * .cpr cache makes repeated probes free and the search trace is
+ * byte-identical across --jobs values and cache states.
+ *
+ * A candidate is one point of the knob grid (the cross product of
+ * the searched knobs' menus). A probe evaluates one candidate on one
+ * rung — the rung ladder doubles the scored workload prefix (1, 2,
+ * 4, ... of the pool) and each rung only simulates the workloads new
+ * to it, so a candidate promoted through every rung costs each cell
+ * exactly once. Score = arithmetic mean of per-workload
+ * purecap/hybrid model-seconds ratios (no libm, so the bytes cannot
+ * drift across compilers); surviving candidates are classified with
+ * analysis::topdown into a bottleneck label and filtered to a Pareto
+ * frontier of (overhead, areaProxy).
+ */
+
+#ifndef CHERI_TUNE_TUNER_HPP
+#define CHERI_TUNE_TUNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "pmu/counts.hpp"
+#include "runner/runner.hpp"
+#include "tune/knobs.hpp"
+#include "workloads/workload.hpp"
+
+namespace cheri::tune {
+
+struct TuneOptions
+{
+    u64 seed = 1;    //!< Search seed (candidate sampling only).
+    u64 budget = 32; //!< Max probes (candidate x rung evaluations).
+    workloads::Scale scale = workloads::Scale::Tiny;
+
+    /**
+     * Workload RNG seed for every probe cell — kept at the sweep
+     * default so autotune probes share .cpr entries with standard
+     * sweeps of the same knobs.
+     */
+    u64 workload_seed = 42;
+
+    /** Knob names to search (must have menus); empty = tunableKnobs(). */
+    std::vector<std::string> knobs;
+
+    /** Workload pool, rung-ladder order; empty = table4Names(). */
+    std::vector<std::string> workloads;
+
+    runner::RunnerOptions runner;
+};
+
+/** One grid point and everything the search learned about it. */
+struct TuneCandidate
+{
+    u64 grid_index = 0;         //!< Row-major index into the knob grid.
+    std::vector<double> values; //!< Parallel to TuneOutcome::knobs.
+    double overhead = 0; //!< Mean purecap/hybrid seconds ratio.
+    double area = 1;     //!< areaProxy() of the configured machine.
+    u32 workloads_scored = 0; //!< Pool prefix the score covers.
+    u32 rung = 0;             //!< Highest rung reached.
+    bool valid = true;        //!< False on any NA/faulted cell.
+    std::string bottleneck;   //!< Top-down label ("backend-mem-l1").
+    pmu::EventCounts purecapCounts; //!< Summed over scored workloads.
+};
+
+struct TuneStats
+{
+    u64 probes = 0; //!< Candidate x rung evaluations charged.
+    u64 cells = 0;  //!< RunRequests issued (2 ABIs per workload).
+    u64 cacheHits = 0;
+    u64 simulated = 0;
+    u64 generations = 0;
+    double wallSeconds = 0; //!< Host wall clock (NOT deterministic).
+
+    double
+    hitRate() const
+    {
+        return cells ? static_cast<double>(cacheHits) / cells : 0.0;
+    }
+};
+
+struct TuneOutcome
+{
+    /** The searched knobs, registry order. */
+    std::vector<const Knob *> knobs;
+
+    /** Every sampled candidate, grid_index ascending. */
+    std::vector<TuneCandidate> probed;
+
+    /** Pareto frontier (min overhead, min area), area ascending. */
+    std::vector<TuneCandidate> frontier;
+
+    /** The deterministic search log (probe lines + generation
+     *  headers); byte-identical for a given (seed, budget, scale,
+     *  knobs, workloads) regardless of jobs or cache state. */
+    std::string trace;
+
+    TuneStats stats;
+};
+
+/**
+ * Run the search. False + @p error on invalid options (unknown knob
+ * or workload names, a knob without a menu, empty grid); no cells run
+ * in that case.
+ */
+bool autotune(const TuneOptions &options, TuneOutcome *out,
+              std::string *error);
+
+/**
+ * The bottleneck label for @p counts: the dominant top-down category,
+ * with backend drilled into -mem-l1/-mem-l2/-mem-ext/-core and a
+ * PCC-dominated frontend flagged as frontend-pcc.
+ */
+std::string bottleneckLabel(const pmu::EventCounts &counts);
+
+} // namespace cheri::tune
+
+#endif // CHERI_TUNE_TUNER_HPP

@@ -1,0 +1,123 @@
+# Autotune CLI determinism fixture.
+#
+# Runs `cheriperf autotune --seed 42 --budget 8` three times — jobs 1
+# cacheless, jobs 4 against a cold cache, jobs 4 against the now-warm
+# cache — and requires byte-identical stdout (search trace + frontier
+# CSV) and --trace-out file every time; the warm pass must also report
+# a >= 90% probe cache-hit rate on stderr, the contract that makes
+# re-running a search free. Then the knob registry through the run
+# command: `--set mem.l1d_kib=128` must reproduce the legacy
+# `--l1d-kib 128` CSV byte for byte, and a typo'd knob must exit 2
+# with a did-you-mean suggestion instead of running anything.
+#
+# Invoked by ctest as:
+#   cmake -DCHERIPERF=<binary> -DWORK_DIR=<scratch> -P cli_autotune_determinism.cmake
+
+if(NOT CHERIPERF)
+    message(FATAL_ERROR "pass -DCHERIPERF=<path to cheriperf binary>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(CACHE_DIR "${WORK_DIR}/cache")
+
+set(TUNE_ARGS autotune --seed 42 --budget 8 --scale tiny)
+
+function(run_tune out_var err_var trace_file)
+    execute_process(
+        COMMAND "${CHERIPERF}" ${ARGN} --trace-out "${trace_file}"
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "cheriperf ${ARGN} failed (${status}):\n${stderr}")
+    endif()
+    set(${out_var} "${stdout}" PARENT_SCOPE)
+    set(${err_var} "${stderr}" PARENT_SCOPE)
+endfunction()
+
+run_tune(serial serial_err "${WORK_DIR}/trace_serial.txt"
+    ${TUNE_ARGS} --jobs 1 --no-cache)
+run_tune(cold cold_err "${WORK_DIR}/trace_cold.txt"
+    ${TUNE_ARGS} --jobs 4 --cache-dir "${CACHE_DIR}")
+if(NOT serial STREQUAL cold)
+    file(WRITE "${WORK_DIR}/serial.txt" "${serial}")
+    file(WRITE "${WORK_DIR}/cold.txt" "${cold}")
+    message(FATAL_ERROR "autotune --jobs 4 output differs from --jobs 1; "
+                        "see ${WORK_DIR}/serial.txt vs cold.txt")
+endif()
+
+run_tune(warm warm_err "${WORK_DIR}/trace_warm.txt"
+    ${TUNE_ARGS} --jobs 4 --cache-dir "${CACHE_DIR}")
+if(NOT serial STREQUAL warm)
+    file(WRITE "${WORK_DIR}/serial.txt" "${serial}")
+    file(WRITE "${WORK_DIR}/warm.txt" "${warm}")
+    message(FATAL_ERROR "warm-cache autotune output differs from cold; "
+                        "see ${WORK_DIR}/serial.txt vs warm.txt")
+endif()
+
+# The --trace-out files must carry the same bytes as each other (the
+# stdout trace is the same text, so transitively they match it too).
+file(READ "${WORK_DIR}/trace_serial.txt" trace_serial)
+file(READ "${WORK_DIR}/trace_warm.txt" trace_warm)
+if(NOT trace_serial STREQUAL trace_warm)
+    message(FATAL_ERROR "--trace-out files differ between cacheless "
+                        "and warm runs; see ${WORK_DIR}/trace_serial.txt "
+                        "vs trace_warm.txt")
+endif()
+
+# Warm re-run of the same search: >= 90% of cells must come from the
+# .cpr cache (in practice 100% — every probe cell was just written).
+if(NOT warm_err MATCHES "hit rate ([0-9.]+)%")
+    message(FATAL_ERROR "warm autotune stderr lacks a hit-rate stats "
+                        "line:\n${warm_err}")
+endif()
+if(CMAKE_MATCH_1 LESS 90)
+    message(FATAL_ERROR "warm autotune cache-hit rate ${CMAKE_MATCH_1}% "
+                        "< 90%:\n${warm_err}")
+endif()
+
+# Knob registry vs legacy flag: one table must drive both spellings.
+function(run_cell out_var)
+    execute_process(
+        COMMAND "${CHERIPERF}" ${ARGN}
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "cheriperf ${ARGN} failed (${status}):\n${stderr}")
+    endif()
+    set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+run_cell(via_knob run --workload QuickJS --abi purecap --scale tiny
+    --csv --no-cache --set mem.l1d_kib=128)
+run_cell(via_flag run --workload QuickJS --abi purecap --scale tiny
+    --csv --no-cache --l1d-kib 128)
+if(NOT via_knob STREQUAL via_flag)
+    file(WRITE "${WORK_DIR}/via_knob.csv" "${via_knob}")
+    file(WRITE "${WORK_DIR}/via_flag.csv" "${via_flag}")
+    message(FATAL_ERROR "--set mem.l1d_kib=128 CSV differs from "
+                        "--l1d-kib 128; see ${WORK_DIR}/via_knob.csv "
+                        "vs via_flag.csv")
+endif()
+
+# A typo'd knob is a usage error with a suggestion, never a run.
+execute_process(
+    COMMAND "${CHERIPERF}" run --workload QuickJS --set mem.l1d_kb=128
+    OUTPUT_VARIABLE bad_out
+    ERROR_VARIABLE bad_err
+    RESULT_VARIABLE bad_status)
+if(bad_status EQUAL 0)
+    message(FATAL_ERROR "unknown knob mem.l1d_kb was accepted:\n${bad_out}")
+endif()
+if(NOT bad_err MATCHES "did you mean 'mem.l1d_kib'")
+    message(FATAL_ERROR "unknown-knob error lacks a did-you-mean "
+                        "suggestion:\n${bad_err}")
+endif()
+
+message(STATUS "cli_autotune_determinism ok: identical trace+CSV across "
+               "jobs 1/4 and cache replay; warm hit rate >= 90%; knob "
+               "and flag spellings agree")

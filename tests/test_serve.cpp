@@ -227,6 +227,57 @@ TEST(ServeProtocol, AllocatorsRoundTripAndExpandInPlanOrder)
     EXPECT_NE(jobId(cells), jobId(base));
 }
 
+TEST(ServeProtocol, KnobsRoundTripAndConfigureEveryCell)
+{
+    JobSpec spec = lbmSpec();
+    spec.knobs = "mem.l1d_kib=128,pipe.sq.entries=48";
+    const std::string wire = jobSpecJsonl(spec);
+    EXPECT_NE(
+        wire.find("\"knobs\":\"mem.l1d_kib=128,pipe.sq.entries=48\""),
+        std::string::npos)
+        << wire;
+
+    JobSpec parsed;
+    std::string error;
+    ASSERT_TRUE(parseJobSpec(wire, &parsed, &error)) << error;
+    EXPECT_EQ(parsed.knobs, spec.knobs);
+
+    const auto cells = expandJobSpec(parsed, &error);
+    ASSERT_EQ(cells.size(), 3u) << error;
+    for (const auto &cell : cells) {
+        ASSERT_TRUE(cell.config.has_value());
+        EXPECT_EQ(cell.config->abi, cell.abi);
+        EXPECT_EQ(cell.config->mem.l1d.size_bytes, 128u * 1024u);
+        EXPECT_EQ(cell.config->pipe.sq.entries, 48u);
+    }
+
+    // Knob cells must not alias stock cells in the cache or the job
+    // table, and the knob-free spelling keeps the pre-knob identity:
+    // no wire field, no per-cell config override.
+    JobSpec plain = lbmSpec();
+    EXPECT_EQ(jobSpecJsonl(plain).find("knobs"), std::string::npos);
+    const auto base = expandJobSpec(plain, &error);
+    ASSERT_EQ(base.size(), 3u);
+    EXPECT_FALSE(base[0].config.has_value());
+    EXPECT_NE(jobId(cells), jobId(base));
+}
+
+TEST(ServeProtocol, UnknownKnobRejectedWithSuggestion)
+{
+    JobSpec spec = lbmSpec();
+    spec.knobs = "mem.l1d_kb=128";
+    std::string error;
+    EXPECT_TRUE(expandJobSpec(spec, &error).empty());
+    EXPECT_NE(error.find("mem.l1d_kb"), std::string::npos)
+        << "error must name the bad knob: " << error;
+    EXPECT_NE(error.find("mem.l1d_kib"), std::string::npos)
+        << "error must suggest the closest known name: " << error;
+
+    spec.knobs = "mem.l1d_kib=banana";
+    EXPECT_TRUE(expandJobSpec(spec, &error).empty());
+    EXPECT_NE(error.find("banana"), std::string::npos) << error;
+}
+
 TEST(ServeProtocol, UnknownAllocatorRejectedWithSuggestion)
 {
     JobSpec spec = lbmSpec();

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * The knob registry and the design-space search: every registered
+ * knob round-trips through the `--set` parser and moves the cell
+ * fingerprint exactly when it claims to, the registry provably covers
+ * MachineConfig (struct-size tripwires), the area proxy is normalized
+ * and monotone, Pareto filtering and its renderings are byte-exact,
+ * and autotune() is byte-deterministic across jobs counts and cache
+ * states with a fully-replayed warm run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "runner/cache.hpp"
+#include "runner/runner.hpp"
+#include "tune/frontier.hpp"
+#include "tune/knobs.hpp"
+#include "tune/tuner.hpp"
+
+namespace cheri::tune {
+namespace {
+
+/** A fresh per-test cache directory under gtest's temp root. */
+std::string
+tempCacheDir(const std::string &tag)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir()) /
+                     ("cheriperf-tune-test-" + tag);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+runner::RunRequest
+purecapCell()
+{
+    runner::RunRequest request;
+    request.workload = "519.lbm_r";
+    request.abi = abi::Abi::Purecap;
+    request.scale = workloads::Scale::Tiny;
+    request.config = sim::MachineConfig::forAbi(abi::Abi::Purecap);
+    return request;
+}
+
+// --- Registry shape -------------------------------------------------
+
+TEST(KnobRegistry, NamesAreUniqueAndDotted)
+{
+    std::set<std::string> seen;
+    for (const Knob &knob : knobRegistry()) {
+        EXPECT_TRUE(seen.insert(knob.name).second)
+            << "duplicate knob name " << knob.name;
+        EXPECT_NE(std::string(knob.name).find('.'), std::string::npos)
+            << knob.name << " is not group-dotted";
+        EXPECT_NE(std::string(knob.description), "");
+    }
+    EXPECT_GE(seen.size(), 40u);
+}
+
+TEST(KnobRegistry, BaselineIsTheDefaultConfig)
+{
+    // The registry computes baselines from MachineConfig{} at build
+    // time; a knob whose getter disagrees has a broken accessor pair.
+    const sim::MachineConfig config;
+    for (const Knob &knob : knobRegistry())
+        EXPECT_EQ(knob.get(config), knob.baseline) << knob.name;
+}
+
+TEST(KnobRegistry, ProbeValuesAreLegalAndNonDefault)
+{
+    for (const Knob &knob : knobRegistry()) {
+        EXPECT_NE(knob.probe, knob.baseline) << knob.name;
+        EXPECT_GE(knob.probe, knob.min_value) << knob.name;
+        for (double v : knob.menu)
+            EXPECT_GE(v, knob.min_value) << knob.name;
+    }
+}
+
+TEST(KnobRegistry, CoversMachineConfig)
+{
+    // Size tripwires: growing any config struct without updating the
+    // registry (and, for fingerprint-relevant fields, the hash in
+    // runner/cache.cpp) must fail here first. When this fires, add
+    // the new field to src/tune/knobs.cpp and bump the size.
+    EXPECT_EQ(sizeof(sim::MachineConfig), 320u);
+    EXPECT_EQ(sizeof(mem::MemConfig), 176u);
+    EXPECT_EQ(sizeof(uarch::PipelineConfig), 104u);
+    EXPECT_EQ(sizeof(uarch::BranchPredictorConfig), 20u);
+    EXPECT_EQ(sizeof(uarch::StoreQueueConfig), 8u);
+    EXPECT_EQ(sizeof(mem::CacheConfig), 16u);
+    EXPECT_EQ(sizeof(mem::TlbConfig), 12u);
+}
+
+TEST(KnobRegistry, TunableKnobsHaveMenus)
+{
+    const auto tunable = tunableKnobs();
+    EXPECT_GE(tunable.size(), 5u);
+    for (const Knob *knob : tunable) {
+        EXPECT_GE(knob->menu.size(), 2u) << knob->name;
+        // The grid must include the stock machine, or the search
+        // could never report "(baseline)" as Pareto-optimal.
+        EXPECT_NE(std::find(knob->menu.begin(), knob->menu.end(),
+                            knob->baseline),
+                  knob->menu.end())
+            << knob->name;
+    }
+}
+
+// --- Round-trip through the --set parser ----------------------------
+
+TEST(KnobRegistry, EveryKnobRoundTripsThroughSet)
+{
+    for (const Knob &knob : knobRegistry()) {
+        sim::MachineConfig config;
+        std::string error;
+        const std::string text = renderKnobValue(knob, knob.probe);
+        ASSERT_TRUE(applyKnob(config, knob.name, text, &error))
+            << knob.name << ": " << error;
+        EXPECT_EQ(knob.get(config), knob.probe)
+            << knob.name << " = " << text;
+        // And every menu value the autotuner can emit.
+        for (double v : knob.menu) {
+            ASSERT_TRUE(applyKnob(config, knob.name,
+                                  renderKnobValue(knob, v), &error))
+                << knob.name << ": " << error;
+            EXPECT_EQ(knob.get(config), v) << knob.name;
+        }
+    }
+}
+
+TEST(KnobRegistry, FingerprintSensitivityMatchesDeclaration)
+{
+    // Changing a knob must change cellFingerprint() exactly when the
+    // registry says so: a fingerprint=true knob that doesn't move the
+    // hash would let distinct machines alias one .cpr entry; a
+    // fingerprint=false knob that does would split the cache for a
+    // bit-identical acceleration toggle.
+    const runner::RunRequest base = purecapCell();
+    const u64 stock = runner::cellFingerprint(base);
+    for (const Knob &knob : knobRegistry()) {
+        runner::RunRequest probed = base;
+        knob.set(probed.config.value(), knob.probe);
+        const bool moved = runner::cellFingerprint(probed) != stock;
+        EXPECT_EQ(moved, knob.fingerprint) << knob.name;
+    }
+}
+
+TEST(KnobRegistry, NonFingerprintEscapesAreTheDocumentedTwo)
+{
+    std::vector<std::string> escapes;
+    for (const Knob &knob : knobRegistry())
+        if (!knob.fingerprint)
+            escapes.push_back(knob.name);
+    EXPECT_EQ(escapes, (std::vector<std::string>{
+                           "machine.block_cache", "mem.fast_path"}));
+}
+
+TEST(KnobRegistry, RenderIsCanonical)
+{
+    const Knob &l1d = *findKnob("mem.l1d_kib");
+    EXPECT_EQ(renderKnobValue(l1d, 128), "128");
+    const Knob &clock = *findKnob("machine.clock_ghz");
+    EXPECT_EQ(renderKnobValue(clock, 2.5), "2.5");
+    EXPECT_EQ(renderKnobValue(clock, 2.0), "2");
+    const Knob &wide = *findKnob("pipe.sq.wide_entries");
+    EXPECT_EQ(renderKnobValue(wide, 0), "off");
+    EXPECT_EQ(renderKnobValue(wide, 1), "on");
+}
+
+TEST(KnobRegistry, ParseRejectsMalformedValues)
+{
+    sim::MachineConfig config;
+    std::string error;
+    EXPECT_FALSE(applyKnob(config, "mem.l1d_kib", "banana", &error));
+    EXPECT_NE(error.find("wants an integer"), std::string::npos)
+        << error;
+    EXPECT_FALSE(applyKnob(config, "pipe.width", "0", &error));
+    EXPECT_NE(error.find("minimum"), std::string::npos) << error;
+    EXPECT_FALSE(applyKnob(config, "mem.l1d_kb", "128", &error));
+    EXPECT_NE(error.find("did you mean 'mem.l1d_kib'"),
+              std::string::npos)
+        << error;
+}
+
+TEST(KnobRegistry, ApplyKnobListWalksCommas)
+{
+    sim::MachineConfig config;
+    std::string error;
+    ASSERT_TRUE(applyKnobList(
+        config, "mem.l1d_kib=128,pipe.sq.entries=48", &error))
+        << error;
+    EXPECT_EQ(config.mem.l1d.size_bytes, 128u * 1024u);
+    EXPECT_EQ(config.pipe.sq.entries, 48u);
+    EXPECT_FALSE(applyKnobList(config, "mem.l1d_kib", &error));
+    EXPECT_NE(error.find("expected name=value"), std::string::npos)
+        << error;
+}
+
+TEST(KnobRegistry, ClosestNameSuggestsNeighbors)
+{
+    EXPECT_EQ(closestKnobName("mem.l2_kb"), "mem.l2_kib");
+    EXPECT_EQ(closestKnobName("pipe.widht"), "pipe.width");
+}
+
+// --- Area proxy -----------------------------------------------------
+
+TEST(AreaProxy, DefaultMachineIsExactlyOne)
+{
+    EXPECT_EQ(areaProxy(sim::MachineConfig{}), 1.0);
+    // forAbi only flips the ABI, never structure.
+    EXPECT_EQ(areaProxy(sim::MachineConfig::forAbi(abi::Abi::Purecap)),
+              1.0);
+}
+
+TEST(AreaProxy, MonotoneInStructure)
+{
+    sim::MachineConfig big, small;
+    std::string error;
+    ASSERT_TRUE(applyKnob(big, "mem.l2_kib", "2048", &error));
+    ASSERT_TRUE(applyKnob(small, "mem.l2_kib", "512", &error));
+    EXPECT_GT(areaProxy(big), 1.0);
+    EXPECT_LT(areaProxy(small), 1.0);
+
+    sim::MachineConfig wide;
+    ASSERT_TRUE(
+        applyKnob(wide, "pipe.sq.wide_entries", "on", &error));
+    EXPECT_GT(areaProxy(wide), 1.0);
+}
+
+TEST(AreaProxy, LatenciesAreFree)
+{
+    sim::MachineConfig config;
+    std::string error;
+    ASSERT_TRUE(applyKnob(config, "mem.dram_latency", "400", &error));
+    ASSERT_TRUE(applyKnob(config, "mem.tag_extra_latency", "3", &error));
+    EXPECT_EQ(areaProxy(config), 1.0);
+}
+
+// --- Pareto frontier and renderings ---------------------------------
+
+TuneCandidate
+candidate(u64 grid, std::vector<double> values, double overhead,
+          double area, const char *bottleneck, bool valid = true)
+{
+    TuneCandidate c;
+    c.grid_index = grid;
+    c.values = std::move(values);
+    c.overhead = overhead;
+    c.area = area;
+    c.workloads_scored = 2;
+    c.bottleneck = bottleneck;
+    c.valid = valid;
+    return c;
+}
+
+TuneOutcome
+cannedOutcome()
+{
+    TuneOutcome outcome;
+    outcome.knobs = {findKnob("mem.l1d_kib"),
+                     findKnob("pipe.sq.wide_entries")};
+    outcome.probed = {
+        candidate(0, {32, 0}, 1.10, 0.90, "backend-mem-l1"),
+        candidate(1, {64, 1}, 1.05, 1.10, "backend-core"),
+        candidate(2, {128, 1}, 1.20, 1.20, "backend-mem-ext"),
+        candidate(3, {128, 0}, 1.00, 0.80, "retiring", false),
+    };
+    outcome.frontier = paretoFrontier(outcome.probed);
+    return outcome;
+}
+
+TEST(Frontier, KeepsOnlyUndominatedValidPoints)
+{
+    const auto outcome = cannedOutcome();
+    // The invalid point would dominate everything but is excluded;
+    // grid 2 is beaten by grid 1 on both axes.
+    ASSERT_EQ(outcome.frontier.size(), 2u);
+    EXPECT_EQ(outcome.frontier[0].grid_index, 0u); // area ascending
+    EXPECT_EQ(outcome.frontier[1].grid_index, 1u);
+}
+
+TEST(Frontier, ExactDuplicatesKeepTheLowerGridIndex)
+{
+    std::vector<TuneCandidate> probed = {
+        candidate(5, {32, 0}, 1.0, 1.0, "retiring"),
+        candidate(3, {64, 0}, 1.0, 1.0, "retiring"),
+    };
+    const auto frontier = paretoFrontier(probed);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0].grid_index, 3u);
+}
+
+TEST(Frontier, CsvIsByteExact)
+{
+    EXPECT_EQ(frontierCsv(cannedOutcome()),
+              "rank,mem.l1d_kib,pipe.sq.wide_entries,"
+              "workloads,overhead,area,bottleneck\n"
+              "1,32,off,2,1.100000,0.900000,backend-mem-l1\n"
+              "2,64,on,2,1.050000,1.100000,backend-core\n");
+}
+
+TEST(Frontier, MarkdownShowsOnlyNonDefaultKnobs)
+{
+    // Point 2 sits at the default l1d size, so only the SQ toggle
+    // appears; this is the table make_report embeds.
+    EXPECT_EQ(frontierMarkdown(cannedOutcome()),
+              "| # | configuration | overhead | area | workloads | "
+              "bottleneck |\n"
+              "|---|---|---|---|---|---|\n"
+              "| 1 | mem.l1d_kib=32 | 1.100 | 0.900 | 2 | "
+              "backend-mem-l1 |\n"
+              "| 2 | pipe.sq.wide_entries=on | 1.050 | 1.100 | 2 | "
+              "backend-core |\n");
+}
+
+TEST(Frontier, EmptyFrontierRendersPlaceholder)
+{
+    TuneOutcome outcome;
+    outcome.knobs = {findKnob("mem.l1d_kib")};
+    EXPECT_EQ(frontierMarkdown(outcome),
+              "| # | configuration | overhead | area | workloads | "
+              "bottleneck |\n"
+              "|---|---|---|---|---|---|\n"
+              "| - | (no valid candidates) | - | - | - | - |\n");
+}
+
+// --- The search itself ----------------------------------------------
+
+TuneOptions
+smallSearch()
+{
+    TuneOptions options;
+    options.seed = 7;
+    options.budget = 6;
+    options.knobs = {"mem.l1d_kib", "pipe.mlp"};
+    options.workloads = {"519.lbm_r", "541.leela_r"};
+    options.runner.cache = false;
+    options.runner.jobs = 1;
+    return options;
+}
+
+TEST(Autotune, RejectsBadOptions)
+{
+    TuneOutcome outcome;
+    std::string error;
+    auto options = smallSearch();
+    options.knobs = {"mem.l1d_kb"};
+    EXPECT_FALSE(autotune(options, &outcome, &error));
+    EXPECT_NE(error.find("did you mean"), std::string::npos) << error;
+
+    options = smallSearch();
+    options.knobs = {"mem.dram_latency"}; // registered, but no menu
+    EXPECT_FALSE(autotune(options, &outcome, &error));
+    EXPECT_NE(error, "");
+
+    options = smallSearch();
+    options.workloads = {"no-such-workload"};
+    EXPECT_FALSE(autotune(options, &outcome, &error));
+    EXPECT_NE(error, "");
+}
+
+TEST(Autotune, DeterministicAcrossJobsAndRepeats)
+{
+    TuneOutcome a, b;
+    std::string error;
+    auto options = smallSearch();
+    ASSERT_TRUE(autotune(options, &a, &error)) << error;
+    options.runner.jobs = 4;
+    ASSERT_TRUE(autotune(options, &b, &error)) << error;
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(frontierCsv(a), frontierCsv(b));
+    EXPECT_EQ(a.stats.probes, b.stats.probes);
+    EXPECT_EQ(a.stats.cells, b.stats.cells);
+}
+
+TEST(Autotune, BudgetBoundsProbes)
+{
+    TuneOutcome outcome;
+    std::string error;
+    const auto options = smallSearch();
+    ASSERT_TRUE(autotune(options, &outcome, &error)) << error;
+    EXPECT_LE(outcome.stats.probes, options.budget);
+    EXPECT_GE(outcome.stats.generations, 1u);
+    // Every probe is recorded, grid-ascending, with a score or an
+    // invalid flag — nothing silently dropped.
+    EXPECT_FALSE(outcome.probed.empty());
+    for (std::size_t i = 1; i < outcome.probed.size(); ++i)
+        EXPECT_LT(outcome.probed[i - 1].grid_index,
+                  outcome.probed[i].grid_index);
+    for (const auto &point : outcome.probed) {
+        EXPECT_EQ(point.values.size(), outcome.knobs.size());
+        if (point.valid) {
+            EXPECT_GT(point.overhead, 0.0);
+        }
+    }
+}
+
+TEST(Autotune, WarmCacheReplaysEveryCell)
+{
+    const std::string dir = tempCacheDir("replay");
+    auto options = smallSearch();
+    options.runner.cache = true;
+    options.runner.cache_dir = dir;
+
+    TuneOutcome cold, warm;
+    std::string error;
+    ASSERT_TRUE(autotune(options, &cold, &error)) << error;
+    ASSERT_TRUE(autotune(options, &warm, &error)) << error;
+    EXPECT_EQ(cold.trace, warm.trace);
+    EXPECT_EQ(frontierCsv(cold), frontierCsv(warm));
+    EXPECT_EQ(cold.stats.cacheHits, 0u);
+    EXPECT_EQ(warm.stats.cacheHits, warm.stats.cells);
+    EXPECT_EQ(warm.stats.simulated, 0u);
+    EXPECT_EQ(warm.stats.hitRate(), 1.0);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Autotune, BottleneckLabelsComeFromTheKnownSet)
+{
+    TuneOutcome outcome;
+    std::string error;
+    ASSERT_TRUE(autotune(smallSearch(), &outcome, &error)) << error;
+    const std::set<std::string> known = {
+        "retiring",        "bad-speculation", "frontend",
+        "frontend-pcc",    "backend-core",    "backend-mem-l1",
+        "backend-mem-l2",  "backend-mem-ext"};
+    for (const auto &point : outcome.probed)
+        if (point.valid) {
+            EXPECT_TRUE(known.count(point.bottleneck))
+                << point.bottleneck;
+        }
+}
+
+} // namespace
+} // namespace cheri::tune

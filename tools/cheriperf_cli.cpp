@@ -13,8 +13,10 @@
  *   cheriperf sweep [--workload QuickJS | --set table3] [options]
  *   cheriperf corun <w1[@abi]> [w2[@abi] ...] [--cores N] [options]
  *   cheriperf trace <workload> --abi purecap --epoch 50000 --out t.jsonl
+ *   cheriperf autotune --seed 1 --budget 32 [--knobs a,b] [--csv]
  *   cheriperf verify --seed 1 --iters 100000 --suite cap|mem|invariants
  *   cheriperf events
+ *   cheriperf knobs
  *   cheriperf clear-cache
  *
  * Options for run/sweep:
@@ -86,6 +88,9 @@
 #include "support/telemetry.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/profile.hpp"
+#include "tune/frontier.hpp"
+#include "tune/knobs.hpp"
+#include "tune/tuner.hpp"
 #include "verify/verify.hpp"
 #include "workloads/registry.hpp"
 
@@ -129,6 +134,15 @@ struct Options
                                        //!< values that revoke.
     bool axis_listing = false;         //!< sweep --axis.
 
+    // Machine knobs (--set name=value), validated at parse time and
+    // applied to every cell's MachineConfig after the legacy flags.
+    std::vector<std::pair<std::string, std::string>> machine_knobs;
+
+    // autotune command.
+    u64 budget = 32;        //!< --budget: max probes.
+    std::string tune_knobs; //!< --knobs comma list ("" = all tunable).
+    std::string trace_out;  //!< --trace-out: search trace file.
+
     // serve / submit commands.
     u64 port = 0;
     std::string port_file;
@@ -153,8 +167,8 @@ usage(int code)
     std::fprintf(
         stderr,
         "usage: cheriperf "
-        "<list|events|run|sweep|corun|trace|verify|serve|submit|"
-        "clear-cache> [options]\n"
+        "<list|events|knobs|run|sweep|corun|trace|autotune|verify|"
+        "serve|submit|clear-cache> [options]\n"
         "  run/sweep options:\n"
         "    --workload NAME   (required for run; see 'cheriperf list')\n"
         "    --abi hybrid|purecap|benchmark   (run only)\n"
@@ -167,7 +181,18 @@ usage(int code)
         "    an allocator CSV column; see 'cheriperf sweep --axis')\n"
         "    --set alloc.strategy=S | alloc.revoke=on|off |\n"
         "    alloc.quarantine_kib=N   (allocator knobs for one cell)\n"
+        "    --set <knob>=<value>   (machine knobs, e.g. --set\n"
+        "    mem.l1d_kib=128; see 'cheriperf knobs' for the registry)\n"
         "    --axis   (sweep only: list experiment axes and exit)\n"
+        "  autotune options (design-space search; DESIGN.md §10):\n"
+        "    --seed N     search seed (candidate sampling)\n"
+        "    --budget N   max probes, candidate x rung (default 32)\n"
+        "    --knobs a,b  searchable knobs (default: every knob with\n"
+        "    a menu; see 'cheriperf knobs')\n"
+        "    --csv        frontier CSV only on stdout (default: the\n"
+        "    search trace followed by the frontier CSV)\n"
+        "    --trace-out PATH   also write the search trace to PATH\n"
+        "    plus --scale/--jobs/--no-cache/--cache-dir\n"
         "  corun <w1[@abi]> [w2[@abi] ...] options:\n"
         "    --cores N (default #lanes; extra cores replicate lanes\n"
         "    round-robin)  --abi NAME (default for bare lanes)\n"
@@ -335,12 +360,42 @@ parse(int argc, char **argv)
             opt.abi_set = true;
         } else if (arg == "--set") {
             // `--set table3` selects the workload set; values spelled
-            // `alloc.<key>=<value>` are allocator-axis knobs instead.
+            // `alloc.<key>=<value>` are allocator-axis knobs; any
+            // other `name=value` is a machine knob from the registry.
             const std::string value = next();
-            if (value.rfind("alloc.", 0) == 0)
+            if (value.rfind("alloc.", 0) == 0) {
                 applyAllocKnob(opt, value);
-            else
+            } else if (const auto eq = value.find('=');
+                       eq != std::string::npos) {
+                const std::string name = value.substr(0, eq);
+                const std::string text = value.substr(eq + 1);
+                // Validate eagerly so typos die before any cell runs,
+                // with the registry's did-you-mean suggestion.
+                sim::MachineConfig probe;
+                std::string error;
+                if (!tune::applyKnob(probe, name, text, &error)) {
+                    std::fprintf(stderr, "%s\n", error.c_str());
+                    std::exit(2);
+                }
+                opt.machine_knobs.emplace_back(name, text);
+            } else {
                 opt.set = value;
+            }
+        } else if (arg == "--budget") {
+            const std::string s = next();
+            const auto n = parseU64(s);
+            if (!n || *n == 0) {
+                std::fprintf(stderr,
+                             "--budget expects a positive probe "
+                             "count, got '%s'\n",
+                             s.c_str());
+                usage(1);
+            }
+            opt.budget = *n;
+        } else if (arg == "--knobs") {
+            opt.tune_knobs = next();
+        } else if (arg == "--trace-out") {
+            opt.trace_out = next();
         } else if (arg == "--allocators") {
             opt.allocators = next();
         } else if (arg == "--axis") {
@@ -572,6 +627,16 @@ requestFor(const Options &opt, const std::string &workload, abi::Abi abi)
     // agree).
     config.mem.fast_path = opt.fast_path;
     config.block_cache = opt.block_cache;
+    // Registry knobs (--set name=value) win over the legacy flags
+    // above; values were validated at parse time, so failure here
+    // cannot happen.
+    for (const auto &[name, value] : opt.machine_knobs) {
+        std::string error;
+        if (!tune::applyKnob(config, name, value, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            std::exit(2);
+        }
+    }
     request.config = config;
 
     if (opt.approx) {
@@ -853,6 +918,99 @@ cmdSweepAxis()
     std::printf("  alloc.revoke          on|off\n");
     std::printf("  alloc.quarantine_kib  N   (sweep trigger; revoking "
                 "allocators only)\n");
+    std::printf("machine knobs (--set <name>=<value>): %zu registered; "
+                "see 'cheriperf knobs'\n",
+                tune::knobRegistry().size());
+    return 0;
+}
+
+/** `cheriperf knobs`: the machine-knob registry as a table. */
+int
+cmdKnobs()
+{
+    std::printf("machine knobs (--set <name>=<value>; * = autotune "
+                "searches it):\n");
+    for (const tune::Knob &knob : tune::knobRegistry()) {
+        std::string menu;
+        for (double value : knob.menu) {
+            if (!menu.empty())
+                menu += ",";
+            menu += tune::renderKnobValue(knob, value);
+        }
+        std::printf("  %c %-26s %-7s default %-8s %s%s\n",
+                    knob.menu.empty() ? ' ' : '*', knob.name,
+                    knob.kind == tune::KnobKind::Bool     ? "bool"
+                    : knob.kind == tune::KnobKind::Double ? "double"
+                                                          : "int",
+                    tune::renderKnobValue(knob, knob.baseline).c_str(),
+                    knob.description,
+                    knob.fingerprint ? "" : " [non-fingerprint]");
+        if (!menu.empty())
+            std::printf("      menu: %s\n", menu.c_str());
+    }
+    return 0;
+}
+
+/**
+ * `cheriperf autotune`: the deterministic design-space search
+ * (DESIGN.md §10). stdout carries only deterministic bytes — the
+ * search trace and the frontier CSV (CSV alone under --csv) — while
+ * cache-dependent statistics go to stderr, so output is
+ * byte-identical across --jobs values and cache states.
+ */
+int
+cmdAutotune(const Options &opt)
+{
+    tune::TuneOptions options;
+    options.seed = opt.seed;
+    options.budget = opt.budget;
+    options.scale = opt.scale;
+    options.runner = runnerOptions(opt);
+    options.runner.progress = false;
+    if (!opt.tune_knobs.empty()) {
+        const std::string &list = opt.tune_knobs;
+        std::size_t start = 0;
+        while (start <= list.size()) {
+            std::size_t comma = list.find(',', start);
+            if (comma == std::string::npos)
+                comma = list.size();
+            if (comma > start)
+                options.knobs.push_back(
+                    list.substr(start, comma - start));
+            start = comma + 1;
+        }
+    }
+
+    tune::TuneOutcome outcome;
+    std::string error;
+    if (!tune::autotune(options, &outcome, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+    }
+
+    const std::string csv = tune::frontierCsv(outcome);
+    std::string out;
+    if (!opt.csv)
+        out += outcome.trace;
+    out += csv;
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    if (!opt.trace_out.empty() &&
+        !writeTextOut(opt.trace_out, outcome.trace))
+        return 1;
+
+    const tune::TuneStats &stats = outcome.stats;
+    std::fprintf(stderr,
+                 "[cheriperf] autotune: %llu probes, %llu cells, %llu "
+                 "cache hits / %llu simulated, %llu generations, hit "
+                 "rate %s%%, %s frontier points, %.3fs wall\n",
+                 static_cast<unsigned long long>(stats.probes),
+                 static_cast<unsigned long long>(stats.cells),
+                 static_cast<unsigned long long>(stats.cacheHits),
+                 static_cast<unsigned long long>(stats.simulated),
+                 static_cast<unsigned long long>(stats.generations),
+                 fmt::fixed(stats.hitRate() * 100, 1).c_str(),
+                 std::to_string(outcome.frontier.size()).c_str(),
+                 stats.wallSeconds);
     return 0;
 }
 
@@ -1256,6 +1414,14 @@ cmdSubmit(const Options &opt)
         parseAllocatorList(opt);
         spec.allocators = opt.allocators;
     }
+    // Machine knobs travel as the wire-form "name=value" list; parse
+    // already validated each one (exit 2 + suggestion), the daemon
+    // re-validates and answers 400 for specs arriving over the wire.
+    for (const auto &[name, value] : opt.machine_knobs) {
+        if (!spec.knobs.empty())
+            spec.knobs += ",";
+        spec.knobs += name + "=" + value;
+    }
     return serve::runSubmitClient(options);
 }
 
@@ -1268,6 +1434,10 @@ dispatch(const Options &opt)
         return cmdList();
     if (opt.command == "events")
         return cmdEvents();
+    if (opt.command == "knobs")
+        return cmdKnobs();
+    if (opt.command == "autotune")
+        return cmdAutotune(opt);
     if (opt.command == "run")
         return cmdRun(opt);
     if (opt.command == "sweep")

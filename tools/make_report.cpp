@@ -28,6 +28,8 @@
 #include "runner/runner.hpp"
 #include "support/fmt.hpp"
 #include "trace/trace.hpp"
+#include "tune/frontier.hpp"
+#include "tune/tuner.hpp"
 #include "workloads/registry.hpp"
 
 using namespace cheri;
@@ -291,6 +293,39 @@ main(int argc, char **argv)
     std::printf("\nRegenerate as JSONL with `cheriperf trace QuickJS "
                 "--abi purecap --epoch %llu --out quickjs.jsonl`.\n",
                 static_cast<unsigned long long>(epoch_insts));
+
+    // --- Design-space frontier ----------------------------------------
+    // A seeded autotune pass over the structural knobs: which cheaper
+    // or re-balanced machines keep purecap overhead low. The probes
+    // are ordinary RunRequests, so the section is warm whenever past
+    // reports or `cheriperf autotune` runs populated the cache.
+    tune::TuneOptions tuning;
+    tuning.seed = 42;
+    tuning.budget = 16;
+    tuning.scale = scale;
+    tuning.runner = options;
+    tune::TuneOutcome tuned;
+    std::string tune_error;
+    std::printf("\n## Design-space frontier (autotune)\n\n");
+    if (!tune::autotune(tuning, &tuned, &tune_error)) {
+        std::printf("autotune failed: %s\n", tune_error.c_str());
+    } else {
+        std::printf("Seeded search (seed %llu, budget %llu probes) over "
+                    "%zu knobs; %zu of %zu probed configurations are "
+                    "Pareto-minimal on (purecap overhead, area proxy).\n\n",
+                    static_cast<unsigned long long>(tuning.seed),
+                    static_cast<unsigned long long>(tuning.budget),
+                    tuned.knobs.size(), tuned.frontier.size(),
+                    tuned.probed.size());
+        std::printf("%s", tune::frontierMarkdown(tuned).c_str());
+        std::printf("\nRegenerate with `cheriperf autotune --seed %llu "
+                    "--budget %llu --scale %s --csv`.\n",
+                    static_cast<unsigned long long>(tuning.seed),
+                    static_cast<unsigned long long>(tuning.budget),
+                    scale == workloads::Scale::Tiny  ? "tiny"
+                    : scale == workloads::Scale::Ref ? "ref"
+                                                     : "small");
+    }
 
     std::printf("\nGenerated by tools/make_report.\n");
     return 0;
