@@ -45,7 +45,8 @@ CodeMap::gotBase(u16 lib) const
 }
 
 DynLowering::DynLowering(Abi abi, uarch::PipelineModel &pipe, CodeMap &code)
-    : abi_(abi), pipe_(pipe), code_(code), stackTop_(kStackBase)
+    : abi_(abi), pipe_(pipe), code_(code), stackTop_(kStackBase),
+      batched_(pipe.config().batch_issue)
 {
 }
 
@@ -69,6 +70,7 @@ void
 DynLowering::globalAccess(u16 lib)
 {
     if (pipe_.approxSkip()) {
+        flushOps();
         // Both pcNext() calls below advance the cursor (the GOT-slot
         // hash and the op's own pc), so the skip must advance it by 8
         // to keep the PC trajectory identical either way.
@@ -79,7 +81,7 @@ DynLowering::globalAccess(u16 lib)
     const Addr got = code_.gotBase(lib) +
                      (pcNext() % 64) * pointerSize(abi_);
     const bool cap = capabilityPointers(abi_);
-    pipe_.issue(DynOp::load(pcNext(), got, cap ? 16 : 8, cap));
+    emit(DynOp::load(pcNext(), got, cap ? 16 : 8, cap));
 }
 
 void
@@ -89,10 +91,11 @@ DynLowering::dispatch(u32 selector)
     Frame &frame = frames_.back();
     const CodeMap::Func &f = code_.func(frame.func);
     const u32 offset = (selector * 64) % f.bytes;
-    if (pipe_.approxSkip())
+    if (pipe_.approxSkip()) {
+        flushOps();
         pipe_.issueSkipped();
-    else
-        pipe_.issue(DynOp::branchOp(pc, BranchKind::Indirect, true,
+    } else
+        emit(DynOp::branchOp(pc, BranchKind::Indirect, true,
                                     f.base + offset, false));
     // Execution continues in the selected handler's code region: the
     // interpreter's instruction footprint spans the whole function.
@@ -105,17 +108,17 @@ DynLowering::prologue(Frame &frame)
     if (capabilityPointers(abi_)) {
         // stp c29, c30: two 16-byte capability stores + CSP bookkeeping.
         if (!skipOne())
-            pipe_.issue(DynOp::store(pcNext(), frame.sp, 16, true));
+            emit(DynOp::store(pcNext(), frame.sp, 16, true));
         if (!skipOne())
-            pipe_.issue(DynOp::store(pcNext(), frame.sp + 16, 16, true));
+            emit(DynOp::store(pcNext(), frame.sp + 16, 16, true));
         if (!skipOne())
-            pipe_.issue(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
+            emit(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
     } else {
         // stp x29, x30: one 16-byte integer store pair.
         if (!skipOne())
-            pipe_.issue(DynOp::store(pcNext(), frame.sp, 16, false));
+            emit(DynOp::store(pcNext(), frame.sp, 16, false));
         if (!skipOne())
-            pipe_.issue(DynOp::alu(pcNext(), Opcode::SubImm));
+            emit(DynOp::alu(pcNext(), Opcode::SubImm));
     }
 }
 
@@ -124,16 +127,16 @@ DynLowering::epilogue(Frame &frame)
 {
     if (capabilityPointers(abi_)) {
         if (!skipOne())
-            pipe_.issue(DynOp::load(pcNext(), frame.sp, 16, true));
+            emit(DynOp::load(pcNext(), frame.sp, 16, true));
         if (!skipOne())
-            pipe_.issue(DynOp::load(pcNext(), frame.sp + 16, 16, true));
+            emit(DynOp::load(pcNext(), frame.sp + 16, 16, true));
         if (!skipOne())
-            pipe_.issue(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
+            emit(DynOp::alu(pcNext(), Opcode::CIncOffsetImm));
     } else {
         if (!skipOne())
-            pipe_.issue(DynOp::load(pcNext(), frame.sp, 16, false));
+            emit(DynOp::load(pcNext(), frame.sp, 16, false));
         if (!skipOne())
-            pipe_.issue(DynOp::alu(pcNext(), Opcode::AddImm));
+            emit(DynOp::alu(pcNext(), Opcode::AddImm));
     }
 }
 
@@ -149,7 +152,7 @@ DynLowering::call(u32 callee, CallKind kind)
     switch (kind) {
       case CallKind::Local:
         if (!skipOne())
-            pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Immed, true,
+            emit(DynOp::branchOp(pcNext(), BranchKind::Immed, true,
                                         target.base, /*pcc_change=*/false,
                                         /*is_call=*/true));
         break;
@@ -158,14 +161,14 @@ DynLowering::call(u32 callee, CallKind kind)
         // purecap ABIs), then branch indirect.
         globalAccess(caller.lib);
         if (!skipOne())
-            pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Indirect,
+            emit(DynOp::branchOp(pcNext(), BranchKind::Indirect,
                                         true, target.base,
                                         cap_branches && cross, true));
         break;
       }
       case CallKind::Virtual:
         if (!skipOne())
-            pipe_.issue(DynOp::branchOp(pcNext(), BranchKind::Indirect,
+            emit(DynOp::branchOp(pcNext(), BranchKind::Indirect,
                                         true, target.base, cap_branches,
                                         true));
         break;
@@ -195,13 +198,14 @@ DynLowering::ret()
     // The RET's pc was consumed from the callee frame above, so a
     // skip here must not advance the caller's cursor via skipOne().
     if (pipe_.approxSkip()) {
+        flushOps();
         pipe_.issueSkipped();
         return;
     }
     const CodeMap::Func &caller = code_.func(frames_.back().func);
     const Addr return_target =
         caller.base + (frames_.back().cursor % caller.bytes);
-    pipe_.issue(DynOp::branchOp(
+    emit(DynOp::branchOp(
         ret_pc, BranchKind::Return, true, return_target,
         capabilityBranches(abi_) && frame.crossLib, false));
 }

@@ -25,6 +25,7 @@
 #ifndef CHERI_ABI_LOWERING_HPP
 #define CHERI_ABI_LOWERING_HPP
 
+#include <array>
 #include <vector>
 
 #include "abi/abi.hpp"
@@ -91,7 +92,28 @@ class DynLowering
   public:
     DynLowering(Abi abi, uarch::PipelineModel &pipe, CodeMap &code);
 
+    ~DynLowering() { flushOps(); }
+
     Abi abi() const { return abi_; }
+
+    /**
+     * Issue every queued op through one PipelineModel::issueBlock()
+     * call, preserving emission order. Emitters queue their DynOps
+     * into a small FIFO (when the pipeline's batch_issue knob is on)
+     * so the pipeline retires them in block-sized chunks; the queue
+     * drains automatically at capacity, before any approx-skip retire
+     * (retire order is total), and on destruction — callers only need
+     * this to observe pipeline state mid-run.
+     */
+    void
+    flushOps()
+    {
+        if (emitN_ != 0) {
+            const u32 n = emitN_;
+            emitN_ = 0;
+            pipe_.issueBlock(emitBuf_.data(), n);
+        }
+    }
 
     /** Start execution inside @p func (the workload's "main"). */
     void enterFunction(u32 func);
@@ -194,6 +216,7 @@ class DynLowering
     {
         if (!pipe_.approxSkip())
             return false;
+        flushOps(); // queued ops must retire before the skipped one
         frames_.back().cursor += 4;
         pipe_.issueSkipped();
         return true;
@@ -212,6 +235,7 @@ class DynLowering
     {
         if (!pipe_.approxSkip())
             return 0;
+        flushOps(); // queued ops must retire before the skipped run
         const u64 bulk = pipe_.skipBulkBudget(want);
         if (bulk > 0) {
             frames_.back().cursor += 4 * static_cast<u32>(bulk);
@@ -223,6 +247,27 @@ class DynLowering
         return 1;
     }
 
+    /**
+     * Queue one DynOp behind every previously emitted op. With
+     * batch_issue off this degenerates to a direct issue() — zero
+     * added state, for the escape-hatch equivalence suite. Results
+     * are bit-identical either way: the FIFO preserves total op
+     * order, issueBlock() retires with the same arithmetic, and every
+     * path that must observe retirement state (approx skips, the
+     * destructor) drains the queue first.
+     */
+    void
+    emit(const uarch::DynOp &op)
+    {
+        if (!batched_) {
+            pipe_.issue(op);
+            return;
+        }
+        emitBuf_[emitN_++] = op;
+        if (emitN_ == kEmitBufSize)
+            flushOps();
+    }
+
     void emitAlu(u32 n, isa::Opcode op = isa::Opcode::Add);
     void prologue(Frame &frame);
     void epilogue(Frame &frame);
@@ -232,6 +277,15 @@ class DynLowering
     CodeMap &code_;
     std::vector<Frame> frames_;
     Addr stackTop_;
+
+    /** Pending DynOps awaiting a batched issueBlock() flush. */
+    // Sized so the per-flush costs (call, accumulator copy in and
+    // out of issueBlock) amortize to noise; at 128 ops the FIFO is
+    // still small enough to live comfortably in the lowering object.
+    static constexpr u32 kEmitBufSize = 128;
+    std::array<uarch::DynOp, kEmitBufSize> emitBuf_{};
+    u32 emitN_ = 0;
+    bool batched_; //!< pipe config batch_issue, sampled at construction.
 };
 
 // ---- Hot-path inline definitions ----------------------------------
@@ -261,7 +315,7 @@ DynLowering::emitAlu(u32 n, isa::Opcode op)
             i += skipped;
             continue;
         }
-        pipe_.issue(uarch::DynOp::alu(pcNext(), op));
+        emit(uarch::DynOp::alu(pcNext(), op));
         ++i;
     }
 }
@@ -277,12 +331,12 @@ DynLowering::mul(u32 n)
 {
     for (u32 i = 0; i < n; ++i) {
         if (!skipOne())
-            pipe_.issue(uarch::DynOp::alu(pcNext(), isa::Opcode::Mul));
+            emit(uarch::DynOp::alu(pcNext(), isa::Opcode::Mul));
         // Morello lacks a capability-aware MADD: the capability ABIs
         // split fused multiply-adds into MUL + ADD (§2.2).
         if (capabilityPointers(abi_) && (i & 3) == 0)
             if (!skipOne())
-                pipe_.issue(uarch::DynOp::alu(pcNext(), isa::Opcode::Add));
+                emit(uarch::DynOp::alu(pcNext(), isa::Opcode::Add));
     }
 }
 
@@ -302,14 +356,14 @@ inline void
 DynLowering::div()
 {
     if (!skipOne())
-        pipe_.issue(uarch::DynOp::alu(pcNext(), isa::Opcode::Udiv));
+        emit(uarch::DynOp::alu(pcNext(), isa::Opcode::Udiv));
 }
 
 inline void
 DynLowering::load(Addr addr, u32 size, bool dependent)
 {
     if (!skipOne())
-        pipe_.issue(uarch::DynOp::load(pcNext(), addr,
+        emit(uarch::DynOp::load(pcNext(), addr,
                                        static_cast<u8>(size), false,
                                        dependent));
 }
@@ -318,7 +372,7 @@ inline void
 DynLowering::store(Addr addr, u32 size)
 {
     if (!skipOne())
-        pipe_.issue(uarch::DynOp::store(pcNext(), addr,
+        emit(uarch::DynOp::store(pcNext(), addr,
                                         static_cast<u8>(size), false));
 }
 
@@ -334,9 +388,9 @@ DynLowering::local(u32 n)
         }
         const Addr slot = sp + 32 + 8 * (i % 6);
         if (i & 1)
-            pipe_.issue(uarch::DynOp::store(pcNext(), slot, 8, false));
+            emit(uarch::DynOp::store(pcNext(), slot, 8, false));
         else
-            pipe_.issue(uarch::DynOp::load(pcNext(), slot, 8, false));
+            emit(uarch::DynOp::load(pcNext(), slot, 8, false));
         ++i;
     }
 }
@@ -347,7 +401,7 @@ DynLowering::loadPointer(Addr addr, bool dependent)
     if (skipOne())
         return;
     const bool cap = capabilityPointers(abi_);
-    pipe_.issue(
+    emit(
         uarch::DynOp::load(pcNext(), addr, cap ? 16 : 8, cap, dependent));
 }
 
@@ -357,7 +411,7 @@ DynLowering::storePointer(Addr addr)
     if (skipOne())
         return;
     const bool cap = capabilityPointers(abi_);
-    pipe_.issue(uarch::DynOp::store(pcNext(), addr, cap ? 16 : 8, cap));
+    emit(uarch::DynOp::store(pcNext(), addr, cap ? 16 : 8, cap));
 }
 
 inline void
@@ -366,14 +420,14 @@ DynLowering::derivePointer()
     if (capabilityPointers(abi_)) {
         // csetbounds + candperm-style derivation sequence.
         if (!skipOne())
-            pipe_.issue(
+            emit(
                 uarch::DynOp::alu(pcNext(), isa::Opcode::CSetBoundsImm));
         if (!skipOne())
-            pipe_.issue(
+            emit(
                 uarch::DynOp::alu(pcNext(), isa::Opcode::CAndPerm));
     } else {
         if (!skipOne())
-            pipe_.issue(uarch::DynOp::alu(pcNext(), isa::Opcode::Add));
+            emit(uarch::DynOp::alu(pcNext(), isa::Opcode::Add));
     }
 }
 
@@ -387,7 +441,7 @@ DynLowering::capOverhead(u32 n)
             i += skipped;
             continue;
         }
-        pipe_.issue(uarch::DynOp::alu(pcNext(),
+        emit(uarch::DynOp::alu(pcNext(),
                                       (i & 1) ? isa::Opcode::CIncOffsetImm
                                               : isa::Opcode::CSetAddr));
         ++i;
@@ -400,7 +454,7 @@ DynLowering::branch(bool taken)
     if (skipOne())
         return;
     const Addr pc = pcNext();
-    pipe_.issue(uarch::DynOp::condBranch(pc, taken, pc + 32));
+    emit(uarch::DynOp::condBranch(pc, taken, pc + 32));
 }
 
 } // namespace cheri::abi

@@ -4,57 +4,6 @@
 
 namespace cheri::isa {
 
-InstClass
-opcodeClass(Opcode op)
-{
-    switch (op) {
-      case Opcode::Ldr:
-      case Opcode::LdrCap:
-        return InstClass::Load;
-      case Opcode::Str:
-      case Opcode::StrCap:
-        return InstClass::Store;
-      case Opcode::FAdd:
-      case Opcode::FMul:
-      case Opcode::FMadd:
-      case Opcode::FDiv:
-        return InstClass::Vfp;
-      case Opcode::VAdd:
-      case Opcode::VMul:
-      case Opcode::VFma:
-      case Opcode::VDot:
-        return InstClass::Ase;
-      case Opcode::B:
-      case Opcode::BCond:
-      case Opcode::Bl:
-        return InstClass::BranchImmed;
-      case Opcode::Br:
-      case Opcode::Blr:
-        return InstClass::BranchIndirect;
-      case Opcode::Ret:
-        return InstClass::BranchReturn;
-      case Opcode::Halt:
-      case Opcode::Brk:
-        return InstClass::Other;
-      default:
-        return InstClass::Dp;
-    }
-}
-
-bool
-isMemory(Opcode op)
-{
-    switch (op) {
-      case Opcode::Ldr:
-      case Opcode::Str:
-      case Opcode::LdrCap:
-      case Opcode::StrCap:
-        return true;
-      default:
-        return false;
-    }
-}
-
 bool
 isCapManip(Opcode op)
 {

@@ -113,11 +113,61 @@ enum class InstClass : u8 {
 };
 
 /** Map an opcode to its PMU instruction class (branch class depends on
- *  the opcode alone: Br/Blr are indirect, Ret is return). */
-InstClass opcodeClass(Opcode op);
+ *  the opcode alone: Br/Blr are indirect, Ret is return).
+ *
+ * Inline: the pipeline classifies every DynOp it issues, so this and
+ * isMemory() sit on the hottest per-op path in the simulator. */
+inline InstClass
+opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldr:
+      case Opcode::LdrCap:
+        return InstClass::Load;
+      case Opcode::Str:
+      case Opcode::StrCap:
+        return InstClass::Store;
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FMadd:
+      case Opcode::FDiv:
+        return InstClass::Vfp;
+      case Opcode::VAdd:
+      case Opcode::VMul:
+      case Opcode::VFma:
+      case Opcode::VDot:
+        return InstClass::Ase;
+      case Opcode::B:
+      case Opcode::BCond:
+      case Opcode::Bl:
+        return InstClass::BranchImmed;
+      case Opcode::Br:
+      case Opcode::Blr:
+        return InstClass::BranchIndirect;
+      case Opcode::Ret:
+        return InstClass::BranchReturn;
+      case Opcode::Halt:
+      case Opcode::Brk:
+        return InstClass::Other;
+      default:
+        return InstClass::Dp;
+    }
+}
 
 /** True for opcodes that read or write memory. */
-bool isMemory(Opcode op);
+inline bool
+isMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldr:
+      case Opcode::Str:
+      case Opcode::LdrCap:
+      case Opcode::StrCap:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** True for capability-manipulation opcodes. */
 bool isCapManip(Opcode op);

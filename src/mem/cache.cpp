@@ -35,6 +35,7 @@ SetAssocCache::access(Addr addr, bool is_write)
         if (entry.valid && entry.tag == line) {
             entry.lastUse = tick_;
             entry.dirty |= is_write;
+            lastSlot_ = set * config_.ways + w;
             return true;
         }
         if (!entry.valid) {
@@ -49,6 +50,7 @@ SetAssocCache::access(Addr addr, bool is_write)
     victim->tag = line;
     victim->lastUse = tick_;
     victim->dirty = is_write;
+    lastSlot_ = static_cast<u32>(victim - lines_.data());
     return false;
 }
 

@@ -39,6 +39,61 @@ class SetAssocCache
     /** Probe without allocating or updating LRU. */
     bool contains(Addr addr) const;
 
+    /** Sentinel for probeSlot(): the line is not resident. */
+    static constexpr u32 kNoSlot = ~u32{0};
+
+    /**
+     * Index of the way currently holding @p addr's line, or kNoSlot.
+     * Pure probe: no counters, no LRU movement. The index is only a
+     * hint — it stays meaningful until the line is evicted or the
+     * cache is flushed, and replayHit() re-validates it before use.
+     */
+    u32
+    probeSlot(Addr addr) const
+    {
+        const Addr line = lineAddr(addr);
+        const u32 set = static_cast<u32>(line & (numSets_ - 1));
+        const Line *base =
+            &lines_[static_cast<std::size_t>(set) * config_.ways];
+        for (u32 w = 0; w < config_.ways; ++w)
+            if (base[w].valid && base[w].tag == line)
+                return set * config_.ways + w;
+        return kNoSlot;
+    }
+
+    /**
+     * Does @p slot (a probeSlot() hint) still hold @p line (a line
+     * address, i.e. addr / line_bytes)? Pure check, no state change —
+     * callers validate every structure they are about to replay
+     * before mutating any of them, so a stale hint can never leave a
+     * half-replayed access behind.
+     */
+    bool
+    slotHolds(u32 slot, Addr line) const
+    {
+        const Line &entry = lines_[slot];
+        return entry.valid && entry.tag == line;
+    }
+
+    /**
+     * Replay a hit through a slot the caller just validated with
+     * slotHolds(): exactly the mutation access() performs on a hit
+     * (count, tick, LRU touch, dirty update), minus the set search.
+     * A line's tag is its full line address, so a slot that holds the
+     * line is necessarily the very slot access() would find — the
+     * replay is unconditionally equivalent, for writes as well as
+     * reads.
+     */
+    void
+    replayHit(u32 slot, bool is_write)
+    {
+        Line &entry = lines_[slot];
+        ++accesses_;
+        ++tick_;
+        entry.lastUse = tick_;
+        entry.dirty |= is_write;
+    }
+
     /**
      * Account one hit the owner's fast path replayed without the set
      * search. Keeps accesses()/missRate() and the LRU tick stream
@@ -55,6 +110,14 @@ class SetAssocCache
         ++accesses_;
         ++tick_;
     }
+
+    /**
+     * Slot the most recent access() touched: the hit way, or the way
+     * the miss allocated (write-allocate, so the line is resident
+     * either way). Lets the owner arm an inline-cache memo without
+     * repeating the set search; only a hint — replay re-validates.
+     */
+    u32 lastSlot() const { return lastSlot_; }
 
     /** Invalidate everything. */
     void flush();
@@ -85,6 +148,7 @@ class SetAssocCache
     CacheConfig config_;
     u32 numSets_;
     std::vector<Line> lines_; //!< numSets_ x ways, row-major.
+    u32 lastSlot_ = 0;
     u64 tick_ = 0;
     u64 accesses_ = 0;
     u64 misses_ = 0;

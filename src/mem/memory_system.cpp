@@ -1,8 +1,10 @@
 #include "mem/memory_system.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "mem/uncore.hpp"
+#include "support/logging.hpp"
 #include "support/telemetry.hpp"
 #include "trace/profile.hpp"
 
@@ -27,8 +29,10 @@ PrivateHierarchy::PrivateHierarchy(const MemConfig &config,
                                    u32 core_id)
     : config_(config), counts_(counts), l1i_(config.l1i), l1d_(config.l1d),
       l2_(config.l2), l1iTlb_(config.l1i_tlb), l1dTlb_(config.l1d_tlb),
-      l2Tlb_(config.l2_tlb), uncore_(&uncore), core_(core_id)
+      l2Tlb_(config.l2_tlb), uncore_(&uncore), core_(core_id),
+      dataMemo_(kDataMemoSize), fetchMemo_(kFetchMemoSize)
 {
+    initShifts();
 }
 
 PrivateHierarchy::PrivateHierarchy(const MemConfig &config,
@@ -36,13 +40,46 @@ PrivateHierarchy::PrivateHierarchy(const MemConfig &config,
     : config_(config), counts_(counts), l1i_(config.l1i), l1d_(config.l1d),
       l2_(config.l2), l1iTlb_(config.l1i_tlb), l1dTlb_(config.l1d_tlb),
       l2Tlb_(config.l2_tlb), ownedUncore_(std::make_unique<Uncore>(config, 1)),
-      uncore_(ownedUncore_.get()), core_(0)
+      uncore_(ownedUncore_.get()), core_(0), dataMemo_(kDataMemoSize),
+      fetchMemo_(kFetchMemoSize)
 {
+    initShifts();
+}
+
+void
+PrivateHierarchy::initShifts()
+{
+    CHERI_ASSERT(config_.l1d_tlb.page_bytes >= config_.l1d.line_bytes &&
+                     config_.l1i_tlb.page_bytes >= config_.l1i.line_bytes,
+                 "page smaller than a cache line");
+    l1dLineShift_ = static_cast<u32>(std::countr_zero(
+        static_cast<u64>(config_.l1d.line_bytes)));
+    l1iLineShift_ = static_cast<u32>(std::countr_zero(
+        static_cast<u64>(config_.l1i.line_bytes)));
+    dataVpnShift_ = static_cast<u32>(std::countr_zero(
+                        static_cast<u64>(config_.l1d_tlb.page_bytes))) -
+                    l1dLineShift_;
+    fetchVpnShift_ = static_cast<u32>(std::countr_zero(
+                         static_cast<u64>(config_.l1i_tlb.page_bytes))) -
+                     l1iLineShift_;
 }
 
 PrivateHierarchy::~PrivateHierarchy()
 {
-    telemetry::addMemFastPath(dataFast_, dataFull_, fetchFast_, fetchFull_);
+    flushTelemetry();
+}
+
+void
+PrivateHierarchy::flushTelemetry()
+{
+    telemetry::addMemFastPath(dataFast_ - dataFastFlushed_,
+                              dataFull_ - dataFullFlushed_,
+                              fetchFast_ - fetchFastFlushed_,
+                              fetchFull_ - fetchFullFlushed_, core_);
+    dataFastFlushed_ = dataFast_;
+    dataFullFlushed_ = dataFull_;
+    fetchFastFlushed_ = fetchFast_;
+    fetchFullFlushed_ = fetchFull_;
 }
 
 const SetAssocCache &
@@ -71,24 +108,9 @@ PrivateHierarchy::translate(Addr addr, bool instruction_side, bool &walked)
 }
 
 AccessResult
-PrivateHierarchy::fetch(Addr pc)
+PrivateHierarchy::fetchSlow(Addr pc, Addr fline)
 {
-    // Fast path: an uninterrupted streak of fetches from the MRU L1I
-    // line replays the full walk's exact outcome — micro-ITLB hit and
-    // L1I hit, zero added latency — without the set searches. The
-    // fetch side touches no data-side structure (and vice versa), so
-    // the streak survives interleaved data accesses.
-    const Addr fline = pc / config_.l1i.line_bytes;
-    if (fetchFp_.valid && fline == fetchFp_.line) {
-        ++fetchFast_;
-        counts_.add(Event::L1iTlb);
-        l1iTlb_.noteFastHit();
-        counts_.add(Event::L1iCache);
-        l1i_.noteFastHit();
-        return AccessResult{};
-    }
     ++fetchFull_;
-    fetchFp_.valid = false;
 
     CHERI_TRACE_SCOPE("mem/fetch");
     AccessResult result;
@@ -97,68 +119,45 @@ PrivateHierarchy::fetch(Addr pc)
 
     counts_.add(Event::L1iCache);
     if (l1i_.access(pc, /*is_write=*/false)) {
-        result.level = MemLevel::L1;
-        if (config_.fast_path && result.latency == 0) {
-            fetchFp_.line = fline;
-            fetchFp_.valid = true;
-        }
         // L1I hits are fully pipelined: no added fetch latency.
-        return result;
-    }
-    counts_.add(Event::L1iCacheRefill);
+        result.level = MemLevel::L1;
+    } else {
+        counts_.add(Event::L1iCacheRefill);
 
-    counts_.add(Event::L2dCache);
-    if (l2_.access(pc, false)) {
-        result.level = MemLevel::L2;
-        result.latency += config_.l2_latency;
-        return result;
-    }
-    counts_.add(Event::L2dCacheRefill);
+        counts_.add(Event::L2dCache);
+        if (l2_.access(pc, false)) {
+            result.level = MemLevel::L2;
+            result.latency += config_.l2_latency;
+        } else {
+            counts_.add(Event::L2dCacheRefill);
 
-    const Uncore::Access shared =
-        uncore_->access(core_, pc, /*is_write=*/false, /*is_cap=*/false,
-                        counts_);
-    result.level = shared.level;
-    result.latency += shared.latency;
+            const Uncore::Access shared = uncore_->access(
+                core_, pc, /*is_write=*/false, /*is_cap=*/false, counts_);
+            result.level = shared.level;
+            result.latency += shared.latency;
+        }
+    }
+
+    // Arm on every fetch, miss included: the micro-ITLB refilled on a
+    // walk and the L1I allocated on a miss, so the next fetch of this
+    // line would take the hit/hit path the replay reproduces — see
+    // the matching comment in data().
+    if (config_.fast_path) {
+        InlineMemo &memo = fetchMemo_[fline & (kFetchMemoSize - 1)];
+        memo.line = fline;
+        memo.vpn = fline >> fetchVpnShift_;
+        memo.cacheSlot = l1i_.lastSlot();
+        memo.tlbSlot = l1iTlb_.lastSlot();
+        memo.valid = true;
+    }
     return result;
 }
 
 AccessResult
-PrivateHierarchy::data(Addr addr, u32 size, bool is_write, bool is_cap)
+PrivateHierarchy::dataSlow(Addr addr, bool is_write, bool is_cap,
+                           Addr dline, bool straddles)
 {
-    // An access that straddles a line boundary touches two lines; the
-    // second access is what the PMU would count as another L1D access.
-    const u64 line = config_.l1d.line_bytes;
-    const Addr dline = addr / line;
-    const bool straddles =
-        size > 0 && dline != ((addr + size - 1) / line);
-
-    // Fast path: a streak of same-line accesses whose full walk is
-    // provably a micro-DTLB hit plus an L1D hit replays the exact
-    // counts, latency and LRU tick stream without the set searches.
-    // Writes replay only onto a line already known dirty, so the
-    // skipped dirty|=is_write update is a no-op.
-    if (dataFp_.valid && dline == dataFp_.line && !straddles &&
-        (!is_write || dataFp_.dirty)) {
-        ++dataFast_;
-        counts_.add(is_write ? Event::MemAccessWr : Event::MemAccessRd);
-        if (is_cap) {
-            counts_.add(is_write ? Event::CapMemAccessWr
-                                 : Event::CapMemAccessRd);
-            counts_.add(is_write ? Event::MemAccessWrCtag
-                                 : Event::MemAccessRdCtag);
-        }
-        counts_.add(Event::L1dTlb);
-        l1dTlb_.noteFastHit();
-        counts_.add(Event::L1dCache);
-        l1d_.noteFastHit();
-        AccessResult result;
-        result.latency = config_.tag_extra_latency * (is_cap ? 1 : 0) +
-                         config_.l1_latency;
-        return result;
-    }
     ++dataFull_;
-    dataFp_.valid = false;
 
     CHERI_TRACE_SCOPE("mem/data");
     counts_.add(is_write ? Event::MemAccessWr : Event::MemAccessRd);
@@ -175,13 +174,10 @@ PrivateHierarchy::data(Addr addr, u32 size, bool is_write, bool is_cap)
     result.latency = walk;
     result.latency += config_.tag_extra_latency * (is_cap ? 1 : 0);
 
-    bool l1d_hit = false;
     for (int part = 0; part < (straddles ? 2 : 1); ++part) {
-        const Addr a = part == 0 ? addr : (dline + 1) * line;
+        const Addr a = part == 0 ? addr : (dline + 1) << l1dLineShift_;
         counts_.add(Event::L1dCache);
         if (l1d_.access(a, is_write)) {
-            if (part == 0)
-                l1d_hit = true;
             result.latency += config_.l1_latency;
             continue;
         }
@@ -201,12 +197,22 @@ PrivateHierarchy::data(Addr addr, u32 size, bool is_write, bool is_cap)
         result.latency += shared.latency;
     }
 
-    // Arm the fast path when the walk we just did is replayable: one
-    // line, micro-DTLB hit, L1D hit.
-    if (config_.fast_path && !straddles && walk == 0 && l1d_hit) {
-        dataFp_.line = dline;
-        dataFp_.valid = true;
-        dataFp_.dirty = is_write;
+    // Arm the inline cache after every single-line access, hits and
+    // misses alike: the micro-DTLB refills on a walk and the L1D
+    // write-allocates on a miss, so by this point the page and the
+    // line are both resident and the NEXT access to this line — the
+    // one the memo predicts — would take exactly the hit/hit path the
+    // replay reproduces. lastSlot() is the entry access() just
+    // touched, so arming repeats no associative search; validation
+    // re-checks both slots on every replay, so a stale memo can only
+    // fall through, never lie.
+    if (config_.fast_path && !straddles) {
+        InlineMemo &memo = dataMemo_[dline & (kDataMemoSize - 1)];
+        memo.line = dline;
+        memo.vpn = dline >> dataVpnShift_;
+        memo.cacheSlot = l1d_.lastSlot();
+        memo.tlbSlot = l1dTlb_.lastSlot();
+        memo.valid = true;
     }
     return result;
 }

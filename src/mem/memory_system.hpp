@@ -74,13 +74,16 @@ struct MemConfig
     Cycles dram_arb_penalty = 18;
 
     /**
-     * DMI-style fast path: replay repeat accesses to the MRU L1 line
-     * without the TLB/cache set searches when the outcome is provably
-     * identical (same line, no straddle, micro-TLB and L1 hit, write
-     * only onto an already-dirty line). Counts, latencies and LRU
-     * victim choices are bit-identical either way — the regression
-     * suite toggles this over the whole workload registry. Deliberately
-     * NOT part of the result-cache fingerprint.
+     * Inline-cache fast path: line-indexed memo tables remember the
+     * (line, page, cache way, TLB entry) of recent L1 hits; a repeat
+     * access whose memo still validates replays the full walk's
+     * exact outcome — same counts, same latency, same LRU mutations —
+     * without the TLB/cache associative searches. The replay performs
+     * the identical hit-side state update the search would (it is an
+     * exact replay, not a frozen streak), so counts, latencies and
+     * every later victim choice are bit-identical either way — the
+     * regression suite toggles this over the whole workload registry.
+     * Deliberately NOT part of the result-cache fingerprint.
      */
     bool fast_path = true;
 };
@@ -122,8 +125,36 @@ class PrivateHierarchy
      * Instruction fetch of the 16-byte fetch group at @p pc.
      * Counts L1I/ITLB events; refills propagate into the unified L2
      * and beyond, as on the N1.
+     *
+     * Defined inline so the inline-cache replay — the outcome of
+     * ~99% of fetches under fast_path — costs no cross-module call:
+     * a fetch whose line's memo still validates (the recorded
+     * micro-ITLB entry maps the page, the recorded L1I way holds the
+     * line) replays the full walk's exact outcome with the identical
+     * hit-side mutations, minus the associative searches. Both slots
+     * validate before either mutates, so a stale memo falls through
+     * to the out-of-line slow path with no state change.
      */
-    AccessResult fetch(Addr pc);
+    AccessResult
+    fetch(Addr pc)
+    {
+        const Addr fline = pc >> l1iLineShift_;
+        if (config_.fast_path) {
+            const InlineMemo &memo =
+                fetchMemo_[fline & (kFetchMemoSize - 1)];
+            if (memo.valid && memo.line == fline &&
+                l1iTlb_.slotHolds(memo.tlbSlot, memo.vpn) &&
+                l1i_.slotHolds(memo.cacheSlot, fline)) {
+                ++fetchFast_;
+                counts_.add(pmu::Event::L1iTlb);
+                l1iTlb_.replayHit(memo.tlbSlot);
+                counts_.add(pmu::Event::L1iCache);
+                l1i_.replayHit(memo.cacheSlot, /*is_write=*/false);
+                return AccessResult{};
+            }
+        }
+        return fetchSlow(pc, fline);
+    }
 
     /**
      * Data access.
@@ -134,8 +165,51 @@ class PrivateHierarchy
      * @param is_cap Capability-width access: counts the Morello
      *        CAP_MEM_ACCESS / MEM_ACCESS_CTAG events and pays
      *        tag_extra_latency.
+     *
+     * Inline for the same reason as fetch(): the memo replay — the
+     * common outcome under fast_path — reproduces the full walk's
+     * micro-DTLB-hit + L1D-hit path exactly, including the dirty
+     * update (stores replay as readily as loads), without the
+     * associative searches or the call into the slow path. Both
+     * slots validate before either mutates.
      */
-    AccessResult data(Addr addr, u32 size, bool is_write, bool is_cap);
+    AccessResult
+    data(Addr addr, u32 size, bool is_write, bool is_cap)
+    {
+        // An access that straddles a line boundary touches two
+        // lines; the second access is what the PMU would count as
+        // another L1D access. Straddles never replay.
+        const Addr dline = addr >> l1dLineShift_;
+        const bool straddles =
+            size > 0 && dline != ((addr + size - 1) >> l1dLineShift_);
+        if (config_.fast_path && !straddles) {
+            const InlineMemo &memo =
+                dataMemo_[dline & (kDataMemoSize - 1)];
+            if (memo.valid && memo.line == dline &&
+                l1dTlb_.slotHolds(memo.tlbSlot, memo.vpn) &&
+                l1d_.slotHolds(memo.cacheSlot, dline)) {
+                ++dataFast_;
+                counts_.add(is_write ? pmu::Event::MemAccessWr
+                                     : pmu::Event::MemAccessRd);
+                if (is_cap) {
+                    counts_.add(is_write ? pmu::Event::CapMemAccessWr
+                                         : pmu::Event::CapMemAccessRd);
+                    counts_.add(is_write ? pmu::Event::MemAccessWrCtag
+                                         : pmu::Event::MemAccessRdCtag);
+                }
+                counts_.add(pmu::Event::L1dTlb);
+                l1dTlb_.replayHit(memo.tlbSlot);
+                counts_.add(pmu::Event::L1dCache);
+                l1d_.replayHit(memo.cacheSlot, is_write);
+                AccessResult result;
+                result.latency =
+                    config_.tag_extra_latency * (is_cap ? 1 : 0) +
+                    config_.l1_latency;
+                return result;
+            }
+        }
+        return dataSlow(addr, is_write, is_cap, dline, straddles);
+    }
 
     const MemConfig &config() const { return config_; }
     u32 coreId() const { return core_; }
@@ -156,24 +230,51 @@ class PrivateHierarchy
     u64 dataFastHits() const { return dataFast_; }
     u64 fetchFastHits() const { return fetchFast_; }
 
+    /**
+     * Flush fast-path telemetry deltas accumulated since the last
+     * flush into the process-wide totals, attributed to this core.
+     * sim::Core::finalize() calls this once per run so a Machine
+     * reused across runs reports each run's coverage inside that
+     * run's snapshot window; the destructor flushes any remainder.
+     */
+    void flushTelemetry();
+
   private:
     /** Translate; returns walk latency contribution (0 on TLB hit). */
     Cycles translate(Addr addr, bool instruction_side, bool &walked);
 
+    /** Derive the shift forms of the line/page geometry (ctors). */
+    void initShifts();
+
+    /** Full fetch walk: everything past the inline memo replay. */
+    AccessResult fetchSlow(Addr pc, Addr fline);
+
+    /** Full data walk: everything past the inline memo replay. */
+    AccessResult dataSlow(Addr addr, bool is_write, bool is_cap,
+                          Addr dline, bool straddles);
+
     /**
-     * One MRU fast-path entry. Valid only during an uninterrupted
-     * streak of accesses to the same L1 line on this side (any
-     * non-matching access invalidates it before walking the full
-     * hierarchy), which is what makes the frozen-lastUse replay
-     * argument airtight: during the streak no other line of the
-     * replayed structures is touched.
+     * One inline-cache memo: the slots a recent L1 hit to this line
+     * went through. Purely a hint — the fast path re-validates both
+     * slots (tag compare each) before mutating anything, so eviction
+     * or flush can never make a replay wrong, only make it fall back.
+     * vpn is recorded at arm time so validation needs no division:
+     * same line implies same page.
      */
-    struct FastEntry
+    struct InlineMemo
     {
-        Addr line = 0;
+        Addr line = 0; //!< L1 line address this memo predicts.
+        Addr vpn = 0;  //!< That line's virtual page number.
+        u32 cacheSlot = 0;
+        u32 tlbSlot = 0;
         bool valid = false;
-        bool dirty = false; //!< Line known dirty (write at arm time).
     };
+    // Memo tables are direct-mapped by line; sizing them well above
+    // the L1 line count keeps two resident-but-aliasing hot lines
+    // from thrashing each other's memo (the L1 itself is set
+    // associative, so both lines can coexist there).
+    static constexpr u32 kDataMemoSize = 8192;
+    static constexpr u32 kFetchMemoSize = 2048;
 
     MemConfig config_;
     pmu::EventCounts &counts_;
@@ -187,12 +288,28 @@ class PrivateHierarchy
     Uncore *uncore_;
     u32 core_ = 0;
 
-    FastEntry dataFp_;
-    FastEntry fetchFp_;
+    // Shift forms of the power-of-two line and page geometry (both
+    // asserted at construction): `addr >> lineShift` is exactly
+    // `addr / line_bytes` for unsigned addresses, and nesting the
+    // divisions gives `vpn = line >> vpnShift`. Pure strength
+    // reduction — the hot path sheds its runtime-divisor divides
+    // without changing a single quotient.
+    u32 l1dLineShift_ = 0;
+    u32 l1iLineShift_ = 0;
+    u32 dataVpnShift_ = 0;
+    u32 fetchVpnShift_ = 0;
+
+    std::vector<InlineMemo> dataMemo_;
+    std::vector<InlineMemo> fetchMemo_;
     u64 dataFast_ = 0;
     u64 dataFull_ = 0;
     u64 fetchFast_ = 0;
     u64 fetchFull_ = 0;
+    // Already-flushed telemetry baselines (per-run delta reporting).
+    u64 dataFastFlushed_ = 0;
+    u64 dataFullFlushed_ = 0;
+    u64 fetchFastFlushed_ = 0;
+    u64 fetchFullFlushed_ = 0;
 };
 
 /** Pre-split name; single-core call sites use the two-arg ctor. */

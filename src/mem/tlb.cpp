@@ -33,6 +33,7 @@ Tlb::access(Addr addr)
         Entry &entry = base[w];
         if (entry.valid && entry.vpn == vpn) {
             entry.lastUse = tick_;
+            lastSlot_ = set * ways_ + w;
             return true;
         }
         if (!entry.valid) {
@@ -46,6 +47,7 @@ Tlb::access(Addr addr)
     victim->valid = true;
     victim->vpn = vpn;
     victim->lastUse = tick_;
+    lastSlot_ = static_cast<u32>(victim - entries_.data());
     return false;
 }
 

@@ -30,6 +30,55 @@ class Tlb
     /** Translate the page containing @p addr; allocate on miss. */
     bool access(Addr addr);
 
+    /** Sentinel for probeSlot(): the page is not resident. */
+    static constexpr u32 kNoSlot = ~u32{0};
+
+    /**
+     * Index of the entry currently mapping @p addr's page, or
+     * kNoSlot. Pure probe: no counters, no LRU movement; the hint is
+     * re-validated by replayHit() before use.
+     */
+    u32
+    probeSlot(Addr addr) const
+    {
+        const Addr vpn = addr / config_.page_bytes;
+        const u32 set = static_cast<u32>(vpn & (numSets_ - 1));
+        const Entry *base = &entries_[static_cast<std::size_t>(set) * ways_];
+        for (u32 w = 0; w < ways_; ++w)
+            if (base[w].valid && base[w].vpn == vpn)
+                return set * ways_ + w;
+        return kNoSlot;
+    }
+
+    /**
+     * Does @p slot (a probeSlot() hint) still map @p vpn (a virtual
+     * page number, i.e. addr / page_bytes)? Pure check; see
+     * SetAssocCache::slotHolds().
+     */
+    bool
+    slotHolds(u32 slot, Addr vpn) const
+    {
+        const Entry &entry = entries_[slot];
+        return entry.valid && entry.vpn == vpn;
+    }
+
+    /**
+     * Replay a hit through a slot the caller just validated with
+     * slotHolds(): exactly the mutation access() performs on a hit
+     * (count, tick, LRU touch), minus the associative search — the
+     * search this skips is the expensive one: the N1 micro-TLBs are
+     * 48-entry fully-associative linear scans. Same equivalence
+     * argument as SetAssocCache::replayHit().
+     */
+    void
+    replayHit(u32 slot)
+    {
+        Entry &entry = entries_[slot];
+        ++accesses_;
+        ++tick_;
+        entry.lastUse = tick_;
+    }
+
     /**
      * Account one hit replayed by the owner's fast path; same
      * contract as SetAssocCache::noteFastHit().
@@ -40,6 +89,14 @@ class Tlb
         ++accesses_;
         ++tick_;
     }
+
+    /**
+     * Entry the most recent access() touched: the hit entry, or the
+     * one the miss refilled (the walker always refills, so the page
+     * is resident either way). A memo-arming hint, re-validated by
+     * slotHolds() before any replay — see SetAssocCache::lastSlot().
+     */
+    u32 lastSlot() const { return lastSlot_; }
 
     void flush();
 
@@ -65,6 +122,7 @@ class Tlb
     u32 numSets_;
     u32 ways_;
     std::vector<Entry> entries_;
+    u32 lastSlot_ = 0;
     u64 tick_ = 0;
     u64 accesses_ = 0;
     u64 misses_ = 0;

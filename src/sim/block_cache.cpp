@@ -13,7 +13,17 @@ using uarch::DynOp;
 
 BlockCache::~BlockCache()
 {
-    telemetry::addBlockCache(hits_, misses_, opsReplayed_);
+    flushTelemetry();
+}
+
+void
+BlockCache::flushTelemetry()
+{
+    telemetry::addBlockCache(hits_ - hitsFlushed_, misses_ - missesFlushed_,
+                             opsReplayed_ - opsFlushed_);
+    hitsFlushed_ = hits_;
+    missesFlushed_ = misses_;
+    opsFlushed_ = opsReplayed_;
 }
 
 const BlockCache::DecodedProgram &

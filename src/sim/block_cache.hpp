@@ -24,8 +24,9 @@
  * distinct entries.
  *
  * Self-stats (block entries served from the cache, programs decoded,
- * ops replayed from decoded arrays) flush to telemetry on
- * destruction and surface under --profile.
+ * ops replayed from decoded arrays) flush to telemetry as per-run
+ * deltas — Core::run() flushes at the end of each run, the destructor
+ * flushes the remainder — and surface under --profile.
  */
 
 #ifndef CHERI_SIM_BLOCK_CACHE_HPP
@@ -97,12 +98,24 @@ class BlockCache
     u64 misses() const { return misses_; }
     u64 opsReplayed() const { return opsReplayed_; }
 
+    /**
+     * Flush accumulated self-stats to telemetry:: as deltas since the
+     * last flush. Core::run() calls this at the end of every run so
+     * per-run telemetry snapshots attribute the stats to the run that
+     * generated them even when the cache is shared across runs; the
+     * destructor flushes whatever remains.
+     */
+    void flushTelemetry();
+
   private:
     std::map<std::pair<const isa::Program *, bool>, DecodedProgram>
         programs_;
     u64 hits_ = 0;
     u64 misses_ = 0;
     u64 opsReplayed_ = 0;
+    u64 hitsFlushed_ = 0;
+    u64 missesFlushed_ = 0;
+    u64 opsFlushed_ = 0;
 };
 
 } // namespace cheri::sim

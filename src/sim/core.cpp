@@ -6,6 +6,7 @@
 
 #include "mem/uncore.hpp"
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 #include "trace/profile.hpp"
 
 namespace cheri::sim {
@@ -54,6 +55,9 @@ Core::finalize()
     CHERI_ASSERT(!finalized_, "finalize called twice");
     finalized_ = true;
     pipe_->finish();
+    // Flush this run's memory fast-path deltas so per-run telemetry
+    // snapshots see them even when the hierarchy outlives the run.
+    memory_->flushTelemetry();
 
     SimResult result;
     result.counts = counts_;
@@ -103,15 +107,44 @@ Core::run(const isa::Program &program, BlockCache &blocks,
     ExecCursor cursor{program.function(entry).entry, 0};
     callStack_.clear();
 
+    // Chained execution: each block's last indirect target is memoized
+    // per run (monomorphic inline cache over BlockIds), so chained
+    // traces — fallthrough links, static BlockId branch targets, and
+    // validated indirect memos — never probe the pc→block hash map.
+    std::vector<isa::BlockId> indirectMemo;
+    if (config_.chain_blocks)
+        indirectMemo.assign(decoded.blocks.size(), isa::kNoBlock);
+    std::vector<isa::BlockId> *memo =
+        config_.chain_blocks ? &indirectMemo : nullptr;
+    chainHits_ = 0;
+    chainMisses_ = 0;
+
+    // DynOps buffer up per decoded block and issue through one
+    // issueBlock() call at every block entry; cap the buffer so a
+    // pathological single-block program still flushes periodically.
+    constexpr std::size_t kIssueBufMax = 256;
+    issueBuf_.clear();
+    issueBuf_.reserve(kIssueBufMax);
+
     u64 executed = 0;
     while (executed < config_.max_insts) {
-        if (!step(decoded, program, cache, cursor, partial))
+        if (!step(decoded, program, cache, cursor, partial, memo))
             break;
         ++executed;
+        if (cursor.index == 0 || issueBuf_.size() >= kIssueBufMax)
+            flushIssueBuf();
     }
+    flushIssueBuf();
     cache.noteOpsReplayed(executed);
 
     pipe_->detachHooks(&hooks);
+
+    // Per-run telemetry: this run's chain transitions, block-cache
+    // deltas and memory fast-path deltas land inside this run's
+    // snapshot window even when the cache/machine outlives it.
+    if (config_.chain_blocks)
+        telemetry::addBlockChain(chainHits_, chainMisses_);
+    cache.flushTelemetry();
 
     SimResult result = finalize();
     result.halted = partial.halted;
@@ -122,16 +155,21 @@ Core::run(const isa::Program &program, BlockCache &blocks,
 bool
 Core::step(const BlockCache::DecodedProgram &decoded,
            const isa::Program &program, BlockCache &blocks,
-           ExecCursor &cursor, SimResult &result)
+           ExecCursor &cursor, SimResult &result,
+           std::vector<isa::BlockId> *indirect_memo)
 {
     const BlockCache::DecodedBlock *block = &decoded.blocks[cursor.block];
-    // Implicit fallthrough (empty-block chains pre-folded at decode).
+    // Implicit fallthrough (empty-block chains pre-folded at decode):
+    // a chained transition — the successor link is part of the
+    // decoded block, no map probe.
     if (cursor.index >= block->ops.size()) {
         if (block->fallthrough == isa::kNoBlock)
             return false;
         cursor.block = block->fallthrough;
         cursor.index = 0;
         block = &decoded.blocks[cursor.block];
+        if (indirect_memo != nullptr)
+            ++chainHits_;
     }
     if (cursor.index == 0)
         blocks.noteBlockEntry();
@@ -152,82 +190,89 @@ Core::step(const BlockCache::DecodedProgram &decoded,
     ExecCursor next{cursor.block, cursor.index + 1};
 
     auto fault_out = [&](const CapFault &fault) {
+        // Drain the buffered ops first: observers must see every op
+        // issued before the fault, exactly as with per-op issue.
+        flushIssueBuf();
         result.fault = fault;
         pipe_->notifyFault(pc);
         return false;
     };
 
+    // Set when a block transition had to probe the pc→block map
+    // (indirect-memo miss); chained transitions count as hits below.
+    bool probed = false;
+
     switch (inst.op) {
       case Opcode::Nop:
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::MovImm:
         regs_.setX(inst.rd, static_cast<u64>(inst.imm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::MovReg:
         regs_.setX(inst.rd, regs_.x(inst.rn));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::Add:
         regs_.setX(inst.rd, regs_.x(inst.rn) + regs_.x(inst.rm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::AddImm:
         regs_.setX(inst.rd, regs_.x(inst.rn) + static_cast<u64>(inst.imm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::Sub:
         regs_.setX(inst.rd, regs_.x(inst.rn) - regs_.x(inst.rm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::SubImm:
         regs_.setX(inst.rd, regs_.x(inst.rn) - static_cast<u64>(inst.imm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::And:
         regs_.setX(inst.rd, regs_.x(inst.rn) & regs_.x(inst.rm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::Orr:
         regs_.setX(inst.rd, regs_.x(inst.rn) | regs_.x(inst.rm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::Eor:
         regs_.setX(inst.rd, regs_.x(inst.rn) ^ regs_.x(inst.rm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::Lsl:
         regs_.setX(inst.rd, regs_.x(inst.rn) << (inst.imm & 63));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::Lsr:
         regs_.setX(inst.rd, regs_.x(inst.rn) >> (inst.imm & 63));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::Mul:
         regs_.setX(inst.rd, regs_.x(inst.rn) * regs_.x(inst.rm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::Madd:
         regs_.setX(inst.rd, regs_.x(inst.ra) +
                                 regs_.x(inst.rn) * regs_.x(inst.rm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::Udiv: {
         const u64 div = regs_.x(inst.rm);
         regs_.setX(inst.rd, div ? regs_.x(inst.rn) / div : 0);
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       }
       case Opcode::Cmp:
         regs_.setFlags(static_cast<s64>(regs_.x(inst.rn)),
                        static_cast<s64>(regs_.x(inst.rm)));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CmpImm:
         regs_.setFlags(static_cast<s64>(regs_.x(inst.rn)), inst.imm);
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
 
       case Opcode::FAdd:
@@ -246,7 +291,7 @@ Core::step(const BlockCache::DecodedProgram &decoded,
           default: value = b != 0.0 ? a / b : 0.0; break;
         }
         regs_.setX(inst.rd, std::bit_cast<u64>(value));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       }
 
@@ -256,7 +301,7 @@ Core::step(const BlockCache::DecodedProgram &decoded,
       case Opcode::VDot:
         // SIMD values are abstracted; keep dataflow deterministic.
         regs_.setX(inst.rd, regs_.x(inst.rn) + regs_.x(inst.rm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
 
       case Opcode::Ldr: {
@@ -268,7 +313,7 @@ Core::step(const BlockCache::DecodedProgram &decoded,
         DynOp d = dop.tmpl;
         d.addr = addr;
         d.dependsOnLoad = dependent;
-        pipe_->issue(d);
+        issueBuf_.push_back(d);
         lastLoadDest_ = inst.rd;
         chaseCredit_ = 4;
         break;
@@ -281,7 +326,7 @@ Core::step(const BlockCache::DecodedProgram &decoded,
         store_.write(addr, regs_.x(inst.rd), inst.size);
         DynOp d = dop.tmpl;
         d.addr = addr;
-        pipe_->issue(d);
+        issueBuf_.push_back(d);
         break;
       }
       case Opcode::LdrCap: {
@@ -296,7 +341,7 @@ Core::step(const BlockCache::DecodedProgram &decoded,
         DynOp d = dop.tmpl;
         d.addr = addr;
         d.dependsOnLoad = dependent;
-        pipe_->issue(d);
+        issueBuf_.push_back(d);
         lastLoadDest_ = inst.rd;
         chaseCredit_ = 4;
         break;
@@ -312,69 +357,69 @@ Core::step(const BlockCache::DecodedProgram &decoded,
         store_.writeCap(addr, regs_.c(inst.rd));
         DynOp d = dop.tmpl;
         d.addr = addr;
-        pipe_->issue(d);
+        issueBuf_.push_back(d);
         break;
       }
 
       case Opcode::CSetBounds:
         regs_.setC(inst.rd, regs_.c(inst.rn).setBounds(regs_.x(inst.rm)));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CSetBoundsImm:
         regs_.setC(inst.rd, regs_.c(inst.rn).setBounds(
                                 static_cast<u64>(inst.imm)));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CIncOffset:
         regs_.setC(inst.rd, regs_.c(inst.rn).add(
                                 static_cast<s64>(regs_.x(inst.rm))));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CIncOffsetImm:
         regs_.setC(inst.rd, regs_.c(inst.rn).add(inst.imm));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CSetAddr:
         regs_.setC(inst.rd,
                    regs_.c(inst.rn).withAddress(regs_.x(inst.rm)));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CAndPerm:
         regs_.setC(inst.rd, regs_.c(inst.rn).withPerms(cap::PermSet(
                                 static_cast<u16>(regs_.x(inst.rm)))));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CClearTag:
         regs_.setC(inst.rd, regs_.c(inst.rn).withoutTag());
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CSeal:
         regs_.setC(inst.rd, regs_.c(inst.rn).sealWith(regs_.c(inst.rm)));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CUnseal:
         regs_.setC(inst.rd, regs_.c(inst.rn).unsealWith(regs_.c(inst.rm)));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CGetBase:
         regs_.setX(inst.rd, regs_.c(inst.rn).base());
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CGetLen:
         regs_.setX(inst.rd, regs_.c(inst.rn).length());
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CGetTag:
         regs_.setX(inst.rd, regs_.c(inst.rn).tag() ? 1 : 0);
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CGetAddr:
         regs_.setX(inst.rd, regs_.c(inst.rn).address());
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::CMove:
         regs_.setC(inst.rd, regs_.c(inst.rn));
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::LeaFunc: {
         const auto func = static_cast<isa::FuncId>(inst.imm);
@@ -384,13 +429,13 @@ Core::step(const BlockCache::DecodedProgram &decoded,
             regs_.setC(inst.rd, pcc_.withAddress(addr));
         else
             regs_.setX(inst.rd, addr);
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       }
 
       case Opcode::B:
         next = ExecCursor{inst.target, 0};
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       case Opcode::BCond: {
         const bool taken = regs_.condHolds(inst.cond);
@@ -398,14 +443,14 @@ Core::step(const BlockCache::DecodedProgram &decoded,
             next = ExecCursor{inst.target, 0};
         DynOp d = dop.tmpl;
         d.taken = taken;
-        pipe_->issue(d);
+        issueBuf_.push_back(d);
         break;
       }
       case Opcode::Bl: {
         callStack_.push_back(next);
         regs_.setC(isa::kRegLr, pcc_.withAddress(pc + 4));
         next = ExecCursor{inst.target, 0};
-        pipe_->issue(dop.tmpl);
+        issueBuf_.push_back(dop.tmpl);
         break;
       }
       case Opcode::Br:
@@ -416,13 +461,35 @@ Core::step(const BlockCache::DecodedProgram &decoded,
                                                 regs_.x(inst.rn));
         if (auto fault = target_cap.checkExecute(target_cap.address()))
             return fault_out(*fault);
-        const auto tgt_it = decoded.blockByAddr.find(target_cap.address());
-        const isa::BlockId target = tgt_it == decoded.blockByAddr.end()
-                                        ? isa::kNoBlock
-                                        : tgt_it->second;
+        const Addr target_addr = target_cap.address();
+        isa::BlockId target = isa::kNoBlock;
+        if (indirect_memo != nullptr) {
+            // Monomorphic indirect memo: this block's last indirect
+            // target, validated against the actual target address, so
+            // a stale memo can only fall back to the probe — never
+            // change where execution goes.
+            isa::BlockId &slot = (*indirect_memo)[cursor.block];
+            if (slot != isa::kNoBlock &&
+                decoded.blocks[slot].address == target_addr) {
+                target = slot;
+            } else {
+                probed = true;
+                ++chainMisses_;
+                const auto tgt_it = decoded.blockByAddr.find(target_addr);
+                target = tgt_it == decoded.blockByAddr.end()
+                             ? isa::kNoBlock
+                             : tgt_it->second;
+                if (target != isa::kNoBlock)
+                    slot = target;
+            }
+        } else {
+            const auto tgt_it = decoded.blockByAddr.find(target_addr);
+            target = tgt_it == decoded.blockByAddr.end() ? isa::kNoBlock
+                                                         : tgt_it->second;
+        }
         if (target == isa::kNoBlock)
             return fault_out(CapFault{CapFaultKind::BoundsViolation,
-                                      target_cap.address(), 4});
+                                      target_addr, 4});
         if (inst.op == Opcode::Blr) {
             callStack_.push_back(next);
             regs_.setC(isa::kRegLr, pcc_.withAddress(pc + 4));
@@ -430,12 +497,12 @@ Core::step(const BlockCache::DecodedProgram &decoded,
         next = ExecCursor{target, 0};
         DynOp d = dop.tmpl;
         d.target = target_cap.address();
-        pipe_->issue(d);
+        issueBuf_.push_back(d);
         break;
       }
       case Opcode::Ret: {
         if (callStack_.empty()) {
-            pipe_->issue(dop.tmpl);
+            issueBuf_.push_back(dop.tmpl);
             result.halted = true;
             return false;
         }
@@ -443,7 +510,7 @@ Core::step(const BlockCache::DecodedProgram &decoded,
         callStack_.pop_back();
         DynOp d = dop.tmpl;
         d.target = decoded.blocks[next.block].address + next.index * 4;
-        pipe_->issue(d);
+        issueBuf_.push_back(d);
         break;
       }
 
@@ -453,6 +520,13 @@ Core::step(const BlockCache::DecodedProgram &decoded,
       case Opcode::Brk:
         return false;
     }
+
+    // Chain accounting: a block-entry transition that did not probe
+    // the pc→block map rode a chained link (static BlockId target or
+    // validated indirect memo; fallthrough counts at the top of the
+    // next step).
+    if (indirect_memo != nullptr && next.index == 0 && !probed)
+        ++chainHits_;
 
     cursor = next;
     return true;

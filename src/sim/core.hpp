@@ -56,6 +56,20 @@ struct MachineConfig
     bool block_cache = true;
 
     /**
+     * Escape hatch (--set machine.chain_blocks=off): when true,
+     * Core::run executes chained traces — block→block transitions
+     * resolve through the decoded successor links (pre-folded
+     * fallthrough, static BlockId branch targets) plus a per-run
+     * monomorphic memo for each block's last indirect target, so the
+     * hot loop never probes the pc→block hash map on a chained
+     * transition. The memo is validated against the actual branch
+     * target address before use and the executed op stream is
+     * unchanged, so results are bit-identical either way; like
+     * block_cache this is NOT part of the cell fingerprint.
+     */
+    bool chain_blocks = true;
+
+    /**
      * Core slices sharing one uncore (Morello is quad-core; §2.1).
      * 1 = the classic single-core machine, bit-identical to the
      * pre-split model.
@@ -149,11 +163,33 @@ class Core
     /**
      * Execute one instruction from the decoded program; returns false
      * when execution ends. @p program is only consulted for the rare
-     * ops that need function metadata (LeaFunc).
+     * ops that need function metadata (LeaFunc). @p indirect_memo is
+     * this run's per-block monomorphic indirect-branch memo (one
+     * BlockId per block, lazily patched on first execution), or
+     * nullptr when chain_blocks is off — indirect branches then
+     * always probe the pc→block map, as the pre-chaining executor
+     * did.
+     *
+     * Timing ops are appended to issueBuf_, not issued directly;
+     * run() flushes the buffer through PipelineModel::issueBlock() at
+     * every block entry (and step() itself flushes before dispatching
+     * a fault), so the pipeline consumes whole decoded blocks per
+     * call while the per-op issue order is exactly preserved.
      */
     bool step(const BlockCache::DecodedProgram &decoded,
               const isa::Program &program, BlockCache &blocks,
-              ExecCursor &cursor, SimResult &result);
+              ExecCursor &cursor, SimResult &result,
+              std::vector<isa::BlockId> *indirect_memo);
+
+    /** Issue all buffered DynOps through the pipeline, in order. */
+    void
+    flushIssueBuf()
+    {
+        if (!issueBuf_.empty()) {
+            pipe_->issueBlock(issueBuf_.data(), issueBuf_.size());
+            issueBuf_.clear();
+        }
+    }
 
     /** The capability used for addressing by a memory instruction. */
     cap::Capability addressingCap(u8 rn) const;
@@ -176,6 +212,13 @@ class Core
     /** Pointer-chase detection: last load destination + freshness. */
     u8 lastLoadDest_ = isa::kRegZero;
     u32 chaseCredit_ = 0;
+
+    /** Pending DynOps awaiting a batched issueBlock() flush. */
+    std::vector<uarch::DynOp> issueBuf_;
+
+    // Per-run chained-execution stats (telemetry; reset by run()).
+    u64 chainHits_ = 0;
+    u64 chainMisses_ = 0;
 };
 
 } // namespace cheri::sim

@@ -1,5 +1,6 @@
 #include "support/telemetry.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 namespace cheri::telemetry {
@@ -17,6 +18,19 @@ struct Totals
     std::atomic<u64> block_hits{0};
     std::atomic<u64> block_misses{0};
     std::atomic<u64> block_ops{0};
+    std::atomic<u64> chain_hits{0};
+    std::atomic<u64> chain_misses{0};
+    std::atomic<u64> batch_calls{0};
+    std::atomic<u64> batch_ops{0};
+
+    struct CoreSlice
+    {
+        std::atomic<u64> data_fast{0};
+        std::atomic<u64> data_full{0};
+        std::atomic<u64> fetch_fast{0};
+        std::atomic<u64> fetch_full{0};
+    };
+    CoreSlice cores[kMaxCoreSlices];
 };
 
 Totals &
@@ -33,16 +47,28 @@ bump(std::atomic<u64> &slot, u64 n)
         slot.fetch_add(n, std::memory_order_relaxed);
 }
 
+u32
+sliceFor(u32 core)
+{
+    return std::min(core, kMaxCoreSlices - 1);
+}
+
 } // namespace
 
 void
-addMemFastPath(u64 data_fast, u64 data_full, u64 fetch_fast, u64 fetch_full)
+addMemFastPath(u64 data_fast, u64 data_full, u64 fetch_fast, u64 fetch_full,
+               u32 core)
 {
     Totals &t = totals();
     bump(t.data_fast, data_fast);
     bump(t.data_full, data_full);
     bump(t.fetch_fast, fetch_fast);
     bump(t.fetch_full, fetch_full);
+    Totals::CoreSlice &slice = t.cores[sliceFor(core)];
+    bump(slice.data_fast, data_fast);
+    bump(slice.data_full, data_full);
+    bump(slice.fetch_fast, fetch_fast);
+    bump(slice.fetch_full, fetch_full);
 }
 
 void
@@ -62,6 +88,22 @@ addBlockCache(u64 hits, u64 misses, u64 ops_replayed)
     bump(t.block_ops, ops_replayed);
 }
 
+void
+addBlockChain(u64 hits, u64 misses)
+{
+    Totals &t = totals();
+    bump(t.chain_hits, hits);
+    bump(t.chain_misses, misses);
+}
+
+void
+addBatchIssue(u64 calls, u64 ops)
+{
+    Totals &t = totals();
+    bump(t.batch_calls, calls);
+    bump(t.batch_ops, ops);
+}
+
 HotPathStats
 snapshot()
 {
@@ -76,6 +118,22 @@ snapshot()
     s.block_hits = t.block_hits.load(std::memory_order_relaxed);
     s.block_misses = t.block_misses.load(std::memory_order_relaxed);
     s.block_ops_replayed = t.block_ops.load(std::memory_order_relaxed);
+    s.chain_hits = t.chain_hits.load(std::memory_order_relaxed);
+    s.chain_misses = t.chain_misses.load(std::memory_order_relaxed);
+    s.batch_calls = t.batch_calls.load(std::memory_order_relaxed);
+    s.batch_ops = t.batch_ops.load(std::memory_order_relaxed);
+    return s;
+}
+
+CoreMemStats
+coreSnapshot(u32 core)
+{
+    const Totals::CoreSlice &slice = totals().cores[sliceFor(core)];
+    CoreMemStats s;
+    s.data_fast = slice.data_fast.load(std::memory_order_relaxed);
+    s.data_full = slice.data_full.load(std::memory_order_relaxed);
+    s.fetch_fast = slice.fetch_fast.load(std::memory_order_relaxed);
+    s.fetch_full = slice.fetch_full.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -92,6 +150,16 @@ reset()
     t.block_hits.store(0, std::memory_order_relaxed);
     t.block_misses.store(0, std::memory_order_relaxed);
     t.block_ops.store(0, std::memory_order_relaxed);
+    t.chain_hits.store(0, std::memory_order_relaxed);
+    t.chain_misses.store(0, std::memory_order_relaxed);
+    t.batch_calls.store(0, std::memory_order_relaxed);
+    t.batch_ops.store(0, std::memory_order_relaxed);
+    for (auto &slice : t.cores) {
+        slice.data_fast.store(0, std::memory_order_relaxed);
+        slice.data_full.store(0, std::memory_order_relaxed);
+        slice.fetch_fast.store(0, std::memory_order_relaxed);
+        slice.fetch_full.store(0, std::memory_order_relaxed);
+    }
 }
 
 void
@@ -102,7 +170,9 @@ report(std::FILE *out)
                          s.fetch_full + s.uncore_fast + s.uncore_full >
                      0;
     const bool blocks = s.block_hits + s.block_misses > 0;
-    if (!mem && !blocks)
+    const bool chain = s.chain_hits + s.chain_misses > 0;
+    const bool batch = s.batch_calls > 0;
+    if (!mem && !blocks && !chain && !batch)
         return;
     std::fprintf(out, "[hotpath]\n");
     if (mem) {
@@ -119,6 +189,37 @@ report(std::FILE *out)
         std::fprintf(out, "  uncore      : %llu fast / %llu full\n",
                      static_cast<unsigned long long>(s.uncore_fast),
                      static_cast<unsigned long long>(s.uncore_full));
+        // Per-core attribution only when more than one core was active
+        // (a co-run); solo runs would just repeat the totals.
+        u32 active = 0;
+        for (u32 c = 0; c < kMaxCoreSlices; ++c) {
+            const CoreMemStats cs = coreSnapshot(c);
+            if (cs.data_fast + cs.data_full + cs.fetch_fast +
+                    cs.fetch_full >
+                0)
+                ++active;
+        }
+        if (active > 1) {
+            for (u32 c = 0; c < kMaxCoreSlices; ++c) {
+                const CoreMemStats cs = coreSnapshot(c);
+                const u64 data = cs.data_fast + cs.data_full;
+                const u64 fetch = cs.fetch_fast + cs.fetch_full;
+                if (data + fetch == 0)
+                    continue;
+                const double dcov =
+                    data ? 100.0 * static_cast<double>(cs.data_fast) /
+                               static_cast<double>(data)
+                         : 0.0;
+                const double fcov =
+                    fetch ? 100.0 * static_cast<double>(cs.fetch_fast) /
+                                static_cast<double>(fetch)
+                          : 0.0;
+                std::fprintf(out,
+                             "    core %u    : data %.1f%% fast, "
+                             "fetch %.1f%% fast\n",
+                             c, dcov, fcov);
+            }
+        }
     }
     if (blocks)
         std::fprintf(
@@ -129,6 +230,19 @@ report(std::FILE *out)
             static_cast<unsigned long long>(s.block_misses),
             100.0 * s.blockHitRate(),
             static_cast<unsigned long long>(s.block_ops_replayed));
+    if (chain)
+        std::fprintf(
+            out,
+            "  block chain : %llu chained / %llu probed (%.1f%% chained)\n",
+            static_cast<unsigned long long>(s.chain_hits),
+            static_cast<unsigned long long>(s.chain_misses),
+            100.0 * s.chainHitRate());
+    if (batch)
+        std::fprintf(out,
+                     "  batch issue : %llu calls, %llu ops (%.1f ops/call)\n",
+                     static_cast<unsigned long long>(s.batch_calls),
+                     static_cast<unsigned long long>(s.batch_ops),
+                     s.opsPerBatch());
 }
 
 } // namespace cheri::telemetry

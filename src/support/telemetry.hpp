@@ -2,14 +2,21 @@
  * @file
  * Process-wide hot-path self-statistics.
  *
- * The decoded-block cache and the memory fast path keep per-instance
- * plain counters on their own hot paths (no atomics, no sharing);
- * each instance flushes them here exactly once, from its destructor,
- * into process-wide atomic totals. `--profile` prints the aggregate
- * next to the wall-clock profiler so a sweep reports its own
- * block-cache hit rate and fast-path coverage, and the bench
- * harness (tools/bench_throughput) emits the same numbers into
- * BENCH_throughput.json.
+ * The decoded-block cache, the chained execution loop, the batched
+ * pipeline issue path and the memory fast path keep per-instance
+ * plain counters on their own hot paths (no atomics, no sharing).
+ * Each owner flushes *deltas* here at run boundaries — sim::Core::
+ * finalize() for the memory hierarchy and chain stats, PipelineModel::
+ * finish() for batch-issue stats, decode time for block-cache misses —
+ * with the destructor flushing any remainder. Flushing per run (not
+ * only on destruction) keeps the totals attributable: a BlockCache or
+ * Machine shared across runs contributes each run's work inside that
+ * run's snapshot window, so `--trace=profile` coverage numbers and
+ * the bench harness's per-phase reset()/snapshot() brackets see
+ * exactly the work of their own phase.
+ *
+ * Memory fast-path counters are additionally sliced per core id so a
+ * co-run's lanes are individually attributable.
  *
  * Telemetry is observational only: nothing model-visible reads it,
  * so it can never perturb simulated counts or cycles.
@@ -24,11 +31,14 @@
 
 namespace cheri::telemetry {
 
+/** Per-core ids at or above this alias into the last slice. */
+constexpr u32 kMaxCoreSlices = 8;
+
 /** Snapshot of the process-wide hot-path totals. */
 struct HotPathStats
 {
-    // mem::PrivateHierarchy data()/fetch() fast-path replays vs full
-    // hierarchy walks.
+    // mem::PrivateHierarchy data()/fetch() inline-cache replays vs
+    // full hierarchy walks.
     u64 data_fast = 0;
     u64 data_full = 0;
     u64 fetch_fast = 0;
@@ -40,6 +50,14 @@ struct HotPathStats
     u64 block_hits = 0;
     u64 block_misses = 0;
     u64 block_ops_replayed = 0; //!< DynOps issued from cached blocks.
+    // sim::Core chained-trace execution: block→block transitions
+    // resolved through successor links vs those needing the pc→block
+    // hash probe (indirect-memo misses and chain-disabled runs).
+    u64 chain_hits = 0;
+    u64 chain_misses = 0;
+    // uarch::PipelineModel::issueBlock batched path.
+    u64 batch_calls = 0; //!< issueBlock calls that took the batch path.
+    u64 batch_ops = 0;   //!< DynOps retired through those calls.
 
     double
     dataCoverage() const
@@ -59,20 +77,54 @@ struct HotPathStats
         const u64 total = block_hits + block_misses;
         return total ? static_cast<double>(block_hits) / total : 0.0;
     }
+    double
+    chainHitRate() const
+    {
+        const u64 total = chain_hits + chain_misses;
+        return total ? static_cast<double>(chain_hits) / total : 0.0;
+    }
+    double
+    opsPerBatch() const
+    {
+        return batch_calls ? static_cast<double>(batch_ops) / batch_calls
+                           : 0.0;
+    }
 };
 
-/** Flush one memory hierarchy's counters (PrivateHierarchy dtor). */
+/** One core's slice of the memory fast-path counters. */
+struct CoreMemStats
+{
+    u64 data_fast = 0;
+    u64 data_full = 0;
+    u64 fetch_fast = 0;
+    u64 fetch_full = 0;
+};
+
+/**
+ * Flush one memory hierarchy's counter deltas, attributed to
+ * @p core (sim::Core::finalize() per run; PrivateHierarchy dtor for
+ * the remainder).
+ */
 void addMemFastPath(u64 data_fast, u64 data_full, u64 fetch_fast,
-                    u64 fetch_full);
+                    u64 fetch_full, u32 core = 0);
 
 /** Flush one uncore's counters (Uncore dtor). */
 void addUncoreFastPath(u64 fast, u64 full);
 
-/** Flush one block cache's counters (BlockCache dtor). */
+/** Flush one block cache's counter deltas. */
 void addBlockCache(u64 hits, u64 misses, u64 ops_replayed);
+
+/** Flush one run's chained-execution transition counters. */
+void addBlockChain(u64 hits, u64 misses);
+
+/** Flush one pipeline's batched-issue counter deltas. */
+void addBatchIssue(u64 calls, u64 ops);
 
 /** Read the current totals. */
 HotPathStats snapshot();
+
+/** Read one core's memory fast-path slice. */
+CoreMemStats coreSnapshot(u32 core);
 
 /** Zero the totals (tests and the bench harness between phases). */
 void reset();

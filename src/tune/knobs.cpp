@@ -93,6 +93,10 @@ buildRegistry()
           "decoded-block cache (bit-identical acceleration)",
           /*fingerprint=*/false, 0, 0, {},
           GETF(c.block_cache), SETF(block_cache));
+    boolk("machine.chain_blocks",
+          "chained block execution (bit-identical acceleration)",
+          /*fingerprint=*/false, 0, 0, {},
+          GETF(c.chain_blocks), SETF(chain_blocks));
 
     // mem.* — cache geometry (KiB / ways / line bytes).
     u64k("mem.l1i_kib", "L1I capacity", 32, 1, 1.0, {},
@@ -190,6 +194,10 @@ buildRegistry()
          GETF(c.pipe.fp_ports), SETF(pipe.fp_ports));
     dblk("pipe.branch_ports", "branch ports", 3.0, 0.1, 0.4,
          GETF(c.pipe.branch_ports), SETF(pipe.branch_ports));
+    boolk("pipe.batch_issue",
+          "batched block issue (bit-identical acceleration)",
+          /*fingerprint=*/false, 0, 0, {},
+          GETF(c.pipe.batch_issue), SETF(pipe.batch_issue));
 
     // pipe.bp.* — branch predictor tables.
     u64k("pipe.bp.pht_entries", "pattern history table entries",

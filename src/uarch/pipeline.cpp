@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 #include "trace/profile.hpp"
 
 namespace cheri::uarch {
@@ -18,6 +19,19 @@ PipelineModel::PipelineModel(const PipelineConfig &config,
       predictor_(config.bp), sq_(config.sq)
 {
     CHERI_ASSERT(config.width > 0 && config.mlp > 0, "bad pipeline config");
+    for (std::size_t cls = 0; cls < portCostTbl_.size(); ++cls)
+        portCostTbl_[cls] = portCost(static_cast<InstClass>(cls));
+    for (std::size_t uops = 0; uops < slotCostTbl_.size(); ++uops)
+        slotCostTbl_[uops] =
+            static_cast<double>(uops) / config_.width;
+}
+
+PipelineModel::~PipelineModel()
+{
+    // Remainder flush for pipelines destroyed without finish() (unit
+    // tests); finish() already flushed a finalized run's deltas.
+    telemetry::addBatchIssue(batchCalls_ - batchCallsFlushed_,
+                             batchOps_ - batchOpsFlushed_);
 }
 
 void
@@ -134,70 +148,93 @@ PipelineModel::recordSpec(InstClass cls, u64 n)
 }
 
 void
-PipelineModel::stallBackendMem(double cycles, mem::MemLevel level)
+PipelineModel::flushSpec(const SpecBatch &batch)
 {
-    cycleF_ += cycles;
+    counts_.add(Event::InstRetired, batch.retired);
+    counts_.add(Event::InstSpec, batch.instSpec);
+    static constexpr Event kClassEvent[9] = {
+        Event::DpSpec,        Event::VfpSpec,       Event::AseSpec,
+        Event::LdSpec,        Event::StSpec,        Event::BrImmedSpec,
+        Event::BrIndirectSpec, Event::BrReturnSpec, Event::InstSpec,
+    };
+    for (std::size_t cls = 0; cls < batch.byClass.size(); ++cls)
+        if (batch.byClass[cls] != 0 &&
+            static_cast<InstClass>(cls) != InstClass::Other)
+            counts_.add(kClassEvent[cls], batch.byClass[cls]);
+}
+
+void
+PipelineModel::stallBackendMem(Accum &a, double cycles, mem::MemLevel level)
+{
+    a.cycleF += cycles;
     switch (level) {
       case mem::MemLevel::L1:
-        stallMemL1F_ += cycles;
+        a.stallMemL1F += cycles;
         break;
       case mem::MemLevel::L2:
-        stallMemL2F_ += cycles;
+        a.stallMemL2F += cycles;
         break;
       case mem::MemLevel::Llc:
       case mem::MemLevel::Dram:
-        stallMemExtF_ += cycles;
+        a.stallMemExtF += cycles;
         break;
     }
 }
 
 void
-PipelineModel::issue(const DynOp &op)
+PipelineModel::issueTimed(const DynOp &op, Accum &a, SpecBatch *batch)
 {
-    CHERI_ASSERT(!finished_, "issue after finish");
-    if (laneHook_ != nullptr)
-        laneHook_->onLaneSwitch(laneId_, cycleF_);
-    if (approxSkip_) {
-        // Approx fast-forward: the instruction retires (architectural
-        // progress and epoch boundaries stay exact) but the timing
-        // model is skipped; the sampler extrapolates its cost later.
-        counts_.add(Event::InstRetired);
-        retireTail();
-        return;
-    }
     const InstClass cls = isa::opcodeClass(op.op);
     const u32 uops = std::max<u32>(op.uops, 1);
 
+    // Stage a spec count either into the chunk-local batch (batched
+    // path; flushed before any observer runs) or straight into the
+    // counters (per-op path, unchanged).
+    const auto spec = [&](InstClass c, u64 n) {
+        if (batch != nullptr) {
+            batch->instSpec += n;
+            batch->byClass[static_cast<std::size_t>(c)] += n;
+        } else {
+            recordSpec(c, n);
+        }
+    };
+
     // ----- Frontend: one I-fetch per 16-byte fetch group ------------
     const Addr group = op.pc >> 4;
-    if (group != lastFetchGroup_) {
-        lastFetchGroup_ = group;
+    if (group != a.lastFetchGroup) {
+        a.lastFetchGroup = group;
         const mem::AccessResult fetch = memory_.fetch(op.pc);
         if (fetch.latency > 0) {
             // Fetch bubbles: partially hidden by the fetch queue.
             const double visible = 0.7 * static_cast<double>(fetch.latency);
-            cycleF_ += visible;
-            stallFrontendF_ += visible;
+            a.cycleF += visible;
+            a.stallFrontendF += visible;
         }
     }
 
     // ----- Issue slots and execution-port contention ----------------
-    const double slot_cost = static_cast<double>(uops) / config_.width;
-    const double port_cost = portCost(cls) * uops;
-    cycleF_ += std::max(slot_cost, port_cost);
+    // Table lookups cache the divisions' exact quotients (see the
+    // table declarations); the arithmetic stream is unchanged.
+    const double slot_cost = slotCostTbl_[uops];
+    const double port_cost = portCostTbl_[static_cast<std::size_t>(cls)] *
+                             uops;
+    a.cycleF += std::max(slot_cost, port_cost);
     if (port_cost > slot_cost)
-        stallCoreF_ += port_cost - slot_cost;
+        a.stallCoreF += port_cost - slot_cost;
 
     if (op.op == isa::Opcode::Udiv || op.op == isa::Opcode::FDiv) {
         // The single divider is not pipelined.
         const double extra = static_cast<double>(config_.div_latency) / 2.0;
-        cycleF_ += extra;
-        stallCoreF_ += extra;
+        a.cycleF += extra;
+        a.stallCoreF += extra;
     }
 
-    uopsRetired_ += uops;
-    counts_.add(Event::InstRetired);
-    recordSpec(cls, uops);
+    a.uopsRetired += uops;
+    if (batch != nullptr)
+        ++batch->retired;
+    else
+        counts_.add(Event::InstRetired);
+    spec(cls, uops);
 
     // ----- Branch resolution -----------------------------------------
     if (op.branch != BranchKind::None) {
@@ -207,22 +244,22 @@ PipelineModel::issue(const DynOp &op)
             counts_.add(Event::BrMisPredRetired);
             const double penalty =
                 static_cast<double>(config_.mispredict_penalty);
-            cycleF_ += penalty;
-            stallBadSpecF_ += penalty;
+            a.cycleF += penalty;
+            a.stallBadSpecF += penalty;
             // Wrong-path work inflates the speculative counts.
             const u64 wrong = static_cast<u64>(penalty / 2.0 *
                                                config_.width);
-            recordSpec(InstClass::Dp, wrong / 2);
-            recordSpec(InstClass::Load, wrong / 4);
-            recordSpec(InstClass::Store, wrong / 8);
-            recordSpec(InstClass::BranchImmed, wrong / 8);
+            spec(InstClass::Dp, wrong / 2);
+            spec(InstClass::Load, wrong / 4);
+            spec(InstClass::Store, wrong / 8);
+            spec(InstClass::BranchImmed, wrong / 8);
         }
         if (pred.pcc_stall) {
             const double penalty =
                 static_cast<double>(config_.pcc_stall_penalty);
-            cycleF_ += penalty;
-            stallFrontendF_ += penalty;
-            stallPccF_ += penalty;
+            a.cycleF += penalty;
+            a.stallFrontendF += penalty;
+            a.stallPccF += penalty;
         }
     }
 
@@ -232,22 +269,23 @@ PipelineModel::issue(const DynOp &op)
         if (is_store) {
             const mem::AccessResult res =
                 memory_.data(op.addr, op.size, true, op.isCap);
-            const Cycles stall = sq_.push(cycles(), res.latency, op.size);
+            const Cycles stall = sq_.push(static_cast<Cycles>(a.cycleF),
+                                          res.latency, op.size);
             if (stall) {
                 // Store-buffer backpressure: an execution-resource
                 // (core-bound) stall in the N1 accounting.
-                cycleF_ += static_cast<double>(stall);
-                stallCoreF_ += static_cast<double>(stall);
+                a.cycleF += static_cast<double>(stall);
+                a.stallCoreF += static_cast<double>(stall);
             }
             if (res.tlb_walk) {
                 const double walk =
                     static_cast<double>(memory_.config().walk_latency) / 2.0;
-                stallBackendMem(walk, mem::MemLevel::L2);
+                stallBackendMem(a, walk, mem::MemLevel::L2);
             }
         } else {
-            if (op.dependsOnLoad && lastLoadCompleteF_ > cycleF_)
-                stallBackendMem(lastLoadCompleteF_ - cycleF_,
-                                lastLoadLevel_);
+            if (op.dependsOnLoad && a.lastLoadCompleteF > a.cycleF)
+                stallBackendMem(a, a.lastLoadCompleteF - a.cycleF,
+                                a.lastLoadLevel);
             const mem::AccessResult res =
                 memory_.data(op.addr, op.size, false, op.isCap);
             const double l1_lat =
@@ -257,36 +295,104 @@ PipelineModel::issue(const DynOp &op)
                 // Independent miss: overlapped within the MLP window.
                 const double amortized =
                     std::max(0.0, lat - l1_lat) / config_.mlp;
-                stallBackendMem(amortized, res.level);
+                stallBackendMem(a, amortized, res.level);
             }
             if (res.tlb_walk)
                 stallBackendMem(
+                    a,
                     static_cast<double>(memory_.config().walk_latency) *
                         0.25,
                     mem::MemLevel::L2);
-            lastLoadCompleteF_ = cycleF_ + lat;
-            lastLoadLevel_ = res.level;
+            a.lastLoadCompleteF = a.cycleF + lat;
+            a.lastLoadLevel = res.level;
         }
     }
+}
+
+void
+PipelineModel::issue(const DynOp &op)
+{
+    CHERI_ASSERT(!finished_, "issue after finish");
+    if (laneHook_ != nullptr)
+        laneHook_->onLaneSwitch(laneId_, acc_.cycleF);
+    if (approxSkip_) {
+        // Approx fast-forward: the instruction retires (architectural
+        // progress and epoch boundaries stay exact) but the timing
+        // model is skipped; the sampler extrapolates its cost later.
+        counts_.add(Event::InstRetired);
+        retireTail();
+        return;
+    }
+    issueTimed(op, acc_);
 
     // Observability: one predictable null check per retired op when
     // tracing is off, a counter decrement when epoch-sampling is on.
     retireTail();
 }
 
+void
+PipelineModel::issueBlock(const DynOp *ops, std::size_t n)
+{
+    CHERI_ASSERT(!finished_, "issue after finish");
+    std::size_t i = 0;
+    while (i < n) {
+        // Any per-op observer — retire hook, lane-switch arbitration,
+        // approx skip — or batch_issue=off keeps the op-at-a-time
+        // path with its per-op dispatch points. Re-checked every
+        // chunk: an epoch hook fired at a chunk boundary may flip
+        // approxSkip (the --approx sampler), and the remaining ops
+        // must then take issue()'s skip path exactly as the unbatched
+        // loop would.
+        if (!config_.batch_issue || retireHook_ != nullptr ||
+            laneHook_ != nullptr || approxSkip_) {
+            issue(ops[i]);
+            ++i;
+            continue;
+        }
+        std::size_t chunk = n - i;
+        if (epochEvery_ != 0)
+            chunk = std::min<std::size_t>(
+                chunk, static_cast<std::size_t>(instsToEpoch_));
+        // The chunk runs over a local accumulator: same ops, same
+        // order, same `+=` sequence on the same doubles — bit-
+        // identical to issuing through the member state, but the hot
+        // values live in registers across the whole chunk. The spec
+        // counters stage into a chunk-local batch the same way and
+        // flush before the epoch hook (the only observer that can
+        // run) fires.
+        Accum a = acc_;
+        SpecBatch batch;
+        const std::size_t end = i + chunk;
+        for (; i < end; ++i)
+            issueTimed(ops[i], a, &batch);
+        acc_ = a;
+        flushSpec(batch);
+        retired_ += chunk;
+        ++batchCalls_;
+        batchOps_ += chunk;
+        if (epochEvery_ != 0) {
+            instsToEpoch_ -= chunk;
+            if (instsToEpoch_ == 0) {
+                instsToEpoch_ = epochEvery_;
+                epochHook_->onEpochBoundary(*this);
+            }
+        }
+    }
+}
+
 PipelineModel::LiveStats
 PipelineModel::liveStats() const
 {
     LiveStats live;
-    live.cycles = cycleF_;
-    live.stallFrontend = stallFrontendF_;
-    live.stallPcc = stallPccF_;
-    live.stallBadSpec = stallBadSpecF_;
-    live.stallMemL1 = stallMemL1F_;
-    live.stallMemL2 = stallMemL2F_;
-    live.stallMemExt = stallMemExtF_;
-    live.stallCore = stallCoreF_;
-    live.uopsRetired = uopsRetired_;
+    live.cycles = acc_.cycleF;
+    live.stallFrontend = acc_.stallFrontendF;
+    live.stallPcc = acc_.stallPccF;
+    live.stallBadSpec = acc_.stallBadSpecF;
+    live.stallMemL1 = acc_.stallMemL1F;
+    live.stallMemL2 = acc_.stallMemL2F;
+    live.stallMemExt = acc_.stallMemExtF;
+    live.stallCore = acc_.stallCoreF;
+    live.uopsRetired = acc_.uopsRetired;
     return live;
 }
 
@@ -297,27 +403,37 @@ PipelineModel::finish()
     CHERI_ASSERT(!finished_, "finish called twice");
     finished_ = true;
 
-    const auto cyc = static_cast<u64>(std::llround(cycleF_));
+    // Per-run telemetry flush: batched-issue stats land inside the
+    // finishing run's snapshot window.
+    telemetry::addBatchIssue(batchCalls_ - batchCallsFlushed_,
+                             batchOps_ - batchOpsFlushed_);
+    batchCallsFlushed_ = batchCalls_;
+    batchOpsFlushed_ = batchOps_;
+
+    const auto cyc = static_cast<u64>(std::llround(acc_.cycleF));
     counts_.add(Event::CpuCycles, cyc);
 
-    const double backend =
-        stallMemL1F_ + stallMemL2F_ + stallMemExtF_ + stallCoreF_;
+    const double backend = acc_.stallMemL1F + acc_.stallMemL2F +
+                           acc_.stallMemExtF + acc_.stallCoreF;
     counts_.add(Event::StallFrontend,
-                static_cast<u64>(stallFrontendF_ + 0.5));
+                static_cast<u64>(acc_.stallFrontendF + 0.5));
     counts_.add(Event::StallBackend, static_cast<u64>(backend + 0.5));
-    counts_.add(Event::StallMemL1, static_cast<u64>(stallMemL1F_ + 0.5));
-    counts_.add(Event::StallMemL2, static_cast<u64>(stallMemL2F_ + 0.5));
-    counts_.add(Event::StallMemExt, static_cast<u64>(stallMemExtF_ + 0.5));
-    counts_.add(Event::StallCore, static_cast<u64>(stallCoreF_ + 0.5));
-    counts_.add(Event::PccStall, static_cast<u64>(stallPccF_ + 0.5));
+    counts_.add(Event::StallMemL1,
+                static_cast<u64>(acc_.stallMemL1F + 0.5));
+    counts_.add(Event::StallMemL2,
+                static_cast<u64>(acc_.stallMemL2F + 0.5));
+    counts_.add(Event::StallMemExt,
+                static_cast<u64>(acc_.stallMemExtF + 0.5));
+    counts_.add(Event::StallCore, static_cast<u64>(acc_.stallCoreF + 0.5));
+    counts_.add(Event::PccStall, static_cast<u64>(acc_.stallPccF + 0.5));
 
     const u64 slots_total = cyc * config_.width;
     counts_.add(Event::SlotsTotal, slots_total);
-    counts_.add(Event::SlotsRetired, uopsRetired_);
+    counts_.add(Event::SlotsRetired, acc_.uopsRetired);
     counts_.add(Event::SlotsBadSpec,
-                static_cast<u64>(stallBadSpecF_ * config_.width + 0.5));
+                static_cast<u64>(acc_.stallBadSpecF * config_.width + 0.5));
     counts_.add(Event::SlotsFrontend,
-                static_cast<u64>(stallFrontendF_ * config_.width + 0.5));
+                static_cast<u64>(acc_.stallFrontendF * config_.width + 0.5));
     counts_.add(Event::SlotsBackend,
                 static_cast<u64>(backend * config_.width + 0.5));
 }

@@ -28,6 +28,7 @@
 #define CHERI_UARCH_PIPELINE_HPP
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 #include "mem/memory_system.hpp"
@@ -57,6 +58,19 @@ struct PipelineConfig
 
     BranchPredictorConfig bp{};
     StoreQueueConfig sq{};
+
+    /**
+     * Batched issue: let issueBlock() retire a whole decoded block
+     * per call, hoisting the accumulator state into locals and
+     * collapsing the per-op hook dispatch to one boundary check per
+     * chunk when no per-op observer is attached. The per-op arithmetic
+     * and its order are unchanged, so results are bit-identical to
+     * op-at-a-time issue() — the regression suite toggles this over
+     * the whole workload registry. Deliberately NOT part of the
+     * result-cache fingerprint (same audited-escape status as
+     * MachineConfig::block_cache and MemConfig::fast_path).
+     */
+    bool batch_issue = true;
 };
 
 class PipelineModel
@@ -84,14 +98,41 @@ class PipelineModel
     PipelineModel(const PipelineConfig &config, mem::MemorySystem &memory,
                   pmu::EventCounts &counts);
 
+    ~PipelineModel();
+
     /** Retire one dynamic operation through the model. */
     void issue(const DynOp &op);
+
+    /**
+     * Retire @p n dynamic operations through the model in one call.
+     * Bit-identical to issuing them one at a time: with
+     * config().batch_issue set and no per-op observer attached
+     * (retire hook, lane-switch hook, approx skip), ops are processed
+     * in epoch-bounded chunks over a local copy of the accumulator —
+     * the same `+=` sequence on the same doubles, so IEEE results are
+     * unchanged — with retire bookkeeping and the epoch-boundary
+     * check hoisted to the chunk boundary. Any per-op observer (or
+     * batch_issue=off) routes every op through issue() instead.
+     * Epoch hooks still fire at exactly the same retired-instruction
+     * boundaries, and a hook that flips approxSkip mid-block (the
+     * --approx sampler) re-routes the remaining ops through issue()'s
+     * skip path just as the unbatched loop would.
+     *
+     * [[gnu::flatten]] inlines issueTimed() (and its inlined memory
+     * replay wrappers) into the chunk loop, so the chunk-local
+     * accumulator and spec batch actually live in registers across
+     * ops instead of being re-loaded through a call boundary per op.
+     * Inlining only changes where the same instruction sequence runs;
+     * the arithmetic stream — and thus every counter and cycle value
+     * — is unchanged.
+     */
+    [[gnu::flatten]] void issueBlock(const DynOp *ops, std::size_t n);
 
     /** Finalize: write cycle/slot/stall totals into the PMU counts. */
     void finish();
 
     /** Current cycle count (valid any time). */
-    Cycles cycles() const { return static_cast<Cycles>(cycleF_); }
+    Cycles cycles() const { return static_cast<Cycles>(acc_.cycleF); }
 
     /** Snapshot the live (pre-finish) accounting. */
     LiveStats liveStats() const;
@@ -150,7 +191,7 @@ class PipelineModel
     {
         CHERI_ASSERT(!finished_, "issue after finish");
         if (laneHook_ != nullptr)
-            laneHook_->onLaneSwitch(laneId_, cycleF_);
+            laneHook_->onLaneSwitch(laneId_, acc_.cycleF);
         counts_.add(pmu::Event::InstRetired);
         retireTail();
     }
@@ -192,9 +233,61 @@ class PipelineModel
     const PipelineConfig &config() const { return config_; }
 
   private:
+    /**
+     * The model's accumulator state: everything the per-op timing
+     * body reads and writes. Grouped so issueBlock() can copy it into
+     * a local, run a chunk of ops against the local (keeping the hot
+     * values in registers instead of bouncing through `this`), and
+     * write it back — the member/local distinction is invisible to
+     * the arithmetic, which is what makes batching bit-identical.
+     */
+    struct Accum
+    {
+        double cycleF = 0.0; //!< Master clock.
+        double stallFrontendF = 0.0;
+        double stallPccF = 0.0;
+        double stallBadSpecF = 0.0;
+        double stallMemL1F = 0.0;
+        double stallMemL2F = 0.0;
+        double stallMemExtF = 0.0;
+        double stallCoreF = 0.0;
+        u64 uopsRetired = 0;
+        double lastLoadCompleteF = 0.0;
+        mem::MemLevel lastLoadLevel = mem::MemLevel::L1;
+        Addr lastFetchGroup = ~0ULL;
+    };
+
+    /**
+     * Chunk-local staging for the per-op retirement/speculation
+     * counters. Inside a batched chunk no observer can read counts_
+     * (no retire/lane hooks by the batched-path gate; the epoch hook
+     * fires only at chunk boundaries, after the flush), and u64
+     * addition is associative — so staging the adds and flushing the
+     * sums at the boundary leaves every observable counter value
+     * identical to the per-op adds.
+     */
+    struct SpecBatch
+    {
+        u64 retired = 0;
+        u64 instSpec = 0;
+        std::array<u64, 9> byClass{};
+    };
+
     double portCost(isa::InstClass cls) const;
     void recordSpec(isa::InstClass cls, u64 n);
-    void stallBackendMem(double cycles, mem::MemLevel level);
+    void flushSpec(const SpecBatch &batch);
+    static void stallBackendMem(Accum &a, double cycles,
+                                mem::MemLevel level);
+    /**
+     * The full timing body of one op (frontend fetch, ports, branch
+     * resolution, memory) including its InstRetired/spec counts, over
+     * accumulator @p a. Shared verbatim by issue() (on acc_, batch
+     * nullptr — per-op counter adds, unchanged) and issueBlock() (on
+     * a local copy, with a chunk-local SpecBatch); excludes hook
+     * dispatch and the retire/epoch bookkeeping, which the callers
+     * own.
+     */
+    void issueTimed(const DynOp &op, Accum &a, SpecBatch *batch = nullptr);
     void refreshHookDispatch();
 
     /** Retire bookkeeping shared by the full and approx-skip paths. */
@@ -216,6 +309,15 @@ class PipelineModel
     BranchPredictor predictor_;
     StoreQueue sq_;
 
+    // Division results issueTimed() needs per op, computed once at
+    // construction: portCostTbl_[cls] caches portCost(cls)'s quotient
+    // and slotCostTbl_[uops] caches uops/width. Each entry is the
+    // identical IEEE quotient the per-op division would produce, so
+    // the cycle stream is bit-identical — this only removes the two
+    // hardware divides from the hot loop.
+    std::array<double, 9> portCostTbl_{};
+    std::array<double, 256> slotCostTbl_{};
+
     // Attached observers plus the cached capability dispatch state
     // refreshHookDispatch() derives from them.
     std::vector<ExecHooks *> hooks_;
@@ -228,20 +330,14 @@ class PipelineModel
     bool approxSkip_ = false;
     u64 retired_ = 0;
 
-    double cycleF_ = 0.0;           //!< Master clock.
-    double stallFrontendF_ = 0.0;
-    double stallPccF_ = 0.0;
-    double stallBadSpecF_ = 0.0;
-    double stallMemL1F_ = 0.0;
-    double stallMemL2F_ = 0.0;
-    double stallMemExtF_ = 0.0;
-    double stallCoreF_ = 0.0;
-    u64 uopsRetired_ = 0;
-
-    double lastLoadCompleteF_ = 0.0;
-    mem::MemLevel lastLoadLevel_ = mem::MemLevel::L1;
-    Addr lastFetchGroup_ = ~0ULL;
+    Accum acc_;
     bool finished_ = false;
+
+    // Batched-issue self-stats (telemetry; not model-visible).
+    u64 batchCalls_ = 0;
+    u64 batchOps_ = 0;
+    u64 batchCallsFlushed_ = 0;
+    u64 batchOpsFlushed_ = 0;
 };
 
 } // namespace cheri::uarch

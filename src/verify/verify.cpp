@@ -8,6 +8,7 @@
 #include "runner/runner.hpp"
 #include "support/hash.hpp"
 #include "support/serialize.hpp"
+#include "tune/knobs.hpp"
 #include "verify/reference.hpp"
 
 namespace cheri::verify {
@@ -341,6 +342,48 @@ runInvariantsSuite(const VerifyOptions &options, VerifyReport &report)
         report.violations.push_back(
             {"single-lane-degradation",
              "single-entry lane cell did not reproduce the solo cell"});
+
+    // Acceleration-escape equivalence: every non-fingerprint knob is
+    // an audited bit-identical acceleration toggle — turning it off
+    // must reproduce the accelerated cell exactly. Runs with the
+    // result cache disabled: the escapes share one fingerprint by
+    // design, so a cached comparison would replay the same entry and
+    // prove nothing.
+    {
+        runner::ExperimentPlan escPlan;
+        RunRequest accel;
+        accel.workload = "SQLite";
+        accel.abi = abi::Abi::Purecap;
+        accel.scale = workloads::Scale::Tiny;
+        escPlan.add(accel);
+        std::vector<std::string> escapeNames;
+        for (const tune::Knob &knob : tune::knobRegistry()) {
+            if (knob.fingerprint)
+                continue;
+            escapeNames.push_back(knob.name);
+            RunRequest r = accel;
+            r.config = sim::MachineConfig::forAbi(r.abi);
+            knob.set(*r.config, 0);
+            escPlan.add(r);
+        }
+        runner::RunnerOptions eopts;
+        eopts.jobs = ropts.jobs;
+        eopts.cache = false;
+        const auto esc = runner::runPlan(escPlan, eopts);
+        const auto &fast = esc.results[0];
+        for (std::size_t i = 0; i < escapeNames.size(); ++i) {
+            const auto &slow = esc.results[i + 1];
+            if (!fast.ok() || !slow.ok() ||
+                !(fast.sim->counts == slow.sim->counts) ||
+                fast.sim->instructions != slow.sim->instructions ||
+                fast.sim->cycles != slow.sim->cycles)
+                report.violations.push_back(
+                    {"acceleration-escape-divergence",
+                     escapeNames[i] +
+                         "=off changed results vs the accelerated cell"});
+        }
+        audited += esc.results.size();
+    }
 
     report.text += "invariants: " + std::to_string(audited) +
                    " results audited, " +

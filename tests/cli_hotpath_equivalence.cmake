@@ -1,0 +1,65 @@
+# Exact-path engine CLI equivalence fixture.
+#
+# `cheriperf sweep` with the full engine on (default) and with every
+# acceleration escape flipped off — block chaining, the memory inline
+# caches, batched pipeline issue and the decoded-block cache — must
+# print byte-identical CSV. This is the CLI face of the contract the
+# HotPathEquivalence unit suite checks in-process, and the contract
+# that makes the bench harness's exact_engine_speedup a fair ratio:
+# both legs simulate the same machine.
+#
+# Invoked by ctest as:
+#   cmake -DCHERIPERF=<binary> -DWORK_DIR=<scratch> \
+#       -P cli_hotpath_equivalence.cmake
+
+if(NOT CHERIPERF)
+    message(FATAL_ERROR "pass -DCHERIPERF=<path to cheriperf binary>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(SWEEP_ARGS sweep --set table4 --scale tiny --csv --no-cache)
+
+function(run_sweep out_var)
+    execute_process(
+        COMMAND "${CHERIPERF}" ${SWEEP_ARGS} ${ARGN}
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "cheriperf sweep ${ARGN} failed (${status}):\n${stderr}")
+    endif()
+    set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+function(require_identical a b what)
+    if(NOT "${${a}}" STREQUAL "${${b}}")
+        file(WRITE "${WORK_DIR}/${a}.csv" "${${a}}")
+        file(WRITE "${WORK_DIR}/${b}.csv" "${${b}}")
+        message(FATAL_ERROR "${what}: CSV differs; see "
+                            "${WORK_DIR}/${a}.csv vs ${b}.csv")
+    endif()
+endfunction()
+
+run_sweep(engine_on --jobs 1)
+run_sweep(no_chaining --jobs 1 --set machine.chain_blocks=off)
+run_sweep(no_batching --jobs 1 --set pipe.batch_issue=off)
+run_sweep(engine_off --jobs 1
+    --no-fastpath --no-blockcache
+    --set machine.chain_blocks=off --set pipe.batch_issue=off)
+require_identical(engine_on no_chaining "machine.chain_blocks=off")
+require_identical(engine_on no_batching "pipe.batch_issue=off")
+require_identical(engine_on engine_off "all engine escapes off")
+
+# The escapes must survive parallel dispatch too: all-off under
+# --jobs 4 against the all-on --jobs 1 reference.
+run_sweep(engine_off_j4 --jobs 4
+    --no-fastpath --no-blockcache
+    --set machine.chain_blocks=off --set pipe.batch_issue=off)
+require_identical(engine_on engine_off_j4
+    "all engine escapes off across --jobs 1/4")
+
+message(STATUS "cli_hotpath_equivalence ok: the exact-path engine "
+               "is byte-identical with every escape off")

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Bit-identity regression suite for the exact-path execution engine:
+ * block chaining (sim::MachineConfig::chain_blocks), the per-site
+ * memory inline caches (mem::MemConfig::fast_path), batched pipeline
+ * issue (uarch::PipelineConfig::batch_issue) and the decoded-block
+ * cache (sim::MachineConfig::block_cache). All four are pure
+ * accelerations behind the determinism contract: every count, cycle
+ * and derived number must be byte-identical with any combination of
+ * the escapes flipped, across the workload registry and in
+ * multi-lane co-runs. test_fastpath.cpp owns the deeper per-layer
+ * stories (shared-cache aliasing, co-run hit proofs); this suite is
+ * the cross-product gate for the engine as a whole.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "workloads/registry.hpp"
+
+namespace cheri::workloads {
+namespace {
+
+using abi::Abi;
+
+void
+expectIdentical(const sim::SimResult &a, const sim::SimResult &b,
+                const std::string &label)
+{
+    EXPECT_EQ(a.counts, b.counts) << label;
+    EXPECT_EQ(a.instructions, b.instructions) << label;
+    EXPECT_EQ(a.cycles, b.cycles) << label;
+    EXPECT_EQ(a.seconds, b.seconds) << label;
+    EXPECT_EQ(a.halted, b.halted) << label;
+}
+
+/** One engine escape: a name for failure messages plus the toggle. */
+struct EngineKnob
+{
+    const char *name;
+    void (*off)(sim::MachineConfig &);
+};
+
+constexpr EngineKnob kEngineKnobs[] = {
+    {"machine.chain_blocks=off",
+     [](sim::MachineConfig &c) { c.chain_blocks = false; }},
+    {"mem.fast_path=off",
+     [](sim::MachineConfig &c) { c.mem.fast_path = false; }},
+    {"pipe.batch_issue=off",
+     [](sim::MachineConfig &c) { c.pipe.batch_issue = false; }},
+    {"machine.block_cache=off",
+     [](sim::MachineConfig &c) { c.block_cache = false; }},
+};
+
+sim::MachineConfig
+allEscapesOff(Abi abi)
+{
+    sim::MachineConfig config = sim::MachineConfig::forAbi(abi);
+    for (const EngineKnob &knob : kEngineKnobs)
+        knob.off(config);
+    return config;
+}
+
+/**
+ * Every workload x {hybrid, purecap}: each engine escape flipped off
+ * on its own must not move a single count relative to the all-on
+ * default. One knob at a time pins a regression to the layer that
+ * broke, which the combined all-off run cannot.
+ */
+TEST(HotPathEquivalence, EachEscapeRegistryWideBitIdentity)
+{
+    const auto pool = allWorkloads();
+    for (const auto &workload : pool) {
+        for (const Abi abi : {Abi::Hybrid, Abi::Purecap}) {
+            if (!workload->supports(abi))
+                continue;
+            const sim::MachineConfig defaults =
+                sim::MachineConfig::forAbi(abi);
+            const auto on = detail::executeWorkload(
+                *workload, abi, Scale::Tiny, &defaults, 42);
+            for (const EngineKnob &knob : kEngineKnobs) {
+                sim::MachineConfig escaped = defaults;
+                knob.off(escaped);
+                const auto off = detail::executeWorkload(
+                    *workload, abi, Scale::Tiny, &escaped, 42);
+                ASSERT_EQ(on.has_value(), off.has_value());
+                if (on)
+                    expectIdentical(*on, *off,
+                                    workload->info().name + " @ " +
+                                        abi::abiName(abi) + " " +
+                                        knob.name);
+            }
+        }
+    }
+}
+
+/**
+ * Every workload x {hybrid, purecap}: the whole engine at once — all
+ * four escapes off is exactly the bench harness's all-off leg (the
+ * denominator of exact_engine_speedup), so this is the contract that
+ * makes that wall-clock ratio meaningful: both legs simulate the
+ * same machine.
+ */
+TEST(HotPathEquivalence, AllEscapesOffRegistryWideBitIdentity)
+{
+    const auto pool = allWorkloads();
+    for (const auto &workload : pool) {
+        for (const Abi abi : {Abi::Hybrid, Abi::Purecap}) {
+            if (!workload->supports(abi))
+                continue;
+            const sim::MachineConfig defaults =
+                sim::MachineConfig::forAbi(abi);
+            const sim::MachineConfig escaped = allEscapesOff(abi);
+            const auto on = detail::executeWorkload(
+                *workload, abi, Scale::Tiny, &defaults, 42);
+            const auto off = detail::executeWorkload(
+                *workload, abi, Scale::Tiny, &escaped, 42);
+            ASSERT_EQ(on.has_value(), off.has_value());
+            if (on)
+                expectIdentical(*on, *off,
+                                workload->info().name + " @ " +
+                                    abi::abiName(abi) + " all off");
+        }
+    }
+}
+
+/**
+ * Two lanes racing on the shared uncore with every escape off at
+ * once: chaining memos, inline-cache slots and batched chunks must
+ * all stay invisible under cross-core interleaving, lane by lane.
+ */
+TEST(HotPathEquivalence, TwoLaneCorunAllEscapesOffBitIdentity)
+{
+    const auto pool = allWorkloads();
+    const Workload *omnetpp = findWorkload(pool, "520.omnetpp_r");
+    const Workload *lbm = findWorkload(pool, "519.lbm_r");
+    ASSERT_NE(omnetpp, nullptr);
+    ASSERT_NE(lbm, nullptr);
+    const std::vector<detail::CorunLane> lanes = {
+        {omnetpp, Abi::Purecap}, {lbm, Abi::Purecap}};
+
+    const sim::MachineConfig defaults =
+        sim::MachineConfig::forAbi(Abi::Purecap);
+    const sim::MachineConfig escaped = allEscapesOff(Abi::Purecap);
+
+    const auto on =
+        detail::executeCoRun(lanes, Scale::Tiny, &defaults, 42);
+    const auto off =
+        detail::executeCoRun(lanes, Scale::Tiny, &escaped, 42);
+    ASSERT_EQ(on.size(), lanes.size());
+    ASSERT_EQ(off.size(), lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        ASSERT_EQ(on[i].has_value(), off[i].has_value());
+        if (on[i])
+            expectIdentical(*on[i], *off[i],
+                            "corun lane " + std::to_string(i));
+    }
+}
+
+} // namespace
+} // namespace cheri::workloads

@@ -33,6 +33,7 @@ struct Rig
     pmu::EventCounts
     finish()
     {
+        lowering.flushOps(); // drain the batched-emit FIFO first
         pipe.finish();
         return counts;
     }
@@ -205,11 +206,13 @@ TEST(Lowering, DispatchMovesTheCursor)
     // regions: the I-footprint widens (distinct fetch groups).
     Rig rig(Abi::Hybrid);
     rig.lowering.call(rig.local_func, CallKind::Local);
+    rig.lowering.flushOps(); // reading counts mid-run: drain the FIFO
     const u64 before = rig.counts.get(Event::L1iCache);
     rig.lowering.dispatch(3);
     rig.lowering.alu(1);
     rig.lowering.dispatch(11);
     rig.lowering.alu(1);
+    rig.lowering.flushOps();
     EXPECT_GT(rig.counts.get(Event::L1iCache), before + 1);
     rig.lowering.ret();
     rig.finish();

@@ -148,14 +148,16 @@ TEST(KnobRegistry, FingerprintSensitivityMatchesDeclaration)
     }
 }
 
-TEST(KnobRegistry, NonFingerprintEscapesAreTheDocumentedTwo)
+TEST(KnobRegistry, NonFingerprintEscapesAreTheDocumentedFour)
 {
     std::vector<std::string> escapes;
     for (const Knob &knob : knobRegistry())
         if (!knob.fingerprint)
             escapes.push_back(knob.name);
-    EXPECT_EQ(escapes, (std::vector<std::string>{
-                           "machine.block_cache", "mem.fast_path"}));
+    EXPECT_EQ(escapes,
+              (std::vector<std::string>{
+                  "machine.block_cache", "machine.chain_blocks",
+                  "mem.fast_path", "pipe.batch_issue"}));
 }
 
 TEST(KnobRegistry, RenderIsCanonical)
